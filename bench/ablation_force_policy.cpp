@@ -1,0 +1,92 @@
+/// \file ablation_force_policy.cpp
+/// Ablation for paper §2.4.5 "Reducing Cell Communication": each task can
+/// either receive halo-cell forces from their owners (communicate) or
+/// recompute them locally (the paper's choice). This bench measures the
+/// actual recompute cost (a redundant membrane-force evaluation) against
+/// the modeled communication volume for a window-like cell population,
+/// and prints the bytes-per-cell-copy each policy implies.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cells/cell_pool.hpp"
+#include "src/common/rng.hpp"
+#include "src/fem/membrane_model.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/parallel/decomposition.hpp"
+#include "src/parallel/migration.hpp"
+
+namespace {
+
+using namespace apr;
+
+const fem::MembraneModel& rbc_model() {
+  static fem::MembraneModel model = [] {
+    fem::MembraneParams p;
+    p.shear_modulus = 1.0;
+    p.bending_modulus = 0.01;
+    p.ka_global = 1.0;
+    p.kv_global = 1.0;
+    return fem::MembraneModel(mesh::rbc_biconcave(3, 1.0), p);
+  }();
+  return model;
+}
+
+/// The redundant work of the recompute policy: one extra force
+/// evaluation per (cell, halo task) pair.
+void BM_RecomputePolicy_ForceEval(benchmark::State& state) {
+  const auto& model = rbc_model();
+  std::vector<Vec3> x = model.reference().vertices;
+  std::vector<Vec3> f(x.size());
+  for (auto _ : state) {
+    std::fill(f.begin(), f.end(), Vec3{});
+    model.add_forces(x, f);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+
+/// The communicate policy's cost stand-in: serializing one cell's vertex
+/// forces into a message buffer (what an MPI send would pack).
+void BM_CommunicatePolicy_PackForces(benchmark::State& state) {
+  const auto& model = rbc_model();
+  std::vector<Vec3> f(model.num_vertices(), Vec3{1.0, 2.0, 3.0});
+  std::vector<double> buffer(f.size() * 3);
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < f.size(); ++v) {
+      buffer[3 * v] = f[v].x;
+      buffer[3 * v + 1] = f[v].y;
+      buffer[3 * v + 2] = f[v].z;
+    }
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.counters["bytes_per_cell"] =
+      static_cast<double>(buffer.size() * sizeof(double));
+}
+
+/// Policy accounting over a realistic window population distributed over
+/// 6 GPU tasks (the per-node window split of §2.4.4).
+void BM_PolicyAccounting_WindowPopulation(benchmark::State& state) {
+  const parallel::BoxDecomposition decomp({60, 60, 60}, 6);
+  const parallel::SpatialDecomposition sd(decomp, Vec3{}, 1.0);
+  Rng rng(5);
+  std::vector<parallel::CellAssignment> assigns;
+  for (int c = 0; c < 1000; ++c) {
+    const Vec3 p = rng.point_in_box({2, 2, 2}, {58, 58, 58});
+    assigns.push_back(sd.assign(p, Aabb::cube(p, 4.0), 2.0));
+  }
+  parallel::ForcePolicyCost cost;
+  for (auto _ : state) {
+    cost = parallel::force_policy_cost(assigns, 642, 1'000'000);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["halo_copies"] = static_cast<double>(cost.halo_copies);
+  state.counters["comm_MB_per_step"] =
+      static_cast<double>(cost.communicate_bytes) / 1e6;
+  state.counters["recompute_GFLOP"] =
+      static_cast<double>(cost.recompute_flops) / 1e9;
+}
+
+BENCHMARK(BM_RecomputePolicy_ForceEval);
+BENCHMARK(BM_CommunicatePolicy_PackForces);
+BENCHMARK(BM_PolicyAccounting_WindowPopulation);
+
+}  // namespace

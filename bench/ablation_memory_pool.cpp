@@ -1,0 +1,135 @@
+/// \file ablation_memory_pool.cpp
+/// Ablation for paper §2.4.5 "Cell Memory Management": pre-allocated
+/// pooled cell storage with shift compaction versus a naive
+/// allocate-per-cell container, under a churn workload shaped like the
+/// window's (cells continually exiting the outer boundary while the
+/// insertion shell repopulates).
+
+#include <benchmark/benchmark.h>
+
+#include <list>
+#include <memory>
+
+#include "src/cells/cell_pool.hpp"
+#include "src/common/rng.hpp"
+#include "src/fem/membrane_model.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace {
+
+using namespace apr;
+
+const fem::MembraneModel& rbc_model() {
+  static fem::MembraneModel model(mesh::rbc_biconcave(2, 1.0),
+                                  fem::MembraneParams{});
+  return model;
+}
+
+constexpr int kLiveCells = 256;
+constexpr int kChurnPerIter = 16;
+
+void BM_CellChurn_Pool(benchmark::State& state) {
+  const auto& model = rbc_model();
+  Rng rng(3);
+  cells::CellPool pool(&model, cells::CellKind::Rbc, kLiveCells + 8);
+  std::uint64_t next_id = 1;
+  for (int c = 0; c < kLiveCells; ++c) {
+    pool.add(next_id++, cells::instantiate(
+                            model, rng.point_in_box({0, 0, 0}, {50, 50, 50})));
+  }
+  for (auto _ : state) {
+    for (int k = 0; k < kChurnPerIter; ++k) {
+      // Remove a pseudo-random cell (an exiting one) and insert a fresh
+      // one (repopulation).
+      const std::size_t slot = rng.uniform_index(pool.size());
+      pool.remove(pool.id(slot));
+      pool.add(next_id++,
+               cells::instantiate(
+                   model, rng.point_in_box({0, 0, 0}, {50, 50, 50})));
+    }
+    benchmark::DoNotOptimize(pool.positions(0).data());
+  }
+  state.counters["shift_ops"] = static_cast<double>(pool.shift_count());
+}
+
+/// Naive baseline: one heap allocation per cell, removal via list
+/// erasure -- the pattern the paper's pooling avoids.
+void BM_CellChurn_NaiveAllocation(benchmark::State& state) {
+  const auto& model = rbc_model();
+  Rng rng(3);
+  struct NaiveCell {
+    std::uint64_t id;
+    std::unique_ptr<std::vector<Vec3>> x;
+    std::unique_ptr<std::vector<Vec3>> f;
+    std::unique_ptr<std::vector<Vec3>> v;
+  };
+  std::list<NaiveCell> cells;
+  std::uint64_t next_id = 1;
+  auto make = [&](const Vec3& c) {
+    NaiveCell nc;
+    nc.id = next_id++;
+    nc.x = std::make_unique<std::vector<Vec3>>(
+        cells::instantiate(model, c));
+    nc.f = std::make_unique<std::vector<Vec3>>(nc.x->size());
+    nc.v = std::make_unique<std::vector<Vec3>>(nc.x->size());
+    return nc;
+  };
+  for (int c = 0; c < kLiveCells; ++c) {
+    cells.push_back(make(rng.point_in_box({0, 0, 0}, {50, 50, 50})));
+  }
+  for (auto _ : state) {
+    for (int k = 0; k < kChurnPerIter; ++k) {
+      auto it = cells.begin();
+      std::advance(it, rng.uniform_index(cells.size()));
+      cells.erase(it);
+      cells.push_back(make(rng.point_in_box({0, 0, 0}, {50, 50, 50})));
+    }
+    benchmark::DoNotOptimize(&cells.front());
+  }
+}
+
+/// The consumer-side difference: the per-substep hot path (FEM + IBM)
+/// sweeps every live cell's vertices. The pool is one contiguous block;
+/// the naive layout chases a pointer per cell. Churn is occasional, the
+/// sweep runs every fine sub-step -- that trade is the point of §2.4.5.
+void BM_CellSweep_Pool(benchmark::State& state) {
+  const auto& model = rbc_model();
+  Rng rng(7);
+  cells::CellPool pool(&model, cells::CellKind::Rbc, kLiveCells);
+  std::uint64_t next_id = 1;
+  for (int c = 0; c < kLiveCells; ++c) {
+    pool.add(next_id++, cells::instantiate(
+                            model, rng.point_in_box({0, 0, 0}, {50, 50, 50})));
+  }
+  for (auto _ : state) {
+    Vec3 sum{};
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      for (const auto& v : pool.positions(s)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+void BM_CellSweep_NaiveAllocation(benchmark::State& state) {
+  const auto& model = rbc_model();
+  Rng rng(7);
+  std::list<std::unique_ptr<std::vector<Vec3>>> cells;
+  for (int c = 0; c < kLiveCells; ++c) {
+    cells.push_back(std::make_unique<std::vector<Vec3>>(cells::instantiate(
+        model, rng.point_in_box({0, 0, 0}, {50, 50, 50}))));
+  }
+  for (auto _ : state) {
+    Vec3 sum{};
+    for (const auto& cell : cells) {
+      for (const auto& v : *cell) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+BENCHMARK(BM_CellChurn_Pool);
+BENCHMARK(BM_CellChurn_NaiveAllocation);
+BENCHMARK(BM_CellSweep_Pool);
+BENCHMARK(BM_CellSweep_NaiveAllocation);
+
+}  // namespace

@@ -1,0 +1,72 @@
+/// \file ablation_sparse_addressing.cpp
+/// Ablation for HARVEY's indirect-addressing memory layout (Randles et
+/// al.; the reason a 41 mL upper-body bulk fits on the CPUs in Table 2):
+/// for a vascular tree, distributions stored per *active* node with an
+/// explicit neighbour table versus the dense bounding-box layout.
+/// Reports bytes for both layouts and times the two streaming kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/geometry/vasculature.hpp"
+#include "src/geometry/voxelizer.hpp"
+#include "src/lbm/sparse.hpp"
+
+namespace {
+
+using namespace apr;
+
+struct TreeFixture {
+  std::unique_ptr<lbm::Lattice> lat;
+  std::unique_ptr<lbm::SparseIndex> idx;
+
+  TreeFixture() {
+    Rng rng(11);
+    geometry::VasculatureParams p;
+    p.root_radius = 60e-6;
+    p.root_length = 1.2e-3;
+    p.levels = 4;
+    const auto vasc = geometry::Vasculature::branching_tree(p, rng);
+    lat = std::make_unique<lbm::Lattice>(
+        geometry::make_lattice_for(vasc, 30e-6, 1.0));
+    geometry::voxelize(*lat, vasc);
+    lat->init_equilibrium(1.0, Vec3{0.01, 0.0, 0.0});
+    idx = std::make_unique<lbm::SparseIndex>(*lat);
+  }
+};
+
+TreeFixture& fixture() {
+  static TreeFixture f;
+  return f;
+}
+
+void BM_DenseStream_VascularTree(benchmark::State& state) {
+  auto& f = fixture();
+  f.lat->set_fused_kernel(false);
+  for (auto _ : state) {
+    lbm::stream(*f.lat);
+    benchmark::DoNotOptimize(f.lat->raw_f().data());
+  }
+  state.counters["bytes"] = static_cast<double>(f.idx->dense_bytes());
+  state.counters["nodes"] = static_cast<double>(f.lat->num_nodes());
+}
+
+void BM_SparseStream_VascularTree(benchmark::State& state) {
+  auto& f = fixture();
+  const std::size_t n = f.idx->num_active();
+  std::vector<double> fc(n * lbm::kQ, 0.1);
+  std::vector<double> ftmp;
+  for (auto _ : state) {
+    f.idx->stream(fc, ftmp);
+    fc.swap(ftmp);
+    benchmark::DoNotOptimize(fc.data());
+  }
+  state.counters["bytes"] = static_cast<double>(f.idx->sparse_bytes());
+  state.counters["active"] = static_cast<double>(n);
+  state.counters["fill_pct"] = 100.0 * f.idx->fill_fraction();
+}
+
+BENCHMARK(BM_DenseStream_VascularTree);
+BENCHMARK(BM_SparseStream_VascularTree);
+
+}  // namespace

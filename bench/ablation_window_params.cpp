@@ -1,0 +1,103 @@
+/// \file ablation_window_params.cpp
+/// Ablation over the window's density-maintenance knobs (paper §2.4.2 and
+/// §3.2): the repopulation threshold is chosen "to minimize the injection
+/// frequency" -- a high threshold refills constantly (and overshoots);
+/// a low one lets the hematocrit sag between refills. This bench sweeps
+/// the threshold and the on-ramp width under a synthetic outflow (cells
+/// advected out of the window each round) and reports refill counts,
+/// injected cells and the hematocrit excursion around the target.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/apr/window.hpp"
+#include "src/cells/tile.hpp"
+#include "src/common/rng.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace {
+
+using namespace apr;
+
+const fem::MembraneModel& rbc_model() {
+  static fem::MembraneModel model(mesh::rbc_biconcave(1, 1.0),
+                                  fem::MembraneParams{});
+  return model;
+}
+
+/// Drift all cells along +x and let the window's maintenance respond;
+/// returns aggregate churn statistics.
+struct ChurnStats {
+  int refills = 0;
+  int injected = 0;
+  int removed = 0;
+  double ht_min = 1.0;
+  double ht_max = 0.0;
+};
+
+ChurnStats run_churn(double threshold, double onramp_width, int rounds) {
+  core::WindowConfig cfg;
+  cfg.proper_side = 8.0;
+  cfg.onramp_width = onramp_width;
+  cfg.insertion_width = 4.0;
+  cfg.target_hematocrit = 0.15;
+  cfg.repopulation_threshold = threshold;
+  const core::Window window({0, 0, 0}, cfg, nullptr);
+
+  const auto& rbc = rbc_model();
+  cells::CellPool pool(&rbc, cells::CellKind::Rbc, 9000);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(rbc, 6.0, cfg.target_hematocrit, tile_rng);
+  Rng rng(2);
+  std::uint64_t next_id = 1;
+  window.populate(pool, tile, rng, next_id);
+
+  ChurnStats stats;
+  for (int round = 0; round < rounds; ++round) {
+    // Synthetic advection: everything drifts one cell radius downstream.
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      cells::translate(pool.positions(s), Vec3{1.0, 0.0, 0.0});
+    }
+    const auto rep = window.maintain(pool, tile, rng, next_id);
+    stats.refills += rep.subregions_refilled;
+    stats.injected += rep.added;
+    stats.removed += rep.removed_outside;
+    const double ht = window.hematocrit(pool);
+    stats.ht_min = std::min(stats.ht_min, ht);
+    stats.ht_max = std::max(stats.ht_max, ht);
+  }
+  return stats;
+}
+
+void BM_RepopulationThreshold(benchmark::State& state) {
+  const double threshold = state.range(0) / 100.0;
+  ChurnStats stats;
+  for (auto _ : state) {
+    stats = run_churn(threshold, 4.0, 12);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["refills"] = stats.refills;
+  state.counters["injected"] = stats.injected;
+  state.counters["ht_min"] = stats.ht_min;
+  state.counters["ht_max"] = stats.ht_max;
+}
+
+void BM_OnRampWidth(benchmark::State& state) {
+  const double width = static_cast<double>(state.range(0));
+  ChurnStats stats;
+  for (auto _ : state) {
+    stats = run_churn(0.75, width, 12);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["refills"] = stats.refills;
+  state.counters["injected"] = stats.injected;
+  state.counters["ht_min"] = stats.ht_min;
+}
+
+BENCHMARK(BM_RepopulationThreshold)->Arg(50)->Arg(75)->Arg(95);
+BENCHMARK(BM_OnRampWidth)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

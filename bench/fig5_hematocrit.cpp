@@ -1,0 +1,201 @@
+/// \file fig5_hematocrit.cpp
+/// Regenerates **Figure 5** of the paper: a tube with a cell-resolved APR
+/// window at its center, run at target hematocrits of 10/20/30%.
+///   (B) window hematocrit vs time -- the repopulation algorithm holds the
+///       target with small fluctuations;
+///   (C) effective viscosity of the cell-laden window vs the Pries
+///       experimental correlation (Eq. 9).
+///
+/// Scaling (DESIGN.md §3): the paper's 200 um tube with a 100 um window
+/// (Summit, 2 nodes) is reduced to a 16 um tube with a 12 um window and
+/// 1.5 um RBCs, preserving the cell/tube size ratio of a ~42 um vessel;
+/// the Pries curve is evaluated at that equivalent diameter. The window
+/// viscosity is extracted against a bulk-only reference run, so wall-
+/// discretization factors cancel:
+///   R_total ~ mu_b (L - L_w) + mu_w L_w  =>
+///   mu_w = mu_b [ (Q_ref/Q) L - (L - L_w) ] / L_w.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apr/simulation.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/log.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+#include "src/rheology/pries.hpp"
+
+using namespace apr;
+
+namespace {
+
+constexpr double kTubeRadius = 8e-6;
+constexpr double kRbcRadiusScaled = 1.5e-6;
+// Equivalent physiological diameter for the Pries correlation: preserve
+// the RBC-radius / tube-radius ratio (3.91 um RBC in real vessels).
+const double kEquivalentDiameterUm =
+    2.0 * kTubeRadius * (mesh::kRbcRadius / kRbcRadiusScaled) * 1e6;
+
+std::shared_ptr<fem::MembraneModel> make_rbc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kRbcShearModulus;
+  p.bending_modulus = rheology::kRbcBendingModulus;
+  p.ka_global = 1e-6;
+  p.kv_global = 1e-6;
+  return std::make_shared<fem::MembraneModel>(
+      mesh::rbc_biconcave(1, kRbcRadiusScaled), p);
+}
+
+std::shared_ptr<fem::MembraneModel> make_ctc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kCtcShearModulus;
+  return std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 2e-6), p);
+}
+
+std::shared_ptr<geometry::TubeDomain> make_tube() {
+  return std::make_shared<geometry::TubeDomain>(
+      Vec3{0, 0, -24e-6}, Vec3{0, 0, 1}, 48e-6, kTubeRadius,
+      /*capped=*/false);
+}
+
+/// Volumetric flow rate through the coarse lattice cross-section at z~zc.
+double flow_rate(const lbm::Lattice& lat, const UnitConverter& conv,
+                 double zc) {
+  double q = 0.0;
+  int zslab = static_cast<int>(std::round((zc - lat.origin().z) / lat.dx()));
+  zslab = std::max(0, std::min(lat.nz() - 1, zslab));
+  for (int y = 0; y < lat.ny(); ++y) {
+    for (int x = 0; x < lat.nx(); ++x) {
+      const std::size_t i = lat.idx(x, y, zslab);
+      if (lat.type(i) != lbm::NodeType::Fluid) continue;
+      q += conv.velocity_to_physical(lat.velocity(i).z) * lat.dx() * lat.dx();
+    }
+  }
+  return q;
+}
+
+core::AprParams make_params(double hematocrit, double nu_bulk) {
+  core::AprParams p;
+  p.dx_coarse = 2.0e-6;
+  p.n = 2;
+  p.tau_coarse = 1.0;
+  p.nu_bulk = nu_bulk;
+  p.lambda = rheology::kPlasmaKinematicViscosity / nu_bulk;
+  p.window.proper_side = 4e-6;
+  p.window.onramp_width = 2e-6;
+  p.window.insertion_width = 2e-6;  // outer = 12 um
+  p.window.target_hematocrit = hematocrit;
+  p.window.repopulation_threshold = 0.8;
+  p.fsi.contact_cutoff = 0.4e-6;
+  p.fsi.contact_strength = 3e-12;
+  p.fsi.wall_cutoff = 0.5e-6;
+  p.fsi.wall_strength = 6e-12;
+  p.maintain_interval = 4;
+  p.rbc_capacity = 800;
+  p.seed = 11;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  const Vec3 body_force{0, 0, 4e5};
+  const double tube_length = 48e-6;
+  const double window_length = 12e-6;
+  const int warmup = 400;
+  const int steps = 160;
+
+  CsvWriter ht_csv("fig5b_hematocrit_vs_time.csv",
+                   {"target_ht", "time_s", "window_ht"});
+  CsvWriter visc_csv("fig5c_effective_viscosity.csv",
+                     {"tube_ht", "mu_rel_sim", "mu_rel_pries"});
+
+  std::printf("Fig. 5: window hematocrit maintenance + effective viscosity\n");
+  std::printf("equivalent Pries diameter: %.0f um\n\n",
+              kEquivalentDiameterUm);
+
+  std::vector<std::vector<std::string>> table;
+  for (const double ht : {0.10, 0.20, 0.30}) {
+    // Bulk viscosity for this hematocrit from the Pries correlation
+    // (discharge hematocrit approximated by the tube hematocrit target).
+    const double mu_bulk = rheology::kPlasmaViscosity *
+                           rheology::pries_relative_viscosity(
+                               kEquivalentDiameterUm, ht);
+    const double nu_bulk = mu_bulk / rheology::kBloodDensity;
+
+    // --- Reference: uniform bulk, no window --------------------------------
+    double q_ref;
+    {
+      core::AprSimulation ref(make_tube(), make_rbc(), make_ctc(),
+                        make_params(ht, nu_bulk));
+      ref.initialize_flow(Vec3{});
+      ref.coarse().set_periodic(false, false, true);
+      ref.set_body_force_density(body_force);
+      for (int s = 0; s < warmup + steps; ++s) ref.coarse().step();
+      ref.coarse().update_macroscopic();
+      q_ref = flow_rate(ref.coarse(), ref.coarse_units(), -18e-6);
+    }
+
+    // --- Cell-resolved window run ------------------------------------------
+    core::AprSimulation sim(make_tube(), make_rbc(), make_ctc(),
+                      make_params(ht, nu_bulk));
+    sim.initialize_flow(Vec3{});
+    sim.coarse().set_periodic(false, false, true);
+    sim.set_body_force_density(body_force);
+    for (int s = 0; s < warmup; ++s) sim.coarse().step();
+    sim.place_window(Vec3{});
+    sim.fill_window();
+
+    double q_avg = 0.0;
+    int q_samples = 0;
+    for (int s = 0; s < steps; ++s) {
+      sim.step();
+      if ((s + 1) % 5 == 0) {
+        ht_csv.row({ht, sim.physical_time(), sim.window_hematocrit()});
+      }
+      if (s >= steps / 2) {
+        // The coupled step skips the full macroscopic refresh; bring the
+        // cache up to date before sampling the cross-section flux.
+        sim.coarse().update_macroscopic();
+        q_avg += flow_rate(sim.coarse(), sim.coarse_units(), -18e-6);
+        ++q_samples;
+      }
+    }
+    q_avg /= q_samples;
+
+    // Series-resistance extraction of the window viscosity.
+    const double l = tube_length;
+    const double lw = window_length;
+    const double mu_w =
+        mu_bulk * ((q_ref / q_avg) * l - (l - lw)) / lw;
+    const double mu_rel_sim = mu_w / rheology::kPlasmaViscosity;
+    const double mu_rel_pries =
+        rheology::pries_relative_viscosity(kEquivalentDiameterUm, ht);
+    visc_csv.row({ht, mu_rel_sim, mu_rel_pries});
+
+    char row0[16], row1[32], row2[32], row3[32], row4[32];
+    std::snprintf(row0, sizeof(row0), "%.0f%%", ht * 100);
+    std::snprintf(row1, sizeof(row1), "%.3f", sim.window_hematocrit());
+    std::snprintf(row2, sizeof(row2), "%zu", sim.rbcs().size());
+    std::snprintf(row3, sizeof(row3), "%.2f", mu_rel_sim);
+    std::snprintf(row4, sizeof(row4), "%.2f", mu_rel_pries);
+    table.push_back({row0, row1, row2, row3, row4});
+    std::printf("Ht %.0f%%: final window Ht %.3f (%zu RBCs), "
+                "mu_rel sim %.2f vs Pries %.2f\n",
+                ht * 100, sim.window_hematocrit(), sim.rbcs().size(),
+                mu_rel_sim, mu_rel_pries);
+  }
+
+  std::printf("\n%s", format_table({"target Ht", "window Ht(final)", "RBCs",
+                                    "mu_rel (sim)", "mu_rel (Pries)"},
+                                   table)
+                          .c_str());
+  std::printf("paper Fig. 5: window Ht holds the 10/20/30%% targets with "
+              "small repopulation fluctuations; effective viscosity tracks "
+              "the Pries correlation\n");
+  std::printf("series: fig5b_hematocrit_vs_time.csv, "
+              "fig5c_effective_viscosity.csv\n");
+  return 0;
+}

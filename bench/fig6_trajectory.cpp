@@ -1,0 +1,220 @@
+/// \file fig6_trajectory.cpp
+/// Regenerates **Figure 6** of the paper: CTC trajectory through an
+/// expanding channel, fully-resolved eFSI vs the APR moving window, over
+/// an ensemble of RBC initializations, plus the compute-cost comparison
+/// (the paper reports >10x node-hour savings; here cost is counted in
+/// lattice site updates on identical hardware).
+///
+/// Scaling (DESIGN.md §3): the paper's 200->400 um channel with 0.5 um
+/// fine spacing (Summit, 8-64 nodes) is reduced to a 20->40 um channel
+/// with 1 um spacing and 1 um RBCs; the ensemble is 2 seeds per method
+/// (paper: 8). Expected shape: APR tracks the eFSI radial trajectory
+/// within the ensemble spread, at a large site-update saving.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apr/efsi.hpp"
+#include "src/apr/simulation.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/log.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+#include "src/rheology/pries.hpp"
+
+using namespace apr;
+
+namespace {
+
+std::shared_ptr<fem::MembraneModel> make_rbc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kRbcShearModulus;
+  p.bending_modulus = rheology::kRbcBendingModulus;
+  p.ka_global = 1e-6;
+  p.kv_global = 1e-6;
+  return std::make_shared<fem::MembraneModel>(mesh::rbc_biconcave(1, 1.0e-6),
+                                              p);
+}
+
+std::shared_ptr<fem::MembraneModel> make_ctc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kCtcShearModulus;
+  p.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  p.ka_global = 1e-5;
+  p.kv_global = 1e-5;
+  return std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6), p);
+}
+
+std::shared_ptr<geometry::ExpandingChannelDomain> make_channel() {
+  // 20 um -> 40 um diameter expansion at z = 30 um (paper: 200 -> 400 um
+  // at z = 400 um).
+  return std::make_shared<geometry::ExpandingChannelDomain>(
+      Vec3{0, 0, 0}, 100e-6, 10e-6, 20e-6, 30e-6, 10e-6,
+      /*capped=*/false);
+}
+
+double radial(const Vec3& p) { return std::hypot(p.x, p.y); }
+
+core::FsiParams fsi_params() {
+  core::FsiParams f;
+  f.contact_cutoff = 0.4e-6;
+  f.contact_strength = 2e-12;
+  f.wall_cutoff = 0.5e-6;
+  f.wall_strength = 5e-12;
+  return f;
+}
+
+constexpr int kAprSteps = 100;
+constexpr int kN = 2;  // APR resolution ratio
+const Vec3 kStart{4e-6, 0.0, 12e-6};
+const Vec3 kBodyForce{0, 0, 2e7};
+
+struct RunResult {
+  std::vector<Vec3> trajectory;
+  std::uint64_t site_updates = 0;
+};
+
+RunResult run_apr(std::uint64_t seed) {
+  core::AprParams p;
+  p.dx_coarse = 2.0e-6;
+  p.n = kN;
+  p.tau_coarse = 1.0;
+  // Bulk viscosity = effective viscosity of the eFSI suspension at this
+  // hematocrit (Pries at the cell-size-equivalent diameter), so both
+  // models transport the CTC with matched kinematics -- exactly the
+  // paper's premise that the bulk models the cell-laden blood.
+  const double mu_bulk =
+      rheology::kPlasmaViscosity *
+      rheology::pries_relative_viscosity(78.0, 0.10);
+  p.nu_bulk = mu_bulk / rheology::kBloodDensity;
+  p.lambda = rheology::kPlasmaViscosity / mu_bulk;
+  p.window.proper_side = 6e-6;
+  p.window.onramp_width = 3e-6;
+  p.window.insertion_width = 5e-6;
+  p.window.target_hematocrit = 0.10;
+  p.move.trigger_distance = 1.5e-6;
+  p.fsi = fsi_params();
+  p.maintain_interval = 4;
+  p.rbc_capacity = 1500;
+  p.seed = seed;
+
+  core::AprSimulation sim(make_channel(), make_rbc(), make_ctc(), p);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(kBodyForce);
+  for (int s = 0; s < 300; ++s) sim.coarse().step();
+  sim.place_window(kStart);
+  sim.place_ctc(kStart);
+  sim.fill_window();
+  sim.run(kAprSteps);
+  return {sim.ctc_trajectory(), sim.total_site_updates()};
+}
+
+RunResult run_efsi(std::uint64_t seed) {
+  core::EfsiParams p;
+  p.dx = 1.0e-6;
+  p.tau = 1.0;
+  p.nu = rheology::kPlasmaKinematicViscosity;
+  p.fsi = fsi_params();
+  p.rbc_capacity = 2500;
+  p.seed = seed;
+
+  core::EfsiSimulation sim(make_channel(), make_rbc(), make_ctc(), p);
+  sim.lattice().set_periodic(false, false, true);
+  sim.set_body_force_density(kBodyForce);
+  sim.initialize_flow(Vec3{}, 300);
+  sim.place_ctc(kStart);
+  Rng tile_rng(seed * 7 + 1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*make_rbc(), 6e-6, 0.10, tile_rng);
+  sim.fill_region(Aabb({-16e-6, -16e-6, 4e-6}, {16e-6, 16e-6, 50e-6}), tile,
+                  0.10);
+  sim.run(kAprSteps * kN);  // same physical time as the APR run
+  return {sim.ctc_trajectory(), sim.total_site_updates()};
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  CsvWriter csv("fig6_trajectory.csv",
+                {"method", "seed", "time_index", "z_um", "r_um"});
+
+  std::vector<RunResult> apr_runs;
+  std::vector<RunResult> efsi_runs;
+  for (std::uint64_t seed : {11ull, 23ull}) {
+    std::printf("APR run, seed %llu...\n",
+                static_cast<unsigned long long>(seed));
+    apr_runs.push_back(run_apr(seed));
+    for (std::size_t k = 0; k < apr_runs.back().trajectory.size(); ++k) {
+      const Vec3& p = apr_runs.back().trajectory[k];
+      csv.row({0.0, static_cast<double>(seed), static_cast<double>(k),
+               p.z * 1e6, radial(p) * 1e6});
+    }
+    std::printf("eFSI run, seed %llu...\n",
+                static_cast<unsigned long long>(seed));
+    efsi_runs.push_back(run_efsi(seed));
+    for (std::size_t k = 0; k < efsi_runs.back().trajectory.size(); ++k) {
+      const Vec3& p = efsi_runs.back().trajectory[k];
+      csv.row({1.0, static_cast<double>(seed), static_cast<double>(k),
+               p.z * 1e6, radial(p) * 1e6});
+    }
+  }
+
+  // Ensemble-mean radial position as a function of *axial position* (the
+  // paper's Fig. 6D axes): interpolate each trajectory's r at common z.
+  auto radial_at_z = [&](const std::vector<Vec3>& traj, double z) {
+    for (std::size_t k = 1; k < traj.size(); ++k) {
+      if (traj[k].z >= z) {
+        const double t = (z - traj[k - 1].z) /
+                         std::max(traj[k].z - traj[k - 1].z, 1e-30);
+        return radial(traj[k - 1]) +
+               t * (radial(traj[k]) - radial(traj[k - 1]));
+      }
+    }
+    return radial(traj.back());
+  };
+  double z_max = 1e9;
+  for (const auto& run : apr_runs) {
+    z_max = std::min(z_max, run.trajectory.back().z);
+  }
+  for (const auto& run : efsi_runs) {
+    z_max = std::min(z_max, run.trajectory.back().z);
+  }
+
+  std::printf("\n%10s %16s %16s\n", "z [um]", "r_APR [um]", "r_eFSI [um]");
+  const double z0 = kStart.z;
+  for (int k = 0; k <= 8; ++k) {
+    const double z = z0 + (z_max - z0) * k / 8.0;
+    double ra = 0.0;
+    double re = 0.0;
+    for (const auto& run : apr_runs) ra += radial_at_z(run.trajectory, z);
+    for (const auto& run : efsi_runs) re += radial_at_z(run.trajectory, z);
+    ra /= apr_runs.size();
+    re /= efsi_runs.size();
+    std::printf("%10.2f %16.3f %16.3f\n", z * 1e6, ra * 1e6, re * 1e6);
+  }
+  std::printf("(final axial reach: APR %.1f um, eFSI %.1f um; compared over "
+              "the common range z <= %.1f um)\n",
+              apr_runs.front().trajectory.back().z * 1e6,
+              efsi_runs.front().trajectory.back().z * 1e6, z_max * 1e6);
+
+  std::uint64_t apr_cost = 0;
+  std::uint64_t efsi_cost = 0;
+  for (const auto& r : apr_runs) apr_cost += r.site_updates;
+  for (const auto& r : efsi_runs) efsi_cost += r.site_updates;
+  std::printf("\ncompute cost (site updates): APR %.3e vs eFSI %.3e -> "
+              "%.1fx saving\n",
+              static_cast<double>(apr_cost), static_cast<double>(efsi_cost),
+              static_cast<double>(efsi_cost) / apr_cost);
+  std::printf("paper: APR recovers the eFSI radial trajectory within the "
+              "RBC-ensemble spread at >10x node-hour savings\n");
+  std::printf("note: at this miniature scale (cells ~1 lattice spacing) the "
+              "two models agree upstream of the expansion and diverge past "
+              "it, where the deformability lift is resolution-limited; the "
+              "paper runs 10-20 nodes per cell radius\n");
+  std::printf("series written to fig6_trajectory.csv\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file table2_volume.cpp
+/// Regenerates **Table 2** of the paper: the fluid volume accessible to
+/// simulation per resource allocation, for the upper-body run -- APR
+/// window (0.5 um on 1536 GPUs), APR bulk (15 um on 10752 CPUs) and the
+/// eFSI comparator (0.5 um on the same 256 nodes).
+///
+/// Paper values: window 4.91e-3 mL, bulk 41.0 mL, eFSI 4.98e-3 mL --
+/// i.e. APR opens ~4 orders of magnitude more volume to the moving
+/// cell-resolved window at equal resources.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/common/csv.hpp"
+#include "src/perf/machine_model.hpp"
+#include "src/perf/memory_model.hpp"
+
+int main() {
+  using namespace apr::perf;
+  const MemoryCosts costs;
+  const SummitNodeModel node;
+
+  // Memory per resource (V100 HBM for GPU-resident window fluid; host
+  // DDR4 share per CPU task for the bulk), derated for solver overheads.
+  const double gpu_memory = 14.0e9;               // of 16 GB HBM2
+  const double cpu_task_memory = 11.5e9;          // ~512 GB / 44 tasks
+  const int gpus = 1536;
+  const int cpus = 10752;
+  const double window_ht = 0.40;  // upper-body demo window hematocrit
+  const double rbc_volume = 94.1e-18;
+
+  // Window: fluid + RBC storage competes for the same GPU memory.
+  const double v_window = fluid_volume_for_memory(
+      gpus * gpu_memory, 0.5e-6, window_ht, rbc_volume, costs);
+  // Bulk: cell-free coarse fluid. At 15 um the memory capacity of the
+  // CPU side far exceeds the upper-body geometry, so the accessible
+  // volume is geometry-limited -- exactly the paper's point: the window
+  // can travel through all 41 mL of vasculature.
+  const double v_bulk_memory_limit = fluid_volume_for_memory(
+      cpus * cpu_task_memory, 15e-6, 0.0, rbc_volume, costs);
+  const double v_geometry = 41.0e-6;  // paper's upper-body flow volume
+  const double v_bulk = std::min(v_bulk_memory_limit, v_geometry);
+  // eFSI at fine resolution with cells everywhere: cells and fine fluid
+  // are GPU-resident, so the same GPU-memory bound applies (the paper's
+  // window and eFSI volumes nearly coincide for this reason).
+  const double v_efsi = fluid_volume_for_memory(
+      256 * node.gpu_tasks_per_node * gpu_memory, 0.5e-6, window_ht,
+      rbc_volume, costs);
+  (void)node;
+
+  apr::CsvWriter csv("table2_volume.csv",
+                     {"row", "dx_um", "volume_mL", "paper_mL"});
+  csv.row({0, 0.5, v_window * 1e6, 4.91e-3});
+  csv.row({1, 15.0, v_bulk * 1e6, 41.0});
+  csv.row({2, 0.5, v_efsi * 1e6, 4.98e-3});
+
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return std::string(buf);
+  };
+  std::printf("Table 2: fluid volume simulated vs resources (upper body)\n");
+  std::printf("%s",
+              apr::format_table(
+                  {"Model", "dx (um)", "Resources", "Volume (mL)",
+                   "Paper (mL)"},
+                  {{"APR (window)", "0.5", "1536 GPUs",
+                    fmt(v_window * 1e6), "4.91e-3"},
+                   {"APR (bulk)", "15", "10752 CPUs", fmt(v_bulk * 1e6),
+                    "41.0"},
+                   {"eFSI", "0.5", "256 nodes", fmt(v_efsi * 1e6),
+                    "4.98e-3"}})
+                  .c_str());
+  std::printf("\nAPR bulk / eFSI volume ratio: %.0fx (paper: ~4 orders of "
+              "magnitude via the moving window)\n",
+              v_bulk / v_efsi);
+  std::printf("series written to table2_volume.csv\n");
+  return 0;
+}

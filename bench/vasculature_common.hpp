@@ -1,0 +1,122 @@
+#pragma once
+
+/// Shared setup for the vasculature benches (Fig. 1 and Fig. 9): build a
+/// procedural tree, clip its bounds so the root and distal branches cross
+/// the lattice faces, and open those faces (fixed inlet profile at the
+/// root, zero-gradient outflow elsewhere) so a pressure-driven
+/// through-flow carries the CTC down the tree.
+
+#include <memory>
+#include <vector>
+
+#include "src/apr/simulation.hpp"
+#include "src/geometry/vasculature.hpp"
+#include "src/geometry/voxelizer.hpp"
+#include "src/lbm/boundary.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace vasc_bench {
+
+using namespace apr;
+
+inline std::shared_ptr<fem::MembraneModel> make_rbc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kRbcShearModulus;
+  p.bending_modulus = rheology::kRbcBendingModulus;
+  p.ka_global = 1e-6;
+  p.kv_global = 1e-6;
+  return std::make_shared<fem::MembraneModel>(mesh::rbc_biconcave(1, 1.0e-6),
+                                              p);
+}
+
+inline std::shared_ptr<fem::MembraneModel> make_ctc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kCtcShearModulus;
+  p.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  p.ka_global = 1e-5;
+  p.kv_global = 1e-5;
+  return std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6), p);
+}
+
+inline core::AprParams tree_params(std::uint64_t seed) {
+  core::AprParams p;
+  p.dx_coarse = 3.0e-6;
+  p.n = 3;
+  p.tau_coarse = 1.0;
+  p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
+  p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
+  p.window.proper_side = 6e-6;
+  p.window.onramp_width = 3e-6;
+  p.window.insertion_width = 4.5e-6;  // outer = 21 um = 7 dx_coarse
+  p.window.target_hematocrit = 0.12;
+  p.move.trigger_distance = 1.5e-6;
+  p.fsi.contact_cutoff = 0.4e-6;
+  p.fsi.contact_strength = 2e-12;
+  p.fsi.wall_cutoff = 0.5e-6;
+  p.fsi.wall_strength = 5e-12;
+  p.maintain_interval = 4;
+  p.rbc_capacity = 1600;
+  p.seed = seed;
+  return p;
+}
+
+struct OpenTree {
+  std::shared_ptr<geometry::Vasculature> vasc;
+  std::unique_ptr<core::AprSimulation> sim;
+  std::vector<lbm::OutflowBoundary> outlets;
+  std::vector<Vec3> path;
+  Vec3 start;
+
+  /// Refresh outflow velocities (call before every coarse/apr step).
+  void update_outlets() {
+    for (const auto& o : outlets) o.update(sim->coarse());
+  }
+};
+
+/// Build the tree, clip it for through-flow, construct the APR simulation
+/// and open the faces. `inlet_u_lat` is the plug inlet speed in lattice
+/// units along the root axis.
+inline OpenTree open_tree(std::shared_ptr<geometry::Vasculature> vasc,
+                          std::uint64_t seed, double inlet_u_lat = 0.03) {
+  OpenTree t;
+  t.vasc = std::move(vasc);
+  const auto& root = t.vasc->segments().front();
+
+  // Clip so the root crosses the z-min face and distal branches cross the
+  // far faces.
+  Aabb clip = t.vasc->bounds();
+  clip.lo.z = root.a.z + 0.35 * (root.b.z - root.a.z);
+  t.vasc->clip_bounds(clip);
+
+  t.sim = std::make_unique<core::AprSimulation>(t.vasc, make_rbc(),
+                                                make_ctc(),
+                                                tree_params(seed));
+  auto& coarse = t.sim->coarse();
+
+  // Open the faces: fixed plug inlet where the root crosses z-min,
+  // zero-gradient outflow on every other face a vessel crosses.
+  const Vec3 u_in = normalized(root.b - root.a) * inlet_u_lat;
+  geometry::mark_inlet(coarse, *t.vasc, lbm::Face::ZMin,
+                       [&](const Vec3&) { return u_in; });
+  for (const lbm::Face face :
+       {lbm::Face::ZMax, lbm::Face::XMin, lbm::Face::XMax, lbm::Face::YMin,
+        lbm::Face::YMax}) {
+    t.outlets.push_back(lbm::OutflowBoundary::mark(coarse, face));
+  }
+  t.sim->initialize_flow(Vec3{});
+
+  // Pick the window start: first centerline point deep enough inside the
+  // clipped lattice.
+  t.path = t.vasc->main_path(2e-6);
+  const double margin = t.sim->params().window.outer_side();
+  for (const Vec3& p : t.path) {
+    if (p.z > clip.lo.z + margin) {
+      t.start = p;
+      break;
+    }
+  }
+  return t;
+}
+
+}  // namespace vasc_bench

@@ -1,0 +1,117 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end hemoAPR run: a cell-resolved moving window with a
+/// tracked CTC and maintained RBC hematocrit inside a small tube, driven
+/// by a pressure-gradient proxy. Prints per-step observables.
+///
+/// Scales are reduced (micron-sized cells, ~20 um tube) so this finishes
+/// in seconds on one core; the code path is exactly the paper's pipeline:
+/// coarse whole-blood bulk + fine plasma window + FEM/IBM cells +
+/// hematocrit maintenance + window moves.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apr/diagnostics.hpp"
+#include "src/apr/simulation.hpp"
+#include "src/common/config.hpp"
+#include "src/common/log.hpp"
+#include "src/geometry/domain.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+
+using namespace apr;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);
+  // Optional key=value overrides, e.g.:  ./quickstart steps=120 ht=0.2
+  const Config cfg = Config::from_args(argc, argv);
+  const int steps = cfg.get_int("steps", 60);
+  const double target_ht = cfg.get_double("ht", 0.10);
+  const double body_force = cfg.get_double("force", 8e6);
+
+  // --- Cell models (reduced radius, physiological modulus ratios) ---------
+  fem::MembraneParams rbc_params;
+  rbc_params.shear_modulus = rheology::kRbcShearModulus;
+  rbc_params.bending_modulus = rheology::kRbcBendingModulus;
+  rbc_params.ka_global = 1e-6;
+  rbc_params.kv_global = 1e-6;
+  auto rbc = std::make_shared<fem::MembraneModel>(
+      mesh::rbc_biconcave(1, 1.0e-6), rbc_params);
+
+  fem::MembraneParams ctc_params;
+  ctc_params.shear_modulus = rheology::kCtcShearModulus;  // stiffer
+  ctc_params.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  ctc_params.ka_global = 1e-5;
+  ctc_params.kv_global = 1e-5;
+  auto ctc = std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6),
+                                                  ctc_params);
+
+  // --- Flow domain: a 32 um tube (uncapped: periodic in z) ----------------
+  auto tube = std::make_shared<geometry::TubeDomain>(
+      Vec3{0, 0, -30e-6}, Vec3{0, 0, 1}, 60e-6, 16e-6, /*capped=*/false);
+
+  // --- APR configuration ---------------------------------------------------
+  core::AprParams params;
+  params.dx_coarse = 2.0e-6;
+  params.n = 2;  // fine spacing 1 um
+  params.tau_coarse = 1.0;
+  params.nu_bulk = rheology::kWholeBloodKinematicViscosity;
+  params.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
+  params.window.proper_side = 6e-6;
+  params.window.onramp_width = 3e-6;
+  params.window.insertion_width = 5e-6;  // outer side 22 um
+  params.window.target_hematocrit = target_ht;
+  params.move.trigger_distance = 1.5e-6;
+  params.fsi.contact_cutoff = 0.4e-6;
+  params.fsi.contact_strength = 2e-12;
+  params.fsi.wall_cutoff = 0.5e-6;
+  params.fsi.wall_strength = 5e-12;
+  params.maintain_interval = 3;
+  params.rbc_capacity = 1600;
+
+  core::AprSimulation sim(tube, rbc, ctc, params);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0, 0, body_force});  // ~Poiseuille driver
+
+  std::printf("quickstart: developing bulk flow...\n");
+  for (int s = 0; s < 400; ++s) sim.coarse().step();
+
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  const auto fill = sim.fill_window();
+  std::printf("window filled: %d RBCs (Ht = %.3f), CTC at origin\n",
+              fill.added, sim.window_hematocrit());
+
+  std::printf("%8s %12s %10s %8s %8s\n", "step", "ctc_z[um]", "Ht", "RBCs",
+              "moves");
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    if ((s + 1) % std::max(1, steps / 6) == 0) {
+      std::printf("%8d %12.3f %10.3f %8zu %8d\n", s + 1,
+                  sim.ctc_position().z * 1e6, sim.window_hematocrit(),
+                  sim.rbcs().size(), sim.window_move_count());
+    }
+  }
+
+  // Per-region equilibration report (the paper's on-ramp design, Fig. 3A):
+  // cells deform progressively as they cross insertion -> on-ramp ->
+  // window proper.
+  const core::RegionReport regions = core::region_report(sim.window(),
+                                                         sim.rbcs());
+  std::printf("\nregion report:   %10s %8s %12s %12s\n", "region", "cells",
+              "mean max I1", "mean |v|");
+  const char* names[4] = {"outside", "insertion", "on-ramp", "proper"};
+  for (int r = 1; r < 4; ++r) {
+    const auto& st = regions.regions[r];
+    std::printf("                 %10s %8d %12.3e %12.3e\n", names[r],
+                st.cells, st.mean_max_i1, st.mean_speed);
+  }
+
+  std::printf(
+      "\ndone: CTC advected %.2f um in %.2e s of physical time; "
+      "%llu lattice site updates across both grids\n",
+      sim.ctc_position().z * 1e6, sim.physical_time(),
+      static_cast<unsigned long long>(sim.total_site_updates()));
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "src/apr/coupler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/common/units.hpp"
+
+namespace apr::core {
+
+using lbm::kQ;
+
+CoarseFineCoupler::CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
+                                     const CouplerConfig& config)
+    : coarse_(&coarse), fine_(&fine), cfg_(config) {
+  if (cfg_.n < 1) throw std::invalid_argument("Coupler: n must be >= 1");
+  if (cfg_.lambda <= 0.0) {
+    throw std::invalid_argument("Coupler: lambda must be > 0");
+  }
+  // Spacing and alignment checks.
+  const double expected_dx = coarse.dx() / cfg_.n;
+  if (std::abs(fine.dx() - expected_dx) > 1e-9 * coarse.dx()) {
+    throw std::invalid_argument("Coupler: dx_fine != dx_coarse / n");
+  }
+  const Vec3 rel = (fine.origin() - coarse.origin()) / coarse.dx();
+  for (int a = 0; a < 3; ++a) {
+    if (std::abs(rel[a] - std::round(rel[a])) > 1e-6) {
+      throw std::invalid_argument(
+          "Coupler: fine origin not aligned with a coarse node");
+    }
+  }
+  tau_f_ = fine_tau(cfg_.tau_coarse, cfg_.n, cfg_.lambda);
+  fine.set_uniform_tau(tau_f_);
+
+  build_coupling_layer();
+  build_restriction();
+  adjust_coarse_tau();
+
+  pre_.rho.resize(support_nodes_.size());
+  pre_.u.resize(support_nodes_.size());
+  pre_.t.resize(support_nodes_.size());
+  post_ = pre_;
+  blend_ = pre_;
+}
+
+double CoarseFineCoupler::coarse_norm(double tau_local) const {
+  // nu_local / (tau_local * dt) with dt_c = 1 and nu in coarse lattice
+  // units: nu = cs^2 (tau - 1/2).
+  return kCs2 * (tau_local - 0.5) / tau_local;
+}
+
+double CoarseFineCoupler::fine_norm() const {
+  // nu_f in coarse-lattice units is lambda * nu_c; dt_f = 1/n.
+  const double nu_f = cfg_.lambda * kCs2 * (cfg_.tau_coarse - 0.5);
+  return nu_f / (tau_f_ * (1.0 / cfg_.n));
+}
+
+void CoarseFineCoupler::build_coupling_layer() {
+  // The outermost fine-node layer that is currently Fluid becomes the
+  // Coupling layer fed from the coarse grid.
+  const int nx = fine_->nx();
+  const int ny = fine_->ny();
+  const int nz = fine_->nz();
+  std::unordered_map<std::size_t, std::uint32_t> support_index;
+  auto register_support = [&](std::size_t coarse_idx) {
+    auto it = support_index.find(coarse_idx);
+    if (it != support_index.end()) return it->second;
+    const auto local = static_cast<std::uint32_t>(support_nodes_.size());
+    support_nodes_.push_back(coarse_idx);
+    support_index.emplace(coarse_idx, local);
+    return local;
+  };
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const bool boundary = x == 0 || x == nx - 1 || y == 0 ||
+                              y == ny - 1 || z == 0 || z == nz - 1;
+        if (!boundary) continue;
+        const std::size_t i = fine_->idx(x, y, z);
+        if (fine_->type(i) != lbm::NodeType::Fluid) continue;
+        fine_->set_type(i, lbm::NodeType::Coupling);
+
+        CouplingNode node;
+        node.fine_idx = i;
+        // Trilinear support on the coarse grid; non-fluid support nodes
+        // (window grazing a wall) get zero weight and the rest are
+        // renormalized, all decided here at build time.
+        const Vec3 lc = coarse_->to_lattice(fine_->position(x, y, z));
+        int cx = static_cast<int>(std::floor(lc.x));
+        int cy = static_cast<int>(std::floor(lc.y));
+        int cz = static_cast<int>(std::floor(lc.z));
+        cx = std::min(std::max(cx, 0), coarse_->nx() - 2);
+        cy = std::min(std::max(cy, 0), coarse_->ny() - 2);
+        cz = std::min(std::max(cz, 0), coarse_->nz() - 2);
+        const double fx = lc.x - cx;
+        const double fy = lc.y - cy;
+        const double fz = lc.z - cz;
+        int k = 0;
+        double wsum = 0.0;
+        for (int dz = 0; dz < 2; ++dz) {
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::size_t ci = coarse_->idx(cx + dx, cy + dy, cz + dz);
+              double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                         (dz ? fz : 1.0 - fz);
+              if (coarse_->type(ci) != lbm::NodeType::Fluid) w = 0.0;
+              node.weight[k] = w;
+              node.support[k] = w > 0.0 ? register_support(ci) : 0;
+              wsum += w;
+              ++k;
+            }
+          }
+        }
+        if (wsum > 0.0) {
+          for (auto& w : node.weight) w /= wsum;
+        }
+        coupling_.push_back(node);
+      }
+    }
+  }
+  if (coupling_.empty()) {
+    throw std::invalid_argument("Coupler: fine lattice has no fluid boundary");
+  }
+  if (support_nodes_.empty()) {
+    // Fully wall-enclosed interface; keep one dummy so snapshots are
+    // well-formed (weights are all zero, so it is never read).
+    support_nodes_.push_back(coupling_.front().fine_idx * 0);
+  }
+}
+
+void CoarseFineCoupler::build_restriction() {
+  // Coarse nodes strictly inside the fine region (with margin) whose
+  // position coincides with a fine node.
+  const double margin = cfg_.restrict_margin * coarse_->dx();
+  const Aabb inner = fine_->bounds().inflated(-margin);
+  for (int z = 0; z < coarse_->nz(); ++z) {
+    for (int y = 0; y < coarse_->ny(); ++y) {
+      for (int x = 0; x < coarse_->nx(); ++x) {
+        const std::size_t ci = coarse_->idx(x, y, z);
+        if (coarse_->type(ci) != lbm::NodeType::Fluid) continue;
+        const Vec3 p = coarse_->position(x, y, z);
+        if (!inner.contains(p)) continue;
+        const Vec3 lf = fine_->to_lattice(p);
+        const int fx = static_cast<int>(std::round(lf.x));
+        const int fy = static_cast<int>(std::round(lf.y));
+        const int fz = static_cast<int>(std::round(lf.z));
+        if (!fine_->in_domain(fx, fy, fz)) continue;
+        if (std::abs(lf.x - fx) > 1e-6 || std::abs(lf.y - fy) > 1e-6 ||
+            std::abs(lf.z - fz) > 1e-6) {
+          continue;  // not node-coincident (misaligned margins)
+        }
+        const std::size_t fi = fine_->idx(fx, fy, fz);
+        if (fine_->type(fi) != lbm::NodeType::Fluid) continue;
+        restriction_.push_back({ci, fi, 0.0});
+      }
+    }
+  }
+}
+
+void CoarseFineCoupler::adjust_coarse_tau() {
+  // Coarse nodes inside the fine footprint represent the window fluid:
+  // same physical viscosity as the fine grid, coarse discretization.
+  const double tau_inside = 0.5 + cfg_.lambda * (cfg_.tau_coarse - 0.5);
+  const Aabb footprint = fine_->bounds();
+  for (int z = 0; z < coarse_->nz(); ++z) {
+    for (int y = 0; y < coarse_->ny(); ++y) {
+      for (int x = 0; x < coarse_->nx(); ++x) {
+        const std::size_t ci = coarse_->idx(x, y, z);
+        if (coarse_->type(ci) != lbm::NodeType::Fluid) continue;
+        if (!footprint.contains(coarse_->position(x, y, z))) continue;
+        saved_coarse_tau_.emplace_back(ci, coarse_->tau(ci));
+        coarse_->set_tau(ci, tau_inside);
+      }
+    }
+  }
+  for (auto& r : restriction_) {
+    r.tau_coarse_local = coarse_->tau(r.coarse_idx);
+  }
+}
+
+void CoarseFineCoupler::release() {
+  if (released_) return;
+  for (const auto& [idx, tau] : saved_coarse_tau_) {
+    coarse_->set_tau(idx, tau);
+  }
+  // Coupling nodes revert to plain fluid so the fine lattice can be
+  // re-used or discarded safely.
+  for (const auto& c : coupling_) {
+    fine_->set_type(c.fine_idx, lbm::NodeType::Fluid);
+  }
+  released_ = true;
+}
+
+void CoarseFineCoupler::take_snapshot(Snapshot& snap) const {
+  // Per unique support node: moments computed from the distributions
+  // directly (no global macroscopic refresh of the coarse grid needed).
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t k = 0;
+       k < static_cast<std::ptrdiff_t>(support_nodes_.size()); ++k) {
+    const std::size_t ci = support_nodes_[k];
+    const auto fc = coarse_->f_node(ci);
+    double r = lbm::density(fc);
+    if (r <= 0.0) r = 1.0;  // unreachable dummy supports
+    const Vec3 uv = (lbm::momentum(fc) + coarse_->force(ci) * 0.5) / r;
+    std::array<double, kQ> feq;
+    lbm::equilibria(r, uv, feq);
+    const double normf = coarse_norm(coarse_->tau(ci));
+    snap.rho[k] = r;
+    snap.u[k] = uv;
+    for (int q = 0; q < kQ; ++q) {
+      snap.t[k][q] = normf * (fc[q] - feq[q]);
+    }
+  }
+}
+
+void CoarseFineCoupler::begin_coarse_step() {
+  take_snapshot(pre_);
+  coarse_->step_no_macro();
+  take_snapshot(post_);
+  bytes_ += coupling_.size() * (1 + 3 + kQ) * sizeof(double) * 2;
+}
+
+void CoarseFineCoupler::set_fine_boundary(int substep) {
+  if (substep < 0 || substep >= cfg_.n) {
+    throw std::out_of_range("Coupler: bad substep");
+  }
+  const double w = static_cast<double>(substep) / cfg_.n;
+  const double inv_norm = 1.0 / fine_norm();
+
+  // Temporal blend once per support node...
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t k = 0;
+       k < static_cast<std::ptrdiff_t>(support_nodes_.size()); ++k) {
+    blend_.rho[k] = (1.0 - w) * pre_.rho[k] + w * post_.rho[k];
+    blend_.u[k] = pre_.u[k] * (1.0 - w) + post_.u[k] * w;
+    for (int q = 0; q < kQ; ++q) {
+      blend_.t[k][q] = (1.0 - w) * pre_.t[k][q] + w * post_.t[k][q];
+    }
+  }
+
+  // ...then spatial interpolation per coupling node.
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(coupling_.size());
+       ++k) {
+    const CouplingNode& node = coupling_[k];
+    double rho = 0.0;
+    Vec3 u{};
+    std::array<double, kQ> t{};
+    double wsum = 0.0;
+    for (int s = 0; s < 8; ++s) {
+      const double ws = node.weight[s];
+      if (ws == 0.0) continue;
+      const std::uint32_t si = node.support[s];
+      wsum += ws;
+      rho += ws * blend_.rho[si];
+      u += blend_.u[si] * ws;
+      for (int q = 0; q < kQ; ++q) t[q] += ws * blend_.t[si][q];
+    }
+    if (wsum == 0.0) rho = 1.0;  // fully wall-enclosed: quiescent default
+    std::array<double, kQ> f;
+    lbm::equilibria(rho, u, f);
+    for (int q = 0; q < kQ; ++q) {
+      f[q] += t[q] * inv_norm;
+    }
+    fine_->set_f_node(node.fine_idx, f);
+  }
+}
+
+void CoarseFineCoupler::restrict_to_coarse() {
+  const double fnorm = fine_norm();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t k = 0;
+       k < static_cast<std::ptrdiff_t>(restriction_.size()); ++k) {
+    const RestrictionNode& r = restriction_[k];
+    const auto ff = fine_->f_node(r.fine_idx);
+    const double rho = lbm::density(ff);
+    const Vec3 u = (lbm::momentum(ff) + fine_->force(r.fine_idx) * 0.5) / rho;
+    std::array<double, kQ> feq_f;
+    lbm::equilibria(rho, u, feq_f);
+    std::array<double, kQ> f_c;
+    lbm::equilibria(rho, u, f_c);
+    const double scale = fnorm / coarse_norm(r.tau_coarse_local);
+    for (int q = 0; q < kQ; ++q) {
+      f_c[q] += (ff[q] - feq_f[q]) * scale;
+    }
+    coarse_->set_f_node(r.coarse_idx, f_c);
+  }
+  bytes_ += restriction_.size() * kQ * sizeof(double);
+}
+
+void CoarseFineCoupler::advance() {
+  begin_coarse_step();
+  for (int s = 0; s < cfg_.n; ++s) {
+    set_fine_boundary(s);
+    fine_->step_no_macro();
+  }
+  restrict_to_coarse();
+}
+
+}  // namespace apr::core

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Run-time diagnostics for APR simulations:
+///  - RegionReport: per-window-region cell statistics (counts, deformation,
+///    vertex speeds). The paper's on-ramp design (§2.4.2) rests on cells
+///    being equilibrated before reaching the window proper; this is the
+///    measurement that backs that claim.
+///  - RunRecorder: per-step time series (hematocrit, population, CTC
+///    kinematics, window moves, compute cost) with CSV export -- the
+///    quantities the paper's artifact description says HARVEY outputs.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/apr/simulation.hpp"
+
+namespace apr::core {
+
+/// Statistics of the cells inside one window region.
+struct RegionStats {
+  int cells = 0;
+  double mean_max_i1 = 0.0;    ///< mean of per-cell peak Skalak I1
+  double mean_speed = 0.0;     ///< mean vertex speed (lattice units)
+  double hematocrit = 0.0;     ///< cell volume / region flow volume
+};
+
+/// Per-region breakdown (indexed by WindowRegion).
+struct RegionReport {
+  std::array<RegionStats, 4> regions;  ///< Outside/Insertion/OnRamp/Proper
+
+  const RegionStats& of(WindowRegion r) const {
+    return regions[static_cast<std::size_t>(r)];
+  }
+};
+
+/// Classify every cell of `pool` by centroid region and aggregate
+/// deformation / speed statistics.
+RegionReport region_report(const Window& window, const cells::CellPool& pool);
+
+/// One sampled step of an APR run.
+struct RunSample {
+  int step = 0;
+  double time_s = 0.0;
+  double window_ht = 0.0;
+  std::size_t rbc_count = 0;
+  Vec3 ctc_position{};
+  double ctc_radial = 0.0;  ///< vs the recorder's axis
+  int window_moves = 0;
+  std::uint64_t site_updates = 0;
+};
+
+/// Collects per-step samples from an AprSimulation and exports them.
+class RunRecorder {
+ public:
+  /// \param axis_point,axis_direction axis for the radial coordinate
+  ///        (e.g. the vessel centerline).
+  RunRecorder(const Vec3& axis_point, const Vec3& axis_direction);
+
+  /// Sample the simulation's current state.
+  void sample(const AprSimulation& sim);
+
+  const std::vector<RunSample>& samples() const { return samples_; }
+
+  /// Write all samples as CSV.
+  void write_csv(const std::string& path) const;
+
+  /// Mean CTC speed between the first and last sample [m/s].
+  double mean_ctc_speed() const;
+
+ private:
+  Vec3 axis_point_;
+  Vec3 axis_dir_;
+  std::vector<RunSample> samples_;
+};
+
+}  // namespace apr::core

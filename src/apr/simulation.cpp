@@ -1,0 +1,319 @@
+#include "src/apr/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/cells/overlap.hpp"
+#include "src/cells/subgrid.hpp"
+#include "src/common/log.hpp"
+#include "src/geometry/voxelizer.hpp"
+
+namespace apr::core {
+
+namespace {
+
+double max_cell_radius(const fem::MembraneModel& model) {
+  const auto& ref = model.reference();
+  const Vec3 c0 = ref.centroid();
+  double r = 0.0;
+  for (const auto& v : ref.vertices) r = std::max(r, norm(v - c0));
+  return r;
+}
+
+}  // namespace
+
+void compute_cell_forces(const std::vector<cells::CellPool*>& pools,
+                         const geometry::Domain* domain,
+                         const FsiParams& params) {
+  static thread_local std::vector<Vec3> scratch_x;
+  static thread_local std::vector<Vec3> scratch_f;
+
+  for (cells::CellPool* pool : pools) pool->clear_forces();
+
+  // Membrane FEM forces.
+  for (cells::CellPool* pool : pools) {
+    const auto& model = pool->model();
+    for (std::size_t s = 0; s < pool->size(); ++s) {
+      const auto x = pool->positions(s);
+      const auto f = pool->forces(s);
+      scratch_x.assign(x.begin(), x.end());
+      scratch_f.assign(x.size(), Vec3{});
+      model.add_forces(scratch_x, scratch_f);
+      for (std::size_t v = 0; v < x.size(); ++v) f[v] += scratch_f[v];
+    }
+  }
+
+  // Cell-cell contact.
+  if (params.contact_cutoff > 0.0 && params.contact_strength > 0.0) {
+    Aabb all;
+    bool any = false;
+    for (const cells::CellPool* pool : pools) {
+      for (std::size_t s = 0; s < pool->size(); ++s) {
+        all.include(pool->cell_centroid(s));
+        any = true;
+      }
+    }
+    if (any) {
+      const double rmax = max_cell_radius(pools.front()->model());
+      cells::SubGrid grid(all.inflated(2.0 * rmax + params.contact_cutoff),
+                          std::max(params.contact_cutoff, rmax / 2.0));
+      std::vector<const cells::CellPool*> cpools(pools.begin(), pools.end());
+      cells::fill_subgrid(grid, cpools);
+      cells::add_contact_forces(pools, params.contact_cutoff,
+                                params.contact_strength, grid);
+    }
+  }
+
+  // Wall repulsion.
+  if (domain && params.wall_cutoff > 0.0 && params.wall_strength > 0.0) {
+    const double eps = params.wall_cutoff / 4.0;
+    for (cells::CellPool* pool : pools) {
+      for (std::size_t s = 0; s < pool->size(); ++s) {
+        const auto x = pool->positions(s);
+        const auto f = pool->forces(s);
+        for (std::size_t v = 0; v < x.size(); ++v) {
+          const double d = domain->signed_distance(x[v]);
+          if (d >= params.wall_cutoff) continue;
+          const double pen = 1.0 - std::max(d, 0.0) / params.wall_cutoff;
+          f[v] += domain->inward_normal(x[v], eps) *
+                  (params.wall_strength * pen * pen);
+        }
+      }
+    }
+  }
+}
+
+void spread_cell_forces(lbm::Lattice& lat, const UnitConverter& conv,
+                        const std::vector<cells::CellPool*>& pools,
+                        ibm::DeltaKernel kernel) {
+  static thread_local std::vector<Vec3> xs;
+  static thread_local std::vector<Vec3> fs;
+  const double scale = conv.force_to_lattice(1.0);
+  for (cells::CellPool* pool : pools) {
+    for (std::size_t s = 0; s < pool->size(); ++s) {
+      const auto x = pool->positions(s);
+      const auto f = pool->forces(s);
+      xs.assign(x.begin(), x.end());
+      fs.resize(f.size());
+      for (std::size_t v = 0; v < f.size(); ++v) fs[v] = f[v] * scale;
+      ibm::spread_forces(lat, xs, fs, kernel);
+    }
+  }
+}
+
+void advect_cells(const lbm::Lattice& lat,
+                  const std::vector<cells::CellPool*>& pools,
+                  ibm::DeltaKernel kernel) {
+  static thread_local std::vector<Vec3> xs;
+  static thread_local std::vector<Vec3> us;
+  for (cells::CellPool* pool : pools) {
+    for (std::size_t s = 0; s < pool->size(); ++s) {
+      const auto x = pool->positions(s);
+      xs.assign(x.begin(), x.end());
+      ibm::interpolate_velocities(lat, xs, us, kernel);
+      const auto vel = pool->velocities(s);
+      for (std::size_t v = 0; v < x.size(); ++v) {
+        vel[v] = us[v];
+        x[v] += us[v] * lat.dx();
+      }
+    }
+  }
+}
+
+AprSimulation::AprSimulation(
+    std::shared_ptr<const geometry::Domain> domain,
+    std::shared_ptr<const fem::MembraneModel> rbc_model,
+    std::shared_ptr<const fem::MembraneModel> ctc_model,
+    const AprParams& params)
+    : domain_(std::move(domain)),
+      rbc_model_(std::move(rbc_model)),
+      ctc_model_(std::move(ctc_model)),
+      params_(params),
+      coarse_units_(UnitConverter::from_viscosity(
+          params.dx_coarse, params.nu_bulk, params.tau_coarse)),
+      fine_units_(params.dx_coarse / params.n, coarse_units_.dt() / params.n,
+                  coarse_units_.rho()),
+      rng_(params.seed) {
+  if (!domain_ || !rbc_model_ || !ctc_model_) {
+    throw std::invalid_argument("AprSimulation: null domain or model");
+  }
+  coarse_ = std::make_unique<lbm::Lattice>(geometry::make_lattice_for(
+      *domain_, params_.dx_coarse, params_.tau_coarse));
+  geometry::voxelize(*coarse_, *domain_);
+
+  rbcs_ = std::make_unique<cells::CellPool>(rbc_model_.get(),
+                                            cells::CellKind::Rbc,
+                                            params_.rbc_capacity);
+  ctcs_ = std::make_unique<cells::CellPool>(ctc_model_.get(),
+                                            cells::CellKind::Ctc, 1);
+
+  // Pre-build the RBC tile at slightly above the target hematocrit so
+  // stamping minus overlap rejections still reaches the target.
+  Rng tile_rng = rng_.fork(0x711Eull);
+  const double tile_side =
+      std::max(params_.window.insertion_width,
+               4.2 * max_cell_radius(*rbc_model_));
+  tile_ = std::make_unique<cells::RbcTile>(cells::RbcTile::generate(
+      *rbc_model_, tile_side,
+      std::min(0.98, params_.window.target_hematocrit *
+                         params_.tile_hematocrit_boost),
+      tile_rng));
+  log_info("AprSimulation: tile side ", tile_side * 1e6, " um, ",
+           tile_->cell_count(), " RBCs, achieved Ht ",
+           tile_->achieved_hematocrit());
+
+  mover_ = std::make_unique<WindowMover>(params_.move, coarse_->origin(),
+                                         coarse_->dx());
+}
+
+void AprSimulation::initialize_flow(const Vec3& u_lattice, int warmup_steps) {
+  coarse_->init_equilibrium(1.0, u_lattice);
+  for (int s = 0; s < warmup_steps; ++s) coarse_->step();
+  coarse_->update_macroscopic();
+}
+
+void AprSimulation::set_body_force_density(const Vec3& f_phys) {
+  body_force_phys_ = f_phys;
+  // Force density [N/m^3] -> lattice: f * dt^2 / (rho * dx).
+  auto to_lattice = [](const UnitConverter& c, const Vec3& f) {
+    const double s = c.dt() * c.dt() / (c.rho() * c.dx());
+    return f * s;
+  };
+  coarse_->set_body_force(to_lattice(coarse_units_, f_phys));
+  if (fine_) fine_->set_body_force(to_lattice(fine_units_, f_phys));
+}
+
+void AprSimulation::build_fine_lattice(const Vec3& window_center) {
+  const Aabb box = Aabb::cube(window_center, params_.window.outer_side());
+  const double dxf = fine_units_.dx();
+  // Node counts chosen so the fine boundary nodes lie exactly on the box
+  // faces (outer_side is a multiple of dx_coarse after snapping).
+  const int nn =
+      static_cast<int>(std::round(params_.window.outer_side() / dxf)) + 1;
+  if (fine_) fine_updates_retired_ += fine_->site_updates();
+  fine_ = std::make_unique<lbm::Lattice>(nn, nn, nn, box.lo, dxf, 1.0);
+  geometry::voxelize(*fine_, *domain_);
+
+  // Initialize from the coarse solution.
+  coarse_->update_macroscopic();
+  for (int z = 0; z < fine_->nz(); ++z) {
+    for (int y = 0; y < fine_->ny(); ++y) {
+      for (int x = 0; x < fine_->nx(); ++x) {
+        const std::size_t i = fine_->idx(x, y, z);
+        if (fine_->type(i) != lbm::NodeType::Fluid) continue;
+        const Vec3 u = coarse_->interpolate_velocity(fine_->position(x, y, z));
+        fine_->init_node_equilibrium(i, 1.0, u);
+      }
+    }
+  }
+
+  CouplerConfig cc;
+  cc.n = params_.n;
+  cc.lambda = params_.lambda;
+  cc.tau_coarse = params_.tau_coarse;
+  coupler_ = std::make_unique<CoarseFineCoupler>(*coarse_, *fine_, cc);
+
+  if (norm(body_force_phys_) > 0.0) {
+    set_body_force_density(body_force_phys_);  // re-apply to the new grid
+  }
+}
+
+void AprSimulation::place_window(const Vec3& center) {
+  const Vec3 snapped = Window::snap_center(center, params_.window,
+                                           coarse_->origin(), coarse_->dx());
+  window_.emplace(snapped, params_.window, domain_.get());
+  if (coupler_) coupler_->release();
+  build_fine_lattice(snapped);
+}
+
+void AprSimulation::place_ctc(const Vec3& position) {
+  if (!window_) throw std::logic_error("place_ctc: no window yet");
+  if (ctcs_->size() > 0) ctcs_->remove_slot(0);
+  const auto verts = cells::instantiate(*ctc_model_, position);
+  ctcs_->add(0, verts);
+  trajectory_.clear();
+  trajectory_.push_back(position);
+}
+
+PopulationReport AprSimulation::fill_window() {
+  if (!window_) throw std::logic_error("fill_window: no window yet");
+  std::span<const Vec3> avoid;
+  if (ctcs_->size() > 0) avoid = ctcs_->positions(0);
+  Rng fill_rng = rng_.fork(0xF111ull + move_count_);
+  return window_->populate(*rbcs_, *tile_, fill_rng, next_cell_id_, avoid);
+}
+
+std::vector<cells::CellPool*> AprSimulation::active_pools() {
+  std::vector<cells::CellPool*> pools;
+  if (rbcs_->size() > 0) pools.push_back(rbcs_.get());
+  if (ctcs_->size() > 0) pools.push_back(ctcs_.get());
+  return pools;
+}
+
+Vec3 AprSimulation::ctc_position() const {
+  if (ctcs_->size() == 0) return {};
+  return ctcs_->cell_centroid(0);
+}
+
+std::uint64_t AprSimulation::total_site_updates() const {
+  std::uint64_t n = coarse_->site_updates() + fine_updates_retired_;
+  if (fine_) n += fine_->site_updates();
+  return n;
+}
+
+void AprSimulation::step() {
+  if (!window_ || !coupler_) {
+    throw std::logic_error("AprSimulation::step: window not placed");
+  }
+  auto pools = active_pools();
+
+  coupler_->begin_coarse_step();
+  for (int s = 0; s < params_.n; ++s) {
+    if (!pools.empty()) {
+      compute_cell_forces(pools, domain_.get(), params_.fsi);
+      fine_->clear_forces();
+      spread_cell_forces(*fine_, fine_units_, pools, params_.fsi.kernel);
+    }
+    coupler_->set_fine_boundary(s);
+    fine_->step();
+    if (!pools.empty()) {
+      advect_cells(*fine_, pools, params_.fsi.kernel);
+    }
+  }
+  coupler_->restrict_to_coarse();
+  ++coarse_steps_;
+
+  if (ctcs_->size() > 0) trajectory_.push_back(ctc_position());
+
+  // Density maintenance.
+  if (params_.maintain_interval > 0 &&
+      coarse_steps_ % params_.maintain_interval == 0) {
+    Rng maintain_rng = rng_.fork(0xAA00ull + coarse_steps_);
+    window_->maintain(*rbcs_, *tile_, maintain_rng, next_cell_id_);
+  }
+
+  // Window-move check.
+  if (ctcs_->size() > 0 && mover_->should_move(*window_, ctc_position())) {
+    rebuild_window_at_ctc();
+  }
+}
+
+void AprSimulation::rebuild_window_at_ctc() {
+  Rng move_rng = rng_.fork(0x30BEull + move_count_);
+  const MoveReport rep = mover_->move(*window_, *rbcs_, ctc_position(), *tile_,
+                                      move_rng, next_cell_id_);
+  if (!rep.moved) return;
+  ++move_count_;
+  log_info("window move #", move_count_, ": captured ", rep.captured,
+           ", filled ", rep.filled, ", discarded ", rep.discarded,
+           ", inserted ", rep.repopulation.added);
+  coupler_->release();
+  build_fine_lattice(window_->center());
+}
+
+void AprSimulation::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+}  // namespace apr::core

@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file simulation.hpp
+/// AprSimulation: the assembled adaptive-physics-refinement model of the
+/// paper. A coarse whole-blood lattice spans the flow domain; a fine
+/// plasma lattice spans the moving window; RBCs and the tracked CTC live
+/// on the fine lattice via IBM/FEM; the Window maintains hematocrit and
+/// the WindowMover re-centers everything on the CTC.
+///
+/// Shared FSI helpers (also used by the eFSI baseline) are exposed as free
+/// functions. Membrane models and all FsiParams are in SI units; the
+/// helpers convert to lattice units internally.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/apr/coupler.hpp"
+#include "src/apr/window.hpp"
+#include "src/apr/window_mover.hpp"
+#include "src/cells/cell_pool.hpp"
+#include "src/cells/tile.hpp"
+#include "src/common/units.hpp"
+#include "src/geometry/domain.hpp"
+#include "src/ibm/coupling.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::core {
+
+/// Fluid-structure interaction parameters (SI).
+struct FsiParams {
+  ibm::DeltaKernel kernel = ibm::DeltaKernel::Cosine4;
+  double contact_cutoff = 0.0;    ///< [m] cell-cell repulsion range; 0=off
+  double contact_strength = 0.0;  ///< [N] peak repulsion per vertex pair
+  double wall_cutoff = 0.0;       ///< [m] wall repulsion range; 0=off
+  double wall_strength = 0.0;     ///< [N] peak wall repulsion per vertex
+};
+
+/// Accumulate membrane (FEM), cell-cell contact and wall repulsion forces
+/// in SI units into the pools' force buffers (which are cleared first).
+void compute_cell_forces(const std::vector<cells::CellPool*>& pools,
+                         const geometry::Domain* domain,
+                         const FsiParams& params);
+
+/// Spread the pools' SI force buffers onto the lattice force field,
+/// converting with `conv` (must match the lattice spacing).
+void spread_cell_forces(lbm::Lattice& lat, const UnitConverter& conv,
+                        const std::vector<cells::CellPool*>& pools,
+                        ibm::DeltaKernel kernel);
+
+/// Interpolate lattice velocities at all vertices and advance positions
+/// one lattice time step (paper Eqs. 4-5).
+void advect_cells(const lbm::Lattice& lat,
+                  const std::vector<cells::CellPool*>& pools,
+                  ibm::DeltaKernel kernel);
+
+struct AprParams {
+  double dx_coarse = 2.5e-6;  ///< [m]
+  int n = 5;                  ///< resolution ratio (dx_fine = dx_coarse/n)
+  double tau_coarse = 1.0;    ///< coarse relaxation time
+  double nu_bulk = 4.0e-3 / 1060.0;  ///< [m^2/s] bulk kinematic viscosity
+  double lambda = 0.3;        ///< nu_window / nu_bulk (plasma / whole blood)
+  WindowConfig window;
+  MoveConfig move;
+  FsiParams fsi;
+  int maintain_interval = 5;  ///< coarse steps between density maintenance
+  std::size_t rbc_capacity = 512;
+  std::uint64_t seed = 42;
+  double tile_hematocrit_boost = 1.0;  ///< tile packing factor vs target
+};
+
+class AprSimulation {
+ public:
+  /// \param domain flow domain; the caller configures coarse-lattice
+  ///        boundary conditions (walls are marked automatically, inlets /
+  ///        moving walls / body force are the caller's job) between
+  ///        construction and the first step.
+  /// \param rbc_model / ctc_model SI-unit membrane models
+  AprSimulation(std::shared_ptr<const geometry::Domain> domain,
+                std::shared_ptr<const fem::MembraneModel> rbc_model,
+                std::shared_ptr<const fem::MembraneModel> ctc_model,
+                const AprParams& params);
+
+  const AprParams& params() const { return params_; }
+  lbm::Lattice& coarse() { return *coarse_; }
+  const lbm::Lattice& coarse() const { return *coarse_; }
+  lbm::Lattice& fine() { return *fine_; }
+  const lbm::Lattice& fine() const { return *fine_; }
+  bool has_window() const { return fine_ != nullptr; }
+
+  const UnitConverter& coarse_units() const { return coarse_units_; }
+  const UnitConverter& fine_units() const { return fine_units_; }
+
+  /// Initialize the coarse flow field to equilibrium at (rho=1, u) and run
+  /// `warmup_steps` coarse-only steps so the window starts in a developed
+  /// flow.
+  void initialize_flow(const Vec3& u_lattice, int warmup_steps = 0);
+
+  /// Drive the flow with a uniform body-force density [N/m^3] (a pressure
+  /// gradient proxy). Applied to the coarse lattice and to every window
+  /// lattice, including after window moves.
+  void set_body_force_density(const Vec3& f_phys);
+
+  /// Create the window (fine lattice + coupler) centered near `center`
+  /// (snapped to the coarse grid).
+  void place_window(const Vec3& center);
+
+  /// Place the CTC with its centroid at `position` (must be inside the
+  /// window proper).
+  void place_ctc(const Vec3& position);
+
+  /// Initial RBC fill of the whole window at the target hematocrit.
+  PopulationReport fill_window();
+
+  /// Advance one coarse step: n fine FSI sub-steps, grid coupling,
+  /// density maintenance, window-move check.
+  void step();
+
+  /// Advance `steps` coarse steps.
+  void run(int steps);
+
+  // --- observables ---------------------------------------------------------
+  Vec3 ctc_position() const;
+  double window_hematocrit() const { return window_->hematocrit(*rbcs_); }
+  const Window& window() const { return *window_; }
+  cells::CellPool& rbcs() { return *rbcs_; }
+  const cells::CellPool& rbcs() const { return *rbcs_; }
+  cells::CellPool& ctcs() { return *ctcs_; }
+  int window_move_count() const { return move_count_; }
+  int coarse_steps() const { return coarse_steps_; }
+  double physical_time() const {
+    return coarse_steps_ * coarse_units_.dt();
+  }
+  const std::vector<Vec3>& ctc_trajectory() const { return trajectory_; }
+  const cells::RbcTile& tile() const { return *tile_; }
+
+  /// Total lattice site updates across both grids (compute-cost proxy for
+  /// the Fig. 6 comparison).
+  std::uint64_t total_site_updates() const;
+
+ private:
+  std::shared_ptr<const geometry::Domain> domain_;
+  std::shared_ptr<const fem::MembraneModel> rbc_model_;
+  std::shared_ptr<const fem::MembraneModel> ctc_model_;
+  AprParams params_;
+  UnitConverter coarse_units_;
+  UnitConverter fine_units_;
+
+  std::unique_ptr<lbm::Lattice> coarse_;
+  std::unique_ptr<lbm::Lattice> fine_;
+  std::unique_ptr<CoarseFineCoupler> coupler_;
+  std::optional<Window> window_;
+  std::unique_ptr<WindowMover> mover_;
+  std::unique_ptr<cells::CellPool> rbcs_;
+  std::unique_ptr<cells::CellPool> ctcs_;
+  std::unique_ptr<cells::RbcTile> tile_;
+  Rng rng_;
+  Vec3 body_force_phys_{};
+  std::uint64_t next_cell_id_ = 1;
+  int coarse_steps_ = 0;
+  int move_count_ = 0;
+  std::uint64_t fine_updates_retired_ = 0;  // from discarded fine lattices
+  std::vector<Vec3> trajectory_;
+
+  void build_fine_lattice(const Vec3& window_center);
+  void rebuild_window_at_ctc();
+  std::vector<cells::CellPool*> active_pools();
+};
+
+}  // namespace apr::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file window_mover.hpp
+/// Moving the cell-resolved window with the CTC (paper §2.4.3, Fig. 3B).
+/// When the CTC approaches the window-proper boundary the window is
+/// re-centered on the CTC:
+///   1. Cells inside the *capture region* -- a cube centered on the CTC
+///      whose boundary will align with the new insertion-region inner
+///      boundary -- keep their deformed state and position.
+///   2. Every old-window cell is deep-copied and shifted by the window
+///      displacement; shifted copies landing in the *fill region* (the new
+///      inner box minus the capture region) are kept, re-using deformed
+///      RBC shapes instead of inserting undeformed cells.
+///   3. The new insertion shell is re-populated from the tile.
+/// This minimizes re-initialization: the CTC's equilibrated neighbourhood
+/// is preserved exactly and the rest of the window is seeded with
+/// already-deformed cells.
+
+#include <cstdint>
+
+#include "src/apr/window.hpp"
+
+namespace apr::core {
+
+struct MoveConfig {
+  /// Move when the CTC comes within this distance of the window-proper
+  /// boundary.
+  double trigger_distance = 5e-6;  ///< [m]
+};
+
+struct MoveReport {
+  bool moved = false;
+  Vec3 displacement{};
+  int captured = 0;          ///< cells kept in place
+  int filled = 0;            ///< shifted deep copies kept
+  int discarded = 0;         ///< old cells dropped
+  PopulationReport repopulation;  ///< insertion-shell refill
+};
+
+class WindowMover {
+ public:
+  WindowMover(MoveConfig config, const Vec3& coarse_origin, double coarse_dx)
+      : cfg_(config), coarse_origin_(coarse_origin), coarse_dx_(coarse_dx) {}
+
+  const MoveConfig& config() const { return cfg_; }
+
+  /// Does the CTC position trigger a move?
+  bool should_move(const Window& window, const Vec3& ctc_position) const;
+
+  /// Perform the move; `window` is replaced by the re-centered window and
+  /// `rbcs` is updated (capture / fill / repopulate). The CTC itself is
+  /// untouched. `next_id` supplies global IDs for fill copies and
+  /// insertions.
+  MoveReport move(Window& window, cells::CellPool& rbcs,
+                  const Vec3& ctc_position, const cells::RbcTile& tile,
+                  Rng& rng, std::uint64_t& next_id) const;
+
+ private:
+  MoveConfig cfg_;
+  Vec3 coarse_origin_;
+  double coarse_dx_;
+};
+
+}  // namespace apr::core

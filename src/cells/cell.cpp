@@ -1,0 +1,47 @@
+#include "src/cells/cell.hpp"
+
+namespace apr::cells {
+
+std::vector<Vec3> instantiate(const fem::MembraneModel& model,
+                              const Vec3& center, const Mat3& rot) {
+  const auto& ref = model.reference();
+  const Vec3 c0 = ref.centroid();
+  std::vector<Vec3> out;
+  out.reserve(ref.vertices.size());
+  for (const auto& v : ref.vertices) {
+    out.push_back(center + rot.apply(v - c0));
+  }
+  return out;
+}
+
+std::vector<Vec3> instantiate(const fem::MembraneModel& model,
+                              const Vec3& center) {
+  return instantiate(model, center, Mat3{});
+}
+
+Vec3 centroid(std::span<const Vec3> vertices) {
+  Vec3 c{};
+  for (const auto& v : vertices) c += v;
+  return vertices.empty() ? c : c / static_cast<double>(vertices.size());
+}
+
+Aabb bounds(std::span<const Vec3> vertices) {
+  Aabb b;
+  for (const auto& v : vertices) b.include(v);
+  return b;
+}
+
+void translate(std::span<Vec3> vertices, const Vec3& d) {
+  for (auto& v : vertices) v += d;
+}
+
+double cell_volume(const fem::MembraneModel& model,
+                   std::span<const Vec3> vertices) {
+  double vol = 0.0;
+  for (const auto& t : model.reference().triangles) {
+    vol += dot(vertices[t[0]], cross(vertices[t[1]], vertices[t[2]]));
+  }
+  return vol / 6.0;
+}
+
+}  // namespace apr::cells

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file cell.hpp
+/// Cell instantiation helpers. A "cell" at runtime is a block of vertex
+/// positions inside a CellPool plus a shared MembraneModel; this header
+/// provides the free functions that create vertex blocks from a reference
+/// shape and compute per-cell geometric quantities.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/aabb.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/vec3.hpp"
+#include "src/fem/membrane_model.hpp"
+
+namespace apr::cells {
+
+enum class CellKind : std::uint8_t { Rbc = 0, Ctc = 1 };
+
+/// Vertex positions of `model`'s reference shape placed with its centroid
+/// at `center` and rotated by `rot` (about the centroid).
+std::vector<Vec3> instantiate(const fem::MembraneModel& model,
+                              const Vec3& center, const Mat3& rot);
+
+/// Vertex positions without rotation.
+std::vector<Vec3> instantiate(const fem::MembraneModel& model,
+                              const Vec3& center);
+
+/// Mean vertex position.
+Vec3 centroid(std::span<const Vec3> vertices);
+
+/// Bounding box of the vertices.
+Aabb bounds(std::span<const Vec3> vertices);
+
+/// Rigidly translate all vertices.
+void translate(std::span<Vec3> vertices, const Vec3& d);
+
+/// Volume of a cell (signed, via its model's triangles).
+double cell_volume(const fem::MembraneModel& model,
+                   std::span<const Vec3> vertices);
+
+}  // namespace apr::cells

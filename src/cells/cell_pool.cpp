@@ -1,0 +1,104 @@
+#include "src/cells/cell_pool.hpp"
+
+#include <algorithm>
+
+namespace apr::cells {
+
+CellPool::CellPool(const fem::MembraneModel* model, CellKind kind,
+                   std::size_t capacity)
+    : model_(model),
+      kind_(kind),
+      capacity_(capacity),
+      nv_(model ? model->num_vertices() : 0) {
+  if (!model) throw std::invalid_argument("CellPool: null model");
+  if (capacity == 0) throw std::invalid_argument("CellPool: zero capacity");
+  x_.assign(capacity_ * nv_, Vec3{});
+  f_.assign(capacity_ * nv_, Vec3{});
+  v_.assign(capacity_ * nv_, Vec3{});
+  ids_.assign(capacity_, 0);
+  slot_of_.reserve(capacity_);
+}
+
+std::size_t CellPool::add(std::uint64_t id, std::span<const Vec3> vertices) {
+  if (count_ >= capacity_) {
+    throw std::length_error("CellPool: capacity exhausted");
+  }
+  if (vertices.size() != static_cast<std::size_t>(nv_)) {
+    throw std::invalid_argument("CellPool::add: wrong vertex count");
+  }
+  if (slot_of_.count(id)) {
+    throw std::invalid_argument("CellPool::add: duplicate id");
+  }
+  const std::size_t slot = count_++;
+  std::copy(vertices.begin(), vertices.end(), x_.begin() + slot * nv_);
+  std::fill_n(f_.begin() + slot * nv_, nv_, Vec3{});
+  std::fill_n(v_.begin() + slot * nv_, nv_, Vec3{});
+  ids_[slot] = id;
+  slot_of_[id] = slot;
+  return slot;
+}
+
+std::size_t CellPool::slot_of(std::uint64_t id) const {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    throw std::out_of_range("CellPool: unknown cell id");
+  }
+  return it->second;
+}
+
+void CellPool::remove(std::uint64_t id) { remove_slot(slot_of(id)); }
+
+void CellPool::remove_slot(std::size_t slot) {
+  if (slot >= count_) throw std::out_of_range("CellPool: bad slot");
+  slot_of_.erase(ids_[slot]);
+  // Shift trailing cell buffers down one slot (the paper's buffer-shift
+  // compaction), keeping live cells contiguous.
+  const std::size_t tail = count_ - slot - 1;
+  if (tail > 0) {
+    std::copy(x_.begin() + (slot + 1) * nv_, x_.begin() + count_ * nv_,
+              x_.begin() + slot * nv_);
+    std::copy(f_.begin() + (slot + 1) * nv_, f_.begin() + count_ * nv_,
+              f_.begin() + slot * nv_);
+    std::copy(v_.begin() + (slot + 1) * nv_, v_.begin() + count_ * nv_,
+              v_.begin() + slot * nv_);
+    std::copy(ids_.begin() + slot + 1, ids_.begin() + count_,
+              ids_.begin() + slot);
+    for (std::size_t s = slot; s + 1 < count_; ++s) slot_of_[ids_[s]] = s;
+    shifts_ += tail;
+  }
+  --count_;
+}
+
+std::span<Vec3> CellPool::positions(std::size_t slot) {
+  return {x_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+std::span<const Vec3> CellPool::positions(std::size_t slot) const {
+  return {x_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+std::span<Vec3> CellPool::forces(std::size_t slot) {
+  return {f_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+std::span<const Vec3> CellPool::forces(std::size_t slot) const {
+  return {f_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+std::span<Vec3> CellPool::velocities(std::size_t slot) {
+  return {v_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+std::span<const Vec3> CellPool::velocities(std::size_t slot) const {
+  return {v_.data() + slot * nv_, static_cast<std::size_t>(nv_)};
+}
+
+void CellPool::clear_forces() {
+  std::fill(f_.begin(), f_.begin() + count_ * nv_, Vec3{});
+}
+
+Vec3 CellPool::cell_centroid(std::size_t slot) const {
+  return centroid(positions(slot));
+}
+
+}  // namespace apr::cells

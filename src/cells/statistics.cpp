@@ -1,0 +1,155 @@
+#include "src/cells/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace apr::cells {
+
+namespace {
+
+/// Jacobi eigenvalue iteration for a symmetric 3x3 matrix.
+void jacobi_eigen(double a[3][3], double values[3], Vec3 axes[3]) {
+  double v[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double off = std::abs(a[0][1]) + std::abs(a[0][2]) + std::abs(a[1][2]);
+    if (off < 1e-30) break;
+    for (int p = 0; p < 2; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::abs(a[p][q]) < 1e-32) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < 3; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  int order[3] = {0, 1, 2};
+  std::sort(order, order + 3,
+            [&](int i, int j) { return a[i][i] > a[j][j]; });
+  for (int k = 0; k < 3; ++k) {
+    values[k] = a[order[k]][order[k]];
+    axes[k] = normalized(Vec3{v[0][order[k]], v[1][order[k]],
+                              v[2][order[k]]});
+  }
+}
+
+}  // namespace
+
+ShapeTensor shape_tensor(std::span<const Vec3> vertices) {
+  if (vertices.empty()) {
+    throw std::invalid_argument("shape_tensor: empty vertex set");
+  }
+  Vec3 c{};
+  for (const auto& v : vertices) c += v;
+  c /= static_cast<double>(vertices.size());
+  double g[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (const auto& v : vertices) {
+    const Vec3 d = v - c;
+    const double comp[3] = {d.x, d.y, d.z};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) g[i][j] += comp[i] * comp[j];
+    }
+  }
+  for (auto& row : g) {
+    for (auto& e : row) e /= static_cast<double>(vertices.size());
+  }
+  ShapeTensor out;
+  jacobi_eigen(g, out.eigenvalues, out.axes);
+  return out;
+}
+
+double taylor_deformation(std::span<const Vec3> vertices) {
+  const ShapeTensor t = shape_tensor(vertices);
+  const double l = std::sqrt(std::max(t.eigenvalues[0], 0.0));
+  const double b = std::sqrt(std::max(t.eigenvalues[2], 0.0));
+  return (l + b) > 0.0 ? (l - b) / (l + b) : 0.0;
+}
+
+double orientation_angle(std::span<const Vec3> vertices,
+                         const Vec3& flow_direction) {
+  const ShapeTensor t = shape_tensor(vertices);
+  const double c = std::abs(dot(t.axes[0], normalized(flow_direction)));
+  return std::acos(std::clamp(c, 0.0, 1.0));
+}
+
+RadialProfile radial_profile(const CellPool& pool, const Vec3& axis_point,
+                             const Vec3& axis_direction, double max_radius,
+                             int bins, double axial_extent) {
+  if (bins < 1 || max_radius <= 0.0 || axial_extent <= 0.0) {
+    throw std::invalid_argument("radial_profile: bad parameters");
+  }
+  RadialProfile out;
+  out.r_centers.resize(bins);
+  out.concentration.assign(bins, 0.0);
+  out.counts.assign(bins, 0);
+  const double dr = max_radius / bins;
+  for (int b = 0; b < bins; ++b) out.r_centers[b] = (b + 0.5) * dr;
+
+  const Vec3 a = normalized(axis_direction);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    const Vec3 d = pool.cell_centroid(s) - axis_point;
+    const Vec3 radial = d - a * dot(d, a);
+    const double r = norm(radial);
+    if (r >= max_radius) continue;
+    ++out.counts[static_cast<int>(r / dr)];
+  }
+  for (int b = 0; b < bins; ++b) {
+    const double r0 = b * dr;
+    const double r1 = r0 + dr;
+    const double volume =
+        std::numbers::pi * (r1 * r1 - r0 * r0) * axial_extent;
+    out.concentration[b] = out.counts[b] / volume;
+  }
+  return out;
+}
+
+std::vector<double> radial_displacement(const std::vector<Vec3>& trajectory,
+                                        const Vec3& axis_point,
+                                        const Vec3& axis_direction) {
+  const Vec3 a = normalized(axis_direction);
+  std::vector<double> out;
+  out.reserve(trajectory.size());
+  for (const auto& p : trajectory) {
+    const Vec3 d = p - axis_point;
+    out.push_back(norm(d - a * dot(d, a)));
+  }
+  return out;
+}
+
+SpeedStats vertex_speed_stats(const CellPool& pool) {
+  SpeedStats stats;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    for (const Vec3& v : pool.velocities(s)) {
+      const double speed = norm(v);
+      stats.mean += speed;
+      stats.max = std::max(stats.max, speed);
+      ++count;
+    }
+  }
+  if (count) stats.mean /= static_cast<double>(count);
+  return stats;
+}
+
+}  // namespace apr::cells

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Shape and distribution diagnostics for cell populations: the
+/// quantities the paper's analysis pipeline extracts from simulations --
+/// cell deformation (Taylor parameter, strain), orientation, radial
+/// concentration profiles (margination / cell-free layer), and CTC
+/// radial-displacement series (Fig. 6).
+
+#include <span>
+#include <vector>
+
+#include "src/cells/cell_pool.hpp"
+#include "src/common/vec3.hpp"
+
+namespace apr::cells {
+
+/// Second-moment (gyration) tensor eigen-decomposition of a vertex cloud.
+struct ShapeTensor {
+  double eigenvalues[3] = {0.0, 0.0, 0.0};  ///< descending
+  Vec3 axes[3];                             ///< corresponding unit axes
+};
+
+/// Gyration tensor of the vertices about their centroid, eigenvalues
+/// sorted descending (Jacobi iteration; exact for symmetric 3x3).
+ShapeTensor shape_tensor(std::span<const Vec3> vertices);
+
+/// Taylor deformation parameter D = (L - B) / (L + B) from the extents of
+/// the gyration ellipsoid (L, B = sqrt of largest/smallest eigenvalue).
+/// 0 for a sphere, ->1 for a needle.
+double taylor_deformation(std::span<const Vec3> vertices);
+
+/// Inclination of the cell's longest axis to a flow direction [rad].
+double orientation_angle(std::span<const Vec3> vertices,
+                         const Vec3& flow_direction);
+
+/// Radial concentration profile of cell centroids about an axis: counts
+/// per annular bin, normalized by bin volume (cells / m^3). Used for
+/// cell-free-layer / margination analysis.
+struct RadialProfile {
+  std::vector<double> r_centers;      ///< bin mid radii
+  std::vector<double> concentration;  ///< cells per unit volume
+  std::vector<int> counts;
+};
+
+RadialProfile radial_profile(const CellPool& pool, const Vec3& axis_point,
+                             const Vec3& axis_direction, double max_radius,
+                             int bins, double axial_extent);
+
+/// Radial distances of a trajectory from an axis (the Fig. 6 series).
+std::vector<double> radial_displacement(const std::vector<Vec3>& trajectory,
+                                        const Vec3& axis_point,
+                                        const Vec3& axis_direction);
+
+/// Mean and max vertex speed over a pool (lattice units as stored by the
+/// FSI loop) -- equilibration diagnostics for the on-ramp region.
+struct SpeedStats {
+  double mean = 0.0;
+  double max = 0.0;
+};
+SpeedStats vertex_speed_stats(const CellPool& pool);
+
+}  // namespace apr::cells

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file subgrid.hpp
+/// Background uniform subgrid (paper §2.4.2): a spatial hash over cell
+/// vertices that answers "which cells have vertices near this point" in
+/// O(1). Used by the overlap-removal algorithm during tile insertion and
+/// by the short-range cell-cell contact forces.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/aabb.hpp"
+#include "src/common/vec3.hpp"
+
+namespace apr::cells {
+
+class SubGrid {
+ public:
+  struct Entry {
+    Vec3 p;
+    std::uint64_t cell_id;
+    int vertex;
+  };
+
+  /// \param bounds region covered (points outside are clamped to edge
+  ///        buckets, so slightly-out-of-range inserts are safe)
+  /// \param spacing bucket edge length; choose >= the query radius
+  SubGrid(const Aabb& bounds, double spacing);
+
+  void clear();
+
+  void insert(const Vec3& p, std::uint64_t cell_id, int vertex = -1);
+
+  /// Visit all entries in buckets intersecting the ball (p, radius).
+  /// Fn: void(const Entry&).
+  template <typename Fn>
+  void for_neighbors(const Vec3& p, double radius, Fn&& fn) const {
+    int lo[3];
+    int hi[3];
+    bucket_range(p, radius, lo, hi);
+    for (int z = lo[2]; z <= hi[2]; ++z) {
+      for (int y = lo[1]; y <= hi[1]; ++y) {
+        for (int x = lo[0]; x <= hi[0]; ++x) {
+          for (const Entry& e : buckets_[bucket_index(x, y, z)]) {
+            fn(e);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t size() const { return count_; }
+  double spacing() const { return spacing_; }
+
+ private:
+  Aabb bounds_;
+  double spacing_;
+  int nx_, ny_, nz_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t count_ = 0;
+
+  int clampi(int v, int hi) const { return v < 0 ? 0 : (v >= hi ? hi - 1 : v); }
+
+  std::size_t bucket_index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  void bucket_coords(const Vec3& p, int* out) const;
+  void bucket_range(const Vec3& p, double radius, int* lo, int* hi) const;
+};
+
+}  // namespace apr::cells

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file tile.hpp
+/// Pre-defined RBC tile (paper §2.4.2, Fig. 3A): a cube packed with RBC
+/// placements at a specified density, generated once and stamped into free
+/// insertion subregions with a random orientation and centroid. Stamping a
+/// tile is O(cells-in-tile); no packing search happens during the
+/// simulation, which is what makes repopulation cheap.
+
+#include <vector>
+
+#include "src/cells/cell.hpp"
+#include "src/common/rng.hpp"
+#include "src/fem/membrane_model.hpp"
+
+namespace apr::cells {
+
+class RbcTile {
+ public:
+  /// One RBC placement relative to the tile center.
+  struct Placement {
+    Vec3 offset;
+    Mat3 rotation;
+  };
+
+  /// Pack a cube of edge `side` with RBCs at volume fraction `hematocrit`
+  /// by random sequential adsorption: random centroid + orientation,
+  /// rejected when any vertex comes within `min_distance` of an accepted
+  /// cell's vertex. Gives up once `max_attempts` consecutive rejections
+  /// occur, so the achieved hematocrit can fall short of the target at
+  /// high packing fractions (check achieved_hematocrit()).
+  static RbcTile generate(const fem::MembraneModel& rbc, double side,
+                          double hematocrit, Rng& rng,
+                          double min_distance = 0.0, int max_attempts = 2000);
+
+  double side() const { return side_; }
+  double achieved_hematocrit() const { return achieved_ht_; }
+  std::size_t cell_count() const { return placements_.size(); }
+  const std::vector<Placement>& placements() const { return placements_; }
+
+  /// Vertex sets of every tile cell with the whole tile rotated by `rot`
+  /// and centered at `center`.
+  std::vector<std::vector<Vec3>> instantiate_at(
+      const fem::MembraneModel& rbc, const Vec3& center,
+      const Mat3& rot) const;
+
+ private:
+  double side_ = 0.0;
+  double achieved_ht_ = 0.0;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace apr::cells

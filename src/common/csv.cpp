@@ -1,0 +1,72 @@
+#include "src/common/csv.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace apr {
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> header)
+    : path_(std::move(path)), header_(std::move(header)) {}
+
+CsvWriter::~CsvWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; a failed flush at teardown is dropped.
+  }
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter::row: arity mismatch");
+  }
+  rows_.push_back(values);
+}
+
+void CsvWriter::flush() {
+  if (flushed_) return;
+  std::ofstream os(path_);
+  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << header_[i] << (i + 1 < header_.size() ? "," : "\n");
+  }
+  os << std::setprecision(12);
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i] << (i + 1 < r.size() ? "," : "\n");
+    }
+  }
+  flushed_ = true;
+}
+
+std::string format_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << std::left
+         << (c < r.size() ? r[c] : "") << " ";
+    }
+    os << "|\n";
+  };
+  emit(header);
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows) emit(r);
+  return os.str();
+}
+
+}  // namespace apr

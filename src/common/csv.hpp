@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer used by the benches to emit figure series (velocity
+/// profiles, hematocrit-vs-time curves, scaling tables) in a form a plotting
+/// script can consume directly.
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace apr {
+
+/// Buffers rows and writes them on flush()/destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; header defines the columns.
+  CsvWriter(std::string path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append a row; must match the header arity.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  /// Write everything to disk. Idempotent.
+  void flush();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string path_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+  bool flushed_ = false;
+};
+
+/// Render a fixed-width text table (used by benches to print the paper's
+/// tables to stdout).
+std::string format_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace apr

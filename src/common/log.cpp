@@ -1,0 +1,38 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace apr {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::cout;
+  os << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace apr

@@ -1,0 +1,110 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace apr {
+
+std::uint64_t Rng::splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Rejection-free modulo is fine here: n is tiny relative to 2^64 in all
+  // call sites (tile counts, subregion counts), so bias is negligible.
+  return n == 0 ? 0 : next_u64() % n;
+}
+
+double Rng::normal() {
+  // Box-Muller, discarding the second variate for simplicity.
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Vec3 Rng::unit_vector() {
+  // Marsaglia: uniform on the sphere.
+  double a;
+  double b;
+  double s;
+  do {
+    a = uniform(-1.0, 1.0);
+    b = uniform(-1.0, 1.0);
+    s = a * a + b * b;
+  } while (s >= 1.0);
+  const double t = 2.0 * std::sqrt(1.0 - s);
+  return {a * t, b * t, 1.0 - 2.0 * s};
+}
+
+Vec3 Rng::point_in_box(const Vec3& lo, const Vec3& hi) {
+  return {uniform(lo.x, hi.x), uniform(lo.y, hi.y), uniform(lo.z, hi.z)};
+}
+
+Rng Rng::fork(std::uint64_t key) const {
+  std::uint64_t x = seed_ ^ (key * 0xD6E8FEB86659FD93ull);
+  return Rng(splitmix64(x));
+}
+
+Mat3 random_rotation(Rng& rng) {
+  // Arvo (1992): random rotation about the z axis followed by a rotation of
+  // the z axis to a random orientation.
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double z = rng.uniform();
+
+  const Vec3 v{std::cos(phi) * std::sqrt(z), std::sin(phi) * std::sqrt(z),
+               std::sqrt(1.0 - z)};
+  const double ct = std::cos(theta);
+  const double st = std::sin(theta);
+
+  // R = (2 v v^T - I) * Rz(theta)
+  const double rz[3][3] = {{ct, st, 0.0}, {-st, ct, 0.0}, {0.0, 0.0, 1.0}};
+  Mat3 out;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        const double h = 2.0 * v[i] * v[k] - (i == k ? 1.0 : 0.0);
+        sum += h * rz[k][j];
+      }
+      out.m[i][j] = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace apr

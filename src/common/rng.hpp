@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation. Every stochastic component of the
+/// pipeline (tile placement, RBC seeding, trajectory-ensemble seeds) draws
+/// from an explicitly seeded Rng so that simulations are bit-reproducible
+/// across runs and, importantly, across task counts: the cell repopulation
+/// algorithm of §2.4.2 derives its stream from (window move index, subregion
+/// id), never from rank-local state.
+
+#include <cstdint>
+
+#include "src/common/vec3.hpp"
+
+namespace apr {
+
+/// Small, fast, seedable generator (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Uniformly distributed unit vector.
+  Vec3 unit_vector();
+
+  /// Uniform point inside an axis-aligned box [lo, hi).
+  Vec3 point_in_box(const Vec3& lo, const Vec3& hi);
+
+  /// Derive an independent stream for a sub-task; deterministic in
+  /// (parent seed, key). Used to give each insertion subregion its own
+  /// stream so repopulation is independent of iteration order.
+  Rng fork(std::uint64_t key) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+
+  static std::uint64_t splitmix64(std::uint64_t& x);
+};
+
+/// Random rotation matrix (uniform over SO(3)), returned as row-major 3x3.
+/// Used to orient RBC tiles during insertion-region repopulation.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  Vec3 apply(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Mat3 transposed() const {
+    Mat3 t;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) t.m[i][j] = m[j][i];
+    return t;
+  }
+};
+
+/// Uniform random rotation (Arvo's method).
+Mat3 random_rotation(Rng& rng);
+
+}  // namespace apr

@@ -1,0 +1,42 @@
+#include "src/common/units.hpp"
+
+namespace apr {
+
+UnitConverter::UnitConverter(double dx, double dt, double rho)
+    : dx_(dx), dt_(dt), rho_(rho) {
+  if (dx <= 0.0 || dt <= 0.0 || rho <= 0.0) {
+    throw std::invalid_argument("UnitConverter: dx, dt, rho must be > 0");
+  }
+}
+
+UnitConverter UnitConverter::from_viscosity(double dx, double nu_phys,
+                                            double tau, double rho) {
+  if (tau <= 0.5) {
+    throw std::invalid_argument("UnitConverter: tau must exceed 1/2");
+  }
+  const double nu_lat = kCs2 * (tau - 0.5);
+  const double dt = nu_lat * dx * dx / nu_phys;
+  return UnitConverter(dx, dt, rho);
+}
+
+double UnitConverter::tau_for_viscosity(double nu_phys) const {
+  return viscosity_to_lattice(nu_phys) / kCs2 + 0.5;
+}
+
+double UnitConverter::viscosity_for_tau(double tau) const {
+  return viscosity_to_physical(kCs2 * (tau - 0.5));
+}
+
+double fine_tau(double tau_coarse, int n, double lambda) {
+  if (n < 1) throw std::invalid_argument("fine_tau: n must be >= 1");
+  if (lambda <= 0.0) throw std::invalid_argument("fine_tau: lambda > 0");
+  return 0.5 + static_cast<double>(n) * lambda * (tau_coarse - 0.5);
+}
+
+double coarse_tau(double tau_fine, int n, double lambda) {
+  if (n < 1) throw std::invalid_argument("coarse_tau: n must be >= 1");
+  if (lambda <= 0.0) throw std::invalid_argument("coarse_tau: lambda > 0");
+  return 0.5 + (tau_fine - 0.5) / (static_cast<double>(n) * lambda);
+}
+
+}  // namespace apr

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file units.hpp
+/// Conversion between physical (SI) and lattice units.
+///
+/// LBM works in lattice units where the grid spacing, time step and fluid
+/// density are all 1. A UnitConverter is defined by the physical grid
+/// spacing dx [m], time step dt [s] and reference density rho [kg/m^3];
+/// every other conversion factor follows dimensionally:
+///
+///   velocity   u_lat  = u  * dt / dx
+///   kin. visc. nu_lat = nu * dt / dx^2
+///   force      F_lat  = F  * dt^2 / (rho * dx^4)
+///   pressure   p_lat  = p  * dt^2 / (rho * dx^2)
+///   shear mod. Gs_lat = Gs * dt^2 / (rho * dx^3)     [Gs] = N/m
+///   bending    Eb_lat = Eb * dt^2 / (rho * dx^5)     [Eb] = J
+///
+/// The paper's multi-resolution scheme uses convective time scaling between
+/// the coarse and fine grids (dt_f = dt_c / n for dx_f = dx_c / n), which
+/// keeps lattice velocities identical across grids; see apr/coupler.hpp.
+
+#include <stdexcept>
+
+namespace apr {
+
+/// Physical<->lattice converter for a single grid.
+class UnitConverter {
+ public:
+  /// \param dx physical lattice spacing [m]
+  /// \param dt physical time step [s]
+  /// \param rho physical reference density [kg/m^3]
+  UnitConverter(double dx, double dt, double rho);
+
+  /// Choose dt such that a physical kinematic viscosity nu [m^2/s] maps to
+  /// the given lattice relaxation time tau: nu_lat = cs^2 (tau - 1/2).
+  static UnitConverter from_viscosity(double dx, double nu_phys, double tau,
+                                      double rho = 1060.0);
+
+  double dx() const { return dx_; }
+  double dt() const { return dt_; }
+  double rho() const { return rho_; }
+
+  // --- physical -> lattice -------------------------------------------------
+  double length_to_lattice(double l) const { return l / dx_; }
+  double time_to_lattice(double t) const { return t / dt_; }
+  double velocity_to_lattice(double u) const { return u * dt_ / dx_; }
+  double viscosity_to_lattice(double nu) const { return nu * dt_ / (dx_ * dx_); }
+  double force_to_lattice(double f) const {
+    return f * dt_ * dt_ / (rho_ * dx_ * dx_ * dx_ * dx_);
+  }
+  double pressure_to_lattice(double p) const {
+    return p * dt_ * dt_ / (rho_ * dx_ * dx_);
+  }
+  double shear_modulus_to_lattice(double gs) const {
+    return gs * dt_ * dt_ / (rho_ * dx_ * dx_ * dx_);
+  }
+  double bending_modulus_to_lattice(double eb) const {
+    return eb * dt_ * dt_ / (rho_ * dx_ * dx_ * dx_ * dx_ * dx_);
+  }
+
+  // --- lattice -> physical -------------------------------------------------
+  double length_to_physical(double l) const { return l * dx_; }
+  double time_to_physical(double t) const { return t * dt_; }
+  double velocity_to_physical(double u) const { return u * dx_ / dt_; }
+  double viscosity_to_physical(double nu) const {
+    return nu * dx_ * dx_ / dt_;
+  }
+  double pressure_to_physical(double p) const {
+    return p * rho_ * dx_ * dx_ / (dt_ * dt_);
+  }
+
+  /// Relaxation time for a physical kinematic viscosity on this grid.
+  double tau_for_viscosity(double nu_phys) const;
+
+  /// Physical kinematic viscosity implied by relaxation time tau.
+  double viscosity_for_tau(double tau) const;
+
+ private:
+  double dx_;
+  double dt_;
+  double rho_;
+};
+
+/// Lattice speed of sound squared for D3Q19 (and all standard lattices).
+inline constexpr double kCs2 = 1.0 / 3.0;
+
+/// Eq. (7) of the paper: relaxation time of the fine lattice given the
+/// coarse relaxation time, the spacing ratio n = dx_c/dx_f and the
+/// fine/coarse kinematic viscosity ratio lambda = nu_f / nu_c.
+///
+///   tau_f = 1/2 + n * lambda * (tau_c - 1/2)
+double fine_tau(double tau_coarse, int n, double lambda);
+
+/// Inverse of fine_tau.
+double coarse_tau(double tau_fine, int n, double lambda);
+
+}  // namespace apr

@@ -1,0 +1,98 @@
+#include "src/fem/bending.hpp"
+
+#include <cmath>
+
+namespace apr::fem {
+
+double hinge_constant_from_helfrich(double eb) {
+  return 2.0 / std::sqrt(3.0) * eb;
+}
+
+namespace {
+
+/// Shared geometry of the four-point hinge, following the classic
+/// torsion-angle derivative formulation (sequence a - b - c - d with the
+/// rotation axis along b->c).
+struct HingeGeometry {
+  Vec3 n1;       // (b-a) x (c-b), normal-scale of wing 1
+  Vec3 n2;       // (c-b) x (d-c), normal-scale of wing 2
+  Vec3 axis;     // c - b
+  double n1sq = 0.0;
+  double n2sq = 0.0;
+  double axis_len = 0.0;
+  double theta = 0.0;  // signed dihedral
+  bool ok = false;
+};
+
+HingeGeometry hinge_geometry(const Vec3& a, const Vec3& b, const Vec3& c,
+                             const Vec3& d) {
+  HingeGeometry h;
+  const Vec3 b1 = b - a;
+  const Vec3 b2 = c - b;
+  const Vec3 b3 = d - c;
+  h.axis = b2;
+  h.n1 = cross(b1, b2);
+  h.n2 = cross(b2, b3);
+  h.n1sq = norm2(h.n1);
+  h.n2sq = norm2(h.n2);
+  h.axis_len = norm(b2);
+  if (h.n1sq <= 0.0 || h.n2sq <= 0.0 || h.axis_len <= 0.0) return h;
+  // Signed hinge angle, zero for coplanar wings (the MD torsion angle is
+  // pi at flat, so we flip the cosine; this moves the atan2 branch cut to
+  // the fully-folded configuration, which is degenerate anyway).
+  const double cosv = -dot(h.n1, h.n2);
+  const double sinv = dot(cross(h.n1, h.n2), b2 / h.axis_len);
+  h.theta = std::atan2(sinv, cosv);
+  h.ok = true;
+  return h;
+}
+
+}  // namespace
+
+double dihedral_angle(const Vec3& a, const Vec3& b, const Vec3& c,
+                      const Vec3& d) {
+  return hinge_geometry(a, b, c, d).theta;
+}
+
+double hinge_energy(double kb, double theta, double theta0) {
+  return kb * (1.0 - std::cos(theta - theta0));
+}
+
+void add_hinge_forces(double kb, double theta0, const Vec3& a, const Vec3& b,
+                      const Vec3& c, const Vec3& d, Vec3& fa, Vec3& fb,
+                      Vec3& fc, Vec3& fd) {
+  const HingeGeometry h = hinge_geometry(a, b, c, d);
+  if (!h.ok) return;
+
+  // dE/dtheta for E = kb (1 - cos(theta - theta0)).
+  const double de = kb * std::sin(h.theta - theta0);
+  if (de == 0.0) return;
+
+  // Exact torsion-angle gradients (Blondel & Karplus 1996). With
+  // A = |b2| n1/|n1|^2 and B = |b2| n2/|n2|^2 and the projections
+  // s12 = b1.b2/|b2|^2, s32 = b3.b2/|b2|^2:
+  //   dtheta/da = -A
+  //   dtheta/db = (1 + s12) A + s32 B
+  //   dtheta/dc = -s12 A - (1 + s32) B
+  //   dtheta/dd = B
+  // (verified against numerical differentiation in tests/test_bending.cpp).
+  const Vec3 b1 = b - a;
+  const Vec3 b3 = d - c;
+  const Vec3 ga = h.n1 * (h.axis_len / h.n1sq);
+  const Vec3 gb = h.n2 * (h.axis_len / h.n2sq);
+  const double s12 = dot(b1, h.axis) / (h.axis_len * h.axis_len);
+  const double s32 = dot(b3, h.axis) / (h.axis_len * h.axis_len);
+  // The flat-zero convention flips the angle's sense relative to the MD
+  // torsion angle, so all gradients are negated.
+  const Vec3 dta = ga;
+  const Vec3 dtb = -(ga * (1.0 + s12) + gb * s32);
+  const Vec3 dtc = ga * s12 + gb * (1.0 + s32);
+  const Vec3 dtd = -gb;
+
+  fa -= dta * de;
+  fb -= dtb * de;
+  fc -= dtc * de;
+  fd -= dtd * de;
+}
+
+}  // namespace apr::fem

@@ -1,0 +1,166 @@
+#include "src/fem/skalak.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apr::fem {
+
+namespace {
+
+/// Orthonormal in-plane frame of triangle (a, b, c): e1 along b-a,
+/// e2 = n x e1. Returns false for degenerate triangles.
+bool triangle_frame(const Vec3& a, const Vec3& b, const Vec3& c, Vec3& e1,
+                    Vec3& e2) {
+  const Vec3 u = b - a;
+  const Vec3 n = cross(u, c - a);
+  const double nn = norm(n);
+  const double uu = norm(u);
+  if (nn <= 0.0 || uu <= 0.0) return false;
+  e1 = u / uu;
+  e2 = cross(n / nn, e1);
+  return true;
+}
+
+/// Flatten (a, b, c) into its plane: a -> (0,0), b -> (|b-a|, 0),
+/// c -> (dot(c-a,e1), dot(c-a,e2)).
+void flatten(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& e1,
+             const Vec3& e2, Vec2& pa, Vec2& pb, Vec2& pc) {
+  pa = {0.0, 0.0};
+  pb = {dot(b - a, e1), dot(b - a, e2)};
+  pc = {dot(c - a, e1), dot(c - a, e2)};
+}
+
+struct Mat2 {
+  // row-major 2x2
+  double a = 0, b = 0, c = 0, d = 0;
+  double det() const { return a * d - b * c; }
+};
+
+/// F = sum_i x_i (outer) g_i with 2D deformed coords x_i and reference
+/// gradients g_i.
+Mat2 deformation_gradient(const std::array<Vec2, 3>& grad, const Vec2& xa,
+                          const Vec2& xb, const Vec2& xc) {
+  Mat2 f;
+  const Vec2 xs[3] = {xa, xb, xc};
+  for (int i = 0; i < 3; ++i) {
+    f.a += xs[i].x * grad[i].x;
+    f.b += xs[i].x * grad[i].y;
+    f.c += xs[i].y * grad[i].x;
+    f.d += xs[i].y * grad[i].y;
+  }
+  return f;
+}
+
+}  // namespace
+
+TriangleRef TriangleRef::build(const Vec3& a, const Vec3& b, const Vec3& c) {
+  Vec3 e1;
+  Vec3 e2;
+  if (!triangle_frame(a, b, c, e1, e2)) {
+    throw std::invalid_argument("TriangleRef: degenerate reference triangle");
+  }
+  Vec2 pa;
+  Vec2 pb;
+  Vec2 pc;
+  flatten(a, b, c, e1, e2, pa, pb, pc);
+
+  // Signed area (positive by construction of the frame).
+  const double two_a =
+      (pb.x - pa.x) * (pc.y - pa.y) - (pb.y - pa.y) * (pc.x - pa.x);
+  TriangleRef ref;
+  ref.area = 0.5 * two_a;
+  if (ref.area <= 0.0) {
+    throw std::invalid_argument("TriangleRef: non-positive reference area");
+  }
+  // grad N_i = rot(p_j - p_k) / (2A), rot(v) = (v.y, -v.x), for (i,j,k)
+  // cyclic. Gradients of the barycentric coordinates; sum to zero.
+  auto rot = [](const Vec2& v) { return Vec2{v.y, -v.x}; };
+  const Vec2 gab{pb.x - pc.x, pb.y - pc.y};
+  const Vec2 gbc{pc.x - pa.x, pc.y - pa.y};
+  const Vec2 gca{pa.x - pb.x, pa.y - pb.y};
+  ref.grad[0] = rot(gab);
+  ref.grad[1] = rot(gbc);
+  ref.grad[2] = rot(gca);
+  for (auto& g : ref.grad) {
+    g.x /= two_a;
+    g.y /= two_a;
+  }
+  return ref;
+}
+
+StrainInvariants strain_invariants(const TriangleRef& ref, const Vec3& a,
+                                   const Vec3& b, const Vec3& c) {
+  Vec3 e1;
+  Vec3 e2;
+  if (!triangle_frame(a, b, c, e1, e2)) {
+    // Degenerate deformed triangle: report full collapse.
+    return {0.0, -1.0, 0.0};
+  }
+  Vec2 xa;
+  Vec2 xb;
+  Vec2 xc;
+  flatten(a, b, c, e1, e2, xa, xb, xc);
+  const Mat2 f = deformation_gradient(ref.grad, xa, xb, xc);
+  // C = F^T F
+  const double c11 = f.a * f.a + f.c * f.c;
+  const double c22 = f.b * f.b + f.d * f.d;
+  StrainInvariants inv;
+  inv.det_f = f.det();
+  inv.i1 = c11 + c22 - 2.0;
+  inv.i2 = inv.det_f * inv.det_f - 1.0;
+  return inv;
+}
+
+double skalak_energy_density(const SkalakParams& p,
+                             const StrainInvariants& inv) {
+  return p.shear_modulus / 4.0 *
+         (inv.i1 * inv.i1 + 2.0 * inv.i1 - 2.0 * inv.i2 +
+          p.c * inv.i2 * inv.i2);
+}
+
+double skalak_element_energy(const SkalakParams& p, const TriangleRef& ref,
+                             const Vec3& a, const Vec3& b, const Vec3& c) {
+  return ref.area * skalak_energy_density(p, strain_invariants(ref, a, b, c));
+}
+
+void add_skalak_forces(const SkalakParams& p, const TriangleRef& ref,
+                       const Vec3& a, const Vec3& b, const Vec3& c, Vec3& fa,
+                       Vec3& fb, Vec3& fc) {
+  Vec3 e1;
+  Vec3 e2;
+  if (!triangle_frame(a, b, c, e1, e2)) return;  // no restoring direction
+  Vec2 xa;
+  Vec2 xb;
+  Vec2 xc;
+  flatten(a, b, c, e1, e2, xa, xb, xc);
+  const Mat2 f = deformation_gradient(ref.grad, xa, xb, xc);
+
+  const double det = f.det();
+  const double c11 = f.a * f.a + f.c * f.c;
+  const double c22 = f.b * f.b + f.d * f.d;
+  const double i1 = c11 + c22 - 2.0;
+  const double i2 = det * det - 1.0;
+
+  const double dw_di1 = p.shear_modulus / 4.0 * (2.0 * i1 + 2.0);
+  const double dw_di2 = p.shear_modulus / 4.0 * (-2.0 + 2.0 * p.c * i2);
+
+  // dI1/dF = 2F; dI2/dF = 2 (det F)^2 F^{-T}.
+  // F^{-T} = 1/det [d, -c; -b, a] (transpose of the inverse).
+  Mat2 p1;  // first Piola-Kirchhoff stress dW/dF
+  const double k2 = dw_di2 * 2.0 * det;  // 2 (det F)^2 / det = 2 det F
+  p1.a = dw_di1 * 2.0 * f.a + k2 * f.d;
+  p1.b = dw_di1 * 2.0 * f.b - k2 * f.c;
+  p1.c = dw_di1 * 2.0 * f.c - k2 * f.b;
+  p1.d = dw_di1 * 2.0 * f.d + k2 * f.a;
+
+  // Nodal force (2D, deformed plane): f_i = -A0 * P * g_i.
+  Vec3* out[3] = {&fa, &fb, &fc};
+  for (int i = 0; i < 3; ++i) {
+    const Vec2 g = ref.grad[i];
+    const double fx = -ref.area * (p1.a * g.x + p1.b * g.y);
+    const double fy = -ref.area * (p1.c * g.x + p1.d * g.y);
+    *out[i] += e1 * fx + e2 * fy;
+  }
+}
+
+}  // namespace apr::fem

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file skalak.hpp
+/// In-plane membrane elasticity with the Skalak constitutive law
+/// (paper Eq. (2)):
+///
+///   W_s = Gs/4 (I1^2 + 2 I1 - 2 I2 + C I2^2)
+///
+/// with strain invariants I1 = lambda1^2 + lambda2^2 - 2 and
+/// I2 = lambda1^2 lambda2^2 - 1. Each triangle is a linear finite element:
+/// reference and deformed triangles are flattened into their own planes,
+/// the 2x2 deformation gradient F follows from linear shape functions, and
+/// nodal forces are the exact analytic gradient of the energy
+/// (first Piola-Kirchhoff stress contracted with the reference shape
+/// gradients). Substitutes for the paper's Loop-subdivision shell elements;
+/// see DESIGN.md §3.
+
+#include <array>
+
+#include "src/common/vec3.hpp"
+
+namespace apr::fem {
+
+/// 2D vector helper for the in-plane computation.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Precomputed reference state of one triangular element.
+struct TriangleRef {
+  std::array<Vec2, 3> grad;  ///< reference shape-function gradients (sum=0)
+  double area = 0.0;         ///< reference area
+
+  /// Build from the three reference vertex positions.
+  static TriangleRef build(const Vec3& a, const Vec3& b, const Vec3& c);
+};
+
+/// Skalak material constants (lattice or physical -- caller's choice, as
+/// long as positions are consistent).
+struct SkalakParams {
+  double shear_modulus = 1.0;  ///< Gs
+  double c = 50.0;             ///< area-preservation constant C
+};
+
+/// Strain invariants of a deformed triangle relative to its reference.
+struct StrainInvariants {
+  double i1 = 0.0;
+  double i2 = 0.0;
+  double det_f = 1.0;  ///< area stretch lambda1*lambda2
+};
+
+StrainInvariants strain_invariants(const TriangleRef& ref, const Vec3& a,
+                                   const Vec3& b, const Vec3& c);
+
+/// Skalak strain energy density (per unit reference area).
+double skalak_energy_density(const SkalakParams& p,
+                             const StrainInvariants& inv);
+
+/// Total element energy (density * reference area).
+double skalak_element_energy(const SkalakParams& p, const TriangleRef& ref,
+                             const Vec3& a, const Vec3& b, const Vec3& c);
+
+/// Accumulate the analytic nodal forces of one element into fa, fb, fc.
+/// Forces sum to zero exactly (translation invariance).
+void add_skalak_forces(const SkalakParams& p, const TriangleRef& ref,
+                       const Vec3& a, const Vec3& b, const Vec3& c, Vec3& fa,
+                       Vec3& fb, Vec3& fc);
+
+}  // namespace apr::fem

@@ -1,0 +1,100 @@
+#include "src/geometry/off_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apr::geometry {
+
+namespace {
+
+/// Next non-comment, non-empty line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find('#');
+    if (pos != std::string::npos) line.erase(pos);
+    bool blank = true;
+    for (char ch : line) {
+      if (!std::isspace(static_cast<unsigned char>(ch))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+mesh::TriMesh read_off(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_off: cannot open " + path);
+
+  std::string line;
+  if (!next_line(is, line)) throw std::runtime_error("read_off: empty file");
+  std::istringstream header(line);
+  std::string magic;
+  header >> magic;
+  if (magic != "OFF") throw std::runtime_error("read_off: missing OFF magic");
+
+  std::size_t nv = 0;
+  std::size_t nf = 0;
+  std::size_t ne = 0;
+  // Counts may share the magic line or be on their own.
+  if (!(header >> nv >> nf >> ne)) {
+    if (!next_line(is, line)) throw std::runtime_error("read_off: no counts");
+    std::istringstream counts(line);
+    if (!(counts >> nv >> nf >> ne)) {
+      throw std::runtime_error("read_off: malformed counts");
+    }
+  }
+
+  mesh::TriMesh out;
+  out.vertices.reserve(nv);
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (!next_line(is, line)) throw std::runtime_error("read_off: truncated");
+    std::istringstream v(line);
+    Vec3 p;
+    if (!(v >> p.x >> p.y >> p.z)) {
+      throw std::runtime_error("read_off: malformed vertex");
+    }
+    out.vertices.push_back(p);
+  }
+  out.triangles.reserve(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (!next_line(is, line)) throw std::runtime_error("read_off: truncated");
+    std::istringstream f(line);
+    int k = 0;
+    if (!(f >> k) || k < 3) {
+      throw std::runtime_error("read_off: malformed face");
+    }
+    std::vector<int> ids(k);
+    for (int j = 0; j < k; ++j) {
+      if (!(f >> ids[j]) || ids[j] < 0 ||
+          ids[j] >= static_cast<int>(out.vertices.size())) {
+        throw std::runtime_error("read_off: face index out of range");
+      }
+    }
+    for (int j = 1; j + 1 < k; ++j) {
+      out.triangles.push_back({ids[0], ids[j], ids[j + 1]});
+    }
+  }
+  return out;
+}
+
+void write_off(const std::string& path, const mesh::TriMesh& mesh) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_off: cannot open " + path);
+  os << "OFF\n"
+     << mesh.num_vertices() << " " << mesh.num_triangles() << " 0\n";
+  os.precision(12);
+  for (const auto& v : mesh.vertices) {
+    os << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& t : mesh.triangles) {
+    os << "3 " << t[0] << " " << t[1] << " " << t[2] << "\n";
+  }
+}
+
+}  // namespace apr::geometry

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file off_io.hpp
+/// Object File Format (OFF) surface-mesh reader/writer. HARVEY specifies
+/// its simulation domains as OFF files (paper artifact description); this
+/// reproduction uses OFF for cell meshes and for exporting the procedural
+/// vasculature surfaces.
+
+#include <string>
+
+#include "src/mesh/trimesh.hpp"
+
+namespace apr::geometry {
+
+/// Parse an OFF file. Faces with more than three vertices are fan-
+/// triangulated. Throws std::runtime_error on malformed input.
+mesh::TriMesh read_off(const std::string& path);
+
+/// Write a TriMesh as OFF.
+void write_off(const std::string& path, const mesh::TriMesh& mesh);
+
+}  // namespace apr::geometry

@@ -1,0 +1,214 @@
+#include "src/geometry/vasculature.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace apr::geometry {
+
+double VesselSegment::volume() const {
+  const double l = length();
+  return std::numbers::pi / 3.0 * l * (ra * ra + ra * rb + rb * rb);
+}
+
+namespace {
+
+/// Signed distance (positive inside) to one tapered capsule.
+double segment_sdf(const VesselSegment& s, const Vec3& p) {
+  const Vec3 ab = s.b - s.a;
+  const double len2 = norm2(ab);
+  double t = len2 > 0.0 ? dot(p - s.a, ab) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const Vec3 closest = s.a + ab * t;
+  const double r = s.ra + t * (s.rb - s.ra);
+  return r - distance(p, closest);
+}
+
+/// An arbitrary unit vector orthogonal to d.
+Vec3 orthogonal(const Vec3& d) {
+  const Vec3 ref =
+      std::abs(d.x) < 0.9 ? Vec3{1.0, 0.0, 0.0} : Vec3{0.0, 1.0, 0.0};
+  return normalized(cross(d, ref));
+}
+
+/// Rotate v about unit axis k by angle (Rodrigues).
+Vec3 rotate_about(const Vec3& v, const Vec3& k, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return v * c + cross(k, v) * s + k * (dot(k, v) * (1.0 - c));
+}
+
+}  // namespace
+
+Vasculature::Vasculature(std::vector<VesselSegment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("Vasculature: no segments");
+  }
+  for (const auto& s : segments_) {
+    const double r = std::max(s.ra, s.rb);
+    bounds_.include(s.a - Vec3{r, r, r});
+    bounds_.include(s.a + Vec3{r, r, r});
+    bounds_.include(s.b - Vec3{r, r, r});
+    bounds_.include(s.b + Vec3{r, r, r});
+  }
+}
+
+Vasculature Vasculature::branching_tree(const VasculatureParams& params,
+                                        Rng& rng) {
+  std::vector<VesselSegment> segs;
+  struct Frontier {
+    int parent;
+    Vec3 tip;
+    Vec3 dir;
+    double radius;
+    double length;
+    int level;
+  };
+  std::vector<Frontier> frontier;
+
+  // Root segment.
+  {
+    VesselSegment root;
+    root.a = params.root_position;
+    const Vec3 d = normalized(params.root_direction);
+    root.b = root.a + d * params.root_length;
+    root.ra = params.root_radius;
+    root.rb = params.root_radius * params.taper;
+    root.parent = -1;
+    root.level = 0;
+    segs.push_back(root);
+    frontier.push_back({0, root.b, d, root.rb,
+                        params.root_length * params.length_ratio, 1});
+  }
+
+  while (!frontier.empty()) {
+    const Frontier f = frontier.back();
+    frontier.pop_back();
+    if (f.level > params.levels) continue;
+
+    // Two daughters in a randomly oriented bifurcation plane.
+    const Vec3 n = orthogonal(f.dir);
+    const double roll = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const Vec3 plane_n = rotate_about(n, f.dir, roll);
+    for (int side = 0; side < 2; ++side) {
+      const double angle = (side == 0 ? 1.0 : -1.0) *
+                           (params.branch_angle +
+                            rng.uniform(-params.angle_jitter,
+                                        params.angle_jitter));
+      const Vec3 d = normalized(rotate_about(f.dir, plane_n, angle));
+      VesselSegment s;
+      s.a = f.tip;
+      s.b = f.tip + d * f.length;
+      s.ra = f.radius * params.radius_ratio;
+      s.rb = s.ra * params.taper;
+      s.parent = f.parent;
+      s.level = f.level;
+      const int idx = static_cast<int>(segs.size());
+      segs.push_back(s);
+      frontier.push_back({idx, s.b, d, s.rb,
+                          f.length * params.length_ratio, f.level + 1});
+    }
+  }
+  return Vasculature(std::move(segs));
+}
+
+Vasculature Vasculature::cerebral_like(Rng& rng, double scale) {
+  VasculatureParams p;
+  p.root_position = Vec3{};
+  p.root_direction = {0.15, 0.1, 1.0};
+  p.root_radius = 150e-6 * scale;
+  p.root_length = 1.5e-3 * scale;
+  p.levels = 5;
+  p.radius_ratio = 0.794;
+  p.length_ratio = 0.75;
+  p.branch_angle = 0.6;
+  p.angle_jitter = 0.25;  // tortuous
+  p.taper = 0.88;
+  return branching_tree(p, rng);
+}
+
+Vasculature Vasculature::upper_body_like(Rng& rng, double scale) {
+  VasculatureParams p;
+  p.root_position = Vec3{};
+  p.root_direction = {0.0, 0.0, 1.0};
+  p.root_radius = 1.0e-2 * scale;  // aorta ~2 cm diameter
+  p.root_length = 10.0e-2 * scale;
+  p.levels = 6;
+  p.radius_ratio = 0.75;
+  p.length_ratio = 0.7;
+  p.branch_angle = 0.45;
+  p.angle_jitter = 0.1;
+  p.taper = 0.92;
+  return branching_tree(p, rng);
+}
+
+double Vasculature::signed_distance(const Vec3& p) const {
+  double best = -std::numeric_limits<double>::max();
+  for (const auto& s : segments_) {
+    best = std::max(best, segment_sdf(s, p));
+  }
+  return best;
+}
+
+Aabb Vasculature::bounds() const { return bounds_; }
+
+double Vasculature::total_volume() const {
+  double v = 0.0;
+  for (const auto& s : segments_) v += s.volume();
+  return v;
+}
+
+std::vector<Vec3> Vasculature::main_path(double step) const {
+  if (step <= 0.0) throw std::invalid_argument("main_path: step must be > 0");
+  // Chain of segments from the root to the deepest reachable leaf; ties
+  // broken by path length.
+  const int n = static_cast<int>(segments_.size());
+  std::vector<double> depth(n, 0.0);
+  std::vector<int> next(n, -1);
+  // Segments were appended parents-first, so a reverse sweep accumulates
+  // subtree depth.
+  for (int i = n - 1; i >= 0; --i) {
+    const int parent = segments_[i].parent;
+    const double d = depth[i] + segments_[i].length();
+    if (parent >= 0 && d > depth[parent]) {
+      depth[parent] = d;
+      next[parent] = i;
+    }
+  }
+  // Root is segment 0 by construction.
+  std::vector<Vec3> path;
+  int cur = 0;
+  while (cur >= 0) {
+    const VesselSegment& s = segments_[cur];
+    const double len = s.length();
+    const int samples = std::max(1, static_cast<int>(std::ceil(len / step)));
+    for (int k = 0; k < samples; ++k) {
+      const double t = static_cast<double>(k) / samples;
+      path.push_back(s.a + (s.b - s.a) * t);
+    }
+    if (next[cur] < 0) path.push_back(s.b);
+    cur = next[cur];
+  }
+  return path;
+}
+
+double Vasculature::local_radius(const Vec3& p) const {
+  double best_d = std::numeric_limits<double>::max();
+  double best_r = 0.0;
+  for (const auto& s : segments_) {
+    const Vec3 ab = s.b - s.a;
+    const double len2 = norm2(ab);
+    double t = len2 > 0.0 ? dot(p - s.a, ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const double d = distance(p, s.a + ab * t);
+    if (d < best_d) {
+      best_d = d;
+      best_r = s.ra + t * (s.rb - s.ra);
+    }
+  }
+  return best_r;
+}
+
+}  // namespace apr::geometry

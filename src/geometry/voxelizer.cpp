@@ -1,0 +1,70 @@
+#include "src/geometry/voxelizer.hpp"
+
+#include <cmath>
+
+namespace apr::geometry {
+
+VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain) {
+  lbm::mark_walls_by_predicate(
+      lat, [&](const Vec3& p) { return domain.inside(p); });
+  VoxelizeStats stats;
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    switch (lat.type(i)) {
+      case lbm::NodeType::Fluid:
+        ++stats.fluid;
+        break;
+      case lbm::NodeType::Wall:
+        ++stats.wall;
+        break;
+      case lbm::NodeType::Exterior:
+        ++stats.exterior;
+        break;
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+void mark_inlet(lbm::Lattice& lat, const Domain& domain, lbm::Face face,
+                const std::function<Vec3(const Vec3&)>& profile) {
+  lbm::mark_face_velocity(lat, face, [&](const Vec3& p) {
+    return domain.inside(p) ? profile(p) : Vec3{};
+  });
+  // Nodes on the face but outside the domain should stay walls/exterior:
+  // re-classify them.
+  const int nx = lat.nx();
+  const int ny = lat.ny();
+  const int nz = lat.nz();
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const bool on_face =
+            (face == lbm::Face::XMin && x == 0) ||
+            (face == lbm::Face::XMax && x == nx - 1) ||
+            (face == lbm::Face::YMin && y == 0) ||
+            (face == lbm::Face::YMax && y == ny - 1) ||
+            (face == lbm::Face::ZMin && z == 0) ||
+            (face == lbm::Face::ZMax && z == nz - 1);
+        if (!on_face) continue;
+        const std::size_t i = lat.idx(x, y, z);
+        if (!domain.inside(lat.position(x, y, z))) {
+          lat.set_type(i, lbm::NodeType::Wall);
+          lat.set_boundary_velocity(i, Vec3{});
+        }
+      }
+    }
+  }
+}
+
+lbm::Lattice make_lattice_for(const Domain& domain, double dx, double tau,
+                              int margin_nodes) {
+  const Aabb b = domain.bounds().inflated(margin_nodes * dx);
+  const Vec3 e = b.extent();
+  const int nx = static_cast<int>(std::ceil(e.x / dx)) + 1;
+  const int ny = static_cast<int>(std::ceil(e.y / dx)) + 1;
+  const int nz = static_cast<int>(std::ceil(e.z / dx)) + 1;
+  return lbm::Lattice(nx, ny, nz, b.lo, dx, tau);
+}
+
+}  // namespace apr::geometry

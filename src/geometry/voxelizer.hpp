@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file voxelizer.hpp
+/// Maps a Domain onto a Lattice: interior nodes stay Fluid, exterior nodes
+/// adjacent to fluid become Wall (halfway bounce-back), the rest become
+/// Exterior. Also marks inlet/outlet faces for through-flow domains.
+
+#include <functional>
+
+#include "src/geometry/domain.hpp"
+#include "src/lbm/boundary.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::geometry {
+
+struct VoxelizeStats {
+  std::size_t fluid = 0;
+  std::size_t wall = 0;
+  std::size_t exterior = 0;
+};
+
+/// Classify every lattice node against the domain.
+VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain);
+
+/// Mark the interior (inside-domain) nodes of one outer lattice face as a
+/// velocity inlet with the given profile; typically used together with a
+/// matching outlet on the opposite face.
+void mark_inlet(lbm::Lattice& lat, const Domain& domain, lbm::Face face,
+                const std::function<Vec3(const Vec3&)>& profile);
+
+/// Construct a lattice that covers `domain.bounds()` inflated by
+/// `margin_nodes` spacings, at spacing dx.
+lbm::Lattice make_lattice_for(const Domain& domain, double dx, double tau,
+                              int margin_nodes = 1);
+
+}  // namespace apr::geometry

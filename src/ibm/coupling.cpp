@@ -1,0 +1,112 @@
+#include "src/ibm/coupling.hpp"
+
+namespace apr::ibm {
+
+namespace {
+
+struct Support {
+  int fx = 0, fy = 0, fz = 0;          // first node index per axis
+  int nx = 0, ny = 0, nz = 0;          // support counts
+  std::array<double, 4> wx{}, wy{}, wz{};
+};
+
+Support build_support(const lbm::Lattice& lat, const Vec3& p,
+                      DeltaKernel kernel) {
+  const Vec3 lc = lat.to_lattice(p);
+  Support s;
+  s.nx = delta_weights(kernel, lc.x, &s.fx, s.wx);
+  s.ny = delta_weights(kernel, lc.y, &s.fy, s.wy);
+  s.nz = delta_weights(kernel, lc.z, &s.fz, s.wz);
+  return s;
+}
+
+}  // namespace
+
+void interpolate_velocities(const lbm::Lattice& lat,
+                            const std::vector<Vec3>& positions,
+                            std::vector<Vec3>& velocities,
+                            DeltaKernel kernel) {
+  velocities.resize(positions.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t vi = 0;
+       vi < static_cast<std::ptrdiff_t>(positions.size()); ++vi) {
+    const Support s = build_support(lat, positions[vi], kernel);
+    Vec3 u{};
+    for (int kz = 0; kz < s.nz; ++kz) {
+      const int z = s.fz + kz;
+      if (z < 0 || z >= lat.nz()) continue;
+      for (int ky = 0; ky < s.ny; ++ky) {
+        const int y = s.fy + ky;
+        if (y < 0 || y >= lat.ny()) continue;
+        const double wyz = s.wy[ky] * s.wz[kz];
+        for (int kx = 0; kx < s.nx; ++kx) {
+          const int x = s.fx + kx;
+          if (x < 0 || x >= lat.nx()) continue;
+          u += lat.velocity(lat.idx(x, y, z)) * (s.wx[kx] * wyz);
+        }
+      }
+    }
+    velocities[vi] = u;
+  }
+}
+
+void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
+                   const std::vector<Vec3>& forces, DeltaKernel kernel) {
+  // Serial over vertices: spreading scatters, so parallelizing requires
+  // atomics or coloring; vertex counts are small relative to lattice work.
+  for (std::size_t vi = 0; vi < positions.size(); ++vi) {
+    const Support s = build_support(lat, positions[vi], kernel);
+    const Vec3 g = forces[vi];
+    for (int kz = 0; kz < s.nz; ++kz) {
+      const int z = s.fz + kz;
+      if (z < 0 || z >= lat.nz()) continue;
+      for (int ky = 0; ky < s.ny; ++ky) {
+        const int y = s.fy + ky;
+        if (y < 0 || y >= lat.ny()) continue;
+        const double wyz = s.wy[ky] * s.wz[kz];
+        for (int kx = 0; kx < s.nx; ++kx) {
+          const int x = s.fx + kx;
+          if (x < 0 || x >= lat.nx()) continue;
+          const std::size_t i = lat.idx(x, y, z);
+          if (lat.type(i) == lbm::NodeType::Exterior ||
+              lat.type(i) == lbm::NodeType::Wall) {
+            continue;
+          }
+          lat.add_force(i, g * (s.wx[kx] * wyz));
+        }
+      }
+    }
+  }
+}
+
+void update_positions(const lbm::Lattice& lat, std::vector<Vec3>& positions,
+                      const std::vector<Vec3>& lattice_velocities) {
+  const double dx = lat.dx();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t vi = 0;
+       vi < static_cast<std::ptrdiff_t>(positions.size()); ++vi) {
+    positions[vi] += lattice_velocities[vi] * dx;
+  }
+}
+
+double kernel_weight_sum(const lbm::Lattice& lat, const Vec3& position,
+                         DeltaKernel kernel) {
+  const Support s = build_support(lat, position, kernel);
+  double sum = 0.0;
+  for (int kz = 0; kz < s.nz; ++kz) {
+    const int z = s.fz + kz;
+    if (z < 0 || z >= lat.nz()) continue;
+    for (int ky = 0; ky < s.ny; ++ky) {
+      const int y = s.fy + ky;
+      if (y < 0 || y >= lat.ny()) continue;
+      for (int kx = 0; kx < s.nx; ++kx) {
+        const int x = s.fx + kx;
+        if (x < 0 || x >= lat.nx()) continue;
+        sum += s.wx[kx] * s.wy[ky] * s.wz[kz];
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace apr::ibm

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file coupling.hpp
+/// The three immersed-boundary phases of paper §2.3 (Eqs. 4-6):
+/// interpolation of Eulerian velocity to membrane vertices, explicit
+/// vertex update, and spreading of membrane forces back to the lattice.
+/// All operations work in the fine lattice's coordinates; vertex positions
+/// and forces are physical, conversions happen internally.
+
+#include <vector>
+
+#include "src/common/vec3.hpp"
+#include "src/ibm/delta.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::ibm {
+
+/// Interpolate the lattice's cached velocity field at physical vertex
+/// positions (Eq. 4). Velocities are returned in *lattice* units (grid
+/// spacings per time step); multiply by dx/dt for physical.
+void interpolate_velocities(const lbm::Lattice& lat,
+                            const std::vector<Vec3>& positions,
+                            std::vector<Vec3>& velocities,
+                            DeltaKernel kernel = DeltaKernel::Cosine4);
+
+/// Spread per-vertex forces (given in lattice force units) onto the
+/// lattice's force field (Eq. 6).
+void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
+                   const std::vector<Vec3>& forces,
+                   DeltaKernel kernel = DeltaKernel::Cosine4);
+
+/// Explicit no-slip vertex update (Eq. 5): X += V * dt with V in lattice
+/// units and dt one fine time step, i.e. a physical displacement of
+/// V * dx per step.
+void update_positions(const lbm::Lattice& lat, std::vector<Vec3>& positions,
+                      const std::vector<Vec3>& lattice_velocities);
+
+/// Sum of the 3D kernel weights at a position (diagnostic; should be 1 in
+/// the interior, < 1 if the support leaves the lattice).
+double kernel_weight_sum(const lbm::Lattice& lat, const Vec3& position,
+                         DeltaKernel kernel = DeltaKernel::Cosine4);
+
+}  // namespace apr::ibm

@@ -1,0 +1,128 @@
+#include "src/io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace apr::io {
+
+namespace {
+
+constexpr std::uint32_t kLatticeMagic = 0x4150524C;  // "APRL"
+constexpr std::uint32_t kCellsMagic = 0x41505243;    // "APRC"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+}
+
+}  // namespace
+
+void save_lattice(const std::string& path, const lbm::Lattice& lat) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_pod(os, kLatticeMagic);
+  write_pod(os, kVersion);
+  write_pod(os, lat.nx());
+  write_pod(os, lat.ny());
+  write_pod(os, lat.nz());
+  write_pod(os, lat.origin());
+  write_pod(os, lat.dx());
+  const std::size_t n = lat.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    write_pod(os, static_cast<std::uint8_t>(lat.type(i)));
+    write_pod(os, lat.tau(i));
+    write_pod(os, lat.boundary_velocity(i));
+    for (int q = 0; q < lbm::kQ; ++q) write_pod(os, lat.f(q, i));
+  }
+}
+
+void load_lattice(const std::string& path, lbm::Lattice& lat) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  if (magic != kLatticeMagic || version != kVersion) {
+    throw std::runtime_error("checkpoint: bad lattice header");
+  }
+  int nx = 0, ny = 0, nz = 0;
+  Vec3 origin;
+  double dx = 0.0;
+  read_pod(is, nx);
+  read_pod(is, ny);
+  read_pod(is, nz);
+  read_pod(is, origin);
+  read_pod(is, dx);
+  if (nx != lat.nx() || ny != lat.ny() || nz != lat.nz() ||
+      std::abs(dx - lat.dx()) > 1e-15) {
+    throw std::runtime_error("checkpoint: lattice geometry mismatch");
+  }
+  const std::size_t n = lat.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t type = 0;
+    double tau = 1.0;
+    Vec3 ubc;
+    read_pod(is, type);
+    read_pod(is, tau);
+    read_pod(is, ubc);
+    lat.set_type(i, static_cast<lbm::NodeType>(type));
+    lat.set_tau(i, tau);
+    lat.set_boundary_velocity(i, ubc);
+    for (int q = 0; q < lbm::kQ; ++q) {
+      double fq = 0.0;
+      read_pod(is, fq);
+      lat.set_f(q, i, fq);
+    }
+  }
+  lat.update_macroscopic();
+}
+
+void save_cells(const std::string& path, const cells::CellPool& pool) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_pod(os, kCellsMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(pool.size()));
+  write_pod(os, static_cast<std::uint32_t>(pool.vertices_per_cell()));
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    write_pod(os, pool.id(s));
+    for (const Vec3& v : pool.positions(s)) write_pod(os, v);
+  }
+}
+
+void load_cells(const std::string& path, cells::CellPool& pool) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  if (magic != kCellsMagic || version != kVersion) {
+    throw std::runtime_error("checkpoint: bad cells header");
+  }
+  std::uint64_t count = 0;
+  std::uint32_t nv = 0;
+  read_pod(is, count);
+  read_pod(is, nv);
+  if (nv != static_cast<std::uint32_t>(pool.vertices_per_cell())) {
+    throw std::runtime_error("checkpoint: vertex-count mismatch");
+  }
+  std::vector<Vec3> verts(nv);
+  for (std::uint64_t c = 0; c < count; ++c) {
+    std::uint64_t id = 0;
+    read_pod(is, id);
+    for (auto& v : verts) read_pod(is, v);
+    pool.add(id, verts);
+  }
+}
+
+}  // namespace apr::io

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Binary checkpointing of simulation state: lattice distributions +
+/// per-node metadata, and cell-pool contents (ids + vertex positions).
+/// Long window-tracking runs (the paper's Fig. 9 ran for days of wall
+/// time) need restartability; the format is a simple tagged binary layout
+/// with a magic/version header, validated on load.
+
+#include <string>
+
+#include "src/cells/cell_pool.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::io {
+
+/// Save the lattice's distributions, node types, taus and boundary
+/// velocities. Geometry (dims, origin, dx) is stored for validation.
+void save_lattice(const std::string& path, const lbm::Lattice& lat);
+
+/// Restore a previously saved lattice state into `lat`; throws
+/// std::runtime_error if the on-disk geometry does not match.
+void load_lattice(const std::string& path, lbm::Lattice& lat);
+
+/// Save the pool's live cells (ids + positions; forces/velocities are
+/// re-derived on the next step).
+void save_cells(const std::string& path, const cells::CellPool& pool);
+
+/// Restore cells into an empty-or-compatible pool (same vertex count);
+/// existing cells with clashing ids cause a throw.
+void load_cells(const std::string& path, cells::CellPool& pool);
+
+}  // namespace apr::io

@@ -1,0 +1,98 @@
+#include "src/io/vtk.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace apr::io {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("vtk: cannot open " + path);
+  os.precision(9);
+  return os;
+}
+
+}  // namespace
+
+void write_lattice_vtk(const std::string& path, const lbm::Lattice& lat) {
+  std::ofstream os = open_or_throw(path);
+  const std::size_t n = lat.num_nodes();
+  os << "# vtk DataFile Version 3.0\nhemoapr lattice\nASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << lat.nx() << " " << lat.ny() << " " << lat.nz()
+     << "\n"
+     << "ORIGIN " << lat.origin().x << " " << lat.origin().y << " "
+     << lat.origin().z << "\n"
+     << "SPACING " << lat.dx() << " " << lat.dx() << " " << lat.dx() << "\n"
+     << "POINT_DATA " << n << "\n";
+
+  os << "SCALARS density double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << (lat.type(i) == lbm::NodeType::Exterior ? 0.0 : lat.rho(i)) << "\n";
+  }
+  os << "SCALARS node_type int 1\nLOOKUP_TABLE default\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << static_cast<int>(lat.type(i)) << "\n";
+  }
+  os << "VECTORS velocity double\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lat.type(i) == lbm::NodeType::Exterior) {
+      os << "0 0 0\n";
+    } else {
+      const Vec3& u = lat.velocity(i);
+      os << u.x << " " << u.y << " " << u.z << "\n";
+    }
+  }
+}
+
+void write_cells_vtk(const std::string& path, const cells::CellPool& pool) {
+  std::ofstream os = open_or_throw(path);
+  const int nv = pool.vertices_per_cell();
+  const auto& tris = pool.model().reference().triangles;
+  const std::size_t cells_count = pool.size();
+  const std::size_t total_verts = cells_count * nv;
+  const std::size_t total_tris = cells_count * tris.size();
+
+  os << "# vtk DataFile Version 3.0\nhemoapr cells\nASCII\n"
+     << "DATASET POLYDATA\nPOINTS " << total_verts << " double\n";
+  for (std::size_t s = 0; s < cells_count; ++s) {
+    for (const Vec3& v : pool.positions(s)) {
+      os << v.x << " " << v.y << " " << v.z << "\n";
+    }
+  }
+  os << "POLYGONS " << total_tris << " " << total_tris * 4 << "\n";
+  for (std::size_t s = 0; s < cells_count; ++s) {
+    const std::size_t base = s * nv;
+    for (const auto& t : tris) {
+      os << "3 " << base + t[0] << " " << base + t[1] << " " << base + t[2]
+         << "\n";
+    }
+  }
+  os << "POINT_DATA " << total_verts << "\n"
+     << "SCALARS force_magnitude double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t s = 0; s < cells_count; ++s) {
+    for (const Vec3& f : pool.forces(s)) os << norm(f) << "\n";
+  }
+  os << "SCALARS cell_id int 1\nLOOKUP_TABLE default\n";
+  for (std::size_t s = 0; s < cells_count; ++s) {
+    for (int v = 0; v < nv; ++v) os << pool.id(s) << "\n";
+  }
+}
+
+void write_mesh_vtk(const std::string& path, const mesh::TriMesh& mesh) {
+  std::ofstream os = open_or_throw(path);
+  os << "# vtk DataFile Version 3.0\nhemoapr mesh\nASCII\n"
+     << "DATASET POLYDATA\nPOINTS " << mesh.num_vertices() << " double\n";
+  for (const Vec3& v : mesh.vertices) {
+    os << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  os << "POLYGONS " << mesh.num_triangles() << " "
+     << mesh.num_triangles() * 4 << "\n";
+  for (const auto& t : mesh.triangles) {
+    os << "3 " << t[0] << " " << t[1] << " " << t[2] << "\n";
+  }
+}
+
+}  // namespace apr::io

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file vtk.hpp
+/// Legacy-VTK writers for visualization: the lattice macroscopic fields as
+/// STRUCTURED_POINTS and cell membranes as POLYDATA. The paper's figures
+/// (velocity contours, deformed RBC/CTC surfaces with force contours) are
+/// renderings of exactly these exports.
+
+#include <string>
+#include <vector>
+
+#include "src/cells/cell_pool.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::io {
+
+/// Write the lattice's cached density/velocity (plus node type) as a
+/// legacy-VTK structured-points dataset. Exterior nodes carry zeros.
+void write_lattice_vtk(const std::string& path, const lbm::Lattice& lat);
+
+/// Write every cell of `pool` into one POLYDATA file: vertex positions,
+/// triangles, and per-vertex force magnitude (the paper's Fig. 9 inset
+/// contours) plus the owning cell id.
+void write_cells_vtk(const std::string& path, const cells::CellPool& pool);
+
+/// Write a single triangulated surface.
+void write_mesh_vtk(const std::string& path, const mesh::TriMesh& mesh);
+
+}  // namespace apr::io

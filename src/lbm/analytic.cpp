@@ -1,0 +1,63 @@
+#include "src/lbm/analytic.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace apr::lbm {
+
+LayeredCouette::LayeredCouette(std::vector<double> heights,
+                               std::vector<double> viscosities,
+                               double top_speed) {
+  if (heights.empty() || heights.size() != viscosities.size()) {
+    throw std::invalid_argument("LayeredCouette: bad layer spec");
+  }
+  mu_ = std::move(viscosities);
+  y_.resize(heights.size() + 1);
+  y_[0] = 0.0;
+  double resistance = 0.0;  // sum h_j / mu_j
+  for (std::size_t j = 0; j < heights.size(); ++j) {
+    if (heights[j] <= 0.0 || mu_[j] <= 0.0) {
+      throw std::invalid_argument("LayeredCouette: h, mu must be > 0");
+    }
+    y_[j + 1] = y_[j] + heights[j];
+    resistance += heights[j] / mu_[j];
+  }
+  height_ = y_.back();
+  // Constant shear stress through the stack: U = sigma * sum(h_j/mu_j).
+  stress_ = top_speed / resistance;
+  // Velocity at the bottom of each layer.
+  u0_.resize(heights.size());
+  double u = 0.0;
+  for (std::size_t j = 0; j < heights.size(); ++j) {
+    u0_[j] = u;
+    u += stress_ * heights[j] / mu_[j];
+  }
+}
+
+double LayeredCouette::velocity(double y) const {
+  if (y <= 0.0) return 0.0;
+  if (y >= height_) return u0_.back() + stress_ * (y_.back() - y_[y_.size() - 2]) / mu_.back();
+  // Find the layer containing y.
+  std::size_t j = 0;
+  while (j + 1 < u0_.size() && y >= y_[j + 1]) ++j;
+  return u0_[j] + stress_ * (y - y_[j]) / mu_[j];
+}
+
+double plane_poiseuille(double y, double height, double pressure_gradient,
+                        double mu) {
+  return pressure_gradient * y * (height - y) / (2.0 * mu);
+}
+
+double tube_poiseuille(double r, double radius, double pressure_gradient,
+                       double mu) {
+  if (r >= radius) return 0.0;
+  return pressure_gradient * (radius * radius - r * r) / (4.0 * mu);
+}
+
+double tube_poiseuille_flow_rate(double radius, double pressure_gradient,
+                                 double mu) {
+  return std::numbers::pi * pressure_gradient * radius * radius * radius *
+         radius / (8.0 * mu);
+}
+
+}  // namespace apr::lbm

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file analytic.hpp
+/// Closed-form reference solutions used for verification:
+///  - N-layer planar Couette flow with piecewise-constant viscosity
+///    (generalizes Eq. (8) of the paper; continuity of velocity and shear
+///    stress across layer interfaces),
+///  - plane and circular Poiseuille flow.
+
+#include <vector>
+
+#include "src/common/vec3.hpp"
+
+namespace apr::lbm {
+
+/// Planar Couette flow through stacked fluid layers. Layer j occupies
+/// heights [y_j, y_{j+1}) with dynamic viscosity mu_j; the wall at y=0 is
+/// stationary, the wall at y=H moves with speed U in +x.
+class LayeredCouette {
+ public:
+  /// \param heights layer thicknesses h_j (sum = H)
+  /// \param viscosities dynamic viscosities mu_j (same length)
+  /// \param top_speed U of the moving plate
+  LayeredCouette(std::vector<double> heights, std::vector<double> viscosities,
+                 double top_speed);
+
+  /// x-velocity at height y (clamped to [0, H]).
+  double velocity(double y) const;
+
+  /// The (constant) shear stress sigma = mu_j du/dy, identical in every
+  /// layer -- the quantity the multi-viscosity coupling must preserve.
+  double shear_stress() const { return stress_; }
+
+  double total_height() const { return height_; }
+
+ private:
+  std::vector<double> y_;   // interface heights, size layers+1
+  std::vector<double> mu_;  // per-layer viscosity
+  std::vector<double> u0_;  // velocity at the bottom of each layer
+  double stress_;
+  double height_;
+};
+
+/// Plane Poiseuille between walls at y=0 and y=H driven by pressure
+/// gradient G = -dp/dx (force per volume): u(y) = G y (H - y) / (2 mu).
+double plane_poiseuille(double y, double height, double pressure_gradient,
+                        double mu);
+
+/// Circular Poiseuille in a tube of radius R: u(r) = G (R^2 - r^2)/(4 mu).
+double tube_poiseuille(double r, double radius, double pressure_gradient,
+                       double mu);
+
+/// Volumetric flow rate of tube Poiseuille: Q = pi G R^4 / (8 mu).
+double tube_poiseuille_flow_rate(double radius, double pressure_gradient,
+                                 double mu);
+
+}  // namespace apr::lbm

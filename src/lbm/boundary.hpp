@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file boundary.hpp
+/// Helpers that mark boundary node layers on a Lattice: resting/moving
+/// walls, velocity-Dirichlet faces (optionally with an analytic profile),
+/// and cylindrical tube walls. These implement the boundary treatment of
+/// paper §2.1 (halfway bounce-back at walls) plus the Dirichlet faces used
+/// by the verification flows of §3.1-§3.3.
+
+#include <functional>
+
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm {
+
+/// Face identifiers of the lattice box.
+enum class Face { XMin, XMax, YMin, YMax, ZMin, ZMax };
+
+/// Mark all six outer node layers as resting walls.
+void mark_box_walls(Lattice& lat);
+
+/// Mark a single outer face as a (possibly moving) wall.
+void mark_face_wall(Lattice& lat, Face face, const Vec3& wall_velocity = {});
+
+/// Mark a single outer face as a velocity-Dirichlet boundary with constant
+/// velocity (lattice units).
+void mark_face_velocity(Lattice& lat, Face face, const Vec3& u);
+
+/// Mark a single outer face as a velocity-Dirichlet boundary whose velocity
+/// is evaluated per node from the node's physical position.
+void mark_face_velocity(Lattice& lat, Face face,
+                        const std::function<Vec3(const Vec3&)>& profile);
+
+/// Mark every node with distance > radius from the axis (through `center`,
+/// along unit `axis`) as Wall, and everything outside radius+thickness as
+/// Exterior. Returns the number of wall nodes.
+std::size_t mark_tube_walls(Lattice& lat, const Vec3& center, const Vec3& axis,
+                            double radius);
+
+/// Mark nodes as Wall/Exterior according to an arbitrary inside predicate
+/// evaluated at physical node positions: nodes where inside==false become
+/// Wall if they neighbour an inside node, Exterior otherwise.
+std::size_t mark_walls_by_predicate(
+    Lattice& lat, const std::function<bool(const Vec3&)>& inside);
+
+/// Zero-gradient outflow: converts a face's Fluid nodes into Velocity
+/// nodes whose prescribed velocity is refreshed each step from the
+/// distributions of the interior neighbour one node inward. Used to open
+/// vessel trees that cross the lattice boundary (vasculature runs): the
+/// inlet face carries a fixed profile, every other crossing face an
+/// OutflowBoundary.
+class OutflowBoundary {
+ public:
+  /// Convert the face's current Fluid nodes into outlets.
+  static OutflowBoundary mark(Lattice& lat, Face face);
+
+  /// Refresh the outlet velocities (call once per step before stepping).
+  void update(Lattice& lat) const;
+
+  std::size_t size() const { return pairs_.size(); }
+
+ private:
+  /// (outlet node, interior neighbour) index pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
+};
+
+}  // namespace apr::lbm

@@ -1,0 +1,67 @@
+#include "src/lbm/d3q19.hpp"
+
+namespace apr::lbm {
+
+double equilibrium(int q, double rho, const Vec3& u) {
+  const double cu = kC[q][0] * u.x + kC[q][1] * u.y + kC[q][2] * u.z;
+  const double uu = dot(u, u);
+  return kW[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * uu);
+}
+
+void equilibria(double rho, const Vec3& u, std::array<double, kQ>& out) {
+  const double uu = 1.5 * dot(u, u);
+  for (int q = 0; q < kQ; ++q) {
+    const double cu = kC[q][0] * u.x + kC[q][1] * u.y + kC[q][2] * u.z;
+    out[q] = kW[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - uu);
+  }
+}
+
+double density(const std::array<double, kQ>& f) {
+  double rho = 0.0;
+  for (int q = 0; q < kQ; ++q) rho += f[q];
+  return rho;
+}
+
+Vec3 momentum(const std::array<double, kQ>& f) {
+  Vec3 m{};
+  for (int q = 0; q < kQ; ++q) {
+    m.x += kC[q][0] * f[q];
+    m.y += kC[q][1] * f[q];
+    m.z += kC[q][2] * f[q];
+  }
+  return m;
+}
+
+std::array<double, 6> noneq_stress(const std::array<double, kQ>& f,
+                                   double rho, const Vec3& u) {
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  std::array<double, 6> pi{};
+  for (int q = 0; q < kQ; ++q) {
+    const double d = f[q] - feq[q];
+    const double cx = kC[q][0];
+    const double cy = kC[q][1];
+    const double cz = kC[q][2];
+    pi[0] += cx * cx * d;
+    pi[1] += cy * cy * d;
+    pi[2] += cz * cz * d;
+    pi[3] += cx * cy * d;
+    pi[4] += cx * cz * d;
+    pi[5] += cy * cz * d;
+  }
+  return pi;
+}
+
+double guo_source_raw(int q, const Vec3& u, const Vec3& force) {
+  const double cu = kC[q][0] * u.x + kC[q][1] * u.y + kC[q][2] * u.z;
+  const Vec3 c{static_cast<double>(kC[q][0]), static_cast<double>(kC[q][1]),
+               static_cast<double>(kC[q][2])};
+  const Vec3 term = (c - u) * 3.0 + c * (9.0 * cu);
+  return kW[q] * dot(term, force);
+}
+
+double guo_source(int q, double tau, const Vec3& u, const Vec3& force) {
+  return (1.0 - 0.5 / tau) * guo_source_raw(q, u, force);
+}
+
+}  // namespace apr::lbm

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file d3q19.hpp
+/// The D3Q19 velocity discretization used by HARVEY and by this
+/// reproduction (paper §2.1): 19 discrete velocities (1 rest, 6 axial,
+/// 12 planar diagonals), BGK collision, lattice speed of sound
+/// cs^2 = 1/3 in lattice units.
+
+#include <array>
+
+#include "src/common/units.hpp"
+#include "src/common/vec3.hpp"
+
+namespace apr::lbm {
+
+inline constexpr int kQ = 19;
+
+/// Discrete velocity components, index q in [0, 19).
+/// Order: rest, +x,-x,+y,-y,+z,-z, then the 12 planar diagonals.
+inline constexpr std::array<std::array<int, 3>, kQ> kC = {{
+    {0, 0, 0},    // 0
+    {1, 0, 0},    // 1
+    {-1, 0, 0},   // 2
+    {0, 1, 0},    // 3
+    {0, -1, 0},   // 4
+    {0, 0, 1},    // 5
+    {0, 0, -1},   // 6
+    {1, 1, 0},    // 7
+    {-1, -1, 0},  // 8
+    {1, -1, 0},   // 9
+    {-1, 1, 0},   // 10
+    {1, 0, 1},    // 11
+    {-1, 0, -1},  // 12
+    {1, 0, -1},   // 13
+    {-1, 0, 1},   // 14
+    {0, 1, 1},    // 15
+    {0, -1, -1},  // 16
+    {0, 1, -1},   // 17
+    {0, -1, 1},   // 18
+}};
+
+/// Quadrature weights.
+inline constexpr std::array<double, kQ> kW = {
+    1.0 / 3.0,  1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+    1.0 / 18.0, 1.0 / 18.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+/// Index of the opposite velocity: c[opp(q)] == -c[q].
+inline constexpr std::array<int, kQ> kOpp = {0, 2,  1,  4,  3,  6,  5,
+                                             8, 7,  10, 9,  12, 11, 14,
+                                             13, 16, 15, 18, 17};
+
+/// Maxwell-Boltzmann equilibrium truncated to second order:
+///   feq_q = w_q rho (1 + 3 c.u + 9/2 (c.u)^2 - 3/2 u.u)
+double equilibrium(int q, double rho, const Vec3& u);
+
+/// All 19 equilibria at once (cheaper: u.u hoisted).
+void equilibria(double rho, const Vec3& u, std::array<double, kQ>& out);
+
+/// Density moment rho = sum_q f_q.
+double density(const std::array<double, kQ>& f);
+
+/// Momentum moment rho*u = sum_q c_q f_q (no forcing correction).
+Vec3 momentum(const std::array<double, kQ>& f);
+
+/// Deviatoric second moment of the non-equilibrium part,
+/// Pi^neq_ab = sum_q c_qa c_qb (f_q - feq_q). Returned as the 6 unique
+/// components (xx, yy, zz, xy, xz, yz). Used by the multi-viscosity
+/// coupler to verify stress continuity.
+std::array<double, 6> noneq_stress(const std::array<double, kQ>& f,
+                                   double rho, const Vec3& u);
+
+/// Guo forcing source term for direction q given velocity u, force F and
+/// relaxation time tau (the (1 - 1/(2tau)) prefactor included):
+///   S_q = (1 - 1/(2 tau)) w_q [ (c - u)/cs^2 + (c.u) c / cs^4 ] . F
+double guo_source(int q, double tau, const Vec3& u, const Vec3& force);
+
+/// Guo source term WITHOUT the (1 - 1/(2 tau)) prefactor; the TRT
+/// collision applies parity-dependent prefactors (1 - omega+/2) and
+/// (1 - omega-/2) to the even/odd parts instead.
+double guo_source_raw(int q, const Vec3& u, const Vec3& force);
+
+}  // namespace apr::lbm

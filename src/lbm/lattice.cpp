@@ -1,0 +1,431 @@
+#include "src/lbm/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apr::lbm {
+
+Lattice::Lattice(int nx, int ny, int nz, const Vec3& origin, double dx,
+                 double tau)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      n_(static_cast<std::size_t>(nx) * ny * nz),
+      origin_(origin),
+      dx_(dx) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("Lattice: dimensions must be positive");
+  }
+  if (dx <= 0.0) throw std::invalid_argument("Lattice: dx must be > 0");
+  if (tau <= 0.5) throw std::invalid_argument("Lattice: tau must exceed 1/2");
+  f_.assign(kQ * n_, 0.0);
+  ftmp_.assign(kQ * n_, 0.0);
+  type_.assign(n_, NodeType::Fluid);
+  tau_.assign(n_, tau);
+  ubc_.assign(n_, Vec3{});
+  force_.assign(n_, Vec3{});
+  rho_.assign(n_, 1.0);
+  u_.assign(n_, Vec3{});
+}
+
+Aabb Lattice::bounds() const {
+  return {origin_, position(nx_ - 1, ny_ - 1, nz_ - 1)};
+}
+
+std::array<double, kQ> Lattice::f_node(std::size_t i) const {
+  std::array<double, kQ> out;
+  for (int q = 0; q < kQ; ++q) out[q] = f_[q * n_ + i];
+  return out;
+}
+
+void Lattice::set_f_node(std::size_t i, const std::array<double, kQ>& f) {
+  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = f[q];
+}
+
+void Lattice::set_uniform_tau(double tau) {
+  std::fill(tau_.begin(), tau_.end(), tau);
+}
+
+void Lattice::init_equilibrium(double rho, const Vec3& u) {
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (type_[i] == NodeType::Exterior) continue;
+    for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = feq[q];
+    rho_[i] = rho;
+    u_[i] = u;
+  }
+}
+
+void Lattice::init_node_equilibrium(std::size_t i, double rho, const Vec3& u) {
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = feq[q];
+  rho_[i] = rho;
+  u_[i] = u;
+}
+
+void Lattice::set_body_force(const Vec3& f) {
+  body_force_ = f;
+  clear_forces();
+}
+
+void Lattice::clear_forces() {
+  std::fill(force_.begin(), force_.end(), body_force_);
+}
+
+void Lattice::update_macroscopic() {
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n_); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    if (type_[i] != NodeType::Fluid && type_[i] != NodeType::Coupling) {
+      continue;
+    }
+    double rho = 0.0;
+    Vec3 mom{};
+    for (int q = 0; q < kQ; ++q) {
+      const double fq = f_[q * n_ + i];
+      rho += fq;
+      mom.x += kC[q][0] * fq;
+      mom.y += kC[q][1] * fq;
+      mom.z += kC[q][2] * fq;
+    }
+    rho_[i] = rho;
+    // Guo: physical velocity includes half the force impulse.
+    u_[i] = (mom + force_[i] * 0.5) / rho;
+  }
+}
+
+Vec3 Lattice::interpolate_velocity(const Vec3& p) const {
+  Vec3 lc = to_lattice(p);
+  lc.x = std::clamp(lc.x, 0.0, static_cast<double>(nx_ - 1));
+  lc.y = std::clamp(lc.y, 0.0, static_cast<double>(ny_ - 1));
+  lc.z = std::clamp(lc.z, 0.0, static_cast<double>(nz_ - 1));
+  const int x0 = std::min(static_cast<int>(lc.x), nx_ - 2 < 0 ? 0 : nx_ - 2);
+  const int y0 = std::min(static_cast<int>(lc.y), ny_ - 2 < 0 ? 0 : ny_ - 2);
+  const int z0 = std::min(static_cast<int>(lc.z), nz_ - 2 < 0 ? 0 : nz_ - 2);
+  const double fx = lc.x - x0;
+  const double fy = lc.y - y0;
+  const double fz = lc.z - z0;
+  Vec3 out{};
+  for (int dz = 0; dz < 2; ++dz) {
+    const int z = std::min(z0 + dz, nz_ - 1);
+    const double wz = dz ? fz : 1.0 - fz;
+    for (int dy = 0; dy < 2; ++dy) {
+      const int y = std::min(y0 + dy, ny_ - 1);
+      const double wy = dy ? fy : 1.0 - fy;
+      for (int dxn = 0; dxn < 2; ++dxn) {
+        const int x = std::min(x0 + dxn, nx_ - 1);
+        const double wx = dxn ? fx : 1.0 - fx;
+        out += u_[idx(x, y, z)] * (wx * wy * wz);
+      }
+    }
+  }
+  return out;
+}
+
+void Lattice::set_periodic(bool px, bool py, bool pz) {
+  periodic_[0] = px;
+  periodic_[1] = py;
+  periodic_[2] = pz;
+}
+
+void Lattice::step() {
+  step_no_macro();
+  update_macroscopic();
+}
+
+void Lattice::step_no_macro() {
+  if (fused_) {
+    fused_collide_stream(*this);
+  } else {
+    collide(*this);
+    stream(*this);
+  }
+  apply_dirichlet(*this);
+}
+
+void fused_collide_stream(Lattice& lat) {
+  const std::size_t n = lat.n_;
+  const int nx = lat.nx_;
+  const int ny = lat.ny_;
+  const int nz = lat.nz_;
+  lat.ensure_fast_flags();
+
+  std::ptrdiff_t off[kQ];
+  for (int q = 0; q < kQ; ++q) {
+    off[q] = (static_cast<std::ptrdiff_t>(kC[q][2]) * ny + kC[q][1]) * nx +
+             kC[q][0];
+  }
+  const double* f = lat.f_.data();
+  double* ft = lat.ftmp_.data();
+
+  std::uint64_t updates = 0;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        const NodeType t = lat.type_[i];
+        if (t == NodeType::Exterior || t == NodeType::Wall) continue;
+
+        if (t != NodeType::Fluid) {
+          // Velocity/Coupling: push the stored populations outward (no
+          // collision) and keep a self-copy so the node's state stays
+          // valid after the buffer swap.
+          for (int q = 0; q < kQ; ++q) {
+            ft[q * n + i] = f[q * n + i];
+            int tx = x + kC[q][0];
+            int ty = y + kC[q][1];
+            int tz = z + kC[q][2];
+            if (lat.periodic_[0]) tx = (tx + nx) % nx;
+            if (lat.periodic_[1]) ty = (ty + ny) % ny;
+            if (lat.periodic_[2]) tz = (tz + nz) % nz;
+            if (!lat.in_domain(tx, ty, tz)) continue;
+            const std::size_t j = lat.idx(tx, ty, tz);
+            if (lat.type_[j] == NodeType::Fluid) {
+              ft[q * n + j] = f[q * n + i];
+            }
+          }
+          continue;
+        }
+
+        // Collide locally.
+        std::array<double, kQ> post;
+        for (int q = 0; q < kQ; ++q) post[q] = f[q * n + i];
+        lat.collide_node(i, post);
+        ++updates;
+
+        if (lat.fast_[i]) {
+          // All 18 targets accept the push directly.
+          for (int q = 0; q < kQ; ++q) {
+            ft[q * n + i + off[q]] = post[q];
+          }
+          continue;
+        }
+        // Slow path: walls, domain edges, periodic wrap.
+        for (int q = 0; q < kQ; ++q) {
+          int tx = x + kC[q][0];
+          int ty = y + kC[q][1];
+          int tz = z + kC[q][2];
+          if (lat.periodic_[0]) tx = (tx + nx) % nx;
+          if (lat.periodic_[1]) ty = (ty + ny) % ny;
+          if (lat.periodic_[2]) tz = (tz + nz) % nz;
+
+          bool bounce = false;
+          Vec3 uw{};
+          if (!lat.in_domain(tx, ty, tz)) {
+            bounce = true;
+          } else {
+            const std::size_t j = lat.idx(tx, ty, tz);
+            const NodeType tt = lat.type_[j];
+            if (is_stream_source(tt)) {
+              ft[q * n + j] = post[q];
+              continue;
+            }
+            bounce = true;
+            if (tt == NodeType::Wall) uw = lat.ubc_[j];
+          }
+          if (bounce) {
+            // Reflection lands back on this node in the opposite
+            // direction with the moving-wall momentum transfer.
+            const double cu =
+                kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+            ft[kOpp[q] * n + i] = post[q] - 6.0 * kW[q] * cu;
+          }
+        }
+      }
+    }
+  }
+  lat.site_updates_ += updates;
+  lat.swap_buffers();
+}
+
+void Lattice::collide_node(std::size_t i, std::array<double, kQ>& f) const {
+  double rho = 0.0;
+  Vec3 mom{};
+  for (int q = 0; q < kQ; ++q) {
+    rho += f[q];
+    mom.x += kC[q][0] * f[q];
+    mom.y += kC[q][1] * f[q];
+    mom.z += kC[q][2] * f[q];
+  }
+  const Vec3 force = force_[i];
+  const Vec3 u = (mom + force * 0.5) / rho;
+
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  const double tau = tau_[i];
+  const bool forced = (force.x != 0.0 || force.y != 0.0 || force.z != 0.0);
+
+  if (collision_ == CollisionModel::Bgk) {
+    const double omega = 1.0 / tau;
+    for (int q = 0; q < kQ; ++q) {
+      f[q] -= omega * (f[q] - feq[q]);
+      if (forced) f[q] += guo_source(q, tau, u, force);
+    }
+    return;
+  }
+
+  // TRT: relax the symmetric (even) and antisymmetric (odd) parts of the
+  // non-equilibrium with separate rates; omega+ carries the viscosity,
+  // omega- follows from the magic parameter
+  //   Lambda = (1/omega+ - 1/2)(1/omega- - 1/2).
+  const double omega_p = 1.0 / tau;
+  const double omega_m = 1.0 / (magic_ / (tau - 0.5) + 0.5);
+  std::array<double, kQ> src{};
+  if (forced) {
+    for (int q = 0; q < kQ; ++q) src[q] = guo_source_raw(q, u, force);
+  }
+  std::array<double, kQ> post;
+  for (int q = 0; q < kQ; ++q) {
+    const int qb = kOpp[q];
+    const double neq_p = 0.5 * ((f[q] - feq[q]) + (f[qb] - feq[qb]));
+    const double neq_m = 0.5 * ((f[q] - feq[q]) - (f[qb] - feq[qb]));
+    post[q] = f[q] - omega_p * neq_p - omega_m * neq_m;
+    if (forced) {
+      // Parity-split Guo forcing (He et al. / Ginzburg): the even part of
+      // the source relaxes with omega+, the odd part with omega-.
+      const double s_p = 0.5 * (src[q] + src[qb]);
+      const double s_m = 0.5 * (src[q] - src[qb]);
+      post[q] += (1.0 - 0.5 * omega_p) * s_p + (1.0 - 0.5 * omega_m) * s_m;
+    }
+  }
+  f = post;
+}
+
+void collide(Lattice& lat) {
+  const std::size_t n = lat.n_;
+  std::uint64_t updates = 0;
+#pragma omp parallel for schedule(static) reduction(+ : updates)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    if (lat.type_[i] != NodeType::Fluid) continue;
+    std::array<double, kQ> f;
+    for (int q = 0; q < kQ; ++q) f[q] = lat.f_[q * n + i];
+    lat.collide_node(i, f);
+    for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = f[q];
+    ++updates;
+  }
+  lat.site_updates_ += updates;
+}
+
+void Lattice::set_collision_model(CollisionModel model, double magic) {
+  if (magic <= 0.0) {
+    throw std::invalid_argument("set_collision_model: magic must be > 0");
+  }
+  collision_ = model;
+  magic_ = magic;
+}
+
+void Lattice::ensure_fast_flags() {
+  if (!fast_dirty_) return;
+  fast_.assign(n_, 0);
+  for (int z = 1; z < nz_ - 1; ++z) {
+    for (int y = 1; y < ny_ - 1; ++y) {
+      for (int x = 1; x < nx_ - 1; ++x) {
+        const std::size_t i = idx(x, y, z);
+        if (type_[i] != NodeType::Fluid) continue;
+        bool ok = true;
+        for (int q = 1; q < kQ && ok; ++q) {
+          const std::size_t s =
+              idx(x - kC[q][0], y - kC[q][1], z - kC[q][2]);
+          ok = is_stream_source(type_[s]);
+        }
+        fast_[i] = ok ? 1 : 0;
+      }
+    }
+  }
+  fast_dirty_ = false;
+}
+
+void stream(Lattice& lat) {
+  const std::size_t n = lat.n_;
+  const int nx = lat.nx_;
+  const int ny = lat.ny_;
+  const int nz = lat.nz_;
+  lat.ensure_fast_flags();
+
+  // Precomputed pull offsets for the fast path.
+  std::ptrdiff_t off[kQ];
+  for (int q = 0; q < kQ; ++q) {
+    off[q] = (static_cast<std::ptrdiff_t>(kC[q][2]) * ny + kC[q][1]) * nx +
+             kC[q][0];
+  }
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        if (lat.fast_[i]) {
+          const double* f = lat.f_.data();
+          double* ft = lat.ftmp_.data();
+          for (int q = 0; q < kQ; ++q) {
+            ft[q * n + i] = f[q * n + i - off[q]];
+          }
+          continue;
+        }
+        const NodeType t = lat.type_[i];
+        if (t != NodeType::Fluid) {
+          // Non-fluid nodes keep their distributions (Velocity/Coupling are
+          // re-imposed later; Wall/Exterior are never read as targets).
+          if (t != NodeType::Exterior) {
+            for (int q = 0; q < kQ; ++q) {
+              lat.ftmp_[q * n + i] = lat.f_[q * n + i];
+            }
+          }
+          continue;
+        }
+        for (int q = 0; q < kQ; ++q) {
+          int sx = x - kC[q][0];
+          int sy = y - kC[q][1];
+          int sz = z - kC[q][2];
+          if (lat.periodic_[0]) sx = (sx + nx) % nx;
+          if (lat.periodic_[1]) sy = (sy + ny) % ny;
+          if (lat.periodic_[2]) sz = (sz + nz) % nz;
+
+          bool bounce = false;
+          Vec3 uw{};
+          if (!lat.in_domain(sx, sy, sz)) {
+            bounce = true;  // domain edge treated as resting wall
+          } else {
+            const std::size_t s = lat.idx(sx, sy, sz);
+            const NodeType st = lat.type_[s];
+            if (is_stream_source(st)) {
+              lat.ftmp_[q * n + i] = lat.f_[q * n + s];
+              continue;
+            }
+            bounce = true;
+            if (st == NodeType::Wall) uw = lat.ubc_[s];
+          }
+          if (bounce) {
+            // Halfway bounce-back with moving-wall momentum transfer:
+            //   f_q(x, t+1) = f*_opp(q)(x, t) + 6 w_q rho (c_q . u_w)
+            // (rho ~ 1 at low Mach).
+            const double cu =
+                kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+            lat.ftmp_[q * n + i] = lat.f_[kOpp[q] * n + i] + 6.0 * kW[q] * cu;
+          }
+        }
+      }
+    }
+  }
+  lat.swap_buffers();
+}
+
+void apply_dirichlet(Lattice& lat) {
+  const std::size_t n = lat.n_;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    if (lat.type_[i] != NodeType::Velocity) continue;
+    std::array<double, kQ> feq;
+    equilibria(1.0, lat.ubc_[i], feq);
+    for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = feq[q];
+    lat.rho_[i] = 1.0;
+    lat.u_[i] = lat.ubc_[i];
+  }
+}
+
+}  // namespace apr::lbm

@@ -1,0 +1,233 @@
+#pragma once
+
+/// \file lattice.hpp
+/// A single fixed-resolution D3Q19 lattice block, in structure-of-arrays
+/// layout. The APR simulation (src/apr) composes two of these: a coarse
+/// lattice spanning the whole domain (bulk, whole-blood viscosity) and a
+/// fine lattice spanning the moving window (plasma viscosity), following
+/// §2.1 and §2.4.1 of the paper.
+///
+/// Node roles:
+///  - Exterior: outside the flow domain, never touched.
+///  - Fluid:    collide + stream.
+///  - Wall:     solid; neighbours bounce back halfway (optionally moving).
+///  - Velocity: Dirichlet velocity node; distributions reset to equilibrium
+///              at the prescribed velocity after each streaming step.
+///  - Coupling: distributions imposed externally (by the grid coupler) each
+///              step; participates in streaming as a source only.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/aabb.hpp"
+#include "src/common/units.hpp"
+#include "src/common/vec3.hpp"
+#include "src/lbm/d3q19.hpp"
+
+namespace apr::lbm {
+
+enum class NodeType : std::uint8_t {
+  Exterior = 0,
+  Fluid = 1,
+  Wall = 2,
+  Velocity = 3,
+  Coupling = 4,
+};
+
+/// Collision operator. BGK is the paper's choice (§2.1); TRT (two
+/// relaxation times) additionally fixes the bounce-back wall location
+/// independent of tau via the "magic" parameter
+/// Lambda = (1/omega+ - 1/2)(1/omega- - 1/2) (Ginzburg et al.), provided
+/// as an accuracy/stability extension.
+enum class CollisionModel : std::uint8_t { Bgk = 0, Trt = 1 };
+
+/// Returns true for node types whose distributions may be pulled from
+/// during streaming.
+constexpr bool is_stream_source(NodeType t) {
+  return t == NodeType::Fluid || t == NodeType::Velocity ||
+         t == NodeType::Coupling;
+}
+
+class Lattice {
+ public:
+  /// \param nx,ny,nz  node counts
+  /// \param origin    physical position of node (0,0,0)
+  /// \param dx        physical spacing [m]
+  /// \param tau       default relaxation time (per-node override available)
+  Lattice(int nx, int ny, int nz, const Vec3& origin, double dx, double tau);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t num_nodes() const { return n_; }
+
+  const Vec3& origin() const { return origin_; }
+  double dx() const { return dx_; }
+
+  /// Physical bounding box of the node centers.
+  Aabb bounds() const;
+
+  bool in_domain(int x, int y, int z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+
+  std::size_t idx(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  Vec3 position(int x, int y, int z) const {
+    return origin_ + Vec3{static_cast<double>(x), static_cast<double>(y),
+                          static_cast<double>(z)} *
+                         dx_;
+  }
+
+  /// Continuous lattice coordinate of a physical point (node units).
+  Vec3 to_lattice(const Vec3& p) const { return (p - origin_) / dx_; }
+
+  // --- node metadata -------------------------------------------------------
+  NodeType type(std::size_t i) const { return type_[i]; }
+  NodeType type(int x, int y, int z) const { return type_[idx(x, y, z)]; }
+  void set_type(std::size_t i, NodeType t) {
+    type_[i] = t;
+    fast_dirty_ = true;
+  }
+  void set_type(int x, int y, int z, NodeType t) {
+    set_type(idx(x, y, z), t);
+  }
+
+  double tau(std::size_t i) const { return tau_[i]; }
+  void set_tau(std::size_t i, double tau) { tau_[i] = tau; }
+  void set_uniform_tau(double tau);
+
+  /// Prescribed velocity for Wall (moving wall) and Velocity nodes.
+  const Vec3& boundary_velocity(std::size_t i) const { return ubc_[i]; }
+  void set_boundary_velocity(std::size_t i, const Vec3& u) { ubc_[i] = u; }
+
+  // --- distributions -------------------------------------------------------
+  double f(int q, std::size_t i) const { return f_[q * n_ + i]; }
+  void set_f(int q, std::size_t i, double v) { f_[q * n_ + i] = v; }
+
+  std::array<double, kQ> f_node(std::size_t i) const;
+  void set_f_node(std::size_t i, const std::array<double, kQ>& f);
+
+  /// Initialize every non-exterior node to equilibrium at (rho, u).
+  void init_equilibrium(double rho, const Vec3& u);
+
+  /// Initialize a single node to equilibrium.
+  void init_node_equilibrium(std::size_t i, double rho, const Vec3& u);
+
+  // --- body/IBM force ------------------------------------------------------
+  const Vec3& force(std::size_t i) const { return force_[i]; }
+  void add_force(std::size_t i, const Vec3& f) { force_[i] += f; }
+  void set_body_force(const Vec3& f);
+  /// Reset per-node forces to the constant body force (called by the FSI
+  /// loop before each spreading pass).
+  void clear_forces();
+
+  // --- macroscopic caches (filled by update_macroscopic) --------------------
+  double rho(std::size_t i) const { return rho_[i]; }
+  const Vec3& velocity(std::size_t i) const { return u_[i]; }
+  Vec3& mutable_velocity(std::size_t i) { return u_[i]; }
+
+  /// Recompute rho and u (with Guo half-force correction) on all
+  /// Fluid/Coupling nodes.
+  void update_macroscopic();
+
+  /// Trilinearly interpolate the cached velocity field at a physical point.
+  /// Out-of-range coordinates are clamped to the lattice.
+  Vec3 interpolate_velocity(const Vec3& p) const;
+
+  /// One BGK collide-and-stream step (+Guo forcing, boundary handling),
+  /// including the macroscopic-cache refresh.
+  void step();
+
+  /// Same step without refreshing the macroscopic cache -- the hot path
+  /// for the coupler and FSI loops, which recompute moments only where
+  /// they need them.
+  void step_no_macro();
+
+  /// Select the fused single-pass collide+stream kernel (default) or the
+  /// classic two-pass kernels; both produce identical distributions (see
+  /// tests/test_lattice.cpp) -- the toggle exists for verification.
+  void set_fused_kernel(bool fused) { fused_ = fused; }
+  bool fused_kernel() const { return fused_; }
+
+  /// Collision operator (default BGK). For TRT, `magic` sets the
+  /// free antisymmetric relaxation via Lambda; 3/16 places the halfway
+  /// bounce-back wall exactly for plane walls, 1/4 optimizes stability.
+  void set_collision_model(CollisionModel model, double magic = 3.0 / 16.0);
+  CollisionModel collision_model() const { return collision_; }
+  double trt_magic() const { return magic_; }
+
+  /// Total number of node collisions performed so far; used for the
+  /// compute-cost accounting in the Fig. 6 / Table 2 benches.
+  std::uint64_t site_updates() const { return site_updates_; }
+  void add_site_updates(std::uint64_t n) { site_updates_ += n; }
+
+  /// Periodic wrap per axis (used by force-driven tube/duct flows).
+  void set_periodic(bool px, bool py, bool pz);
+  bool periodic(int axis) const { return periodic_[axis]; }
+
+  // Raw buffers for the solver.
+  std::vector<double>& raw_f() { return f_; }
+  std::vector<double>& raw_ftmp() { return ftmp_; }
+  void swap_buffers() { f_.swap(ftmp_); }
+
+ private:
+  int nx_;
+  int ny_;
+  int nz_;
+  std::size_t n_;
+  Vec3 origin_;
+  double dx_;
+  bool periodic_[3] = {false, false, false};
+
+  std::vector<double> f_;      // kQ * n_, q-major
+  std::vector<double> ftmp_;   // streaming target
+  std::vector<NodeType> type_;
+  std::vector<double> tau_;
+  std::vector<Vec3> ubc_;
+  std::vector<Vec3> force_;
+  Vec3 body_force_{};
+  std::vector<double> rho_;
+  std::vector<Vec3> u_;
+  std::uint64_t site_updates_ = 0;
+
+  // Streaming fast path: interior fluid nodes whose full neighbourhood is
+  // a valid stream source pull with precomputed offsets, skipping all
+  // bounds/type checks. Recomputed lazily whenever node types change.
+  std::vector<std::uint8_t> fast_;
+  bool fast_dirty_ = true;
+  bool fused_ = true;
+  CollisionModel collision_ = CollisionModel::Bgk;
+  double magic_ = 3.0 / 16.0;
+  void ensure_fast_flags();
+
+  /// Post-collision populations of node i (shared by both kernels).
+  void collide_node(std::size_t i, std::array<double, kQ>& f) const;
+
+  friend void fused_collide_stream(Lattice&);
+
+  friend void collide(Lattice&);
+  friend void stream(Lattice&);
+  friend void apply_dirichlet(Lattice&);
+};
+
+/// BGK collision with Guo forcing on all Fluid nodes (in place).
+void collide(Lattice& lat);
+
+/// Pull streaming with halfway bounce-back at Wall nodes (moving-wall
+/// momentum correction using the wall node's prescribed velocity).
+void stream(Lattice& lat);
+
+/// Fused single-pass push kernel: per node, collide locally and scatter
+/// the post-collision populations to their targets (with the same
+/// halfway bounce-back semantics as collide+stream). Roughly halves the
+/// memory traffic of the two-pass scheme.
+void fused_collide_stream(Lattice& lat);
+
+/// Reset Velocity nodes to equilibrium at their prescribed velocity.
+void apply_dirichlet(Lattice& lat);
+
+}  // namespace apr::lbm

@@ -1,0 +1,87 @@
+#include "src/lbm/solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace apr::lbm {
+
+SteadyStateReport run_to_steady_state(Lattice& lat, int max_steps, double tol,
+                                      int check_interval) {
+  SteadyStateReport rep;
+  std::vector<Vec3> prev(lat.num_nodes());
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) prev[i] = lat.velocity(i);
+
+  for (int s = 0; s < max_steps; ++s) {
+    lat.step();
+    rep.steps = s + 1;
+    if ((s + 1) % check_interval != 0) continue;
+
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+      if (lat.type(i) != NodeType::Fluid) continue;
+      num += norm2(lat.velocity(i) - prev[i]);
+      den += norm2(lat.velocity(i));
+      prev[i] = lat.velocity(i);
+    }
+    rep.residual = den > 0.0 ? std::sqrt(num / den) / check_interval : 0.0;
+    if (rep.residual < tol) {
+      rep.converged = true;
+      return rep;
+    }
+  }
+  return rep;
+}
+
+double velocity_l2_error(const Lattice& lat,
+                         const std::function<Vec3(const Vec3&)>& ref,
+                         const std::function<bool(const Vec3&)>& select) {
+  double num = 0.0;
+  double den = 0.0;
+  for (int z = 0; z < lat.nz(); ++z) {
+    for (int y = 0; y < lat.ny(); ++y) {
+      for (int x = 0; x < lat.nx(); ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        if (lat.type(i) != NodeType::Fluid) continue;
+        const Vec3 p = lat.position(x, y, z);
+        if (!select(p)) continue;
+        const Vec3 r = ref(p);
+        num += norm2(lat.velocity(i) - r);
+        den += norm2(r);
+      }
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double mean_density(const Lattice& lat) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    if (lat.type(i) != NodeType::Fluid) continue;
+    sum += lat.rho(i);
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double slab_pressure(const Lattice& lat, int axis, double lo, double hi) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int z = 0; z < lat.nz(); ++z) {
+    for (int y = 0; y < lat.ny(); ++y) {
+      for (int x = 0; x < lat.nx(); ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        if (lat.type(i) != NodeType::Fluid) continue;
+        const Vec3 p = lat.position(x, y, z);
+        const double c = axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+        if (c < lo || c > hi) continue;
+        sum += kCs2 * lat.rho(i);
+        ++count;
+      }
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace apr::lbm

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file solver.hpp
+/// Convenience driver that advances a Lattice to steady state and computes
+/// error norms against reference solutions. Used by the verification flows
+/// (§3.1 shear layers, §3.2 tube flow) and by tests.
+
+#include <functional>
+
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm {
+
+struct SteadyStateReport {
+  int steps = 0;            ///< steps actually taken
+  double residual = 0.0;    ///< final relative velocity change per step
+  bool converged = false;   ///< residual fell below the tolerance
+};
+
+/// Advance `lat` until the max relative change in velocity between
+/// check intervals drops below `tol`, or until `max_steps`.
+SteadyStateReport run_to_steady_state(Lattice& lat, int max_steps,
+                                      double tol = 1e-8,
+                                      int check_interval = 50);
+
+/// Relative L2 norm of (u_sim - u_ref) over nodes selected by `select`,
+/// where `ref` returns the reference velocity at a physical position.
+/// Normalized by the L2 norm of the reference.
+double velocity_l2_error(const Lattice& lat,
+                         const std::function<Vec3(const Vec3&)>& ref,
+                         const std::function<bool(const Vec3&)>& select);
+
+/// Mean density over fluid nodes (mass-conservation diagnostics).
+double mean_density(const Lattice& lat);
+
+/// Average pressure (cs^2 * rho in lattice units) over fluid nodes in a
+/// physical slab [z0, z1] measured along `axis` (0,1,2). Used to extract
+/// the pressure drop for Eq. (12).
+double slab_pressure(const Lattice& lat, int axis, double lo, double hi);
+
+}  // namespace apr::lbm

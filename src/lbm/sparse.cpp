@@ -1,0 +1,77 @@
+#include "src/lbm/sparse.hpp"
+
+#include <stdexcept>
+
+namespace apr::lbm {
+
+SparseIndex::SparseIndex(const Lattice& lat)
+    : dense_count_(lat.num_nodes()) {
+  lookup_.assign(dense_count_, kBounce);
+  for (int z = 0; z < lat.nz(); ++z) {
+    for (int y = 0; y < lat.ny(); ++y) {
+      for (int x = 0; x < lat.nx(); ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        if (!is_stream_source(lat.type(i))) continue;
+        lookup_[i] = static_cast<std::uint32_t>(active_.size());
+        active_.push_back(i);
+      }
+    }
+  }
+  if (active_.empty()) {
+    throw std::invalid_argument("SparseIndex: no active nodes");
+  }
+
+  neighbors_.assign(active_.size() * kQ, kBounce);
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const std::size_t i = active_[k];
+    const int x = static_cast<int>(i % lat.nx());
+    const int y = static_cast<int>((i / lat.nx()) % lat.ny());
+    const int z = static_cast<int>(i / (static_cast<std::size_t>(lat.nx()) *
+                                        lat.ny()));
+    for (int q = 0; q < kQ; ++q) {
+      int sx = x - kC[q][0];
+      int sy = y - kC[q][1];
+      int sz = z - kC[q][2];
+      if (lat.periodic(0)) sx = (sx + lat.nx()) % lat.nx();
+      if (lat.periodic(1)) sy = (sy + lat.ny()) % lat.ny();
+      if (lat.periodic(2)) sz = (sz + lat.nz()) % lat.nz();
+      if (!lat.in_domain(sx, sy, sz)) continue;  // stays kBounce
+      const std::uint32_t src = lookup_[lat.idx(sx, sy, sz)];
+      neighbors_[k * kQ + q] = src;  // kBounce when inactive (wall)
+    }
+  }
+}
+
+std::size_t SparseIndex::sparse_bytes() const {
+  const std::size_t f_bytes = 2 * active_.size() * kQ * sizeof(double);
+  const std::size_t table_bytes = neighbors_.size() * sizeof(std::uint32_t);
+  const std::size_t map_bytes = active_.size() * sizeof(std::size_t);
+  return f_bytes + table_bytes + map_bytes;
+}
+
+std::size_t SparseIndex::dense_bytes() const {
+  return 2 * dense_count_ * kQ * sizeof(double);
+}
+
+void SparseIndex::stream(const std::vector<double>& f,
+                         std::vector<double>& ftmp) const {
+  const std::size_t n = active_.size();
+  if (f.size() != n * kQ) {
+    throw std::invalid_argument("SparseIndex::stream: bad f size");
+  }
+  ftmp.resize(n * kQ);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int q = 0; q < kQ; ++q) {
+      const std::uint32_t src = neighbors_[k * kQ + q];
+      if (src == kBounce) {
+        // Halfway bounce-back from this node's opposite direction
+        // (resting walls; moving walls stay with the dense kernel).
+        ftmp[q * n + k] = f[kOpp[q] * n + k];
+      } else {
+        ftmp[q * n + k] = f[q * n + src];
+      }
+    }
+  }
+}
+
+}  // namespace apr::lbm

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Indirect addressing for sparse flow domains. HARVEY's hallmark memory
+/// layout (Randles et al. 2015): vascular geometries occupy a few percent
+/// of their bounding box, so distributions are stored only for active
+/// (fluid/boundary) nodes, with an explicit per-direction neighbour table
+/// replacing index arithmetic. This module builds that compact index from
+/// a voxelized dense Lattice and provides the memory accounting the
+/// dense-vs-sparse ablation bench reports; it also powers a compact
+/// fluid-only streaming kernel used to validate the neighbour table.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm {
+
+/// Compact index over the active nodes of a voxelized lattice.
+class SparseIndex {
+ public:
+  /// Sentinel neighbour id meaning "bounce back at a wall/edge".
+  static constexpr std::uint32_t kBounce = 0xFFFFFFFFu;
+
+  /// Build from a voxelized lattice: active = Fluid, Velocity, Coupling.
+  explicit SparseIndex(const Lattice& lat);
+
+  std::size_t num_active() const { return active_.size(); }
+  std::size_t num_dense() const { return dense_count_; }
+
+  /// Fraction of the bounding box that is active.
+  double fill_fraction() const {
+    return static_cast<double>(active_.size()) /
+           static_cast<double>(dense_count_);
+  }
+
+  /// Dense node index of compact node k.
+  std::size_t dense_index(std::size_t k) const { return active_[k]; }
+
+  /// Compact id of a dense node, or kBounce if inactive.
+  std::uint32_t compact_index(std::size_t dense) const {
+    return lookup_[dense];
+  }
+
+  /// Neighbour table: compact id of the node that compact node k pulls
+  /// direction q from (i.e. the node at -c_q), or kBounce.
+  std::uint32_t neighbor(std::size_t k, int q) const {
+    return neighbors_[k * kQ + q];
+  }
+
+  /// Bytes needed for distributions + neighbour table in the sparse
+  /// layout (2 copies of f like the dense solver, plus the table).
+  std::size_t sparse_bytes() const;
+
+  /// Bytes the dense layout spends on the same bounding box
+  /// (distributions only, 2 copies).
+  std::size_t dense_bytes() const;
+
+  /// One pull-streaming pass over compact arrays f -> ftmp (sized
+  /// kQ * num_active, q-major), halfway bounce-back at kBounce entries.
+  /// Validates the neighbour table against the dense kernel in tests and
+  /// is the kernel timed by the ablation bench.
+  void stream(const std::vector<double>& f, std::vector<double>& ftmp) const;
+
+ private:
+  std::size_t dense_count_;
+  std::vector<std::size_t> active_;      // compact -> dense
+  std::vector<std::uint32_t> lookup_;    // dense -> compact (or kBounce)
+  std::vector<std::uint32_t> neighbors_; // compact x kQ pull sources
+};
+
+}  // namespace apr::lbm

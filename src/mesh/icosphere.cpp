@@ -1,0 +1,83 @@
+#include "src/mesh/icosphere.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace apr::mesh {
+
+TriMesh icosahedron(double radius) {
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  const double s = radius / std::sqrt(1.0 + phi * phi);
+  const double a = s;
+  const double b = s * phi;
+
+  TriMesh m;
+  m.vertices = {
+      {-a, b, 0},  {a, b, 0},  {-a, -b, 0}, {a, -b, 0},
+      {0, -a, b},  {0, a, b},  {0, -a, -b}, {0, a, -b},
+      {b, 0, -a},  {b, 0, a},  {-b, 0, -a}, {-b, 0, a},
+  };
+  m.triangles = {
+      {0, 11, 5}, {0, 5, 1},  {0, 1, 7},   {0, 7, 10}, {0, 10, 11},
+      {1, 5, 9},  {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+      {3, 9, 4},  {3, 4, 2},  {3, 2, 6},   {3, 6, 8},  {3, 8, 9},
+      {4, 9, 5},  {2, 4, 11}, {6, 2, 10},  {8, 6, 7},  {9, 8, 1},
+  };
+  return m;
+}
+
+TriMesh subdivide(const TriMesh& mesh) {
+  TriMesh out;
+  out.vertices = mesh.vertices;
+  std::map<std::pair<int, int>, int> midpoint;
+
+  auto mid = [&](int a, int b) {
+    const auto key = std::minmax(a, b);
+    auto it = midpoint.find(key);
+    if (it != midpoint.end()) return it->second;
+    const int idx = out.num_vertices();
+    out.vertices.push_back((mesh.vertices[a] + mesh.vertices[b]) * 0.5);
+    midpoint.emplace(key, idx);
+    return idx;
+  };
+
+  out.triangles.reserve(mesh.triangles.size() * 4);
+  for (const auto& t : mesh.triangles) {
+    const int ab = mid(t[0], t[1]);
+    const int bc = mid(t[1], t[2]);
+    const int ca = mid(t[2], t[0]);
+    out.triangles.push_back({t[0], ab, ca});
+    out.triangles.push_back({t[1], bc, ab});
+    out.triangles.push_back({t[2], ca, bc});
+    out.triangles.push_back({ab, bc, ca});
+  }
+  return out;
+}
+
+TriMesh icosphere(int subdivisions, double radius) {
+  if (subdivisions < 0 || subdivisions > 7) {
+    throw std::invalid_argument("icosphere: subdivisions out of range [0,7]");
+  }
+  TriMesh m = icosahedron(1.0);
+  for (int s = 0; s < subdivisions; ++s) {
+    m = subdivide(m);
+    for (auto& v : m.vertices) v = normalized(v);
+  }
+  for (auto& v : m.vertices) v *= radius;
+  return m;
+}
+
+int icosphere_vertex_count(int subdivisions) {
+  int pow4 = 1;
+  for (int i = 0; i < subdivisions; ++i) pow4 *= 4;
+  return 10 * pow4 + 2;
+}
+
+int icosphere_triangle_count(int subdivisions) {
+  int pow4 = 1;
+  for (int i = 0; i < subdivisions; ++i) pow4 *= 4;
+  return 20 * pow4;
+}
+
+}  // namespace apr::mesh

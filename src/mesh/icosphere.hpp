@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file icosphere.hpp
+/// Icosahedron-based sphere meshing with Loop-style 1-to-4 subdivision.
+/// The paper's cells use "3 subdivision steps of an initially icosahedral
+/// mesh, leading to 1280 elements and 642 vertices" (§3.6) -- that is
+/// subdivisions = 3 here.
+
+#include "src/mesh/trimesh.hpp"
+
+namespace apr::mesh {
+
+/// Regular icosahedron inscribed in a sphere of `radius` at the origin.
+TriMesh icosahedron(double radius = 1.0);
+
+/// 1-to-4 midpoint subdivision (each triangle split into four, new vertices
+/// at edge midpoints). Shared edge midpoints are merged.
+TriMesh subdivide(const TriMesh& mesh);
+
+/// Subdivided icosahedron with vertices projected to a sphere of `radius`.
+/// subdivisions = 3 gives 642 vertices / 1280 triangles.
+TriMesh icosphere(int subdivisions, double radius = 1.0);
+
+/// Vertex/triangle counts of an icosphere without building it:
+/// V = 10*4^s + 2, T = 20*4^s.
+int icosphere_vertex_count(int subdivisions);
+int icosphere_triangle_count(int subdivisions);
+
+}  // namespace apr::mesh

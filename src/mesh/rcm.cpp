@@ -1,0 +1,120 @@
+#include "src/mesh/rcm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace apr::mesh {
+
+std::vector<int> rcm_ordering(const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  std::vector<int> degree(n);
+  for (int i = 0; i < n; ++i) degree[i] = static_cast<int>(adjacency[i].size());
+
+  std::vector<char> visited(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+
+  // Vertices sorted by degree so component seeds are minimum-degree.
+  std::vector<int> by_degree(n);
+  for (int i = 0; i < n; ++i) by_degree[i] = i;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](int a, int b) { return degree[a] < degree[b]; });
+
+  for (int seed : by_degree) {
+    if (visited[seed]) continue;
+    // Cuthill-McKee BFS from the seed, neighbours in increasing degree.
+    std::queue<int> queue;
+    queue.push(seed);
+    visited[seed] = 1;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      std::vector<int> nbrs;
+      for (int u : adjacency[v]) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](int a, int b) { return degree[a] < degree[b]; });
+      for (int u : nbrs) queue.push(u);
+    }
+  }
+  // Reverse for RCM.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int graph_bandwidth(const std::vector<std::vector<int>>& adjacency) {
+  int bw = 0;
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    for (int j : adjacency[i]) {
+      bw = std::max(bw, std::abs(static_cast<int>(i) - j));
+    }
+  }
+  return bw;
+}
+
+int graph_bandwidth(const std::vector<std::vector<int>>& adjacency,
+                    const std::vector<int>& perm) {
+  // inverse: old -> new
+  std::vector<int> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) inv[perm[k]] = static_cast<int>(k);
+  int bw = 0;
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    for (int j : adjacency[i]) {
+      bw = std::max(bw, std::abs(inv[i] - inv[j]));
+    }
+  }
+  return bw;
+}
+
+std::vector<std::vector<int>> vertex_adjacency(const TriMesh& mesh) {
+  std::vector<std::set<int>> adj(mesh.num_vertices());
+  for (const auto& t : mesh.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const int a = t[e];
+      const int b = t[(e + 1) % 3];
+      adj[a].insert(b);
+      adj[b].insert(a);
+    }
+  }
+  std::vector<std::vector<int>> out(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    out[i].assign(adj[i].begin(), adj[i].end());
+  }
+  return out;
+}
+
+TriMesh reorder_vertices(const TriMesh& mesh, const std::vector<int>& perm) {
+  if (perm.size() != mesh.vertices.size()) {
+    throw std::invalid_argument("reorder_vertices: permutation size mismatch");
+  }
+  std::vector<int> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) inv[perm[k]] = static_cast<int>(k);
+
+  TriMesh out;
+  out.vertices.resize(mesh.vertices.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    out.vertices[k] = mesh.vertices[perm[k]];
+  }
+  out.triangles.reserve(mesh.triangles.size());
+  for (const auto& t : mesh.triangles) {
+    out.triangles.push_back({inv[t[0]], inv[t[1]], inv[t[2]]});
+  }
+  return out;
+}
+
+int rcm_reorder(TriMesh& mesh) {
+  const auto adj = vertex_adjacency(mesh);
+  const auto perm = rcm_ordering(adj);
+  mesh = reorder_vertices(mesh, perm);
+  return graph_bandwidth(vertex_adjacency(mesh));
+}
+
+}  // namespace apr::mesh

@@ -1,0 +1,30 @@
+#include "src/mesh/shapes.hpp"
+
+#include <cmath>
+
+#include "src/mesh/icosphere.hpp"
+
+namespace apr::mesh {
+
+TriMesh rbc_biconcave(int subdivisions, double radius) {
+  constexpr double c0 = 0.207;
+  constexpr double c2 = 2.003;
+  constexpr double c4 = -1.123;
+
+  TriMesh m = icosphere(subdivisions, 1.0);
+  for (auto& v : m.vertices) {
+    const double rho2 = v.x * v.x + v.y * v.y;
+    const double rho2c = rho2 > 1.0 ? 1.0 : rho2;
+    const double profile =
+        0.5 * std::sqrt(1.0 - rho2c) * (c0 + c2 * rho2c + c4 * rho2c * rho2c);
+    const double sign = v.z >= 0.0 ? 1.0 : -1.0;
+    v = Vec3{radius * v.x, radius * v.y, sign * radius * profile};
+  }
+  return m;
+}
+
+TriMesh ctc_sphere(int subdivisions, double radius) {
+  return icosphere(subdivisions, radius);
+}
+
+}  // namespace apr::mesh

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file shapes.hpp
+/// Reference cell shapes. RBCs are biconcave discocytes (Evans-Fung
+/// parameterization); circulating tumor cells (CTCs) are larger spheres.
+/// Dimensions follow the paper and standard hematology values.
+
+#include "src/mesh/trimesh.hpp"
+
+namespace apr::mesh {
+
+/// Standard human RBC dimensions.
+inline constexpr double kRbcRadius = 3.91e-6;      ///< [m] disc radius
+inline constexpr double kRbcVolume = 94.1e-18;     ///< [m^3] ~94 fl
+
+/// Default CTC radius; tumor cells are typically 2-4x the RBC radius.
+inline constexpr double kCtcRadius = 8.0e-6;       ///< [m]
+
+/// Biconcave discocyte via the Evans-Fung (1972) profile mapped from an
+/// icosphere: for a unit-sphere point (x, y, z) with rho^2 = x^2 + y^2,
+///   z' = +/- (R/2) sqrt(1 - rho^2) (C0 + C2 rho^2 + C4 rho^4)
+/// with C0 = 0.207, C2 = 2.003, C4 = -1.123; x' = R x, y' = R y.
+/// The disc lies in the xy plane.
+TriMesh rbc_biconcave(int subdivisions, double radius = kRbcRadius);
+
+/// Spherical CTC mesh.
+TriMesh ctc_sphere(int subdivisions, double radius = kCtcRadius);
+
+}  // namespace apr::mesh

@@ -1,0 +1,116 @@
+#include "src/mesh/trimesh.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace apr::mesh {
+
+double triangle_area(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * norm(cross(b - a, c - a));
+}
+
+double TriMesh::area() const {
+  double a = 0.0;
+  for (const auto& t : triangles) {
+    a += apr::mesh::triangle_area(vertices[t[0]], vertices[t[1]],
+                                  vertices[t[2]]);
+  }
+  return a;
+}
+
+double TriMesh::volume() const {
+  double v = 0.0;
+  for (const auto& t : triangles) {
+    v += dot(vertices[t[0]], cross(vertices[t[1]], vertices[t[2]]));
+  }
+  return v / 6.0;
+}
+
+Vec3 TriMesh::centroid() const {
+  Vec3 c{};
+  for (const auto& v : vertices) c += v;
+  return vertices.empty() ? c : c / static_cast<double>(vertices.size());
+}
+
+Aabb TriMesh::bounds() const {
+  Aabb b;
+  for (const auto& v : vertices) b.include(v);
+  return b;
+}
+
+void TriMesh::translate(const Vec3& d) {
+  for (auto& v : vertices) v += d;
+}
+
+void TriMesh::rotate(const Mat3& r) {
+  const Vec3 c = centroid();
+  for (auto& v : vertices) v = c + r.apply(v - c);
+}
+
+void TriMesh::scale(double s) {
+  const Vec3 c = centroid();
+  for (auto& v : vertices) v = c + (v - c) * s;
+}
+
+double TriMesh::triangle_area(int t) const {
+  const auto& tr = triangles[t];
+  return apr::mesh::triangle_area(vertices[tr[0]], vertices[tr[1]],
+                                  vertices[tr[2]]);
+}
+
+Vec3 TriMesh::triangle_normal(int t) const {
+  const auto& tr = triangles[t];
+  return normalized(cross(vertices[tr[1]] - vertices[tr[0]],
+                          vertices[tr[2]] - vertices[tr[0]]));
+}
+
+MeshTopology MeshTopology::build(const TriMesh& mesh) {
+  MeshTopology topo;
+  const int nv = mesh.num_vertices();
+  topo.vertex_neighbors.resize(nv);
+  topo.vertex_triangles.resize(nv);
+
+  std::map<std::pair<int, int>, int> edge_index;
+  for (int t = 0; t < mesh.num_triangles(); ++t) {
+    const auto& tr = mesh.triangles[t];
+    for (int e = 0; e < 3; ++e) {
+      const int a = tr[e];
+      const int b = tr[(e + 1) % 3];
+      const int o = tr[(e + 2) % 3];
+      if (a < 0 || a >= nv || b < 0 || b >= nv) {
+        throw std::invalid_argument("MeshTopology: vertex index out of range");
+      }
+      const auto key = std::minmax(a, b);
+      auto it = edge_index.find(key);
+      if (it == edge_index.end()) {
+        Edge edge;
+        edge.v0 = key.first;
+        edge.v1 = key.second;
+        edge.t0 = t;
+        edge.o0 = o;
+        edge_index.emplace(key, static_cast<int>(topo.edges.size()));
+        topo.edges.push_back(edge);
+      } else {
+        Edge& edge = topo.edges[it->second];
+        if (edge.t1 != -1) {
+          throw std::invalid_argument(
+              "MeshTopology: non-manifold edge (three incident triangles)");
+        }
+        edge.t1 = t;
+        edge.o1 = o;
+      }
+      topo.vertex_triangles[a].push_back(t);
+    }
+  }
+  for (const auto& e : topo.edges) {
+    if (e.t1 == -1) {
+      throw std::invalid_argument("MeshTopology: open boundary edge");
+    }
+    topo.vertex_neighbors[e.v0].push_back(e.v1);
+    topo.vertex_neighbors[e.v1].push_back(e.v0);
+  }
+  return topo;
+}
+
+}  // namespace apr::mesh

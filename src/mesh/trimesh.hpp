@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file trimesh.hpp
+/// Triangulated surface meshes: the Lagrangian representation of every cell
+/// membrane (paper §2.2). TriMesh stores geometry; MeshTopology stores the
+/// connectivity derived data (edges/hinges, vertex stars) shared by all
+/// cells instantiated from the same reference mesh.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/aabb.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/vec3.hpp"
+
+namespace apr::mesh {
+
+using Triangle = std::array<int, 3>;
+
+/// Indexed triangle mesh. Triangles are counter-clockwise when viewed from
+/// outside (outward normals), which the volume computation relies on.
+struct TriMesh {
+  std::vector<Vec3> vertices;
+  std::vector<Triangle> triangles;
+
+  int num_vertices() const { return static_cast<int>(vertices.size()); }
+  int num_triangles() const { return static_cast<int>(triangles.size()); }
+
+  /// Total surface area.
+  double area() const;
+
+  /// Signed enclosed volume (positive for outward-oriented surfaces).
+  double volume() const;
+
+  /// Mean of the vertices.
+  Vec3 centroid() const;
+
+  Aabb bounds() const;
+
+  void translate(const Vec3& d);
+  /// Rotate about the centroid.
+  void rotate(const Mat3& r);
+  /// Uniform scale about the centroid.
+  void scale(double s);
+
+  /// Area of triangle t.
+  double triangle_area(int t) const;
+  /// Unit outward normal of triangle t.
+  Vec3 triangle_normal(int t) const;
+};
+
+/// Area of the triangle (a, b, c).
+double triangle_area(const Vec3& a, const Vec3& b, const Vec3& c);
+
+/// Connectivity of a TriMesh, built once per reference shape.
+struct MeshTopology {
+  /// An interior edge together with its hinge: the two triangles (t0, t1)
+  /// sharing it and the vertex opposite the edge in each (o0, o1).
+  struct Edge {
+    int v0 = -1;
+    int v1 = -1;
+    int t0 = -1;
+    int t1 = -1;
+    int o0 = -1;
+    int o1 = -1;
+  };
+
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> vertex_neighbors;  ///< 1-ring vertex ids
+  std::vector<std::vector<int>> vertex_triangles;  ///< incident triangle ids
+
+  /// Build topology; throws std::invalid_argument if the mesh is not a
+  /// closed 2-manifold (every edge must have exactly two incident
+  /// triangles).
+  static MeshTopology build(const TriMesh& mesh);
+};
+
+}  // namespace apr::mesh

@@ -1,0 +1,130 @@
+#include "src/parallel/decomposition.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace apr::parallel {
+
+BoxDecomposition::BoxDecomposition(Int3 dims, int num_tasks) : dims_(dims) {
+  if (dims.x < 1 || dims.y < 1 || dims.z < 1) {
+    throw std::invalid_argument("BoxDecomposition: bad dims");
+  }
+  if (num_tasks < 1) {
+    throw std::invalid_argument("BoxDecomposition: need >= 1 task");
+  }
+  const Int3 g = factorize(num_tasks, dims);
+  px_ = g.x;
+  py_ = g.y;
+  pz_ = g.z;
+  if (px_ > dims.x || py_ > dims.y || pz_ > dims.z) {
+    throw std::invalid_argument(
+        "BoxDecomposition: more tasks than nodes along an axis");
+  }
+}
+
+Int3 BoxDecomposition::factorize(int p, const Int3& dims) {
+  Int3 best{p, 1, 1};
+  double best_surface = std::numeric_limits<double>::max();
+  bool found_valid = false;
+  for (int px = 1; px <= p; ++px) {
+    if (p % px) continue;
+    const int rem = p / px;
+    for (int py = 1; py <= rem; ++py) {
+      if (rem % py) continue;
+      const int pz = rem / py;
+      const bool valid = px <= dims.x && py <= dims.y && pz <= dims.z;
+      if (found_valid && !valid) continue;
+      // Per-task box dimensions and cut surface (proxy for halo traffic).
+      const double bx = static_cast<double>(dims.x) / px;
+      const double by = static_cast<double>(dims.y) / py;
+      const double bz = static_cast<double>(dims.z) / pz;
+      const double surface = 2.0 * (bx * by + by * bz + bx * bz);
+      if ((valid && !found_valid) || surface < best_surface) {
+        best_surface = surface;
+        best = {px, py, pz};
+        if (valid) found_valid = true;
+      }
+    }
+  }
+  return best;
+}
+
+TaskBox BoxDecomposition::task_box(int rank) const {
+  if (rank < 0 || rank >= num_tasks()) {
+    throw std::out_of_range("BoxDecomposition: bad rank");
+  }
+  const int ix = rank % px_;
+  const int iy = (rank / px_) % py_;
+  const int iz = rank / (px_ * py_);
+  TaskBox box;
+  box.lo = {block_start(ix, px_, dims_.x), block_start(iy, py_, dims_.y),
+            block_start(iz, pz_, dims_.z)};
+  box.hi = {block_start(ix + 1, px_, dims_.x),
+            block_start(iy + 1, py_, dims_.y),
+            block_start(iz + 1, pz_, dims_.z)};
+  return box;
+}
+
+int BoxDecomposition::block_of(int c, int n, int total) {
+  // Inverse of block_start: smallest i with block_start(i+1) > c.
+  int i = static_cast<int>((static_cast<long long>(c) * n) / total);
+  while (block_start(i, n, total) > c) --i;
+  while (block_start(i + 1, n, total) <= c) ++i;
+  return i;
+}
+
+int BoxDecomposition::rank_of_node(const Int3& node) const {
+  if (node.x < 0 || node.x >= dims_.x || node.y < 0 || node.y >= dims_.y ||
+      node.z < 0 || node.z >= dims_.z) {
+    throw std::out_of_range("BoxDecomposition: node outside lattice");
+  }
+  return rank_index(block_of(node.x, px_, dims_.x),
+                    block_of(node.y, py_, dims_.y),
+                    block_of(node.z, pz_, dims_.z));
+}
+
+std::vector<int> BoxDecomposition::neighbors(int rank, int halo_width) const {
+  const TaskBox own = task_box(rank);
+  std::vector<int> out;
+  const int ix = rank % px_;
+  const int iy = (rank / px_) % py_;
+  const int iz = rank / (px_ * py_);
+  (void)own;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (!dx && !dy && !dz) continue;
+        const int jx = ix + dx;
+        const int jy = iy + dy;
+        const int jz = iz + dz;
+        if (jx < 0 || jx >= px_ || jy < 0 || jy >= py_ || jz < 0 ||
+            jz >= pz_) {
+          continue;
+        }
+        out.push_back(rank_index(jx, jy, jz));
+      }
+    }
+  }
+  (void)halo_width;
+  return out;
+}
+
+long long BoxDecomposition::halo_volume(int rank, int halo_width) const {
+  const TaskBox box = task_box(rank);
+  const Int3 e = box.extent();
+  // Halo shell volume: (e+2w)^3 - e^3 clipped to the global lattice.
+  long long inflated = 1;
+  long long own = 1;
+  const int w = halo_width;
+  const int lox = std::max(box.lo.x - w, 0);
+  const int hix = std::min(box.hi.x + w, dims_.x);
+  const int loy = std::max(box.lo.y - w, 0);
+  const int hiy = std::min(box.hi.y + w, dims_.y);
+  const int loz = std::max(box.lo.z - w, 0);
+  const int hiz = std::min(box.hi.z + w, dims_.z);
+  inflated = static_cast<long long>(hix - lox) * (hiy - loy) * (hiz - loz);
+  own = static_cast<long long>(e.x) * e.y * e.z;
+  return inflated - own;
+}
+
+}  // namespace apr::parallel

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file decomposition.hpp
+/// Box domain decomposition, the task layout of paper §2.4.4 (42 tasks per
+/// Summit node, 36 bulk + 6 window). This reproduction executes tasks
+/// in-process (see DESIGN.md §3 on the simulated-MPI substitution), but the
+/// decomposition semantics -- ownership, halos, neighbour sets -- match
+/// what an MPI backend would use, and all cell algorithms are written
+/// against this interface so they stay rank-count-agnostic.
+
+#include <vector>
+
+#include "src/common/aabb.hpp"
+#include "src/common/vec3.hpp"
+
+namespace apr::parallel {
+
+/// Half-open index box [lo, hi) in lattice node coordinates.
+struct TaskBox {
+  Int3 lo;
+  Int3 hi;
+
+  Int3 extent() const { return {hi.x - lo.x, hi.y - lo.y, hi.z - lo.z}; }
+  long long num_nodes() const {
+    const Int3 e = extent();
+    return static_cast<long long>(e.x) * e.y * e.z;
+  }
+  bool contains(const Int3& n) const {
+    return n.x >= lo.x && n.x < hi.x && n.y >= lo.y && n.y < hi.y &&
+           n.z >= lo.z && n.z < hi.z;
+  }
+};
+
+class BoxDecomposition {
+ public:
+  /// Split a global lattice of `dims` nodes into `num_tasks` boxes using
+  /// the surface-minimizing factorization of num_tasks.
+  BoxDecomposition(Int3 dims, int num_tasks);
+
+  int num_tasks() const { return px_ * py_ * pz_; }
+  Int3 task_grid() const { return {px_, py_, pz_}; }
+  Int3 dims() const { return dims_; }
+
+  TaskBox task_box(int rank) const;
+
+  /// Rank owning a global node (nodes are never shared).
+  int rank_of_node(const Int3& node) const;
+
+  /// Ranks whose owned box lies within `halo_width` nodes of `rank`'s box
+  /// (the up-to-26 neighbours that exchange halo data).
+  std::vector<int> neighbors(int rank, int halo_width = 1) const;
+
+  /// Number of halo nodes rank must receive per exchange for the given
+  /// halo width (the communication volume driver in the scaling study).
+  long long halo_volume(int rank, int halo_width) const;
+
+  /// Factorize p into (px, py, pz) minimizing total cut surface for the
+  /// given dims.
+  static Int3 factorize(int p, const Int3& dims);
+
+ private:
+  Int3 dims_;
+  int px_, py_, pz_;
+
+  int rank_index(int ix, int iy, int iz) const {
+    return (iz * py_ + iy) * px_ + ix;
+  }
+  /// Start index of block i of n along an axis with `total` nodes.
+  static int block_start(int i, int n, int total) {
+    return static_cast<int>((static_cast<long long>(i) * total) / n);
+  }
+  /// Block index owning coordinate c.
+  static int block_of(int c, int n, int total);
+};
+
+}  // namespace apr::parallel

@@ -1,0 +1,86 @@
+#include "src/parallel/halo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apr::parallel {
+
+DistributedField::DistributedField(const BoxDecomposition& decomp,
+                                   int halo_width)
+    : decomp_(&decomp), halo_(halo_width) {
+  if (halo_width < 0) throw std::invalid_argument("DistributedField: halo<0");
+  const Int3 dims = decomp.dims();
+  stores_.resize(decomp.num_tasks());
+  for (int r = 0; r < decomp.num_tasks(); ++r) {
+    const TaskBox box = decomp.task_box(r);
+    TaskStore& s = stores_[r];
+    s.lo = {std::max(box.lo.x - halo_, 0), std::max(box.lo.y - halo_, 0),
+            std::max(box.lo.z - halo_, 0)};
+    s.hi = {std::min(box.hi.x + halo_, dims.x),
+            std::min(box.hi.y + halo_, dims.y),
+            std::min(box.hi.z + halo_, dims.z)};
+    const long long n = static_cast<long long>(s.hi.x - s.lo.x) *
+                        (s.hi.y - s.lo.y) * (s.hi.z - s.lo.z);
+    s.data.assign(static_cast<std::size_t>(n), 0.0);
+  }
+}
+
+std::size_t DistributedField::local_index(const TaskStore& s,
+                                          const Int3& n) const {
+  const int ex = s.hi.x - s.lo.x;
+  const int ey = s.hi.y - s.lo.y;
+  return (static_cast<std::size_t>(n.z - s.lo.z) * ey + (n.y - s.lo.y)) * ex +
+         (n.x - s.lo.x);
+}
+
+bool DistributedField::stores(int rank, const Int3& n) const {
+  const TaskStore& s = stores_.at(rank);
+  return n.x >= s.lo.x && n.x < s.hi.x && n.y >= s.lo.y && n.y < s.hi.y &&
+         n.z >= s.lo.z && n.z < s.hi.z;
+}
+
+bool DistributedField::owns(int rank, const Int3& n) const {
+  return decomp_->task_box(rank).contains(n);
+}
+
+double& DistributedField::at(int rank, const Int3& n) {
+  TaskStore& s = stores_.at(rank);
+  if (!stores(rank, n)) {
+    throw std::out_of_range("DistributedField: node not stored by rank");
+  }
+  return s.data[local_index(s, n)];
+}
+
+double DistributedField::at(int rank, const Int3& n) const {
+  const TaskStore& s = stores_.at(rank);
+  if (!stores(rank, n)) {
+    throw std::out_of_range("DistributedField: node not stored by rank");
+  }
+  return s.data[local_index(s, n)];
+}
+
+std::size_t DistributedField::exchange() {
+  std::size_t moved = 0;
+  // For every rank, pull halo values from the owner -- semantically the
+  // same data movement as paired MPI sends/receives.
+  for (int r = 0; r < decomp_->num_tasks(); ++r) {
+    const TaskBox own = decomp_->task_box(r);
+    TaskStore& s = stores_[r];
+    for (int z = s.lo.z; z < s.hi.z; ++z) {
+      for (int y = s.lo.y; y < s.hi.y; ++y) {
+        for (int x = s.lo.x; x < s.hi.x; ++x) {
+          const Int3 n{x, y, z};
+          if (own.contains(n)) continue;  // owned, not halo
+          const int owner = decomp_->rank_of_node(n);
+          s.data[local_index(s, n)] =
+              stores_[owner].data[local_index(stores_[owner], n)];
+          ++moved;
+        }
+      }
+    }
+  }
+  bytes_ += moved * sizeof(double);
+  return moved;
+}
+
+}  // namespace apr::parallel

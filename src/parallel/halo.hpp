@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file halo.hpp
+/// Halo exchange over a BoxDecomposition. Each task stores its owned block
+/// plus a halo shell; exchange() copies owned boundary layers into
+/// neighbouring tasks' halos, byte-counting every transfer. In-process
+/// stand-in for the MPI halo exchange of paper §2.4.4/§2.4.5; the counted
+/// volumes feed the scaling performance model (src/perf).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/parallel/decomposition.hpp"
+
+namespace apr::parallel {
+
+/// A scalar field distributed over the tasks of a BoxDecomposition with a
+/// fixed-width halo shell.
+class DistributedField {
+ public:
+  DistributedField(const BoxDecomposition& decomp, int halo_width);
+
+  const BoxDecomposition& decomposition() const { return *decomp_; }
+  int halo_width() const { return halo_; }
+
+  /// Access the value stored by `rank` for global node `n`. The node must
+  /// lie in rank's owned box or halo shell (clipped to the lattice).
+  double& at(int rank, const Int3& n);
+  double at(int rank, const Int3& n) const;
+
+  /// Does rank store (own or halo) this node?
+  bool stores(int rank, const Int3& n) const;
+  bool owns(int rank, const Int3& n) const;
+
+  /// Set every task's owned values from a function of the global node.
+  template <typename Fn>
+  void fill_owned(Fn&& fn) {
+    for (int r = 0; r < decomp_->num_tasks(); ++r) {
+      const TaskBox box = decomp_->task_box(r);
+      for (int z = box.lo.z; z < box.hi.z; ++z) {
+        for (int y = box.lo.y; y < box.hi.y; ++y) {
+          for (int x = box.lo.x; x < box.hi.x; ++x) {
+            at(r, {x, y, z}) = fn(Int3{x, y, z});
+          }
+        }
+      }
+    }
+  }
+
+  /// Copy owned boundary data into every neighbour's halo. Returns the
+  /// number of values moved this call; bytes_exchanged() accumulates.
+  std::size_t exchange();
+
+  std::uint64_t bytes_exchanged() const { return bytes_; }
+
+ private:
+  const BoxDecomposition* decomp_;
+  int halo_;
+  struct TaskStore {
+    Int3 lo;  // stored box (owned + clipped halo)
+    Int3 hi;
+    std::vector<double> data;
+  };
+  std::vector<TaskStore> stores_;
+  std::uint64_t bytes_ = 0;
+
+  std::size_t local_index(const TaskStore& s, const Int3& n) const;
+};
+
+}  // namespace apr::parallel

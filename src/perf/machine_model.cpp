@@ -1,0 +1,16 @@
+#include "src/perf/machine_model.hpp"
+
+#include <stdexcept>
+
+namespace apr::perf {
+
+MachineAllocation allocate(const SummitNodeModel& model, int nodes) {
+  if (nodes < 1) throw std::invalid_argument("allocate: nodes must be >= 1");
+  MachineAllocation a;
+  a.nodes = nodes;
+  a.cpu_tasks = nodes * model.cpu_tasks_per_node;
+  a.gpu_tasks = nodes * model.gpu_tasks_per_node;
+  return a;
+}
+
+}  // namespace apr::perf

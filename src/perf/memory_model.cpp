@@ -1,0 +1,39 @@
+#include "src/perf/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace apr::perf {
+
+MemoryEstimate region_memory(double volume, double dx, double hematocrit,
+                             double rbc_volume, const MemoryCosts& costs) {
+  if (volume < 0.0 || dx <= 0.0) {
+    throw std::invalid_argument("region_memory: bad volume/dx");
+  }
+  MemoryEstimate est;
+  est.fluid_points = volume / (dx * dx * dx);
+  est.fluid_bytes = est.fluid_points * costs.bytes_per_fluid_point;
+  if (hematocrit > 0.0) {
+    est.rbc_count = hematocrit * volume / rbc_volume;
+    est.rbc_bytes = est.rbc_count * costs.bytes_per_rbc;
+  }
+  return est;
+}
+
+double fluid_volume_for_memory(double total_bytes, double dx,
+                               double hematocrit, double rbc_volume,
+                               const MemoryCosts& costs) {
+  // bytes = V * [cost_pt / dx^3 + Ht * cost_rbc / V_rbc]
+  const double per_volume =
+      costs.bytes_per_fluid_point / (dx * dx * dx) +
+      (hematocrit > 0.0 ? hematocrit * costs.bytes_per_rbc / rbc_volume : 0.0);
+  return total_bytes / per_volume;
+}
+
+double repo_bytes_per_rbc(int vertices) {
+  // CellPool stores positions, forces and velocities (3 doubles each) per
+  // vertex, plus an id and map entry: the mesh connectivity lives once in
+  // the shared MembraneModel.
+  return vertices * 3.0 * 3.0 * 8.0 + 64.0;
+}
+
+}  // namespace apr::perf

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file memory_model.hpp
+/// Memory and simulated-volume accounting, regenerating Tables 2-3 of the
+/// paper. The paper's stated costs are 408 bytes per fluid point and 51 kB
+/// per RBC (a 3x-subdivided icosahedral mesh: 642 vertices, 1280 elements,
+/// §3.6); those constants are the defaults here and checked against the
+/// mesh substrate in tests.
+
+#include <cstdint>
+
+namespace apr::perf {
+
+struct MemoryCosts {
+  double bytes_per_fluid_point = 408.0;
+  double bytes_per_rbc = 51.0e3;
+  int rbc_vertices = 642;
+  int rbc_elements = 1280;
+};
+
+/// One row of a Table 2/3-style accounting.
+struct MemoryEstimate {
+  double fluid_points = 0.0;
+  double fluid_bytes = 0.0;
+  double rbc_count = 0.0;
+  double rbc_bytes = 0.0;
+  double total_bytes() const { return fluid_bytes + rbc_bytes; }
+};
+
+/// Memory of a fluid region of physical volume `volume` [m^3] at spacing
+/// `dx` [m], filled with RBCs at `hematocrit` of volume `rbc_volume` each
+/// (hematocrit = 0 for the cell-free bulk).
+MemoryEstimate region_memory(double volume, double dx, double hematocrit,
+                             double rbc_volume, const MemoryCosts& costs);
+
+/// Table 2 inverse problem: the fluid volume that fits in `total_bytes`
+/// of memory at spacing `dx` with the given hematocrit.
+double fluid_volume_for_memory(double total_bytes, double dx,
+                               double hematocrit, double rbc_volume,
+                               const MemoryCosts& costs);
+
+/// Estimated per-cell storage of this repository's own cell
+/// representation: positions + forces + velocities (3 x Vec3 per vertex)
+/// plus shared-model amortization -- used by a test to confirm the 51 kB
+/// figure is the right order.
+double repo_bytes_per_rbc(int vertices);
+
+}  // namespace apr::perf

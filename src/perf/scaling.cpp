@@ -1,0 +1,153 @@
+#include "src/perf/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/parallel/decomposition.hpp"
+
+namespace apr::perf {
+
+long long ScalingProblem::bulk_points() const {
+  const double n = cube_side / dx_bulk;
+  return static_cast<long long>(n * n * n);
+}
+
+long long ScalingProblem::window_points() const {
+  const double dxf = dx_bulk / resolution_ratio;
+  const double n = window_side / dxf;
+  return static_cast<long long>(n * n * n);
+}
+
+long long ScalingProblem::rbc_count() const {
+  const double v = window_side * window_side * window_side;
+  return static_cast<long long>(hematocrit * v / rbc_volume);
+}
+
+namespace {
+
+/// Max over tasks of (compute, comm) for one task group handling a cubic
+/// block of `points` lattice sites decomposed over `tasks` tasks.
+struct GroupTime {
+  double compute = 0.0;
+  double comm = 0.0;
+};
+
+GroupTime group_time(const SummitNodeModel& model, long long points,
+                     int tasks, double updates_per_s, int halo_width,
+                     double extra_compute_per_task, int substeps) {
+  // Represent the region as a cubic node grid for decomposition purposes.
+  const int side = std::max(
+      1, static_cast<int>(std::llround(std::cbrt(static_cast<double>(points)))));
+  const long long max_tasks = 1LL * side * side * side;
+  const int eff_tasks =
+      static_cast<int>(std::min<long long>(tasks, max_tasks));
+  parallel::BoxDecomposition decomp({side, side, side}, eff_tasks);
+  GroupTime worst;
+  for (int r = 0; r < decomp.num_tasks(); ++r) {
+    const double own = static_cast<double>(decomp.task_box(r).num_nodes());
+    const double halo =
+        static_cast<double>(decomp.halo_volume(r, halo_width));
+    const double neighbors =
+        static_cast<double>(decomp.neighbors(r, halo_width).size());
+    const double compute =
+        substeps * (own / updates_per_s) + extra_compute_per_task;
+    const double comm =
+        substeps * (halo * model.bytes_per_halo_site / model.task_bandwidth +
+                    neighbors * model.message_latency);
+    worst.compute = std::max(worst.compute, compute);
+    worst.comm = std::max(worst.comm, comm);
+  }
+  return worst;
+}
+
+}  // namespace
+
+ScalingPoint time_step(const SummitNodeModel& model,
+                       const ScalingProblem& problem, int nodes) {
+  const MachineAllocation alloc = allocate(model, nodes);
+  ScalingPoint pt;
+  pt.nodes = nodes;
+
+  // Bulk (CPU) side: one coarse step.
+  const GroupTime bulk = group_time(model, problem.bulk_points(),
+                                    alloc.cpu_tasks,
+                                    model.cpu_task_updates_per_s,
+                                    /*halo_width=*/1,
+                                    /*extra=*/0.0, /*substeps=*/1);
+
+  // Window (GPU) side: n fine sub-steps plus membrane work.
+  const double vertex_ops =
+      static_cast<double>(problem.rbc_count()) * problem.vertices_per_rbc *
+      problem.resolution_ratio;
+  const double membrane_per_task =
+      vertex_ops / alloc.gpu_tasks / model.gpu_vertex_ops_per_s;
+  const GroupTime window = group_time(
+      model, problem.window_points(), alloc.gpu_tasks,
+      model.gpu_task_updates_per_s, problem.halo_width, membrane_per_task,
+      problem.resolution_ratio);
+
+  pt.cpu_time = bulk.compute + bulk.comm;
+  pt.gpu_time = window.compute + window.comm;
+  pt.compute_time = std::max(bulk.compute, window.compute);
+  pt.comm_time = std::max(bulk.comm, window.comm);
+  // CPU and GPU run concurrently; the coupled step is as slow as the
+  // slower side.
+  pt.time_per_step = std::max(pt.cpu_time, pt.gpu_time);
+  return pt;
+}
+
+std::vector<ScalingPoint> strong_scaling(const SummitNodeModel& model,
+                                         const ScalingProblem& problem,
+                                         const std::vector<int>& node_counts) {
+  if (node_counts.empty()) {
+    throw std::invalid_argument("strong_scaling: empty node list");
+  }
+  std::vector<ScalingPoint> out;
+  out.reserve(node_counts.size());
+  for (int n : node_counts) out.push_back(time_step(model, problem, n));
+  const double base = out.front().time_per_step;
+  for (auto& pt : out) {
+    pt.speedup = base / pt.time_per_step;
+    pt.efficiency =
+        pt.speedup / (static_cast<double>(pt.nodes) / node_counts.front());
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> weak_scaling(const SummitNodeModel& model,
+                                       const ScalingProblem& per_node,
+                                       const std::vector<int>& node_counts,
+                                       int reference_nodes) {
+  std::vector<ScalingPoint> out;
+  out.reserve(node_counts.size());
+  ScalingPoint ref{};
+  bool have_ref = false;
+  auto scaled = [&](int n) {
+    ScalingProblem p = per_node;
+    const double f = std::cbrt(static_cast<double>(n));
+    p.cube_side *= f;
+    p.window_side *= f;
+    return p;
+  };
+  for (int n : node_counts) {
+    out.push_back(time_step(model, scaled(n), n));
+  }
+  // Reference: the requested baseline (computed even if absent from the
+  // sweep).
+  for (const auto& pt : out) {
+    if (pt.nodes == reference_nodes) {
+      ref = pt;
+      have_ref = true;
+    }
+  }
+  if (!have_ref) ref = time_step(model, scaled(reference_nodes),
+                                 reference_nodes);
+  for (auto& pt : out) {
+    pt.efficiency = ref.time_per_step / pt.time_per_step;
+    pt.speedup = pt.efficiency;  // weak-scaling "speedup" == efficiency
+  }
+  return out;
+}
+
+}  // namespace apr::perf

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Strong- and weak-scaling predictors regenerating Figs. 7-8. Per-task
+/// compute time follows from the machine model's throughputs; per-task
+/// communication time follows from the halo volume and neighbour count of
+/// the actual BoxDecomposition, so small-node-count effects (incomplete
+/// neighbour shells at 1-4 nodes, §3.4) emerge rather than being fitted.
+
+#include <vector>
+
+#include "src/perf/machine_model.hpp"
+
+namespace apr::perf {
+
+/// The coupled cube-plus-window problem of §3.4.
+struct ScalingProblem {
+  double cube_side = 10.5e-3;        ///< [m]
+  double window_side = 0.65e-3;      ///< [m]
+  double dx_bulk = 10.0e-6;          ///< [m]
+  int resolution_ratio = 10;         ///< n (window dx = dx_bulk / n)
+  double hematocrit = 0.25;          ///< window RBC volume fraction
+  double rbc_volume = 94.1e-18;      ///< [m^3]
+  int vertices_per_rbc = 642;
+  int halo_width = 2;                ///< IBM support reaches 2 sites
+
+  long long bulk_points() const;
+  long long window_points() const;
+  long long rbc_count() const;
+};
+
+struct ScalingPoint {
+  int nodes = 0;
+  double time_per_step = 0.0;    ///< [s] one coarse step
+  double compute_time = 0.0;     ///< slowest task's compute component
+  double comm_time = 0.0;        ///< slowest task's halo exchange
+  double cpu_time = 0.0;         ///< bulk (CPU) side
+  double gpu_time = 0.0;         ///< window (GPU) side
+  double speedup = 0.0;          ///< vs the first entry (strong scaling)
+  double efficiency = 0.0;       ///< vs reference (weak scaling)
+};
+
+/// Time one coupled step on `nodes` nodes for a fixed problem.
+ScalingPoint time_step(const SummitNodeModel& model,
+                       const ScalingProblem& problem, int nodes);
+
+/// Strong scaling: fixed problem, increasing node counts. Speedups are
+/// relative to the first node count in `node_counts`.
+std::vector<ScalingPoint> strong_scaling(const SummitNodeModel& model,
+                                         const ScalingProblem& problem,
+                                         const std::vector<int>& node_counts);
+
+/// Weak scaling: the §3.4 setup keeps ~9.1e6 bulk + 8.0e6 window fluid
+/// points per node by growing the cube and window together. Efficiency is
+/// relative to `reference_nodes` (the paper uses 8).
+std::vector<ScalingPoint> weak_scaling(const SummitNodeModel& model,
+                                       const ScalingProblem& per_node_problem,
+                                       const std::vector<int>& node_counts,
+                                       int reference_nodes = 8);
+
+}  // namespace apr::perf

@@ -1,0 +1,14 @@
+#include "src/rheology/blood.hpp"
+
+namespace apr::rheology {
+
+double bulk_blood_viscosity(double diameter, double discharge_ht) {
+  const double d_um = diameter * 1e6;
+  return kPlasmaViscosity * pries_relative_viscosity(d_um, discharge_ht);
+}
+
+double window_viscosity_contrast(double bulk_dynamic_viscosity) {
+  return kPlasmaViscosity / bulk_dynamic_viscosity;
+}
+
+}  // namespace apr::rheology

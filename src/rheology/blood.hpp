@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file blood.hpp
+/// Physical blood constants used throughout the paper's experiments and
+/// helpers that package them for simulation setup.
+
+#include "src/rheology/pries.hpp"
+
+namespace apr::rheology {
+
+/// Plasma dynamic viscosity, 1.2 cP (paper §3.2, Fung 2013).
+inline constexpr double kPlasmaViscosity = 1.2e-3;  ///< [Pa s]
+
+/// Whole blood dynamic viscosity used for the bulk fluid, 4 cP (§3.3).
+inline constexpr double kWholeBloodViscosity = 4.0e-3;  ///< [Pa s]
+
+/// Blood mass density.
+inline constexpr double kBloodDensity = 1060.0;  ///< [kg/m^3]
+
+/// Healthy RBC membrane shear elastic modulus, 5e-6 N/m (§3.2, Skalak).
+inline constexpr double kRbcShearModulus = 5.0e-6;  ///< [N/m]
+
+/// CTC membrane shear modulus, 1e-4 N/m (§3.3; stiffer than RBCs).
+inline constexpr double kCtcShearModulus = 1.0e-4;  ///< [N/m]
+
+/// RBC bending modulus, ~2e-19 J (standard literature value).
+inline constexpr double kRbcBendingModulus = 2.0e-19;  ///< [J]
+
+/// Physiological systemic hematocrit.
+inline constexpr double kSystemicHematocrit = 0.45;
+
+/// Total blood volume and RBC count of an average adult (paper intro).
+inline constexpr double kTotalBloodVolume = 5.0e-3;   ///< [m^3] 5 liters
+inline constexpr double kTotalRbcCount = 25.0e12;     ///< 25 trillion
+
+/// Kinematic viscosities (dynamic / density).
+inline constexpr double kPlasmaKinematicViscosity =
+    kPlasmaViscosity / kBloodDensity;
+inline constexpr double kWholeBloodKinematicViscosity =
+    kWholeBloodViscosity / kBloodDensity;
+
+/// Dynamic viscosity of whole blood in a tube of `diameter` [m] at the
+/// given discharge hematocrit, from the Pries correlation relative to
+/// plasma: mu = mu_plasma * mu_rel(D, Ht).
+double bulk_blood_viscosity(double diameter, double discharge_ht);
+
+/// Viscosity contrast lambda = nu_window / nu_bulk for a window filled
+/// with plasma embedded in bulk blood of the given tube viscosity.
+double window_viscosity_contrast(double bulk_dynamic_viscosity);
+
+}  // namespace apr::rheology

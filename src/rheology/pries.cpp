@@ -1,0 +1,65 @@
+#include "src/rheology/pries.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace apr::rheology {
+
+double pries_mu45(double d) {
+  return 220.0 * std::exp(-1.3 * d) + 3.2 -
+         2.44 * std::exp(-0.06 * std::pow(d, 0.645));
+}
+
+double pries_c(double d) {
+  const double d12 = std::pow(10.0, -11.0) * std::pow(d, 12.0);
+  return (0.8 + std::exp(-0.075 * d)) * (-1.0 + 1.0 / (1.0 + d12)) +
+         1.0 / (1.0 + d12);
+}
+
+double pries_relative_viscosity(double d, double htd) {
+  if (d <= 0.0) throw std::invalid_argument("pries: diameter must be > 0");
+  if (htd < 0.0 || htd >= 1.0) {
+    throw std::invalid_argument("pries: hematocrit in [0, 1)");
+  }
+  const double mu45 = pries_mu45(d);
+  const double c = pries_c(d);
+  const double num = std::pow(1.0 - htd, c) - 1.0;
+  const double den = std::pow(1.0 - 0.45, c) - 1.0;
+  return 1.0 + (mu45 - 1.0) * num / den;
+}
+
+double fahraeus_tube_to_discharge_ratio(double d, double htd) {
+  return htd + (1.0 - htd) * (1.0 + 1.7 * std::exp(-0.35 * d) -
+                              0.6 * std::exp(-0.01 * d));
+}
+
+double tube_hematocrit(double d, double htd) {
+  return htd * fahraeus_tube_to_discharge_ratio(d, htd);
+}
+
+double discharge_hematocrit(double d, double tube_ht) {
+  if (tube_ht <= 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = 0.999;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (tube_hematocrit(d, mid) < tube_ht) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double effective_viscosity_poiseuille(double pressure_drop, double radius,
+                                      double flow_rate, double length) {
+  if (flow_rate <= 0.0 || length <= 0.0) {
+    throw std::invalid_argument("effective_viscosity: Q, L must be > 0");
+  }
+  return pressure_drop * std::numbers::pi * radius * radius * radius *
+         radius / (8.0 * flow_rate * length);
+}
+
+}  // namespace apr::rheology

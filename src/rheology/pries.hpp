@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file pries.hpp
+/// The in-vitro blood viscosity correlation of Pries, Neuhaus & Gaehtgens
+/// (1992), Eqs. (9)-(10) of the paper, and the Fahraeus tube/discharge
+/// hematocrit relation (Eq. 11, Pries et al. 1990). These supply the
+/// experimental reference curve of Fig. 5C and the whole-blood bulk
+/// viscosity used outside the APR window.
+
+namespace apr::rheology {
+
+/// Relative apparent viscosity mu_rel(D, Ht_d) for a vessel of diameter D
+/// [um] at discharge hematocrit Ht_d (fraction, e.g. 0.45). Eq. (9).
+double pries_relative_viscosity(double diameter_um, double discharge_ht);
+
+/// mu_45(D): relative viscosity at Ht_d = 0.45. First of Eqs. (10).
+double pries_mu45(double diameter_um);
+
+/// Shape exponent C(D). Second of Eqs. (10).
+double pries_c(double diameter_um);
+
+/// Fahraeus effect: ratio of tube to discharge hematocrit, Eq. (11):
+///   Htt/Htd = Htd + (1 - Htd)(1 + 1.7 e^{-0.35 D} - 0.6 e^{-0.01 D})
+/// for D in um.
+double fahraeus_tube_to_discharge_ratio(double diameter_um,
+                                        double discharge_ht);
+
+/// Tube hematocrit for a given discharge hematocrit.
+double tube_hematocrit(double diameter_um, double discharge_ht);
+
+/// Invert Eq. (11) numerically: discharge hematocrit whose tube
+/// hematocrit equals `tube_ht` (bisection; tube_ht in (0, 1)).
+double discharge_hematocrit(double diameter_um, double tube_ht);
+
+/// Poiseuille effective viscosity from a measured pressure drop
+/// (Eq. 12): mu_eff = dP pi R^4 / (8 Q L). All arguments SI.
+double effective_viscosity_poiseuille(double pressure_drop, double radius,
+                                      double flow_rate, double length);
+
+}  // namespace apr::rheology

@@ -1,0 +1,113 @@
+#include "src/lbm/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace apr::lbm {
+namespace {
+
+TEST(LayeredCouette, SingleLayerIsLinear) {
+  const LayeredCouette c({1.0}, {2.0}, 0.1);
+  EXPECT_NEAR(c.velocity(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(c.velocity(0.5), 0.05, 1e-15);
+  EXPECT_NEAR(c.velocity(1.0), 0.1, 1e-15);
+  EXPECT_NEAR(c.shear_stress(), 2.0 * 0.1, 1e-15);
+}
+
+TEST(LayeredCouette, VelocityContinuousAcrossInterfaces) {
+  const LayeredCouette c({1.0, 2.0, 1.0}, {3.0, 1.0, 3.0}, 0.3);
+  const double eps = 1e-9;
+  EXPECT_NEAR(c.velocity(1.0 - eps), c.velocity(1.0 + eps), 1e-7);
+  EXPECT_NEAR(c.velocity(3.0 - eps), c.velocity(3.0 + eps), 1e-7);
+  EXPECT_NEAR(c.velocity(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(c.velocity(4.0), 0.3, 1e-12);
+}
+
+TEST(LayeredCouette, StressIsContinuousByConstruction) {
+  // sigma = mu_j du/dy identical in every layer: check via finite
+  // differences inside each layer.
+  const std::vector<double> h{1.0, 1.5, 0.5};
+  const std::vector<double> mu{4.0, 1.0, 2.0};
+  const LayeredCouette c(h, mu, 1.0);
+  const double probe[3] = {0.5, 1.7, 2.8};
+  for (int j = 0; j < 3; ++j) {
+    const double dy = 1e-6;
+    const double slope = (c.velocity(probe[j] + dy) - c.velocity(probe[j])) / dy;
+    EXPECT_NEAR(mu[j] * slope, c.shear_stress(), 1e-6);
+  }
+}
+
+TEST(LayeredCouette, LowViscosityLayerTakesMostOfTheShear) {
+  // The paper's configuration: regions 1 and 3 at mu1, region 2 at
+  // lambda*mu1 with lambda < 1: region 2's velocity jump dominates.
+  const double lambda = 0.25;
+  const LayeredCouette c({1.0, 1.0, 1.0}, {1.0, lambda, 1.0}, 1.0);
+  const double jump1 = c.velocity(1.0) - c.velocity(0.0);
+  const double jump2 = c.velocity(2.0) - c.velocity(1.0);
+  EXPECT_NEAR(jump2 / jump1, 1.0 / lambda, 1e-9);
+}
+
+struct LambdaCase {
+  double lambda;
+};
+class PaperShearProfile : public ::testing::TestWithParam<LambdaCase> {};
+
+TEST_P(PaperShearProfile, MatchesEquationEightForm) {
+  // Eq. (8): u_j = (alpha_j y + beta_j)/mu_j with alpha identical across
+  // layers (alpha = shear stress) and beta_1 = 0.
+  const double lambda = GetParam().lambda;
+  const double h = 30e-6;
+  const double mu1 = 4.0e-3;
+  const LayeredCouette c({h, h, h}, {mu1, lambda * mu1, mu1}, 0.01);
+  const double alpha = c.shear_stress();
+  // Layer 1: beta_1 = 0 -> u(y) = alpha y / mu1.
+  EXPECT_NEAR(c.velocity(15e-6), alpha * 15e-6 / mu1, 1e-12);
+  // Top plate velocity reproduced.
+  EXPECT_NEAR(c.velocity(3 * h), 0.01, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLambdas, PaperShearProfile,
+                         ::testing::Values(LambdaCase{0.5},
+                                           LambdaCase{1.0 / 3.0},
+                                           LambdaCase{0.25}));
+
+TEST(LayeredCouette, RejectsBadSpecs) {
+  EXPECT_THROW(LayeredCouette({}, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(LayeredCouette({1.0}, {1.0, 2.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(LayeredCouette({-1.0}, {1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(LayeredCouette({1.0}, {0.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Poiseuille, PlaneProfileProperties) {
+  const double height = 2.0;
+  const double g = 0.5;
+  const double mu = 1.5;
+  EXPECT_NEAR(plane_poiseuille(0.0, height, g, mu), 0.0, 1e-15);
+  EXPECT_NEAR(plane_poiseuille(height, height, g, mu), 0.0, 1e-15);
+  // Peak at mid-height: G H^2 / (8 mu).
+  EXPECT_NEAR(plane_poiseuille(height / 2, height, g, mu),
+              g * height * height / (8.0 * mu), 1e-15);
+}
+
+TEST(Poiseuille, TubeProfileAndFlowRate) {
+  const double radius = 1.2;
+  const double g = 0.3;
+  const double mu = 2.0;
+  EXPECT_NEAR(tube_poiseuille(0.0, radius, g, mu),
+              g * radius * radius / (4.0 * mu), 1e-15);
+  EXPECT_NEAR(tube_poiseuille(radius, radius, g, mu), 0.0, 1e-15);
+  // Q = pi G R^4 / (8 mu), and it equals the integral of the profile.
+  const double q = tube_poiseuille_flow_rate(radius, g, mu);
+  double integral = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double r = (i + 0.5) / n * radius;
+    integral += tube_poiseuille(r, radius, g, mu) * 2.0 * std::numbers::pi *
+                r * (radius / n);
+  }
+  EXPECT_NEAR(q, integral, 1e-4 * q);
+}
+
+}  // namespace
+}  // namespace apr::lbm

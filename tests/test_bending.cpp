@@ -1,0 +1,142 @@
+#include "src/fem/bending.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace apr::fem {
+namespace {
+
+/// Numerical gradient of the hinge energy wrt all 12 coordinates.
+void numerical_forces(double kb, double theta0, Vec3 a, Vec3 b, Vec3 c,
+                      Vec3 d, Vec3& fa, Vec3& fb, Vec3& fc, Vec3& fd) {
+  const double h = 1e-7;
+  Vec3* verts[4] = {&a, &b, &c, &d};
+  Vec3* out[4] = {&fa, &fb, &fc, &fd};
+  auto energy = [&] {
+    return hinge_energy(kb, dihedral_angle(a, b, c, d), theta0);
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      const double orig = (*verts[i])[k];
+      (*verts[i])[k] = orig + h;
+      const double ep = energy();
+      (*verts[i])[k] = orig - h;
+      const double em = energy();
+      (*verts[i])[k] = orig;
+      (*out[i])[k] = -(ep - em) / (2.0 * h);
+    }
+  }
+}
+
+TEST(HingeConstant, MapsHelfrichModulus) {
+  EXPECT_NEAR(hinge_constant_from_helfrich(1.0), 2.0 / std::sqrt(3.0), 1e-15);
+  EXPECT_NEAR(hinge_constant_from_helfrich(2e-19),
+              2.0 / std::sqrt(3.0) * 2e-19, 1e-30);
+}
+
+TEST(DihedralAngle, CoplanarWingsGiveZero) {
+  EXPECT_NEAR(
+      dihedral_angle({-1, 1, 0}, {0, 0, 0}, {0, 2, 0}, {1, 1, 0}), 0.0,
+      1e-12);
+}
+
+TEST(DihedralAngle, RightAngleFold) {
+  // Wing 1 in the xy plane, wing 2 folded 90 degrees up.
+  const double theta =
+      dihedral_angle({-1, 1, 0}, {0, 0, 0}, {0, 2, 0}, {0, 1, 1});
+  EXPECT_NEAR(std::abs(theta), std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(DihedralAngle, SignFlipsWithFoldDirection) {
+  const double up =
+      dihedral_angle({-1, 1, 0}, {0, 0, 0}, {0, 2, 0}, {1, 1, 0.5});
+  const double down =
+      dihedral_angle({-1, 1, 0}, {0, 0, 0}, {0, 2, 0}, {1, 1, -0.5});
+  EXPECT_NEAR(up, -down, 1e-12);
+  EXPECT_NE(up, 0.0);
+}
+
+TEST(HingeEnergy, ZeroAtRestAngleAndPositiveElsewhere) {
+  const double kb = 2.5;
+  const double theta0 = 0.3;
+  EXPECT_DOUBLE_EQ(hinge_energy(kb, theta0, theta0), 0.0);
+  EXPECT_GT(hinge_energy(kb, theta0 + 0.2, theta0), 0.0);
+  EXPECT_GT(hinge_energy(kb, theta0 - 0.2, theta0), 0.0);
+  // Small-angle limit: ~ kb/2 (dtheta)^2.
+  const double dt = 1e-3;
+  EXPECT_NEAR(hinge_energy(kb, theta0 + dt, theta0), 0.5 * kb * dt * dt,
+              1e-9);
+}
+
+struct HingeCase {
+  const char* name;
+  Vec3 a, b, c, d;
+  double theta0;
+};
+
+class HingeForceGradient : public ::testing::TestWithParam<HingeCase> {};
+
+TEST_P(HingeForceGradient, AnalyticForcesMatchNumericalGradient) {
+  const auto& h = GetParam();
+  const double kb = 1.7;
+  Vec3 fa{}, fb{}, fc{}, fd{};
+  add_hinge_forces(kb, h.theta0, h.a, h.b, h.c, h.d, fa, fb, fc, fd);
+  Vec3 na{}, nb{}, nc{}, nd{};
+  numerical_forces(kb, h.theta0, h.a, h.b, h.c, h.d, na, nb, nc, nd);
+  const double scale =
+      std::max({norm(na), norm(nb), norm(nc), norm(nd), 1e-8});
+  EXPECT_NEAR(norm(fa - na) / scale, 0.0, 2e-5) << h.name;
+  EXPECT_NEAR(norm(fb - nb) / scale, 0.0, 2e-5) << h.name;
+  EXPECT_NEAR(norm(fc - nc) / scale, 0.0, 2e-5) << h.name;
+  EXPECT_NEAR(norm(fd - nd) / scale, 0.0, 2e-5) << h.name;
+  // Linear momentum conserved exactly.
+  EXPECT_NEAR(norm(fa + fb + fc + fd), 0.0, 1e-12 * std::max(scale, 1.0))
+      << h.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Folds, HingeForceGradient,
+    ::testing::Values(
+        HingeCase{"mild_fold", {-1, 1, 0}, {0, 0, 0}, {0, 2, 0},
+                  {1, 1, 0.3}, 0.0},
+        HingeCase{"strong_fold", {-1, 1, 0}, {0, 0, 0}, {0, 2, 0},
+                  {0.2, 1, 1.1}, 0.0},
+        HingeCase{"nonzero_rest", {-1, 1, 0}, {0, 0, 0}, {0, 2, 0},
+                  {1, 1, 0.2}, 0.4},
+        HingeCase{"asymmetric", {-0.7, 0.6, 0.1}, {0.1, -0.1, 0},
+                  {-0.2, 1.9, 0.2}, {1.1, 0.8, -0.4}, -0.2},
+        HingeCase{"negative_fold", {-1, 1, 0}, {0, 0, 0}, {0, 2, 0},
+                  {1, 1, -0.6}, 0.1}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(HingeForces, ZeroAtRestConfiguration) {
+  const Vec3 a{-1, 1, 0}, b{0, 0, 0}, c{0, 2, 0}, d{1, 1, 0.5};
+  const double theta0 = dihedral_angle(a, b, c, d);
+  Vec3 fa{}, fb{}, fc{}, fd{};
+  add_hinge_forces(3.0, theta0, a, b, c, d, fa, fb, fc, fd);
+  EXPECT_NEAR(norm(fa), 0.0, 1e-13);
+  EXPECT_NEAR(norm(fd), 0.0, 1e-13);
+}
+
+TEST(HingeForces, FlattenAFoldedHinge) {
+  // With theta0 = 0, forces push the folded wing vertex back toward the
+  // plane.
+  const Vec3 a{-1, 1, 0}, b{0, 0, 0}, c{0, 2, 0};
+  const Vec3 d{1, 1, 0.4};
+  Vec3 fa{}, fb{}, fc{}, fd{};
+  add_hinge_forces(1.0, 0.0, a, b, c, d, fa, fb, fc, fd);
+  EXPECT_LT(fd.z, 0.0);
+}
+
+TEST(HingeForces, DegenerateWingIsIgnored) {
+  // Collinear wing: no crash, no force.
+  Vec3 fa{}, fb{}, fc{}, fd{};
+  add_hinge_forces(1.0, 0.0, {0, 0, 0}, {0, 0, 0}, {0, 2, 0}, {1, 1, 0}, fa,
+                   fb, fc, fd);
+  EXPECT_EQ(norm(fa), 0.0);
+}
+
+}  // namespace
+}  // namespace apr::fem

@@ -1,0 +1,162 @@
+#include "src/cells/cell_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mesh/icosphere.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::cells {
+namespace {
+
+class CellPoolTest : public ::testing::Test {
+ protected:
+  CellPoolTest()
+      : model_(std::make_unique<fem::MembraneModel>(mesh::icosphere(1, 1.0),
+                                                    fem::MembraneParams{})) {}
+
+  std::vector<Vec3> cell_at(double x) const {
+    return instantiate(*model_, Vec3{x, 0.0, 0.0});
+  }
+
+  std::unique_ptr<fem::MembraneModel> model_;
+};
+
+TEST_F(CellPoolTest, ConstructionValidation) {
+  EXPECT_THROW(CellPool(nullptr, CellKind::Rbc, 4), std::invalid_argument);
+  EXPECT_THROW(CellPool(model_.get(), CellKind::Rbc, 0),
+               std::invalid_argument);
+  const CellPool pool(model_.get(), CellKind::Rbc, 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.vertices_per_cell(), 42);
+}
+
+TEST_F(CellPoolTest, AddAssignsContiguousSlots) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  EXPECT_EQ(pool.add(100, cell_at(0.0)), 0u);
+  EXPECT_EQ(pool.add(200, cell_at(5.0)), 1u);
+  EXPECT_EQ(pool.add(300, cell_at(10.0)), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.id(0), 100u);
+  EXPECT_EQ(pool.slot_of(200), 1u);
+  EXPECT_NEAR(pool.cell_centroid(2).x, 10.0, 1e-9);
+}
+
+TEST_F(CellPoolTest, CapacityExhaustionThrows) {
+  CellPool pool(model_.get(), CellKind::Rbc, 2);
+  pool.add(1, cell_at(0.0));
+  pool.add(2, cell_at(3.0));
+  EXPECT_THROW(pool.add(3, cell_at(6.0)), std::length_error);
+}
+
+TEST_F(CellPoolTest, DuplicateIdRejected) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  pool.add(7, cell_at(0.0));
+  EXPECT_THROW(pool.add(7, cell_at(3.0)), std::invalid_argument);
+}
+
+TEST_F(CellPoolTest, WrongVertexCountRejected) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  std::vector<Vec3> too_small(5);
+  EXPECT_THROW(pool.add(1, too_small), std::invalid_argument);
+}
+
+TEST_F(CellPoolTest, RemoveShiftsTrailingSlotsAndPreservesData) {
+  CellPool pool(model_.get(), CellKind::Rbc, 8);
+  pool.add(10, cell_at(0.0));
+  pool.add(20, cell_at(5.0));
+  pool.add(30, cell_at(10.0));
+  pool.add(40, cell_at(15.0));
+
+  pool.remove(20);
+  EXPECT_EQ(pool.size(), 3u);
+  // Slots are compacted: 10, 30, 40 now occupy slots 0, 1, 2.
+  EXPECT_EQ(pool.id(0), 10u);
+  EXPECT_EQ(pool.id(1), 30u);
+  EXPECT_EQ(pool.id(2), 40u);
+  // Vertex data moved with the ids.
+  EXPECT_NEAR(pool.cell_centroid(1).x, 10.0, 1e-9);
+  EXPECT_NEAR(pool.cell_centroid(2).x, 15.0, 1e-9);
+  // Lookup map stays consistent.
+  EXPECT_EQ(pool.slot_of(40), 2u);
+  EXPECT_FALSE(pool.contains(20));
+  // Two trailing cells were shifted.
+  EXPECT_EQ(pool.shift_count(), 2u);
+}
+
+TEST_F(CellPoolTest, RemoveLastIsShiftFree) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  pool.add(1, cell_at(0.0));
+  pool.add(2, cell_at(3.0));
+  pool.remove(2);
+  EXPECT_EQ(pool.shift_count(), 0u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(CellPoolTest, RemoveUnknownIdThrows) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  pool.add(1, cell_at(0.0));
+  EXPECT_THROW(pool.remove(999), std::out_of_range);
+  EXPECT_THROW(pool.slot_of(999), std::out_of_range);
+  EXPECT_THROW(pool.remove_slot(5), std::out_of_range);
+}
+
+TEST_F(CellPoolTest, ReAddAfterRemoveReusesSlots) {
+  CellPool pool(model_.get(), CellKind::Rbc, 2);
+  pool.add(1, cell_at(0.0));
+  pool.add(2, cell_at(3.0));
+  pool.remove(1);
+  EXPECT_NO_THROW(pool.add(3, cell_at(6.0)));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST_F(CellPoolTest, ForcesAndVelocitiesFollowTheirCell) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  pool.add(1, cell_at(0.0));
+  pool.add(2, cell_at(3.0));
+  pool.forces(1)[0] = Vec3{9.0, 0.0, 0.0};
+  pool.velocities(1)[0] = Vec3{0.0, 9.0, 0.0};
+  pool.remove(1);  // shifts cell 2 into slot 0
+  EXPECT_EQ(pool.slot_of(2), 0u);
+  EXPECT_NEAR(pool.forces(0)[0].x, 9.0, 1e-15);
+  EXPECT_NEAR(pool.velocities(0)[0].y, 9.0, 1e-15);
+}
+
+TEST_F(CellPoolTest, ClearForcesZeroesLivePrefix) {
+  CellPool pool(model_.get(), CellKind::Rbc, 4);
+  pool.add(1, cell_at(0.0));
+  pool.forces(0)[3] = Vec3{1.0, 2.0, 3.0};
+  pool.clear_forces();
+  EXPECT_EQ(norm(pool.forces(0)[3]), 0.0);
+}
+
+TEST_F(CellPoolTest, InstantiateRotates) {
+  Rng rng(3);
+  const Mat3 rot = random_rotation(rng);
+  const auto verts = instantiate(*model_, Vec3{1.0, 2.0, 3.0}, rot);
+  EXPECT_NEAR(norm(centroid(verts) - Vec3{1.0, 2.0, 3.0}), 0.0, 1e-12);
+  // Rotation preserves radii about the centroid.
+  const auto& ref = model_->reference();
+  const Vec3 c0 = ref.centroid();
+  for (std::size_t v = 0; v < verts.size(); ++v) {
+    EXPECT_NEAR(norm(verts[v] - Vec3{1.0, 2.0, 3.0}),
+                norm(ref.vertices[v] - c0), 1e-12);
+  }
+}
+
+TEST_F(CellPoolTest, CellVolumeMatchesMesh) {
+  const auto verts = instantiate(*model_, Vec3{5.0, 5.0, 5.0});
+  EXPECT_NEAR(cell_volume(*model_, verts), model_->ref_volume(), 1e-12);
+}
+
+TEST_F(CellPoolTest, BoundsCoverAllVertices) {
+  const auto verts = instantiate(*model_, Vec3{1.0, 1.0, 1.0});
+  const Aabb b = bounds(verts);
+  for (const auto& v : verts) EXPECT_TRUE(b.contains(v));
+  EXPECT_NEAR(b.extent().x, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace apr::cells

@@ -1,0 +1,99 @@
+#include "src/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace apr {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Config write_and_parse(const char* name, const char* text) {
+  const std::string path = temp_path(name);
+  {
+    std::ofstream os(path);
+    os << text;
+  }
+  Config cfg = Config::from_file(path);
+  std::remove(path.c_str());
+  return cfg;
+}
+
+TEST(Config, ParsesKeysValuesAndComments) {
+  const Config cfg = write_and_parse("basic.cfg",
+                                     "# a comment\n"
+                                     "dx_coarse = 2.5e-6\n"
+                                     "\n"
+                                     "steps=100   # trailing comment\n"
+                                     "name = window run\n");
+  EXPECT_EQ(cfg.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.get_double("dx_coarse", 0.0), 2.5e-6);
+  EXPECT_EQ(cfg.get_int("steps", 0), 100);
+  EXPECT_EQ(cfg.get_string("name", ""), "window run");
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config cfg = write_and_parse("empty.cfg", "# nothing\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(cfg.get_int("missing", -2), -2);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg = write_and_parse("bools.cfg",
+                                     "a = true\nb = FALSE\nc = 1\nd = off\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_THROW(write_and_parse("bad.cfg", "no equals sign here\n"),
+               std::runtime_error);
+  EXPECT_THROW(write_and_parse("badkey.cfg", "= value\n"),
+               std::runtime_error);
+  EXPECT_THROW(Config::from_file("/nonexistent/cfg"), std::runtime_error);
+  const Config cfg = write_and_parse("types.cfg", "x = not_a_number\n");
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW(cfg.get_int("x", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("x", false), std::runtime_error);
+}
+
+TEST(Config, FromArgsParsesOverridesAndIgnoresFlags) {
+  const char* argv[] = {"prog", "steps=50", "--verbose", "ht=0.25",
+                        "=bad"};
+  const Config cfg = Config::from_args(5, argv);
+  EXPECT_EQ(cfg.get_int("steps", 0), 50);
+  EXPECT_DOUBLE_EQ(cfg.get_double("ht", 0.0), 0.25);
+  EXPECT_EQ(cfg.size(), 2u);  // --verbose and =bad ignored
+}
+
+TEST(Config, MergePrefersOther) {
+  Config base;
+  base.set("a", "1");
+  base.set("b", "2");
+  Config over;
+  over.set("b", "20");
+  over.set("c", "30");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 20);
+  EXPECT_EQ(base.get_int("c", 0), 30);
+}
+
+TEST(Config, PartialNumberIsRejected) {
+  Config cfg;
+  cfg.set("x", "12abc");
+  EXPECT_THROW(cfg.get_int("x", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apr

@@ -1,0 +1,133 @@
+#include "src/fem/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/mesh/icosphere.hpp"
+
+namespace apr::fem {
+namespace {
+
+TEST(Constraints, AreaMatchesMeshArea) {
+  const mesh::TriMesh m = mesh::icosphere(2, 1.0);
+  const double a = surface_area_with_gradient(m.vertices, m.triangles, nullptr);
+  EXPECT_NEAR(a, m.area(), 1e-12);
+}
+
+TEST(Constraints, VolumeMatchesMeshVolume) {
+  const mesh::TriMesh m = mesh::icosphere(2, 1.3);
+  const double v = volume_with_gradient(m.vertices, m.triangles, nullptr);
+  EXPECT_NEAR(v, m.volume(), 1e-12);
+}
+
+TEST(Constraints, AreaGradientMatchesNumerical) {
+  mesh::TriMesh m = mesh::icosphere(1, 1.0);
+  std::vector<Vec3> grad(m.vertices.size());
+  surface_area_with_gradient(m.vertices, m.triangles, &grad);
+  const double h = 1e-7;
+  for (int vi : {0, 3, 7, 11}) {
+    for (int d = 0; d < 3; ++d) {
+      const double orig = m.vertices[vi][d];
+      m.vertices[vi][d] = orig + h;
+      const double ap = m.area();
+      m.vertices[vi][d] = orig - h;
+      const double am = m.area();
+      m.vertices[vi][d] = orig;
+      EXPECT_NEAR(grad[vi][d], (ap - am) / (2.0 * h), 1e-6);
+    }
+  }
+}
+
+TEST(Constraints, VolumeGradientMatchesNumerical) {
+  mesh::TriMesh m = mesh::icosphere(1, 1.0);
+  std::vector<Vec3> grad(m.vertices.size());
+  volume_with_gradient(m.vertices, m.triangles, &grad);
+  const double h = 1e-7;
+  for (int vi : {0, 5, 9}) {
+    for (int d = 0; d < 3; ++d) {
+      const double orig = m.vertices[vi][d];
+      m.vertices[vi][d] = orig + h;
+      const double vp = m.volume();
+      m.vertices[vi][d] = orig - h;
+      const double vm = m.volume();
+      m.vertices[vi][d] = orig;
+      EXPECT_NEAR(grad[vi][d], (vp - vm) / (2.0 * h), 1e-6);
+    }
+  }
+}
+
+TEST(Constraints, SphereVolumeGradientPointsOutward) {
+  // Growing a sphere increases its volume: gradient along +r.
+  const mesh::TriMesh m = mesh::icosphere(2, 1.0);
+  std::vector<Vec3> grad(m.vertices.size());
+  volume_with_gradient(m.vertices, m.triangles, &grad);
+  for (std::size_t v = 0; v < m.vertices.size(); ++v) {
+    EXPECT_GT(dot(grad[v], normalized(m.vertices[v])), 0.0);
+  }
+}
+
+TEST(Constraints, InflatedSphereIsPushedBack) {
+  // Volume penalty force on an inflated sphere points inward.
+  const mesh::TriMesh ref = mesh::icosphere(2, 1.0);
+  mesh::TriMesh big = ref;
+  big.scale(1.1);
+  std::vector<Vec3> forces(ref.vertices.size());
+  add_volume_constraint_forces(1.0, ref.volume(), big.vertices, ref.triangles,
+                               forces);
+  for (std::size_t v = 0; v < forces.size(); ++v) {
+    EXPECT_LT(dot(forces[v], normalized(big.vertices[v])), 0.0);
+  }
+}
+
+TEST(Constraints, ShrunkSphereIsPushedOut) {
+  const mesh::TriMesh ref = mesh::icosphere(2, 1.0);
+  mesh::TriMesh small = ref;
+  small.scale(0.9);
+  std::vector<Vec3> forces(ref.vertices.size());
+  add_area_constraint_forces(1.0, ref.area(), small.vertices, ref.triangles,
+                             forces);
+  for (std::size_t v = 0; v < forces.size(); ++v) {
+    EXPECT_GT(dot(forces[v], normalized(small.vertices[v])), 0.0);
+  }
+}
+
+TEST(Constraints, NoForceAtReference) {
+  const mesh::TriMesh ref = mesh::icosphere(2, 1.0);
+  std::vector<Vec3> forces(ref.vertices.size());
+  add_area_constraint_forces(5.0, ref.area(), ref.vertices, ref.triangles,
+                             forces);
+  add_volume_constraint_forces(5.0, ref.volume(), ref.vertices, ref.triangles,
+                               forces);
+  for (const auto& f : forces) EXPECT_NEAR(norm(f), 0.0, 1e-10);
+}
+
+TEST(Constraints, ZeroCoefficientIsNoOp) {
+  const mesh::TriMesh ref = mesh::icosphere(1, 1.0);
+  mesh::TriMesh big = ref;
+  big.scale(2.0);
+  std::vector<Vec3> forces(ref.vertices.size());
+  add_area_constraint_forces(0.0, ref.area(), big.vertices, ref.triangles,
+                             forces);
+  add_volume_constraint_forces(0.0, ref.volume(), big.vertices, ref.triangles,
+                               forces);
+  for (const auto& f : forces) EXPECT_EQ(norm(f), 0.0);
+}
+
+TEST(Constraints, ForcesConserveMomentum) {
+  const mesh::TriMesh ref = mesh::icosphere(2, 1.0);
+  mesh::TriMesh def = ref;
+  // Squash along z: area and volume both off-target.
+  for (auto& v : def.vertices) v.z *= 0.7;
+  std::vector<Vec3> forces(ref.vertices.size());
+  add_area_constraint_forces(2.0, ref.area(), def.vertices, ref.triangles,
+                             forces);
+  add_volume_constraint_forces(3.0, ref.volume(), def.vertices, ref.triangles,
+                               forces);
+  Vec3 total{};
+  for (const auto& f : forces) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace apr::fem

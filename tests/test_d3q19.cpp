@@ -1,0 +1,145 @@
+#include "src/lbm/d3q19.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apr::lbm {
+namespace {
+
+TEST(D3Q19, WeightsSumToOne) {
+  double sum = 0.0;
+  for (int q = 0; q < kQ; ++q) sum += kW[q];
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TEST(D3Q19, VelocitySetIsSymmetric) {
+  // Sum of c_q vanishes and opp() negates exactly.
+  int sx = 0, sy = 0, sz = 0;
+  for (int q = 0; q < kQ; ++q) {
+    sx += kC[q][0];
+    sy += kC[q][1];
+    sz += kC[q][2];
+    EXPECT_EQ(kC[kOpp[q]][0], -kC[q][0]);
+    EXPECT_EQ(kC[kOpp[q]][1], -kC[q][1]);
+    EXPECT_EQ(kC[kOpp[q]][2], -kC[q][2]);
+    EXPECT_EQ(kW[kOpp[q]], kW[q]);
+  }
+  EXPECT_EQ(sx, 0);
+  EXPECT_EQ(sy, 0);
+  EXPECT_EQ(sz, 0);
+}
+
+TEST(D3Q19, SecondMomentIsIsotropic) {
+  // sum_q w_q c_qa c_qb = cs^2 delta_ab with cs^2 = 1/3.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (int q = 0; q < kQ; ++q) m += kW[q] * kC[q][a] * kC[q][b];
+      EXPECT_NEAR(m, a == b ? kCs2 : 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(D3Q19, FourthMomentIsIsotropic) {
+  // sum_q w_q c_qa c_qb c_qc c_qd = cs^4 (d_ab d_cd + d_ac d_bd + d_ad d_bc)
+  auto delta = [](int i, int j) { return i == j ? 1.0 : 0.0; };
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        for (int d = 0; d < 3; ++d) {
+          double m = 0.0;
+          for (int q = 0; q < kQ; ++q) {
+            m += kW[q] * kC[q][a] * kC[q][b] * kC[q][c] * kC[q][d];
+          }
+          const double expect =
+              kCs2 * kCs2 *
+              (delta(a, b) * delta(c, d) + delta(a, c) * delta(b, d) +
+               delta(a, d) * delta(b, c));
+          EXPECT_NEAR(m, expect, 1e-14) << a << b << c << d;
+        }
+      }
+    }
+  }
+}
+
+struct EqCase {
+  double rho;
+  Vec3 u;
+};
+
+class EquilibriumMoments : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(EquilibriumMoments, ReproduceDensityAndMomentum) {
+  const auto [rho, u] = GetParam();
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  EXPECT_NEAR(density(feq), rho, 1e-13);
+  const Vec3 mom = momentum(feq);
+  EXPECT_NEAR(mom.x, rho * u.x, 1e-13);
+  EXPECT_NEAR(mom.y, rho * u.y, 1e-13);
+  EXPECT_NEAR(mom.z, rho * u.z, 1e-13);
+}
+
+TEST_P(EquilibriumMoments, MatchesScalarEquilibrium) {
+  const auto [rho, u] = GetParam();
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  for (int q = 0; q < kQ; ++q) {
+    EXPECT_NEAR(feq[q], equilibrium(q, rho, u), 1e-15);
+  }
+}
+
+TEST_P(EquilibriumMoments, NonEquilibriumStressOfEquilibriumIsZero) {
+  const auto [rho, u] = GetParam();
+  std::array<double, kQ> feq;
+  equilibria(rho, u, feq);
+  const auto pi = noneq_stress(feq, rho, u);
+  for (double p : pi) EXPECT_NEAR(p, 0.0, 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VelocitySweep, EquilibriumMoments,
+    ::testing::Values(EqCase{1.0, {0.0, 0.0, 0.0}},
+                      EqCase{1.0, {0.05, 0.0, 0.0}},
+                      EqCase{1.0, {0.01, -0.02, 0.03}},
+                      EqCase{0.95, {0.0, 0.08, 0.0}},
+                      EqCase{1.1, {-0.03, -0.03, -0.03}},
+                      EqCase{1.0, {0.1, 0.05, -0.02}}));
+
+TEST(GuoSource, ZeroVelocityMatchesLeadingOrder) {
+  // At u=0: S_q = (1 - 1/(2tau)) w_q 3 c.F.
+  const double tau = 0.9;
+  const Vec3 force{1e-4, -2e-4, 3e-4};
+  for (int q = 0; q < kQ; ++q) {
+    const double cf = kC[q][0] * force.x + kC[q][1] * force.y +
+                      kC[q][2] * force.z;
+    EXPECT_NEAR(guo_source(q, tau, Vec3{}, force),
+                (1.0 - 0.5 / tau) * kW[q] * 3.0 * cf, 1e-18);
+  }
+}
+
+TEST(GuoSource, MomentsAreCorrect) {
+  // Zeroth moment of the Guo source vanishes; first moment equals
+  // (1 - 1/(2 tau)) F.
+  const double tau = 1.2;
+  const Vec3 u{0.02, -0.01, 0.04};
+  const Vec3 force{2e-4, 1e-4, -3e-4};
+  double m0 = 0.0;
+  Vec3 m1{};
+  for (int q = 0; q < kQ; ++q) {
+    const double s = guo_source(q, tau, u, force);
+    m0 += s;
+    m1.x += kC[q][0] * s;
+    m1.y += kC[q][1] * s;
+    m1.z += kC[q][2] * s;
+  }
+  const double pref = 1.0 - 0.5 / tau;
+  EXPECT_NEAR(m0, 0.0, 1e-16);
+  EXPECT_NEAR(m1.x, pref * force.x, 1e-15);
+  EXPECT_NEAR(m1.y, pref * force.y, 1e-15);
+  EXPECT_NEAR(m1.z, pref * force.z, 1e-15);
+}
+
+}  // namespace
+}  // namespace apr::lbm

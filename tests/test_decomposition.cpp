@@ -1,0 +1,148 @@
+#include "src/parallel/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace apr::parallel {
+namespace {
+
+TEST(BoxDecomposition, Validation) {
+  EXPECT_THROW(BoxDecomposition({0, 4, 4}, 2), std::invalid_argument);
+  EXPECT_THROW(BoxDecomposition({4, 4, 4}, 0), std::invalid_argument);
+  EXPECT_THROW(BoxDecomposition({2, 2, 2}, 1000), std::invalid_argument);
+}
+
+TEST(BoxDecomposition, SingleTaskOwnsEverything) {
+  const BoxDecomposition d({8, 9, 10}, 1);
+  const TaskBox box = d.task_box(0);
+  EXPECT_EQ(box.lo, (Int3{0, 0, 0}));
+  EXPECT_EQ(box.hi, (Int3{8, 9, 10}));
+  EXPECT_EQ(box.num_nodes(), 720);
+  EXPECT_TRUE(d.neighbors(0).empty());
+}
+
+class DecompSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompSweep, TaskBoxesPartitionTheLattice) {
+  const int tasks = GetParam();
+  const Int3 dims{12, 10, 8};
+  const BoxDecomposition d(dims, tasks);
+  ASSERT_EQ(d.num_tasks(), tasks);
+  // Every node owned by exactly one task, and rank_of_node agrees.
+  std::vector<int> owner(static_cast<std::size_t>(dims.x) * dims.y * dims.z,
+                         -1);
+  long long total = 0;
+  for (int r = 0; r < tasks; ++r) {
+    const TaskBox box = d.task_box(r);
+    total += box.num_nodes();
+    for (int z = box.lo.z; z < box.hi.z; ++z) {
+      for (int y = box.lo.y; y < box.hi.y; ++y) {
+        for (int x = box.lo.x; x < box.hi.x; ++x) {
+          const std::size_t i =
+              (static_cast<std::size_t>(z) * dims.y + y) * dims.x + x;
+          EXPECT_EQ(owner[i], -1) << "node owned twice";
+          owner[i] = r;
+          EXPECT_EQ(d.rank_of_node({x, y, z}), r);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total, static_cast<long long>(dims.x) * dims.y * dims.z);
+  for (int o : owner) EXPECT_NE(o, -1);
+}
+
+TEST_P(DecompSweep, LoadIsBalanced) {
+  const int tasks = GetParam();
+  const BoxDecomposition d({24, 24, 24}, tasks);
+  long long mn = 1LL << 60;
+  long long mx = 0;
+  for (int r = 0; r < tasks; ++r) {
+    const long long n = d.task_box(r).num_nodes();
+    mn = std::min(mn, n);
+    mx = std::max(mx, n);
+  }
+  // Block splitting keeps the imbalance under 2x for reasonable counts.
+  EXPECT_LE(mx, 2 * mn);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, DecompSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 36));
+
+TEST(BoxDecomposition, FactorizePrefersCubicBlocks) {
+  const Int3 g = BoxDecomposition::factorize(8, {100, 100, 100});
+  EXPECT_EQ(g, (Int3{2, 2, 2}));
+  const Int3 g64 = BoxDecomposition::factorize(64, {100, 100, 100});
+  EXPECT_EQ(g64, (Int3{4, 4, 4}));
+}
+
+TEST(BoxDecomposition, FactorizeAdaptsToAnisotropicDims) {
+  // A long thin domain should be cut along its long axis.
+  const Int3 g = BoxDecomposition::factorize(4, {1000, 10, 10});
+  EXPECT_EQ(g, (Int3{4, 1, 1}));
+}
+
+TEST(BoxDecomposition, NeighborsFormSymmetricRelation) {
+  const BoxDecomposition d({16, 16, 16}, 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int n : d.neighbors(r)) {
+      const auto back = d.neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end());
+    }
+  }
+}
+
+TEST(BoxDecomposition, CornerTaskHasSevenNeighborsIn2x2x2) {
+  const BoxDecomposition d({8, 8, 8}, 8);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(d.neighbors(r).size(), 7u);
+  }
+}
+
+TEST(BoxDecomposition, InteriorTaskHas26NeighborsIn3x3x3) {
+  const BoxDecomposition d({27, 27, 27}, 27);
+  std::size_t max_neighbors = 0;
+  for (int r = 0; r < 27; ++r) {
+    max_neighbors = std::max(max_neighbors, d.neighbors(r).size());
+  }
+  EXPECT_EQ(max_neighbors, 26u);
+}
+
+TEST(BoxDecomposition, HaloVolumeGrowsWithWidth) {
+  const BoxDecomposition d({30, 30, 30}, 8);
+  const long long h1 = d.halo_volume(0, 1);
+  const long long h2 = d.halo_volume(0, 2);
+  EXPECT_GT(h1, 0);
+  EXPECT_GT(h2, h1);
+}
+
+TEST(BoxDecomposition, HaloVolumeClippedAtDomainBoundary) {
+  // A single task spanning everything has no halo at all.
+  const BoxDecomposition d({10, 10, 10}, 1);
+  EXPECT_EQ(d.halo_volume(0, 2), 0);
+}
+
+TEST(BoxDecomposition, SurfaceToVolumeRatioRisesWithTaskCount) {
+  // The strong-scaling rolloff driver (paper §3.4): halo fraction grows
+  // as tasks shrink.
+  const Int3 dims{64, 64, 64};
+  double prev_ratio = 0.0;
+  for (int tasks : {8, 64, 512}) {
+    const BoxDecomposition d(dims, tasks);
+    const double halo = static_cast<double>(d.halo_volume(0, 1));
+    const double own = static_cast<double>(d.task_box(0).num_nodes());
+    const double ratio = halo / own;
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(BoxDecomposition, RankOfNodeRejectsOutOfRange) {
+  const BoxDecomposition d({8, 8, 8}, 2);
+  EXPECT_THROW(d.rank_of_node({8, 0, 0}), std::out_of_range);
+  EXPECT_THROW(d.rank_of_node({0, -1, 0}), std::out_of_range);
+  EXPECT_THROW(d.task_box(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace apr::parallel

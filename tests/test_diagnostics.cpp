@@ -1,0 +1,142 @@
+#include "src/apr/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "src/common/log.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace apr::core {
+namespace {
+
+std::unique_ptr<fem::MembraneModel> unit_rbc() {
+  return std::make_unique<fem::MembraneModel>(mesh::rbc_biconcave(1, 1.0),
+                                              fem::MembraneParams{});
+}
+
+WindowConfig small_config() {
+  WindowConfig cfg;
+  cfg.proper_side = 8.0;
+  cfg.onramp_width = 4.0;
+  cfg.insertion_width = 4.0;
+  cfg.target_hematocrit = 0.15;
+  return cfg;
+}
+
+TEST(RegionReport, ClassifiesCellsByCentroid) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 16);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));        // proper
+  pool.add(2, cells::instantiate(*rbc, Vec3{1, 1, 0}));        // proper
+  pool.add(3, cells::instantiate(*rbc, Vec3{6.5, 0, 0}));      // on-ramp
+  pool.add(4, cells::instantiate(*rbc, Vec3{10.5, 0, 0}));     // insertion
+  pool.add(5, cells::instantiate(*rbc, Vec3{30.0, 0, 0}));     // outside
+
+  const RegionReport rep = region_report(w, pool);
+  EXPECT_EQ(rep.of(WindowRegion::Proper).cells, 2);
+  EXPECT_EQ(rep.of(WindowRegion::OnRamp).cells, 1);
+  EXPECT_EQ(rep.of(WindowRegion::Insertion).cells, 1);
+  EXPECT_EQ(rep.of(WindowRegion::Outside).cells, 1);
+}
+
+TEST(RegionReport, UndeformedRestingCellsReadZero) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 4);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));
+  const RegionReport rep = region_report(w, pool);
+  EXPECT_NEAR(rep.of(WindowRegion::Proper).mean_max_i1, 0.0, 1e-9);
+  EXPECT_NEAR(rep.of(WindowRegion::Proper).mean_speed, 0.0, 1e-12);
+}
+
+TEST(RegionReport, DeformationAndSpeedAggregate) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 4);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));
+  // Stretch the cell and give it a velocity.
+  auto x = pool.positions(0);
+  const Vec3 c = cells::centroid(x);
+  for (auto& v : x) v = c + (v - c) * 1.2;
+  for (auto& v : pool.velocities(0)) v = Vec3{0.0, 0.02, 0.0};
+  const RegionReport rep = region_report(w, pool);
+  EXPECT_GT(rep.of(WindowRegion::Proper).mean_max_i1, 0.5);
+  EXPECT_NEAR(rep.of(WindowRegion::Proper).mean_speed, 0.02, 1e-12);
+}
+
+TEST(RegionReport, HematocritPerRegionVolume) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 4);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));  // proper
+  const RegionReport rep = region_report(w, pool);
+  const double expected = rbc->ref_volume() / (8.0 * 8.0 * 8.0);
+  EXPECT_NEAR(rep.of(WindowRegion::Proper).hematocrit, expected, 1e-12);
+  EXPECT_EQ(rep.of(WindowRegion::Insertion).hematocrit, 0.0);
+}
+
+TEST(RunRecorder, ValidatesAxis) {
+  EXPECT_THROW(RunRecorder(Vec3{}, Vec3{}), std::invalid_argument);
+}
+
+TEST(RunRecorder, SamplesAndExportsAnAprRun) {
+  set_log_level(LogLevel::Error);
+  fem::MembraneParams mp;
+  mp.shear_modulus = rheology::kRbcShearModulus;
+  auto rbc = std::make_shared<fem::MembraneModel>(
+      mesh::rbc_biconcave(1, 1e-6), mp);
+  auto ctc = std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6),
+                                                  mp);
+  auto tube = std::make_shared<geometry::TubeDomain>(
+      Vec3{0, 0, -30e-6}, Vec3{0, 0, 1}, 60e-6, 16e-6, /*capped=*/false);
+  AprParams params;
+  params.dx_coarse = 2e-6;
+  params.n = 2;
+  params.window.proper_side = 6e-6;
+  params.window.onramp_width = 3e-6;
+  params.window.insertion_width = 5e-6;
+  params.window.target_hematocrit = 0.08;
+  params.rbc_capacity = 1500;
+  AprSimulation sim(tube, rbc, ctc, params);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0, 0, 4e6});
+  for (int s = 0; s < 100; ++s) sim.coarse().step();
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+
+  RunRecorder rec(Vec3{}, Vec3{0, 0, 1});
+  rec.sample(sim);
+  for (int s = 0; s < 5; ++s) {
+    sim.step();
+    rec.sample(sim);
+  }
+  ASSERT_EQ(rec.samples().size(), 6u);
+  EXPECT_EQ(rec.samples().front().step, 0);
+  EXPECT_EQ(rec.samples().back().step, 5);
+  EXPECT_GT(rec.samples().back().time_s, 0.0);
+  EXPECT_GT(rec.samples().back().site_updates,
+            rec.samples().front().site_updates);
+  EXPECT_GT(rec.mean_ctc_speed(), 0.0);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/run_samples.csv";
+  rec.write_csv(path);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("window_ht"), std::string::npos);
+  int lines = 0;
+  std::string line;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 6);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apr::core

@@ -1,0 +1,267 @@
+/// Single-grid verification flows: Couette and Poiseuille against the
+/// closed-form solutions, including a convergence sweep. These pin down
+/// the plain LBM substrate before any APR coupling is layered on top.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lbm/analytic.hpp"
+#include "src/lbm/boundary.hpp"
+#include "src/lbm/lattice.hpp"
+#include "src/lbm/solver.hpp"
+
+namespace apr::lbm {
+namespace {
+
+TEST(Flows, CouetteMatchesLinearProfile) {
+  // Walls at y=0 (rest) and y=H (moving): u_x = U y/H.
+  const int n = 16;
+  Lattice lat(8, n, 8, Vec3{}, 1.0, 0.9);
+  lat.set_periodic(true, false, true);
+  const double u0 = 0.03;
+  mark_face_wall(lat, Face::YMin);
+  mark_face_wall(lat, Face::YMax, Vec3{u0, 0.0, 0.0});
+  lat.init_equilibrium(1.0, Vec3{});
+  const auto rep = run_to_steady_state(lat, 5000, 1e-10);
+  EXPECT_TRUE(rep.converged);
+  // Halfway bounce-back: walls live half a spacing beyond the wall nodes.
+  const double y_bottom = 0.5;  // effective wall position
+  const double height = (n - 1) - 1.0;  // between effective walls
+  for (int y = 1; y < n - 1; ++y) {
+    const double expected = u0 * (y - y_bottom) / height;
+    EXPECT_NEAR(lat.velocity(lat.idx(4, y, 4)).x, expected, 2e-4)
+        << "row " << y;
+  }
+}
+
+TEST(Flows, PoiseuilleChannelMatchesParabola) {
+  // Body-force-driven channel between y walls, periodic in x and z.
+  const int n = 18;
+  const double tau = 0.9;
+  Lattice lat(6, n, 6, Vec3{}, 1.0, tau);
+  lat.set_periodic(true, false, true);
+  mark_face_wall(lat, Face::YMin);
+  mark_face_wall(lat, Face::YMax);
+  const double g = 1e-6;
+  lat.set_body_force(Vec3{g, 0.0, 0.0});
+  lat.init_equilibrium(1.0, Vec3{});
+  const auto rep = run_to_steady_state(lat, 20000, 1e-11);
+  EXPECT_TRUE(rep.converged);
+
+  const double nu = kCs2 * (tau - 0.5);
+  const double height = n - 2.0;  // halfway bounce-back effective width
+  double max_err = 0.0;
+  double max_u = 0.0;
+  for (int y = 1; y < n - 1; ++y) {
+    const double yy = y - 0.5;  // distance from effective bottom wall
+    const double expected = plane_poiseuille(yy, height, g, nu);
+    const double got = lat.velocity(lat.idx(3, y, 3)).x;
+    max_err = std::max(max_err, std::abs(got - expected));
+    max_u = std::max(max_u, expected);
+  }
+  EXPECT_LT(max_err / max_u, 0.01);
+}
+
+TEST(Flows, PoiseuilleConvergesWithResolution) {
+  // Second-order convergence of the max relative error under grid
+  // refinement (diffusive scaling: fixed nu and G in lattice units,
+  // error ~ 1/N^2).
+  auto run = [](int n) {
+    const double tau = 0.8;
+    Lattice lat(4, n, 4, Vec3{}, 1.0, tau);
+    lat.set_periodic(true, false, true);
+    mark_face_wall(lat, Face::YMin);
+    mark_face_wall(lat, Face::YMax);
+    const double g = 1e-7;
+    lat.set_body_force(Vec3{g, 0.0, 0.0});
+    lat.init_equilibrium(1.0, Vec3{});
+    run_to_steady_state(lat, 60000, 1e-12);
+    const double nu = kCs2 * (tau - 0.5);
+    const double height = n - 2.0;
+    double num = 0.0;
+    double den = 0.0;
+    for (int y = 1; y < n - 1; ++y) {
+      const double yy = y - 0.5;
+      const double expected = plane_poiseuille(yy, height, g, nu);
+      const double got = lat.velocity(lat.idx(2, y, 2)).x;
+      num += (got - expected) * (got - expected);
+      den += expected * expected;
+    }
+    return std::sqrt(num / den);
+  };
+  const double e1 = run(10);
+  const double e2 = run(20);
+  // Expect at least ~1.5 order convergence (bounce-back is 2nd order in
+  // the bulk; wall placement errors can reduce the observed rate).
+  EXPECT_LT(e2, e1 / 2.5);
+}
+
+TEST(Flows, TubePoiseuilleMatchesAnalyticProfile) {
+  const int n = 21;  // diameter ~17 lattice units
+  const double tau = 0.9;
+  Lattice lat(n, n, 6, Vec3{}, 1.0, tau);
+  lat.set_periodic(false, false, true);
+  const Vec3 center{(n - 1) / 2.0, (n - 1) / 2.0, 0.0};
+  const double radius = (n - 1) / 2.0 - 1.5;
+  mark_tube_walls(lat, center, Vec3{0.0, 0.0, 1.0}, radius);
+  const double g = 1e-6;
+  lat.set_body_force(Vec3{0.0, 0.0, g});
+  lat.init_equilibrium(1.0, Vec3{});
+  const auto rep = run_to_steady_state(lat, 30000, 1e-11);
+  EXPECT_TRUE(rep.converged);
+
+  const double nu = kCs2 * (tau - 0.5);
+  // The staircase wall makes the effective radius ambiguous at the
+  // half-spacing level, which scales the whole parabola; fit
+  // u = A (r_eff^2 - r^2) by least squares and assert (a) the residual is
+  // small (the profile IS a parabola with the right curvature) and
+  // (b) the fitted wall sits within a spacing of the marked radius.
+  //   u = a - b r^2 with b = G/(4 nu) known; fit a.
+  const double b = g / (4.0 * nu);
+  double sum_a = 0.0;
+  int count = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const std::size_t i = lat.idx(x, y, 3);
+      if (lat.type(i) != NodeType::Fluid) continue;
+      const Vec3 p = lat.position(x, y, 3);
+      const double r2 = (p.x - center.x) * (p.x - center.x) +
+                        (p.y - center.y) * (p.y - center.y);
+      sum_a += lat.velocity(i).z + b * r2;
+      ++count;
+    }
+  }
+  const double a = sum_a / count;
+  const double r_eff = std::sqrt(a / b);
+  EXPECT_GT(r_eff, radius - 0.5);
+  EXPECT_LT(r_eff, radius + 1.5);
+  // Residual of the fitted parabola.
+  double num = 0.0;
+  double den = 0.0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const std::size_t i = lat.idx(x, y, 3);
+      if (lat.type(i) != NodeType::Fluid) continue;
+      const Vec3 p = lat.position(x, y, 3);
+      const double r2 = (p.x - center.x) * (p.x - center.x) +
+                        (p.y - center.y) * (p.y - center.y);
+      const double expect = a - b * r2;
+      num += (lat.velocity(i).z - expect) * (lat.velocity(i).z - expect);
+      den += expect * expect;
+    }
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.05);
+}
+
+TEST(Flows, SlabPressureTracksDensity) {
+  Lattice lat(4, 4, 12, Vec3{}, 1.0, 1.0);
+  lat.init_equilibrium(1.02, Vec3{});
+  lat.update_macroscopic();
+  EXPECT_NEAR(slab_pressure(lat, 2, 0.0, 3.0), kCs2 * 1.02, 1e-12);
+}
+
+TEST(Flows, SteadyStateReportsResidual) {
+  Lattice lat(8, 8, 8, Vec3{}, 1.0, 1.0);
+  mark_box_walls(lat);
+  lat.init_equilibrium(1.0, Vec3{});
+  // Already at steady state: converges immediately.
+  const auto rep = run_to_steady_state(lat, 500, 1e-8);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LE(rep.steps, 100);
+}
+
+
+TEST(Trt, EquivalentToBgkWhenRatesCoincide) {
+  // With magic = (tau - 1/2)^2, omega- == omega+ and TRT degenerates to
+  // BGK exactly.
+  const double tau = 0.9;
+  auto build = [&](CollisionModel model) {
+    Lattice lat(8, 8, 8, Vec3{}, 1.0, tau);
+    mark_box_walls(lat);
+    mark_face_wall(lat, Face::YMax, Vec3{0.03, 0.0, 0.0});
+    lat.init_equilibrium(1.0, Vec3{});
+    lat.init_node_equilibrium(lat.idx(4, 4, 4), 1.04, Vec3{0.02, 0.0, 0.0});
+    lat.set_collision_model(model, (tau - 0.5) * (tau - 0.5));
+    return lat;
+  };
+  Lattice bgk = build(CollisionModel::Bgk);
+  Lattice trt = build(CollisionModel::Trt);
+  for (int s = 0; s < 20; ++s) {
+    bgk.step();
+    trt.step();
+  }
+  for (std::size_t i = 0; i < bgk.num_nodes(); ++i) {
+    if (bgk.type(i) != NodeType::Fluid) continue;
+    for (int q = 0; q < kQ; ++q) {
+      ASSERT_NEAR(trt.f(q, i), bgk.f(q, i), 1e-13);
+    }
+  }
+}
+
+TEST(Trt, ConservesMassAndMomentumBalance) {
+  Lattice lat(10, 10, 10, Vec3{}, 1.0, 1.2);
+  lat.set_collision_model(CollisionModel::Trt);
+  lat.set_periodic(true, true, true);
+  lat.init_equilibrium(1.0, Vec3{0.02, -0.01, 0.03});
+  lat.init_node_equilibrium(lat.idx(5, 5, 5), 1.05, Vec3{});
+  double m0 = 0.0;
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    for (int q = 0; q < kQ; ++q) m0 += lat.f(q, i);
+  }
+  for (int s = 0; s < 40; ++s) lat.step();
+  double m1 = 0.0;
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    for (int q = 0; q < kQ; ++q) m1 += lat.f(q, i);
+  }
+  EXPECT_NEAR(m1, m0, 1e-9 * m0);
+}
+
+TEST(Trt, FixesBounceBackWallErrorAtHighTau) {
+  // The classic BGK artifact: with halfway bounce-back the effective wall
+  // position depends on tau; at tau = 1.5 the Poiseuille profile shows a
+  // visible slip error. TRT with magic = 3/16 places the wall exactly.
+  auto run = [](CollisionModel model) {
+    const int n = 14;
+    const double tau = 1.5;
+    Lattice lat(4, n, 4, Vec3{}, 1.0, tau);
+    lat.set_collision_model(model, 3.0 / 16.0);
+    lat.set_periodic(true, false, true);
+    mark_face_wall(lat, Face::YMin);
+    mark_face_wall(lat, Face::YMax);
+    const double g = 1e-6;
+    lat.set_body_force(Vec3{g, 0.0, 0.0});
+    lat.init_equilibrium(1.0, Vec3{});
+    run_to_steady_state(lat, 40000, 1e-12);
+    const double nu = kCs2 * (tau - 0.5);
+    const double height = n - 2.0;
+    double num = 0.0;
+    double den = 0.0;
+    for (int y = 1; y < n - 1; ++y) {
+      const double yy = y - 0.5;
+      const double expected = plane_poiseuille(yy, height, g, nu);
+      const double got = lat.velocity(lat.idx(2, y, 2)).x;
+      num += (got - expected) * (got - expected);
+      den += expected * expected;
+    }
+    return std::sqrt(num / den);
+  };
+  const double err_bgk = run(CollisionModel::Bgk);
+  const double err_trt = run(CollisionModel::Trt);
+  EXPECT_LT(err_trt, err_bgk / 3.0)
+      << "bgk " << err_bgk << " trt " << err_trt;
+  EXPECT_LT(err_trt, 0.01);
+}
+
+TEST(Trt, RejectsNonPositiveMagic) {
+  Lattice lat(4, 4, 4, Vec3{}, 1.0, 1.0);
+  EXPECT_THROW(lat.set_collision_model(CollisionModel::Trt, 0.0),
+               std::invalid_argument);
+  EXPECT_EQ(lat.collision_model(), CollisionModel::Bgk);
+  lat.set_collision_model(CollisionModel::Trt);
+  EXPECT_EQ(lat.collision_model(), CollisionModel::Trt);
+  EXPECT_NEAR(lat.trt_magic(), 3.0 / 16.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace apr::lbm

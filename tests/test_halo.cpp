@@ -1,0 +1,199 @@
+#include "src/parallel/halo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apr::parallel {
+namespace {
+
+double field_fn(const Int3& n) {
+  return 1.0 * n.x + 100.0 * n.y + 10000.0 * n.z;
+}
+
+TEST(DistributedField, OwnedValuesReadableEverywhere) {
+  const BoxDecomposition d({12, 12, 12}, 8);
+  DistributedField f(d, 1);
+  f.fill_owned(field_fn);
+  for (int r = 0; r < 8; ++r) {
+    const TaskBox box = d.task_box(r);
+    for (int z = box.lo.z; z < box.hi.z; ++z) {
+      for (int y = box.lo.y; y < box.hi.y; ++y) {
+        for (int x = box.lo.x; x < box.hi.x; ++x) {
+          EXPECT_EQ(f.at(r, {x, y, z}), field_fn({x, y, z}));
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedField, ExchangeFillsHalosWithOwnerValues) {
+  const BoxDecomposition d({10, 10, 10}, 8);
+  DistributedField f(d, 2);
+  f.fill_owned(field_fn);
+  f.exchange();
+  // After the exchange, every stored node (owned or halo) carries the
+  // owner's value.
+  const Int3 dims = d.dims();
+  for (int r = 0; r < d.num_tasks(); ++r) {
+    for (int z = 0; z < dims.z; ++z) {
+      for (int y = 0; y < dims.y; ++y) {
+        for (int x = 0; x < dims.x; ++x) {
+          const Int3 n{x, y, z};
+          if (!f.stores(r, n)) continue;
+          EXPECT_EQ(f.at(r, n), field_fn(n))
+              << "rank " << r << " node " << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedField, HaloIsStaleBeforeExchange) {
+  const BoxDecomposition d({8, 8, 8}, 2);
+  DistributedField f(d, 1);
+  f.fill_owned([](const Int3&) { return 5.0; });
+  // A halo node of rank 0 (owned by the neighbour across whichever axis
+  // the factorization split) is still zero.
+  const TaskBox b0 = d.task_box(0);
+  Int3 halo_node = b0.lo;
+  const Int3 dims = d.dims();
+  if (b0.hi.x < dims.x) {
+    halo_node.x = b0.hi.x;
+  } else if (b0.hi.y < dims.y) {
+    halo_node.y = b0.hi.y;
+  } else {
+    halo_node.z = b0.hi.z;
+  }
+  ASSERT_TRUE(f.stores(0, halo_node));
+  ASSERT_FALSE(f.owns(0, halo_node));
+  EXPECT_EQ(f.at(0, halo_node), 0.0);
+  f.exchange();
+  EXPECT_EQ(f.at(0, halo_node), 5.0);
+}
+
+TEST(DistributedField, ByteCountMatchesHaloVolume) {
+  const BoxDecomposition d({12, 12, 12}, 8);
+  DistributedField f(d, 1);
+  f.fill_owned(field_fn);
+  const std::size_t moved = f.exchange();
+  long long expected = 0;
+  for (int r = 0; r < d.num_tasks(); ++r) expected += d.halo_volume(r, 1);
+  EXPECT_EQ(static_cast<long long>(moved), expected);
+  EXPECT_EQ(f.bytes_exchanged(), moved * sizeof(double));
+  f.exchange();
+  EXPECT_EQ(f.bytes_exchanged(), 2 * moved * sizeof(double));
+}
+
+TEST(DistributedField, SingleTaskNeedsNoExchange) {
+  const BoxDecomposition d({6, 6, 6}, 1);
+  DistributedField f(d, 2);
+  f.fill_owned(field_fn);
+  EXPECT_EQ(f.exchange(), 0u);
+}
+
+TEST(DistributedField, RejectsNodesOutsideStore) {
+  const BoxDecomposition d({8, 8, 8}, 8);
+  DistributedField f(d, 1);
+  // A node well inside another task's interior is not stored by rank 0.
+  EXPECT_THROW(f.at(0, {7, 7, 7}), std::out_of_range);
+  EXPECT_THROW(DistributedField(d, -1), std::invalid_argument);
+}
+
+TEST(DistributedField, WiderHaloStoresMore) {
+  const BoxDecomposition d({12, 12, 12}, 8);
+  DistributedField narrow(d, 1);
+  DistributedField wide(d, 3);
+  const TaskBox b0 = d.task_box(0);
+  const Int3 two_out{b0.hi.x + 1, b0.lo.y, b0.lo.z};
+  EXPECT_FALSE(narrow.stores(0, two_out));
+  EXPECT_TRUE(wide.stores(0, two_out));
+}
+
+TEST(DistributedField, IterativeStencilMatchesSerial) {
+  // Jacobi-style smoothing distributed over 8 tasks must equal the serial
+  // result: the canonical halo-exchange correctness check.
+  const Int3 dims{10, 10, 10};
+  const BoxDecomposition d(dims, 8);
+  DistributedField f(d, 1);
+  f.fill_owned(field_fn);
+
+  // Serial reference.
+  auto idx = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * dims.y + y) * dims.x + x;
+  };
+  std::vector<double> serial(static_cast<std::size_t>(dims.x) * dims.y *
+                             dims.z);
+  for (int z = 0; z < dims.z; ++z)
+    for (int y = 0; y < dims.y; ++y)
+      for (int x = 0; x < dims.x; ++x) serial[idx(x, y, z)] = field_fn({x, y, z});
+
+  for (int iter = 0; iter < 3; ++iter) {
+    // Distributed sweep.
+    f.exchange();
+    std::vector<double> next_owned;
+    for (int r = 0; r < d.num_tasks(); ++r) {
+      const TaskBox box = d.task_box(r);
+      for (int z = box.lo.z; z < box.hi.z; ++z) {
+        for (int y = box.lo.y; y < box.hi.y; ++y) {
+          for (int x = box.lo.x; x < box.hi.x; ++x) {
+            double sum = f.at(r, {x, y, z});
+            int count = 1;
+            for (const Int3 dn : {Int3{1, 0, 0}, Int3{-1, 0, 0},
+                                  Int3{0, 1, 0}, Int3{0, -1, 0},
+                                  Int3{0, 0, 1}, Int3{0, 0, -1}}) {
+              const Int3 nb = Int3{x, y, z} + dn;
+              if (nb.x < 0 || nb.x >= dims.x || nb.y < 0 || nb.y >= dims.y ||
+                  nb.z < 0 || nb.z >= dims.z) {
+                continue;
+              }
+              sum += f.at(r, nb);
+              ++count;
+            }
+            next_owned.push_back(sum / count);
+          }
+        }
+      }
+    }
+    // Serial sweep.
+    std::vector<double> next_serial = serial;
+    for (int z = 0; z < dims.z; ++z) {
+      for (int y = 0; y < dims.y; ++y) {
+        for (int x = 0; x < dims.x; ++x) {
+          double sum = serial[idx(x, y, z)];
+          int count = 1;
+          for (const Int3 dn : {Int3{1, 0, 0}, Int3{-1, 0, 0}, Int3{0, 1, 0},
+                                Int3{0, -1, 0}, Int3{0, 0, 1},
+                                Int3{0, 0, -1}}) {
+            const int nx = x + dn.x;
+            const int ny = y + dn.y;
+            const int nz = z + dn.z;
+            if (nx < 0 || nx >= dims.x || ny < 0 || ny >= dims.y || nz < 0 ||
+                nz >= dims.z) {
+              continue;
+            }
+            sum += serial[idx(nx, ny, nz)];
+            ++count;
+          }
+          next_serial[idx(x, y, z)] = sum / count;
+        }
+      }
+    }
+    serial = next_serial;
+    // Write distributed results back and compare.
+    std::size_t k = 0;
+    for (int r = 0; r < d.num_tasks(); ++r) {
+      const TaskBox box = d.task_box(r);
+      for (int z = box.lo.z; z < box.hi.z; ++z) {
+        for (int y = box.lo.y; y < box.hi.y; ++y) {
+          for (int x = box.lo.x; x < box.hi.x; ++x) {
+            f.at(r, {x, y, z}) = next_owned[k];
+            EXPECT_NEAR(next_owned[k], serial[idx(x, y, z)], 1e-12);
+            ++k;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apr::parallel

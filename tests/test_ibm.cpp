@@ -1,0 +1,167 @@
+#include "src/ibm/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/lbm/boundary.hpp"
+
+namespace apr::ibm {
+namespace {
+
+lbm::Lattice linear_velocity_lattice() {
+  lbm::Lattice lat(10, 10, 10, Vec3{}, 0.5, 1.0);
+  for (int z = 0; z < 10; ++z) {
+    for (int y = 0; y < 10; ++y) {
+      for (int x = 0; x < 10; ++x) {
+        const Vec3 p = lat.position(x, y, z);
+        lat.mutable_velocity(lat.idx(x, y, z)) =
+            Vec3{0.01 + 0.02 * p.x, 0.03 * p.y, -0.01 * p.z};
+      }
+    }
+  }
+  return lat;
+}
+
+TEST(IbmInterpolation, ReproducesLinearFieldExactlyWithPeskin3) {
+  // The 3-point kernel satisfies the first-moment condition exactly, so
+  // linear velocity fields interpolate exactly (away from the edge).
+  const lbm::Lattice lat = linear_velocity_lattice();
+  Rng rng(5);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 50; ++i) {
+    pos.push_back(rng.point_in_box({1.0, 1.0, 1.0}, {3.5, 3.5, 3.5}));
+  }
+  std::vector<Vec3> vel;
+  interpolate_velocities(lat, pos, vel, DeltaKernel::Peskin3);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_NEAR(vel[i].x, 0.01 + 0.02 * pos[i].x, 1e-10);
+    EXPECT_NEAR(vel[i].y, 0.03 * pos[i].y, 1e-10);
+    EXPECT_NEAR(vel[i].z, -0.01 * pos[i].z, 1e-10);
+  }
+}
+
+TEST(IbmInterpolation, Cosine4LinearFieldErrorIsBounded) {
+  // The cosine kernel's residual first moment bounds the linear-field
+  // interpolation error at ~2% of the local gradient per spacing.
+  const lbm::Lattice lat = linear_velocity_lattice();
+  Rng rng(6);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 50; ++i) {
+    pos.push_back(rng.point_in_box({1.0, 1.0, 1.0}, {3.5, 3.5, 3.5}));
+  }
+  std::vector<Vec3> vel;
+  interpolate_velocities(lat, pos, vel, DeltaKernel::Cosine4);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    // gradient 0.02/m * dx 0.5 m * m1 bound 0.025 ~ 2.5e-4.
+    EXPECT_NEAR(vel[i].x, 0.01 + 0.02 * pos[i].x, 5e-4);
+    EXPECT_NEAR(vel[i].y, 0.03 * pos[i].y, 7e-4);
+  }
+}
+
+TEST(IbmInterpolation, ConstantFieldAtAnyPosition) {
+  lbm::Lattice lat(8, 8, 8, Vec3{-1.0, -1.0, -1.0}, 0.25, 1.0);
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    lat.mutable_velocity(i) = Vec3{0.07, -0.02, 0.01};
+  }
+  std::vector<Vec3> pos{{-0.3, -0.4, -0.5}, {0.1, 0.2, 0.0}};
+  std::vector<Vec3> vel;
+  interpolate_velocities(lat, pos, vel);
+  for (const auto& v : vel) {
+    EXPECT_NEAR(v.x, 0.07, 1e-12);
+    EXPECT_NEAR(v.y, -0.02, 1e-12);
+    EXPECT_NEAR(v.z, 0.01, 1e-12);
+  }
+}
+
+TEST(IbmSpreading, ConservesTotalForce) {
+  lbm::Lattice lat(12, 12, 12, Vec3{}, 1.0, 1.0);
+  Rng rng(7);
+  std::vector<Vec3> pos;
+  std::vector<Vec3> forces;
+  Vec3 total{};
+  for (int i = 0; i < 30; ++i) {
+    pos.push_back(rng.point_in_box({3, 3, 3}, {8, 8, 8}));
+    forces.push_back(rng.unit_vector() * rng.uniform(0.1, 1.0));
+    total += forces.back();
+  }
+  spread_forces(lat, pos, forces);
+  Vec3 spread_total{};
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    spread_total += lat.force(i);
+  }
+  EXPECT_NEAR(spread_total.x, total.x, 1e-10);
+  EXPECT_NEAR(spread_total.y, total.y, 1e-10);
+  EXPECT_NEAR(spread_total.z, total.z, 1e-10);
+}
+
+TEST(IbmSpreading, LocalizedWithinKernelSupport) {
+  lbm::Lattice lat(12, 12, 12, Vec3{}, 1.0, 1.0);
+  const std::vector<Vec3> pos{{6.0, 6.0, 6.0}};
+  const std::vector<Vec3> forces{{1.0, 0.0, 0.0}};
+  spread_forces(lat, pos, forces);
+  for (int z = 0; z < 12; ++z) {
+    for (int y = 0; y < 12; ++y) {
+      for (int x = 0; x < 12; ++x) {
+        const double f = norm(lat.force(lat.idx(x, y, z)));
+        const double d = std::max(
+            {std::abs(x - 6.0), std::abs(y - 6.0), std::abs(z - 6.0)});
+        if (d >= 2.0) {
+          EXPECT_EQ(f, 0.0) << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+TEST(IbmSpreading, SkipsWallAndExteriorNodes) {
+  lbm::Lattice lat(8, 8, 8, Vec3{}, 1.0, 1.0);
+  lbm::mark_box_walls(lat);
+  const std::vector<Vec3> pos{{1.2, 4.0, 4.0}};  // near the x-min wall
+  const std::vector<Vec3> forces{{1.0, 0.0, 0.0}};
+  spread_forces(lat, pos, forces);
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    if (lat.type(i) != lbm::NodeType::Fluid) {
+      EXPECT_EQ(norm(lat.force(i)), 0.0);
+    }
+  }
+}
+
+TEST(IbmUpdate, MovesVerticesByVelocityTimesSpacing) {
+  const lbm::Lattice lat(4, 4, 4, Vec3{}, 0.5, 1.0);
+  std::vector<Vec3> pos{{1.0, 1.0, 1.0}};
+  const std::vector<Vec3> vel{{0.1, -0.2, 0.0}};
+  update_positions(lat, pos, vel);
+  EXPECT_NEAR(pos[0].x, 1.0 + 0.1 * 0.5, 1e-15);
+  EXPECT_NEAR(pos[0].y, 1.0 - 0.2 * 0.5, 1e-15);
+  EXPECT_NEAR(pos[0].z, 1.0, 1e-15);
+}
+
+TEST(IbmKernelWeightSum, UnityInInteriorBelowOneAtEdge) {
+  lbm::Lattice lat(8, 8, 8, Vec3{}, 1.0, 1.0);
+  EXPECT_NEAR(kernel_weight_sum(lat, {4.0, 4.0, 4.0}), 1.0, 1e-12);
+  EXPECT_NEAR(kernel_weight_sum(lat, {3.7, 4.2, 4.9}), 1.0, 1e-12);
+  EXPECT_LT(kernel_weight_sum(lat, {0.0, 4.0, 4.0}), 1.0);
+}
+
+TEST(IbmRoundTrip, SpreadThenInterpolateRecoversStokeslet) {
+  // Spread a force, run a few LBM steps, interpolate velocity at the
+  // force location: must point along the force (a discrete Stokeslet).
+  lbm::Lattice lat(16, 16, 16, Vec3{}, 1.0, 1.0);
+  lbm::mark_box_walls(lat);
+  lat.init_equilibrium(1.0, Vec3{});
+  const std::vector<Vec3> pos{{8.0, 8.0, 8.0}};
+  const std::vector<Vec3> force{{1e-3, 0.0, 0.0}};
+  for (int s = 0; s < 20; ++s) {
+    lat.clear_forces();
+    spread_forces(lat, pos, force);
+    lat.step();
+  }
+  std::vector<Vec3> vel;
+  interpolate_velocities(lat, pos, vel);
+  EXPECT_GT(vel[0].x, 0.0);
+  EXPECT_NEAR(vel[0].y, 0.0, 1e-6);
+  EXPECT_NEAR(vel[0].z, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace apr::ibm

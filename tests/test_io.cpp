@@ -1,0 +1,177 @@
+#include "src/io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/io/vtk.hpp"
+#include "src/lbm/boundary.hpp"
+#include "src/mesh/icosphere.hpp"
+
+namespace apr::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  IoTest()
+      : model_(std::make_unique<fem::MembraneModel>(mesh::icosphere(1, 1.0),
+                                                    fem::MembraneParams{})) {}
+  std::unique_ptr<fem::MembraneModel> model_;
+};
+
+TEST_F(IoTest, LatticeCheckpointRoundTrips) {
+  lbm::Lattice lat(8, 8, 8, Vec3{1.0, 2.0, 3.0}, 0.5, 0.9);
+  lbm::mark_box_walls(lat);
+  lbm::mark_face_wall(lat, lbm::Face::YMax, Vec3{0.03, 0.0, 0.0});
+  lat.init_equilibrium(1.0, Vec3{});
+  lat.init_node_equilibrium(lat.idx(4, 4, 4), 1.05, Vec3{0.02, 0.0, 0.01});
+  for (int s = 0; s < 5; ++s) lat.step();
+
+  const std::string path = temp_path("lattice.chk");
+  save_lattice(path, lat);
+
+  lbm::Lattice restored(8, 8, 8, Vec3{1.0, 2.0, 3.0}, 0.5, 1.0);
+  load_lattice(path, restored);
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    ASSERT_EQ(restored.type(i), lat.type(i));
+    ASSERT_EQ(restored.tau(i), lat.tau(i));
+    ASSERT_EQ(restored.boundary_velocity(i), lat.boundary_velocity(i));
+    for (int q = 0; q < lbm::kQ; ++q) {
+      ASSERT_EQ(restored.f(q, i), lat.f(q, i));
+    }
+  }
+  // Resumed runs produce identical trajectories (wall/exterior nodes hold
+  // scratch data and are excluded -- they are never read by the solver).
+  lat.step();
+  restored.step();
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    if (!lbm::is_stream_source(lat.type(i))) continue;
+    for (int q = 0; q < lbm::kQ; ++q) {
+      ASSERT_EQ(restored.f(q, i), lat.f(q, i));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, LatticeCheckpointRejectsGeometryMismatch) {
+  lbm::Lattice lat(6, 6, 6, Vec3{}, 1.0, 1.0);
+  lat.init_equilibrium(1.0, Vec3{});
+  const std::string path = temp_path("lattice_geom.chk");
+  save_lattice(path, lat);
+  lbm::Lattice wrong(7, 6, 6, Vec3{}, 1.0, 1.0);
+  EXPECT_THROW(load_lattice(path, wrong), std::runtime_error);
+  lbm::Lattice wrong_dx(6, 6, 6, Vec3{}, 0.5, 1.0);
+  EXPECT_THROW(load_lattice(path, wrong_dx), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, LatticeCheckpointRejectsCorruptHeader) {
+  const std::string path = temp_path("corrupt.chk");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a checkpoint";
+  }
+  lbm::Lattice lat(4, 4, 4, Vec3{}, 1.0, 1.0);
+  EXPECT_THROW(load_lattice(path, lat), std::runtime_error);
+  EXPECT_THROW(load_lattice("/nonexistent/file.chk", lat),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CellCheckpointRoundTrips) {
+  cells::CellPool pool(model_.get(), cells::CellKind::Rbc, 16);
+  pool.add(3, cells::instantiate(*model_, Vec3{1, 2, 3}));
+  pool.add(9, cells::instantiate(*model_, Vec3{-4, 0, 2}));
+  const std::string path = temp_path("cells.chk");
+  save_cells(path, pool);
+
+  cells::CellPool restored(model_.get(), cells::CellKind::Rbc, 16);
+  load_cells(path, restored);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored.contains(3));
+  EXPECT_TRUE(restored.contains(9));
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    const auto a = pool.positions(s);
+    const auto b = restored.positions(restored.slot_of(pool.id(s)));
+    for (std::size_t v = 0; v < a.size(); ++v) ASSERT_EQ(a[v], b[v]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CellCheckpointRejectsVertexMismatch) {
+  cells::CellPool pool(model_.get(), cells::CellKind::Rbc, 4);
+  pool.add(1, cells::instantiate(*model_, Vec3{}));
+  const std::string path = temp_path("cells_nv.chk");
+  save_cells(path, pool);
+  auto other_model = std::make_unique<fem::MembraneModel>(
+      mesh::icosphere(2, 1.0), fem::MembraneParams{});
+  cells::CellPool other(other_model.get(), cells::CellKind::Rbc, 4);
+  EXPECT_THROW(load_cells(path, other), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, LatticeVtkHasExpectedStructure) {
+  lbm::Lattice lat(4, 5, 6, Vec3{}, 1.0, 1.0);
+  lat.init_equilibrium(1.0, Vec3{0.01, 0.0, 0.0});
+  lat.update_macroscopic();
+  const std::string path = temp_path("lattice.vtk");
+  write_lattice_vtk(path, lat);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSIONS 4 5 6"), std::string::npos);
+  EXPECT_NE(text.find("POINT_DATA 120"), std::string::npos);
+  EXPECT_NE(text.find("VECTORS velocity double"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS density double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CellsVtkListsAllCells) {
+  cells::CellPool pool(model_.get(), cells::CellKind::Rbc, 4);
+  pool.add(1, cells::instantiate(*model_, Vec3{}));
+  pool.add(2, cells::instantiate(*model_, Vec3{5, 0, 0}));
+  const std::string path = temp_path("cells.vtk");
+  write_cells_vtk(path, pool);
+  const std::string text = slurp(path);
+  const int nv = pool.vertices_per_cell();
+  const int nt = pool.model().num_triangles();
+  EXPECT_NE(text.find("POINTS " + std::to_string(2 * nv)),
+            std::string::npos);
+  EXPECT_NE(text.find("POLYGONS " + std::to_string(2 * nt)),
+            std::string::npos);
+  EXPECT_NE(text.find("SCALARS force_magnitude"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS cell_id"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MeshVtkRoundStructure) {
+  const mesh::TriMesh m = mesh::icosphere(1, 1.0);
+  const std::string path = temp_path("mesh.vtk");
+  write_mesh_vtk(path, m);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("POINTS 42 double"), std::string::npos);
+  EXPECT_NE(text.find("POLYGONS 80 320"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, VtkWriterRejectsBadPaths) {
+  lbm::Lattice lat(2, 2, 2, Vec3{}, 1.0, 1.0);
+  EXPECT_THROW(write_lattice_vtk("/nonexistent/dir/x.vtk", lat),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apr::io

@@ -1,0 +1,226 @@
+#include "src/lbm/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/lbm/boundary.hpp"
+#include "src/lbm/solver.hpp"
+
+namespace apr::lbm {
+namespace {
+
+TEST(Lattice, ConstructionValidation) {
+  EXPECT_THROW(Lattice(0, 4, 4, Vec3{}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Lattice(4, 4, 4, Vec3{}, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Lattice(4, 4, 4, Vec3{}, 1.0, 0.5), std::invalid_argument);
+  const Lattice lat(3, 4, 5, Vec3{1.0, 2.0, 3.0}, 0.5, 1.0);
+  EXPECT_EQ(lat.num_nodes(), 60u);
+  EXPECT_EQ(lat.nx(), 3);
+  EXPECT_EQ(lat.ny(), 4);
+  EXPECT_EQ(lat.nz(), 5);
+}
+
+TEST(Lattice, IndexingAndPositions) {
+  const Lattice lat(4, 5, 6, Vec3{1.0, 0.0, -1.0}, 0.25, 1.0);
+  EXPECT_EQ(lat.idx(0, 0, 0), 0u);
+  EXPECT_EQ(lat.idx(1, 0, 0), 1u);
+  EXPECT_EQ(lat.idx(0, 1, 0), 4u);
+  EXPECT_EQ(lat.idx(0, 0, 1), 20u);
+  const Vec3 p = lat.position(2, 3, 4);
+  EXPECT_DOUBLE_EQ(p.x, 1.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.75);
+  EXPECT_DOUBLE_EQ(p.z, 0.0);
+  const Vec3 lc = lat.to_lattice(p);
+  EXPECT_NEAR(lc.x, 2.0, 1e-12);
+  EXPECT_NEAR(lc.y, 3.0, 1e-12);
+  EXPECT_NEAR(lc.z, 4.0, 1e-12);
+}
+
+TEST(Lattice, EquilibriumInitSetsMacroscopics) {
+  Lattice lat(6, 6, 6, Vec3{}, 1.0, 1.0);
+  const Vec3 u{0.02, -0.01, 0.005};
+  lat.init_equilibrium(1.05, u);
+  lat.update_macroscopic();
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    EXPECT_NEAR(lat.rho(i), 1.05, 1e-13);
+    EXPECT_NEAR(lat.velocity(i).x, u.x, 1e-13);
+  }
+}
+
+TEST(Lattice, PeriodicUniformFlowIsInvariant) {
+  Lattice lat(8, 8, 8, Vec3{}, 1.0, 0.8);
+  lat.set_periodic(true, true, true);
+  const Vec3 u{0.03, 0.01, -0.02};
+  lat.init_equilibrium(1.0, u);
+  for (int s = 0; s < 20; ++s) lat.step();
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    EXPECT_NEAR(lat.rho(i), 1.0, 1e-12);
+    EXPECT_NEAR(lat.velocity(i).x, u.x, 1e-12);
+    EXPECT_NEAR(lat.velocity(i).y, u.y, 1e-12);
+    EXPECT_NEAR(lat.velocity(i).z, u.z, 1e-12);
+  }
+}
+
+TEST(Lattice, MassConservedWithWalls) {
+  Lattice lat(10, 10, 10, Vec3{}, 1.0, 1.0);
+  mark_box_walls(lat);
+  // A non-equilibrium initial condition (local perturbation).
+  lat.init_equilibrium(1.0, Vec3{});
+  const std::size_t c = lat.idx(5, 5, 5);
+  lat.init_node_equilibrium(c, 1.1, Vec3{0.05, 0.0, 0.0});
+  auto total_mass = [&] {
+    double m = 0.0;
+    for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+      if (lat.type(i) != NodeType::Fluid) continue;
+      for (int q = 0; q < kQ; ++q) m += lat.f(q, i);
+    }
+    return m;
+  };
+  const double m0 = total_mass();
+  for (int s = 0; s < 50; ++s) lat.step();
+  EXPECT_NEAR(total_mass(), m0, 1e-9 * m0);
+}
+
+TEST(Lattice, BodyForceAcceleratesPeriodicFluid) {
+  Lattice lat(6, 6, 6, Vec3{}, 1.0, 1.0);
+  lat.set_periodic(true, true, true);
+  lat.init_equilibrium(1.0, Vec3{});
+  const Vec3 g{1e-5, 0.0, 0.0};
+  lat.set_body_force(g);
+  const int steps = 100;
+  for (int s = 0; s < steps; ++s) lat.step();
+  // du/dt = g/rho: after N steps u ~ N g (unbounded periodic acceleration).
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    EXPECT_NEAR(lat.velocity(i).x, steps * g.x, g.x);
+    EXPECT_NEAR(lat.velocity(i).y, 0.0, 1e-12);
+  }
+}
+
+TEST(Lattice, SiteUpdateCounting) {
+  Lattice lat(5, 5, 5, Vec3{}, 1.0, 1.0);
+  lat.init_equilibrium(1.0, Vec3{});
+  EXPECT_EQ(lat.site_updates(), 0u);
+  lat.step();
+  EXPECT_EQ(lat.site_updates(), 125u);
+  mark_box_walls(lat);
+  lat.step();
+  EXPECT_EQ(lat.site_updates(), 125u + 27u);  // only the 3^3 interior
+}
+
+TEST(Lattice, InterpolateVelocityIsTrilinear) {
+  Lattice lat(4, 4, 4, Vec3{}, 0.5, 1.0);
+  // Impose a linear velocity field u_x = a + b*x + c*y + d*z on the cache.
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        const Vec3 p = lat.position(x, y, z);
+        lat.mutable_velocity(lat.idx(x, y, z)) =
+            Vec3{0.1 + 0.2 * p.x + 0.3 * p.y - 0.1 * p.z, 0.0, 0.0};
+      }
+    }
+  }
+  // Trilinear interpolation reproduces linear fields exactly.
+  const Vec3 p{0.62, 0.81, 0.33};
+  const Vec3 u = lat.interpolate_velocity(p);
+  EXPECT_NEAR(u.x, 0.1 + 0.2 * p.x + 0.3 * p.y - 0.1 * p.z, 1e-12);
+}
+
+TEST(Lattice, DirichletNodesHoldTheirVelocity) {
+  Lattice lat(8, 8, 8, Vec3{}, 1.0, 1.0);
+  mark_box_walls(lat);
+  const Vec3 u{0.04, 0.0, 0.0};
+  mark_face_velocity(lat, Face::YMax, u);
+  lat.init_equilibrium(1.0, Vec3{});
+  for (int s = 0; s < 10; ++s) lat.step();
+  for (int z = 0; z < 8; ++z) {
+    for (int x = 0; x < 8; ++x) {
+      const std::size_t i = lat.idx(x, 7, z);
+      EXPECT_EQ(lat.type(i), NodeType::Velocity);
+      EXPECT_NEAR(lat.velocity(i).x, u.x, 1e-14);
+    }
+  }
+}
+
+
+TEST(Lattice, FusedKernelMatchesClassicKernels) {
+  // The fused push kernel must be bit-compatible with collide+stream in a
+  // mixed setting: resting walls, a moving lid, a Dirichlet face and a
+  // periodic axis.
+  auto build = [] {
+    Lattice lat(10, 10, 10, Vec3{}, 1.0, 0.85);
+    lat.set_periodic(false, false, true);
+    mark_face_wall(lat, Face::XMin);
+    mark_face_wall(lat, Face::XMax);
+    mark_face_wall(lat, Face::YMax, Vec3{0.03, 0.0, 0.0});
+    mark_face_velocity(lat, Face::YMin, Vec3{0.01, 0.0, 0.0});
+    lat.init_equilibrium(1.0, Vec3{});
+    // Local perturbation so non-equilibrium parts are exercised.
+    lat.init_node_equilibrium(lat.idx(5, 5, 5), 1.05,
+                              Vec3{0.02, -0.01, 0.04});
+    lat.set_body_force(Vec3{1e-6, 0.0, 0.0});
+    return lat;
+  };
+  Lattice fused = build();
+  fused.set_fused_kernel(true);
+  Lattice classic = build();
+  classic.set_fused_kernel(false);
+  for (int s = 0; s < 25; ++s) {
+    fused.step();
+    classic.step();
+  }
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < fused.num_nodes(); ++i) {
+    if (fused.type(i) == NodeType::Exterior ||
+        fused.type(i) == NodeType::Wall) {
+      continue;
+    }
+    for (int q = 0; q < kQ; ++q) {
+      max_diff = std::max(max_diff, std::abs(fused.f(q, i) - classic.f(q, i)));
+    }
+  }
+  EXPECT_LT(max_diff, 1e-14);
+}
+
+TEST(Lattice, StepNoMacroSkipsCacheRefresh) {
+  Lattice lat(8, 8, 8, Vec3{}, 1.0, 1.0);
+  lat.set_periodic(true, true, true);
+  lat.init_equilibrium(1.0, Vec3{0.02, 0.0, 0.0});
+  const Vec3 before = lat.velocity(lat.idx(4, 4, 4));
+  lat.init_node_equilibrium(lat.idx(4, 4, 4), 1.1, Vec3{});
+  lat.step_no_macro();
+  // Cache untouched by step_no_macro (still the init value)...
+  EXPECT_EQ(lat.velocity(lat.idx(4, 4, 4)).x, 0.0);
+  lat.update_macroscopic();
+  // ...and refreshed on demand.
+  EXPECT_NE(lat.velocity(lat.idx(4, 4, 4)).x, before.x);
+}
+
+
+TEST(Lattice, FusedKernelMatchesClassicWithTrt) {
+  // The fused kernel must agree with collide+stream under TRT as well.
+  auto build = [] {
+    Lattice lat(9, 9, 9, Vec3{}, 1.0, 1.1);
+    lat.set_collision_model(CollisionModel::Trt, 3.0 / 16.0);
+    mark_box_walls(lat);
+    lat.init_equilibrium(1.0, Vec3{});
+    lat.init_node_equilibrium(lat.idx(4, 4, 4), 1.03, Vec3{0.02, 0.01, 0.0});
+    lat.set_body_force(Vec3{0.0, 2e-6, 0.0});
+    return lat;
+  };
+  Lattice fused = build();
+  fused.set_fused_kernel(true);
+  Lattice classic = build();
+  classic.set_fused_kernel(false);
+  for (int s = 0; s < 20; ++s) {
+    fused.step();
+    classic.step();
+  }
+  for (std::size_t i = 0; i < fused.num_nodes(); ++i) {
+    if (fused.type(i) != NodeType::Fluid) continue;
+    for (int q = 0; q < kQ; ++q) {
+      ASSERT_NEAR(fused.f(q, i), classic.f(q, i), 1e-14);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apr::lbm

@@ -1,0 +1,168 @@
+#include "src/mesh/trimesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "src/mesh/icosphere.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::mesh {
+namespace {
+
+TEST(Icosahedron, HasTwelveVerticesTwentyFaces) {
+  const TriMesh m = icosahedron(1.0);
+  EXPECT_EQ(m.num_vertices(), 12);
+  EXPECT_EQ(m.num_triangles(), 20);
+  for (const auto& v : m.vertices) EXPECT_NEAR(norm(v), 1.0, 1e-12);
+}
+
+class IcosphereLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(IcosphereLevels, CountsFollowClosedForm) {
+  const int s = GetParam();
+  const TriMesh m = icosphere(s, 1.0);
+  EXPECT_EQ(m.num_vertices(), icosphere_vertex_count(s));
+  EXPECT_EQ(m.num_triangles(), icosphere_triangle_count(s));
+}
+
+TEST_P(IcosphereLevels, IsClosedManifoldWithEulerCharacteristicTwo) {
+  const TriMesh m = icosphere(GetParam(), 1.0);
+  const MeshTopology topo = MeshTopology::build(m);
+  const int v = m.num_vertices();
+  const int e = static_cast<int>(topo.edges.size());
+  const int f = m.num_triangles();
+  EXPECT_EQ(v - e + f, 2);  // sphere topology
+  for (const auto& edge : topo.edges) {
+    EXPECT_NE(edge.t0, -1);
+    EXPECT_NE(edge.t1, -1);
+    EXPECT_NE(edge.o0, edge.o1);
+  }
+}
+
+TEST_P(IcosphereLevels, AreaAndVolumeConvergeToSphere) {
+  const int s = GetParam();
+  const double r = 2.5;
+  const TriMesh m = icosphere(s, r);
+  const double exact_area = 4.0 * std::numbers::pi * r * r;
+  const double exact_volume = 4.0 / 3.0 * std::numbers::pi * r * r * r;
+  // Inscribed polyhedron: slightly below, converging with refinement. The
+  // base icosahedron has ~24% area and ~39% volume deficit; each midpoint
+  // subdivision reduces the deficit by a factor >= 3.
+  const double area_tol = 0.30 / std::pow(3.0, s);
+  const double volume_tol = 0.50 / std::pow(3.0, s);
+  EXPECT_LT(m.area(), exact_area);
+  EXPECT_NEAR(m.area(), exact_area, area_tol * exact_area);
+  EXPECT_LT(m.volume(), exact_volume);
+  EXPECT_NEAR(m.volume(), exact_volume, volume_tol * exact_volume);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, IcosphereLevels, ::testing::Values(0, 1, 2, 3));
+
+TEST(Icosphere, PaperMeshIs642Vertices1280Elements) {
+  // §3.6: "3 subdivision steps of an initially icosahedral mesh, leading
+  // to 1280 elements and 642 vertices".
+  EXPECT_EQ(icosphere_vertex_count(3), 642);
+  EXPECT_EQ(icosphere_triangle_count(3), 1280);
+}
+
+TEST(TriMesh, TransformsPreserveShape) {
+  TriMesh m = icosphere(2, 1.0);
+  const double area0 = m.area();
+  const double vol0 = m.volume();
+  m.translate({1.0, -2.0, 3.0});
+  EXPECT_NEAR(m.area(), area0, 1e-12);
+  EXPECT_NEAR(m.volume(), vol0, 1e-9);
+  EXPECT_NEAR(m.centroid().x, 1.0, 1e-12);
+
+  Rng rng(5);
+  m.rotate(random_rotation(rng));
+  EXPECT_NEAR(m.area(), area0, 1e-12);
+  EXPECT_NEAR(m.volume(), vol0, 1e-9);
+
+  m.scale(2.0);
+  EXPECT_NEAR(m.area(), 4.0 * area0, 1e-9);
+  EXPECT_NEAR(m.volume(), 8.0 * vol0, 1e-9);
+}
+
+TEST(TriMesh, NormalsPointOutward) {
+  const TriMesh m = icosphere(1, 1.0);
+  for (int t = 0; t < m.num_triangles(); ++t) {
+    const auto& tr = m.triangles[t];
+    const Vec3 c =
+        (m.vertices[tr[0]] + m.vertices[tr[1]] + m.vertices[tr[2]]) / 3.0;
+    EXPECT_GT(dot(m.triangle_normal(t), normalized(c)), 0.5);
+  }
+}
+
+TEST(MeshTopology, RejectsOpenSurfaces) {
+  TriMesh open;
+  open.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  open.triangles = {{0, 1, 2}};
+  EXPECT_THROW(MeshTopology::build(open), std::invalid_argument);
+}
+
+TEST(MeshTopology, VertexStarsAreComplete) {
+  const TriMesh m = icosphere(1, 1.0);
+  const MeshTopology topo = MeshTopology::build(m);
+  // On an icosphere every vertex has degree 5 or 6, and the number of
+  // incident triangles equals the degree (closed surface).
+  for (int v = 0; v < m.num_vertices(); ++v) {
+    const auto deg = topo.vertex_neighbors[v].size();
+    EXPECT_TRUE(deg == 5 || deg == 6) << "degree " << deg;
+    EXPECT_EQ(topo.vertex_triangles[v].size(), deg);
+  }
+}
+
+TEST(RbcShape, DimensionsMatchPhysiology) {
+  const TriMesh rbc = rbc_biconcave(3);
+  const Aabb b = rbc.bounds();
+  // Disc diameter ~7.8 um.
+  EXPECT_NEAR(b.extent().x, 2.0 * kRbcRadius, 0.05 * kRbcRadius);
+  EXPECT_NEAR(b.extent().y, 2.0 * kRbcRadius, 0.05 * kRbcRadius);
+  // Max thickness ~2-2.6 um, much flatter than the diameter.
+  EXPECT_LT(b.extent().z, 0.45 * b.extent().x);
+  EXPECT_GT(b.extent().z, 0.2 * b.extent().x);
+}
+
+TEST(RbcShape, VolumeNearNinetyFemtoliters) {
+  const TriMesh rbc = rbc_biconcave(3);
+  // Evans-Fung discocyte at R = 3.91 um encloses ~90-94 fl.
+  EXPECT_NEAR(rbc.volume(), 94e-18, 12e-18);
+}
+
+TEST(RbcShape, SurfaceAreaExceedsSphereOfSameVolume) {
+  // The biconcave shape's excess area is what lets RBCs deform; the
+  // area/volume ratio must beat the sphere's.
+  const TriMesh rbc = rbc_biconcave(3);
+  const double v = rbc.volume();
+  const double r_eq = std::cbrt(3.0 * v / (4.0 * std::numbers::pi));
+  const double sphere_area = 4.0 * std::numbers::pi * r_eq * r_eq;
+  EXPECT_GT(rbc.area(), 1.2 * sphere_area);
+}
+
+TEST(RbcShape, IsClosedManifold) {
+  const TriMesh rbc = rbc_biconcave(2);
+  EXPECT_NO_THROW(MeshTopology::build(rbc));
+  EXPECT_GT(rbc.volume(), 0.0);
+}
+
+TEST(CtcShape, LargerAndRounderThanRbc) {
+  const TriMesh ctc = ctc_sphere(3);
+  EXPECT_NEAR(ctc.bounds().extent().x, 2.0 * kCtcRadius,
+              0.02 * kCtcRadius);
+  EXPECT_GT(ctc.volume(), 10.0 * rbc_biconcave(3).volume());
+}
+
+TEST(Subdivide, PreservesSurfaceWatertightness) {
+  const TriMesh m0 = icosahedron(1.0);
+  const TriMesh m1 = subdivide(m0);
+  EXPECT_EQ(m1.num_triangles(), 4 * m0.num_triangles());
+  EXPECT_NO_THROW(MeshTopology::build(m1));
+  // Midpoint subdivision of a convex body shrinks it slightly.
+  EXPECT_LT(m1.volume(), m0.volume() + 1e-12);
+}
+
+}  // namespace
+}  // namespace apr::mesh

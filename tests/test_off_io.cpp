@@ -1,0 +1,96 @@
+#include "src/geometry/off_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/mesh/icosphere.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::geometry {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(OffIo, RoundTripPreservesMesh) {
+  const mesh::TriMesh m = mesh::rbc_biconcave(2);
+  const std::string path = temp_path("rbc.off");
+  write_off(path, m);
+  const mesh::TriMesh r = read_off(path);
+  ASSERT_EQ(r.num_vertices(), m.num_vertices());
+  ASSERT_EQ(r.num_triangles(), m.num_triangles());
+  for (int v = 0; v < m.num_vertices(); ++v) {
+    EXPECT_NEAR(norm(r.vertices[v] - m.vertices[v]), 0.0, 1e-15);
+  }
+  EXPECT_EQ(r.triangles, m.triangles);
+  std::remove(path.c_str());
+}
+
+TEST(OffIo, ParsesCommentsAndBlankLines) {
+  const std::string path = temp_path("commented.off");
+  {
+    std::ofstream os(path);
+    os << "OFF\n# a comment\n\n3 1 0\n0 0 0\n1 0 0  # trailing comment\n"
+       << "0 1 0\n3 0 1 2\n";
+  }
+  const mesh::TriMesh m = read_off(path);
+  EXPECT_EQ(m.num_vertices(), 3);
+  EXPECT_EQ(m.num_triangles(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(OffIo, TriangulatesQuads) {
+  const std::string path = temp_path("quad.off");
+  {
+    std::ofstream os(path);
+    os << "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+  }
+  const mesh::TriMesh m = read_off(path);
+  EXPECT_EQ(m.num_triangles(), 2);  // fan triangulation
+  std::remove(path.c_str());
+}
+
+TEST(OffIo, CountsOnMagicLine) {
+  const std::string path = temp_path("inline_counts.off");
+  {
+    std::ofstream os(path);
+    os << "OFF 3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n";
+  }
+  const mesh::TriMesh m = read_off(path);
+  EXPECT_EQ(m.num_vertices(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(OffIo, RejectsMalformedFiles) {
+  EXPECT_THROW(read_off("/nonexistent/file.off"), std::runtime_error);
+
+  const std::string bad_magic = temp_path("bad_magic.off");
+  {
+    std::ofstream os(bad_magic);
+    os << "PLY\n3 1 0\n";
+  }
+  EXPECT_THROW(read_off(bad_magic), std::runtime_error);
+  std::remove(bad_magic.c_str());
+
+  const std::string bad_index = temp_path("bad_index.off");
+  {
+    std::ofstream os(bad_index);
+    os << "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n";
+  }
+  EXPECT_THROW(read_off(bad_index), std::runtime_error);
+  std::remove(bad_index.c_str());
+
+  const std::string truncated = temp_path("trunc.off");
+  {
+    std::ofstream os(truncated);
+    os << "OFF\n3 1 0\n0 0 0\n";
+  }
+  EXPECT_THROW(read_off(truncated), std::runtime_error);
+  std::remove(truncated.c_str());
+}
+
+}  // namespace
+}  // namespace apr::geometry

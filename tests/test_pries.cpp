@@ -1,0 +1,139 @@
+#include "src/rheology/pries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/rheology/blood.hpp"
+
+namespace apr::rheology {
+namespace {
+
+TEST(Pries, Mu45AsymptotesForLargeVessels) {
+  // For large D the correlation tends to ~3.2 - small correction; whole
+  // blood at 45% Ht is about 3x plasma viscosity in large tubes.
+  const double mu = pries_mu45(1000.0);
+  EXPECT_GT(mu, 2.0);
+  EXPECT_LT(mu, 3.3);
+}
+
+TEST(Pries, FahraeusLindqvistMinimumNearSmallDiameters) {
+  // The relative viscosity at 45% dips at capillary scales and rises for
+  // both smaller and larger vessels.
+  const double at_10 = pries_mu45(10.0);
+  const double at_200 = pries_mu45(200.0);
+  const double at_3 = pries_mu45(3.0);
+  EXPECT_LT(at_10, at_200);
+  EXPECT_GT(at_3, at_10);
+}
+
+TEST(Pries, ViscosityIncreasesWithHematocrit) {
+  for (const double d : {50.0, 200.0, 500.0}) {
+    double prev = 1.0;
+    for (double ht = 0.05; ht <= 0.55; ht += 0.05) {
+      const double mu = pries_relative_viscosity(d, ht);
+      EXPECT_GT(mu, prev) << "D " << d << " Ht " << ht;
+      prev = mu;
+    }
+  }
+}
+
+TEST(Pries, ZeroHematocritIsPlasma) {
+  EXPECT_NEAR(pries_relative_viscosity(200.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Pries, Reference45PercentValueRecovered) {
+  // By construction mu_rel(D, 0.45) == mu_45(D).
+  for (const double d : {20.0, 100.0, 300.0}) {
+    EXPECT_NEAR(pries_relative_viscosity(d, 0.45), pries_mu45(d), 1e-10);
+  }
+}
+
+TEST(Pries, PaperFigureFiveRegime) {
+  // §3.2: tube D = 200 um, Ht 10/20/30%: relative viscosity must be
+  // modest (1 < mu_rel < 3) and ordered.
+  const double m10 = pries_relative_viscosity(200.0, 0.10);
+  const double m20 = pries_relative_viscosity(200.0, 0.20);
+  const double m30 = pries_relative_viscosity(200.0, 0.30);
+  EXPECT_GT(m10, 1.0);
+  EXPECT_LT(m30, 3.0);
+  EXPECT_LT(m10, m20);
+  EXPECT_LT(m20, m30);
+}
+
+TEST(Pries, InputValidation) {
+  EXPECT_THROW(pries_relative_viscosity(0.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(pries_relative_viscosity(100.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(pries_relative_viscosity(100.0, -0.1), std::invalid_argument);
+}
+
+TEST(Fahraeus, TubeHematocritBelowDischarge) {
+  // The Fahraeus effect: Htt < Htd in small tubes.
+  for (const double d : {10.0, 50.0, 200.0}) {
+    for (const double htd : {0.2, 0.45}) {
+      EXPECT_LT(tube_hematocrit(d, htd), htd) << "D " << d;
+      EXPECT_GT(tube_hematocrit(d, htd), 0.0);
+    }
+  }
+}
+
+TEST(Fahraeus, EffectWeakensInLargeVessels) {
+  const double ratio_small = fahraeus_tube_to_discharge_ratio(10.0, 0.45);
+  const double ratio_large = fahraeus_tube_to_discharge_ratio(500.0, 0.45);
+  EXPECT_LT(ratio_small, ratio_large);
+  EXPECT_LT(ratio_large, 1.0 + 1e-9);
+}
+
+TEST(Fahraeus, DischargeInversionRoundTrips) {
+  for (const double d : {20.0, 100.0, 300.0}) {
+    for (const double htd : {0.1, 0.3, 0.5}) {
+      const double htt = tube_hematocrit(d, htd);
+      EXPECT_NEAR(discharge_hematocrit(d, htt), htd, 1e-6);
+    }
+  }
+  EXPECT_DOUBLE_EQ(discharge_hematocrit(100.0, 0.0), 0.0);
+}
+
+TEST(EffectiveViscosity, PoiseuilleInversionIsExact) {
+  // Eq. (12) must invert Poiseuille's law exactly: construct dP from a
+  // known mu and recover it.
+  const double mu = 2.3e-3;
+  const double r = 100e-6;
+  const double len = 1e-3;
+  const double q = 5.7e-6 / 3600.0;  // paper's 5.7 ml/hr in m^3/s
+  const double dp = 8.0 * mu * len * q / (std::numbers::pi * r * r * r * r);
+  EXPECT_NEAR(effective_viscosity_poiseuille(dp, r, q, len), mu, 1e-12);
+  EXPECT_THROW(effective_viscosity_poiseuille(dp, r, 0.0, len),
+               std::invalid_argument);
+}
+
+TEST(Blood, BulkViscosityCombinesPlasmaAndPries) {
+  const double mu = bulk_blood_viscosity(200e-6, 0.45);
+  EXPECT_NEAR(mu, kPlasmaViscosity * pries_relative_viscosity(200.0, 0.45),
+              1e-15);
+  // Roughly 3-4 cP for whole blood in a 200 um vessel.
+  EXPECT_GT(mu, 2.0e-3);
+  EXPECT_LT(mu, 5.0e-3);
+}
+
+TEST(Blood, ViscosityContrastMatchesPaperRange) {
+  // Paper §3.1 simulates lambda in {1/2, 1/3, 1/4}, "chosen to span values
+  // representative of the viscosity contrast between blood ... and
+  // plasma"; plasma (1.2 cP) over whole blood (4 cP) = 0.3.
+  const double lambda = window_viscosity_contrast(kWholeBloodViscosity);
+  EXPECT_GT(lambda, 0.25);
+  EXPECT_LT(lambda, 0.5);
+  EXPECT_NEAR(lambda, 0.3, 1e-12);
+}
+
+TEST(Blood, ConstantsAreInternallyConsistent) {
+  EXPECT_NEAR(kPlasmaKinematicViscosity * kBloodDensity, kPlasmaViscosity,
+              1e-15);
+  EXPECT_NEAR(kWholeBloodKinematicViscosity * kBloodDensity,
+              kWholeBloodViscosity, 1e-15);
+  // Average RBC count per liter implied by the paper's totals: ~5e12.
+  EXPECT_NEAR(kTotalRbcCount / (kTotalBloodVolume * 1e3), 5.0e12, 1e11);
+}
+
+}  // namespace
+}  // namespace apr::rheology

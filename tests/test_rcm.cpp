@@ -1,0 +1,119 @@
+#include "src/mesh/rcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/mesh/icosphere.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::mesh {
+namespace {
+
+/// Path graph 0-1-2-...-n: already optimal bandwidth 1.
+std::vector<std::vector<int>> path_graph(int n) {
+  std::vector<std::vector<int>> adj(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return adj;
+}
+
+TEST(Rcm, PermutationIsValid) {
+  const auto adj = vertex_adjacency(icosphere(2, 1.0));
+  const auto perm = rcm_ordering(adj);
+  ASSERT_EQ(perm.size(), adj.size());
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i));
+  }
+}
+
+TEST(Rcm, PathGraphKeepsBandwidthOne) {
+  const auto adj = path_graph(50);
+  const auto perm = rcm_ordering(adj);
+  EXPECT_EQ(graph_bandwidth(adj, perm), 1);
+}
+
+TEST(Rcm, ShuffledPathGraphRecoversBandwidthOne) {
+  // Scramble vertex labels of a path, then check RCM restores bandwidth 1.
+  const int n = 64;
+  Rng rng(3);
+  std::vector<int> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(label[i], label[rng.uniform_index(i + 1)]);
+  }
+  std::vector<std::vector<int>> adj(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    adj[label[i]].push_back(label[i + 1]);
+    adj[label[i + 1]].push_back(label[i]);
+  }
+  EXPECT_GT(graph_bandwidth(adj), 1);  // scrambled
+  const auto perm = rcm_ordering(adj);
+  EXPECT_EQ(graph_bandwidth(adj, perm), 1);
+}
+
+class RcmOnMeshes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcmOnMeshes, ReducesIcosphereBandwidthSubstantially) {
+  // Shuffle vertices first so the input ordering is adversarial, as for
+  // an arbitrary mesh file.
+  TriMesh m = icosphere(GetParam(), 1.0);
+  Rng rng(11);
+  std::vector<int> shuffle(m.num_vertices());
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  for (int i = m.num_vertices() - 1; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.uniform_index(i + 1)]);
+  }
+  m = reorder_vertices(m, shuffle);
+  const int before = graph_bandwidth(vertex_adjacency(m));
+  const int after = rcm_reorder(m);
+  EXPECT_LT(after, before / 3) << "before " << before << " after " << after;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RcmOnMeshes, ::testing::Values(2, 3));
+
+TEST(Rcm, ReorderPreservesGeometry) {
+  TriMesh m = rbc_biconcave(2);
+  const double area = m.area();
+  const double vol = m.volume();
+  const Vec3 c = m.centroid();
+  rcm_reorder(m);
+  EXPECT_NEAR(m.area(), area, 1e-18);
+  EXPECT_NEAR(m.volume(), vol, 1e-24);
+  EXPECT_NEAR(norm(m.centroid() - c), 0.0, 1e-12);
+}
+
+TEST(Rcm, ReorderRejectsWrongPermutationSize) {
+  const TriMesh m = icosphere(1, 1.0);
+  EXPECT_THROW(reorder_vertices(m, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Rcm, HandlesDisconnectedGraphs) {
+  // Two disjoint triangles.
+  std::vector<std::vector<int>> adj{{1, 2}, {0, 2}, {0, 1},
+                                    {4, 5}, {3, 5}, {3, 4}};
+  const auto perm = rcm_ordering(adj);
+  ASSERT_EQ(perm.size(), 6u);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Rcm, BandwidthOfIdentityOrdering) {
+  const auto adj = path_graph(10);
+  EXPECT_EQ(graph_bandwidth(adj), 1);
+  std::vector<std::vector<int>> star(5);
+  for (int i = 1; i < 5; ++i) {
+    star[0].push_back(i);
+    star[i].push_back(0);
+  }
+  EXPECT_EQ(graph_bandwidth(star), 4);
+}
+
+}  // namespace
+}  // namespace apr::mesh

@@ -1,0 +1,160 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalHasUnitVarianceApprox) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, UnitVectorHasUnitNormAndZeroMean) {
+  Rng rng(17);
+  Vec3 mean{};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 v = rng.unit_vector();
+    EXPECT_NEAR(norm(v), 1.0, 1e-12);
+    mean += v;
+  }
+  mean /= n;
+  EXPECT_NEAR(norm(mean), 0.0, 0.02);
+}
+
+TEST(Rng, PointInBoxStaysInBox) {
+  Rng rng(19);
+  const Vec3 lo{-1.0, 2.0, -5.0};
+  const Vec3 hi{1.0, 3.0, -4.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p = rng.point_in_box(lo, hi);
+    EXPECT_GE(p.x, lo.x);
+    EXPECT_LT(p.x, hi.x);
+    EXPECT_GE(p.y, lo.y);
+    EXPECT_LT(p.y, hi.y);
+    EXPECT_GE(p.z, lo.z);
+    EXPECT_LT(p.z, hi.z);
+  }
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependentOfParentUse) {
+  Rng parent(42);
+  Rng f1 = parent.fork(5);
+  // Consuming the parent must not change what fork(5) yields.
+  parent.next_u64();
+  parent.next_u64();
+  Rng f2 = parent.fork(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  }
+}
+
+TEST(Rng, ForksWithDifferentKeysDiffer) {
+  Rng parent(42);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomRotation, IsOrthonormal) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mat3 r = random_rotation(rng);
+    // Columns are orthonormal: R^T R = I.
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double dotv = 0.0;
+        for (int k = 0; k < 3; ++k) dotv += r.m[k][i] * r.m[k][j];
+        EXPECT_NEAR(dotv, i == j ? 1.0 : 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RandomRotation, PreservesLengthAndHandedness) {
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mat3 r = random_rotation(rng);
+    const Vec3 v{0.3, -1.2, 2.0};
+    EXPECT_NEAR(norm(r.apply(v)), norm(v), 1e-12);
+    // det(R) = +1 (proper rotation): via scalar triple product of columns.
+    const Vec3 c0{r.m[0][0], r.m[1][0], r.m[2][0]};
+    const Vec3 c1{r.m[0][1], r.m[1][1], r.m[2][1]};
+    const Vec3 c2{r.m[0][2], r.m[1][2], r.m[2][2]};
+    EXPECT_NEAR(dot(c0, cross(c1, c2)), 1.0, 1e-12);
+  }
+}
+
+TEST(RandomRotation, TransposeIsInverse) {
+  Rng rng(31);
+  const Mat3 r = random_rotation(rng);
+  const Mat3 rt = r.transposed();
+  const Vec3 v{1.0, 2.0, 3.0};
+  const Vec3 round = rt.apply(r.apply(v));
+  EXPECT_NEAR(round.x, v.x, 1e-12);
+  EXPECT_NEAR(round.y, v.y, 1e-12);
+  EXPECT_NEAR(round.z, v.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace apr

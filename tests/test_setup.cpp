@@ -1,0 +1,122 @@
+#include "src/apr/setup.hpp"
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace apr::core {
+namespace {
+
+class SetupTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::Error); }
+};
+
+TEST_F(SetupTest, DefaultsMatchDocumentedValues) {
+  const Config cfg;  // empty deck: all defaults
+  const AprParams p = params_from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.dx_coarse, 2.0e-6);
+  EXPECT_EQ(p.n, 2);
+  EXPECT_DOUBLE_EQ(p.tau_coarse, 1.0);
+  EXPECT_NEAR(p.nu_bulk, 4.0e-3 / rheology::kBloodDensity, 1e-15);
+  EXPECT_NEAR(p.lambda, 1.2 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.window.proper_side, 6.0e-6);
+  EXPECT_DOUBLE_EQ(p.window.target_hematocrit, 0.1);
+  EXPECT_EQ(p.rbc_capacity, 1500u);
+}
+
+TEST_F(SetupTest, OverridesApply) {
+  Config cfg;
+  cfg.set("dx_coarse_um", "3.0");
+  cfg.set("resolution_ratio", "5");
+  cfg.set("bulk_viscosity_cp", "3.5");
+  cfg.set("target_hematocrit", "0.25");
+  cfg.set("seed", "99");
+  const AprParams p = params_from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.dx_coarse, 3.0e-6);
+  EXPECT_EQ(p.n, 5);
+  EXPECT_NEAR(p.lambda, 1.2 / 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(p.window.target_hematocrit, 0.25);
+  EXPECT_EQ(p.seed, 99u);
+}
+
+TEST_F(SetupTest, RejectsNonPositiveViscosity) {
+  Config cfg;
+  cfg.set("bulk_viscosity_cp", "0");
+  EXPECT_THROW(params_from_config(cfg), std::runtime_error);
+}
+
+TEST_F(SetupTest, CellModelsFollowDeck) {
+  Config cfg;
+  cfg.set("rbc_radius_um", "1.5");
+  cfg.set("rbc_subdivisions", "2");
+  cfg.set("ctc_radius_um", "2.5");
+  const auto rbc = rbc_model_from_config(cfg);
+  const auto ctc = ctc_model_from_config(cfg);
+  // Subdivision 2 icosphere: 162 vertices.
+  EXPECT_EQ(rbc->num_vertices(), 162);
+  EXPECT_NEAR(rbc->reference().bounds().extent().x, 3.0e-6, 0.2e-6);
+  EXPECT_NEAR(ctc->reference().bounds().extent().x, 5.0e-6, 0.1e-6);
+  // CTC is the stiffer species by default.
+  EXPECT_GT(ctc->params().shear_modulus, rbc->params().shear_modulus);
+}
+
+TEST_F(SetupTest, DomainKinds) {
+  Config cfg;
+  cfg.set("tube_radius_um", "10");
+  cfg.set("tube_length_um", "40");
+  const auto dom = domain_from_config(cfg);
+  EXPECT_TRUE(dom->inside({0, 0, 0}));
+  EXPECT_FALSE(dom->inside({11e-6, 0, 0}));
+  // Uncapped by default: open ends.
+  EXPECT_TRUE(dom->inside({0, 0, 100e-6}));
+
+  Config bad;
+  bad.set("domain", "klein_bottle");
+  EXPECT_THROW(domain_from_config(bad), std::runtime_error);
+}
+
+TEST_F(SetupTest, MakeSimulationRunsEndToEnd) {
+  Config cfg;
+  cfg.set("target_hematocrit", "0.08");
+  cfg.set("rbc_capacity", "1200");
+  SimulationSetup setup = make_simulation(cfg);
+  ASSERT_NE(setup.simulation, nullptr);
+  auto& sim = *setup.simulation;
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0, 0, 2e6});
+  for (int s = 0; s < 50; ++s) sim.coarse().step();
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  const PopulationReport rep = sim.fill_window();
+  EXPECT_GT(rep.added, 5);
+  sim.run(3);
+  EXPECT_EQ(sim.coarse_steps(), 3);
+  EXPECT_GT(sim.window_hematocrit(), 0.03);
+}
+
+TEST_F(SetupTest, DeckFileRoundTrip) {
+  // A deck written to disk drives the same configuration.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/apr_deck.cfg";
+  {
+    std::ofstream os(path);
+    os << "# miniature tube run\n"
+       << "dx_coarse_um = 2.5\n"
+       << "resolution_ratio = 2\n"
+       << "target_hematocrit = 0.12\n"
+       << "tube_radius_um = 12\n";
+  }
+  const Config cfg = Config::from_file(path);
+  const AprParams p = params_from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.dx_coarse, 2.5e-6);
+  EXPECT_DOUBLE_EQ(p.window.target_hematocrit, 0.12);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apr::core

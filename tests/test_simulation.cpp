@@ -1,0 +1,226 @@
+/// End-to-end smoke and behaviour tests of the assembled APR simulation:
+/// miniature domains and down-scaled cells keep these fast while still
+/// exercising every phase (coupling, FSI, maintenance, window moves).
+
+#include "src/apr/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/log.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace apr::core {
+namespace {
+
+/// Reduced-scale membrane models (1 um RBC, 1.6 um CTC) so test lattices
+/// stay tiny; moduli keep physiological ratios.
+std::shared_ptr<fem::MembraneModel> tiny_rbc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kRbcShearModulus;
+  p.skalak_c = 50.0;
+  p.bending_modulus = rheology::kRbcBendingModulus;
+  p.ka_global = 1e-6;
+  p.kv_global = 1e-6;
+  return std::make_shared<fem::MembraneModel>(mesh::rbc_biconcave(1, 1e-6),
+                                              p);
+}
+
+std::shared_ptr<fem::MembraneModel> tiny_ctc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kCtcShearModulus;
+  p.skalak_c = 50.0;
+  p.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  p.ka_global = 1e-5;
+  p.kv_global = 1e-5;
+  return std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6), p);
+}
+
+AprParams tiny_params() {
+  AprParams p;
+  p.dx_coarse = 2.0e-6;
+  p.n = 2;
+  p.tau_coarse = 1.0;
+  p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
+  p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
+  p.window.proper_side = 6.0e-6;
+  p.window.onramp_width = 3.0e-6;
+  p.window.insertion_width = 5.0e-6;  // outer = 22 um = 11 dx_coarse
+  p.window.target_hematocrit = 0.10;
+  p.move.trigger_distance = 1.5e-6;
+  p.fsi.contact_cutoff = 0.4e-6;
+  p.fsi.contact_strength = 2e-12;
+  p.fsi.wall_cutoff = 0.5e-6;
+  p.fsi.wall_strength = 5e-12;
+  p.maintain_interval = 3;
+  p.rbc_capacity = 1500;
+  p.seed = 7;
+  return p;
+}
+
+std::shared_ptr<geometry::TubeDomain> tube_domain() {
+  // Uncapped tube along z for periodic force-driven flow.
+  return std::make_shared<geometry::TubeDomain>(
+      Vec3{0.0, 0.0, -30e-6}, Vec3{0.0, 0.0, 1.0}, 60e-6, 16e-6,
+      /*capped=*/false);
+}
+
+class AprSimulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::Error); }
+};
+
+TEST_F(AprSimulationTest, ConstructionRejectsNulls) {
+  EXPECT_THROW(AprSimulation(nullptr, tiny_rbc(), tiny_ctc(), tiny_params()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      AprSimulation(tube_domain(), nullptr, tiny_ctc(), tiny_params()),
+      std::invalid_argument);
+}
+
+TEST_F(AprSimulationTest, UnitsAreConsistentAcrossGrids) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  EXPECT_NEAR(sim.coarse_units().dx() / sim.fine_units().dx(), 2.0, 1e-12);
+  EXPECT_NEAR(sim.coarse_units().dt() / sim.fine_units().dt(), 2.0, 1e-12);
+  // Lattice velocities coincide under convective scaling.
+  EXPECT_NEAR(sim.coarse_units().velocity_to_lattice(0.01),
+              sim.fine_units().velocity_to_lattice(0.01), 1e-15);
+}
+
+TEST_F(AprSimulationTest, WindowPlacementBuildsAlignedFineGrid) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  EXPECT_FALSE(sim.has_window());
+  sim.place_window(Vec3{0.0, 0.0, 0.0});
+  ASSERT_TRUE(sim.has_window());
+  // Fine origin on a coarse node.
+  const Vec3 rel =
+      (sim.fine().origin() - sim.coarse().origin()) / sim.coarse().dx();
+  EXPECT_NEAR(rel.x, std::round(rel.x), 1e-9);
+  EXPECT_NEAR(rel.y, std::round(rel.y), 1e-9);
+  EXPECT_NEAR(rel.z, std::round(rel.z), 1e-9);
+  // Window outer box matches the fine lattice bounds.
+  EXPECT_NEAR(sim.fine().bounds().extent().x,
+              sim.params().window.outer_side(), 1e-12);
+}
+
+TEST_F(AprSimulationTest, FillWindowReachesTargetHematocrit) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  const PopulationReport rep = sim.fill_window();
+  EXPECT_GT(rep.added, 10);
+  EXPECT_NEAR(sim.window_hematocrit(), 0.10, 0.06);
+  EXPECT_EQ(sim.ctcs().size(), 1u);
+  EXPECT_NEAR(norm(sim.ctc_position()), 0.0, 1e-9);
+}
+
+TEST_F(AprSimulationTest, QuiescentStepIsStable) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.fill_window();
+  sim.run(5);
+  EXPECT_EQ(sim.coarse_steps(), 5);
+  // No NaNs, densities near unity.
+  for (std::size_t i = 0; i < sim.fine().num_nodes(); ++i) {
+    if (sim.fine().type(i) != lbm::NodeType::Fluid) continue;
+    EXPECT_TRUE(std::isfinite(sim.fine().rho(i)));
+    EXPECT_NEAR(sim.fine().rho(i), 1.0, 0.05);
+  }
+  // Cells did not fly apart.
+  for (std::size_t s = 0; s < sim.rbcs().size(); ++s) {
+    EXPECT_TRUE(
+        sim.window().outer_box().contains(sim.rbcs().cell_centroid(s)));
+  }
+}
+
+TEST_F(AprSimulationTest, ForceDrivenFlowAdvectsTheCtc) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  // Pressure-gradient proxy along +z.
+  sim.set_body_force_density(Vec3{0.0, 0.0, 6e6});
+  // Let the coarse flow develop before placing the window.
+  for (int s = 0; s < 300; ++s) sim.coarse().step();
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.run(30);
+  EXPECT_GT(sim.ctc_position().z, 1e-7);
+  EXPECT_EQ(sim.ctc_trajectory().size(), 31u);
+  // Trajectory is monotone downstream.
+  const auto& traj = sim.ctc_trajectory();
+  EXPECT_GT(traj.back().z, traj.front().z);
+}
+
+TEST_F(AprSimulationTest, WindowMovesWhenCtcApproachesBoundary) {
+  AprParams p = tiny_params();
+  p.move.trigger_distance = 2.0e-6;
+  p.maintain_interval = 2;
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), p);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0.0, 0.0, 1e7});
+  for (int s = 0; s < 400; ++s) sim.coarse().step();
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.fill_window();
+  int steps = 0;
+  while (sim.window_move_count() == 0 && steps < 400) {
+    sim.step();
+    ++steps;
+  }
+  EXPECT_GE(sim.window_move_count(), 1) << "no move after " << steps
+                                        << " steps";
+  // After the move the CTC is again well inside the window proper.
+  const double d =
+      sim.window().proper_box().boundary_distance(sim.ctc_position());
+  EXPECT_LT(d, 0.0);
+  // Window center followed the CTC downstream.
+  EXPECT_GT(sim.window().center().z, 0.0);
+}
+
+TEST_F(AprSimulationTest, MaintenanceKeepsHematocritUnderOutflow) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0.0, 0.0, 2e6});
+  for (int s = 0; s < 300; ++s) sim.coarse().step();
+  sim.place_window(Vec3{});
+  sim.fill_window();
+  const double ht0 = sim.window_hematocrit();
+  sim.run(40);  // cells advect out; maintenance refills
+  const double ht1 = sim.window_hematocrit();
+  EXPECT_GT(ht1, 0.4 * ht0);
+}
+
+TEST_F(AprSimulationTest, SiteUpdateAccountingCoversBothGrids) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.place_window(Vec3{});
+  const auto before = sim.total_site_updates();
+  sim.run(2);
+  const auto after = sim.total_site_updates();
+  EXPECT_GT(after, before);
+  // Both grids contribute: more than coarse alone could.
+  std::size_t coarse_fluid = 0;
+  for (std::size_t i = 0; i < sim.coarse().num_nodes(); ++i) {
+    if (sim.coarse().type(i) == lbm::NodeType::Fluid) ++coarse_fluid;
+  }
+  EXPECT_GT(after - before, 2 * coarse_fluid);
+}
+
+TEST_F(AprSimulationTest, StepWithoutWindowThrows) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  EXPECT_THROW(sim.step(), std::logic_error);
+  EXPECT_THROW(sim.place_ctc(Vec3{}), std::logic_error);
+  EXPECT_THROW(sim.fill_window(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace apr::core

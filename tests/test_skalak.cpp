@@ -1,0 +1,174 @@
+#include "src/fem/skalak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace apr::fem {
+namespace {
+
+/// Numerical gradient of the element energy wrt all 9 coordinates.
+void numerical_forces(const SkalakParams& p, const TriangleRef& ref, Vec3 a,
+                      Vec3 b, Vec3 c, Vec3& fa, Vec3& fb, Vec3& fc) {
+  const double h = 1e-7;
+  Vec3* verts[3] = {&a, &b, &c};
+  Vec3* out[3] = {&fa, &fb, &fc};
+  for (int i = 0; i < 3; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double orig = (*verts[i])[d];
+      (*verts[i])[d] = orig + h;
+      const double ep = skalak_element_energy(p, ref, a, b, c);
+      (*verts[i])[d] = orig - h;
+      const double em = skalak_element_energy(p, ref, a, b, c);
+      (*verts[i])[d] = orig;
+      (*out[i])[d] = -(ep - em) / (2.0 * h);
+    }
+  }
+}
+
+TriangleRef unit_ref() {
+  return TriangleRef::build({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+}
+
+TEST(TriangleRef, GradientsSumToZero) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 a = rng.point_in_box({-1, -1, -1}, {1, 1, 1});
+    const Vec3 b = a + rng.unit_vector();
+    Vec3 c = a + rng.unit_vector();
+    if (norm(cross(b - a, c - a)) < 0.2) {
+      c = a + cross(normalized(b - a), rng.unit_vector());
+    }
+    const TriangleRef ref = TriangleRef::build(a, b, c);
+    EXPECT_NEAR(ref.grad[0].x + ref.grad[1].x + ref.grad[2].x, 0.0, 1e-12);
+    EXPECT_NEAR(ref.grad[0].y + ref.grad[1].y + ref.grad[2].y, 0.0, 1e-12);
+    EXPECT_GT(ref.area, 0.0);
+  }
+}
+
+TEST(TriangleRef, RejectsDegenerateTriangles) {
+  EXPECT_THROW(TriangleRef::build({0, 0, 0}, {1, 0, 0}, {2, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(TriangleRef::build({0, 0, 0}, {0, 0, 0}, {0, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(Skalak, ReferenceConfigurationIsStressFree) {
+  const TriangleRef ref = unit_ref();
+  const auto inv =
+      strain_invariants(ref, {0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+  EXPECT_NEAR(inv.i1, 0.0, 1e-13);
+  EXPECT_NEAR(inv.i2, 0.0, 1e-13);
+  EXPECT_NEAR(inv.det_f, 1.0, 1e-13);
+
+  Vec3 fa{}, fb{}, fc{};
+  add_skalak_forces({1.0, 10.0}, ref, {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, fa, fb,
+                    fc);
+  EXPECT_NEAR(norm(fa), 0.0, 1e-13);
+  EXPECT_NEAR(norm(fb), 0.0, 1e-13);
+  EXPECT_NEAR(norm(fc), 0.0, 1e-13);
+}
+
+TEST(Skalak, RigidMotionProducesNoStrain) {
+  const TriangleRef ref = unit_ref();
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mat3 r = random_rotation(rng);
+    const Vec3 t = rng.point_in_box({-2, -2, -2}, {2, 2, 2});
+    const Vec3 a = r.apply({0, 0, 0}) + t;
+    const Vec3 b = r.apply({1, 0, 0}) + t;
+    const Vec3 c = r.apply({0, 1, 0}) + t;
+    const auto inv = strain_invariants(ref, a, b, c);
+    EXPECT_NEAR(inv.i1, 0.0, 1e-12);
+    EXPECT_NEAR(inv.i2, 0.0, 1e-12);
+  }
+}
+
+TEST(Skalak, IsotropicStretchInvariants) {
+  // x -> s x in-plane: lambda1 = lambda2 = s.
+  const TriangleRef ref = unit_ref();
+  const double s = 1.3;
+  const auto inv =
+      strain_invariants(ref, {0, 0, 0}, {s, 0, 0}, {0, s, 0});
+  EXPECT_NEAR(inv.i1, 2.0 * s * s - 2.0, 1e-12);
+  EXPECT_NEAR(inv.i2, s * s * s * s - 1.0, 1e-12);
+  EXPECT_NEAR(inv.det_f, s * s, 1e-12);
+}
+
+TEST(Skalak, UniaxialStretchInvariants) {
+  const TriangleRef ref = unit_ref();
+  const double s = 1.5;
+  const auto inv =
+      strain_invariants(ref, {0, 0, 0}, {s, 0, 0}, {0, 1, 0});
+  EXPECT_NEAR(inv.i1, s * s - 1.0, 1e-12);
+  EXPECT_NEAR(inv.i2, s * s - 1.0, 1e-12);
+}
+
+TEST(Skalak, EnergyDensityMatchesEquationTwo) {
+  // W = Gs/4 (I1^2 + 2I1 - 2I2 + C I2^2), Eq. (2).
+  const SkalakParams p{2.0, 7.0};
+  const StrainInvariants inv{0.3, 0.2, 1.1};
+  EXPECT_NEAR(skalak_energy_density(p, inv),
+              2.0 / 4.0 * (0.09 + 0.6 - 0.4 + 7.0 * 0.04), 1e-14);
+}
+
+struct DeformCase {
+  const char* name;
+  Vec3 a, b, c;
+};
+
+class SkalakForceGradient : public ::testing::TestWithParam<DeformCase> {};
+
+TEST_P(SkalakForceGradient, AnalyticForcesMatchNumericalGradient) {
+  const auto& d = GetParam();
+  const TriangleRef ref = unit_ref();
+  const SkalakParams p{3.0, 25.0};
+  Vec3 fa{}, fb{}, fc{};
+  add_skalak_forces(p, ref, d.a, d.b, d.c, fa, fb, fc);
+  Vec3 na{}, nb{}, nc{};
+  numerical_forces(p, ref, d.a, d.b, d.c, na, nb, nc);
+  const double scale = std::max({norm(na), norm(nb), norm(nc), 1e-8});
+  EXPECT_NEAR(norm(fa - na) / scale, 0.0, 1e-5) << d.name;
+  EXPECT_NEAR(norm(fb - nb) / scale, 0.0, 1e-5) << d.name;
+  EXPECT_NEAR(norm(fc - nc) / scale, 0.0, 1e-5) << d.name;
+  // Momentum conservation.
+  EXPECT_NEAR(norm(fa + fb + fc), 0.0, 1e-12 * scale) << d.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deformations, SkalakForceGradient,
+    ::testing::Values(
+        DeformCase{"stretch_x", {0, 0, 0}, {1.4, 0, 0}, {0, 1, 0}},
+        DeformCase{"compress", {0, 0, 0}, {0.8, 0, 0}, {0, 0.85, 0}},
+        DeformCase{"shear", {0, 0, 0}, {1, 0, 0}, {0.4, 1, 0}},
+        DeformCase{"out_of_plane", {0, 0, 0.1}, {1.1, 0, -0.05}, {0, 0.9, 0.2}},
+        DeformCase{"rotated_stretch", {0.5, 0.5, 0.5}, {0.5, 1.8, 0.5},
+                   {0.5, 0.5, 1.6}},
+        DeformCase{"mixed", {-0.1, 0.05, 0}, {1.2, 0.1, 0.3}, {0.1, 1.1, -0.2}}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Skalak, ForcesRestoreStretchedTriangle) {
+  // Forces on a stretched triangle must pull the stretched vertex back.
+  const TriangleRef ref = unit_ref();
+  Vec3 fa{}, fb{}, fc{};
+  add_skalak_forces({1.0, 10.0}, ref, {0, 0, 0}, {1.5, 0, 0}, {0, 1, 0}, fa,
+                    fb, fc);
+  EXPECT_LT(fb.x, 0.0);  // pulled back toward reference length
+}
+
+TEST(Skalak, EnergyGrowsWithDeformationMagnitude) {
+  const TriangleRef ref = unit_ref();
+  const SkalakParams p{1.0, 10.0};
+  double prev = 0.0;
+  for (double s = 1.0; s <= 1.5; s += 0.1) {
+    const double e =
+        skalak_element_energy(p, ref, {0, 0, 0}, {s, 0, 0}, {0, 1, 0});
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace apr::fem

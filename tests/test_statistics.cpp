@@ -1,0 +1,151 @@
+#include "src/cells/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numbers>
+
+#include "src/common/rng.hpp"
+#include "src/mesh/icosphere.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::cells {
+namespace {
+
+TEST(ShapeTensor, SphereIsIsotropic) {
+  const mesh::TriMesh m = mesh::icosphere(2, 1.0);
+  const ShapeTensor t = shape_tensor(m.vertices);
+  EXPECT_NEAR(t.eigenvalues[0], t.eigenvalues[2],
+              0.02 * t.eigenvalues[0]);
+  // Gyration of a spherical shell of radius r: eigenvalues ~ r^2/3 each.
+  EXPECT_NEAR(t.eigenvalues[0], 1.0 / 3.0, 0.02);
+}
+
+TEST(ShapeTensor, StretchedSphereHasDominantAxis) {
+  mesh::TriMesh m = mesh::icosphere(2, 1.0);
+  for (auto& v : m.vertices) v.z *= 3.0;
+  const ShapeTensor t = shape_tensor(m.vertices);
+  EXPECT_NEAR(t.eigenvalues[0] / t.eigenvalues[2], 9.0, 0.5);
+  EXPECT_NEAR(std::abs(t.axes[0].z), 1.0, 1e-6);
+}
+
+TEST(ShapeTensor, EigenvaluesSortedAndInvariantUnderRotation) {
+  Rng rng(3);
+  mesh::TriMesh m = mesh::rbc_biconcave(2, 1.0);
+  const ShapeTensor t0 = shape_tensor(m.vertices);
+  EXPECT_GE(t0.eigenvalues[0], t0.eigenvalues[1]);
+  EXPECT_GE(t0.eigenvalues[1], t0.eigenvalues[2]);
+  m.rotate(random_rotation(rng));
+  const ShapeTensor t1 = shape_tensor(m.vertices);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(t1.eigenvalues[k], t0.eigenvalues[k],
+                1e-9 * t0.eigenvalues[0]);
+  }
+}
+
+TEST(ShapeTensor, RejectsEmptyInput) {
+  EXPECT_THROW(shape_tensor({}), std::invalid_argument);
+}
+
+TEST(TaylorDeformation, ZeroForSphereLargeForNeedle) {
+  const mesh::TriMesh sphere = mesh::icosphere(2, 1.0);
+  EXPECT_LT(taylor_deformation(sphere.vertices), 0.02);
+  mesh::TriMesh needle = sphere;
+  for (auto& v : needle.vertices) v.x *= 5.0;
+  EXPECT_GT(taylor_deformation(needle.vertices), 0.5);
+}
+
+TEST(TaylorDeformation, BiconcaveDiscIsIntermediate) {
+  const mesh::TriMesh rbc = mesh::rbc_biconcave(2, 1.0);
+  const double d = taylor_deformation(rbc.vertices);
+  EXPECT_GT(d, 0.2);  // disc is clearly non-spherical
+  EXPECT_LT(d, 0.9);
+}
+
+TEST(OrientationAngle, AlignedAndPerpendicular) {
+  mesh::TriMesh m = mesh::icosphere(2, 1.0);
+  for (auto& v : m.vertices) v.x *= 3.0;  // long axis = x
+  EXPECT_NEAR(orientation_angle(m.vertices, Vec3{1, 0, 0}), 0.0, 1e-3);
+  EXPECT_NEAR(orientation_angle(m.vertices, Vec3{0, 1, 0}),
+              std::numbers::pi / 2.0, 1e-3);
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest()
+      : model_(std::make_unique<fem::MembraneModel>(mesh::icosphere(1, 0.2),
+                                                    fem::MembraneParams{})),
+        pool_(model_.get(), CellKind::Rbc, 64) {}
+
+  std::unique_ptr<fem::MembraneModel> model_;
+  CellPool pool_;
+};
+
+TEST_F(ProfileTest, RadialProfileBinsByCentroidRadius) {
+  // Cells at radii 0.5 and 2.5 about the z axis.
+  pool_.add(1, instantiate(*model_, Vec3{0.5, 0, 0}));
+  pool_.add(2, instantiate(*model_, Vec3{0, 0.5, 5.0}));
+  pool_.add(3, instantiate(*model_, Vec3{2.5, 0, -3.0}));
+  const RadialProfile prof =
+      radial_profile(pool_, Vec3{}, Vec3{0, 0, 1}, 4.0, 4, 10.0);
+  ASSERT_EQ(prof.counts.size(), 4u);
+  EXPECT_EQ(prof.counts[0], 2);  // r in [0, 1)
+  EXPECT_EQ(prof.counts[1], 0);
+  EXPECT_EQ(prof.counts[2], 1);  // r in [2, 3)
+  EXPECT_EQ(prof.counts[3], 0);
+  // Concentration normalizes by annulus volume: inner bin has smaller
+  // volume, so its concentration exceeds a same-count outer bin.
+  EXPECT_GT(prof.concentration[0], prof.concentration[2]);
+}
+
+TEST_F(ProfileTest, RadialProfileIgnoresOutOfRangeCells) {
+  pool_.add(1, instantiate(*model_, Vec3{10.0, 0, 0}));
+  const RadialProfile prof =
+      radial_profile(pool_, Vec3{}, Vec3{0, 0, 1}, 4.0, 4, 1.0);
+  for (int c : prof.counts) EXPECT_EQ(c, 0);
+}
+
+TEST_F(ProfileTest, RadialProfileValidatesArguments) {
+  EXPECT_THROW(radial_profile(pool_, Vec3{}, Vec3{0, 0, 1}, -1.0, 4, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(radial_profile(pool_, Vec3{}, Vec3{0, 0, 1}, 1.0, 0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(RadialDisplacement, MeasuresDistanceFromAxis) {
+  const std::vector<Vec3> traj{{1, 0, 0}, {0, 2, 5}, {3, 4, -2}};
+  const auto r = radial_displacement(traj, Vec3{}, Vec3{0, 0, 1});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 2.0, 1e-12);
+  EXPECT_NEAR(r[2], 5.0, 1e-12);
+}
+
+TEST(RadialDisplacement, AxisOffsetRespected) {
+  const std::vector<Vec3> traj{{2, 0, 7}};
+  const auto r = radial_displacement(traj, Vec3{1, 0, 0}, Vec3{0, 0, 1});
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST_F(ProfileTest, SpeedStatsAggregateOverPool) {
+  pool_.add(1, instantiate(*model_, Vec3{}));
+  auto vel = pool_.velocities(0);
+  for (auto& v : vel) v = Vec3{0.0, 0.0, 2.0};
+  vel[0] = Vec3{0.0, 3.0, 0.0};
+  const SpeedStats stats = vertex_speed_stats(pool_);
+  EXPECT_NEAR(stats.max, 3.0, 1e-12);
+  EXPECT_GT(stats.mean, 1.9);
+  EXPECT_LT(stats.mean, 2.1);
+}
+
+TEST(SpeedStats, EmptyPoolIsZero) {
+  auto model = std::make_unique<fem::MembraneModel>(mesh::icosphere(1, 0.2),
+                                                    fem::MembraneParams{});
+  CellPool pool(model.get(), CellKind::Rbc, 4);
+  const SpeedStats stats = vertex_speed_stats(pool);
+  EXPECT_EQ(stats.mean, 0.0);
+  EXPECT_EQ(stats.max, 0.0);
+}
+
+}  // namespace
+}  // namespace apr::cells

@@ -1,0 +1,96 @@
+#include "src/cells/subgrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.hpp"
+
+namespace apr::cells {
+namespace {
+
+TEST(SubGrid, ConstructionValidation) {
+  EXPECT_THROW(SubGrid(Aabb{}, 1.0), std::invalid_argument);
+  EXPECT_THROW(SubGrid(Aabb({0, 0, 0}, {1, 1, 1}), 0.0),
+               std::invalid_argument);
+  const SubGrid g(Aabb({0, 0, 0}, {1, 1, 1}), 0.25);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(SubGrid, InsertAndCount) {
+  SubGrid g(Aabb({0, 0, 0}, {10, 10, 10}), 1.0);
+  g.insert({1.0, 1.0, 1.0}, 7, 0);
+  g.insert({5.0, 5.0, 5.0}, 8, 1);
+  EXPECT_EQ(g.size(), 2u);
+  g.clear();
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(SubGrid, NeighborQueryFindsAllWithinRadius) {
+  // Property test: compare against brute force on random points.
+  Rng rng(13);
+  const Aabb box({0, 0, 0}, {8, 8, 8});
+  SubGrid g(box, 1.0);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(rng.point_in_box(box.lo, box.hi));
+    g.insert(pts.back(), i, 0);
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3 q = rng.point_in_box(box.lo, box.hi);
+    const double r = rng.uniform(0.2, 1.5);
+    std::set<std::uint64_t> brute;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (norm(pts[i] - q) <= r) brute.insert(i);
+    }
+    std::set<std::uint64_t> found;
+    g.for_neighbors(q, r, [&](const SubGrid::Entry& e) {
+      if (norm(e.p - q) <= r) found.insert(e.cell_id);
+    });
+    EXPECT_EQ(found, brute) << "radius " << r;
+  }
+}
+
+TEST(SubGrid, QueryVisitsSupersetOfBall) {
+  // for_neighbors visits bucket contents; everything in the ball must be
+  // visited (may include extras outside the ball).
+  SubGrid g(Aabb({0, 0, 0}, {4, 4, 4}), 0.5);
+  g.insert({1.0, 1.0, 1.0}, 1, 0);
+  g.insert({1.2, 1.0, 1.0}, 2, 0);
+  g.insert({3.5, 3.5, 3.5}, 3, 0);
+  int visited = 0;
+  bool saw1 = false, saw2 = false, saw3 = false;
+  g.for_neighbors({1.1, 1.0, 1.0}, 0.3, [&](const SubGrid::Entry& e) {
+    ++visited;
+    saw1 |= e.cell_id == 1;
+    saw2 |= e.cell_id == 2;
+    saw3 |= e.cell_id == 3;
+  });
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+  EXPECT_FALSE(saw3);
+}
+
+TEST(SubGrid, OutOfBoundsInsertsClampSafely) {
+  SubGrid g(Aabb({0, 0, 0}, {2, 2, 2}), 1.0);
+  EXPECT_NO_THROW(g.insert({-5.0, 1.0, 1.0}, 1, 0));
+  EXPECT_NO_THROW(g.insert({10.0, 10.0, 10.0}, 2, 0));
+  // Clamped entries are still discoverable near the edges.
+  bool found = false;
+  g.for_neighbors({0.0, 1.0, 1.0}, 1.0, [&](const SubGrid::Entry& e) {
+    found |= e.cell_id == 1;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(SubGrid, VertexIndexRoundTrips) {
+  SubGrid g(Aabb({0, 0, 0}, {2, 2, 2}), 1.0);
+  g.insert({1.0, 1.0, 1.0}, 42, 17);
+  g.for_neighbors({1.0, 1.0, 1.0}, 0.1, [&](const SubGrid::Entry& e) {
+    EXPECT_EQ(e.cell_id, 42u);
+    EXPECT_EQ(e.vertex, 17);
+  });
+}
+
+}  // namespace
+}  // namespace apr::cells

@@ -1,0 +1,118 @@
+#include "src/cells/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cells/overlap.hpp"
+#include "src/cells/subgrid.hpp"
+#include "src/mesh/shapes.hpp"
+
+namespace apr::cells {
+namespace {
+
+class TileTest : public ::testing::Test {
+ protected:
+  TileTest()
+      : rbc_(std::make_unique<fem::MembraneModel>(
+            mesh::rbc_biconcave(2, 1.0), fem::MembraneParams{})) {}
+
+  std::unique_ptr<fem::MembraneModel> rbc_;
+};
+
+TEST_F(TileTest, ReachesModerateHematocrit) {
+  Rng rng(5);
+  const double side = 8.0;  // ~4 RBC radii
+  const double target = 0.2;
+  const RbcTile tile = RbcTile::generate(*rbc_, side, target, rng);
+  EXPECT_GT(tile.cell_count(), 0u);
+  EXPECT_NEAR(tile.achieved_hematocrit(), target, 0.05);
+  EXPECT_DOUBLE_EQ(tile.side(), side);
+}
+
+TEST_F(TileTest, HematocritScalesWithTarget) {
+  Rng rng(7);
+  const RbcTile lo = RbcTile::generate(*rbc_, 8.0, 0.1, rng);
+  const RbcTile hi = RbcTile::generate(*rbc_, 8.0, 0.3, rng);
+  EXPECT_GT(hi.cell_count(), lo.cell_count());
+}
+
+TEST_F(TileTest, PlacedCellsDoNotOverlap) {
+  Rng rng(11);
+  const RbcTile tile = RbcTile::generate(*rbc_, 8.0, 0.25, rng, 0.2);
+  const auto cells = tile.instantiate_at(*rbc_, Vec3{}, Mat3{});
+  // Pairwise vertex distance between different cells >= min_distance.
+  SubGrid grid(Aabb::cube(Vec3{}, 12.0), 0.5);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    EXPECT_FALSE(overlaps_existing(cells[c], c, grid, 0.2)) << "cell " << c;
+    for (std::size_t v = 0; v < cells[c].size(); ++v) {
+      grid.insert(cells[c][v], c, static_cast<int>(v));
+    }
+  }
+}
+
+TEST_F(TileTest, CellCentroidsStayInsideTheTile) {
+  Rng rng(13);
+  const RbcTile tile = RbcTile::generate(*rbc_, 8.0, 0.2, rng);
+  const Aabb box = Aabb::cube(Vec3{}, 8.0);
+  for (const auto& p : tile.placements()) {
+    EXPECT_TRUE(box.contains(p.offset));
+  }
+}
+
+TEST_F(TileTest, InstantiateAppliesRigidTransform) {
+  Rng rng(17);
+  const RbcTile tile = RbcTile::generate(*rbc_, 6.0, 0.15, rng);
+  ASSERT_GT(tile.cell_count(), 0u);
+  Rng rot_rng(19);
+  const Mat3 rot = random_rotation(rot_rng);
+  const Vec3 center{10.0, 20.0, 30.0};
+  const auto moved = tile.instantiate_at(*rbc_, center, rot);
+  const auto base = tile.instantiate_at(*rbc_, Vec3{}, Mat3{});
+  ASSERT_EQ(moved.size(), base.size());
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    for (std::size_t v = 0; v < base[c].size(); ++v) {
+      const Vec3 expect = center + rot.apply(base[c][v]);
+      EXPECT_NEAR(norm(moved[c][v] - expect), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(TileTest, DeterministicForSameSeed) {
+  Rng a(21);
+  Rng b(21);
+  const RbcTile t1 = RbcTile::generate(*rbc_, 6.0, 0.2, a);
+  const RbcTile t2 = RbcTile::generate(*rbc_, 6.0, 0.2, b);
+  ASSERT_EQ(t1.cell_count(), t2.cell_count());
+  for (std::size_t i = 0; i < t1.placements().size(); ++i) {
+    EXPECT_NEAR(
+        norm(t1.placements()[i].offset - t2.placements()[i].offset), 0.0,
+        0.0);
+  }
+}
+
+TEST_F(TileTest, GivesUpGracefullyAtImpossibleDensity) {
+  Rng rng(23);
+  // Volume fraction near close packing is unreachable by RSA: the
+  // generator must terminate and report the shortfall.
+  const RbcTile tile = RbcTile::generate(*rbc_, 5.0, 0.9, rng, 0.0, 200);
+  EXPECT_LT(tile.achieved_hematocrit(), 0.9);
+  EXPECT_GT(tile.cell_count(), 0u);
+}
+
+TEST_F(TileTest, PhysicalScaleTile) {
+  // Tile at true RBC scale (microns) for the paper's 20% case.
+  auto rbc_um = std::make_unique<fem::MembraneModel>(
+      mesh::rbc_biconcave(2), fem::MembraneParams{});
+  Rng rng(29);
+  const double side = 16e-6;
+  const RbcTile tile = RbcTile::generate(*rbc_um, side, 0.2, rng);
+  EXPECT_NEAR(tile.achieved_hematocrit(), 0.2, 0.05);
+  // Expected count: Ht * side^3 / V_rbc.
+  const double expect = 0.2 * side * side * side / rbc_um->ref_volume();
+  EXPECT_NEAR(static_cast<double>(tile.cell_count()), expect,
+              0.25 * expect + 1.0);
+}
+
+}  // namespace
+}  // namespace apr::cells

@@ -1,0 +1,151 @@
+#include "src/geometry/vasculature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace apr::geometry {
+namespace {
+
+VasculatureParams small_params() {
+  VasculatureParams p;
+  p.root_radius = 100e-6;
+  p.root_length = 1e-3;
+  p.levels = 3;
+  return p;
+}
+
+TEST(VesselSegment, FrustumVolume) {
+  VesselSegment s;
+  s.a = {0, 0, 0};
+  s.b = {0, 0, 2.0};
+  s.ra = 1.0;
+  s.rb = 1.0;
+  EXPECT_NEAR(s.volume(), std::numbers::pi * 2.0, 1e-12);  // cylinder
+  s.rb = 0.5;
+  EXPECT_NEAR(s.volume(),
+              std::numbers::pi / 3.0 * 2.0 * (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(Vasculature, TreeHasExpectedSegmentCount) {
+  Rng rng(3);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  // Root + bifurcations through `levels` generations:
+  // 1 + 2 + 4 + ... + 2^levels = 2^{levels+1} - 1.
+  EXPECT_EQ(v.segments().size(), 15u);
+}
+
+TEST(Vasculature, DaughtersFollowMurrayRatio) {
+  Rng rng(5);
+  VasculatureParams p = small_params();
+  const Vasculature v = Vasculature::branching_tree(p, rng);
+  for (const auto& s : v.segments()) {
+    if (s.parent < 0) continue;
+    const auto& parent = v.segments()[s.parent];
+    EXPECT_NEAR(s.ra, parent.rb * p.radius_ratio, 1e-12);
+    // Daughters start at the parent tip.
+    EXPECT_NEAR(norm(s.a - parent.b), 0.0, 1e-12);
+  }
+}
+
+TEST(Vasculature, RootCenterlineIsInside) {
+  Rng rng(7);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  const auto& root = v.segments().front();
+  for (double t = 0.05; t < 1.0; t += 0.1) {
+    EXPECT_TRUE(v.inside(root.a + (root.b - root.a) * t));
+  }
+  // Far away is outside.
+  EXPECT_FALSE(v.inside(root.a + Vec3{1.0, 1.0, 1.0}));
+}
+
+TEST(Vasculature, MainPathRunsRootToLeafInsideTheVessels) {
+  Rng rng(11);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  const auto path = v.main_path(50e-6);
+  ASSERT_GT(path.size(), 10u);
+  // Starts at the root inlet.
+  EXPECT_NEAR(norm(path.front() - v.segments().front().a), 0.0, 1e-12);
+  // Every sample lies inside the network.
+  for (const auto& p : path) {
+    EXPECT_GE(v.signed_distance(p), 0.0);
+  }
+  // Path length exceeds the root length (goes into daughters).
+  double len = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    len += norm(path[i] - path[i - 1]);
+  }
+  EXPECT_GT(len, small_params().root_length * 1.5);
+}
+
+TEST(Vasculature, TotalVolumeMatchesSegmentSum) {
+  Rng rng(13);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  double sum = 0.0;
+  for (const auto& s : v.segments()) sum += s.volume();
+  EXPECT_NEAR(v.total_volume(), sum, 1e-18);
+  EXPECT_GT(v.total_volume(), 0.0);
+}
+
+TEST(Vasculature, LocalRadiusTracksTapering) {
+  Rng rng(17);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  const auto& root = v.segments().front();
+  EXPECT_NEAR(v.local_radius(root.a), root.ra, 1e-9);
+  EXPECT_NEAR(v.local_radius(root.b), root.rb, root.rb * 0.5);
+}
+
+TEST(Vasculature, BoundsContainAllSegments) {
+  Rng rng(19);
+  const Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  const Aabb b = v.bounds();
+  for (const auto& s : v.segments()) {
+    EXPECT_TRUE(b.contains(s.a));
+    EXPECT_TRUE(b.contains(s.b));
+  }
+}
+
+TEST(Vasculature, CerebralPresetHasMicrovascularScale) {
+  Rng rng(23);
+  const Vasculature v = Vasculature::cerebral_like(rng);
+  EXPECT_GT(v.segments().size(), 30u);
+  // Leaf radii shrink below 100 um (cerebral penetrating vessels).
+  double min_r = 1.0;
+  for (const auto& s : v.segments()) min_r = std::min(min_r, s.rb);
+  EXPECT_LT(min_r, 100e-6);
+  EXPECT_GT(min_r, 1e-6);
+}
+
+TEST(Vasculature, UpperBodyPresetIsCentimeterScale) {
+  Rng rng(29);
+  const Vasculature v = Vasculature::upper_body_like(rng);
+  const Vec3 e = v.bounds().extent();
+  EXPECT_GT(std::max({e.x, e.y, e.z}), 0.1);  // decimeter extent
+  // Total volume tens of mL, same order as the paper's 41 mL bulk.
+  EXPECT_GT(v.total_volume(), 5e-6);
+  EXPECT_LT(v.total_volume(), 500e-6);
+}
+
+TEST(Vasculature, RejectsEmptySegmentList) {
+  EXPECT_THROW(Vasculature({}), std::invalid_argument);
+}
+
+
+TEST(Vasculature, ClipBoundsShrinksReportedBoxOnly) {
+  Rng rng(31);
+  Vasculature v = Vasculature::branching_tree(small_params(), rng);
+  const Aabb raw = v.bounds();
+  Aabb clip = raw;
+  clip.lo.z = raw.lo.z + 0.3 * raw.extent().z;
+  v.clip_bounds(clip);
+  EXPECT_NEAR(v.bounds().lo.z, clip.lo.z, 1e-12);
+  // Geometry unchanged: points below the clip are still inside vessels.
+  const auto& root = v.segments().front();
+  const Vec3 below = root.a + (root.b - root.a) * 0.05;
+  if (below.z < clip.lo.z) {
+    EXPECT_TRUE(v.inside(below));
+  }
+}
+
+}  // namespace
+}  // namespace apr::geometry

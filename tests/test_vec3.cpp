@@ -1,0 +1,125 @@
+#include "src/common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/aabb.hpp"
+
+namespace apr {
+namespace {
+
+TEST(Vec3, ArithmeticIsComponentwise) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 0.5, 2.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, -3.0);
+  EXPECT_DOUBLE_EQ(sum.y, 2.5);
+  EXPECT_DOUBLE_EQ(sum.z, 5.0);
+  const Vec3 diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.x, 5.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+  const Vec3 divided = a / 2.0;
+  EXPECT_DOUBLE_EQ(divided.y, 1.0);
+}
+
+TEST(Vec3, IndexOperatorMatchesMembers) {
+  Vec3 v{7.0, 8.0, 9.0};
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v.y, -1.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(cross(x, y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(cross(y, x), (Vec3{0.0, 0.0, -1.0}));
+  const Vec3 a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 14.0);
+  // a x a = 0
+  EXPECT_EQ(cross(a, a), Vec3{});
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(norm(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 25.0);
+  const Vec3 n = normalized(v);
+  EXPECT_NEAR(norm(n), 1.0, 1e-15);
+  EXPECT_EQ(normalized(Vec3{}), Vec3{});
+}
+
+TEST(Vec3, CwiseMinMax) {
+  const Vec3 a{1.0, 5.0, -2.0};
+  const Vec3 b{2.0, 3.0, -1.0};
+  EXPECT_EQ(cwise_min(a, b), (Vec3{1.0, 3.0, -2.0}));
+  EXPECT_EQ(cwise_max(a, b), (Vec3{2.0, 5.0, -1.0}));
+}
+
+TEST(Aabb, DefaultIsInvalidAndIncludeFixesIt) {
+  Aabb b;
+  EXPECT_FALSE(b.valid());
+  b.include({1.0, 2.0, 3.0});
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.lo, b.hi);
+  b.include({-1.0, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(b.lo.x, -1.0);
+  EXPECT_DOUBLE_EQ(b.hi.y, 4.0);
+}
+
+TEST(Aabb, CubeAndContainment) {
+  const Aabb c = Aabb::cube({0.0, 0.0, 0.0}, 2.0);
+  EXPECT_TRUE(c.contains(Vec3{0.9, -0.9, 0.0}));
+  EXPECT_FALSE(c.contains(Vec3{1.1, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(c.volume(), 8.0);
+  EXPECT_EQ(c.center(), Vec3{});
+}
+
+TEST(Aabb, OverlapsAndIntersect) {
+  const Aabb a({0, 0, 0}, {2, 2, 2});
+  const Aabb b({1, 1, 1}, {3, 3, 3});
+  const Aabb c({5, 5, 5}, {6, 6, 6});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  const Aabb i = a.intersect(b);
+  EXPECT_TRUE(i.valid());
+  EXPECT_EQ(i.lo, (Vec3{1, 1, 1}));
+  EXPECT_EQ(i.hi, (Vec3{2, 2, 2}));
+  EXPECT_FALSE(a.intersect(c).valid());
+}
+
+TEST(Aabb, InflateAndShift) {
+  const Aabb a({0, 0, 0}, {1, 1, 1});
+  const Aabb big = a.inflated(0.5);
+  EXPECT_EQ(big.lo, (Vec3{-0.5, -0.5, -0.5}));
+  const Aabb moved = a.shifted({1, 2, 3});
+  EXPECT_EQ(moved.lo, (Vec3{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(moved.volume(), a.volume());
+}
+
+TEST(Aabb, BoundaryDistanceSignConvention) {
+  const Aabb a = Aabb::cube({0, 0, 0}, 2.0);  // [-1, 1]^3
+  // Center: 1 away from every face (negative = inside).
+  EXPECT_DOUBLE_EQ(a.boundary_distance({0, 0, 0}), -1.0);
+  // On a face.
+  EXPECT_DOUBLE_EQ(a.boundary_distance({1, 0, 0}), 0.0);
+  // Outside along one axis.
+  EXPECT_DOUBLE_EQ(a.boundary_distance({2, 0, 0}), 1.0);
+  // Outside along a diagonal: Euclidean distance.
+  EXPECT_NEAR(a.boundary_distance({2, 2, 0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Int3, BasicOps) {
+  const Int3 a{1, 2, 3};
+  const Int3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Int3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Int3{3, 3, 3}));
+  EXPECT_EQ(a * 2, (Int3{2, 4, 6}));
+  EXPECT_EQ(to_vec3(a), (Vec3{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace apr

@@ -1,0 +1,230 @@
+#include "src/apr/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/mesh/shapes.hpp"
+
+namespace apr::core {
+namespace {
+
+/// Unit-scale RBC model (radius 1) so geometry is easy to reason about.
+std::unique_ptr<fem::MembraneModel> unit_rbc() {
+  return std::make_unique<fem::MembraneModel>(mesh::rbc_biconcave(2, 1.0),
+                                              fem::MembraneParams{});
+}
+
+WindowConfig small_config() {
+  WindowConfig cfg;
+  cfg.proper_side = 8.0;
+  cfg.onramp_width = 4.0;
+  cfg.insertion_width = 4.0;
+  cfg.target_hematocrit = 0.15;
+  return cfg;
+}
+
+TEST(Window, RegionGeometryNests) {
+  const WindowConfig cfg = small_config();
+  EXPECT_DOUBLE_EQ(cfg.outer_side(), 24.0);
+  EXPECT_DOUBLE_EQ(cfg.inner_side(), 16.0);
+  const Window w({0, 0, 0}, cfg, nullptr);
+  EXPECT_TRUE(w.outer_box().contains(w.inner_box()));
+  EXPECT_TRUE(w.inner_box().contains(w.proper_box()));
+}
+
+TEST(Window, ClassifyIdentifiesAllRegions) {
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  EXPECT_EQ(w.classify({0, 0, 0}), WindowRegion::Proper);
+  EXPECT_EQ(w.classify({3.9, 0, 0}), WindowRegion::Proper);
+  EXPECT_EQ(w.classify({6.0, 0, 0}), WindowRegion::OnRamp);
+  EXPECT_EQ(w.classify({10.0, 0, 0}), WindowRegion::Insertion);
+  EXPECT_EQ(w.classify({13.0, 0, 0}), WindowRegion::Outside);
+}
+
+TEST(Window, SubregionsTileTheInsertionShell) {
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  // Outer box 24^3 tiled by 4-cubes: 6^3 = 216 total, inner 4^3 = 64
+  // excluded -> 152 shell subregions.
+  EXPECT_EQ(w.subregions().size(), 152u);
+  double vol = 0.0;
+  for (std::size_t s = 0; s < w.subregions().size(); ++s) {
+    const Aabb& box = w.subregions()[s];
+    vol += box.volume();
+    // Center in the insertion shell.
+    EXPECT_EQ(w.classify(box.center()), WindowRegion::Insertion);
+    EXPECT_DOUBLE_EQ(w.subregion_fill(s), 1.0);  // no domain
+  }
+  const double shell = w.outer_box().volume() - w.inner_box().volume();
+  EXPECT_NEAR(vol, shell, 1e-9);
+}
+
+TEST(Window, SnapCenterAlignsLowerCorner) {
+  const WindowConfig cfg = small_config();
+  const double dxc = 0.75;
+  const Vec3 origin{0.1, 0.2, 0.3};
+  const Vec3 snapped = Window::snap_center({5.3, -2.7, 9.9}, cfg, origin, dxc);
+  const Vec3 lo = snapped - Vec3{12.0, 12.0, 12.0};
+  const Vec3 rel = (lo - origin) / dxc;
+  EXPECT_NEAR(rel.x, std::round(rel.x), 1e-9);
+  EXPECT_NEAR(rel.y, std::round(rel.y), 1e-9);
+  EXPECT_NEAR(rel.z, std::round(rel.z), 1e-9);
+  // Snapping moves the center by at most half a coarse spacing per axis.
+  EXPECT_LT(std::abs(snapped.x - 5.3), dxc);
+}
+
+TEST(Window, PopulateReachesTargetHematocrit) {
+  const auto rbc = unit_rbc();
+  const WindowConfig cfg = small_config();
+  const Window w({0, 0, 0}, cfg, nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, cfg.target_hematocrit * 1.3,
+                               tile_rng);
+  Rng rng(2);
+  std::uint64_t next_id = 1;
+  const PopulationReport rep = w.populate(pool, tile, rng, next_id);
+  EXPECT_GT(rep.added, 0);
+  EXPECT_EQ(pool.size(), static_cast<std::size_t>(rep.added));
+  EXPECT_NEAR(w.hematocrit(pool), cfg.target_hematocrit,
+              0.5 * cfg.target_hematocrit);
+}
+
+TEST(Window, PopulateAvoidsCtcClearance) {
+  const auto rbc = unit_rbc();
+  const auto ctc = std::make_unique<fem::MembraneModel>(
+      mesh::ctc_sphere(2, 2.0), fem::MembraneParams{});
+  const WindowConfig cfg = small_config();
+  const Window w({0, 0, 0}, cfg, nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  const auto ctc_verts = cells::instantiate(*ctc, Vec3{0, 0, 0});
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, 0.2, tile_rng);
+  Rng rng(3);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile, rng, next_id, ctc_verts);
+  // No RBC centroid may sit inside the CTC.
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    EXPECT_GT(norm(pool.cell_centroid(s)), 1.0);
+  }
+}
+
+TEST(Window, RemoveExitedCellsByCentroid) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 8);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));        // inside
+  pool.add(2, cells::instantiate(*rbc, Vec3{11.5, 0, 0}));     // insertion
+  pool.add(3, cells::instantiate(*rbc, Vec3{14.0, 0, 0}));     // outside
+  pool.add(4, cells::instantiate(*rbc, Vec3{0, -20.0, 0}));    // outside
+  EXPECT_EQ(w.remove_exited_cells(pool), 2);
+  EXPECT_TRUE(pool.contains(1));
+  EXPECT_TRUE(pool.contains(2));
+  EXPECT_FALSE(pool.contains(3));
+  EXPECT_FALSE(pool.contains(4));
+}
+
+TEST(Window, MaintainRefillsDepletedSubregions) {
+  const auto rbc = unit_rbc();
+  const WindowConfig cfg = small_config();
+  const Window w({0, 0, 0}, cfg, nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, cfg.target_hematocrit * 1.3,
+                               tile_rng);
+  Rng rng(5);
+  std::uint64_t next_id = 1;
+  // Empty window: every subregion is below threshold.
+  const PopulationReport rep = w.maintain(pool, tile, rng, next_id);
+  EXPECT_EQ(rep.subregions_refilled,
+            static_cast<int>(w.subregions().size()));
+  EXPECT_GT(rep.added, 0);
+
+  // A second maintain right away must be mostly idle (density present).
+  const PopulationReport rep2 = w.maintain(pool, tile, rng, next_id);
+  EXPECT_LT(rep2.subregions_refilled, rep.subregions_refilled / 3);
+}
+
+TEST(Window, MaintainOnlyTouchesInsertionShell) {
+  const auto rbc = unit_rbc();
+  const WindowConfig cfg = small_config();
+  const Window w({0, 0, 0}, cfg, nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, 0.25, tile_rng);
+  Rng rng(7);
+  std::uint64_t next_id = 1;
+  w.maintain(pool, tile, rng, next_id);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    EXPECT_EQ(w.classify(pool.cell_centroid(s)), WindowRegion::Insertion);
+  }
+}
+
+TEST(Window, MaintainedCellsNeverOverlapExisting) {
+  const auto rbc = unit_rbc();
+  const WindowConfig cfg = small_config();
+  const Window w({0, 0, 0}, cfg, nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, 0.3, tile_rng, 0.3);
+  Rng rng(9);
+  std::uint64_t next_id = 1;
+  w.maintain(pool, tile, rng, next_id);
+  // Verify pairwise clearance (min distance used by stamping: 0.15 rmax).
+  cells::SubGrid grid(w.outer_box().inflated(3.0), 1.0);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    EXPECT_FALSE(
+        cells::overlaps_existing(pool.positions(s), pool.id(s), grid, 0.1));
+    const auto x = pool.positions(s);
+    for (std::size_t v = 0; v < x.size(); ++v) {
+      grid.insert(x[v], pool.id(s), static_cast<int>(v));
+    }
+  }
+}
+
+TEST(Window, DomainRestrictsInsertion) {
+  // Window partially outside a tube: cells only placed in the flow.
+  const auto rbc = unit_rbc();
+  auto tube = std::make_unique<geometry::TubeDomain>(
+      Vec3{0, 0, -50.0}, Vec3{0, 0, 1.0}, 100.0, 10.0);
+  WindowConfig cfg = small_config();
+  const Window w({8.0, 0, 0}, cfg, tube.get());  // grazes the tube wall
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 2500);
+  Rng tile_rng(1);
+  const cells::RbcTile tile =
+      cells::RbcTile::generate(*rbc, 6.0, 0.25, tile_rng);
+  Rng rng(11);
+  std::uint64_t next_id = 1;
+  const PopulationReport rep = w.populate(pool, tile, rng, next_id);
+  EXPECT_GT(rep.rejected_wall, 0);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    const auto x = pool.positions(s);
+    for (const auto& v : x) EXPECT_TRUE(tube->inside(v));
+  }
+}
+
+TEST(Window, HematocritCountsOnlyWindowCells) {
+  const auto rbc = unit_rbc();
+  const Window w({0, 0, 0}, small_config(), nullptr);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 8);
+  EXPECT_DOUBLE_EQ(w.hematocrit(pool), 0.0);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));
+  pool.add(2, cells::instantiate(*rbc, Vec3{100.0, 0, 0}));  // far away
+  const double expected = rbc->ref_volume() / w.outer_box().volume();
+  EXPECT_NEAR(w.hematocrit(pool), expected, 1e-12);
+}
+
+TEST(Window, InvalidConfigRejected) {
+  WindowConfig bad = small_config();
+  bad.proper_side = -1.0;
+  EXPECT_THROW(Window({0, 0, 0}, bad, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apr::core

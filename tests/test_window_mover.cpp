@@ -1,0 +1,188 @@
+#include "src/apr/window_mover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mesh/shapes.hpp"
+
+namespace apr::core {
+namespace {
+
+std::unique_ptr<fem::MembraneModel> unit_rbc() {
+  return std::make_unique<fem::MembraneModel>(mesh::rbc_biconcave(2, 1.0),
+                                              fem::MembraneParams{});
+}
+
+WindowConfig small_config() {
+  WindowConfig cfg;
+  cfg.proper_side = 8.0;
+  cfg.onramp_width = 4.0;
+  cfg.insertion_width = 4.0;
+  cfg.target_hematocrit = 0.15;
+  return cfg;
+}
+
+class MoverTest : public ::testing::Test {
+ protected:
+  MoverTest()
+      : rbc_(unit_rbc()),
+        cfg_(small_config()),
+        tile_rng_(1),
+        tile_(cells::RbcTile::generate(*rbc_, 6.0, 0.2, tile_rng_)) {}
+
+  std::unique_ptr<fem::MembraneModel> rbc_;
+  WindowConfig cfg_;
+  Rng tile_rng_;
+  cells::RbcTile tile_;
+};
+
+TEST_F(MoverTest, TriggerFiresNearProperBoundary) {
+  const Window w({0, 0, 0}, cfg_, nullptr);
+  MoveConfig mc;
+  mc.trigger_distance = 1.0;
+  const WindowMover mover(mc, Vec3{}, 0.5);
+  EXPECT_FALSE(mover.should_move(w, {0, 0, 0}));      // center: 4 away
+  EXPECT_FALSE(mover.should_move(w, {2.5, 0, 0}));    // 1.5 away
+  EXPECT_TRUE(mover.should_move(w, {3.5, 0, 0}));     // 0.5 away
+  EXPECT_TRUE(mover.should_move(w, {4.5, 0, 0}));     // past the boundary
+}
+
+TEST_F(MoverTest, MoveRecentersOnCtc) {
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 2500);
+  Rng rng(2);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile_, rng, next_id);
+
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  const Vec3 ctc{3.6, 0.0, 0.0};
+  const MoveReport rep = mover.move(w, pool, ctc, tile_, rng, next_id);
+  EXPECT_TRUE(rep.moved);
+  // New center snapped near the CTC (within a coarse spacing).
+  EXPECT_LT(norm(w.center() - ctc), 0.5 * std::sqrt(3.0) + 1e-12);
+  EXPECT_GT(rep.captured, 0);
+}
+
+TEST_F(MoverTest, CapturedCellsKeepExactState) {
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 2500);
+  Rng rng(3);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile_, rng, next_id);
+
+  const Vec3 ctc{3.5, 0.0, 0.0};
+  // Record the cells that will be captured: centroid within the capture
+  // cube around the (snapped) new center.
+  const Vec3 snapped = Window::snap_center(ctc, cfg_, Vec3{}, 0.5);
+  const Aabb capture = Aabb::cube(snapped, cfg_.inner_side());
+  std::vector<std::pair<std::uint64_t, std::vector<Vec3>>> expected;
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    if (capture.contains(pool.cell_centroid(s))) {
+      const auto x = pool.positions(s);
+      expected.emplace_back(pool.id(s),
+                            std::vector<Vec3>(x.begin(), x.end()));
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  const MoveReport rep = mover.move(w, pool, ctc, tile_, rng, next_id);
+  EXPECT_EQ(rep.captured, static_cast<int>(expected.size()));
+  for (const auto& [id, verts] : expected) {
+    ASSERT_TRUE(pool.contains(id)) << "captured cell evicted";
+    const auto x = pool.positions(pool.slot_of(id));
+    for (std::size_t v = 0; v < verts.size(); ++v) {
+      EXPECT_EQ(x[v], verts[v]) << "captured cell mutated";
+    }
+  }
+}
+
+TEST_F(MoverTest, FillCopiesAreShiftedDeformedCells) {
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 2500);
+  Rng rng(5);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile_, rng, next_id);
+  const std::uint64_t max_original_id = next_id - 1;
+
+  // A displacement larger than the insertion+on-ramp margin, so part of
+  // the new inner box lies beyond the old window and must be filled with
+  // shifted deep copies (Fig. 3B).
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  Window moved = w;
+  const MoveReport rep =
+      mover.move(moved, pool, Vec3{10.0, 0.0, 0.0}, tile_, rng, next_id);
+  ASSERT_TRUE(rep.moved);
+  EXPECT_GT(rep.filled, 0);
+  // Fresh IDs (fill copies + insertion refills) all live inside the new
+  // window, and their count matches the report.
+  int fresh = 0;
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    if (pool.id(s) > max_original_id) {
+      ++fresh;
+      EXPECT_TRUE(moved.outer_box().contains(pool.cell_centroid(s)));
+    }
+  }
+  EXPECT_EQ(fresh, rep.filled + rep.repopulation.added);
+}
+
+TEST_F(MoverTest, PopulationSurvivesTheMove) {
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 2500);
+  Rng rng(7);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile_, rng, next_id);
+  const double ht_before = w.hematocrit(pool);
+
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  mover.move(w, pool, Vec3{3.5, 0.0, 0.0}, tile_, rng, next_id);
+  const double ht_after = w.hematocrit(pool);
+  // The move re-uses deformed cells and refills the insertion shell; the
+  // hematocrit must stay in the same regime (no catastrophic loss).
+  EXPECT_GT(ht_after, 0.5 * ht_before);
+  // All cells live inside the new window.
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    EXPECT_TRUE(w.outer_box().contains(pool.cell_centroid(s)));
+  }
+}
+
+TEST_F(MoverTest, NoMoveForZeroDisplacement) {
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 100);
+  Rng rng(9);
+  std::uint64_t next_id = 1;
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  // CTC exactly at the current center: snapped displacement is zero.
+  const MoveReport rep = mover.move(w, pool, w.center(), tile_, rng, next_id);
+  EXPECT_FALSE(rep.moved);
+}
+
+TEST_F(MoverTest, RepeatedMovesFollowATrajectory) {
+  // Drag the trigger point along +x through several moves; the window
+  // must track it and the cell population must remain bounded and valid.
+  Window w({0, 0, 0}, cfg_, nullptr);
+  cells::CellPool pool(rbc_.get(), cells::CellKind::Rbc, 2500);
+  Rng rng(11);
+  std::uint64_t next_id = 1;
+  w.populate(pool, tile_, rng, next_id);
+  const WindowMover mover({1.0}, Vec3{}, 0.5);
+  Vec3 ctc{0, 0, 0};
+  int moves = 0;
+  for (int step = 0; step < 40; ++step) {
+    ctc.x += 0.45;
+    if (mover.should_move(w, ctc)) {
+      const MoveReport rep = mover.move(w, pool, ctc, tile_, rng, next_id);
+      if (rep.moved) ++moves;
+    }
+  }
+  EXPECT_GE(moves, 2);
+  EXPECT_GT(norm(w.center()), 10.0);  // window travelled
+  EXPECT_GT(w.hematocrit(pool), 0.05);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    EXPECT_TRUE(w.outer_box().contains(pool.cell_centroid(s)));
+  }
+}
+
+}  // namespace
+}  // namespace apr::core

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the hemoAPR benches.
+
+Usage:
+    python3 tools/plot_experiments.py [csv_dir] [out_dir]
+
+Reads whichever of the bench CSVs exist in `csv_dir` (default: cwd) and
+writes one PNG per figure into `out_dir` (default: csv_dir/plots). Only
+matplotlib is required; figures mirror the paper's panels:
+
+    fig4_shear_profile.csv        -> fig4_profiles.png   (Fig. 4C)
+    fig5b_hematocrit_vs_time.csv  -> fig5b_hematocrit.png
+    fig5c_effective_viscosity.csv -> fig5c_viscosity.png
+    fig6_trajectory.csv           -> fig6_trajectory.png (Fig. 6D)
+    fig7_strong_scaling.csv       -> fig7_strong.png
+    fig8_weak_scaling.csv         -> fig8_weak.png
+    fig9_cerebral_trajectory.csv  -> fig9_trajectory.png
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path) as f:
+        reader = csv.DictReader(f)
+        rows = [dict((k, float(v)) for k, v in row.items()) for row in reader]
+    return rows
+
+
+def group_by(rows, key):
+    groups = defaultdict(list)
+    for row in rows:
+        groups[row[key]].append(row)
+    return dict(sorted(groups.items()))
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(csv_dir,
+                                                                 "plots")
+    os.makedirs(out_dir, exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+
+    def path(name):
+        return os.path.join(csv_dir, name)
+
+    made = []
+
+    if os.path.exists(path("fig4_shear_profile.csv")):
+        rows = read_csv(path("fig4_shear_profile.csv"))
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for lam, series in group_by(rows, "lambda").items():
+            series.sort(key=lambda r: r["y"])
+            ax.plot([r["y"] for r in series], [r["u_sim"] for r in series],
+                    "o-", ms=3, label=f"sim, lambda={lam:.3f}")
+            ax.plot([r["y"] for r in series],
+                    [r["u_analytic"] for r in series], "k--", lw=0.8)
+        ax.set_xlabel("y"), ax.set_ylabel("u_x (lattice)")
+        ax.set_title("Fig. 4C: variable-viscosity shear profiles vs Eq. (8)")
+        ax.legend(fontsize=7)
+        fig.savefig(os.path.join(out_dir, "fig4_profiles.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig4_profiles.png")
+
+    if os.path.exists(path("fig5b_hematocrit_vs_time.csv")):
+        rows = read_csv(path("fig5b_hematocrit_vs_time.csv"))
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for ht, series in group_by(rows, "target_ht").items():
+            series.sort(key=lambda r: r["time_s"])
+            ax.plot([r["time_s"] * 1e3 for r in series],
+                    [r["window_ht"] for r in series], "-",
+                    label=f"target {ht:.0%}")
+            ax.axhline(ht, color="gray", lw=0.5, ls=":")
+        ax.set_xlabel("time [ms]"), ax.set_ylabel("window hematocrit")
+        ax.set_title("Fig. 5B: hematocrit maintenance")
+        ax.legend()
+        fig.savefig(os.path.join(out_dir, "fig5b_hematocrit.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig5b_hematocrit.png")
+
+    if os.path.exists(path("fig5c_effective_viscosity.csv")):
+        rows = read_csv(path("fig5c_effective_viscosity.csv"))
+        fig, ax = plt.subplots(figsize=(5, 4))
+        hts = [r["tube_ht"] for r in rows]
+        ax.plot(hts, [r["mu_rel_sim"] for r in rows], "o-",
+                label="simulation")
+        ax.plot(hts, [r["mu_rel_pries"] for r in rows], "s--",
+                label="Pries correlation (Eq. 9)")
+        ax.set_xlabel("hematocrit"), ax.set_ylabel("relative viscosity")
+        ax.set_title("Fig. 5C: effective window viscosity")
+        ax.legend()
+        fig.savefig(os.path.join(out_dir, "fig5c_viscosity.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig5c_viscosity.png")
+
+    if os.path.exists(path("fig6_trajectory.csv")):
+        rows = read_csv(path("fig6_trajectory.csv"))
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for (method, label, style) in ((0.0, "APR", "-"),
+                                       (1.0, "eFSI", "--")):
+            sel = [r for r in rows if r["method"] == method]
+            for seed, series in group_by(sel, "seed").items():
+                series.sort(key=lambda r: r["time_index"])
+                ax.plot([r["z_um"] for r in series],
+                        [r["r_um"] for r in series], style, lw=1,
+                        label=f"{label} seed {seed:.0f}")
+        ax.set_xlabel("z [um]"), ax.set_ylabel("radial position [um]")
+        ax.set_title("Fig. 6D: CTC radial trajectory, APR vs eFSI")
+        ax.legend(fontsize=7)
+        fig.savefig(os.path.join(out_dir, "fig6_trajectory.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig6_trajectory.png")
+
+    if os.path.exists(path("fig7_strong_scaling.csv")):
+        rows = read_csv(path("fig7_strong_scaling.csv"))
+        fig, ax = plt.subplots(figsize=(5, 4))
+        ax.plot([r["nodes"] for r in rows], [r["speedup"] for r in rows],
+                "o-", label="model")
+        ax.plot([r["nodes"] for r in rows], [r["ideal"] for r in rows],
+                "k--", label="ideal")
+        ax.set_xscale("log", base=2), ax.set_yscale("log", base=2)
+        ax.set_xlabel("nodes"), ax.set_ylabel("speedup vs 32 nodes")
+        ax.set_title("Fig. 7: strong scaling")
+        ax.legend()
+        fig.savefig(os.path.join(out_dir, "fig7_strong.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig7_strong.png")
+
+    if os.path.exists(path("fig8_weak_scaling.csv")):
+        rows = read_csv(path("fig8_weak_scaling.csv"))
+        fig, ax = plt.subplots(figsize=(5, 4))
+        ax.plot([r["nodes"] for r in rows],
+                [r["efficiency_vs_8"] for r in rows], "o-")
+        ax.axhline(1.0, color="gray", lw=0.5, ls=":")
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel("nodes"), ax.set_ylabel("efficiency vs 8 nodes")
+        ax.set_title("Fig. 8: weak scaling")
+        fig.savefig(os.path.join(out_dir, "fig8_weak.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig8_weak.png")
+
+    if os.path.exists(path("fig9_cerebral_trajectory.csv")):
+        rows = read_csv(path("fig9_cerebral_trajectory.csv"))
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot([r["z_um"] for r in rows], [r["x_um"] for r in rows], "-",
+                label="CTC path (x vs z)")
+        moves = [r for i, r in enumerate(rows[1:], 1)
+                 if r["moves"] > rows[i - 1]["moves"]]
+        ax.plot([r["z_um"] for r in moves], [r["x_um"] for r in moves], "r^",
+                label="window move")
+        ax.set_xlabel("z [um]"), ax.set_ylabel("x [um]")
+        ax.set_title("Fig. 9: CTC trajectory through the cerebral tree")
+        ax.legend()
+        fig.savefig(os.path.join(out_dir, "fig9_trajectory.png"), dpi=150,
+                    bbox_inches="tight")
+        made.append("fig9_trajectory.png")
+
+    print("wrote:", ", ".join(made) if made else "nothing (no CSVs found)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
