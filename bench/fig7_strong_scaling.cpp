@@ -16,11 +16,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "profile_common.hpp"
 #include "src/common/csv.hpp"
 #include "src/perf/scaling.hpp"
 
 int main() {
   using namespace apr::perf;
+  apr::set_log_level(apr::LogLevel::Warn);
   const SummitNodeModel model;
   ScalingProblem problem;  // defaults = the paper's strong-scaling setup
 
@@ -52,5 +54,11 @@ int main() {
   std::printf("rolloff driver: halo volume per task shrinks slower than "
               "task volume (paper §3.4)\n");
   std::printf("series written to fig7_strong_scaling.csv\n");
+
+  // Measured per-phase decomposition of an actual (miniature) APR step on
+  // this machine -- the empirical counterpart to the model's split between
+  // window compute, bulk compute, and coupling.
+  apr::bench::report_step_profile(apr::bench::measure_step_profile(),
+                                  "fig7_phase_profile.csv");
   return 0;
 }

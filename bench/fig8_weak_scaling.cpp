@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "profile_common.hpp"
 #include "src/common/csv.hpp"
 #include "src/perf/scaling.hpp"
 
 int main() {
   using namespace apr::perf;
+  apr::set_log_level(apr::LogLevel::Warn);
   const SummitNodeModel model;
 
   // Per-node problem sized to the paper's weak-scaling configuration.
@@ -49,5 +51,9 @@ int main() {
 
   std::printf("\npaper: >1 efficiency below 8 nodes, ~0.90 from 8 to 256\n");
   std::printf("series written to fig8_weak_scaling.csv\n");
+
+  // Measured per-phase step decomposition (see profile_common.hpp).
+  apr::bench::report_step_profile(apr::bench::measure_step_profile(),
+                                  "fig8_phase_profile.csv");
   return 0;
 }

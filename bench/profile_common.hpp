@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file profile_common.hpp
+/// Shared measured-profile helper for the perf benches. The fig7/fig8
+/// curves come from the analytic Summit model; this helper runs a small
+/// *measured* APR calibration problem with the StepProfiler so each bench
+/// also reports where the wall time actually goes on this machine, and
+/// writes the decomposition next to the modelled series.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/apr/simulation.hpp"
+#include "src/common/log.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/perf/step_profiler.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace apr::bench {
+
+/// Run a miniature window-in-tube APR problem for `steps` coarse steps and
+/// return the per-phase profile.
+inline perf::StepProfiler measure_step_profile(int steps = 10) {
+  core::AprParams p;
+  p.dx_coarse = 2.0e-6;
+  p.n = 2;
+  p.tau_coarse = 1.0;
+  p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
+  p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
+  p.window.proper_side = 6.0e-6;
+  p.window.onramp_width = 3.0e-6;
+  p.window.insertion_width = 5.0e-6;
+  p.window.target_hematocrit = 0.10;
+  p.move.trigger_distance = 1.5e-6;
+  p.fsi.contact_cutoff = 0.4e-6;
+  p.fsi.contact_strength = 2e-12;
+  p.fsi.wall_cutoff = 0.5e-6;
+  p.fsi.wall_strength = 5e-12;
+  p.maintain_interval = 4;
+  p.rbc_capacity = 1500;
+  p.seed = 13;
+
+  fem::MembraneParams rp;
+  rp.shear_modulus = rheology::kRbcShearModulus;
+  rp.bending_modulus = rheology::kRbcBendingModulus;
+  rp.ka_global = 1e-6;
+  rp.kv_global = 1e-6;
+  auto rbc = std::make_shared<fem::MembraneModel>(
+      mesh::rbc_biconcave(1, 1.0e-6), rp);
+  fem::MembraneParams cp;
+  cp.shear_modulus = rheology::kCtcShearModulus;
+  cp.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  cp.ka_global = 1e-5;
+  cp.kv_global = 1e-5;
+  auto ctc =
+      std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6), cp);
+  auto domain = std::make_shared<geometry::TubeDomain>(
+      Vec3{0.0, 0.0, -30e-6}, Vec3{0.0, 0.0, 1.0}, 60e-6, 16e-6,
+      /*capped=*/false);
+
+  core::AprSimulation sim(domain, rbc, ctc, p);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.set_body_force_density(Vec3{0.0, 0.0, 6e6});
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.fill_window();
+  sim.profiler().reset();  // profile only the steady stepping loop
+  sim.run(steps);
+  return sim.profiler();
+}
+
+/// Print the measured profile and write it as CSV beside the bench output.
+inline void report_step_profile(const perf::StepProfiler& prof,
+                                const std::string& csv_path) {
+  std::printf("\nmeasured step-phase profile (calibration problem):\n%s",
+              prof.format_report().c_str());
+  prof.write_csv(csv_path);
+  std::printf("phase profile written to %s\n", csv_path.c_str());
+}
+
+}  // namespace apr::bench

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/common/units.hpp"
+#include "src/exec/exec.hpp"
 
 namespace apr::core {
 
@@ -195,9 +196,7 @@ void CoarseFineCoupler::release() {
 void CoarseFineCoupler::take_snapshot(Snapshot& snap) const {
   // Per unique support node: moments computed from the distributions
   // directly (no global macroscopic refresh of the coarse grid needed).
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t k = 0;
-       k < static_cast<std::ptrdiff_t>(support_nodes_.size()); ++k) {
+  exec::parallel_for(support_nodes_.size(), [&](std::size_t k) {
     const std::size_t ci = support_nodes_[k];
     const auto fc = coarse_->f_node(ci);
     double r = lbm::density(fc);
@@ -211,14 +210,20 @@ void CoarseFineCoupler::take_snapshot(Snapshot& snap) const {
     for (int q = 0; q < kQ; ++q) {
       snap.t[k][q] = normf * (fc[q] - feq[q]);
     }
-  }
+  });
+}
+
+void CoarseFineCoupler::take_pre_snapshot() { take_snapshot(pre_); }
+
+void CoarseFineCoupler::take_post_snapshot() {
+  take_snapshot(post_);
+  bytes_ += coupling_.size() * (1 + 3 + kQ) * sizeof(double) * 2;
 }
 
 void CoarseFineCoupler::begin_coarse_step() {
-  take_snapshot(pre_);
+  take_pre_snapshot();
   coarse_->step_no_macro();
-  take_snapshot(post_);
-  bytes_ += coupling_.size() * (1 + 3 + kQ) * sizeof(double) * 2;
+  take_post_snapshot();
 }
 
 void CoarseFineCoupler::set_fine_boundary(int substep) {
@@ -229,20 +234,16 @@ void CoarseFineCoupler::set_fine_boundary(int substep) {
   const double inv_norm = 1.0 / fine_norm();
 
   // Temporal blend once per support node...
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t k = 0;
-       k < static_cast<std::ptrdiff_t>(support_nodes_.size()); ++k) {
+  exec::parallel_for(support_nodes_.size(), [&](std::size_t k) {
     blend_.rho[k] = (1.0 - w) * pre_.rho[k] + w * post_.rho[k];
     blend_.u[k] = pre_.u[k] * (1.0 - w) + post_.u[k] * w;
     for (int q = 0; q < kQ; ++q) {
       blend_.t[k][q] = (1.0 - w) * pre_.t[k][q] + w * post_.t[k][q];
     }
-  }
+  });
 
   // ...then spatial interpolation per coupling node.
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(coupling_.size());
-       ++k) {
+  exec::parallel_for(coupling_.size(), [&](std::size_t k) {
     const CouplingNode& node = coupling_[k];
     double rho = 0.0;
     Vec3 u{};
@@ -264,14 +265,12 @@ void CoarseFineCoupler::set_fine_boundary(int substep) {
       f[q] += t[q] * inv_norm;
     }
     fine_->set_f_node(node.fine_idx, f);
-  }
+  });
 }
 
 void CoarseFineCoupler::restrict_to_coarse() {
   const double fnorm = fine_norm();
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t k = 0;
-       k < static_cast<std::ptrdiff_t>(restriction_.size()); ++k) {
+  exec::parallel_for(restriction_.size(), [&](std::size_t k) {
     const RestrictionNode& r = restriction_[k];
     const auto ff = fine_->f_node(r.fine_idx);
     const double rho = lbm::density(ff);
@@ -285,7 +284,7 @@ void CoarseFineCoupler::restrict_to_coarse() {
       f_c[q] += (ff[q] - feq_f[q]) * scale;
     }
     coarse_->set_f_node(r.coarse_idx, f_c);
-  }
+  });
   bytes_ += restriction_.size() * kQ * sizeof(double);
 }
 

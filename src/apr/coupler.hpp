@@ -69,8 +69,18 @@ class CoarseFineCoupler {
   std::size_t num_restriction_nodes() const { return restriction_.size(); }
 
   /// Snapshot interface data, advance the coarse lattice one step,
-  /// snapshot again.
+  /// snapshot again. Equivalent to take_pre_snapshot();
+  /// coarse.step_no_macro(); take_post_snapshot() -- the split entry
+  /// points let AprSimulation attribute the coarse advance and the
+  /// coupling work to separate profiler phases.
   void begin_coarse_step();
+
+  /// Snapshot interface data at coarse time T (before the coarse step).
+  void take_pre_snapshot();
+
+  /// Snapshot interface data at coarse time T+1 (after the coarse step)
+  /// and account the interface traffic.
+  void take_post_snapshot();
 
   /// Impose boundary data for fine sub-step s (0-based): blend weight
   /// s/n between the pre- and post-step coarse snapshots.

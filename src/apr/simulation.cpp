@@ -7,6 +7,7 @@
 #include "src/cells/overlap.hpp"
 #include "src/cells/subgrid.hpp"
 #include "src/common/log.hpp"
+#include "src/exec/exec.hpp"
 #include "src/geometry/voxelizer.hpp"
 
 namespace apr::core {
@@ -21,104 +22,142 @@ double max_cell_radius(const fem::MembraneModel& model) {
   return r;
 }
 
+/// One live cell across the active pools; the FSI helpers parallelize
+/// over this flattened list so RBCs and the CTC share one work queue.
+struct CellRef {
+  cells::CellPool* pool;
+  std::size_t slot;
+};
+
+std::vector<CellRef> flatten_cells(
+    const std::vector<cells::CellPool*>& pools) {
+  std::vector<CellRef> refs;
+  for (cells::CellPool* pool : pools) {
+    for (std::size_t s = 0; s < pool->size(); ++s) refs.push_back({pool, s});
+  }
+  return refs;
+}
+
+/// Per-worker scratch for the membrane force assembly.
+struct FemScratch {
+  std::vector<Vec3> x;
+  std::vector<Vec3> f;
+};
+
 }  // namespace
 
 void compute_cell_forces(const std::vector<cells::CellPool*>& pools,
                          const geometry::Domain* domain,
                          const FsiParams& params) {
-  static thread_local std::vector<Vec3> scratch_x;
-  static thread_local std::vector<Vec3> scratch_f;
-
   for (cells::CellPool* pool : pools) pool->clear_forces();
+  const std::vector<CellRef> refs = flatten_cells(pools);
 
-  // Membrane FEM forces.
-  for (cells::CellPool* pool : pools) {
-    const auto& model = pool->model();
-    for (std::size_t s = 0; s < pool->size(); ++s) {
-      const auto x = pool->positions(s);
-      const auto f = pool->forces(s);
-      scratch_x.assign(x.begin(), x.end());
-      scratch_f.assign(x.size(), Vec3{});
-      model.add_forces(scratch_x, scratch_f);
-      for (std::size_t v = 0; v < x.size(); ++v) f[v] += scratch_f[v];
-    }
-  }
+  // Membrane FEM forces: cells are independent (each writes only its own
+  // force block), so assembly parallelizes per cell across the pools.
+  // Workers reach the calling thread's scratch pool through the captured
+  // pointer -- naming the thread_local inside the lambda would resolve to
+  // each worker's own instance instead.
+  static thread_local exec::WorkerLocal<FemScratch> scratch_tls;
+  scratch_tls.prepare();
+  exec::WorkerLocal<FemScratch>* const pool = &scratch_tls;
+  exec::parallel_for_chunks(
+      refs.size(), [&, pool](std::size_t b, std::size_t e, int w) {
+        FemScratch& sc = (*pool)[static_cast<std::size_t>(w)];
+        for (std::size_t k = b; k < e; ++k) {
+          const auto x = refs[k].pool->positions(refs[k].slot);
+          const auto f = refs[k].pool->forces(refs[k].slot);
+          sc.x.assign(x.begin(), x.end());
+          sc.f.assign(x.size(), Vec3{});
+          refs[k].pool->model().add_forces(sc.x, sc.f);
+          for (std::size_t v = 0; v < x.size(); ++v) f[v] += sc.f[v];
+        }
+      });
 
-  // Cell-cell contact.
-  if (params.contact_cutoff > 0.0 && params.contact_strength > 0.0) {
+  // Cell-cell contact (the subgrid build stays serial -- hash inserts --
+  // but the pair search parallelizes per cell inside add_contact_forces).
+  if (params.contact_cutoff > 0.0 && params.contact_strength > 0.0 &&
+      !refs.empty()) {
     Aabb all;
-    bool any = false;
-    for (const cells::CellPool* pool : pools) {
-      for (std::size_t s = 0; s < pool->size(); ++s) {
-        all.include(pool->cell_centroid(s));
-        any = true;
-      }
+    for (const CellRef& r : refs) {
+      all.include(r.pool->cell_centroid(r.slot));
     }
-    if (any) {
-      const double rmax = max_cell_radius(pools.front()->model());
-      cells::SubGrid grid(all.inflated(2.0 * rmax + params.contact_cutoff),
-                          std::max(params.contact_cutoff, rmax / 2.0));
-      std::vector<const cells::CellPool*> cpools(pools.begin(), pools.end());
-      cells::fill_subgrid(grid, cpools);
-      cells::add_contact_forces(pools, params.contact_cutoff,
-                                params.contact_strength, grid);
-    }
+    const double rmax = max_cell_radius(pools.front()->model());
+    cells::SubGrid grid(all.inflated(2.0 * rmax + params.contact_cutoff),
+                        std::max(params.contact_cutoff, rmax / 2.0));
+    std::vector<const cells::CellPool*> cpools(pools.begin(), pools.end());
+    cells::fill_subgrid(grid, cpools);
+    cells::add_contact_forces(pools, params.contact_cutoff,
+                              params.contact_strength, grid);
   }
 
-  // Wall repulsion.
+  // Wall repulsion: per-cell independent, same decomposition.
   if (domain && params.wall_cutoff > 0.0 && params.wall_strength > 0.0) {
     const double eps = params.wall_cutoff / 4.0;
-    for (cells::CellPool* pool : pools) {
-      for (std::size_t s = 0; s < pool->size(); ++s) {
-        const auto x = pool->positions(s);
-        const auto f = pool->forces(s);
-        for (std::size_t v = 0; v < x.size(); ++v) {
-          const double d = domain->signed_distance(x[v]);
-          if (d >= params.wall_cutoff) continue;
-          const double pen = 1.0 - std::max(d, 0.0) / params.wall_cutoff;
-          f[v] += domain->inward_normal(x[v], eps) *
-                  (params.wall_strength * pen * pen);
-        }
+    exec::parallel_for(refs.size(), [&](std::size_t k) {
+      const auto x = refs[k].pool->positions(refs[k].slot);
+      const auto f = refs[k].pool->forces(refs[k].slot);
+      for (std::size_t v = 0; v < x.size(); ++v) {
+        const double d = domain->signed_distance(x[v]);
+        if (d >= params.wall_cutoff) continue;
+        const double pen = 1.0 - std::max(d, 0.0) / params.wall_cutoff;
+        f[v] += domain->inward_normal(x[v], eps) *
+                (params.wall_strength * pen * pen);
       }
-    }
+    });
   }
 }
 
 void spread_cell_forces(lbm::Lattice& lat, const UnitConverter& conv,
                         const std::vector<cells::CellPool*>& pools,
                         ibm::DeltaKernel kernel) {
+  // Batch every vertex of every cell into one scatter so the parallel
+  // spreading kernel sees the whole workload at once instead of one
+  // small call per cell.
   static thread_local std::vector<Vec3> xs;
   static thread_local std::vector<Vec3> fs;
   const double scale = conv.force_to_lattice(1.0);
+  xs.clear();
+  fs.clear();
   for (cells::CellPool* pool : pools) {
     for (std::size_t s = 0; s < pool->size(); ++s) {
       const auto x = pool->positions(s);
       const auto f = pool->forces(s);
-      xs.assign(x.begin(), x.end());
-      fs.resize(f.size());
-      for (std::size_t v = 0; v < f.size(); ++v) fs[v] = f[v] * scale;
-      ibm::spread_forces(lat, xs, fs, kernel);
+      xs.insert(xs.end(), x.begin(), x.end());
+      for (std::size_t v = 0; v < f.size(); ++v) fs.push_back(f[v] * scale);
     }
   }
+  ibm::spread_forces(lat, xs, fs, kernel);
 }
 
 void advect_cells(const lbm::Lattice& lat,
                   const std::vector<cells::CellPool*>& pools,
                   ibm::DeltaKernel kernel) {
+  // Batch all vertices for one parallel interpolation sweep, then write
+  // velocities/positions back per cell in parallel.
   static thread_local std::vector<Vec3> xs;
   static thread_local std::vector<Vec3> us;
-  for (cells::CellPool* pool : pools) {
-    for (std::size_t s = 0; s < pool->size(); ++s) {
-      const auto x = pool->positions(s);
-      xs.assign(x.begin(), x.end());
-      ibm::interpolate_velocities(lat, xs, us, kernel);
-      const auto vel = pool->velocities(s);
-      for (std::size_t v = 0; v < x.size(); ++v) {
-        vel[v] = us[v];
-        x[v] += us[v] * lat.dx();
-      }
-    }
+  const std::vector<CellRef> refs = flatten_cells(pools);
+  std::vector<std::size_t> offset(refs.size() + 1, 0);
+  xs.clear();
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    const auto x = refs[k].pool->positions(refs[k].slot);
+    xs.insert(xs.end(), x.begin(), x.end());
+    offset[k + 1] = xs.size();
   }
+  ibm::interpolate_velocities(lat, xs, us, kernel);
+  const double dx = lat.dx();
+  // Plain pointer so workers read this thread's buffer, not their own
+  // thread_local instance.
+  const Vec3* const u = us.data();
+  exec::parallel_for(refs.size(), [&, u](std::size_t k) {
+    const auto x = refs[k].pool->positions(refs[k].slot);
+    const auto vel = refs[k].pool->velocities(refs[k].slot);
+    const std::size_t base = offset[k];
+    for (std::size_t v = 0; v < x.size(); ++v) {
+      vel[v] = u[base + v];
+      x[v] += u[base + v] * dx;
+    }
+  });
 }
 
 AprSimulation::AprSimulation(
@@ -267,21 +306,53 @@ void AprSimulation::step() {
     throw std::logic_error("AprSimulation::step: window not placed");
   }
   auto pools = active_pools();
+  using perf::StepPhase;
 
-  coupler_->begin_coarse_step();
+  {
+    auto scope = profiler_.scope(StepPhase::Coupling);
+    coupler_->take_pre_snapshot();
+  }
+  {
+    auto scope = profiler_.scope(StepPhase::CoarseCollideStream);
+    const std::uint64_t before = coarse_->site_updates();
+    coarse_->step_no_macro();
+    profiler_.add_site_updates(StepPhase::CoarseCollideStream,
+                               coarse_->site_updates() - before);
+  }
+  {
+    auto scope = profiler_.scope(StepPhase::Coupling);
+    coupler_->take_post_snapshot();
+  }
   for (int s = 0; s < params_.n; ++s) {
     if (!pools.empty()) {
-      compute_cell_forces(pools, domain_.get(), params_.fsi);
+      {
+        auto scope = profiler_.scope(StepPhase::Forces);
+        compute_cell_forces(pools, domain_.get(), params_.fsi);
+      }
+      auto scope = profiler_.scope(StepPhase::Spread);
       fine_->clear_forces();
       spread_cell_forces(*fine_, fine_units_, pools, params_.fsi.kernel);
     }
-    coupler_->set_fine_boundary(s);
-    fine_->step();
+    {
+      auto scope = profiler_.scope(StepPhase::Coupling);
+      coupler_->set_fine_boundary(s);
+    }
+    {
+      auto scope = profiler_.scope(StepPhase::FineCollideStream);
+      const std::uint64_t before = fine_->site_updates();
+      fine_->step();
+      profiler_.add_site_updates(StepPhase::FineCollideStream,
+                                 fine_->site_updates() - before);
+    }
     if (!pools.empty()) {
+      auto scope = profiler_.scope(StepPhase::Advect);
       advect_cells(*fine_, pools, params_.fsi.kernel);
     }
   }
-  coupler_->restrict_to_coarse();
+  {
+    auto scope = profiler_.scope(StepPhase::Coupling);
+    coupler_->restrict_to_coarse();
+  }
   ++coarse_steps_;
 
   if (ctcs_->size() > 0) trajectory_.push_back(ctc_position());
@@ -289,12 +360,14 @@ void AprSimulation::step() {
   // Density maintenance.
   if (params_.maintain_interval > 0 &&
       coarse_steps_ % params_.maintain_interval == 0) {
+    auto scope = profiler_.scope(StepPhase::Maintenance);
     Rng maintain_rng = rng_.fork(0xAA00ull + coarse_steps_);
     window_->maintain(*rbcs_, *tile_, maintain_rng, next_cell_id_);
   }
 
   // Window-move check.
   if (ctcs_->size() > 0 && mover_->should_move(*window_, ctc_position())) {
+    auto scope = profiler_.scope(StepPhase::WindowMove);
     rebuild_window_at_ctc();
   }
 }

@@ -26,6 +26,7 @@
 #include "src/geometry/domain.hpp"
 #include "src/ibm/coupling.hpp"
 #include "src/lbm/lattice.hpp"
+#include "src/perf/step_profiler.hpp"
 
 namespace apr::core {
 
@@ -140,6 +141,11 @@ class AprSimulation {
   /// the Fig. 6 comparison).
   std::uint64_t total_site_updates() const;
 
+  /// Per-phase wall-time / site-update decomposition of step(). Enabled by
+  /// default; the accumulated stats persist across window moves.
+  perf::StepProfiler& profiler() { return profiler_; }
+  const perf::StepProfiler& profiler() const { return profiler_; }
+
  private:
   std::shared_ptr<const geometry::Domain> domain_;
   std::shared_ptr<const fem::MembraneModel> rbc_model_;
@@ -163,6 +169,7 @@ class AprSimulation {
   int move_count_ = 0;
   std::uint64_t fine_updates_retired_ = 0;  // from discarded fine lattices
   std::vector<Vec3> trajectory_;
+  perf::StepProfiler profiler_;
 
   void build_fine_lattice(const Vec3& window_center);
   void rebuild_window_at_ctc();

@@ -43,6 +43,49 @@ void CsvWriter::flush() {
   flushed_ = true;
 }
 
+CsvData read_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvData data;
+  std::string line;
+  auto split = [](const std::string& s) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(s);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (!s.empty() && s.back() == ',') cells.emplace_back();
+    return cells;
+  };
+  if (!std::getline(is, line)) return data;
+  data.header = split(line);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split(line);
+    if (cells.size() != data.header.size()) {
+      throw std::invalid_argument("read_csv: row arity mismatch in " + path);
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) {
+      std::size_t used = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(c, &used);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("read_csv: bad cell '" + c + "' in " +
+                                    path);
+      }
+      if (used != c.size()) {
+        throw std::invalid_argument("read_csv: bad cell '" + c + "' in " +
+                                    path);
+      }
+      row.push_back(v);
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
 std::string format_table(const std::vector<std::string>& header,
                          const std::vector<std::vector<std::string>>& rows) {
   std::vector<std::size_t> width(header.size());

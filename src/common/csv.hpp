@@ -44,4 +44,15 @@ class CsvWriter {
 std::string format_table(const std::vector<std::string>& header,
                          const std::vector<std::vector<std::string>>& rows);
 
+/// Parsed CSV contents: a header row plus numeric data rows.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Read back a file written by CsvWriter (header line + numeric rows).
+/// Throws std::runtime_error on a missing file and std::invalid_argument
+/// on a malformed cell or a row/header arity mismatch.
+CsvData read_csv(const std::string& path);
+
 }  // namespace apr

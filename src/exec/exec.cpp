@@ -1,0 +1,40 @@
+#include "src/exec/exec.hpp"
+
+namespace apr::exec {
+
+int num_workers() {
+#ifdef _OPENMP
+  return std::max(1, omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+void set_num_workers(int n) {
+  n = std::max(1, n);
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+namespace detail {
+
+std::size_t resolve_grain(std::size_t n, std::size_t grain) {
+  if (grain > 0) return grain;
+  const auto workers = static_cast<std::size_t>(num_workers());
+  // ~4 chunks per worker: enough slack for load imbalance without
+  // shredding cache lines or drowning small loops in scheduling overhead.
+  return std::max<std::size_t>(1, n / (4 * workers));
+}
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  const std::size_t g = resolve_grain(n, grain);
+  return (n + g - 1) / g;
+}
+
+}  // namespace detail
+
+}  // namespace apr::exec

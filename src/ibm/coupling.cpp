@@ -1,5 +1,7 @@
 #include "src/ibm/coupling.hpp"
 
+#include "src/exec/exec.hpp"
+
 namespace apr::ibm {
 
 namespace {
@@ -20,6 +22,20 @@ Support build_support(const lbm::Lattice& lat, const Vec3& p,
   return s;
 }
 
+/// Per-worker spreading accumulator: a force-delta field over the whole
+/// lattice plus the touched flat-index range. The field is kept zeroed
+/// outside spread_forces (the merge re-zeroes exactly the range it reads),
+/// so a slot warms up once per lattice size and then persists.
+struct SpreadScratch {
+  std::vector<Vec3> df;
+  std::size_t lo = 0;
+  std::size_t hi = 0;  // touched range is [lo, hi); empty when lo >= hi
+};
+
+/// Below this many vertices the per-worker accumulator merge costs more
+/// than the scatter saves; fall through to the serial reference.
+constexpr std::size_t kParallelSpreadMinVertices = 512;
+
 }  // namespace
 
 void interpolate_velocities(const lbm::Lattice& lat,
@@ -27,9 +43,7 @@ void interpolate_velocities(const lbm::Lattice& lat,
                             std::vector<Vec3>& velocities,
                             DeltaKernel kernel) {
   velocities.resize(positions.size());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t vi = 0;
-       vi < static_cast<std::ptrdiff_t>(positions.size()); ++vi) {
+  exec::parallel_for(positions.size(), [&](std::size_t vi) {
     const Support s = build_support(lat, positions[vi], kernel);
     Vec3 u{};
     for (int kz = 0; kz < s.nz; ++kz) {
@@ -47,13 +61,13 @@ void interpolate_velocities(const lbm::Lattice& lat,
       }
     }
     velocities[vi] = u;
-  }
+  });
 }
 
-void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
-                   const std::vector<Vec3>& forces, DeltaKernel kernel) {
-  // Serial over vertices: spreading scatters, so parallelizing requires
-  // atomics or coloring; vertex counts are small relative to lattice work.
+void spread_forces_serial(lbm::Lattice& lat,
+                          const std::vector<Vec3>& positions,
+                          const std::vector<Vec3>& forces,
+                          DeltaKernel kernel) {
   for (std::size_t vi = 0; vi < positions.size(); ++vi) {
     const Support s = build_support(lat, positions[vi], kernel);
     const Vec3 g = forces[vi];
@@ -79,14 +93,102 @@ void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
   }
 }
 
+void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
+                   const std::vector<Vec3>& forces, DeltaKernel kernel) {
+  const std::size_t nv = positions.size();
+  if (!exec::threaded() || exec::num_workers() == 1 ||
+      nv < kParallelSpreadMinVertices) {
+    spread_forces_serial(lat, positions, forces, kernel);
+    return;
+  }
+
+  // Scatter with per-worker force-delta fields, merged over nodes in a
+  // deterministic order (ascending node, then ascending worker slot).
+  // For a fixed worker count results are bit-for-bit reproducible; across
+  // worker counts only the per-node summation order changes (rounding-
+  // level differences vs the serial reference; see tests/test_ibm.cpp).
+  const std::size_t n = lat.num_nodes();
+  // The pool belongs to the calling thread; workers reach it through the
+  // captured pointer (a thread_local named directly inside the lambda
+  // would resolve to each worker's own, unrelated instance).
+  static thread_local exec::WorkerLocal<SpreadScratch> scratch_tls;
+  scratch_tls.prepare();
+  exec::WorkerLocal<SpreadScratch>* const pool = &scratch_tls;
+
+  exec::parallel_for_chunks(nv, [&, pool](std::size_t b, std::size_t e,
+                                          int w) {
+    SpreadScratch& s = (*pool)[static_cast<std::size_t>(w)];
+    if (s.df.size() != n) {
+      s.df.assign(n, Vec3{});
+      s.lo = n;
+      s.hi = 0;
+    }
+    std::size_t lo = s.lo >= s.hi ? n : s.lo;
+    std::size_t hi = s.lo >= s.hi ? 0 : s.hi;
+    for (std::size_t vi = b; vi < e; ++vi) {
+      const Support sup = build_support(lat, positions[vi], kernel);
+      const Vec3 g = forces[vi];
+      for (int kz = 0; kz < sup.nz; ++kz) {
+        const int z = sup.fz + kz;
+        if (z < 0 || z >= lat.nz()) continue;
+        for (int ky = 0; ky < sup.ny; ++ky) {
+          const int y = sup.fy + ky;
+          if (y < 0 || y >= lat.ny()) continue;
+          const double wyz = sup.wy[ky] * sup.wz[kz];
+          for (int kx = 0; kx < sup.nx; ++kx) {
+            const int x = sup.fx + kx;
+            if (x < 0 || x >= lat.nx()) continue;
+            const std::size_t i = lat.idx(x, y, z);
+            if (lat.type(i) == lbm::NodeType::Exterior ||
+                lat.type(i) == lbm::NodeType::Wall) {
+              continue;
+            }
+            s.df[i] += g * (sup.wx[kx] * wyz);
+            lo = std::min(lo, i);
+            hi = std::max(hi, i + 1);
+          }
+        }
+      }
+    }
+    s.lo = lo;
+    s.hi = hi;
+  });
+
+  std::size_t lo = n;
+  std::size_t hi = 0;
+  for (std::size_t w = 0; w < pool->size(); ++w) {
+    const SpreadScratch& s = (*pool)[w];
+    if (s.df.size() != n || s.lo >= s.hi) continue;
+    lo = std::min(lo, s.lo);
+    hi = std::max(hi, s.hi);
+  }
+  if (lo < hi) {
+    exec::parallel_for(hi - lo, [&, pool](std::size_t k) {
+      const std::size_t i = lo + k;
+      Vec3 sum{};
+      for (std::size_t w = 0; w < pool->size(); ++w) {
+        SpreadScratch& s = (*pool)[w];
+        if (s.df.size() != n || i < s.lo || i >= s.hi) continue;
+        sum += s.df[i];
+        s.df[i] = Vec3{};
+      }
+      if (sum.x != 0.0 || sum.y != 0.0 || sum.z != 0.0) {
+        lat.add_force(i, sum);
+      }
+    });
+  }
+  for (std::size_t w = 0; w < pool->size(); ++w) {
+    (*pool)[w].lo = n;
+    (*pool)[w].hi = 0;
+  }
+}
+
 void update_positions(const lbm::Lattice& lat, std::vector<Vec3>& positions,
                       const std::vector<Vec3>& lattice_velocities) {
   const double dx = lat.dx();
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t vi = 0;
-       vi < static_cast<std::ptrdiff_t>(positions.size()); ++vi) {
+  exec::parallel_for(positions.size(), [&](std::size_t vi) {
     positions[vi] += lattice_velocities[vi] * dx;
-  }
+  });
 }
 
 double kernel_weight_sum(const lbm::Lattice& lat, const Vec3& position,

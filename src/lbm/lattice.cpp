@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/exec/exec.hpp"
+
 namespace apr::lbm {
 
 Lattice::Lattice(int nx, int ny, int nz, const Vec3& origin, double dx,
@@ -76,11 +78,9 @@ void Lattice::clear_forces() {
 }
 
 void Lattice::update_macroscopic() {
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n_); ++ii) {
-    const auto i = static_cast<std::size_t>(ii);
+  exec::parallel_for(n_, [this](std::size_t i) {
     if (type_[i] != NodeType::Fluid && type_[i] != NodeType::Coupling) {
-      continue;
+      return;
     }
     double rho = 0.0;
     Vec3 mom{};
@@ -94,7 +94,7 @@ void Lattice::update_macroscopic() {
     rho_[i] = rho;
     // Guo: physical velocity includes half the force impulse.
     u_[i] = (mom + force_[i] * 0.5) / rho;
-  }
+  });
 }
 
 Vec3 Lattice::interpolate_velocity(const Vec3& p) const {
@@ -161,82 +161,99 @@ void fused_collide_stream(Lattice& lat) {
   const double* f = lat.f_.data();
   double* ft = lat.ftmp_.data();
 
-  std::uint64_t updates = 0;
-  for (int z = 0; z < nz; ++z) {
-    for (int y = 0; y < ny; ++y) {
-      for (int x = 0; x < nx; ++x) {
-        const std::size_t i = lat.idx(x, y, z);
-        const NodeType t = lat.type_[i];
-        if (t == NodeType::Exterior || t == NodeType::Wall) continue;
+  // Parallel over z-slices. The scatter is race-free: for a direction q,
+  // slot (q, j) has exactly one push source i = j - c_q; bounce-back and
+  // self-copies write only the owning node's slots; and pushes into
+  // Velocity/Coupling targets are skipped (those nodes self-copy and are
+  // re-imposed by apply_dirichlet / the grid coupler before the next
+  // read), so no slot ever has two writers.
+  const std::uint64_t updates = exec::parallel_reduce<std::uint64_t>(
+      static_cast<std::size_t>(nz), 0,
+      [&](std::size_t zb, std::size_t ze) {
+        std::uint64_t local = 0;
+        for (int z = static_cast<int>(zb); z < static_cast<int>(ze); ++z) {
+          for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+              const std::size_t i = lat.idx(x, y, z);
+              const NodeType t = lat.type_[i];
+              if (t == NodeType::Exterior || t == NodeType::Wall) continue;
 
-        if (t != NodeType::Fluid) {
-          // Velocity/Coupling: push the stored populations outward (no
-          // collision) and keep a self-copy so the node's state stays
-          // valid after the buffer swap.
-          for (int q = 0; q < kQ; ++q) {
-            ft[q * n + i] = f[q * n + i];
-            int tx = x + kC[q][0];
-            int ty = y + kC[q][1];
-            int tz = z + kC[q][2];
-            if (lat.periodic_[0]) tx = (tx + nx) % nx;
-            if (lat.periodic_[1]) ty = (ty + ny) % ny;
-            if (lat.periodic_[2]) tz = (tz + nz) % nz;
-            if (!lat.in_domain(tx, ty, tz)) continue;
-            const std::size_t j = lat.idx(tx, ty, tz);
-            if (lat.type_[j] == NodeType::Fluid) {
-              ft[q * n + j] = f[q * n + i];
+              if (t != NodeType::Fluid) {
+                // Velocity/Coupling: push the stored populations outward
+                // (no collision) and keep a self-copy so the node's state
+                // stays valid after the buffer swap.
+                for (int q = 0; q < kQ; ++q) {
+                  ft[q * n + i] = f[q * n + i];
+                  int tx = x + kC[q][0];
+                  int ty = y + kC[q][1];
+                  int tz = z + kC[q][2];
+                  if (lat.periodic_[0]) tx = (tx + nx) % nx;
+                  if (lat.periodic_[1]) ty = (ty + ny) % ny;
+                  if (lat.periodic_[2]) tz = (tz + nz) % nz;
+                  if (!lat.in_domain(tx, ty, tz)) continue;
+                  const std::size_t j = lat.idx(tx, ty, tz);
+                  if (lat.type_[j] == NodeType::Fluid) {
+                    ft[q * n + j] = f[q * n + i];
+                  }
+                }
+                continue;
+              }
+
+              // Collide locally.
+              std::array<double, kQ> post;
+              for (int q = 0; q < kQ; ++q) post[q] = f[q * n + i];
+              lat.collide_node(i, post);
+              ++local;
+
+              if (lat.fast_[i]) {
+                // All 18 targets are fluid and accept the push directly.
+                for (int q = 0; q < kQ; ++q) {
+                  ft[q * n + i + off[q]] = post[q];
+                }
+                continue;
+              }
+              // Slow path: walls, domain edges, periodic wrap.
+              for (int q = 0; q < kQ; ++q) {
+                int tx = x + kC[q][0];
+                int ty = y + kC[q][1];
+                int tz = z + kC[q][2];
+                if (lat.periodic_[0]) tx = (tx + nx) % nx;
+                if (lat.periodic_[1]) ty = (ty + ny) % ny;
+                if (lat.periodic_[2]) tz = (tz + nz) % nz;
+
+                bool bounce = false;
+                Vec3 uw{};
+                if (!lat.in_domain(tx, ty, tz)) {
+                  bounce = true;
+                } else {
+                  const std::size_t j = lat.idx(tx, ty, tz);
+                  const NodeType tt = lat.type_[j];
+                  if (tt == NodeType::Fluid) {
+                    ft[q * n + j] = post[q];
+                    continue;
+                  }
+                  if (is_stream_source(tt)) {
+                    // Velocity/Coupling target: it keeps its self-copy
+                    // (the value is overwritten before it is next read).
+                    continue;
+                  }
+                  bounce = true;
+                  if (tt == NodeType::Wall) uw = lat.ubc_[j];
+                }
+                if (bounce) {
+                  // Reflection lands back on this node in the opposite
+                  // direction with the moving-wall momentum transfer.
+                  const double cu =
+                      kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+                  ft[kOpp[q] * n + i] = post[q] - 6.0 * kW[q] * cu;
+                }
+              }
             }
           }
-          continue;
         }
-
-        // Collide locally.
-        std::array<double, kQ> post;
-        for (int q = 0; q < kQ; ++q) post[q] = f[q * n + i];
-        lat.collide_node(i, post);
-        ++updates;
-
-        if (lat.fast_[i]) {
-          // All 18 targets accept the push directly.
-          for (int q = 0; q < kQ; ++q) {
-            ft[q * n + i + off[q]] = post[q];
-          }
-          continue;
-        }
-        // Slow path: walls, domain edges, periodic wrap.
-        for (int q = 0; q < kQ; ++q) {
-          int tx = x + kC[q][0];
-          int ty = y + kC[q][1];
-          int tz = z + kC[q][2];
-          if (lat.periodic_[0]) tx = (tx + nx) % nx;
-          if (lat.periodic_[1]) ty = (ty + ny) % ny;
-          if (lat.periodic_[2]) tz = (tz + nz) % nz;
-
-          bool bounce = false;
-          Vec3 uw{};
-          if (!lat.in_domain(tx, ty, tz)) {
-            bounce = true;
-          } else {
-            const std::size_t j = lat.idx(tx, ty, tz);
-            const NodeType tt = lat.type_[j];
-            if (is_stream_source(tt)) {
-              ft[q * n + j] = post[q];
-              continue;
-            }
-            bounce = true;
-            if (tt == NodeType::Wall) uw = lat.ubc_[j];
-          }
-          if (bounce) {
-            // Reflection lands back on this node in the opposite
-            // direction with the moving-wall momentum transfer.
-            const double cu =
-                kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
-            ft[kOpp[q] * n + i] = post[q] - 6.0 * kW[q] * cu;
-          }
-        }
-      }
-    }
-  }
+        return local;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
   lat.site_updates_ += updates;
   lat.swap_buffers();
 }
@@ -296,17 +313,21 @@ void Lattice::collide_node(std::size_t i, std::array<double, kQ>& f) const {
 
 void collide(Lattice& lat) {
   const std::size_t n = lat.n_;
-  std::uint64_t updates = 0;
-#pragma omp parallel for schedule(static) reduction(+ : updates)
-  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
-    const auto i = static_cast<std::size_t>(ii);
-    if (lat.type_[i] != NodeType::Fluid) continue;
-    std::array<double, kQ> f;
-    for (int q = 0; q < kQ; ++q) f[q] = lat.f_[q * n + i];
-    lat.collide_node(i, f);
-    for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = f[q];
-    ++updates;
-  }
+  const std::uint64_t updates = exec::parallel_reduce<std::uint64_t>(
+      n, 0,
+      [&](std::size_t b, std::size_t e) {
+        std::uint64_t local = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          if (lat.type_[i] != NodeType::Fluid) continue;
+          std::array<double, kQ> f;
+          for (int q = 0; q < kQ; ++q) f[q] = lat.f_[q * n + i];
+          lat.collide_node(i, f);
+          for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = f[q];
+          ++local;
+        }
+        return local;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
   lat.site_updates_ += updates;
 }
 
@@ -326,11 +347,17 @@ void Lattice::ensure_fast_flags() {
       for (int x = 1; x < nx_ - 1; ++x) {
         const std::size_t i = idx(x, y, z);
         if (type_[i] != NodeType::Fluid) continue;
+        // Fast nodes require an all-Fluid neighbourhood (the D3Q19 stencil
+        // is symmetric, so sources and targets are the same set): the pull
+        // kernel can then skip every bounds/type check, and the push
+        // kernel's direct 18-way scatter stays race-free under the
+        // parallel z-slice decomposition (it never writes into a
+        // Velocity/Coupling node's self-copied slots).
         bool ok = true;
         for (int q = 1; q < kQ && ok; ++q) {
           const std::size_t s =
               idx(x - kC[q][0], y - kC[q][1], z - kC[q][2]);
-          ok = is_stream_source(type_[s]);
+          ok = type_[s] == NodeType::Fluid;
         }
         fast_[i] = ok ? 1 : 0;
       }
@@ -353,79 +380,78 @@ void stream(Lattice& lat) {
              kC[q][0];
   }
 
-#pragma omp parallel for collapse(2) schedule(static)
-  for (int z = 0; z < nz; ++z) {
-    for (int y = 0; y < ny; ++y) {
-      for (int x = 0; x < nx; ++x) {
-        const std::size_t i = lat.idx(x, y, z);
-        if (lat.fast_[i]) {
-          const double* f = lat.f_.data();
-          double* ft = lat.ftmp_.data();
-          for (int q = 0; q < kQ; ++q) {
-            ft[q * n + i] = f[q * n + i - off[q]];
-          }
-          continue;
-        }
-        const NodeType t = lat.type_[i];
-        if (t != NodeType::Fluid) {
-          // Non-fluid nodes keep their distributions (Velocity/Coupling are
-          // re-imposed later; Wall/Exterior are never read as targets).
-          if (t != NodeType::Exterior) {
-            for (int q = 0; q < kQ; ++q) {
-              lat.ftmp_[q * n + i] = lat.f_[q * n + i];
-            }
-          }
-          continue;
-        }
+  // Pull streaming writes only the receiving node's slots, so rows are
+  // fully independent; parallelize over flattened (z, y) rows.
+  exec::parallel_for(static_cast<std::size_t>(nz) * ny, [&](std::size_t row) {
+    const int z = static_cast<int>(row / ny);
+    const int y = static_cast<int>(row % ny);
+    for (int x = 0; x < nx; ++x) {
+      const std::size_t i = lat.idx(x, y, z);
+      if (lat.fast_[i]) {
+        const double* f = lat.f_.data();
+        double* ft = lat.ftmp_.data();
         for (int q = 0; q < kQ; ++q) {
-          int sx = x - kC[q][0];
-          int sy = y - kC[q][1];
-          int sz = z - kC[q][2];
-          if (lat.periodic_[0]) sx = (sx + nx) % nx;
-          if (lat.periodic_[1]) sy = (sy + ny) % ny;
-          if (lat.periodic_[2]) sz = (sz + nz) % nz;
+          ft[q * n + i] = f[q * n + i - off[q]];
+        }
+        continue;
+      }
+      const NodeType t = lat.type_[i];
+      if (t != NodeType::Fluid) {
+        // Non-fluid nodes keep their distributions (Velocity/Coupling are
+        // re-imposed later; Wall/Exterior are never read as targets).
+        if (t != NodeType::Exterior) {
+          for (int q = 0; q < kQ; ++q) {
+            lat.ftmp_[q * n + i] = lat.f_[q * n + i];
+          }
+        }
+        continue;
+      }
+      for (int q = 0; q < kQ; ++q) {
+        int sx = x - kC[q][0];
+        int sy = y - kC[q][1];
+        int sz = z - kC[q][2];
+        if (lat.periodic_[0]) sx = (sx + nx) % nx;
+        if (lat.periodic_[1]) sy = (sy + ny) % ny;
+        if (lat.periodic_[2]) sz = (sz + nz) % nz;
 
-          bool bounce = false;
-          Vec3 uw{};
-          if (!lat.in_domain(sx, sy, sz)) {
-            bounce = true;  // domain edge treated as resting wall
-          } else {
-            const std::size_t s = lat.idx(sx, sy, sz);
-            const NodeType st = lat.type_[s];
-            if (is_stream_source(st)) {
-              lat.ftmp_[q * n + i] = lat.f_[q * n + s];
-              continue;
-            }
-            bounce = true;
-            if (st == NodeType::Wall) uw = lat.ubc_[s];
+        bool bounce = false;
+        Vec3 uw{};
+        if (!lat.in_domain(sx, sy, sz)) {
+          bounce = true;  // domain edge treated as resting wall
+        } else {
+          const std::size_t s = lat.idx(sx, sy, sz);
+          const NodeType st = lat.type_[s];
+          if (is_stream_source(st)) {
+            lat.ftmp_[q * n + i] = lat.f_[q * n + s];
+            continue;
           }
-          if (bounce) {
-            // Halfway bounce-back with moving-wall momentum transfer:
-            //   f_q(x, t+1) = f*_opp(q)(x, t) + 6 w_q rho (c_q . u_w)
-            // (rho ~ 1 at low Mach).
-            const double cu =
-                kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
-            lat.ftmp_[q * n + i] = lat.f_[kOpp[q] * n + i] + 6.0 * kW[q] * cu;
-          }
+          bounce = true;
+          if (st == NodeType::Wall) uw = lat.ubc_[s];
+        }
+        if (bounce) {
+          // Halfway bounce-back with moving-wall momentum transfer:
+          //   f_q(x, t+1) = f*_opp(q)(x, t) + 6 w_q rho (c_q . u_w)
+          // (rho ~ 1 at low Mach).
+          const double cu =
+              kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+          lat.ftmp_[q * n + i] = lat.f_[kOpp[q] * n + i] + 6.0 * kW[q] * cu;
         }
       }
     }
-  }
+  });
   lat.swap_buffers();
 }
 
 void apply_dirichlet(Lattice& lat) {
   const std::size_t n = lat.n_;
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
-    const auto i = static_cast<std::size_t>(ii);
-    if (lat.type_[i] != NodeType::Velocity) continue;
+  exec::parallel_for(n, [&lat, n](std::size_t i) {
+    if (lat.type_[i] != NodeType::Velocity) return;
     std::array<double, kQ> feq;
     equilibria(1.0, lat.ubc_[i], feq);
     for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = feq[q];
     lat.rho_[i] = 1.0;
     lat.u_[i] = lat.ubc_[i];
-  }
+  });
 }
 
 }  // namespace apr::lbm

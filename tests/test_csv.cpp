@@ -53,6 +53,43 @@ TEST(CsvWriter, FlushOnDestruction) {
   std::remove(path.c_str());
 }
 
+TEST(ReadCsv, RoundTripsWriterOutput) {
+  const std::string path = temp_path("csv_roundtrip.csv");
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({1.0, 2.5, -3.0});
+    csv.row({4.0, 0.0, 6.25e-3});
+  }
+  const CsvData data = read_csv(path);
+  ASSERT_EQ(data.header.size(), 3u);
+  EXPECT_EQ(data.header[0], "a");
+  EXPECT_EQ(data.header[2], "c");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(data.rows[1][2], 6.25e-3);
+  std::remove(path.c_str());
+}
+
+TEST(ReadCsv, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_csv(temp_path("does_not_exist.csv")),
+               std::runtime_error);
+}
+
+TEST(ReadCsv, ThrowsOnBadCellOrArity) {
+  const std::string path = temp_path("csv_bad.csv");
+  {
+    std::ofstream os(path);
+    os << "a,b\n1,zebra\n";
+  }
+  EXPECT_THROW(read_csv(path), std::invalid_argument);
+  {
+    std::ofstream os(path);
+    os << "a,b\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
 TEST(FormatTable, AlignsColumns) {
   const std::string t = format_table({"name", "v"}, {{"alpha", "1"},
                                                      {"b", "22"}});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.hpp"
+#include "src/exec/exec.hpp"
 #include "src/lbm/boundary.hpp"
 
 namespace apr::ibm {
@@ -124,6 +125,78 @@ TEST(IbmSpreading, SkipsWallAndExteriorNodes) {
       EXPECT_EQ(norm(lat.force(i)), 0.0);
     }
   }
+}
+
+/// Large random vertex cloud (above the parallel-spread threshold) for the
+/// determinism tests. Forces are O(1) with mixed signs so cancellation
+/// would expose any ordering bug.
+void make_spread_workload(std::vector<Vec3>& pos, std::vector<Vec3>& forces) {
+  Rng rng(91);
+  pos.clear();
+  forces.clear();
+  for (int i = 0; i < 2000; ++i) {
+    pos.push_back(rng.point_in_box({2, 2, 2}, {14, 14, 14}));
+    forces.push_back(rng.unit_vector() * rng.uniform(-1.0, 1.0));
+  }
+}
+
+TEST(IbmSpreading, ParallelMatchesSerialReferenceAtOneWorker) {
+  // With one worker the parallel path must reproduce the serial scatter
+  // bit-for-bit: chunks run in ascending order and per-node sums see the
+  // vertices in the same sequence.
+  std::vector<Vec3> pos, forces;
+  make_spread_workload(pos, forces);
+
+  lbm::Lattice ref(16, 16, 16, Vec3{}, 1.0, 1.0);
+  spread_forces_serial(ref, pos, forces);
+
+  const int saved = exec::num_workers();
+  exec::set_num_workers(1);
+  lbm::Lattice lat(16, 16, 16, Vec3{}, 1.0, 1.0);
+  spread_forces(lat, pos, forces);
+  exec::set_num_workers(saved);
+
+  for (std::size_t i = 0; i < ref.num_nodes(); ++i) {
+    const Vec3 a = ref.force(i);
+    const Vec3 b = lat.force(i);
+    ASSERT_EQ(a.x, b.x) << "node " << i;
+    ASSERT_EQ(a.y, b.y) << "node " << i;
+    ASSERT_EQ(a.z, b.z) << "node " << i;
+  }
+}
+
+TEST(IbmSpreading, ParallelIsDeterministicAndNearSerialAcrossWorkerCounts) {
+  std::vector<Vec3> pos, forces;
+  make_spread_workload(pos, forces);
+
+  lbm::Lattice ref(16, 16, 16, Vec3{}, 1.0, 1.0);
+  spread_forces_serial(ref, pos, forces);
+  double fmax = 0.0;
+  for (std::size_t i = 0; i < ref.num_nodes(); ++i) {
+    fmax = std::max(fmax, norm(ref.force(i)));
+  }
+  ASSERT_GT(fmax, 0.0);
+
+  const int saved = exec::num_workers();
+  for (int workers : {2, 4}) {
+    exec::set_num_workers(workers);
+    lbm::Lattice a(16, 16, 16, Vec3{}, 1.0, 1.0);
+    spread_forces(a, pos, forces);
+    lbm::Lattice b(16, 16, 16, Vec3{}, 1.0, 1.0);
+    spread_forces(b, pos, forces);
+    for (std::size_t i = 0; i < ref.num_nodes(); ++i) {
+      // Same worker count twice: bit-for-bit reproducible.
+      ASSERT_EQ(a.force(i).x, b.force(i).x) << "node " << i;
+      ASSERT_EQ(a.force(i).y, b.force(i).y) << "node " << i;
+      ASSERT_EQ(a.force(i).z, b.force(i).z) << "node " << i;
+      // Against the serial reference: only summation order differs, so
+      // the deviation stays at rounding level (<= 1e-14 relative).
+      EXPECT_NEAR(a.force(i).x, ref.force(i).x, 1e-14 * fmax);
+      EXPECT_NEAR(a.force(i).y, ref.force(i).y, 1e-14 * fmax);
+      EXPECT_NEAR(a.force(i).z, ref.force(i).z, 1e-14 * fmax);
+    }
+  }
+  exec::set_num_workers(saved);
 }
 
 TEST(IbmUpdate, MovesVerticesByVelocityTimesSpacing) {

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "src/common/log.hpp"
+#include "src/exec/exec.hpp"
 #include "src/mesh/shapes.hpp"
 #include "src/rheology/blood.hpp"
 
@@ -212,6 +213,58 @@ TEST_F(AprSimulationTest, SiteUpdateAccountingCoversBothGrids) {
     if (sim.coarse().type(i) == lbm::NodeType::Fluid) ++coarse_fluid;
   }
   EXPECT_GT(after - before, 2 * coarse_fluid);
+}
+
+TEST_F(AprSimulationTest, ProfilerDecomposesTheStep) {
+  AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+  sim.initialize_flow(Vec3{});
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.fill_window();
+  sim.run(4);
+  const auto& prof = sim.profiler();
+  using perf::StepPhase;
+  // Every per-step phase fired each of the 4 steps.
+  EXPECT_EQ(prof.stats(StepPhase::CoarseCollideStream).calls, 4u);
+  EXPECT_EQ(prof.stats(StepPhase::FineCollideStream).calls,
+            4u * static_cast<unsigned>(sim.params().n));
+  EXPECT_GE(prof.stats(StepPhase::Coupling).calls, 4u);
+  EXPECT_GT(prof.stats(StepPhase::Forces).calls, 0u);
+  EXPECT_GT(prof.stats(StepPhase::Spread).calls, 0u);
+  EXPECT_GT(prof.stats(StepPhase::Advect).calls, 0u);
+  // Site-update attribution covers both lattices and matches the global
+  // counter for the profiled phases.
+  EXPECT_GT(prof.stats(StepPhase::CoarseCollideStream).site_updates, 0u);
+  EXPECT_GT(prof.stats(StepPhase::FineCollideStream).site_updates, 0u);
+  EXPECT_GT(prof.total_seconds(), 0.0);
+}
+
+TEST_F(AprSimulationTest, TrajectoryIsInvariantAcrossWorkerCounts) {
+  // The whole step -- collide/stream, coupling, FSI -- runs through the
+  // deterministic execution layer, so the CTC trajectory may differ across
+  // worker counts only at rounding level.
+  auto run_with = [&](int workers) {
+    exec::set_num_workers(workers);
+    AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), tiny_params());
+    sim.initialize_flow(Vec3{});
+    sim.coarse().set_periodic(false, false, true);
+    sim.set_body_force_density(Vec3{0.0, 0.0, 6e6});
+    for (int s = 0; s < 100; ++s) sim.coarse().step();
+    sim.place_window(Vec3{});
+    sim.place_ctc(Vec3{});
+    sim.run(10);
+    return sim.ctc_trajectory();
+  };
+  const int saved = exec::num_workers();
+  const auto t1 = run_with(1);
+  const auto t4 = run_with(4);
+  exec::set_num_workers(saved);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_NEAR(t1[i].x, t4[i].x, 1e-12);
+    EXPECT_NEAR(t1[i].y, t4[i].y, 1e-12);
+    EXPECT_NEAR(t1[i].z, t4[i].z, 1e-12);
+  }
 }
 
 TEST_F(AprSimulationTest, StepWithoutWindowThrows) {
