@@ -219,6 +219,12 @@ int main() {
               apr_profile.format_report().c_str());
   apr_profile.write_csv("fig6_phase_profile.csv");
   std::printf("phase profile written to fig6_phase_profile.csv\n");
+  const perf::PhaseStats& mv = apr_profile.stats(perf::StepPhase::WindowMove);
+  if (mv.calls > 0) {
+    std::printf("window relocation: %llu moves, %.3f ms per move\n",
+                static_cast<unsigned long long>(mv.calls),
+                1e3 * mv.seconds / mv.calls);
+  }
 
   std::printf("paper: APR recovers the eFSI radial trajectory within the "
               "RBC-ensemble spread at >10x node-hour savings\n");

@@ -11,19 +11,83 @@ namespace apr::core {
 
 using lbm::kQ;
 
+CouplerStencilCache CouplerStencilCache::build(int nx, int ny, int nz,
+                                               int n) {
+  if (n < 1) throw std::invalid_argument("StencilCache: n must be >= 1");
+  CouplerStencilCache cache;
+  cache.n = n;
+  cache.nx = nx;
+  cache.ny = ny;
+  cache.nz = nz;
+  // Same z,y,x scan order as the reference coupling-layer build, so a
+  // coupler built from the cache registers support nodes in the same
+  // deterministic order.
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const bool boundary = x == 0 || x == nx - 1 || y == 0 ||
+                              y == ny - 1 || z == 0 || z == nz - 1;
+        if (!boundary) continue;
+        Entry e;
+        e.fine_idx = static_cast<std::uint32_t>(
+            (static_cast<std::size_t>(z) * ny + y) * nx + x);
+        const int s[3] = {x, y, z};
+        for (int a = 0; a < 3; ++a) {
+          e.cell[a] = s[a] / n;
+          e.frac[a] = static_cast<double>(s[a] % n) / n;
+        }
+        int k = 0;
+        for (int dz = 0; dz < 2; ++dz) {
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              e.weight[k++] = (dx ? e.frac[0] : 1.0 - e.frac[0]) *
+                              (dy ? e.frac[1] : 1.0 - e.frac[1]) *
+                              (dz ? e.frac[2] : 1.0 - e.frac[2]);
+            }
+          }
+        }
+        cache.entries.push_back(e);
+      }
+    }
+  }
+  return cache;
+}
+
 CoarseFineCoupler::CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
                                      const CouplerConfig& config)
     : coarse_(&coarse), fine_(&fine), cfg_(config) {
+  init_common();
+  build_coupling_layer();
+  finalize({0, coarse.nx(), 0, coarse.ny(), 0, coarse.nz()});
+}
+
+CoarseFineCoupler::CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
+                                     const CouplerConfig& config,
+                                     const CouplerStencilCache& cache)
+    : coarse_(&coarse), fine_(&fine), cfg_(config) {
+  init_common();
+  if (cache.n != cfg_.n || cache.nx != fine.nx() || cache.ny != fine.ny() ||
+      cache.nz != fine.nz()) {
+    throw std::invalid_argument("Coupler: stencil cache shape mismatch");
+  }
+  build_coupling_layer(cache);
+  // The restriction and tau-footprint candidates all lie inside the fine
+  // bounds; pad by one coarse node so floating-point edge cases land in
+  // range and let the exact contains() tests do the selection.
+  finalize(coarse_range_for(fine.bounds(), 1));
+}
+
+void CoarseFineCoupler::init_common() {
   if (cfg_.n < 1) throw std::invalid_argument("Coupler: n must be >= 1");
   if (cfg_.lambda <= 0.0) {
     throw std::invalid_argument("Coupler: lambda must be > 0");
   }
   // Spacing and alignment checks.
-  const double expected_dx = coarse.dx() / cfg_.n;
-  if (std::abs(fine.dx() - expected_dx) > 1e-9 * coarse.dx()) {
+  const double expected_dx = coarse_->dx() / cfg_.n;
+  if (std::abs(fine_->dx() - expected_dx) > 1e-9 * coarse_->dx()) {
     throw std::invalid_argument("Coupler: dx_fine != dx_coarse / n");
   }
-  const Vec3 rel = (fine.origin() - coarse.origin()) / coarse.dx();
+  const Vec3 rel = (fine_->origin() - coarse_->origin()) / coarse_->dx();
   for (int a = 0; a < 3; ++a) {
     if (std::abs(rel[a] - std::round(rel[a])) > 1e-6) {
       throw std::invalid_argument(
@@ -31,17 +95,32 @@ CoarseFineCoupler::CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
     }
   }
   tau_f_ = fine_tau(cfg_.tau_coarse, cfg_.n, cfg_.lambda);
-  fine.set_uniform_tau(tau_f_);
+  fine_->set_uniform_tau(tau_f_);
+}
 
-  build_coupling_layer();
-  build_restriction();
-  adjust_coarse_tau();
+void CoarseFineCoupler::finalize(const CoarseRange& range) {
+  build_restriction(range);
+  adjust_coarse_tau(range);
 
   pre_.rho.resize(support_nodes_.size());
   pre_.u.resize(support_nodes_.size());
   pre_.t.resize(support_nodes_.size());
   post_ = pre_;
   blend_ = pre_;
+}
+
+CoarseFineCoupler::CoarseRange CoarseFineCoupler::coarse_range_for(
+    const Aabb& box, int pad) const {
+  const Vec3 lo = coarse_->to_lattice(box.lo);
+  const Vec3 hi = coarse_->to_lattice(box.hi);
+  CoarseRange r;
+  r.x0 = std::max(static_cast<int>(std::floor(lo.x)) - pad, 0);
+  r.y0 = std::max(static_cast<int>(std::floor(lo.y)) - pad, 0);
+  r.z0 = std::max(static_cast<int>(std::floor(lo.z)) - pad, 0);
+  r.x1 = std::min(static_cast<int>(std::ceil(hi.x)) + pad + 1, coarse_->nx());
+  r.y1 = std::min(static_cast<int>(std::ceil(hi.y)) + pad + 1, coarse_->ny());
+  r.z1 = std::min(static_cast<int>(std::ceil(hi.z)) + pad + 1, coarse_->nz());
+  return r;
 }
 
 double CoarseFineCoupler::coarse_norm(double tau_local) const {
@@ -130,14 +209,99 @@ void CoarseFineCoupler::build_coupling_layer() {
   }
 }
 
-void CoarseFineCoupler::build_restriction() {
+void CoarseFineCoupler::build_coupling_layer(
+    const CouplerStencilCache& cache) {
+  // Same selection and support registration order as the reference build
+  // above, but the geometric part (cell base + trilinear weights) comes
+  // from the cache: for a snapped window the fractions depend only on the
+  // fine index modulo n, so only the integer base coarse node of the
+  // window changes between moves.
+  const Vec3 rel = (fine_->origin() - coarse_->origin()) / coarse_->dx();
+  const int bx = static_cast<int>(std::round(rel.x));
+  const int by = static_cast<int>(std::round(rel.y));
+  const int bz = static_cast<int>(std::round(rel.z));
+
+  std::unordered_map<std::size_t, std::uint32_t> support_index;
+  auto register_support = [&](std::size_t coarse_idx) {
+    auto it = support_index.find(coarse_idx);
+    if (it != support_index.end()) return it->second;
+    const auto local = static_cast<std::uint32_t>(support_nodes_.size());
+    support_nodes_.push_back(coarse_idx);
+    support_index.emplace(coarse_idx, local);
+    return local;
+  };
+
+  coupling_.reserve(cache.entries.size());
+  for (const auto& e : cache.entries) {
+    const std::size_t i = e.fine_idx;
+    if (fine_->type(i) != lbm::NodeType::Fluid) continue;
+    fine_->set_type(i, lbm::NodeType::Coupling);
+
+    CouplingNode node;
+    node.fine_idx = i;
+    const int cx0 = bx + e.cell[0];
+    const int cy0 = by + e.cell[1];
+    const int cz0 = bz + e.cell[2];
+    const int cx = std::min(std::max(cx0, 0), coarse_->nx() - 2);
+    const int cy = std::min(std::max(cy0, 0), coarse_->ny() - 2);
+    const int cz = std::min(std::max(cz0, 0), coarse_->nz() - 2);
+    // Clamping at the coarse edge shifts the cell base, which shifts the
+    // in-cell fractions by the same whole number; recompute the weights
+    // only in that (rare) case.
+    double fw[8];
+    if (cx == cx0 && cy == cy0 && cz == cz0) {
+      for (int k = 0; k < 8; ++k) fw[k] = e.weight[k];
+    } else {
+      const double fx = e.frac[0] + (cx0 - cx);
+      const double fy = e.frac[1] + (cy0 - cy);
+      const double fz = e.frac[2] + (cz0 - cz);
+      int k = 0;
+      for (int dz = 0; dz < 2; ++dz) {
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            fw[k++] = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                      (dz ? fz : 1.0 - fz);
+          }
+        }
+      }
+    }
+    int k = 0;
+    double wsum = 0.0;
+    for (int dz = 0; dz < 2; ++dz) {
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const std::size_t ci = coarse_->idx(cx + dx, cy + dy, cz + dz);
+          double w = fw[k];
+          if (coarse_->type(ci) != lbm::NodeType::Fluid) w = 0.0;
+          node.weight[k] = w;
+          node.support[k] = w > 0.0 ? register_support(ci) : 0;
+          wsum += w;
+          ++k;
+        }
+      }
+    }
+    if (wsum > 0.0) {
+      for (auto& w : node.weight) w /= wsum;
+    }
+    coupling_.push_back(node);
+  }
+  if (coupling_.empty()) {
+    throw std::invalid_argument("Coupler: fine lattice has no fluid boundary");
+  }
+  if (support_nodes_.empty()) {
+    support_nodes_.push_back(coupling_.front().fine_idx * 0);
+  }
+}
+
+void CoarseFineCoupler::build_restriction(const CoarseRange& range) {
   // Coarse nodes strictly inside the fine region (with margin) whose
-  // position coincides with a fine node.
+  // position coincides with a fine node. Every candidate lies inside
+  // `range`; the contains() test below does the exact selection.
   const double margin = cfg_.restrict_margin * coarse_->dx();
   const Aabb inner = fine_->bounds().inflated(-margin);
-  for (int z = 0; z < coarse_->nz(); ++z) {
-    for (int y = 0; y < coarse_->ny(); ++y) {
-      for (int x = 0; x < coarse_->nx(); ++x) {
+  for (int z = range.z0; z < range.z1; ++z) {
+    for (int y = range.y0; y < range.y1; ++y) {
+      for (int x = range.x0; x < range.x1; ++x) {
         const std::size_t ci = coarse_->idx(x, y, z);
         if (coarse_->type(ci) != lbm::NodeType::Fluid) continue;
         const Vec3 p = coarse_->position(x, y, z);
@@ -159,14 +323,14 @@ void CoarseFineCoupler::build_restriction() {
   }
 }
 
-void CoarseFineCoupler::adjust_coarse_tau() {
+void CoarseFineCoupler::adjust_coarse_tau(const CoarseRange& range) {
   // Coarse nodes inside the fine footprint represent the window fluid:
   // same physical viscosity as the fine grid, coarse discretization.
   const double tau_inside = 0.5 + cfg_.lambda * (cfg_.tau_coarse - 0.5);
   const Aabb footprint = fine_->bounds();
-  for (int z = 0; z < coarse_->nz(); ++z) {
-    for (int y = 0; y < coarse_->ny(); ++y) {
-      for (int x = 0; x < coarse_->nx(); ++x) {
+  for (int z = range.z0; z < range.z1; ++z) {
+    for (int y = range.y0; y < range.y1; ++y) {
+      for (int x = range.x0; x < range.x1; ++x) {
         const std::size_t ci = coarse_->idx(x, y, z);
         if (coarse_->type(ci) != lbm::NodeType::Fluid) continue;
         if (!footprint.contains(coarse_->position(x, y, z))) continue;

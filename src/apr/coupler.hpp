@@ -52,12 +52,49 @@ struct CouplerConfig {
   int restrict_margin = 2;
 };
 
+/// Window-shape-dependent geometry of the coupling layer, precomputed
+/// once and reused across window moves. For snapped window positions
+/// (fine origin on a coarse node) the trilinear stencil of a fine
+/// boundary site depends only on the site's index modulo the resolution
+/// ratio -- never on where the window sits -- so the cache stores, for
+/// every boundary site of an (nx, ny, nz) fine lattice, the fine index,
+/// the coarse-cell base offset relative to the window's base coarse node,
+/// and the raw (pre wall-masking) trilinear weights in exact rational
+/// arithmetic. The cached coupler build then only has to mask wall
+/// supports and dedup support nodes, skipping the full fine-lattice sweep
+/// and all per-node coordinate transforms.
+struct CouplerStencilCache {
+  struct Entry {
+    std::uint32_t fine_idx;
+    int cell[3];        ///< coarse cell base, window-relative
+    double frac[3];     ///< exact in-cell fractions (site index mod n) / n
+    double weight[8];   ///< raw trilinear weights, k = (dz*2 + dy)*2 + dx
+  };
+  int n = 0;  ///< resolution ratio the cache was built for
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<Entry> entries;  ///< boundary sites in z,y,x scan order
+
+  static CouplerStencilCache build(int nx, int ny, int nz, int n);
+};
+
 class CoarseFineCoupler {
  public:
   /// Both lattices must be node-aligned: the fine origin must coincide
   /// with a coarse node and dx_c = n * dx_f (checked, throws otherwise).
   CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
                     const CouplerConfig& config);
+
+  /// Fast-path constructor for window moves: the coupling layer is built
+  /// from the precomputed boundary stencils in `cache` (which must match
+  /// the fine dimensions and cfg.n) and the restriction / tau-footprint
+  /// scans visit only the coarse sub-range covering the window instead of
+  /// the whole bulk lattice. Selects the same nodes as the reference
+  /// constructor; imposed boundary data agrees to <= 1e-14 (the cache
+  /// computes trilinear fractions in exact rational arithmetic where the
+  /// reference uses physical-coordinate transforms).
+  CoarseFineCoupler(lbm::Lattice& coarse, lbm::Lattice& fine,
+                    const CouplerConfig& config,
+                    const CouplerStencilCache& cache);
 
   /// Restore the coarse lattice's relaxation time in the footprint (call
   /// before destroying the coupler when moving the window).
@@ -136,9 +173,23 @@ class CoarseFineCoupler {
   std::uint64_t bytes_ = 0;
   bool released_ = false;
 
+  /// Half-open coarse index sub-range for the footprint-limited scans.
+  struct CoarseRange {
+    int x0, x1, y0, y1, z0, z1;
+  };
+  /// Coarse indices covering `box` padded by `pad` nodes (clamped).
+  CoarseRange coarse_range_for(const Aabb& box, int pad) const;
+
+  /// Shared constructor prelude: parameter/alignment validation and the
+  /// Eq. (7) fine relaxation time.
+  void init_common();
+  /// Shared constructor epilogue: restriction + tau footprint over
+  /// `range`, snapshot allocation.
+  void finalize(const CoarseRange& range);
   void build_coupling_layer();
-  void build_restriction();
-  void adjust_coarse_tau();
+  void build_coupling_layer(const CouplerStencilCache& cache);
+  void build_restriction(const CoarseRange& range);
+  void adjust_coarse_tau(const CoarseRange& range);
   void take_snapshot(Snapshot& snap) const;
 };
 

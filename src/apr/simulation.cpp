@@ -223,38 +223,198 @@ void AprSimulation::set_body_force_density(const Vec3& f_phys) {
   if (fine_) fine_->set_body_force(to_lattice(fine_units_, f_phys));
 }
 
-void AprSimulation::build_fine_lattice(const Vec3& window_center) {
+WindowRelocationStats AprSimulation::relocate_fine_lattice(
+    const Vec3& window_center) {
   const Aabb box = Aabb::cube(window_center, params_.window.outer_side());
   const double dxf = fine_units_.dx();
   // Node counts chosen so the fine boundary nodes lie exactly on the box
   // faces (outer_side is a multiple of dx_coarse after snapping).
   const int nn =
       static_cast<int>(std::round(params_.window.outer_side() / dxf)) + 1;
-  if (fine_) fine_updates_retired_ += fine_->site_updates();
+  WindowRelocationStats st;
+  const bool shifted = params_.incremental_window_move &&
+                       try_shift_fine_lattice(box, nn, st);
+  if (!shifted) build_fine_lattice(box, nn, st);
+  attach_coupler(shifted);
+  // Re-apply the body force and reset the per-node force field: the shift
+  // does not move forces (they are re-spread every sub-step), and a fresh
+  // lattice needs the body force imposed.
+  set_body_force_density(body_force_phys_);
+  last_relocation_ = st;
+  return st;
+}
+
+void AprSimulation::build_fine_lattice(const Aabb& box, int nn,
+                                       WindowRelocationStats& st) {
+  const double dxf = fine_units_.dx();
+  if (fine_) {
+    fine_updates_retired_ += fine_->site_updates();
+    fine_.reset();
+  }
   fine_ = std::make_unique<lbm::Lattice>(nn, nn, nn, box.lo, dxf, 1.0);
   geometry::voxelize(*fine_, *domain_);
 
   // Initialize from the coarse solution.
-  coarse_->update_macroscopic();
-  for (int z = 0; z < fine_->nz(); ++z) {
-    for (int y = 0; y < fine_->ny(); ++y) {
-      for (int x = 0; x < fine_->nx(); ++x) {
+  refresh_coarse_macro_for(box);
+  st.incremental = false;
+  st.preserved_nodes = 0;
+  st.reinit_nodes = init_fine_from_coarse(0, nn, 0, nn, 0, nn, false);
+}
+
+bool AprSimulation::try_shift_fine_lattice(const Aabb& box, int nn,
+                                           WindowRelocationStats& st) {
+  if (!fine_ || fine_->nx() != nn || fine_->ny() != nn ||
+      fine_->nz() != nn) {
+    return false;
+  }
+  const double dxf = fine_->dx();
+  // Displacement of the new window in fine-node units. snap_center keeps
+  // moves whole-coarse-cell, so this is integral up to roundoff; fall
+  // back to the full rebuild if it is not.
+  const Vec3 d = (box.lo - fine_->origin()) / dxf;
+  const int s[3] = {static_cast<int>(std::round(d.x)),
+                    static_cast<int>(std::round(d.y)),
+                    static_cast<int>(std::round(d.z))};
+  if (std::abs(d.x - s[0]) > 1e-6 || std::abs(d.y - s[1]) > 1e-6 ||
+      std::abs(d.z - s[2]) > 1e-6) {
+    return false;
+  }
+  if (std::abs(s[0]) >= nn || std::abs(s[1]) >= nn || std::abs(s[2]) >= nn) {
+    return false;  // windows do not overlap: nothing worth carrying over
+  }
+
+  // Shift the surviving state within the existing allocation and rebase
+  // the lattice at the new window position -- no allocation churn, no
+  // whole-lattice copy.
+  st.preserved_nodes = fine_->shift(s[0], s[1], s[2]);
+  fine_->set_origin(box.lo);
+
+  // The exposed region (complement of the shifted overlap) decomposes into
+  // at most one slab per axis, mutually disjoint:
+  //   x-slab over the full cross-section, y-slab over the x-overlap,
+  //   z-slab over the x- and y-overlaps.
+  const int ox0 = std::max(0, -s[0]);
+  const int ox1 = std::min(nn, nn - s[0]);
+  const int oy0 = std::max(0, -s[1]);
+  const int oy1 = std::min(nn, nn - s[1]);
+  const int oz0 = std::max(0, -s[2]);
+  const int oz1 = std::min(nn, nn - s[2]);
+  struct Slab {
+    int x0, x1, y0, y1, z0, z1;
+  };
+  Slab slabs[3];
+  int nslabs = 0;
+  if (s[0] > 0) {
+    slabs[nslabs++] = {ox1, nn, 0, nn, 0, nn};
+  } else if (s[0] < 0) {
+    slabs[nslabs++] = {0, ox0, 0, nn, 0, nn};
+  }
+  if (s[1] > 0) {
+    slabs[nslabs++] = {ox0, ox1, oy1, nn, 0, nn};
+  } else if (s[1] < 0) {
+    slabs[nslabs++] = {ox0, ox1, 0, oy0, 0, nn};
+  }
+  if (s[2] > 0) {
+    slabs[nslabs++] = {ox0, ox1, oy0, oy1, oz1, nn};
+  } else if (s[2] < 0) {
+    slabs[nslabs++] = {ox0, ox1, oy0, oy1, 0, oz0};
+  }
+
+  refresh_coarse_macro_for(box);
+  st.incremental = true;
+  st.reinit_nodes = 0;
+  for (int k = 0; k < nslabs; ++k) {
+    const Slab& sl = slabs[k];
+    // Classify and seed exactly the exposed nodes -- the preserved fluid
+    // keeps its developed state (that is the point of the shift). The
+    // geometry predicate is never re-run on preserved nodes: for a node
+    // lying exactly on the domain surface, inside() is decided by the
+    // last ulp of origin + index*dx, which can flip across the origin
+    // rebase and would turn a preserved Wall into a Fluid node with no
+    // distributions behind it (rho = 0 -> NaN on the next collision).
+    geometry::voxelize(*fine_, *domain_, sl.x0, sl.x1, sl.y0, sl.y1, sl.z0,
+                       sl.z1);
+    st.reinit_nodes += init_fine_from_coarse(sl.x0, sl.x1, sl.y0, sl.y1,
+                                             sl.z0, sl.z1, /*reset=*/true);
+  }
+  for (int k = 0; k < nslabs; ++k) {
+    const Slab& sl = slabs[k];
+    // The preserved layer next to each slab came from the old lattice's
+    // faces, where Wall-vs-Exterior was decided with neighbour visibility
+    // clipped at the old boundary; now that it is interior, re-derive that
+    // choice from the stored types (after every slab has its final types).
+    // This pass never creates or destroys fluid.
+    geometry::reclassify_solid(*fine_, sl.x0 - 1, sl.x1 + 1, sl.y0 - 1,
+                               sl.y1 + 1, sl.z0 - 1, sl.z1 + 1);
+  }
+  return true;
+}
+
+std::size_t AprSimulation::init_fine_from_coarse(int x0, int x1, int y0,
+                                                 int y1, int z0, int z1,
+                                                 bool reset) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  z0 = std::max(z0, 0);
+  x1 = std::min(x1, fine_->nx());
+  y1 = std::min(y1, fine_->ny());
+  z1 = std::min(z1, fine_->nz());
+  if (x0 >= x1 || y0 >= y1 || z0 >= z1) return 0;
+  const std::size_t ny_rows = static_cast<std::size_t>(y1 - y0);
+  const std::size_t rows = static_cast<std::size_t>(z1 - z0) * ny_rows;
+  std::vector<std::size_t> seeded(
+      static_cast<std::size_t>(exec::num_workers()), 0);
+  exec::parallel_for_chunks(rows, [&](std::size_t b, std::size_t e, int w) {
+    std::size_t local = 0;
+    for (std::size_t r = b; r < e; ++r) {
+      const int z = z0 + static_cast<int>(r / ny_rows);
+      const int y = y0 + static_cast<int>(r % ny_rows);
+      for (int x = x0; x < x1; ++x) {
         const std::size_t i = fine_->idx(x, y, z);
+        if (reset) fine_->reset_node(i);
         if (fine_->type(i) != lbm::NodeType::Fluid) continue;
         const Vec3 u = coarse_->interpolate_velocity(fine_->position(x, y, z));
         fine_->init_node_equilibrium(i, 1.0, u);
+        ++local;
       }
     }
-  }
+    seeded[static_cast<std::size_t>(w)] += local;
+  });
+  std::size_t total = 0;
+  for (const std::size_t c : seeded) total += c;
+  return total;
+}
 
+void AprSimulation::refresh_coarse_macro_for(const Aabb& box) {
+  // The init interpolation only reads the coarse velocity cache inside the
+  // window box; refresh just the covering coarse sub-range (one node of
+  // padding for the trilinear supports) instead of the whole bulk grid.
+  const Vec3 lo = coarse_->to_lattice(box.lo);
+  const Vec3 hi = coarse_->to_lattice(box.hi);
+  coarse_->update_macroscopic_region(static_cast<int>(std::floor(lo.x)) - 1,
+                                     static_cast<int>(std::ceil(hi.x)) + 2,
+                                     static_cast<int>(std::floor(lo.y)) - 1,
+                                     static_cast<int>(std::ceil(hi.y)) + 2,
+                                     static_cast<int>(std::floor(lo.z)) - 1,
+                                     static_cast<int>(std::ceil(hi.z)) + 2);
+}
+
+void AprSimulation::attach_coupler(bool cached) {
   CouplerConfig cc;
   cc.n = params_.n;
   cc.lambda = params_.lambda;
   cc.tau_coarse = params_.tau_coarse;
-  coupler_ = std::make_unique<CoarseFineCoupler>(*coarse_, *fine_, cc);
-
-  if (norm(body_force_phys_) > 0.0) {
-    set_body_force_density(body_force_phys_);  // re-apply to the new grid
+  if (cached) {
+    if (stencil_cache_.n != params_.n || stencil_cache_.nx != fine_->nx() ||
+        stencil_cache_.ny != fine_->ny() ||
+        stencil_cache_.nz != fine_->nz()) {
+      stencil_cache_ = CouplerStencilCache::build(fine_->nx(), fine_->ny(),
+                                                  fine_->nz(), params_.n);
+    }
+    coupler_ = std::make_unique<CoarseFineCoupler>(*coarse_, *fine_, cc,
+                                                   stencil_cache_);
+  } else {
+    coupler_ = std::make_unique<CoarseFineCoupler>(*coarse_, *fine_, cc);
   }
 }
 
@@ -263,7 +423,16 @@ void AprSimulation::place_window(const Vec3& center) {
                                            coarse_->origin(), coarse_->dx());
   window_.emplace(snapped, params_.window, domain_.get());
   if (coupler_) coupler_->release();
-  build_fine_lattice(snapped);
+  relocate_fine_lattice(snapped);
+}
+
+WindowRelocationStats AprSimulation::relocate_window(const Vec3& center) {
+  if (!window_) throw std::logic_error("relocate_window: no window yet");
+  const Vec3 snapped = Window::snap_center(center, params_.window,
+                                           coarse_->origin(), coarse_->dx());
+  window_.emplace(snapped, params_.window, domain_.get());
+  if (coupler_) coupler_->release();
+  return relocate_fine_lattice(snapped);
 }
 
 void AprSimulation::place_ctc(const Vec3& position) {
@@ -382,7 +551,10 @@ void AprSimulation::rebuild_window_at_ctc() {
            ", filled ", rep.filled, ", discarded ", rep.discarded,
            ", inserted ", rep.repopulation.added);
   coupler_->release();
-  build_fine_lattice(window_->center());
+  const WindowRelocationStats st = relocate_fine_lattice(window_->center());
+  log_info("  relocation: ", st.incremental ? "incremental" : "full rebuild",
+           ", preserved ", st.preserved_nodes, ", re-seeded ",
+           st.reinit_nodes);
 }
 
 void AprSimulation::run(int steps) {

@@ -70,6 +70,20 @@ struct AprParams {
   std::size_t rbc_capacity = 512;
   std::uint64_t seed = 42;
   double tile_hematocrit_boost = 1.0;  ///< tile packing factor vs target
+  /// Relocate the window by shifting the surviving fine-lattice state into
+  /// a recycled allocation and re-initializing only the newly exposed slab
+  /// (the default). When false every move falls back to the reference
+  /// full rebuild: fresh allocation, whole-window voxelization and
+  /// init-from-coarse -- kept as the equivalence baseline, like the serial
+  /// reference paths elsewhere.
+  bool incremental_window_move = true;
+};
+
+/// What one window relocation did, for benchmarks and diagnostics.
+struct WindowRelocationStats {
+  bool incremental = false;       ///< shift path taken (vs full rebuild)
+  std::size_t preserved_nodes = 0;  ///< nodes carried over by the shift
+  std::size_t reinit_nodes = 0;   ///< fluid nodes re-seeded from coarse
 };
 
 class AprSimulation {
@@ -107,6 +121,17 @@ class AprSimulation {
   /// Create the window (fine lattice + coupler) centered near `center`
   /// (snapped to the coarse grid).
   void place_window(const Vec3& center);
+
+  /// Move an existing window so it is centered near `center` (snapped to
+  /// the coarse grid), relocating the fine lattice incrementally when
+  /// params().incremental_window_move allows it. Exposed so benches and
+  /// tests can drive relocation directly, without the CTC/mover machinery.
+  WindowRelocationStats relocate_window(const Vec3& center);
+
+  /// Stats of the most recent window relocation (place or move).
+  const WindowRelocationStats& last_relocation() const {
+    return last_relocation_;
+  }
 
   /// Place the CTC with its centroid at `position` (must be inside the
   /// window proper).
@@ -157,6 +182,9 @@ class AprSimulation {
   std::unique_ptr<lbm::Lattice> coarse_;
   std::unique_ptr<lbm::Lattice> fine_;
   std::unique_ptr<CoarseFineCoupler> coupler_;
+  /// Boundary-stencil geometry shared by every coupler built at this
+  /// window shape (empty until the first incremental move).
+  CouplerStencilCache stencil_cache_;
   std::optional<Window> window_;
   std::unique_ptr<WindowMover> mover_;
   std::unique_ptr<cells::CellPool> rbcs_;
@@ -170,8 +198,27 @@ class AprSimulation {
   std::uint64_t fine_updates_retired_ = 0;  // from discarded fine lattices
   std::vector<Vec3> trajectory_;
   perf::StepProfiler profiler_;
+  WindowRelocationStats last_relocation_;
 
-  void build_fine_lattice(const Vec3& window_center);
+  /// (Re)create fine lattice + coupler at `window_center`, taking the
+  /// incremental shift path when enabled and applicable.
+  WindowRelocationStats relocate_fine_lattice(const Vec3& window_center);
+  /// Reference path: fresh lattice, full voxelization + init-from-coarse.
+  void build_fine_lattice(const Aabb& box, int nn, WindowRelocationStats& st);
+  /// Shift path: recycle the spare allocation, import the surviving state,
+  /// re-voxelize and re-seed only the exposed slabs. Returns false (no
+  /// state touched) when the shift is inapplicable.
+  bool try_shift_fine_lattice(const Aabb& box, int nn,
+                              WindowRelocationStats& st);
+  /// Equilibrium-seed fine fluid nodes in the half-open sub-range from the
+  /// coarse velocity field; returns the number of nodes seeded. `reset`
+  /// clears stale per-node state first (recycled lattices).
+  std::size_t init_fine_from_coarse(int x0, int x1, int y0, int y1, int z0,
+                                    int z1, bool reset);
+  /// Refresh the coarse macroscopic cache only where the window box reads
+  /// it, then attach a new coupler (stencil-cached when `cached`).
+  void refresh_coarse_macro_for(const Aabb& box);
+  void attach_coupler(bool cached);
   void rebuild_window_at_ctc();
   std::vector<cells::CellPool*> active_pools();
 };

@@ -1,6 +1,10 @@
 #include "src/geometry/voxelizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "src/lbm/d3q19.hpp"
 
 namespace apr::geometry {
 
@@ -24,6 +28,107 @@ VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain) {
     }
   }
   return stats;
+}
+
+VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain, int x0,
+                       int x1, int y0, int y1, int z0, int z1) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  z0 = std::max(z0, 0);
+  x1 = std::min(x1, lat.nx());
+  y1 = std::min(y1, lat.ny());
+  z1 = std::min(z1, lat.nz());
+  VoxelizeStats stats;
+  if (x0 >= x1 || y0 >= y1 || z0 >= z1) return stats;
+
+  // Evaluate the inside predicate over the sub-range inflated by one node
+  // (clipped to the lattice) so every neighbour query below is a lookup --
+  // same classification rule as mark_walls_by_predicate: outside nodes
+  // adjacent to an inside node become Wall, the rest Exterior.
+  const int ex0 = std::max(x0 - 1, 0);
+  const int ey0 = std::max(y0 - 1, 0);
+  const int ez0 = std::max(z0 - 1, 0);
+  const int ex1 = std::min(x1 + 1, lat.nx());
+  const int ey1 = std::min(y1 + 1, lat.ny());
+  const int ez1 = std::min(z1 + 1, lat.nz());
+  const int enx = ex1 - ex0;
+  const int eny = ey1 - ey0;
+  const int enz = ez1 - ez0;
+  std::vector<char> in(static_cast<std::size_t>(enx) * eny * enz);
+  auto eidx = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z - ez0) * eny + (y - ey0)) * enx +
+           (x - ex0);
+  };
+  for (int z = ez0; z < ez1; ++z) {
+    for (int y = ey0; y < ey1; ++y) {
+      for (int x = ex0; x < ex1; ++x) {
+        in[eidx(x, y, z)] = domain.inside(lat.position(x, y, z)) ? 1 : 0;
+      }
+    }
+  }
+
+  for (int z = z0; z < z1; ++z) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        if (in[eidx(x, y, z)]) {
+          lat.set_type(i, lbm::NodeType::Fluid);
+          ++stats.fluid;
+          continue;
+        }
+        bool near_fluid = false;
+        for (int q = 1; q < lbm::kQ && !near_fluid; ++q) {
+          const int sx = x + lbm::kC[q][0];
+          const int sy = y + lbm::kC[q][1];
+          const int sz = z + lbm::kC[q][2];
+          if (lat.in_domain(sx, sy, sz) && in[eidx(sx, sy, sz)]) {
+            near_fluid = true;
+          }
+        }
+        if (near_fluid) {
+          lat.set_type(i, lbm::NodeType::Wall);
+          ++stats.wall;
+        } else {
+          lat.set_type(i, lbm::NodeType::Exterior);
+          ++stats.exterior;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+void reclassify_solid(lbm::Lattice& lat, int x0, int x1, int y0, int y1,
+                      int z0, int z1) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  z0 = std::max(z0, 0);
+  x1 = std::min(x1, lat.nx());
+  y1 = std::min(y1, lat.ny());
+  z1 = std::min(z1, lat.nz());
+  for (int z = z0; z < z1; ++z) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const std::size_t i = lat.idx(x, y, z);
+        const lbm::NodeType t = lat.type(i);
+        if (t != lbm::NodeType::Wall && t != lbm::NodeType::Exterior) {
+          continue;
+        }
+        bool near_fluid = false;
+        for (int q = 1; q < lbm::kQ && !near_fluid; ++q) {
+          const int sx = x + lbm::kC[q][0];
+          const int sy = y + lbm::kC[q][1];
+          const int sz = z + lbm::kC[q][2];
+          if (lat.in_domain(sx, sy, sz) &&
+              lbm::is_stream_source(lat.type(sx, sy, sz))) {
+            near_fluid = true;
+          }
+        }
+        lat.set_type(i, near_fluid ? lbm::NodeType::Wall
+                                   : lbm::NodeType::Exterior);
+      }
+    }
+  }
 }
 
 void mark_inlet(lbm::Lattice& lat, const Domain& domain, lbm::Face face,

@@ -22,6 +22,33 @@ struct VoxelizeStats {
 /// Classify every lattice node against the domain.
 VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain);
 
+/// Classify only the nodes in the half-open index sub-range
+/// [x0,x1) x [y0,y1) x [z0,z1) (clamped to the lattice). Produces exactly
+/// the types the whole-lattice overload would assign at those nodes
+/// (neighbour visibility is clipped at the *lattice* boundary, not the
+/// sub-range), so re-voxelizing only the slab a window move exposes is
+/// equivalent to a full rebuild there. Unlike the full overload, nodes
+/// inside the domain are explicitly (re)set to Fluid so recycled lattices
+/// carry no stale types; do not use it over faces that hold
+/// Velocity/Coupling markers you want to keep.
+VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain, int x0,
+                       int x1, int y0, int y1, int z0, int z1);
+
+/// Re-derive Wall-vs-Exterior over the sub-range (clamped) from the
+/// *stored* node types alone: a solid node with at least one stream-source
+/// neighbour becomes Wall, any other solid node becomes Exterior. Fluid /
+/// Velocity / Coupling nodes are never touched, so the pass cannot create
+/// an unseeded fluid node. The incremental window move uses it on the
+/// one-node rim around each re-voxelized slab, where the preserved nodes'
+/// Wall-vs-Exterior choice was made with neighbour visibility clipped at
+/// the old lattice boundary. Re-running the geometry predicate there
+/// instead would be wrong: for nodes lying exactly on the domain surface,
+/// inside() is decided by the last ulp of origin + index*dx, which is not
+/// reproducible across an origin rebase -- a preserved Wall could flip to
+/// Fluid with no distributions behind it.
+void reclassify_solid(lbm::Lattice& lat, int x0, int x1, int y0, int y1,
+                      int z0, int z1);
+
 /// Mark the interior (inside-domain) nodes of one outer lattice face as a
 /// velocity inlet with the given profile; typically used together with a
 /// matching outlet on the opposite face.

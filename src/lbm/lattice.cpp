@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "src/exec/exec.hpp"
@@ -68,6 +69,55 @@ void Lattice::init_node_equilibrium(std::size_t i, double rho, const Vec3& u) {
   u_[i] = u;
 }
 
+void Lattice::reset_node(std::size_t i) {
+  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = 0.0;
+  ubc_[i] = Vec3{};
+  force_[i] = body_force_;
+  rho_[i] = 1.0;
+  u_[i] = Vec3{};
+}
+
+std::size_t Lattice::shift(int sx, int sy, int sz) {
+  if (std::abs(sx) >= nx_ || std::abs(sy) >= ny_ || std::abs(sz) >= nz_) {
+    return 0;
+  }
+  if (sx == 0 && sy == 0 && sz == 0) return n_;
+  // Destination linear index d maps to source d + L with constant
+  // L = sx + sy*nx + sz*nx*ny, so the whole shift is one flat move per
+  // array. The flat range [d0, d0+cnt) is a superset of the true overlap
+  // box: destinations in it whose 3D source wraps out of range receive
+  // neighbouring-row data, but those nodes lie exactly in the exposed
+  // slabs the caller re-initializes (see the header contract).
+  const std::ptrdiff_t L =
+      sx + static_cast<std::ptrdiff_t>(sy) * nx_ +
+      static_cast<std::ptrdiff_t>(sz) * nx_ * ny_;
+  const std::ptrdiff_t abs_l = L < 0 ? -L : L;
+  const std::ptrdiff_t d0 = L < 0 ? -L : 0;
+  const std::ptrdiff_t cnt = static_cast<std::ptrdiff_t>(n_) - abs_l;
+  if (cnt > 0) {
+    for (int q = 0; q < kQ; ++q) {
+      double* base = f_.data() + static_cast<std::size_t>(q) * n_;
+      std::memmove(base + d0, base + d0 + L,
+                   static_cast<std::size_t>(cnt) * sizeof(double));
+    }
+    std::memmove(type_.data() + d0, type_.data() + d0 + L,
+                 static_cast<std::size_t>(cnt) * sizeof(NodeType));
+    if (ubc_nonzero_) {
+      std::memmove(ubc_.data() + d0, ubc_.data() + d0 + L,
+                   static_cast<std::size_t>(cnt) * sizeof(Vec3));
+    }
+    // The velocity cache must travel too: IBM interpolation reads u at
+    // every node in a kernel support, including Wall/Exterior nodes that
+    // update_macroscopic() never rewrites.
+    std::memmove(u_.data() + d0, u_.data() + d0 + L,
+                 static_cast<std::size_t>(cnt) * sizeof(Vec3));
+  }
+  fast_dirty_ = true;
+  return static_cast<std::size_t>(nx_ - std::abs(sx)) *
+         static_cast<std::size_t>(ny_ - std::abs(sy)) *
+         static_cast<std::size_t>(nz_ - std::abs(sz));
+}
+
 void Lattice::set_body_force(const Vec3& f) {
   body_force_ = f;
   clear_forces();
@@ -78,22 +128,41 @@ void Lattice::clear_forces() {
 }
 
 void Lattice::update_macroscopic() {
-  exec::parallel_for(n_, [this](std::size_t i) {
-    if (type_[i] != NodeType::Fluid && type_[i] != NodeType::Coupling) {
-      return;
+  update_macroscopic_region(0, nx_, 0, ny_, 0, nz_);
+}
+
+void Lattice::update_macroscopic_region(int x0, int x1, int y0, int y1,
+                                        int z0, int z1) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  z0 = std::max(z0, 0);
+  x1 = std::min(x1, nx_);
+  y1 = std::min(y1, ny_);
+  z1 = std::min(z1, nz_);
+  if (x0 >= x1 || y0 >= y1 || z0 >= z1) return;
+  const std::size_t ny_rows = static_cast<std::size_t>(y1 - y0);
+  const std::size_t rows = static_cast<std::size_t>(z1 - z0) * ny_rows;
+  exec::parallel_for(rows, [&](std::size_t r) {
+    const int z = z0 + static_cast<int>(r / ny_rows);
+    const int y = y0 + static_cast<int>(r % ny_rows);
+    for (int x = x0; x < x1; ++x) {
+      const std::size_t i = idx(x, y, z);
+      if (type_[i] != NodeType::Fluid && type_[i] != NodeType::Coupling) {
+        continue;
+      }
+      double rho = 0.0;
+      Vec3 mom{};
+      for (int q = 0; q < kQ; ++q) {
+        const double fq = f_[q * n_ + i];
+        rho += fq;
+        mom.x += kC[q][0] * fq;
+        mom.y += kC[q][1] * fq;
+        mom.z += kC[q][2] * fq;
+      }
+      rho_[i] = rho;
+      // Guo: physical velocity includes half the force impulse.
+      u_[i] = (mom + force_[i] * 0.5) / rho;
     }
-    double rho = 0.0;
-    Vec3 mom{};
-    for (int q = 0; q < kQ; ++q) {
-      const double fq = f_[q * n_ + i];
-      rho += fq;
-      mom.x += kC[q][0] * fq;
-      mom.y += kC[q][1] * fq;
-      mom.z += kC[q][2] * fq;
-    }
-    rho_[i] = rho;
-    // Guo: physical velocity includes half the force impulse.
-    u_[i] = (mom + force_[i] * 0.5) / rho;
   });
 }
 

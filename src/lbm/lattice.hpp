@@ -65,6 +65,12 @@ class Lattice {
   const Vec3& origin() const { return origin_; }
   double dx() const { return dx_; }
 
+  /// Rebase the lattice at a new origin without touching any per-node
+  /// state. Used by the incremental window move together with shift():
+  /// the surviving state moves to its new indices and the origin moves to
+  /// the new window corner, so physical positions stay consistent.
+  void set_origin(const Vec3& origin) { origin_ = origin; }
+
   /// Physical bounding box of the node centers.
   Aabb bounds() const;
 
@@ -102,7 +108,10 @@ class Lattice {
 
   /// Prescribed velocity for Wall (moving wall) and Velocity nodes.
   const Vec3& boundary_velocity(std::size_t i) const { return ubc_[i]; }
-  void set_boundary_velocity(std::size_t i, const Vec3& u) { ubc_[i] = u; }
+  void set_boundary_velocity(std::size_t i, const Vec3& u) {
+    ubc_[i] = u;
+    if (u.x != 0.0 || u.y != 0.0 || u.z != 0.0) ubc_nonzero_ = true;
+  }
 
   // --- distributions -------------------------------------------------------
   double f(int q, std::size_t i) const { return f_[q * n_ + i]; }
@@ -116,6 +125,32 @@ class Lattice {
 
   /// Initialize a single node to equilibrium.
   void init_node_equilibrium(std::size_t i, double rho, const Vec3& u);
+
+  /// Reset one node to the freshly-constructed state: zero distributions,
+  /// zero boundary velocity, force = body force, rho = 1, u = 0. Type and
+  /// tau are left untouched. Safe to call concurrently on distinct nodes.
+  void reset_node(std::size_t i);
+
+  /// Shift the lattice state by a whole-node displacement: node (x, y, z)
+  /// takes the state previously held at (x+sx, y+sy, z+sz). In SoA index
+  /// space that source lies at a constant linear offset, so every array
+  /// moves with a single overlap-safe memmove -- no scratch allocation,
+  /// no per-node addressing. The move is bandwidth-bound, so only state
+  /// that cannot be recomputed travels: distributions, node types, the
+  /// velocity cache (IBM interpolation reads it at Wall/Exterior nodes
+  /// that update_macroscopic() never rewrites), and prescribed boundary
+  /// velocities (only if any were ever set nonzero). Per-node tau and
+  /// forces are NOT shifted (the window pipeline re-imposes a uniform tau
+  /// and resets forces after every move), and the rho cache is left
+  /// unspecified until the next update_macroscopic().
+  ///
+  /// Nodes outside the surviving overlap box -- and only those -- are left
+  /// with unspecified distributions/types afterwards; the caller must
+  /// re-classify and re-initialize them (see
+  /// AprSimulation::try_shift_fine_lattice). Returns the number of nodes
+  /// in the overlap box (0 when the shift has no overlap, in which case
+  /// nothing is moved).
+  std::size_t shift(int sx, int sy, int sz);
 
   // --- body/IBM force ------------------------------------------------------
   const Vec3& force(std::size_t i) const { return force_[i]; }
@@ -133,6 +168,14 @@ class Lattice {
   /// Recompute rho and u (with Guo half-force correction) on all
   /// Fluid/Coupling nodes.
   void update_macroscopic();
+
+  /// Same refresh restricted to the half-open index sub-range
+  /// [x0,x1) x [y0,y1) x [z0,z1) (clamped to the lattice). Lets callers
+  /// that only read the cache in a small region (e.g. window-move
+  /// re-initialization interpolating inside the new window box) skip the
+  /// full-domain sweep.
+  void update_macroscopic_region(int x0, int x1, int y0, int y1, int z0,
+                                 int z1);
 
   /// Trilinearly interpolate the cached velocity field at a physical point.
   /// Out-of-range coordinates are clamped to the lattice.
@@ -188,6 +231,7 @@ class Lattice {
   std::vector<NodeType> type_;
   std::vector<double> tau_;
   std::vector<Vec3> ubc_;
+  bool ubc_nonzero_ = false;  ///< any prescribed velocity ever set nonzero
   std::vector<Vec3> force_;
   Vec3 body_force_{};
   std::vector<double> rho_;

@@ -146,11 +146,15 @@ std::string StepProfiler::to_json() const {
 }
 
 void StepProfiler::write_csv(const std::string& path) const {
-  CsvWriter csv(path, {"phase", "seconds", "calls", "site_updates"});
+  CsvWriter csv(path,
+                {"phase", "seconds", "calls", "site_updates", "ms_per_call"});
   for (int i = 0; i < kNumStepPhases; ++i) {
     const PhaseStats& s = stats_[i];
+    // Per-invocation cost: makes one-shot phases (e.g. a single window
+    // relocation) comparable across runs whose call counts differ.
+    const double ms_per_call = s.calls ? 1e3 * s.seconds / s.calls : 0.0;
     csv.row({static_cast<double>(i), s.seconds, static_cast<double>(s.calls),
-             static_cast<double>(s.site_updates)});
+             static_cast<double>(s.site_updates), ms_per_call});
   }
   csv.flush();
 }

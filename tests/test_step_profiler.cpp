@@ -132,17 +132,23 @@ TEST(StepProfiler, CsvRoundTripsThroughReader) {
   prof.write_csv(path);
 
   const CsvData data = read_csv(path);
-  ASSERT_EQ(data.header.size(), 4u);
+  ASSERT_EQ(data.header.size(), 5u);
   EXPECT_EQ(data.header[0], "phase");
   EXPECT_EQ(data.header[1], "seconds");
   EXPECT_EQ(data.header[2], "calls");
   EXPECT_EQ(data.header[3], "site_updates");
+  EXPECT_EQ(data.header[4], "ms_per_call");
   ASSERT_EQ(data.rows.size(), static_cast<std::size_t>(kNumStepPhases));
 
   const auto& coarse = data.rows[0];
   EXPECT_DOUBLE_EQ(coarse[0], 0.0);  // enum index
   EXPECT_DOUBLE_EQ(coarse[1], 1.5);
   EXPECT_DOUBLE_EQ(coarse[3], 1000.0);
+  EXPECT_DOUBLE_EQ(coarse[4], 1500.0);  // 1.5 s over 1 call, in ms
+  // Phases that never ran report zero per-call cost, not a division blowup.
+  const auto& advect = data.rows[static_cast<int>(StepPhase::Advect)];
+  EXPECT_DOUBLE_EQ(advect[2], 0.0);
+  EXPECT_DOUBLE_EQ(advect[4], 0.0);
   const auto& fine =
       data.rows[static_cast<int>(StepPhase::FineCollideStream)];
   EXPECT_DOUBLE_EQ(fine[1], 2.5);
