@@ -13,7 +13,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/apr/efsi.hpp"
@@ -78,7 +81,19 @@ struct RunResult {
   perf::StepProfiler profile;  // APR runs only; empty for eFSI
 };
 
-RunResult run_apr(std::uint64_t seed) {
+/// Restart options (--checkpoint-every N / --resume). Checkpoints are
+/// per-seed rolling files: each save overwrites the previous one, and
+/// --resume picks up from whatever the last completed save captured.
+struct RestartOptions {
+  int checkpoint_every = 0;  ///< 0 = never save
+  bool resume = false;
+};
+
+std::string apr_checkpoint_path(std::uint64_t seed) {
+  return "fig6_apr_seed" + std::to_string(seed) + ".chk";
+}
+
+RunResult run_apr(std::uint64_t seed, const RestartOptions& restart) {
   core::AprParams p;
   p.dx_coarse = 2.0e-6;
   p.n = kN;
@@ -103,15 +118,36 @@ RunResult run_apr(std::uint64_t seed) {
   p.seed = seed;
 
   core::AprSimulation sim(make_channel(), make_rbc(), make_ctc(), p);
-  sim.initialize_flow(Vec3{});
-  sim.coarse().set_periodic(false, false, true);
-  sim.set_body_force_density(kBodyForce);
-  for (int s = 0; s < 300; ++s) sim.coarse().step();
-  sim.place_window(kStart);
-  sim.place_ctc(kStart);
-  sim.fill_window();
+
+  const std::string chk = apr_checkpoint_path(seed);
+  bool resumed = false;
+  if (restart.resume) {
+    try {
+      sim.load_checkpoint(chk);
+      resumed = true;
+      std::printf("  resumed %s at coarse step %d\n", chk.c_str(),
+                  sim.coarse_steps());
+    } catch (const io::CheckpointError& e) {
+      std::printf("  no usable checkpoint (%s); starting fresh\n", e.what());
+    }
+  }
+  if (!resumed) {
+    sim.initialize_flow(Vec3{});
+    sim.coarse().set_periodic(false, false, true);
+    sim.set_body_force_density(kBodyForce);
+    for (int s = 0; s < 300; ++s) sim.coarse().step();
+    sim.place_window(kStart);
+    sim.place_ctc(kStart);
+    sim.fill_window();
+  }
   sim.profiler().reset();  // profile the stepping loop, not the setup
-  sim.run(kAprSteps);
+  while (sim.coarse_steps() < kAprSteps) {
+    sim.run(1);
+    if (restart.checkpoint_every > 0 &&
+        sim.coarse_steps() % restart.checkpoint_every == 0) {
+      sim.save_checkpoint(chk);
+    }
+  }
   return {sim.ctc_trajectory(), sim.total_site_updates(), sim.profiler()};
 }
 
@@ -140,8 +176,20 @@ RunResult run_efsi(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
+  RestartOptions restart;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
+      restart.checkpoint_every = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--resume") == 0) {
+      restart.resume = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--checkpoint-every N] [--resume]\n", argv[0]);
+      return 2;
+    }
+  }
   CsvWriter csv("fig6_trajectory.csv",
                 {"method", "seed", "time_index", "z_um", "r_um"});
 
@@ -150,7 +198,7 @@ int main() {
   for (std::uint64_t seed : {11ull, 23ull}) {
     std::printf("APR run, seed %llu...\n",
                 static_cast<unsigned long long>(seed));
-    apr_runs.push_back(run_apr(seed));
+    apr_runs.push_back(run_apr(seed, restart));
     for (std::size_t k = 0; k < apr_runs.back().trajectory.size(); ++k) {
       const Vec3& p = apr_runs.back().trajectory[k];
       csv.row({0.0, static_cast<double>(seed), static_cast<double>(k),

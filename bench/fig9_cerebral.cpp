@@ -9,16 +9,36 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/vasculature_common.hpp"
 #include "src/common/csv.hpp"
 #include "src/common/log.hpp"
+#include "src/io/checkpoint.hpp"
 #include "src/perf/memory_model.hpp"
 
 using namespace apr;
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
+  // Rolling-save restart, mirroring fig6: --checkpoint-every N saves over
+  // fig9_cerebral.chk every N coarse steps; --resume restores it (and
+  // falls back to a fresh start if there is no usable file).
+  int checkpoint_every = 0;
+  bool resume = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--checkpoint-every N] [--resume]\n", argv[0]);
+      return 2;
+    }
+  }
+  const char* kCheckpointPath = "fig9_cerebral.chk";
 
   // --- Paper-scale memory feasibility (the enabler of the study) ----------
   {
@@ -45,15 +65,27 @@ int main() {
               tree.vasc->segments().size(),
               tree.vasc->total_volume() * 1e6);
 
-  std::printf("developing inlet-driven flow...\n");
-  for (int s = 0; s < 400; ++s) {
-    tree.update_outlets();
-    sim.coarse().step();
+  bool resumed = false;
+  if (resume) {
+    try {
+      sim.load_checkpoint(kCheckpointPath);
+      resumed = true;
+      std::printf("resumed %s at coarse step %d\n", kCheckpointPath,
+                  sim.coarse_steps());
+    } catch (const io::CheckpointError& e) {
+      std::printf("no usable checkpoint (%s); starting fresh\n", e.what());
+    }
   }
-
-  sim.place_window(tree.start);
-  sim.place_ctc(tree.start);
-  sim.fill_window();
+  if (!resumed) {
+    std::printf("developing inlet-driven flow...\n");
+    for (int s = 0; s < 400; ++s) {
+      tree.update_outlets();
+      sim.coarse().step();
+    }
+    sim.place_window(tree.start);
+    sim.place_ctc(tree.start);
+    sim.fill_window();
+  }
   std::printf("window: %zu RBCs at Ht %.3f around the CTC "
               "(paper: ~30k RBCs at 35%%)\n",
               sim.rbcs().size(), sim.window_hematocrit());
@@ -62,13 +94,17 @@ int main() {
                 {"step", "x_um", "y_um", "z_um", "ht", "moves"});
   const auto wall0 = std::chrono::steady_clock::now();
   const int steps = 80;
-  for (int s = 0; s < steps; ++s) {
+  while (sim.coarse_steps() < steps) {
     tree.update_outlets();
     sim.step();
     const Vec3 p = sim.ctc_position();
-    csv.row({static_cast<double>(s + 1), p.x * 1e6, p.y * 1e6, p.z * 1e6,
-             sim.window_hematocrit(),
+    csv.row({static_cast<double>(sim.coarse_steps()), p.x * 1e6, p.y * 1e6,
+             p.z * 1e6, sim.window_hematocrit(),
              static_cast<double>(sim.window_move_count())});
+    if (checkpoint_every > 0 &&
+        sim.coarse_steps() % checkpoint_every == 0) {
+      sim.save_checkpoint(kCheckpointPath);
+    }
   }
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall0)

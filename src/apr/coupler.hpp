@@ -105,6 +105,18 @@ class CoarseFineCoupler {
   std::size_t num_coupling_nodes() const { return coupling_.size(); }
   std::size_t num_restriction_nodes() const { return restriction_.size(); }
 
+  /// (coarse index, saved bulk tau) for every footprint node whose
+  /// relaxation time adjust_coarse_tau() re-tagged. Checkpointing uses
+  /// this to serialize the coarse tau field at its bulk values: the
+  /// footprint adjustment is coupler state, re-applied when the restored
+  /// simulation attaches a fresh coupler, and saving it verbatim would
+  /// bake the adjusted values into the new coupler's save list (breaking
+  /// the restore in release() at the next window move).
+  const std::vector<std::pair<std::size_t, double>>& footprint_saved_tau()
+      const {
+    return saved_coarse_tau_;
+  }
+
   /// Snapshot interface data, advance the coarse lattice one step,
   /// snapshot again. Equivalent to take_pre_snapshot();
   /// coarse.step_no_macro(); take_post_snapshot() -- the split entry

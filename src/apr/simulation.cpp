@@ -416,6 +416,7 @@ void AprSimulation::attach_coupler(bool cached) {
   } else {
     coupler_ = std::make_unique<CoarseFineCoupler>(*coarse_, *fine_, cc);
   }
+  coupler_cached_ = cached;
 }
 
 void AprSimulation::place_window(const Vec3& center) {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/apr/coupler.hpp"
@@ -25,6 +26,7 @@
 #include "src/common/units.hpp"
 #include "src/geometry/domain.hpp"
 #include "src/ibm/coupling.hpp"
+#include "src/io/checkpoint.hpp"
 #include "src/lbm/lattice.hpp"
 #include "src/perf/step_profiler.hpp"
 
@@ -154,6 +156,7 @@ class AprSimulation {
   cells::CellPool& rbcs() { return *rbcs_; }
   const cells::CellPool& rbcs() const { return *rbcs_; }
   cells::CellPool& ctcs() { return *ctcs_; }
+  const cells::CellPool& ctcs() const { return *ctcs_; }
   int window_move_count() const { return move_count_; }
   int coarse_steps() const { return coarse_steps_; }
   double physical_time() const {
@@ -170,6 +173,30 @@ class AprSimulation {
   /// default; the accumulated stats persist across window moves.
   perf::StepProfiler& profiler() { return profiler_; }
   const perf::StepProfiler& profiler() const { return profiler_; }
+
+  // --- checkpoint / restart ------------------------------------------------
+  /// Assemble the complete simulation state as an io::Checkpoint container:
+  /// both lattices, all cells, counters, trajectory and the Rng stream.
+  /// save -> load -> step(N) is bit-exact with an uninterrupted run at the
+  /// same worker count (see tests/test_checkpoint.cpp and DESIGN.md §9).
+  io::Checkpoint make_checkpoint() const;
+
+  /// make_checkpoint() serialized to `path`. Throws io::CheckpointError on
+  /// I/O failure.
+  void save_checkpoint(const std::string& path) const;
+
+  /// Restore the state saved by save_checkpoint(). The simulation must
+  /// have been constructed with the same domain, membrane models and
+  /// AprParams (enforced via a parameter digest and the coarse-lattice
+  /// geometry). Strong guarantee: any io::CheckpointError -- unreadable or
+  /// corrupt file, version skew, mismatched configuration -- leaves this
+  /// simulation exactly as it was.
+  void load_checkpoint(const std::string& path);
+
+  /// Fingerprint of the complete simulation state (FNV-1a over the
+  /// checkpoint sections); profiler wall-times are excluded. Equal digests
+  /// <=> bit-identical state.
+  std::uint64_t state_digest() const;
 
  private:
   std::shared_ptr<const geometry::Domain> domain_;
@@ -192,6 +219,11 @@ class AprSimulation {
   std::unique_ptr<cells::RbcTile> tile_;
   Rng rng_;
   Vec3 body_force_phys_{};
+  /// Which coupler constructor is currently attached (stencil-cached vs
+  /// reference full-sweep). The two agree only to ~1e-14, so a restored
+  /// run must replay the same one to stay bit-exact; recorded in the
+  /// checkpoint META section.
+  bool coupler_cached_ = false;
   std::uint64_t next_cell_id_ = 1;
   int coarse_steps_ = 0;
   int move_count_ = 0;

@@ -79,6 +79,15 @@ Rng Rng::fork(std::uint64_t key) const {
   return Rng(splitmix64(x));
 }
 
+std::array<std::uint64_t, 5> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3], seed_};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 5>& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  seed_ = state[4];
+}
+
 Mat3 random_rotation(Rng& rng) {
   // Arvo (1992): random rotation about the z axis followed by a rotation of
   // the z axis to a random orientation.

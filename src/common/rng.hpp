@@ -8,6 +8,7 @@
 /// algorithm of §2.4.2 derives its stream from (window move index, subregion
 /// id), never from rank-local state.
 
+#include <array>
 #include <cstdint>
 
 #include "src/common/vec3.hpp"
@@ -44,6 +45,14 @@ class Rng {
   /// (parent seed, key). Used to give each insertion subregion its own
   /// stream so repopulation is independent of iteration order.
   Rng fork(std::uint64_t key) const;
+
+  /// Complete serializable state: the four xoshiro256** words (stream
+  /// position) plus the construction seed. The seed must travel too
+  /// because fork() derives child streams from it, not from the current
+  /// position -- restoring only s_[] would resume the main stream
+  /// correctly but change every future fork.
+  std::array<std::uint64_t, 5> state() const;
+  void set_state(const std::array<std::uint64_t, 5>& state);
 
  private:
   std::uint64_t s_[4];

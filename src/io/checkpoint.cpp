@@ -1,128 +1,460 @@
 #include "src/io/checkpoint.hpp"
 
-#include <cstring>
+#include <array>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
-#include <stdexcept>
+#include <limits>
+#include <utility>
+
+#include "src/fem/membrane_model.hpp"
+#include "src/mesh/trimesh.hpp"
 
 namespace apr::io {
 
 namespace {
 
-constexpr std::uint32_t kLatticeMagic = 0x4150524C;  // "APRL"
-constexpr std::uint32_t kCellsMagic = 0x41505243;    // "APRC"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kLatticeTag = fourcc('L', 'A', 'T', 'T');
+constexpr std::uint32_t kCellsTag = fourcc('C', 'E', 'L', 'L');
 
-template <typename T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
 
-template <typename T>
-void read_pod(std::ifstream& is, T& value) {
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw std::runtime_error("checkpoint: truncated file");
+std::string tag_name(std::uint32_t tag) {
+  char s[5] = {static_cast<char>(tag & 0xFF),
+               static_cast<char>((tag >> 8) & 0xFF),
+               static_cast<char>((tag >> 16) & 0xFF),
+               static_cast<char>((tag >> 24) & 0xFF), '\0'};
+  for (char& c : s) {
+    if (c != '\0' && (c < 0x20 || c > 0x7E)) c = '?';
+  }
+  return std::string(s);
 }
 
 }  // namespace
 
-void save_lattice(const std::string& path, const lbm::Lattice& lat) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
-  write_pod(os, kLatticeMagic);
-  write_pod(os, kVersion);
-  write_pod(os, lat.nx());
-  write_pod(os, lat.ny());
-  write_pod(os, lat.nz());
-  write_pod(os, lat.origin());
-  write_pod(os, lat.dx());
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// --- Checkpoint container ---------------------------------------------------
+
+void Checkpoint::add(std::uint32_t tag, std::vector<char> payload) {
+  if (has(tag)) {
+    throw CheckpointError("checkpoint: duplicate section " + tag_name(tag));
+  }
+  sections_.emplace_back(tag, std::move(payload));
+}
+
+bool Checkpoint::has(std::uint32_t tag) const {
+  for (const auto& [t, p] : sections_) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+const std::vector<char>& Checkpoint::section(std::uint32_t tag) const {
+  for (const auto& [t, p] : sections_) {
+    if (t == tag) return p;
+  }
+  throw CheckpointError("checkpoint: missing section " + tag_name(tag));
+}
+
+void Checkpoint::write(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CheckpointError("checkpoint: cannot open " + path);
+  auto put = [&os](const auto& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(kMagic);
+  put(kFormatVersion);
+  put(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [tag, payload] : sections_) {
+    put(tag);
+    put(static_cast<std::uint64_t>(payload.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    put(crc32(payload.data(), payload.size()));
+  }
+  os.flush();
+  if (!os) throw CheckpointError("checkpoint: write failed for " + path);
+}
+
+Checkpoint Checkpoint::read(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("checkpoint: cannot open " + path);
+  // A corrupt size field must not trigger a monster allocation, but a
+  // fixed cap would reject legitimately huge lattices, so section sizes
+  // are bounded by what the file actually holds.
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  auto get = [&is, &path](auto& v, const char* what) {
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is) {
+      throw CheckpointError("checkpoint: truncated file " + path +
+                            " (while reading " + what + ")");
+    }
+  };
+  std::uint64_t magic = 0;
+  get(magic, "magic");
+  if (magic != kMagic) {
+    throw CheckpointError("checkpoint: " + path +
+                          " is not an APR checkpoint (bad magic)");
+  }
+  std::uint32_t version = 0;
+  get(version, "format version");
+  if (version != kFormatVersion) {
+    throw CheckpointError(
+        "checkpoint: " + path + " has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFormatVersion) +
+        (version > kFormatVersion ? " (file from a newer build?)" : ""));
+  }
+  std::uint32_t count = 0;
+  get(count, "section count");
+  Checkpoint ckpt;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint32_t tag = 0;
+    std::uint64_t size = 0;
+    get(tag, "section tag");
+    get(size, "section size");
+    if (size > file_bytes) {
+      throw CheckpointError("checkpoint: truncated file " + path +
+                            " (section " + tag_name(tag) +
+                            " claims more bytes than the file holds)");
+    }
+    std::vector<char> payload(size);
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (!is) {
+      throw CheckpointError("checkpoint: truncated file " + path +
+                            " (section " + tag_name(tag) + ")");
+    }
+    std::uint32_t stored_crc = 0;
+    get(stored_crc, "section crc");
+    const std::uint32_t actual = crc32(payload.data(), payload.size());
+    if (actual != stored_crc) {
+      char msg[128];
+      std::snprintf(msg, sizeof(msg),
+                    "checkpoint: CRC mismatch in section %s "
+                    "(stored %08X, computed %08X)",
+                    tag_name(tag).c_str(), stored_crc, actual);
+      throw CheckpointError(std::string(msg) + " of " + path);
+    }
+    ckpt.add(tag, std::move(payload));
+  }
+  return ckpt;
+}
+
+std::uint64_t Checkpoint::digest() const {
+  Fnv1a h;
+  for (const auto& [tag, payload] : sections_) {
+    h.update_pod(tag);
+    h.update_pod(static_cast<std::uint64_t>(payload.size()));
+    h.update(payload.data(), payload.size());
+  }
+  return h.value();
+}
+
+// --- LatticeState -----------------------------------------------------------
+
+LatticeState LatticeState::capture(const lbm::Lattice& lat) {
+  LatticeState st;
+  st.nx = lat.nx();
+  st.ny = lat.ny();
+  st.nz = lat.nz();
+  st.origin = lat.origin();
+  st.dx = lat.dx();
+  st.fused = lat.fused_kernel() ? 1 : 0;
+  st.collision = static_cast<std::uint8_t>(lat.collision_model());
+  st.trt_magic = lat.trt_magic();
+  for (int a = 0; a < 3; ++a) st.periodic[a] = lat.periodic(a) ? 1 : 0;
+  st.ubc_nonzero = lat.ubc_nonzero() ? 1 : 0;
+  st.body_force = lat.body_force();
+  st.site_updates = lat.site_updates();
+  const std::size_t n = lat.num_nodes();
+  st.type.resize(n);
+  st.tau.resize(n);
+  st.ubc.resize(n);
+  st.f.resize(static_cast<std::size_t>(lbm::kQ) * n);
+  st.rho.resize(n);
+  st.u.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.type[i] = static_cast<std::uint8_t>(lat.type(i));
+    st.tau[i] = lat.tau(i);
+    st.ubc[i] = lat.boundary_velocity(i);
+    st.rho[i] = lat.rho(i);
+    st.u[i] = lat.velocity(i);
+  }
+  // f at Wall/Exterior nodes is dead storage: streaming never writes those
+  // slots, so after the buffer swap they hold stale values from two steps
+  // back that no physics path ever reads. Canonicalize them to zero so the
+  // captured state (and hence digests and bit-exact resume comparisons)
+  // depends only on live populations.
+  for (int q = 0; q < lbm::kQ; ++q) {
+    for (std::size_t i = 0; i < n; ++i) {
+      st.f[static_cast<std::size_t>(q) * n + i] =
+          lbm::is_stream_source(lat.type(i)) ? lat.f(q, i) : 0.0;
+    }
+  }
+  return st;
+}
+
+void LatticeState::validate_geometry(const lbm::Lattice& lat) const {
+  if (nx != lat.nx() || ny != lat.ny() || nz != lat.nz() ||
+      std::abs(dx - lat.dx()) > 1e-15) {
+    throw CheckpointError(
+        "checkpoint: lattice geometry mismatch (file " + std::to_string(nx) +
+        "x" + std::to_string(ny) + "x" + std::to_string(nz) + " @ dx=" +
+        std::to_string(dx) + ", target " + std::to_string(lat.nx()) + "x" +
+        std::to_string(lat.ny()) + "x" + std::to_string(lat.nz()) +
+        " @ dx=" + std::to_string(lat.dx()) + ")");
+  }
+  const std::size_t n = lat.num_nodes();
+  if (type.size() != n || tau.size() != n || ubc.size() != n ||
+      rho.size() != n || u.size() != n ||
+      f.size() != static_cast<std::size_t>(lbm::kQ) * n) {
+    throw CheckpointError("checkpoint: lattice section has inconsistent "
+                          "array sizes");
+  }
+  if (collision > static_cast<std::uint8_t>(lbm::CollisionModel::Trt)) {
+    throw CheckpointError("checkpoint: unknown collision model id " +
+                          std::to_string(collision));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (type[i] > static_cast<std::uint8_t>(lbm::NodeType::Coupling)) {
+      throw CheckpointError("checkpoint: unknown node type id " +
+                            std::to_string(type[i]));
+    }
+  }
+}
+
+void LatticeState::apply(lbm::Lattice& lat) const {
   const std::size_t n = lat.num_nodes();
   for (std::size_t i = 0; i < n; ++i) {
-    write_pod(os, static_cast<std::uint8_t>(lat.type(i)));
-    write_pod(os, lat.tau(i));
-    write_pod(os, lat.boundary_velocity(i));
-    for (int q = 0; q < lbm::kQ; ++q) write_pod(os, lat.f(q, i));
+    lat.set_type(i, static_cast<lbm::NodeType>(type[i]));
+    lat.set_tau(i, tau[i]);
+    lat.set_boundary_velocity(i, ubc[i]);
+    lat.set_rho(i, rho[i]);
+    lat.mutable_velocity(i) = u[i];
   }
+  for (int q = 0; q < lbm::kQ; ++q) {
+    for (std::size_t i = 0; i < n; ++i) {
+      lat.set_f(q, i, f[static_cast<std::size_t>(q) * n + i]);
+    }
+  }
+  lat.set_periodic(periodic[0] != 0, periodic[1] != 0, periodic[2] != 0);
+  lat.set_fused_kernel(fused != 0);
+  lat.set_collision_model(static_cast<lbm::CollisionModel>(collision),
+                          trt_magic);
+  lat.set_body_force(body_force);
+  lat.set_site_updates(site_updates);
+  // Last: set_boundary_velocity above may have latched the flag on.
+  lat.set_ubc_nonzero(ubc_nonzero != 0);
+}
+
+std::vector<char> LatticeState::serialize() const {
+  BufWriter w;
+  w.pod(nx);
+  w.pod(ny);
+  w.pod(nz);
+  w.pod(origin);
+  w.pod(dx);
+  w.pod(fused);
+  w.pod(collision);
+  w.pod(trt_magic);
+  w.bytes(periodic, sizeof(periodic));
+  w.pod(ubc_nonzero);
+  w.pod(body_force);
+  w.pod(site_updates);
+  w.vec(type);
+  w.vec(tau);
+  w.vec(ubc);
+  w.vec(f);
+  w.vec(rho);
+  w.vec(u);
+  return w.take();
+}
+
+LatticeState LatticeState::deserialize(const std::vector<char>& payload,
+                                       std::string what) {
+  BufReader r(payload, std::move(what));
+  LatticeState st;
+  r.pod(st.nx);
+  r.pod(st.ny);
+  r.pod(st.nz);
+  r.pod(st.origin);
+  r.pod(st.dx);
+  r.pod(st.fused);
+  r.pod(st.collision);
+  r.pod(st.trt_magic);
+  for (auto& p : st.periodic) r.pod(p);
+  r.pod(st.ubc_nonzero);
+  r.pod(st.body_force);
+  r.pod(st.site_updates);
+  if (st.nx <= 0 || st.ny <= 0 || st.nz <= 0 ||
+      st.nx > (1 << 14) || st.ny > (1 << 14) || st.nz > (1 << 14)) {
+    throw CheckpointError("checkpoint: implausible lattice dimensions");
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(st.nx) * st.ny * st.nz;
+  r.vec(st.type, n);
+  r.vec(st.tau, n);
+  r.vec(st.ubc, n);
+  r.vec(st.f, static_cast<std::uint64_t>(lbm::kQ) * n);
+  r.vec(st.rho, n);
+  r.vec(st.u, n);
+  r.expect_end();
+  return st;
+}
+
+// --- CellPoolState ----------------------------------------------------------
+
+std::uint64_t membrane_model_digest(const fem::MembraneModel& model) {
+  Fnv1a h;
+  const mesh::TriMesh& ref = model.reference();
+  h.update_pod(ref.num_vertices());
+  h.update_pod(ref.num_triangles());
+  h.update(ref.vertices.data(), ref.vertices.size() * sizeof(Vec3));
+  h.update(ref.triangles.data(),
+           ref.triangles.size() * sizeof(mesh::Triangle));
+  const fem::MembraneParams& p = model.params();
+  h.update_pod(p.shear_modulus);
+  h.update_pod(p.skalak_c);
+  h.update_pod(p.bending_modulus);
+  h.update_pod(p.ka_global);
+  h.update_pod(p.kv_global);
+  h.update_pod(p.mass);
+  return h.value();
+}
+
+CellPoolState CellPoolState::capture(const cells::CellPool& pool) {
+  CellPoolState st;
+  st.nv = static_cast<std::uint32_t>(pool.vertices_per_cell());
+  st.model_digest = membrane_model_digest(pool.model());
+  const std::size_t count = pool.size();
+  st.ids.reserve(count);
+  st.x.reserve(count * st.nv);
+  st.v.reserve(count * st.nv);
+  for (std::size_t s = 0; s < count; ++s) {
+    st.ids.push_back(pool.id(s));
+    const auto xs = pool.positions(s);
+    const auto vs = pool.velocities(s);
+    st.x.insert(st.x.end(), xs.begin(), xs.end());
+    st.v.insert(st.v.end(), vs.begin(), vs.end());
+  }
+  return st;
+}
+
+void CellPoolState::validate(const cells::CellPool& pool) const {
+  if (nv != static_cast<std::uint32_t>(pool.vertices_per_cell())) {
+    throw CheckpointError(
+        "checkpoint: vertex-count mismatch (file cells have " +
+        std::to_string(nv) + " vertices, pool expects " +
+        std::to_string(pool.vertices_per_cell()) + ")");
+  }
+  if (model_digest != membrane_model_digest(pool.model())) {
+    throw CheckpointError(
+        "checkpoint: membrane-model reference state differs from the "
+        "target pool's (different mesh or material parameters)");
+  }
+  const std::size_t count = ids.size();
+  if (x.size() != count * nv || v.size() != count * nv) {
+    throw CheckpointError("checkpoint: cell section has inconsistent "
+                          "array sizes");
+  }
+  if (pool.size() + count > pool.capacity()) {
+    throw CheckpointError("checkpoint: pool capacity " +
+                          std::to_string(pool.capacity()) +
+                          " cannot hold " + std::to_string(count) +
+                          " restored cells");
+  }
+  for (const std::uint64_t id : ids) {
+    if (pool.contains(id)) {
+      throw CheckpointError("checkpoint: pool already contains cell id " +
+                            std::to_string(id));
+    }
+  }
+}
+
+void CellPoolState::apply(cells::CellPool& pool) const {
+  for (std::size_t c = 0; c < ids.size(); ++c) {
+    const std::size_t slot = pool.add(
+        ids[c], std::span<const Vec3>(x.data() + c * nv, nv));
+    auto vel = pool.velocities(slot);
+    for (std::uint32_t k = 0; k < nv; ++k) vel[k] = v[c * nv + k];
+  }
+}
+
+std::vector<char> CellPoolState::serialize() const {
+  BufWriter w;
+  w.pod(nv);
+  w.pod(model_digest);
+  w.vec(ids);
+  w.vec(x);
+  w.vec(v);
+  return w.take();
+}
+
+CellPoolState CellPoolState::deserialize(const std::vector<char>& payload,
+                                         std::string what) {
+  BufReader r(payload, std::move(what));
+  CellPoolState st;
+  r.pod(st.nv);
+  r.pod(st.model_digest);
+  if (st.nv == 0 || st.nv > (1u << 20)) {
+    throw CheckpointError("checkpoint: implausible vertex count");
+  }
+  constexpr std::uint64_t kMaxCells = 1ull << 24;
+  r.vec(st.ids, kMaxCells);
+  const std::uint64_t nvert =
+      static_cast<std::uint64_t>(st.ids.size()) * st.nv;
+  r.vec(st.x, nvert);
+  r.vec(st.v, nvert);
+  r.expect_end();
+  return st;
+}
+
+// --- single-object convenience files ----------------------------------------
+
+void save_lattice(const std::string& path, const lbm::Lattice& lat) {
+  Checkpoint ckpt;
+  ckpt.add(kLatticeTag, LatticeState::capture(lat).serialize());
+  ckpt.write(path);
 }
 
 void load_lattice(const std::string& path, lbm::Lattice& lat) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  read_pod(is, magic);
-  read_pod(is, version);
-  if (magic != kLatticeMagic || version != kVersion) {
-    throw std::runtime_error("checkpoint: bad lattice header");
-  }
-  int nx = 0, ny = 0, nz = 0;
-  Vec3 origin;
-  double dx = 0.0;
-  read_pod(is, nx);
-  read_pod(is, ny);
-  read_pod(is, nz);
-  read_pod(is, origin);
-  read_pod(is, dx);
-  if (nx != lat.nx() || ny != lat.ny() || nz != lat.nz() ||
-      std::abs(dx - lat.dx()) > 1e-15) {
-    throw std::runtime_error("checkpoint: lattice geometry mismatch");
-  }
-  const std::size_t n = lat.num_nodes();
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint8_t type = 0;
-    double tau = 1.0;
-    Vec3 ubc;
-    read_pod(is, type);
-    read_pod(is, tau);
-    read_pod(is, ubc);
-    lat.set_type(i, static_cast<lbm::NodeType>(type));
-    lat.set_tau(i, tau);
-    lat.set_boundary_velocity(i, ubc);
-    for (int q = 0; q < lbm::kQ; ++q) {
-      double fq = 0.0;
-      read_pod(is, fq);
-      lat.set_f(q, i, fq);
-    }
-  }
-  lat.update_macroscopic();
+  const Checkpoint ckpt = Checkpoint::read(path);
+  const LatticeState st =
+      LatticeState::deserialize(ckpt.section(kLatticeTag), "lattice");
+  st.validate_geometry(lat);
+  st.apply(lat);
 }
 
 void save_cells(const std::string& path, const cells::CellPool& pool) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
-  write_pod(os, kCellsMagic);
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint64_t>(pool.size()));
-  write_pod(os, static_cast<std::uint32_t>(pool.vertices_per_cell()));
-  for (std::size_t s = 0; s < pool.size(); ++s) {
-    write_pod(os, pool.id(s));
-    for (const Vec3& v : pool.positions(s)) write_pod(os, v);
-  }
+  Checkpoint ckpt;
+  ckpt.add(kCellsTag, CellPoolState::capture(pool).serialize());
+  ckpt.write(path);
 }
 
 void load_cells(const std::string& path, cells::CellPool& pool) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  read_pod(is, magic);
-  read_pod(is, version);
-  if (magic != kCellsMagic || version != kVersion) {
-    throw std::runtime_error("checkpoint: bad cells header");
-  }
-  std::uint64_t count = 0;
-  std::uint32_t nv = 0;
-  read_pod(is, count);
-  read_pod(is, nv);
-  if (nv != static_cast<std::uint32_t>(pool.vertices_per_cell())) {
-    throw std::runtime_error("checkpoint: vertex-count mismatch");
-  }
-  std::vector<Vec3> verts(nv);
-  for (std::uint64_t c = 0; c < count; ++c) {
-    std::uint64_t id = 0;
-    read_pod(is, id);
-    for (auto& v : verts) read_pod(is, v);
-    pool.add(id, verts);
-  }
+  const Checkpoint ckpt = Checkpoint::read(path);
+  const CellPoolState st =
+      CellPoolState::deserialize(ckpt.section(kCellsTag), "cells");
+  st.validate(pool);
+  st.apply(pool);
 }
 
 }  // namespace apr::io

@@ -113,6 +113,13 @@ class Lattice {
     if (u.x != 0.0 || u.y != 0.0 || u.z != 0.0) ubc_nonzero_ = true;
   }
 
+  /// Whether any prescribed boundary velocity was ever set nonzero (gates
+  /// the moving-wall momentum correction and which arrays shift() moves).
+  /// The explicit setter exists for checkpoint restore, which must
+  /// reproduce the flag exactly even when all stored values are zero.
+  bool ubc_nonzero() const { return ubc_nonzero_; }
+  void set_ubc_nonzero(bool nonzero) { ubc_nonzero_ = nonzero; }
+
   // --- distributions -------------------------------------------------------
   double f(int q, std::size_t i) const { return f_[q * n_ + i]; }
   void set_f(int q, std::size_t i, double v) { f_[q * n_ + i] = v; }
@@ -155,6 +162,7 @@ class Lattice {
   // --- body/IBM force ------------------------------------------------------
   const Vec3& force(std::size_t i) const { return force_[i]; }
   void add_force(std::size_t i, const Vec3& f) { force_[i] += f; }
+  const Vec3& body_force() const { return body_force_; }
   void set_body_force(const Vec3& f);
   /// Reset per-node forces to the constant body force (called by the FSI
   /// loop before each spreading pass).
@@ -162,6 +170,9 @@ class Lattice {
 
   // --- macroscopic caches (filled by update_macroscopic) --------------------
   double rho(std::size_t i) const { return rho_[i]; }
+  /// Overwrite one cache entry directly (checkpoint restore; the caches
+  /// are genuine state at nodes update_macroscopic() never rewrites).
+  void set_rho(std::size_t i, double rho) { rho_[i] = rho; }
   const Vec3& velocity(std::size_t i) const { return u_[i]; }
   Vec3& mutable_velocity(std::size_t i) { return u_[i]; }
 
@@ -207,6 +218,7 @@ class Lattice {
   /// compute-cost accounting in the Fig. 6 / Table 2 benches.
   std::uint64_t site_updates() const { return site_updates_; }
   void add_site_updates(std::uint64_t n) { site_updates_ += n; }
+  void set_site_updates(std::uint64_t n) { site_updates_ = n; }
 
   /// Periodic wrap per axis (used by force-driven tube/duct flows).
   void set_periodic(bool px, bool py, bool pz);

@@ -50,6 +50,10 @@ TEST_F(IoTest, LatticeCheckpointRoundTrips) {
     ASSERT_EQ(restored.type(i), lat.type(i));
     ASSERT_EQ(restored.tau(i), lat.tau(i));
     ASSERT_EQ(restored.boundary_velocity(i), lat.boundary_velocity(i));
+    // Wall/exterior f slots are canonicalized to zero by capture (they are
+    // dead storage the solver never reads), so only live populations are
+    // compared byte-for-byte.
+    if (!lbm::is_stream_source(lat.type(i))) continue;
     for (int q = 0; q < lbm::kQ; ++q) {
       ASSERT_EQ(restored.f(q, i), lat.f(q, i));
     }

@@ -105,6 +105,37 @@ TEST(Rng, ForkIsDeterministicAndIndependentOfParentUse) {
   }
 }
 
+TEST(Rng, StateRoundTripResumesStreamAndForks) {
+  Rng a(42);
+  for (int i = 0; i < 37; ++i) a.next_u64();  // advance mid-stream
+
+  const auto snapshot = a.state();
+  Rng b(999);  // entirely different stream before restore
+  b.set_state(snapshot);
+
+  // Main stream resumes bit-exactly...
+  Rng a_fork_probe = a;  // copy so fork checks below see the same position
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  // ...and forks derive identically (fork() keys off the stored seed, so
+  // the seed must survive the round trip too).
+  Rng fa = a_fork_probe.fork(0xBEEF);
+  Rng fb = b.fork(0xBEEF);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  }
+}
+
+TEST(Rng, SetStateOverwritesPriorState) {
+  Rng a(1);
+  Rng b(2);
+  b.set_state(a.state());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
 TEST(Rng, ForksWithDifferentKeysDiffer) {
   Rng parent(42);
   Rng a = parent.fork(1);
