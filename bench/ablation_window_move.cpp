@@ -48,8 +48,8 @@ std::unique_ptr<core::AprSimulation> make_sim(bool incremental) {
   p.nu_bulk = 4.0e-3 / 1060.0;
   p.lambda = 0.3;
   p.window.proper_side = 8e-6;
-  p.window.onramp_width = 4e-6;
-  p.window.insertion_width = 6e-6;
+  p.window.onramp_width = 6e-6;
+  p.window.insertion_width = 4e-6;  // outer = 28 um = 7 insertion tiles
   p.window.target_hematocrit = 0.02;  // tiny tile: relocation-only bench
   p.incremental_window_move = incremental;
   auto domain = std::make_shared<geometry::TubeDomain>(

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,11 +90,45 @@ struct RestartOptions {
   bool resume = false;
 };
 
+/// Watchdog options (--health MODE / --health-interval N) plus the
+/// end-to-end fault-injection hook the nightly exercises: at coarse step
+/// --inject-fault the first fine-lattice fluid node's distributions are
+/// poisoned to NaN, which the watchdog must then detect (and, under
+/// `--health recover`, roll back and replay past).
+struct HealthOptions {
+  core::HealthParams params;  ///< enabled = false unless --health given
+  int inject_fault_step = 0;  ///< 0 = never
+
+  HealthOptions() {
+    // The miniature fig6 scale runs a steady peak Mach of ~0.31 by
+    // design (cells ~1 lattice spacing, see the closing note); the
+    // watchdog is here to catch blow-ups, not the bench's resolution
+    // compromise, so leave headroom over the 0.3 library default.
+    params.max_mach = 0.35;
+    // At ~1 lattice spacing per cell the membranes legitimately tangle
+    // (signed-volume excursions past a full element share); the shape
+    // checks only mean something at the paper's 10-20 nodes per radius.
+    params.check_cells = false;
+  }
+};
+
+void poison_first_fine_fluid_node(lbm::Lattice& fine) {
+  for (std::size_t i = 0; i < fine.num_nodes(); ++i) {
+    if (fine.type(i) != lbm::NodeType::Fluid) continue;
+    for (int q = 0; q < lbm::kQ; ++q) {
+      fine.set_f(q, i, std::numeric_limits<double>::quiet_NaN());
+    }
+    std::printf("  injected NaN at fine node %zu\n", i);
+    return;
+  }
+}
+
 std::string apr_checkpoint_path(std::uint64_t seed) {
   return "fig6_apr_seed" + std::to_string(seed) + ".chk";
 }
 
-RunResult run_apr(std::uint64_t seed, const RestartOptions& restart) {
+RunResult run_apr(std::uint64_t seed, const RestartOptions& restart,
+                  const HealthOptions& health) {
   core::AprParams p;
   p.dx_coarse = 2.0e-6;
   p.n = kN;
@@ -108,14 +143,15 @@ RunResult run_apr(std::uint64_t seed, const RestartOptions& restart) {
   p.nu_bulk = mu_bulk / rheology::kBloodDensity;
   p.lambda = rheology::kPlasmaViscosity / mu_bulk;
   p.window.proper_side = 6e-6;
-  p.window.onramp_width = 3e-6;
-  p.window.insertion_width = 5e-6;
+  p.window.onramp_width = 2.5e-6;
+  p.window.insertion_width = 5.5e-6;  // outer = 22 um = 4 insertion tiles
   p.window.target_hematocrit = 0.10;
   p.move.trigger_distance = 1.5e-6;
   p.fsi = fsi_params();
   p.maintain_interval = 4;
   p.rbc_capacity = 1500;
   p.seed = seed;
+  p.health = health.params;
 
   core::AprSimulation sim(make_channel(), make_rbc(), make_ctc(), p);
 
@@ -143,9 +179,28 @@ RunResult run_apr(std::uint64_t seed, const RestartOptions& restart) {
   sim.profiler().reset();  // profile the stepping loop, not the setup
   while (sim.coarse_steps() < kAprSteps) {
     sim.run(1);
+    if (health.inject_fault_step > 0 &&
+        sim.coarse_steps() == health.inject_fault_step) {
+      poison_first_fine_fluid_node(sim.fine());
+    }
     if (restart.checkpoint_every > 0 &&
         sim.coarse_steps() % restart.checkpoint_every == 0) {
       sim.save_checkpoint(chk);
+    }
+  }
+  if (health.params.enabled) {
+    std::printf("  health: %llu scans, %llu violations%s\n",
+                static_cast<unsigned long long>(sim.health_scans()),
+                static_cast<unsigned long long>(sim.health_violations()),
+                sim.last_recovery() ? " (recovered)" : "");
+    if (const auto& rec = sim.last_recovery()) {
+      std::printf("  recovery: violation at step %d, rolled back to %d, "
+                  "replayed %d steps%s\n",
+                  rec->violation_step, rec->rollback_step,
+                  rec->replayed_steps,
+                  rec->replay_divergent ? " (replay diverged: incremental "
+                                          "move re-run on reference path)"
+                                        : " (bit-exact span)");
     }
   }
   return {sim.ctc_trajectory(), sim.total_site_updates(), sim.profiler()};
@@ -179,14 +234,28 @@ RunResult run_efsi(std::uint64_t seed) {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
   RestartOptions restart;
+  HealthOptions health;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
       restart.checkpoint_every = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       restart.resume = true;
+    } else if (std::strcmp(argv[a], "--health") == 0 && a + 1 < argc) {
+      const std::string mode = argv[++a];
+      if (mode != "off") {
+        health.params.enabled = true;
+        health.params.policy = core::health_policy_from_string(mode);
+      }
+    } else if (std::strcmp(argv[a], "--health-interval") == 0 && a + 1 < argc) {
+      health.params.interval = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--inject-fault") == 0 && a + 1 < argc) {
+      health.inject_fault_step = std::atoi(argv[++a]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--checkpoint-every N] [--resume]\n", argv[0]);
+                   "usage: %s [--checkpoint-every N] [--resume] "
+                   "[--health off|throw|log|recover] [--health-interval N] "
+                   "[--inject-fault STEP]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -198,7 +267,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed : {11ull, 23ull}) {
     std::printf("APR run, seed %llu...\n",
                 static_cast<unsigned long long>(seed));
-    apr_runs.push_back(run_apr(seed, restart));
+    apr_runs.push_back(run_apr(seed, restart, health));
     for (std::size_t k = 0; k < apr_runs.back().trajectory.size(); ++k) {
       const Vec3& p = apr_runs.back().trajectory[k];
       csv.row({0.0, static_cast<double>(seed), static_cast<double>(k),

@@ -27,14 +27,25 @@ int main(int argc, char** argv) {
   // falls back to a fresh start if there is no usable file).
   int checkpoint_every = 0;
   bool resume = false;
+  core::HealthParams health;  // enabled = false unless --health given
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
       checkpoint_every = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[a], "--health") == 0 && a + 1 < argc) {
+      const std::string mode = argv[++a];
+      if (mode != "off") {
+        health.enabled = true;
+        health.policy = core::health_policy_from_string(mode);
+      }
+    } else if (std::strcmp(argv[a], "--health-interval") == 0 && a + 1 < argc) {
+      health.interval = std::atoi(argv[++a]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--checkpoint-every N] [--resume]\n", argv[0]);
+                   "usage: %s [--checkpoint-every N] [--resume] "
+                   "[--health off|throw|log|recover] [--health-interval N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -61,6 +72,7 @@ int main(int argc, char** argv) {
           geometry::Vasculature::cerebral_like(geo_rng, 0.15)),
       /*seed=*/99);
   auto& sim = *tree.sim;
+  sim.set_health_params(health);
   std::printf("synthetic cerebral tree: %zu segments, %.2e mL\n",
               tree.vasc->segments().size(),
               tree.vasc->total_volume() * 1e6);
@@ -123,6 +135,11 @@ int main(int argc, char** argv) {
               "this miniature scale (paper: 1.5 mm/day for the full-scale "
               "window on 8 V100s + 48 cores)\n",
               rate_mm_per_day);
+  if (health.enabled) {
+    std::printf("health: %llu scans, %llu violations\n",
+                static_cast<unsigned long long>(sim.health_scans()),
+                static_cast<unsigned long long>(sim.health_violations()));
+  }
   std::printf("trajectory written to fig9_cerebral_trajectory.csv\n");
   return 0;
 }

@@ -47,8 +47,8 @@ inline core::AprParams tree_params(std::uint64_t seed) {
   p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   p.window.proper_side = 6e-6;
-  p.window.onramp_width = 3e-6;
-  p.window.insertion_width = 4.5e-6;  // outer = 21 um = 7 dx_coarse
+  p.window.onramp_width = 4.5e-6;
+  p.window.insertion_width = 3e-6;  // outer = 21 um = 7 insertion tiles
   p.window.target_hematocrit = 0.12;
   p.move.trigger_distance = 1.5e-6;
   p.fsi.contact_cutoff = 0.4e-6;

@@ -59,8 +59,8 @@ int main() {
   params.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   params.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   params.window.proper_side = 6e-6;
-  params.window.onramp_width = 3e-6;
-  params.window.insertion_width = 4.5e-6;  // outer = 21 um = 7 dx_coarse
+  params.window.onramp_width = 4.5e-6;
+  params.window.insertion_width = 3e-6;  // outer = 21 um = 7 insertion tiles
   params.window.target_hematocrit = 0.12;
   params.move.trigger_distance = 1.5e-6;
   params.fsi.contact_cutoff = 0.4e-6;

@@ -72,8 +72,8 @@ int main() {
   ap.nu_bulk = mu_bulk / rheology::kBloodDensity;
   ap.lambda = rheology::kPlasmaViscosity / mu_bulk;
   ap.window.proper_side = 6e-6;
-  ap.window.onramp_width = 3e-6;
-  ap.window.insertion_width = 5e-6;
+  ap.window.onramp_width = 2.5e-6;
+  ap.window.insertion_width = 5.5e-6;  // outer = 22 um = 4 insertion tiles
   ap.window.target_hematocrit = 0.12;
   ap.move.trigger_distance = 1.5e-6;
   ap.fsi.contact_cutoff = 0.4e-6;

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   params.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   params.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   params.window.proper_side = 6e-6;
-  params.window.onramp_width = 3e-6;
-  params.window.insertion_width = 5e-6;  // outer side 22 um
+  params.window.onramp_width = 2.5e-6;
+  params.window.insertion_width = 5.5e-6;  // outer 22 um = 4 tiles
   params.window.target_hematocrit = target_ht;
   params.move.trigger_distance = 1.5e-6;
   params.fsi.contact_cutoff = 0.4e-6;

@@ -30,12 +30,20 @@ AprParams params_from_config(const Config& config) {
   p.nu_bulk = mu_bulk / rheology::kBloodDensity;
   p.lambda = mu_plasma / mu_bulk;
 
+  // Defaults give outer_side = 6 + 2*(2.5 + 5.5) = 22 um: 11 coarse cells
+  // at the default dx, and exactly 4 insertion tiles per edge (22 / 5.5).
+  // The tiling constraint (outer_side an integer multiple of
+  // insertion_width) is enforced by WindowConfig::validate() below.
   p.window.proper_side = config.get_double("window_proper_um", 6.0) * kUm;
-  p.window.onramp_width = config.get_double("onramp_um", 3.0) * kUm;
-  p.window.insertion_width = config.get_double("insertion_um", 5.0) * kUm;
+  p.window.onramp_width = config.get_double("onramp_um", 2.5) * kUm;
+  p.window.insertion_width = config.get_double("insertion_um", 5.5) * kUm;
   p.window.target_hematocrit = config.get_double("target_hematocrit", 0.1);
   p.window.repopulation_threshold =
       config.get_double("repopulation_threshold", 0.75);
+  p.window.min_cell_distance =
+      config.get_double("min_cell_distance_um", 0.0) * kUm;
+  p.window.fill_samples = config.get_int("fill_samples", 4);
+  p.window.validate();
   p.maintain_interval = config.get_int("maintain_interval", 3);
   p.move.trigger_distance = config.get_double("move_trigger_um", 1.5) * kUm;
 
@@ -49,6 +57,32 @@ AprParams params_from_config(const Config& config) {
   p.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
   p.incremental_window_move =
       config.get_bool("incremental_window_move", true);
+
+  // Numerical-health watchdog (observability only: never shapes the
+  // healthy trajectory, see simulation.hpp).
+  const std::string health = config.get_string("health", "off");
+  if (health == "off") {
+    p.health.enabled = false;
+  } else {
+    p.health.enabled = true;
+    p.health.policy = health_policy_from_string(health);
+  }
+  p.health.interval = config.get_int("health_interval", 10);
+  p.health.check_coarse = config.get_bool("health_check_coarse", true);
+  p.health.check_fine = config.get_bool("health_check_fine", true);
+  p.health.check_mach = config.get_bool("health_check_mach", true);
+  p.health.check_cells = config.get_bool("health_check_cells", true);
+  p.health.check_coupling = config.get_bool("health_check_coupling", true);
+  p.health.rho_min = config.get_double("health_rho_min", 0.5);
+  p.health.rho_max = config.get_double("health_rho_max", 2.0);
+  p.health.max_mach = config.get_double("health_max_mach", 0.3);
+  p.health.max_i1 = config.get_double("health_max_i1", 50.0);
+  p.health.max_volume_drift =
+      config.get_double("health_max_volume_drift", 0.5);
+  p.health.min_det_f = config.get_double("health_min_det_f", 1e-3);
+  if (p.health.enabled && p.health.interval < 1) {
+    throw std::runtime_error("setup: health_interval must be >= 1");
+  }
   return p;
 }
 

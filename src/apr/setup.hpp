@@ -13,10 +13,20 @@
 ///   # lattice / coupling
 ///   dx_coarse_um (2.0), resolution_ratio (2), tau_coarse (1.0)
 ///   bulk_viscosity_cp (4.0), plasma_viscosity_cp (1.2)
-///   # window anatomy [um]
-///   window_proper_um (6), onramp_um (3), insertion_um (5)
+///   # window anatomy [um] -- outer = proper + 2*(onramp + insertion)
+///   # must be an integer multiple of insertion (the insertion shell is
+///   # tiled by insertion-width cubes; WindowConfig::validate() rejects
+///   # decks that mis-tile). Defaults: outer = 22 um = 4 x 5.5 um tiles.
+///   window_proper_um (6), onramp_um (2.5), insertion_um (5.5)
 ///   target_hematocrit (0.1), repopulation_threshold (0.75)
+///   min_cell_distance_um (0 = derive from RBC size), fill_samples (4)
 ///   maintain_interval (3), move_trigger_um (1.5)
+///   # numerical-health watchdog (see apr/health.hpp, DESIGN.md §10)
+///   health (off | throw | log | recover), health_interval (10)
+///   health_check_coarse/fine/mach/cells/coupling (all true)
+///   health_rho_min (0.5), health_rho_max (2.0), health_max_mach (0.3)
+///   health_max_i1 (50), health_max_volume_drift (0.5),
+///   health_min_det_f (1e-3)
 ///   # cells
 ///   rbc_radius_um (1.0), rbc_subdivisions (1)
 ///   rbc_shear_modulus (5e-6), rbc_bending_modulus (2e-19)

@@ -77,17 +77,25 @@ void compute_cell_forces(const std::vector<cells::CellPool*>& pools,
   // but the pair search parallelizes per cell inside add_contact_forces).
   if (params.contact_cutoff > 0.0 && params.contact_strength > 0.0 &&
       !refs.empty()) {
+    // A centroid poisoned by an upstream numerical fault would make the
+    // grid bounds invalid (SubGrid throws); leave such cells out so the
+    // step completes and the health watchdog can localize the fault.
     Aabb all;
     for (const CellRef& r : refs) {
-      all.include(r.pool->cell_centroid(r.slot));
+      const Vec3 c = r.pool->cell_centroid(r.slot);
+      if (std::isfinite(c.x) && std::isfinite(c.y) && std::isfinite(c.z)) {
+        all.include(c);
+      }
     }
-    const double rmax = max_cell_radius(pools.front()->model());
-    cells::SubGrid grid(all.inflated(2.0 * rmax + params.contact_cutoff),
-                        std::max(params.contact_cutoff, rmax / 2.0));
-    std::vector<const cells::CellPool*> cpools(pools.begin(), pools.end());
-    cells::fill_subgrid(grid, cpools);
-    cells::add_contact_forces(pools, params.contact_cutoff,
-                              params.contact_strength, grid);
+    if (all.valid()) {
+      const double rmax = max_cell_radius(pools.front()->model());
+      cells::SubGrid grid(all.inflated(2.0 * rmax + params.contact_cutoff),
+                          std::max(params.contact_cutoff, rmax / 2.0));
+      std::vector<const cells::CellPool*> cpools(pools.begin(), pools.end());
+      cells::fill_subgrid(grid, cpools);
+      cells::add_contact_forces(pools, params.contact_cutoff,
+                                params.contact_strength, grid);
+    }
   }
 
   // Wall repulsion: per-cell independent, same decomposition.
@@ -373,8 +381,13 @@ std::size_t AprSimulation::init_fine_from_coarse(int x0, int x1, int y0,
         const std::size_t i = fine_->idx(x, y, z);
         if (reset) fine_->reset_node(i);
         if (fine_->type(i) != lbm::NodeType::Fluid) continue;
-        const Vec3 u = coarse_->interpolate_velocity(fine_->position(x, y, z));
-        fine_->init_node_equilibrium(i, 1.0, u);
+        const Vec3 p = fine_->position(x, y, z);
+        const Vec3 u = coarse_->interpolate_velocity(p);
+        // Seed with the local coarse density, not a flat rho = 1: when the
+        // window moves along a pressure gradient the exposed slab must
+        // carry the gradient, or every move injects a density step (and a
+        // spurious mass kick) at the seam.
+        fine_->init_node_equilibrium(i, coarse_->interpolate_rho(p), u);
         ++local;
       }
     }
@@ -540,6 +553,12 @@ void AprSimulation::step() {
     auto scope = profiler_.scope(StepPhase::WindowMove);
     rebuild_window_at_ctc();
   }
+
+  // Numerical-health watchdog (sampled; see src/apr/health.hpp).
+  if (params_.health.enabled && params_.health.interval > 0 &&
+      coarse_steps_ % params_.health.interval == 0) {
+    run_health_check();
+  }
 }
 
 void AprSimulation::rebuild_window_at_ctc() {
@@ -560,6 +579,130 @@ void AprSimulation::rebuild_window_at_ctc() {
 
 void AprSimulation::run(int steps) {
   for (int s = 0; s < steps; ++s) step();
+}
+
+HealthReport AprSimulation::check_health() const {
+  const HealthParams& hp = params_.health;
+  const HealthMonitor monitor(hp);
+  HealthReport rep;
+  rep.step = coarse_steps_;
+  if (hp.check_coarse) {
+    rep = monitor.scan_lattice(*coarse_, "coarse", coarse_steps_);
+    if (!rep.ok()) return rep;
+  }
+  if (hp.check_fine && fine_) {
+    rep = monitor.scan_lattice(*fine_, "fine", coarse_steps_);
+    if (!rep.ok()) return rep;
+  }
+  if (hp.check_cells) {
+    rep = monitor.scan_cells(*rbcs_, "rbc", coarse_steps_);
+    if (!rep.ok()) return rep;
+    rep = monitor.scan_cells(*ctcs_, "ctc", coarse_steps_);
+    if (!rep.ok()) return rep;
+  }
+  if (hp.check_coupling && window_ && fine_) {
+    rep = monitor.scan_coupling(
+        *window_, *fine_, *coarse_, params_.n, coupler_ != nullptr,
+        coupler_ ? coupler_->num_coupling_nodes() : 0, coarse_steps_);
+  }
+  return rep;
+}
+
+void AprSimulation::assert_healthy() const {
+  HealthReport rep = check_health();
+  if (!rep.ok()) throw HealthError(std::move(rep));
+}
+
+void AprSimulation::run_health_check() {
+  HealthReport rep;
+  {
+    auto scope = profiler_.scope(perf::StepPhase::Health);
+    rep = check_health();
+    ++health_scans_;
+    if (rep.ok() && params_.health.policy == HealthPolicy::Recover &&
+        !recovering_) {
+      // Clean scan: advance the rollback point. Refreshing only on clean
+      // scans guarantees a later rollback lands on a state the watchdog
+      // itself vouched for.
+      rolling_checkpoint_ = make_checkpoint();
+      rolling_checkpoint_step_ = coarse_steps_;
+    }
+  }
+  last_health_report_ = rep;
+  if (rep.ok()) return;
+  ++health_violations_;
+  switch (params_.health.policy) {
+    case HealthPolicy::Log:
+      log_warn(rep.message);
+      return;
+    case HealthPolicy::Throw:
+      throw HealthError(std::move(rep));
+    case HealthPolicy::Recover:
+      if (recovering_ || !rolling_checkpoint_) {
+        // Inside a replay, or no clean rollback point yet: nothing left
+        // to roll back to -- escalate.
+        throw HealthError(std::move(rep));
+      }
+      recover_from(rep);
+      return;
+  }
+}
+
+void AprSimulation::recover_from(const HealthReport& violation) {
+  RecoveryReport rec;
+  rec.violation_step = coarse_steps_;
+  rec.rollback_step = rolling_checkpoint_step_;
+  rec.replayed_steps = rec.violation_step - rec.rollback_step;
+  log_warn(violation.message);
+  log_warn("health: rolling back from step ", rec.violation_step,
+           " to step ", rec.rollback_step, " and replaying on the ",
+           "full-rebuild reference path");
+
+  // Move the container out first: load_checkpoint drops the (now
+  // cross-timeline) rolling state as part of its commit.
+  const io::Checkpoint ckpt = std::move(*rolling_checkpoint_);
+  rolling_checkpoint_.reset();
+  load_checkpoint(ckpt);  // strong guarantee; throws on a corrupt container
+
+  // Replay with incremental relocation disabled: the shift-and-reuse path
+  // is the prime suspect for state corruption at the seams, so the replay
+  // runs every move through the reference full rebuild. The digest guard
+  // in load_checkpoint covers this flag, so it is flipped only after the
+  // restore above and restored before the post-replay checkpoint below.
+  const bool was_incremental = params_.incremental_window_move;
+  const int moves_before = move_count_;
+  params_.incremental_window_move = false;
+  recovering_ = true;
+  try {
+    run(rec.violation_step - coarse_steps_);
+  } catch (...) {
+    params_.incremental_window_move = was_incremental;
+    recovering_ = false;
+    last_recovery_ = rec;
+    throw;
+  }
+  params_.incremental_window_move = was_incremental;
+  recovering_ = false;
+  // A window move replayed on the reference path while the original span
+  // used the incremental shift: the two agree only to ~1e-14, so the
+  // replayed state is valid but not bit-exact with the original.
+  rec.replay_divergent = was_incremental && move_count_ > moves_before;
+
+  HealthReport after = check_health();
+  last_health_report_ = after;
+  last_recovery_ = rec;
+  if (!after.ok()) {
+    // The violation reproduced from a vouched-for state: deterministic
+    // fault, not transient corruption. Escalate instead of looping.
+    throw HealthError(std::move(after));
+  }
+  rolling_checkpoint_ = make_checkpoint();
+  rolling_checkpoint_step_ = coarse_steps_;
+  log_info("health: recovered; replayed ", rec.replayed_steps,
+           " steps from step ", rec.rollback_step,
+           rec.replay_divergent ? " (replay divergent: window move re-run "
+                                  "on the reference path)"
+                                : " (bit-exact replay)");
 }
 
 }  // namespace apr::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/apr/coupler.hpp"
+#include "src/apr/health.hpp"
 #include "src/apr/window.hpp"
 #include "src/apr/window_mover.hpp"
 #include "src/cells/cell_pool.hpp"
@@ -79,6 +80,11 @@ struct AprParams {
   /// init-from-coarse -- kept as the equivalence baseline, like the serial
   /// reference paths elsewhere.
   bool incremental_window_move = true;
+  /// Numerical-health watchdog (off by default; see src/apr/health.hpp
+  /// and DESIGN.md §10). Observability-only: health settings never shape
+  /// the healthy trajectory, so they are deliberately excluded from the
+  /// checkpoint params digest.
+  HealthParams health;
 };
 
 /// What one window relocation did, for benchmarks and diagnostics.
@@ -193,10 +199,43 @@ class AprSimulation {
   /// simulation exactly as it was.
   void load_checkpoint(const std::string& path);
 
+  /// Same restore from an already-parsed in-memory container (the
+  /// make_checkpoint() round-trip); the health watchdog's Recover policy
+  /// rolls back through this path without touching the filesystem. Same
+  /// validation and strong guarantee as the path overload.
+  void load_checkpoint(const io::Checkpoint& ckpt);
+
   /// Fingerprint of the complete simulation state (FNV-1a over the
   /// checkpoint sections); profiler wall-times are excluded. Equal digests
   /// <=> bit-identical state.
   std::uint64_t state_digest() const;
+
+  // --- numerical-health watchdog -------------------------------------------
+  /// Run every check params().health enables right now, regardless of the
+  /// sampling interval, and return the first violation (or an ok()
+  /// report). Pure observation: no policy is applied, no state touched.
+  HealthReport check_health() const;
+
+  /// check_health(), throwing HealthError on a violation. Strong
+  /// guarantee: the simulation state is untouched either way.
+  void assert_healthy() const;
+
+  /// Report of the most recent scan (ok() when healthy or none ran yet).
+  const HealthReport& last_health_report() const {
+    return last_health_report_;
+  }
+  /// Rollback/replay record of the most recent Recover, if any happened.
+  const std::optional<RecoveryReport>& last_recovery() const {
+    return last_recovery_;
+  }
+  std::uint64_t health_scans() const { return health_scans_; }
+  std::uint64_t health_violations() const { return health_violations_; }
+
+  /// Replace the watchdog configuration on a live simulation. Legal at
+  /// any time precisely because health params are observability-only
+  /// (excluded from the checkpoint digest): flipping them can never
+  /// invalidate existing checkpoints or change the healthy trajectory.
+  void set_health_params(const HealthParams& hp) { params_.health = hp; }
 
  private:
   std::shared_ptr<const geometry::Domain> domain_;
@@ -232,6 +271,17 @@ class AprSimulation {
   perf::StepProfiler profiler_;
   WindowRelocationStats last_relocation_;
 
+  // Health watchdog state. The rolling checkpoint is refreshed on every
+  // clean scan under the Recover policy, so a violation always rolls back
+  // to a state the watchdog itself vouched for.
+  HealthReport last_health_report_;
+  std::optional<RecoveryReport> last_recovery_;
+  std::optional<io::Checkpoint> rolling_checkpoint_;
+  int rolling_checkpoint_step_ = -1;
+  bool recovering_ = false;  ///< inside a Recover replay (no re-entry)
+  std::uint64_t health_scans_ = 0;
+  std::uint64_t health_violations_ = 0;
+
   /// (Re)create fine lattice + coupler at `window_center`, taking the
   /// incremental shift path when enabled and applicable.
   WindowRelocationStats relocate_fine_lattice(const Vec3& window_center);
@@ -253,6 +303,13 @@ class AprSimulation {
   void attach_coupler(bool cached);
   void rebuild_window_at_ctc();
   std::vector<cells::CellPool*> active_pools();
+  /// Sampled scan at the end of step(): run check_health() under the
+  /// Health profiler phase and apply the configured policy on violation.
+  void run_health_check();
+  /// Recover policy: roll back to the rolling checkpoint, replay the span
+  /// on the full-rebuild reference path, and re-scan. Throws HealthError
+  /// when the violation survives the replay (a deterministic fault).
+  void recover_from(const HealthReport& violation);
 };
 
 }  // namespace apr::core

@@ -184,13 +184,16 @@ std::uint64_t AprSimulation::state_digest() const {
 }
 
 void AprSimulation::load_checkpoint(const std::string& path) {
+  load_checkpoint(io::Checkpoint::read(path));
+}
+
+void AprSimulation::load_checkpoint(const io::Checkpoint& ckpt) {
   // ---- stage 1: parse and validate everything; no member is touched ----
-  const io::Checkpoint ckpt = io::Checkpoint::read(path);
   Meta meta = Meta::deserialize(ckpt.section(kMetaTag));
   if (meta.params_digest != params_digest(params_)) {
     throw io::CheckpointError(
-        "checkpoint: " + path +
-        " was taken under different AprParams than this simulation's");
+        "checkpoint: state was taken under different AprParams than this "
+        "simulation's");
   }
   if (meta.coarse_steps < 0 || meta.move_count < 0) {
     throw io::CheckpointError("checkpoint: negative counters in META");
@@ -264,6 +267,12 @@ void AprSimulation::load_checkpoint(const std::string& path) {
     window_.reset();
     coupler_cached_ = false;
   }
+  // Any rolling rollback point belongs to the pre-restore timeline; the
+  // health watchdog re-establishes one at its next clean scan. (The
+  // Recover path moves its container out before calling this, so the
+  // reset never invalidates the state being restored.)
+  rolling_checkpoint_.reset();
+  rolling_checkpoint_step_ = -1;
 }
 
 }  // namespace apr::core

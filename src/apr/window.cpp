@@ -2,18 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "src/cells/subgrid.hpp"
 
 namespace apr::core {
 
+void WindowConfig::validate() const {
+  if (proper_side <= 0.0 || onramp_width < 0.0 || insertion_width <= 0.0) {
+    throw std::invalid_argument("Window: bad region dimensions");
+  }
+  if (fill_samples < 1) {
+    throw std::invalid_argument("Window: fill_samples must be >= 1");
+  }
+  const double ratio = outer_side() / insertion_width;
+  if (std::abs(ratio - std::round(ratio)) > 1e-9 * ratio) {
+    throw std::invalid_argument(
+        "Window: outer_side (" + std::to_string(outer_side()) +
+        " m) is not an integer multiple of insertion_width (" +
+        std::to_string(insertion_width) +
+        " m); the insertion shell cannot be tiled exactly -- adjust "
+        "proper_side / onramp_width / insertion_width");
+  }
+}
+
 Window::Window(const Vec3& center, const WindowConfig& config,
                const geometry::Domain* domain)
     : center_(center), cfg_(config), domain_(domain) {
-  if (cfg_.proper_side <= 0.0 || cfg_.onramp_width < 0.0 ||
-      cfg_.insertion_width <= 0.0) {
-    throw std::invalid_argument("Window: bad region dimensions");
-  }
+  cfg_.validate();
   build_subregions();
 }
 
@@ -38,7 +55,8 @@ WindowRegion Window::classify(const Vec3& p) const {
 void Window::build_subregions() {
   // Tile the outer box with cubes of edge = insertion width and keep those
   // whose center falls in the insertion shell. The shell is exactly one
-  // subregion thick, so this covers it without overlap.
+  // subregion thick, so this covers it without overlap; the constructor's
+  // validate() guarantees outer_side is an integer multiple of s.
   const double s = cfg_.insertion_width;
   const Aabb outer = outer_box();
   const Aabb inner = inner_box();
@@ -57,6 +75,10 @@ void Window::build_subregions() {
   for (std::size_t i = 0; i < subregions_.size(); ++i) {
     fill_[i] = box_fill(subregions_[i]);
   }
+  // Cache the whole-box fill too: hematocrit() is called every
+  // maintenance pass and the O(fill_samples^3) domain scan would
+  // otherwise repeat on immutable geometry.
+  outer_fill_ = box_fill(outer);
 }
 
 double Window::box_fill(const Aabb& box) const {
@@ -86,7 +108,7 @@ bool Window::cell_inside_domain(std::span<const Vec3> verts) const {
 
 double Window::hematocrit(const cells::CellPool& rbcs) const {
   const Aabb w = outer_box();
-  const double flow_volume = w.volume() * box_fill(w);
+  const double flow_volume = w.volume() * outer_fill_;
   if (flow_volume <= 0.0) return 0.0;
   double cell_volume = 0.0;
   for (std::size_t slot = 0; slot < rbcs.size(); ++slot) {

@@ -54,6 +54,14 @@ struct WindowConfig {
   double inner_side() const {  // on-ramp outer box = insertion inner box
     return proper_side + 2.0 * onramp_width;
   }
+
+  /// Validate the region dimensions. The insertion shell is tiled by
+  /// cubes of edge insertion_width, so outer_side() must be an integer
+  /// multiple of insertion_width (to fp tolerance) or the shell mis-tiles
+  /// (gaps, or cubes straddling the inner boundary). Throws
+  /// std::invalid_argument; called by the Window constructor and by
+  /// config parsing (see setup.hpp) so bad decks fail fast.
+  void validate() const;
 };
 
 enum class WindowRegion : std::uint8_t {
@@ -101,6 +109,11 @@ class Window {
   /// Fraction of subregion `s` inside the flow domain (1 when no domain).
   double subregion_fill(std::size_t s) const { return fill_[s]; }
 
+  /// Fraction of the whole outer box inside the flow domain. Computed
+  /// once at construction (the window geometry is immutable afterwards);
+  /// hematocrit() reads this cache instead of re-sampling the domain.
+  double outer_fill() const { return outer_fill_; }
+
   /// Hematocrit over the whole window: total RBC volume (counted by
   /// centroid containment) / flow volume of the window box.
   double hematocrit(const cells::CellPool& rbcs) const;
@@ -131,6 +144,7 @@ class Window {
   const geometry::Domain* domain_;
   std::vector<Aabb> subregions_;
   std::vector<double> fill_;
+  double outer_fill_ = 1.0;
   // Density-measurement neighbourhoods: each subregion's box inflated by
   // one cell radius and clipped to the window, so the reading is a local
   // average rather than a sub-cell point sample (see

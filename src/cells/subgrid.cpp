@@ -23,9 +23,15 @@ void SubGrid::clear() {
 
 void SubGrid::bucket_coords(const Vec3& p, int* out) const {
   const Vec3 r = (p - bounds_.lo) / spacing_;
-  out[0] = clampi(static_cast<int>(std::floor(r.x)), nx_);
-  out[1] = clampi(static_cast<int>(std::floor(r.y)), ny_);
-  out[2] = clampi(static_cast<int>(std::floor(r.z)), nz_);
+  // Casting a non-finite coordinate to int is UB; a vertex poisoned by an
+  // upstream numerical fault parks in the first bucket instead, where the
+  // health watchdog can still find the cell.
+  out[0] = clampi(std::isfinite(r.x) ? static_cast<int>(std::floor(r.x)) : 0,
+                  nx_);
+  out[1] = clampi(std::isfinite(r.y) ? static_cast<int>(std::floor(r.y)) : 0,
+                  ny_);
+  out[2] = clampi(std::isfinite(r.z) ? static_cast<int>(std::floor(r.z)) : 0,
+                  nz_);
 }
 
 void SubGrid::bucket_range(const Vec3& p, double radius, int* lo,

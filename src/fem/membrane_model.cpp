@@ -98,4 +98,23 @@ double MembraneModel::max_i1(const std::vector<Vec3>& x) const {
   return mx;
 }
 
+MembraneModel::DeformationScan MembraneModel::deformation_scan(
+    const std::vector<Vec3>& x) const {
+  DeformationScan scan;
+  for (std::size_t t = 0; t < ref_.triangles.size(); ++t) {
+    const auto& tr = ref_.triangles[t];
+    const auto inv =
+        strain_invariants(tri_ref_[t], x[tr[0]], x[tr[1]], x[tr[2]]);
+    if (scan.max_i1_element < 0 || inv.i1 > scan.max_i1) {
+      scan.max_i1 = inv.i1;
+      scan.max_i1_element = static_cast<int>(t);
+    }
+    if (scan.min_det_f_element < 0 || inv.det_f < scan.min_det_f) {
+      scan.min_det_f = inv.det_f;
+      scan.min_det_f_element = static_cast<int>(t);
+    }
+  }
+  return scan;
+}
+
 }  // namespace apr::fem

@@ -63,6 +63,19 @@ class MembraneModel {
   /// by the on-ramp equilibration monitor).
   double max_i1(const std::vector<Vec3>& x) const;
 
+  /// Per-element deformation extrema in one sweep: the largest Skalak I1
+  /// and the smallest area stretch det(F), each with its element index.
+  /// det(F) is computed in the deformed triangle's own plane, so it stays
+  /// non-negative; a collapsed/degenerate element reads as det(F) -> 0.
+  /// Used by the numerical-health watchdog (src/apr/health.hpp).
+  struct DeformationScan {
+    double max_i1 = 0.0;
+    int max_i1_element = -1;
+    double min_det_f = 1.0;
+    int min_det_f_element = -1;
+  };
+  DeformationScan deformation_scan(const std::vector<Vec3>& x) const;
+
  private:
   mesh::TriMesh ref_;
   mesh::MeshTopology topo_;

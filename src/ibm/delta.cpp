@@ -38,6 +38,14 @@ double delta_support(DeltaKernel kernel) {
 
 int delta_weights(DeltaKernel kernel, double x, int* first,
                   std::array<double, 4>& w) {
+  // A non-finite lattice coordinate (a cell poisoned by an upstream fault)
+  // must not reach the int casts below -- that is UB, not a soft failure.
+  // Report an empty support instead; the health watchdog localizes the
+  // bad vertex on its next scan.
+  if (!std::isfinite(x)) {
+    *first = 0;
+    return 0;
+  }
   const double s = delta_support(kernel);
   const int lo = static_cast<int>(std::ceil(x - s));
   const int hi = static_cast<int>(std::floor(x + s));

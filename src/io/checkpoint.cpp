@@ -74,52 +74,46 @@ const std::vector<char>& Checkpoint::section(std::uint32_t tag) const {
   throw CheckpointError("checkpoint: missing section " + tag_name(tag));
 }
 
-void Checkpoint::write(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw CheckpointError("checkpoint: cannot open " + path);
-  auto put = [&os](const auto& v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  put(kMagic);
-  put(kFormatVersion);
-  put(static_cast<std::uint32_t>(sections_.size()));
+std::vector<char> Checkpoint::to_bytes() const {
+  BufWriter w;
+  w.pod(kMagic);
+  w.pod(kFormatVersion);
+  w.pod(static_cast<std::uint32_t>(sections_.size()));
   for (const auto& [tag, payload] : sections_) {
-    put(tag);
-    put(static_cast<std::uint64_t>(payload.size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    put(crc32(payload.data(), payload.size()));
+    w.pod(tag);
+    w.pod(static_cast<std::uint64_t>(payload.size()));
+    w.bytes(payload.data(), payload.size());
+    w.pod(crc32(payload.data(), payload.size()));
   }
-  os.flush();
-  if (!os) throw CheckpointError("checkpoint: write failed for " + path);
+  return w.take();
 }
 
-Checkpoint Checkpoint::read(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw CheckpointError("checkpoint: cannot open " + path);
+Checkpoint Checkpoint::from_bytes(const std::vector<char>& bytes,
+                                  const std::string& what) {
   // A corrupt size field must not trigger a monster allocation, but a
   // fixed cap would reject legitimately huge lattices, so section sizes
-  // are bounded by what the file actually holds.
-  is.seekg(0, std::ios::end);
-  const std::uint64_t file_bytes = static_cast<std::uint64_t>(is.tellg());
-  is.seekg(0, std::ios::beg);
-  auto get = [&is, &path](auto& v, const char* what) {
-    is.read(reinterpret_cast<char*>(&v), sizeof(v));
-    if (!is) {
-      throw CheckpointError("checkpoint: truncated file " + path +
-                            " (while reading " + what + ")");
+  // are bounded by what the image actually holds.
+  const std::uint64_t total = bytes.size();
+  std::size_t pos = 0;
+  auto get = [&bytes, &pos, &what](auto& v, const char* field) {
+    if (bytes.size() - pos < sizeof(v)) {
+      throw CheckpointError("checkpoint: truncated " + what +
+                            " (while reading " + field + ")");
     }
+    std::memcpy(&v, bytes.data() + pos, sizeof(v));
+    pos += sizeof(v);
   };
   std::uint64_t magic = 0;
   get(magic, "magic");
   if (magic != kMagic) {
-    throw CheckpointError("checkpoint: " + path +
+    throw CheckpointError("checkpoint: " + what +
                           " is not an APR checkpoint (bad magic)");
   }
   std::uint32_t version = 0;
   get(version, "format version");
   if (version != kFormatVersion) {
     throw CheckpointError(
-        "checkpoint: " + path + " has format version " +
+        "checkpoint: " + what + " has format version " +
         std::to_string(version) + "; this build reads version " +
         std::to_string(kFormatVersion) +
         (version > kFormatVersion ? " (file from a newer build?)" : ""));
@@ -132,17 +126,15 @@ Checkpoint Checkpoint::read(const std::string& path) {
     std::uint64_t size = 0;
     get(tag, "section tag");
     get(size, "section size");
-    if (size > file_bytes) {
-      throw CheckpointError("checkpoint: truncated file " + path +
-                            " (section " + tag_name(tag) +
-                            " claims more bytes than the file holds)");
+    if (size > total || bytes.size() - pos < size) {
+      throw CheckpointError("checkpoint: truncated " + what + " (section " +
+                            tag_name(tag) +
+                            " claims more bytes than the image holds)");
     }
-    std::vector<char> payload(size);
-    is.read(payload.data(), static_cast<std::streamsize>(size));
-    if (!is) {
-      throw CheckpointError("checkpoint: truncated file " + path +
-                            " (section " + tag_name(tag) + ")");
-    }
+    std::vector<char> payload(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                              bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(pos + size));
+    pos += size;
     std::uint32_t stored_crc = 0;
     get(stored_crc, "section crc");
     const std::uint32_t actual = crc32(payload.data(), payload.size());
@@ -152,11 +144,32 @@ Checkpoint Checkpoint::read(const std::string& path) {
                     "checkpoint: CRC mismatch in section %s "
                     "(stored %08X, computed %08X)",
                     tag_name(tag).c_str(), stored_crc, actual);
-      throw CheckpointError(std::string(msg) + " of " + path);
+      throw CheckpointError(std::string(msg) + " of " + what);
     }
     ckpt.add(tag, std::move(payload));
   }
   return ckpt;
+}
+
+void Checkpoint::write(const std::string& path) const {
+  const std::vector<char> bytes = to_bytes();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CheckpointError("checkpoint: cannot open " + path);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  if (!os) throw CheckpointError("checkpoint: write failed for " + path);
+}
+
+Checkpoint Checkpoint::read(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("checkpoint: cannot open " + path);
+  is.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::size_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  std::vector<char> bytes(file_bytes);
+  is.read(bytes.data(), static_cast<std::streamsize>(file_bytes));
+  if (!is) throw CheckpointError("checkpoint: cannot read " + path);
+  return from_bytes(bytes, path);
 }
 
 std::uint64_t Checkpoint::digest() const {

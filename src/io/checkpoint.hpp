@@ -179,6 +179,17 @@ class Checkpoint {
   void write(const std::string& path) const;
   static Checkpoint read(const std::string& path);
 
+  /// The container serialized to its on-disk byte layout (write() is
+  /// to_bytes() plus one stream write). Lets callers round-trip a
+  /// checkpoint entirely in memory -- e.g. the health watchdog's rolling
+  /// rollback point.
+  std::vector<char> to_bytes() const;
+
+  /// Parse and fully validate a byte image (identical framing/CRC checks
+  /// to read()); `what` names the source in error messages.
+  static Checkpoint from_bytes(const std::vector<char>& bytes,
+                               const std::string& what = "<memory>");
+
   /// FNV-1a over (tag, size, payload) of every section in file order.
   std::uint64_t digest() const;
 

@@ -194,6 +194,34 @@ Vec3 Lattice::interpolate_velocity(const Vec3& p) const {
   return out;
 }
 
+double Lattice::interpolate_rho(const Vec3& p) const {
+  Vec3 lc = to_lattice(p);
+  lc.x = std::clamp(lc.x, 0.0, static_cast<double>(nx_ - 1));
+  lc.y = std::clamp(lc.y, 0.0, static_cast<double>(ny_ - 1));
+  lc.z = std::clamp(lc.z, 0.0, static_cast<double>(nz_ - 1));
+  const int x0 = std::min(static_cast<int>(lc.x), nx_ - 2 < 0 ? 0 : nx_ - 2);
+  const int y0 = std::min(static_cast<int>(lc.y), ny_ - 2 < 0 ? 0 : ny_ - 2);
+  const int z0 = std::min(static_cast<int>(lc.z), nz_ - 2 < 0 ? 0 : nz_ - 2);
+  const double fx = lc.x - x0;
+  const double fy = lc.y - y0;
+  const double fz = lc.z - z0;
+  double out = 0.0;
+  for (int dz = 0; dz < 2; ++dz) {
+    const int z = std::min(z0 + dz, nz_ - 1);
+    const double wz = dz ? fz : 1.0 - fz;
+    for (int dy = 0; dy < 2; ++dy) {
+      const int y = std::min(y0 + dy, ny_ - 1);
+      const double wy = dy ? fy : 1.0 - fy;
+      for (int dxn = 0; dxn < 2; ++dxn) {
+        const int x = std::min(x0 + dxn, nx_ - 1);
+        const double wx = dxn ? fx : 1.0 - fx;
+        out += rho_[idx(x, y, z)] * (wx * wy * wz);
+      }
+    }
+  }
+  return out;
+}
+
 void Lattice::set_periodic(bool px, bool py, bool pz) {
   periodic_[0] = px;
   periodic_[1] = py;

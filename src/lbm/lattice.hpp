@@ -192,6 +192,14 @@ class Lattice {
   /// Out-of-range coordinates are clamped to the lattice.
   Vec3 interpolate_velocity(const Vec3& p) const;
 
+  /// Trilinearly interpolate the cached density field at a physical point,
+  /// with the same clamping. Solid nodes contribute their resting rho = 1,
+  /// mirroring the zero-velocity contribution of interpolate_velocity.
+  /// Used to seed fine-lattice nodes with the local coarse density instead
+  /// of a flat rho = 1 (window moves through pressure gradients must not
+  /// inject a density step at the exposed slab).
+  double interpolate_rho(const Vec3& p) const;
+
   /// One BGK collide-and-stream step (+Guo forcing, boundary handling),
   /// including the macroscopic-cache refresh.
   void step();

@@ -44,6 +44,8 @@ const char* to_string(StepPhase phase) {
       return "maintenance";
     case StepPhase::WindowMove:
       return "window_move";
+    case StepPhase::Health:
+      return "health";
   }
   return "unknown";
 }

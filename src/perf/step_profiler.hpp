@@ -4,7 +4,8 @@
 /// Per-phase wall-time and work-counter decomposition of one APR coarse
 /// step. AprSimulation::step() brackets each of its phases (coarse
 /// collide-stream, grid coupling, membrane forces, IBM spread, fine
-/// collide-stream, advection, density maintenance, window moves) with a
+/// collide-stream, advection, density maintenance, window moves, health
+/// watchdog scans) with a
 /// Scope, so after a run the profiler answers "where did the time go"
 /// with a struct, a text table, CSV, or JSON -- the measurement side of
 /// the paper's node-hour accounting (Fig. 6) and the input the scaling
@@ -31,9 +32,10 @@ enum class StepPhase : int {
   Advect,                   ///< IBM velocity interpolation + vertex update
   Maintenance,              ///< hematocrit maintenance (insert/remove)
   WindowMove,               ///< window re-centering + fine-grid rebuild
+  Health,                   ///< numerical-health watchdog scans
 };
 
-inline constexpr int kNumStepPhases = 8;
+inline constexpr int kNumStepPhases = 9;
 
 /// Stable lower-case phase name ("coarse_collide_stream", ...).
 const char* to_string(StepPhase phase);

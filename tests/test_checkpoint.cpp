@@ -52,8 +52,8 @@ AprParams tiny_params() {
   p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   p.window.proper_side = 6.0e-6;
-  p.window.onramp_width = 3.0e-6;
-  p.window.insertion_width = 5.0e-6;  // outer = 22 um = 11 dx_coarse
+  p.window.onramp_width = 2.5e-6;
+  p.window.insertion_width = 5.5e-6;  // outer = 22 um = 11 dx_coarse
   p.window.target_hematocrit = 0.10;
   p.move.trigger_distance = 1.5e-6;
   p.fsi.contact_cutoff = 0.4e-6;
@@ -255,6 +255,50 @@ TEST_F(CheckpointTest, SaveLoadSaveIsByteStable) {
   EXPECT_EQ(slurp_binary(p1), slurp_binary(p2));
   std::remove(p1.c_str());
   std::remove(p2.c_str());
+}
+
+TEST_F(CheckpointTest, InMemoryBytesRoundTripMatchesDiskFormat) {
+  // to_bytes/from_bytes are what the health watchdog's rolling rollback
+  // point uses; they must be the exact on-disk layout with the same
+  // validation, or a rollback could restore what a file load would reject.
+  const std::string path = temp_path("membytes.chk");
+  auto sim = fresh_sim();
+  setup_two_rbc_case(*sim);
+  sim->run(6);
+  sim->save_checkpoint(path);
+
+  const io::Checkpoint from_disk = io::Checkpoint::read(path);
+  const std::vector<char> bytes = from_disk.to_bytes();
+  EXPECT_EQ(bytes, slurp_binary(path)) << "to_bytes differs from write()";
+
+  const io::Checkpoint reparsed = io::Checkpoint::from_bytes(bytes, "test");
+  EXPECT_EQ(reparsed.digest(), from_disk.digest());
+
+  // Sections survive verbatim and a restore from the reparsed container
+  // reproduces the simulation bit-exactly.
+  const std::uint32_t meta = io::fourcc('M', 'E', 'T', 'A');
+  ASSERT_TRUE(reparsed.has(meta));
+  EXPECT_EQ(reparsed.section(meta), from_disk.section(meta));
+  auto twin = fresh_sim();
+  twin->load_checkpoint(reparsed);
+  EXPECT_EQ(twin->state_digest(), sim->state_digest());
+
+  // Damaged bytes fail closed with the caller-supplied source name.
+  std::vector<char> bad = bytes;
+  bad[bad.size() / 2] ^= 0x40;
+  try {
+    (void)io::Checkpoint::from_bytes(bad, "rollback buffer");
+    FAIL() << "from_bytes accepted corrupted bytes";
+  } catch (const io::CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("CRC"), std::string::npos) << "message was: " << msg;
+    EXPECT_NE(msg.find("rollback buffer"), std::string::npos)
+        << "message was: " << msg;
+  }
+  std::vector<char> truncated(bytes.begin(), bytes.begin() + 10);
+  EXPECT_THROW((void)io::Checkpoint::from_bytes(truncated),
+               io::CheckpointError);
+  std::remove(path.c_str());
 }
 
 // --- corruption matrix: every damaged file fails closed ---------------------

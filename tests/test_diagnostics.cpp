@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -84,6 +85,44 @@ TEST(RunRecorder, ValidatesAxis) {
   EXPECT_THROW(RunRecorder(Vec3{}, Vec3{}), std::invalid_argument);
 }
 
+TEST(RunRecorder, MeanCtcSpeedIsZeroWithFewerThanTwoSamples) {
+  // No samples and a single sample both used to read front()/back() of an
+  // empty-or-degenerate series; the contract is a plain 0.0.
+  RunRecorder rec(Vec3{}, Vec3{0, 0, 1});
+  EXPECT_DOUBLE_EQ(rec.mean_ctc_speed(), 0.0);
+
+  set_log_level(LogLevel::Error);
+  fem::MembraneParams mp;
+  mp.shear_modulus = rheology::kRbcShearModulus;
+  auto rbc = std::make_shared<fem::MembraneModel>(
+      mesh::rbc_biconcave(1, 1e-6), mp);
+  auto ctc = std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6),
+                                                  mp);
+  auto tube = std::make_shared<geometry::TubeDomain>(
+      Vec3{0, 0, -30e-6}, Vec3{0, 0, 1}, 60e-6, 16e-6, /*capped=*/false);
+  AprParams params;
+  params.dx_coarse = 2e-6;
+  params.window.proper_side = 6e-6;
+  params.window.onramp_width = 2.5e-6;
+  params.window.insertion_width = 5.5e-6;  // outer = 22 um = 4 tiles
+  params.window.target_hematocrit = 0.0;   // no RBC fill needed here
+  AprSimulation sim(tube, rbc, ctc, params);
+  sim.initialize_flow(Vec3{});
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+
+  rec.sample(sim);
+  ASSERT_EQ(rec.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.mean_ctc_speed(), 0.0);
+
+  // Duplicate timestamps (two samples with no step in between): dt = 0
+  // must not divide -- still 0.0, never NaN or inf.
+  rec.sample(sim);
+  ASSERT_EQ(rec.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.mean_ctc_speed(), 0.0);
+  EXPECT_TRUE(std::isfinite(rec.mean_ctc_speed()));
+}
+
 TEST(RunRecorder, SamplesAndExportsAnAprRun) {
   set_log_level(LogLevel::Error);
   fem::MembraneParams mp;
@@ -98,8 +137,8 @@ TEST(RunRecorder, SamplesAndExportsAnAprRun) {
   params.dx_coarse = 2e-6;
   params.n = 2;
   params.window.proper_side = 6e-6;
-  params.window.onramp_width = 3e-6;
-  params.window.insertion_width = 5e-6;
+  params.window.onramp_width = 2.5e-6;
+  params.window.insertion_width = 5.5e-6;  // outer = 22 um = 4 tiles
   params.window.target_hematocrit = 0.08;
   params.rbc_capacity = 1500;
   AprSimulation sim(tube, rbc, ctc, params);

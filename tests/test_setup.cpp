@@ -24,8 +24,73 @@ TEST_F(SetupTest, DefaultsMatchDocumentedValues) {
   EXPECT_NEAR(p.nu_bulk, 4.0e-3 / rheology::kBloodDensity, 1e-15);
   EXPECT_NEAR(p.lambda, 1.2 / 4.0, 1e-12);
   EXPECT_DOUBLE_EQ(p.window.proper_side, 6.0e-6);
+  EXPECT_DOUBLE_EQ(p.window.onramp_width, 2.5e-6);
+  EXPECT_DOUBLE_EQ(p.window.insertion_width, 5.5e-6);
+  EXPECT_DOUBLE_EQ(p.window.min_cell_distance, 0.0);
+  EXPECT_EQ(p.window.fill_samples, 4);
+  // Default window tiles exactly: outer 22 um = 4 x 5.5 um.
+  EXPECT_NO_THROW(p.window.validate());
   EXPECT_DOUBLE_EQ(p.window.target_hematocrit, 0.1);
   EXPECT_EQ(p.rbc_capacity, 1500u);
+  // Watchdog is opt-in and off by default.
+  EXPECT_FALSE(p.health.enabled);
+  EXPECT_EQ(p.health.interval, 10);
+  EXPECT_DOUBLE_EQ(p.health.rho_min, 0.5);
+  EXPECT_DOUBLE_EQ(p.health.rho_max, 2.0);
+}
+
+TEST_F(SetupTest, WindowConfigRoundTripsAndValidates) {
+  Config cfg;
+  cfg.set("window_proper_um", "8");
+  cfg.set("onramp_um", "4");
+  cfg.set("insertion_um", "4");  // outer 24 = 6 tiles: valid
+  cfg.set("min_cell_distance_um", "0.3");
+  cfg.set("fill_samples", "6");
+  const AprParams p = params_from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.window.proper_side, 8.0e-6);
+  EXPECT_DOUBLE_EQ(p.window.onramp_width, 4.0e-6);
+  EXPECT_DOUBLE_EQ(p.window.insertion_width, 4.0e-6);
+  EXPECT_DOUBLE_EQ(p.window.min_cell_distance, 0.3e-6);
+  EXPECT_EQ(p.window.fill_samples, 6);
+
+  // A deck whose insertion shell cannot be tiled exactly fails fast in
+  // params_from_config, not deep inside Window construction.
+  Config bad;
+  bad.set("window_proper_um", "6");
+  bad.set("onramp_um", "3");
+  bad.set("insertion_um", "5");  // outer 22, 22/5 not integral
+  EXPECT_THROW(params_from_config(bad), std::invalid_argument);
+}
+
+TEST_F(SetupTest, HealthKeysParse) {
+  Config cfg;
+  cfg.set("health", "recover");
+  cfg.set("health_interval", "5");
+  cfg.set("health_rho_min", "0.8");
+  cfg.set("health_max_mach", "0.2");
+  cfg.set("health_check_mach", "false");
+  cfg.set("health_max_i1", "30");
+  const AprParams p = params_from_config(cfg);
+  EXPECT_TRUE(p.health.enabled);
+  EXPECT_EQ(p.health.policy, HealthPolicy::Recover);
+  EXPECT_EQ(p.health.interval, 5);
+  EXPECT_DOUBLE_EQ(p.health.rho_min, 0.8);
+  EXPECT_DOUBLE_EQ(p.health.max_mach, 0.2);
+  EXPECT_FALSE(p.health.check_mach);
+  EXPECT_DOUBLE_EQ(p.health.max_i1, 30.0);
+
+  Config off;
+  off.set("health", "off");
+  EXPECT_FALSE(params_from_config(off).health.enabled);
+
+  Config bad;
+  bad.set("health", "panic");
+  EXPECT_THROW(params_from_config(bad), std::invalid_argument);
+
+  Config bad_interval;
+  bad_interval.set("health", "throw");
+  bad_interval.set("health_interval", "0");
+  EXPECT_THROW(params_from_config(bad_interval), std::runtime_error);
 }
 
 TEST_F(SetupTest, OverridesApply) {

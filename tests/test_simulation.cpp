@@ -47,8 +47,8 @@ AprParams tiny_params() {
   p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   p.window.proper_side = 6.0e-6;
-  p.window.onramp_width = 3.0e-6;
-  p.window.insertion_width = 5.0e-6;  // outer = 22 um = 11 dx_coarse
+  p.window.onramp_width = 2.5e-6;
+  p.window.insertion_width = 5.5e-6;  // outer = 22 um = 11 dx_coarse
   p.window.target_hematocrit = 0.10;
   p.move.trigger_distance = 1.5e-6;
   p.fsi.contact_cutoff = 0.4e-6;

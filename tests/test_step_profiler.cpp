@@ -24,6 +24,7 @@ TEST(StepProfiler, PhaseNamesAreStable) {
   EXPECT_STREQ(to_string(StepPhase::Advect), "advect");
   EXPECT_STREQ(to_string(StepPhase::Maintenance), "maintenance");
   EXPECT_STREQ(to_string(StepPhase::WindowMove), "window_move");
+  EXPECT_STREQ(to_string(StepPhase::Health), "health");
 }
 
 TEST(StepProfiler, ScopeAccumulatesTimeAndCalls) {
@@ -106,7 +107,7 @@ TEST(StepProfiler, ReportCoversEveryPhaseInOrder) {
   const auto rows = prof.report();
   ASSERT_EQ(rows.size(), static_cast<std::size_t>(kNumStepPhases));
   EXPECT_EQ(rows.front().first, "coarse_collide_stream");
-  EXPECT_EQ(rows.back().first, "window_move");
+  EXPECT_EQ(rows.back().first, "health");
   const std::string table = prof.format_report();
   for (const auto& [name, stats] : rows) {
     EXPECT_NE(table.find(name), std::string::npos) << name;

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "src/mesh/shapes.hpp"
 
@@ -224,6 +226,76 @@ TEST(Window, InvalidConfigRejected) {
   WindowConfig bad = small_config();
   bad.proper_side = -1.0;
   EXPECT_THROW(Window({0, 0, 0}, bad, nullptr), std::invalid_argument);
+}
+
+TEST(Window, MisTilingConfigRejected) {
+  // outer = 8 + 2*(4 + 5) = 26; 26 / 5 is not integral, so the insertion
+  // shell cannot be tiled by insertion-width cubes. Both the constructor
+  // and validate() itself must refuse.
+  WindowConfig bad = small_config();
+  bad.insertion_width = 5.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_THROW(Window({0, 0, 0}, bad, nullptr), std::invalid_argument);
+  try {
+    bad.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("insertion_width"),
+              std::string::npos);
+  }
+
+  // Fractional-but-exact tilings are fine (outer 22 = 4 x 5.5)...
+  WindowConfig ok;
+  ok.proper_side = 6.0;
+  ok.onramp_width = 2.5;
+  ok.insertion_width = 5.5;
+  EXPECT_NO_THROW(ok.validate());
+  // ...and a bad fill_samples is caught too.
+  WindowConfig bad_fill = small_config();
+  bad_fill.fill_samples = 0;
+  EXPECT_THROW(bad_fill.validate(), std::invalid_argument);
+}
+
+/// Test double counting every signed_distance evaluation: proves the
+/// whole-box fill is cached, not re-sampled per hematocrit() call.
+class CountingBoxDomain final : public geometry::Domain {
+ public:
+  explicit CountingBoxDomain(const Aabb& box) : box_(box) {}
+  double signed_distance(const Vec3& p) const override {
+    ++calls;
+    const Vec3 lo = p - box_.lo;
+    const Vec3 hi = box_.hi - p;
+    return std::min({lo.x, lo.y, lo.z, hi.x, hi.y, hi.z});
+  }
+  Aabb bounds() const override { return box_; }
+  mutable long calls = 0;
+
+ private:
+  Aabb box_;
+};
+
+TEST(Window, HematocritFillIsCachedNotResampled) {
+  const auto rbc = unit_rbc();
+  CountingBoxDomain domain(Aabb({-20, -20, -20}, {20, 20, 20}));
+  const Window w({0, 0, 0}, small_config(), &domain);
+  cells::CellPool pool(rbc.get(), cells::CellKind::Rbc, 8);
+  pool.add(1, cells::instantiate(*rbc, Vec3{0, 0, 0}));
+
+  // Construction samples the domain (per-subregion fills + the whole-box
+  // fill); everything after that must run off the caches.
+  const long after_build = domain.calls;
+  EXPECT_GT(after_build, 0);
+  const double ht0 = w.hematocrit(pool);
+  EXPECT_GT(ht0, 0.0);
+  EXPECT_EQ(domain.calls, after_build)
+      << "hematocrit() re-sampled the domain";
+  // Repeated calls -- one per maintenance pass in a long run -- stay flat.
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(w.hematocrit(pool), ht0);
+  }
+  EXPECT_EQ(domain.calls, after_build);
+  // The window is fully inside the flow here, so the cached fill is 1.
+  EXPECT_DOUBLE_EQ(w.outer_fill(), 1.0);
 }
 
 }  // namespace

@@ -264,8 +264,8 @@ AprParams tiny_params() {
   p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
   p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
   p.window.proper_side = 6.0e-6;
-  p.window.onramp_width = 3.0e-6;
-  p.window.insertion_width = 5.0e-6;  // outer = 22 um = 11 dx_coarse
+  p.window.onramp_width = 2.5e-6;
+  p.window.insertion_width = 5.5e-6;  // outer = 22 um = 11 dx_coarse
   p.window.target_hematocrit = 0.10;
   p.move.trigger_distance = 1.5e-6;
   p.fsi.contact_cutoff = 0.4e-6;
@@ -425,6 +425,83 @@ TEST_F(WindowRelocationTest, DiagonalMovesOnSurfaceAlignedTubeStayFinite) {
     check_physical_density("after relocation");
     sim.step();  // the first collision is where rho = 0 turns into NaN
     check_physical_density("after step");
+  }
+}
+
+TEST_F(WindowRelocationTest, FineSeedingCarriesCoarseDensityGradient) {
+  // Regression: init_fine_from_coarse seeded every fine node with a flat
+  // rho = 1 while interpolating only the velocity. Under a Poiseuille
+  // pressure drop (a genuine axial density gradient in LBM) every window
+  // placement and every relocation slab then injected a mass kick of
+  // order the local (rho - 1). The fix interpolates the coarse density
+  // exactly like the velocity; this test drives both relocation paths
+  // across the gradient and bounds the total mass error at 1e-6.
+  for (const bool incremental : {true, false}) {
+    AprParams p = tiny_params();
+    p.incremental_window_move = incremental;
+    AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), p);
+    sim.initialize_flow(Vec3{});
+
+    // Hand-set a Poiseuille-with-pressure-drop coarse state: linear rho
+    // along z (+-5% -- far beyond any fp noise), parabolic u_z profile.
+    Lattice& coarse = sim.coarse();
+    const Aabb cb = coarse.bounds();
+    const double R = 16e-6;
+    for (int z = 0; z < coarse.nz(); ++z) {
+      for (int y = 0; y < coarse.ny(); ++y) {
+        for (int x = 0; x < coarse.nx(); ++x) {
+          const std::size_t i = coarse.idx(x, y, z);
+          const Vec3 pos = coarse.position(x, y, z);
+          const double s =
+              (pos.z - cb.lo.z) / (cb.hi.z - cb.lo.z);  // 0..1 along z
+          const double rho = 1.05 - 0.10 * s;
+          const double r2 =
+              (pos.x * pos.x + pos.y * pos.y) / (R * R);
+          const Vec3 u{0.0, 0.0, 0.02 * std::max(0.0, 1.0 - r2)};
+          coarse.init_node_equilibrium(i, rho, u);
+        }
+      }
+    }
+
+    sim.place_window(Vec3{});
+
+    const auto mass_error = [&](const char* when) {
+      const Lattice& fine = sim.fine();
+      double mass = 0.0;
+      double expected = 0.0;
+      std::size_t nodes = 0;
+      for (int z = 0; z < fine.nz(); ++z) {
+        for (int y = 0; y < fine.ny(); ++y) {
+          for (int x = 0; x < fine.nx(); ++x) {
+            const std::size_t i = fine.idx(x, y, z);
+            const NodeType t = fine.type(i);
+            if (t != NodeType::Fluid && t != NodeType::Coupling) continue;
+            double rho = 0.0;
+            for (int q = 0; q < lbm::kQ; ++q) rho += fine.f(q, i);
+            mass += rho;
+            expected += coarse.interpolate_rho(fine.position(x, y, z));
+            ++nodes;
+          }
+        }
+      }
+      ASSERT_GT(nodes, 0u) << when;
+      const double rel = std::abs(mass - expected) / expected;
+      EXPECT_LT(rel, 1e-6)
+          << when << " (incremental=" << incremental
+          << "): fine mass " << mass << " vs coarse-interpolated "
+          << expected;
+    };
+
+    mass_error("after placement");
+    // March the window up the pressure gradient; each move exposes fresh
+    // slabs (incremental) or re-seeds everything (reference path), and
+    // none of it may kick the mass off the coarse field.
+    for (int m = 0; m < 3; ++m) {
+      const WindowRelocationStats st = sim.relocate_window(
+          sim.window().center() + Vec3{0.0, 0.0, p.dx_coarse});
+      EXPECT_EQ(st.incremental, incremental);
+      mass_error("after relocation");
+    }
   }
 }
 
