@@ -11,12 +11,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <exception>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/apr/simulation.hpp"
 #include "src/common/log.hpp"
 #include "src/geometry/domain.hpp"
 #include "src/mesh/shapes.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rheology/blood.hpp"
 
 namespace {
@@ -89,3 +95,37 @@ BENCHMARK(BM_WindowRelocation)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so --trace FILE can be peeled
+// off before benchmark::Initialize consumes argv, capturing relocation
+// spans and per-move instant events alongside the timings.
+int main(int argc, char** argv) try {
+  std::string trace_file;
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(static_cast<std::size_t>(argc));
+  for (int a = 0; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_file = argv[++a];
+    } else {
+      bench_argv.push_back(argv[a]);
+    }
+  }
+  if (!trace_file.empty()) apr::obs::Tracer::instance().set_enabled(true);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_file.empty()) {
+    apr::obs::Tracer::instance().write_chrome_json(trace_file);
+    std::printf("trace written to %s\n", trace_file.c_str());
+  }
+  return 0;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "ablation_window_move: %s\n", ex.what());
+  return 1;
+}

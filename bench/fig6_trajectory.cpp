@@ -25,6 +25,9 @@
 #include "src/common/csv.hpp"
 #include "src/common/log.hpp"
 #include "src/mesh/shapes.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/perf/step_profiler.hpp"
 #include "src/rheology/blood.hpp"
 #include "src/rheology/pries.hpp"
@@ -127,8 +130,8 @@ std::string apr_checkpoint_path(std::uint64_t seed) {
   return "fig6_apr_seed" + std::to_string(seed) + ".chk";
 }
 
-RunResult run_apr(std::uint64_t seed, const RestartOptions& restart,
-                  const HealthOptions& health) {
+core::AprParams make_apr_params(std::uint64_t seed,
+                                const HealthOptions& health) {
   core::AprParams p;
   p.dx_coarse = 2.0e-6;
   p.n = kN;
@@ -152,8 +155,18 @@ RunResult run_apr(std::uint64_t seed, const RestartOptions& restart,
   p.rbc_capacity = 1500;
   p.seed = seed;
   p.health = health.params;
+  return p;
+}
 
+RunResult run_apr(std::uint64_t seed, const RestartOptions& restart,
+                  const HealthOptions& health, obs::MetricsWriter* metrics) {
+  const core::AprParams p = make_apr_params(seed, health);
   core::AprSimulation sim(make_channel(), make_rbc(), make_ctc(), p);
+  if (metrics) {
+    // The two ensemble seeds share one sink; the gauge labels each line.
+    sim.metrics().set_gauge("seed", static_cast<double>(seed));
+    sim.attach_metrics_sink(metrics);
+  }
 
   const std::string chk = apr_checkpoint_path(seed);
   bool resumed = false;
@@ -231,12 +244,19 @@ RunResult run_efsi(std::uint64_t seed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   set_log_level(LogLevel::Warn);
   RestartOptions restart;
   HealthOptions health;
+  std::string trace_file;
+  std::string metrics_file;
   for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
+    if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_file = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
+      metrics_file = argv[++a];
+    } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
+               a + 1 < argc) {
       restart.checkpoint_every = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       restart.resume = true;
@@ -252,13 +272,40 @@ int main(int argc, char** argv) {
       health.inject_fault_step = std::atoi(argv[++a]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--checkpoint-every N] [--resume] "
+                   "usage: %s [--trace FILE] [--metrics FILE] "
+                   "[--checkpoint-every N] [--resume] "
                    "[--health off|throw|log|recover] [--health-interval N] "
                    "[--inject-fault STEP]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!trace_file.empty()) obs::Tracer::instance().set_enabled(true);
+  std::unique_ptr<obs::MetricsWriter> metrics;  // fail-fast on a bad path
+  if (!metrics_file.empty()) {
+    metrics = std::make_unique<obs::MetricsWriter>(metrics_file);
+  }
+  if (!trace_file.empty() || !metrics_file.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "fig6_trajectory";
+    for (int a = 0; a < argc; ++a) {
+      if (a) manifest.command_line += " ";
+      manifest.command_line += argv[a];
+    }
+    obs::capture_environment(manifest);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(core::params_fingerprint(
+                      make_apr_params(11, health))));
+    manifest.params_digest = digest;
+    manifest.extra = {{"apr_steps", std::to_string(kAprSteps)},
+                      {"seeds", "11,23"},
+                      {"trace_file", trace_file},
+                      {"metrics_file", metrics_file}};
+    obs::write_run_manifest(manifest, "run_manifest.json");
+    std::printf("run manifest written to run_manifest.json\n");
+  }
+
   CsvWriter csv("fig6_trajectory.csv",
                 {"method", "seed", "time_index", "z_um", "r_um"});
 
@@ -267,7 +314,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed : {11ull, 23ull}) {
     std::printf("APR run, seed %llu...\n",
                 static_cast<unsigned long long>(seed));
-    apr_runs.push_back(run_apr(seed, restart, health));
+    apr_runs.push_back(run_apr(seed, restart, health, metrics.get()));
     for (std::size_t k = 0; k < apr_runs.back().trajectory.size(); ++k) {
       const Vec3& p = apr_runs.back().trajectory[k];
       csv.row({0.0, static_cast<double>(seed), static_cast<double>(k),
@@ -350,5 +397,21 @@ int main(int argc, char** argv) {
               "it, where the deformability lift is resolution-limited; the "
               "paper runs 10-20 nodes per cell radius\n");
   std::printf("series written to fig6_trajectory.csv\n");
+  if (!trace_file.empty()) {
+    obs::Tracer::instance().write_chrome_json(trace_file);
+    std::printf("trace written to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                trace_file.c_str());
+  }
+  if (metrics) {
+    std::printf("metrics written to %s (%llu samples)\n",
+                metrics->path().c_str(),
+                static_cast<unsigned long long>(metrics->lines_written()));
+  }
   return 0;
+} catch (const std::exception& ex) {
+  // Unwritable --trace/--metrics/CSV paths and similar land here with a
+  // message naming the offending file, instead of silently truncating.
+  std::fprintf(stderr, "fig6_trajectory: %s\n", ex.what());
+  return 1;
 }

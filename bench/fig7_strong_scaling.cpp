@@ -14,15 +14,31 @@
 /// the ideal 16x, with the shortfall attributed to halo traffic.
 
 #include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "profile_common.hpp"
 #include "src/common/csv.hpp"
+#include "src/obs/trace.hpp"
 #include "src/perf/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace apr::perf;
   apr::set_log_level(apr::LogLevel::Warn);
+  // --trace FILE records the measured-profile section (the scaling curves
+  // themselves come from the analytic model, not timed code).
+  std::string trace_file;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_file = argv[++a];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_file.empty()) apr::obs::Tracer::instance().set_enabled(true);
   const SummitNodeModel model;
   ScalingProblem problem;  // defaults = the paper's strong-scaling setup
 
@@ -60,5 +76,12 @@ int main() {
   // window compute, bulk compute, and coupling.
   apr::bench::report_step_profile(apr::bench::measure_step_profile(),
                                   "fig7_phase_profile.csv");
+  if (!trace_file.empty()) {
+    apr::obs::Tracer::instance().write_chrome_json(trace_file);
+    std::printf("trace written to %s\n", trace_file.c_str());
+  }
   return 0;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "fig7_strong_scaling: %s\n", ex.what());
+  return 1;
 }

@@ -11,25 +11,38 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
 
 #include "bench/vasculature_common.hpp"
 #include "src/common/csv.hpp"
 #include "src/common/log.hpp"
 #include "src/io/checkpoint.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/perf/memory_model.hpp"
 
 using namespace apr;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   set_log_level(LogLevel::Warn);
   // Rolling-save restart, mirroring fig6: --checkpoint-every N saves over
   // fig9_cerebral.chk every N coarse steps; --resume restores it (and
   // falls back to a fresh start if there is no usable file).
   int checkpoint_every = 0;
   bool resume = false;
+  std::string trace_file;
+  std::string metrics_file;
   core::HealthParams health;  // enabled = false unless --health given
   for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--checkpoint-every") == 0 && a + 1 < argc) {
+    if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_file = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
+      metrics_file = argv[++a];
+    } else if (std::strcmp(argv[a], "--checkpoint-every") == 0 &&
+               a + 1 < argc) {
       checkpoint_every = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--resume") == 0) {
       resume = true;
@@ -43,13 +56,20 @@ int main(int argc, char** argv) {
       health.interval = std::atoi(argv[++a]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--checkpoint-every N] [--resume] "
+                   "usage: %s [--trace FILE] [--metrics FILE] "
+                   "[--checkpoint-every N] [--resume] "
                    "[--health off|throw|log|recover] [--health-interval N]\n",
                    argv[0]);
       return 2;
     }
   }
   const char* kCheckpointPath = "fig9_cerebral.chk";
+
+  if (!trace_file.empty()) obs::Tracer::instance().set_enabled(true);
+  std::unique_ptr<obs::MetricsWriter> metrics;  // fail-fast on a bad path
+  if (!metrics_file.empty()) {
+    metrics = std::make_unique<obs::MetricsWriter>(metrics_file);
+  }
 
   // --- Paper-scale memory feasibility (the enabler of the study) ----------
   {
@@ -73,6 +93,23 @@ int main(int argc, char** argv) {
       /*seed=*/99);
   auto& sim = *tree.sim;
   sim.set_health_params(health);
+  if (metrics) sim.attach_metrics_sink(metrics.get());
+  if (!trace_file.empty() || !metrics_file.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "fig9_cerebral";
+    for (int a = 0; a < argc; ++a) {
+      if (a) manifest.command_line += " ";
+      manifest.command_line += argv[a];
+    }
+    obs::capture_environment(manifest);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(sim.params_fingerprint()));
+    manifest.params_digest = digest;
+    manifest.extra = {{"trace_file", trace_file},
+                      {"metrics_file", metrics_file}};
+    obs::write_run_manifest(manifest, "run_manifest.json");
+  }
   std::printf("synthetic cerebral tree: %zu segments, %.2e mL\n",
               tree.vasc->segments().size(),
               tree.vasc->total_volume() * 1e6);
@@ -141,5 +178,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sim.health_violations()));
   }
   std::printf("trajectory written to fig9_cerebral_trajectory.csv\n");
+  if (!trace_file.empty()) {
+    obs::Tracer::instance().write_chrome_json(trace_file);
+    std::printf("trace written to %s\n", trace_file.c_str());
+  }
+  if (metrics) {
+    std::printf("metrics written to %s (%llu samples)\n",
+                metrics->path().c_str(),
+                static_cast<unsigned long long>(metrics->lines_written()));
+  }
   return 0;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "fig9_cerebral: %s\n", ex.what());
+  return 1;
 }

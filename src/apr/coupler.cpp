@@ -6,6 +6,7 @@
 
 #include "src/common/units.hpp"
 #include "src/exec/exec.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::core {
 
@@ -377,9 +378,13 @@ void CoarseFineCoupler::take_snapshot(Snapshot& snap) const {
   });
 }
 
-void CoarseFineCoupler::take_pre_snapshot() { take_snapshot(pre_); }
+void CoarseFineCoupler::take_pre_snapshot() {
+  OBS_SPAN("coupler", "take_pre_snapshot");
+  take_snapshot(pre_);
+}
 
 void CoarseFineCoupler::take_post_snapshot() {
+  OBS_SPAN("coupler", "take_post_snapshot");
   take_snapshot(post_);
   bytes_ += coupling_.size() * (1 + 3 + kQ) * sizeof(double) * 2;
 }
@@ -391,6 +396,7 @@ void CoarseFineCoupler::begin_coarse_step() {
 }
 
 void CoarseFineCoupler::set_fine_boundary(int substep) {
+  OBS_SPAN("coupler", "set_fine_boundary");
   if (substep < 0 || substep >= cfg_.n) {
     throw std::out_of_range("Coupler: bad substep");
   }
@@ -433,6 +439,7 @@ void CoarseFineCoupler::set_fine_boundary(int substep) {
 }
 
 void CoarseFineCoupler::restrict_to_coarse() {
+  OBS_SPAN("coupler", "restrict_to_coarse");
   const double fnorm = fine_norm();
   exec::parallel_for(restriction_.size(), [&](std::size_t k) {
     const RestrictionNode& r = restriction_[k];

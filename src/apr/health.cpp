@@ -9,6 +9,7 @@
 #include "src/apr/window.hpp"
 #include "src/cells/cell.hpp"
 #include "src/exec/exec.hpp"
+#include "src/obs/trace.hpp"
 #include "src/fem/constraints.hpp"
 
 namespace apr::core {
@@ -94,6 +95,7 @@ const char* to_string(HealthCheck check) {
 HealthReport HealthMonitor::scan_lattice(const lbm::Lattice& lat,
                                          const std::string& subject,
                                          int step) const {
+  OBS_SPAN("health", "scan_lattice");
   const HealthParams& p = params_;
   const Hit hit = exec::parallel_reduce(
       lat.num_nodes(), Hit{},
@@ -153,6 +155,7 @@ HealthReport HealthMonitor::scan_lattice(const lbm::Lattice& lat,
 HealthReport HealthMonitor::scan_cells(const cells::CellPool& pool,
                                        const std::string& subject,
                                        int step) const {
+  OBS_SPAN("health", "scan_cells");
   const HealthParams& p = params_;
   const auto& tris = pool.model().reference().triangles;
   const double ref_volume = pool.model().ref_volume();
@@ -241,6 +244,7 @@ HealthReport HealthMonitor::scan_coupling(const Window& window,
                                           bool coupler_attached,
                                           std::size_t coupling_nodes,
                                           int step) const {
+  OBS_SPAN("health", "scan_coupling");
   HealthReport rep;
   rep.subject = "coupler";
   rep.step = step;

@@ -83,6 +83,12 @@ AprParams params_from_config(const Config& config) {
   if (p.health.enabled && p.health.interval < 1) {
     throw std::runtime_error("setup: health_interval must be >= 1");
   }
+
+  // Observability (also trajectory-neutral, see ObsParams): trace /
+  // metrics outputs and the sampling cadence.
+  p.obs.trace_file = config.get_string("obs_trace_file", "");
+  p.obs.metrics_file = config.get_string("obs_metrics_file", "");
+  p.obs.metrics_interval = config.get_int("obs_metrics_interval", 1);
   return p;
 }
 

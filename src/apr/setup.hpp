@@ -27,6 +27,9 @@
 ///   health_rho_min (0.5), health_rho_max (2.0), health_max_mach (0.3)
 ///   health_max_i1 (50), health_max_volume_drift (0.5),
 ///   health_min_det_f (1e-3)
+///   # observability (see src/obs, DESIGN.md §11)
+///   obs_trace_file ("" = tracing off), obs_metrics_file ("" = off)
+///   obs_metrics_interval (1)
 ///   # cells
 ///   rbc_radius_um (1.0), rbc_subdivisions (1)
 ///   rbc_shear_modulus (5e-6), rbc_bending_modulus (2e-19)

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/cells/cell.hpp"
 #include "src/cells/overlap.hpp"
 #include "src/cells/subgrid.hpp"
 #include "src/common/log.hpp"
 #include "src/exec/exec.hpp"
 #include "src/geometry/voxelizer.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::core {
 
@@ -212,6 +215,28 @@ AprSimulation::AprSimulation(
 
   mover_ = std::make_unique<WindowMover>(params_.move, coarse_->origin(),
                                          coarse_->dx());
+
+  // Observability wiring. Both are fail-fast: an unwritable metrics path
+  // throws here instead of silently truncating output at the end.
+  if (!params_.obs.metrics_file.empty()) {
+    owned_metrics_sink_ =
+        std::make_unique<obs::MetricsWriter>(params_.obs.metrics_file);
+    metrics_sink_ = owned_metrics_sink_.get();
+  }
+  if (!params_.obs.trace_file.empty()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+}
+
+void AprSimulation::attach_metrics_sink(obs::MetricsWriter* sink) {
+  metrics_sink_ = sink ? sink : owned_metrics_sink_.get();
+}
+
+void AprSimulation::write_trace() const {
+  if (params_.obs.trace_file.empty()) {
+    throw std::logic_error("write_trace: params().obs.trace_file not set");
+  }
+  obs::Tracer::instance().write_chrome_json(params_.obs.trace_file);
 }
 
 void AprSimulation::initialize_flow(const Vec3& u_lattice, int warmup_steps) {
@@ -233,6 +258,7 @@ void AprSimulation::set_body_force_density(const Vec3& f_phys) {
 
 WindowRelocationStats AprSimulation::relocate_fine_lattice(
     const Vec3& window_center) {
+  OBS_SPAN("window", "relocate_fine_lattice");
   const Aabb box = Aabb::cube(window_center, params_.window.outer_side());
   const double dxf = fine_units_.dx();
   // Node counts chosen so the fine boundary nodes lie exactly on the box
@@ -478,6 +504,55 @@ Vec3 AprSimulation::ctc_position() const {
   return ctcs_->cell_centroid(0);
 }
 
+namespace {
+
+/// Fixed reduction grain: chunk boundaries and combine order depend only
+/// on the node count, never the worker count, so the reductions below are
+/// bit-identical across worker counts (see exec::parallel_reduce).
+constexpr std::size_t kMetricGrain = 4096;
+
+bool metric_node(const lbm::Lattice& lat, std::size_t i) {
+  const lbm::NodeType t = lat.type(i);
+  return t == lbm::NodeType::Fluid || t == lbm::NodeType::Coupling;
+}
+
+}  // namespace
+
+double lattice_total_mass(const lbm::Lattice& lat) {
+  return exec::parallel_reduce(
+      lat.num_nodes(), 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double m = 0.0;
+        for (std::size_t i = b; i < e; ++i) {
+          if (metric_node(lat, i)) m += lbm::density(lat.f_node(i));
+        }
+        return m;
+      },
+      [](double a, double b) { return a + b; }, kMetricGrain);
+}
+
+double lattice_max_mach(const lbm::Lattice& lat) {
+  // Mach = |u| / c_s with c_s = 1/sqrt(3) in lattice units, velocity from
+  // the distributions like the health scans (the rho/u caches can be
+  // stale mid-step).
+  const double inv_cs = std::sqrt(3.0);
+  return exec::parallel_reduce(
+      lat.num_nodes(), 0.0,
+      [&](std::size_t b, std::size_t e) {
+        double mx = 0.0;
+        for (std::size_t i = b; i < e; ++i) {
+          if (!metric_node(lat, i)) continue;
+          const auto f = lat.f_node(i);
+          const double rho = lbm::density(f);
+          if (rho > 0.0) {
+            mx = std::max(mx, norm(lbm::momentum(f)) / rho * inv_cs);
+          }
+        }
+        return mx;
+      },
+      [](double a, double b) { return std::max(a, b); }, kMetricGrain);
+}
+
 std::uint64_t AprSimulation::total_site_updates() const {
   std::uint64_t n = coarse_->site_updates() + fine_updates_retired_;
   if (fine_) n += fine_->site_updates();
@@ -490,6 +565,8 @@ void AprSimulation::step() {
   }
   auto pools = active_pools();
   using perf::StepPhase;
+  const bool sampling = metrics_sink_ != nullptr;
+  const std::int64_t step_t0 = sampling ? obs::trace_now_ns() : 0;
 
   {
     auto scope = profiler_.scope(StepPhase::Coupling);
@@ -559,6 +636,66 @@ void AprSimulation::step() {
       coarse_steps_ % params_.health.interval == 0) {
     run_health_check();
   }
+
+  // Metric sampling (see src/obs/metrics.hpp); zero work with no sink.
+  if (sampling) {
+    last_step_seconds_ = (obs::trace_now_ns() - step_t0) * 1e-9;
+    if (params_.obs.metrics_interval > 0 &&
+        coarse_steps_ % params_.obs.metrics_interval == 0) {
+      sample_metrics();
+    }
+  }
+}
+
+void AprSimulation::sample_metrics() {
+  metrics_.set_gauge("step", coarse_steps_);
+  metrics_.set_gauge("time", physical_time());
+  metrics_.set_gauge("step.ms", last_step_seconds_ * 1e3);
+  metrics_.set_gauge("coarse.mass", lattice_total_mass(*coarse_));
+  metrics_.set_gauge("fine.mass", fine_ ? lattice_total_mass(*fine_) : 0.0);
+  metrics_.set_gauge("fine.max_mach",
+                     fine_ ? lattice_max_mach(*fine_) : 0.0);
+  metrics_.set_gauge("window.hematocrit",
+                     window_ ? window_->hematocrit(*rbcs_) : 0.0);
+
+  metrics_.set_gauge("rbc.count", static_cast<double>(rbcs_->size()));
+  // Mean relative volume drift of the live RBCs: how far the constrained
+  // membranes have strayed from the reference volume.
+  double drift = 0.0;
+  if (rbcs_->size() > 0) {
+    const double ref_vol = rbcs_->model().ref_volume();
+    for (std::size_t s = 0; s < rbcs_->size(); ++s) {
+      drift += cells::cell_volume(rbcs_->model(), rbcs_->positions(s)) /
+                   ref_vol -
+               1.0;
+    }
+    drift /= static_cast<double>(rbcs_->size());
+  }
+  metrics_.set_gauge("rbc.mean_volume_drift", drift);
+
+  const Vec3 ctc = ctc_position();
+  metrics_.set_gauge("ctc.x", ctc.x);
+  metrics_.set_gauge("ctc.y", ctc.y);
+  metrics_.set_gauge("ctc.z", ctc.z);
+
+  metrics_.set_gauge("checkpoint.bytes",
+                     static_cast<double>(last_checkpoint_bytes_));
+  metrics_.set_counter("checkpoint.saves", checkpoint_saves_);
+  metrics_.set_counter("window.moves", static_cast<std::uint64_t>(move_count_));
+  metrics_.set_counter("health.scans", health_scans_);
+  metrics_.set_counter("health.violations", health_violations_);
+
+  // Per-phase time since the previous sample, so a plotted series shows
+  // where each sampling window's time went (not a lifetime average).
+  for (int i = 0; i < perf::kNumStepPhases; ++i) {
+    const auto phase = static_cast<perf::StepPhase>(i);
+    const double now_s = profiler_.stats(phase).seconds;
+    metrics_.set_gauge(std::string("phase.") + perf::to_string(phase) + ".ms",
+                       (now_s - phase_seconds_prev_[i]) * 1e3);
+    phase_seconds_prev_[i] = now_s;
+  }
+
+  if (metrics_sink_) metrics_sink_->write_line(metrics_.to_json());
 }
 
 void AprSimulation::rebuild_window_at_ctc() {
@@ -575,6 +712,15 @@ void AprSimulation::rebuild_window_at_ctc() {
   log_info("  relocation: ", st.incremental ? "incremental" : "full rebuild",
            ", preserved ", st.preserved_nodes, ", re-seeded ",
            st.reinit_nodes);
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "window", "relocation",
+        std::string("\"incremental\":") + (st.incremental ? "true" : "false") +
+            ",\"preserved_nodes\":" + std::to_string(st.preserved_nodes) +
+            ",\"reinit_nodes\":" + std::to_string(st.reinit_nodes) +
+            ",\"move\":" + std::to_string(move_count_) +
+            ",\"step\":" + std::to_string(coarse_steps_));
+  }
 }
 
 void AprSimulation::run(int steps) {
@@ -631,6 +777,15 @@ void AprSimulation::run_health_check() {
   last_health_report_ = rep;
   if (rep.ok()) return;
   ++health_violations_;
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "health", "violation",
+        std::string("\"check\":\"") + to_string(rep.check) +
+            "\",\"subject\":\"" + obs::json_escape(rep.subject) +
+            "\",\"value\":" + obs::json_number(rep.value) +
+            ",\"limit\":" + obs::json_number(rep.limit) +
+            ",\"step\":" + std::to_string(rep.step));
+  }
   switch (params_.health.policy) {
     case HealthPolicy::Log:
       log_warn(rep.message);
@@ -657,6 +812,13 @@ void AprSimulation::recover_from(const HealthReport& violation) {
   log_warn("health: rolling back from step ", rec.violation_step,
            " to step ", rec.rollback_step, " and replaying on the ",
            "full-rebuild reference path");
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "health", "rollback",
+        "\"violation_step\":" + std::to_string(rec.violation_step) +
+            ",\"rollback_step\":" + std::to_string(rec.rollback_step) +
+            ",\"replayed_steps\":" + std::to_string(rec.replayed_steps));
+  }
 
   // Move the container out first: load_checkpoint drops the (now
   // cross-timeline) rolling state as part of its commit.

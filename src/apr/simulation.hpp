@@ -29,6 +29,7 @@
 #include "src/ibm/coupling.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/lbm/lattice.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/perf/step_profiler.hpp"
 
 namespace apr::core {
@@ -60,6 +61,21 @@ void advect_cells(const lbm::Lattice& lat,
                   const std::vector<cells::CellPool*>& pools,
                   ibm::DeltaKernel kernel);
 
+/// Observability configuration (see src/obs and DESIGN.md §11). All
+/// fields are observability-only and excluded from the checkpoint params
+/// digest, so flipping tracing or metrics on never invalidates existing
+/// checkpoints or changes the trajectory.
+struct ObsParams {
+  /// When non-empty, the constructor enables the process-wide obs tracer;
+  /// call write_trace() after the run to emit the Chrome trace JSON.
+  std::string trace_file;
+  /// When non-empty, the constructor opens this JSONL metrics sink
+  /// (fail-fast: an unwritable path throws at construction).
+  std::string metrics_file;
+  /// Coarse steps between metric samples (<= 0 disables sampling).
+  int metrics_interval = 1;
+};
+
 struct AprParams {
   double dx_coarse = 2.5e-6;  ///< [m]
   int n = 5;                  ///< resolution ratio (dx_fine = dx_coarse/n)
@@ -85,7 +101,26 @@ struct AprParams {
   /// the healthy trajectory, so they are deliberately excluded from the
   /// checkpoint params digest.
   HealthParams health;
+  /// Observability: tracing / metrics wiring. Like `health`, excluded
+  /// from the checkpoint params digest (see ObsParams).
+  ObsParams obs;
 };
+
+/// Fingerprint (FNV-1a) of every AprParams field that shapes the
+/// trajectory -- the digest the checkpoint layer embeds in META sections.
+/// Observability-only fields (health, obs) are excluded. Exposed so
+/// drivers can stamp run manifests before constructing a simulation.
+std::uint64_t params_fingerprint(const AprParams& params);
+
+/// Deterministic metric reductions: fixed-grain exec::parallel_reduce
+/// combined in ascending chunk order, so for a given lattice state the
+/// sampled values are bit-identical across worker counts (the obs test
+/// suite asserts this). Both scan Fluid and Coupling nodes, computing
+/// moments from the distributions like the health scans do.
+/// Total mass (sum of node densities, lattice units).
+double lattice_total_mass(const lbm::Lattice& lat);
+/// Peak Mach number |u| / c_s.
+double lattice_max_mach(const lbm::Lattice& lat);
 
 /// What one window relocation did, for benchmarks and diagnostics.
 struct WindowRelocationStats {
@@ -180,6 +215,36 @@ class AprSimulation {
   perf::StepProfiler& profiler() { return profiler_; }
   const perf::StepProfiler& profiler() const { return profiler_; }
 
+  // --- observability -------------------------------------------------------
+  /// The simulation's metrics registry, refreshed by sample_metrics().
+  obs::Metrics& metrics() { return metrics_; }
+  const obs::Metrics& metrics() const { return metrics_; }
+
+  /// Share a driver-owned JSONL sink (non-owning; nullptr detaches).
+  /// Overrides any sink opened from params().obs.metrics_file, letting
+  /// multi-run drivers (fig6's two seeds) interleave into one file.
+  void attach_metrics_sink(obs::MetricsWriter* sink);
+
+  /// Refresh every gauge/counter in metrics() from the current state and,
+  /// when a sink is attached, append one JSONL sample. step() calls this
+  /// automatically every params().obs.metrics_interval coarse steps while
+  /// a sink is attached; it is public so drivers and tests can force a
+  /// sample.
+  void sample_metrics();
+
+  /// The trajectory-shaping parameter digest the checkpoint layer embeds
+  /// in every META section (health/obs params excluded). Run manifests
+  /// record it so artifacts can be matched to compatible checkpoints.
+  std::uint64_t params_fingerprint() const;
+
+  /// On-disk size of the most recent save_checkpoint(), in bytes.
+  std::size_t last_checkpoint_bytes() const { return last_checkpoint_bytes_; }
+
+  /// Write the accumulated trace to params().obs.trace_file. Throws
+  /// std::logic_error when no trace file was configured, and
+  /// std::runtime_error on I/O failure.
+  void write_trace() const;
+
   // --- checkpoint / restart ------------------------------------------------
   /// Assemble the complete simulation state as an io::Checkpoint container:
   /// both lattices, all cells, counters, trajectory and the Rng stream.
@@ -270,6 +335,19 @@ class AprSimulation {
   std::vector<Vec3> trajectory_;
   perf::StepProfiler profiler_;
   WindowRelocationStats last_relocation_;
+
+  // Observability state. The owned sink serves params().obs.metrics_file;
+  // an attached sink (driver-owned) takes precedence. Checkpoint-size
+  // bookkeeping is mutable because save_checkpoint() is const and the
+  // counters are observability-only.
+  obs::Metrics metrics_;
+  std::unique_ptr<obs::MetricsWriter> owned_metrics_sink_;
+  obs::MetricsWriter* metrics_sink_ = nullptr;
+  double last_step_seconds_ = 0.0;
+  mutable std::size_t last_checkpoint_bytes_ = 0;
+  mutable std::uint64_t checkpoint_saves_ = 0;
+  /// Profiler per-phase seconds at the previous sample, for delta gauges.
+  std::array<double, perf::kNumStepPhases> phase_seconds_prev_{};
 
   // Health watchdog state. The rolling checkpoint is refreshed on every
   // clean scan under the Recover policy, so a violation always rolls back

@@ -30,6 +30,7 @@
 #include <utility>
 
 #include "src/apr/simulation.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::core {
 
@@ -176,7 +177,25 @@ io::Checkpoint AprSimulation::make_checkpoint() const {
 }
 
 void AprSimulation::save_checkpoint(const std::string& path) const {
-  make_checkpoint().write(path);
+  OBS_SPAN("io", "save_checkpoint");
+  const io::Checkpoint ckpt = make_checkpoint();
+  ckpt.write(path);
+  last_checkpoint_bytes_ = ckpt.byte_size();
+  ++checkpoint_saves_;
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "io", "checkpoint_save",
+        "\"bytes\":" + std::to_string(last_checkpoint_bytes_) +
+            ",\"step\":" + std::to_string(coarse_steps_));
+  }
+}
+
+std::uint64_t params_fingerprint(const AprParams& params) {
+  return params_digest(params);
+}
+
+std::uint64_t AprSimulation::params_fingerprint() const {
+  return params_digest(params_);
 }
 
 std::uint64_t AprSimulation::state_digest() const {
@@ -184,7 +203,13 @@ std::uint64_t AprSimulation::state_digest() const {
 }
 
 void AprSimulation::load_checkpoint(const std::string& path) {
+  OBS_SPAN("io", "load_checkpoint");
   load_checkpoint(io::Checkpoint::read(path));
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "io", "checkpoint_load",
+        "\"step\":" + std::to_string(coarse_steps_));
+  }
 }
 
 void AprSimulation::load_checkpoint(const io::Checkpoint& ckpt) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/cells/subgrid.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::core {
 
@@ -247,6 +248,7 @@ PopulationReport Window::populate(cells::CellPool& rbcs,
                                   const cells::RbcTile& tile, Rng& rng,
                                   std::uint64_t& next_id,
                                   std::span<const Vec3> avoid) const {
+  OBS_SPAN("window", "populate");
   PopulationReport report;
   // Partition the outer box into *disjoint* stamp boxes no larger than
   // the tile (each stamp keeps only cells whose centroid falls in its own
@@ -273,6 +275,7 @@ PopulationReport Window::populate(cells::CellPool& rbcs,
 PopulationReport Window::maintain(cells::CellPool& rbcs,
                                   const cells::RbcTile& tile, Rng& rng,
                                   std::uint64_t& next_id) const {
+  OBS_SPAN("window", "maintain");
   PopulationReport report;
   report.removed_outside = remove_exited_cells(rbcs);
   const double floor_ht = cfg_.repopulation_threshold * cfg_.target_hematocrit;

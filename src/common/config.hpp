@@ -42,6 +42,10 @@ class Config {
 
   std::size_t size() const { return values_.size(); }
 
+  /// Sorted view of every key/value pair (the map's natural order), for
+  /// run-manifest config echoes.
+  const std::map<std::string, std::string>& items() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -6,7 +6,13 @@
 namespace apr {
 
 CsvWriter::CsvWriter(std::string path, std::vector<std::string> header)
-    : path_(std::move(path)), header_(std::move(header)) {}
+    : path_(std::move(path)), header_(std::move(header)) {
+  // Fail fast on an unwritable path: the destructor swallows flush
+  // errors, so without this probe a bench could run to completion and
+  // silently drop its output file.
+  std::ofstream probe(path_);
+  if (!probe) throw std::runtime_error("CsvWriter: cannot open " + path_);
+}
 
 CsvWriter::~CsvWriter() {
   try {
@@ -40,6 +46,8 @@ void CsvWriter::flush() {
       os << r[i] << (i + 1 < r.size() ? "," : "\n");
     }
   }
+  os.flush();
+  if (!os) throw std::runtime_error("CsvWriter: write failed for " + path_);
   flushed_ = true;
 }
 

@@ -16,7 +16,9 @@ namespace apr {
 /// Buffers rows and writes them on flush()/destruction.
 class CsvWriter {
  public:
-  /// Opens `path` for writing; header defines the columns.
+  /// Opens `path` for writing; header defines the columns. Throws
+  /// std::runtime_error when `path` is unwritable (eagerly, so a long run
+  /// fails before it starts rather than losing its output at the end).
   CsvWriter(std::string path, std::vector<std::string> header);
   ~CsvWriter();
 

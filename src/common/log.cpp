@@ -1,8 +1,14 @@
 #include "src/common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr {
 
@@ -24,15 +30,44 @@ const char* level_name(LogLevel l) {
       return "?";
   }
 }
+
+std::string timestamp_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  return "[" + timestamp_now() + "] [" + level_name(level) + "] " + msg;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
+  // Mirror warnings and errors into the trace so anomalies line up with
+  // the spans around them (outside the console lock; the tracer has its
+  // own synchronization).
+  if (level >= LogLevel::Warn && obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_instant(
+        "log", level >= LogLevel::Error ? "error" : "warning",
+        "\"message\":\"" + obs::json_escape(msg) + "\"");
+  }
+  const std::string line = format_log_line(level, msg);
   std::lock_guard<std::mutex> lock(g_mutex);
   std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::cout;
-  os << "[" << level_name(level) << "] " << msg << "\n";
+  os << line << "\n";
 }
 
 }  // namespace apr

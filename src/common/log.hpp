@@ -3,6 +3,12 @@
 /// \file log.hpp
 /// Lightweight leveled logging. Benches run with Info; tests silence output
 /// by setting the level to Error.
+///
+/// Lines carry a wall-clock timestamp and a level tag:
+///   [2026-08-07T14:03:21.042] [WARN ] health: ...
+/// When the obs tracer is enabled, Warn and Error messages are mirrored
+/// into the trace as instant events (category "log"), so anomalies line
+/// up with the spans around them.
 
 #include <sstream>
 #include <string>
@@ -17,6 +23,10 @@ LogLevel log_level();
 
 /// Emit a message at `level` (thread-safe).
 void log_message(LogLevel level, const std::string& msg);
+
+/// The exact line log_message emits (sans trailing newline):
+/// "[<local ISO-8601 with ms>] [LEVEL] <msg>". Exposed for tests.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
 template <typename... Args>

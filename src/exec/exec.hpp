@@ -33,6 +33,8 @@
 #include <omp.h>
 #endif
 
+#include "src/obs/trace.hpp"
+
 namespace apr::exec {
 
 /// True when the library was built with OpenMP; otherwise every loop in
@@ -69,6 +71,8 @@ std::size_t chunk_count(std::size_t n, std::size_t grain);
 template <class Body>
 void parallel_for_chunks(std::size_t n, Body&& body, std::size_t grain = 0) {
   if (n == 0) return;
+  // One relaxed atomic load when tracing is off (SpanScope stays unarmed).
+  OBS_SPAN("exec", "parallel_for_chunks");
   const std::size_t g = detail::resolve_grain(n, grain);
   const std::size_t chunks = (n + g - 1) / g;
 #ifdef _OPENMP
@@ -105,6 +109,7 @@ template <class T, class Chunk, class Combine>
 T parallel_reduce(std::size_t n, T identity, Chunk&& chunk, Combine&& combine,
                   std::size_t grain = 0) {
   if (n == 0) return identity;
+  OBS_SPAN("exec", "parallel_reduce");
   const std::size_t g = detail::resolve_grain(n, grain);
   const std::size_t chunks = (n + g - 1) / g;
   std::vector<T> partial(chunks, identity);

@@ -1,6 +1,7 @@
 #include "src/ibm/coupling.hpp"
 
 #include "src/exec/exec.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::ibm {
 
@@ -42,6 +43,7 @@ void interpolate_velocities(const lbm::Lattice& lat,
                             const std::vector<Vec3>& positions,
                             std::vector<Vec3>& velocities,
                             DeltaKernel kernel) {
+  OBS_SPAN("ibm", "interpolate_velocities");
   velocities.resize(positions.size());
   exec::parallel_for(positions.size(), [&](std::size_t vi) {
     const Support s = build_support(lat, positions[vi], kernel);
@@ -95,6 +97,7 @@ void spread_forces_serial(lbm::Lattice& lat,
 
 void spread_forces(lbm::Lattice& lat, const std::vector<Vec3>& positions,
                    const std::vector<Vec3>& forces, DeltaKernel kernel) {
+  OBS_SPAN("ibm", "spread_forces");
   const std::size_t nv = positions.size();
   if (!exec::threaded() || exec::num_workers() == 1 ||
       nv < kParallelSpreadMinVertices) {

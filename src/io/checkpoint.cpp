@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/fem/membrane_model.hpp"
+#include "src/obs/trace.hpp"
 #include "src/mesh/trimesh.hpp"
 
 namespace apr::io {
@@ -151,7 +152,20 @@ Checkpoint Checkpoint::from_bytes(const std::vector<char>& bytes,
   return ckpt;
 }
 
+std::size_t Checkpoint::byte_size() const {
+  // Mirror the framing arithmetic of to_bytes() so metrics can report
+  // checkpoint sizes without serializing twice.
+  std::size_t n = sizeof(kMagic) + sizeof(kFormatVersion) +
+                  sizeof(std::uint32_t);
+  for (const auto& [tag, payload] : sections_) {
+    n += sizeof(tag) + sizeof(std::uint64_t) + payload.size() +
+         sizeof(std::uint32_t);
+  }
+  return n;
+}
+
 void Checkpoint::write(const std::string& path) const {
+  OBS_SPAN("io", "checkpoint_write");
   const std::vector<char> bytes = to_bytes();
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw CheckpointError("checkpoint: cannot open " + path);
@@ -161,6 +175,7 @@ void Checkpoint::write(const std::string& path) const {
 }
 
 Checkpoint Checkpoint::read(const std::string& path) {
+  OBS_SPAN("io", "checkpoint_read");
   std::ifstream is(path, std::ios::binary);
   if (!is) throw CheckpointError("checkpoint: cannot open " + path);
   is.seekg(0, std::ios::end);

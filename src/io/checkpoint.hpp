@@ -193,6 +193,11 @@ class Checkpoint {
   /// FNV-1a over (tag, size, payload) of every section in file order.
   std::uint64_t digest() const;
 
+  /// Exact on-disk size in bytes (framing + payloads) without
+  /// serializing; write() produces exactly this many bytes. Used by the
+  /// metrics layer to report checkpoint sizes cheaply.
+  std::size_t byte_size() const;
+
  private:
   std::vector<std::pair<std::uint32_t, std::vector<char>>> sections_;
 };

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON support for the observability layer: an escape helper for
+/// the writers (tracer, metrics, manifest) and a small recursive-descent
+/// parser for the readers (tools/trace_summary, the obs test suite).
+///
+/// The parser is deliberately strict and tiny: UTF-8 pass-through, no
+/// comments, no trailing commas, numbers parsed as double (every value we
+/// emit survives a %.17g round-trip bit-exactly). It exists so the repo
+/// can validate its own trace/metrics artifacts without an external
+/// dependency; it is not a general-purpose JSON library.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace apr::obs {
+
+/// Typed failure of json_parse: names the byte offset and what was
+/// expected there.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value. Object members keep their source order (the
+/// writers emit sorted keys, so lookups are still deterministic).
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const JsonValue* find(const std::string& key) const;
+
+  /// find() that throws JsonError naming the missing key.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parse one JSON document (the whole input must be consumed). Throws
+/// JsonError on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string json_escape(std::string_view s);
+
+/// Render a double so it parses back bit-exactly (%.17g; "null" is never
+/// produced -- non-finite values are clamped to 0 with an "inf"/"nan"
+/// marker being invalid JSON anyway).
+std::string json_number(double v);
+
+}  // namespace apr::obs

@@ -1,0 +1,104 @@
+#include "src/obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/exec/exec.hpp"
+#include "src/obs/json.hpp"
+
+namespace apr::obs {
+
+namespace {
+
+std::string iso8601_utc_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string compiler_id() {
+  std::ostringstream os;
+#if defined(__clang__)
+  os << "clang " << __clang_major__ << "." << __clang_minor__ << "."
+     << __clang_patchlevel__;
+#elif defined(__GNUC__)
+  os << "gcc " << __GNUC__ << "." << __GNUC_MINOR__ << "."
+     << __GNUC_PATCHLEVEL__;
+#else
+  os << "unknown";
+#endif
+  return os.str();
+}
+
+void emit_pairs(
+    std::ostringstream& os, const char* key,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  os << ",\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [k, v] : pairs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void capture_environment(RunManifest& m) {
+  m.start_time = iso8601_utc_now();
+  m.num_workers = exec::num_workers();
+#if defined(_OPENMP)
+  m.openmp = true;
+#else
+  m.openmp = false;
+#endif
+#if defined(NDEBUG)
+  m.build = "release";
+#else
+  m.build = "debug";
+#endif
+  m.compiler = compiler_id();
+}
+
+std::string run_manifest_json(const RunManifest& m) {
+  std::ostringstream os;
+  os << "{\"tool\":\"" << json_escape(m.tool) << "\""
+     << ",\"command_line\":\"" << json_escape(m.command_line) << "\""
+     << ",\"start_time\":\"" << json_escape(m.start_time) << "\""
+     << ",\"num_workers\":" << m.num_workers
+     << ",\"openmp\":" << (m.openmp ? "true" : "false") << ",\"build\":\""
+     << json_escape(m.build) << "\""
+     << ",\"compiler\":\"" << json_escape(m.compiler) << "\""
+     << ",\"params_digest\":\"" << json_escape(m.params_digest) << "\"";
+  emit_pairs(os, "config", m.config);
+  emit_pairs(os, "extra", m.extra);
+  os << "}";
+  return os.str();
+}
+
+void write_run_manifest(const RunManifest& m, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("obs: cannot open manifest file '" + path +
+                             "' for writing");
+  }
+  os << run_manifest_json(m) << "\n";
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("obs: write failed for manifest file '" + path +
+                             "'");
+  }
+}
+
+}  // namespace apr::obs

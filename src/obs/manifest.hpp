@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Run manifests: a `run_manifest.json` written at startup that records
+/// everything needed to interpret (and re-run) a simulation's outputs --
+/// build flags, worker count, the checkpoint layer's params digest, a
+/// config echo, and the exact command line. Bench drivers write one next
+/// to their trace/metrics files so an archived artifact directory is
+/// self-describing.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apr::obs {
+
+struct RunManifest {
+  std::string tool;          ///< driver name, e.g. "fig6_trajectory"
+  std::string command_line;  ///< argv joined with spaces
+  std::string start_time;    ///< ISO-8601 UTC, filled by capture_environment
+  int num_workers = 0;
+  bool openmp = false;
+  std::string build;     ///< NDEBUG => "release", else "debug"
+  std::string compiler;  ///< compiler id + version from predefined macros
+  /// Trajectory-shaping parameter digest from the checkpoint layer
+  /// (AprSimulation::params_fingerprint), hex; empty when no sim exists.
+  std::string params_digest;
+  /// Echo of the effective config deck, sorted key order.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Free-form extra fields (string values), e.g. {"seed","11"}.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Fill start_time (system clock, UTC), num_workers (exec layer), openmp,
+/// build, and compiler. Caller sets the rest.
+void capture_environment(RunManifest& m);
+
+/// Render as a JSON object (stable field order, config/extra as nested
+/// objects).
+std::string run_manifest_json(const RunManifest& m);
+
+/// Write run_manifest_json to `path`. Throws std::runtime_error naming
+/// the path on open/write failure.
+void write_run_manifest(const RunManifest& m, const std::string& path);
+
+}  // namespace apr::obs

@@ -1,0 +1,120 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/json.hpp"
+
+namespace apr::obs {
+
+void Metrics::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void Metrics::add_counter(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void Metrics::set_counter(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void Metrics::observe(const std::string& name, double value) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  HistogramStats& h = it->second;
+  if (inserted || h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+double Metrics::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+HistogramStats Metrics::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second;
+}
+
+void Metrics::clear() {
+  gauges_.clear();
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string Metrics::to_json() const {
+  // Merge the three sorted maps into one sorted key sequence so the
+  // output is a single flat object regardless of metric kind.
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto emit_key = [&](const std::string& name) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":";
+  };
+  auto g = gauges_.begin();
+  auto c = counters_.begin();
+  auto h = histograms_.begin();
+  while (g != gauges_.end() || c != counters_.end() ||
+         h != histograms_.end()) {
+    // Pick the lexicographically smallest remaining key.
+    const std::string* best = nullptr;
+    if (g != gauges_.end()) best = &g->first;
+    if (c != counters_.end() && (!best || c->first < *best)) best = &c->first;
+    if (h != histograms_.end() && (!best || h->first < *best)) {
+      best = &h->first;
+    }
+    if (g != gauges_.end() && &g->first == best) {
+      emit_key(g->first);
+      os << json_number(g->second);
+      ++g;
+    } else if (c != counters_.end() && &c->first == best) {
+      emit_key(c->first);
+      os << c->second;
+      ++c;
+    } else {
+      emit_key(h->first);
+      os << "{\"count\":" << h->second.count
+         << ",\"sum\":" << json_number(h->second.sum)
+         << ",\"min\":" << json_number(h->second.min)
+         << ",\"max\":" << json_number(h->second.max) << "}";
+      ++h;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+MetricsWriter::MetricsWriter(const std::string& path) : path_(path) {
+  os_.open(path_);
+  if (!os_) {
+    throw std::runtime_error("obs: cannot open metrics file '" + path_ +
+                             "' for writing");
+  }
+}
+
+void MetricsWriter::write_line(const std::string& json) {
+  os_ << json << "\n";
+  os_.flush();
+  if (!os_) {
+    throw std::runtime_error("obs: write failed for metrics file '" + path_ +
+                             "'");
+  }
+  ++lines_;
+}
+
+}  // namespace apr::obs

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named metrics registry + JSONL sink for the APR stack.
+///
+/// Three metric kinds:
+///  - gauge: a sampled double ("coarse.mass", "window.hematocrit")
+///  - counter: a monotonic integer ("window.moves", "health.violations")
+///  - histogram: running count/sum/min/max of observations
+///    ("relocation.ms")
+///
+/// A registry renders as one flat JSON object with keys in sorted order
+/// and doubles at %.17g, so identical values produce byte-identical
+/// lines -- the determinism tests compare samples across worker counts
+/// textually. AprSimulation samples its registry on a configurable
+/// cadence (AprParams::obs) into a MetricsWriter, one JSON object per
+/// line (JSONL), which tools/trace_summary --check validates.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace apr::obs {
+
+/// Running summary of observations fed to Metrics::observe.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class Metrics {
+ public:
+  void set_gauge(const std::string& name, double value);
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  void set_counter(const std::string& name, std::uint64_t value);
+  void observe(const std::string& name, double value);
+
+  /// Current value, or 0 / empty stats when the metric was never touched.
+  double gauge(const std::string& name) const;
+  std::uint64_t counter(const std::string& name) const;
+  HistogramStats histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return gauges_.size() + counters_.size() + histograms_.size();
+  }
+
+  void clear();
+
+  /// One flat JSON object: gauges as numbers, counters as integers,
+  /// histograms as {"count","sum","min","max"} sub-objects. Keys sorted
+  /// (std::map order); byte-stable for identical values.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, HistogramStats> histograms_;
+};
+
+/// Line-oriented JSONL sink. Opens eagerly: an unwritable path fails the
+/// run at construction with a clear error instead of silently truncating
+/// output at the end.
+class MetricsWriter {
+ public:
+  /// Throws std::runtime_error naming `path` when it cannot be opened.
+  explicit MetricsWriter(const std::string& path);
+
+  /// Append one line (the caller passes a rendered JSON object). Flushes
+  /// so a crashed run keeps every completed sample. Throws
+  /// std::runtime_error when the write fails.
+  void write_line(const std::string& json);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace apr::obs

@@ -1,0 +1,184 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace apr::obs {
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* cat;
+  const char* name;
+  char ph;               ///< 'X' complete, 'i' instant
+  std::int64_t ts_ns;    ///< steady-clock ns
+  std::int64_t dur_ns;   ///< 'X' only
+  std::string args;      ///< pre-rendered JSON body or empty
+};
+
+}  // namespace
+
+/// One thread's append-only event buffer. Registered once per thread
+/// under the registry mutex; appends afterwards are unsynchronized (only
+/// the owning thread writes).
+struct Tracer::Buffer {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+namespace {
+
+/// Registry shared by all threads. A plain static so the tracer singleton
+/// and the registry have the same lifetime.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Tracer::Buffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local Tracer::Buffer* tl_buffer = nullptr;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  if (!tl_buffer) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(std::make_unique<Buffer>());
+    reg.buffers.back()->tid = static_cast<int>(reg.buffers.size()) - 1;
+    reg.buffers.back()->events.reserve(1024);
+    tl_buffer = reg.buffers.back().get();
+  }
+  return *tl_buffer;
+}
+
+void Tracer::set_enabled(bool on) {
+  if (on && !enabled_.load(std::memory_order_relaxed)) {
+    epoch_ns_ = trace_now_ns();
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::record_complete(const char* cat, const char* name,
+                             std::int64_t start_ns, std::int64_t dur_ns,
+                             std::string args) {
+  // Deliberately not gated on enabled(): a span armed while tracing was
+  // on must still close if tracing is switched off mid-scope, or the
+  // trace ends up unbalanced. Callers gate span *opening* on enabled().
+  local_buffer().events.push_back(
+      {cat, name, 'X', start_ns, dur_ns, std::move(args)});
+}
+
+void Tracer::record_instant(const char* cat, const char* name,
+                            std::string args) {
+  if (!enabled()) return;
+  local_buffer().events.push_back(
+      {cat, name, 'i', trace_now_ns(), 0, std::move(args)});
+}
+
+std::size_t Tracer::event_count() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& b : reg.buffers) n += b->events.size();
+  return n;
+}
+
+std::size_t Tracer::buffers_registered() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.buffers.size();
+}
+
+void Tracer::clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& b : reg.buffers) b->events.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Merge every buffer, tagged with its thread id, sorted by timestamp so
+  // viewers that expect ordered input stay happy.
+  struct Tagged {
+    const TraceEvent* ev;
+    int tid;
+  };
+  std::vector<Tagged> merged;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::size_t total = 0;
+    for (const auto& b : reg.buffers) total += b->events.size();
+    merged.reserve(total);
+    for (const auto& b : reg.buffers) {
+      for (const TraceEvent& ev : b->events) merged.push_back({&ev, b->tid});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.ev->ts_ns < b.ev->ts_ns;
+                   });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Tagged& t : merged) {
+    const TraceEvent& ev = *t.ev;
+    if (!first) os << ",";
+    first = false;
+    // Chrome timestamps are microseconds; keep sub-us precision as a
+    // fractional part.
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.cat) << "\",\"ph\":\"" << ev.ph
+       << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":"
+       << json_number(static_cast<double>(ev.ts_ns - epoch_ns_) * 1e-3);
+    if (ev.ph == 'X') {
+      os << ",\"dur\":" << json_number(static_cast<double>(ev.dur_ns) * 1e-3);
+    } else if (ev.ph == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    if (!ev.args.empty()) os << ",\"args\":{" << ev.args << "}";
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("obs: cannot open trace file '" + path +
+                             "' for writing");
+  }
+  os << to_chrome_json() << "\n";
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("obs: write failed for trace file '" + path +
+                             "'");
+  }
+}
+
+}  // namespace apr::obs

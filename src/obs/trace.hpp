@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file trace.hpp
+/// Event tracing for the APR stack: a process-global, per-thread-buffered
+/// span recorder that emits Chrome `trace_event` JSON (open the file in
+/// chrome://tracing or https://ui.perfetto.dev).
+///
+/// Design constraints, in order:
+///  1. Zero overhead when disabled. `OBS_SPAN` costs one relaxed atomic
+///     load and never allocates; every instrumentation site in the hot
+///     path (exec dispatches, StepProfiler scopes, coupler sweeps) stays
+///     branch-predictable.
+///  2. Lock-cheap when enabled. Each thread appends to its own buffer;
+///     the only lock is taken once per thread (buffer registration) and
+///     by the serial-context readers (to_chrome_json / clear).
+///  3. RAII spans. A span closes when its scope unwinds -- including via
+///     exceptions -- so traces are always balanced.
+///
+/// Event names and categories must be string literals (or other
+/// static-storage strings): the recorder stores the pointers, not copies.
+/// Dynamic payloads go in the pre-rendered `args` JSON body.
+///
+/// Readers (to_chrome_json, event_count, clear) must run from a serial
+/// context -- between steps, after a run -- never concurrently with
+/// recording threads.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace apr::obs {
+
+/// Monotonic timestamp for span brackets [ns].
+std::int64_t trace_now_ns();
+
+class Tracer {
+ public:
+  /// The process-wide tracer every OBS_SPAN records into.
+  static Tracer& instance();
+
+  /// Master switch. Enabling (re)bases the trace clock so timestamps
+  /// start near zero; disabling keeps recorded events for writing.
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record a completed span (Chrome phase 'X'). `args` is a pre-rendered
+  /// JSON object body ("key":value pairs without braces) or empty.
+  void record_complete(const char* cat, const char* name,
+                       std::int64_t start_ns, std::int64_t dur_ns,
+                       std::string args = {});
+
+  /// Record an instant event (Chrome phase 'i', thread scope). No-op when
+  /// disabled.
+  void record_instant(const char* cat, const char* name,
+                      std::string args = {});
+
+  /// Events recorded across all thread buffers (serial context only).
+  std::size_t event_count() const;
+
+  /// Thread buffers registered so far (a disabled tracer never registers
+  /// any -- the obs test suite uses this as its allocation probe).
+  std::size_t buffers_registered() const;
+
+  /// Drop all recorded events; registered buffers stay alive (their
+  /// owning threads hold pointers to them). Serial context only.
+  void clear();
+
+  /// The merged trace as Chrome trace_event JSON (serial context only).
+  std::string to_chrome_json() const;
+
+  /// to_chrome_json() written to `path`. Throws std::runtime_error with a
+  /// message naming the path when the file cannot be opened or written.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Per-thread event buffer; defined in trace.cpp.
+  struct Buffer;
+
+ private:
+  Tracer() = default;
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  ///< set on enable; JSON ts are relative
+};
+
+/// RAII span: opens on construction when tracing is enabled, closes on
+/// destruction. If the tracer is enabled mid-scope the span is skipped
+/// (never half-recorded); if it is disabled mid-scope the span still
+/// closes, keeping the trace balanced.
+class SpanScope {
+ public:
+  SpanScope(const char* cat, const char* name) {
+    if (Tracer::instance().enabled()) {
+      cat_ = cat;
+      name_ = name;
+      start_ns_ = trace_now_ns();
+    }
+  }
+  ~SpanScope() {
+    if (cat_) {
+      Tracer::instance().record_complete(cat_, name_, start_ns_,
+                                         trace_now_ns() - start_ns_);
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* cat_ = nullptr;  ///< null = span not armed
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+
+/// Bracket the enclosing scope with a trace span. `cat` and `name` must
+/// be string literals (see file comment).
+#define OBS_SPAN(cat, name) \
+  ::apr::obs::SpanScope OBS_CONCAT(obs_span_, __LINE__)(cat, name)
+
+}  // namespace apr::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/common/csv.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::perf {
 
@@ -51,20 +52,29 @@ const char* to_string(StepPhase phase) {
 }
 
 StepProfiler::Scope::Scope(StepProfiler& profiler, StepPhase phase)
-    : profiler_(profiler.enabled() ? &profiler : nullptr), phase_(phase) {
-  if (profiler_) start_ns_ = now_ns();
+    : profiler_(profiler.enabled() ? &profiler : nullptr),
+      phase_(phase),
+      tracing_(obs::Tracer::instance().enabled()) {
+  if (profiler_ || tracing_) start_ns_ = now_ns();
 }
 
 StepProfiler::Scope::Scope(Scope&& other) noexcept
     : profiler_(other.profiler_),
       phase_(other.phase_),
+      tracing_(other.tracing_),
       start_ns_(other.start_ns_) {
   other.profiler_ = nullptr;
+  other.tracing_ = false;
 }
 
 StepProfiler::Scope::~Scope() {
-  if (!profiler_) return;
-  profiler_->add_seconds(phase_, (now_ns() - start_ns_) * 1e-9);
+  if (!profiler_ && !tracing_) return;
+  const std::int64_t dur_ns = now_ns() - start_ns_;
+  if (profiler_) profiler_->add_seconds(phase_, dur_ns * 1e-9);
+  if (tracing_) {
+    obs::Tracer::instance().record_complete("step", to_string(phase_),
+                                            start_ns_, dur_ns);
+  }
 }
 
 void StepProfiler::add_seconds(StepPhase phase, double seconds) {
@@ -139,9 +149,11 @@ std::string StepProfiler::to_json() const {
   for (int i = 0; i < kNumStepPhases; ++i) {
     const PhaseStats& s = stats_[i];
     if (i) os << ",";
+    const double ms_per_call = s.calls ? 1e3 * s.seconds / s.calls : 0.0;
     os << "{\"phase\":\"" << to_string(static_cast<StepPhase>(i))
        << "\",\"seconds\":" << s.seconds << ",\"calls\":" << s.calls
-       << ",\"site_updates\":" << s.site_updates << "}";
+       << ",\"site_updates\":" << s.site_updates
+       << ",\"ms_per_call\":" << ms_per_call << "}";
   }
   os << "],\"total_seconds\":" << total_seconds() << "}";
   return os.str();

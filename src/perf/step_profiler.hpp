@@ -11,6 +11,11 @@
 /// the paper's node-hour accounting (Fig. 6) and the input the scaling
 /// model of src/perf is calibrated against.
 ///
+/// When the obs tracer is enabled (obs::Tracer::instance()), every Scope
+/// additionally emits a Chrome trace span (category "step", name =
+/// to_string(phase)) -- independent of set_enabled, so a trace always
+/// shows the phase structure even with profiling off.
+///
 /// Overhead is two steady_clock reads per phase per step; keep it enabled
 /// by default. set_enabled(false) turns Scopes and the add_* mutators
 /// into no-ops.
@@ -61,6 +66,7 @@ class StepProfiler {
    private:
     StepProfiler* profiler_;  // null when disabled or moved-from
     StepPhase phase_;
+    bool tracing_ = false;  // emit an obs trace span on close
     std::int64_t start_ns_ = 0;
   };
 
@@ -87,8 +93,8 @@ class StepProfiler {
   /// Fixed-width text table (phase, seconds, share, calls, site updates).
   std::string format_report() const;
 
-  /// JSON object {"phases": [{"phase": ..., "seconds": ..., ...}],
-  /// "total_seconds": ...}.
+  /// JSON object {"phases": [{"phase": ..., "seconds": ..., "calls": ...,
+  /// "site_updates": ..., "ms_per_call": ...}], "total_seconds": ...}.
   std::string to_json() const;
 
   /// CSV with columns phase,seconds,calls,site_updates where `phase` is

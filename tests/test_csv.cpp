@@ -39,6 +39,18 @@ TEST(CsvWriter, RejectsArityMismatch) {
   EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
 }
 
+TEST(CsvWriter, ConstructorFailsFastOnUnwritablePath) {
+  // The destructor swallows flush errors, so a lazy open would let a
+  // bench run to completion and silently drop its output file.
+  try {
+    CsvWriter csv("/nonexistent-dir/out.csv", {"x"});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir/out.csv"),
+              std::string::npos);
+  }
+}
+
 TEST(CsvWriter, FlushOnDestruction) {
   const std::string path = temp_path("csv_dtor.csv");
   {

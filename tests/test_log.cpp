@@ -1,0 +1,64 @@
+/// Logging tests: the timestamped line format and the Warn/Error mirror
+/// into the obs tracer.
+
+#include "src/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+
+namespace apr {
+namespace {
+
+TEST(Log, FormatLineCarriesTimestampAndLevel) {
+  // [2026-08-07T14:03:21.042] [WARN ] msg
+  const std::regex shape(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}\] \[[A-Z ]{5}\] msg$)");
+  EXPECT_TRUE(std::regex_match(format_log_line(LogLevel::Warn, "msg"), shape));
+  EXPECT_TRUE(std::regex_match(format_log_line(LogLevel::Info, "msg"), shape));
+
+  EXPECT_NE(format_log_line(LogLevel::Error, "x").find("[ERROR]"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::Warn, "x").find("[WARN ]"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::Info, "x").find("[INFO ]"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::Debug, "x").find("[DEBUG]"),
+            std::string::npos);
+}
+
+TEST(Log, WarnAndErrorMirrorIntoTracer) {
+  obs::Tracer& t = obs::Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  const std::size_t before = t.event_count();
+  log_message(LogLevel::Info, "quiet");   // below the mirror threshold
+  log_message(LogLevel::Warn, "watch \"this\"");
+  log_message(LogLevel::Error, "bad");
+  t.set_enabled(false);
+  EXPECT_EQ(t.event_count(), before + 2);
+
+  const obs::JsonValue doc = obs::json_parse(t.to_chrome_json());
+  int warnings = 0;
+  int errors = 0;
+  for (const obs::JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("cat").string != "log") continue;
+    if (e.at("name").string == "warning") {
+      ++warnings;
+      EXPECT_EQ(e.at("args").at("message").string, "watch \"this\"");
+    } else if (e.at("name").string == "error") {
+      ++errors;
+      EXPECT_EQ(e.at("args").at("message").string, "bad");
+    }
+  }
+  EXPECT_EQ(warnings, 1);
+  EXPECT_EQ(errors, 1);
+  t.clear();
+}
+
+}  // namespace
+}  // namespace apr

@@ -1,0 +1,490 @@
+/// Observability layer tests: the strict JSON parser, the tracer's span
+/// balance / Chrome output / disabled-mode overhead contract, metrics
+/// registry determinism, run manifests, and the AprSimulation wiring
+/// (fail-fast sinks, worker-count-invariant reductions, JSONL sampling).
+///
+/// The tracer is process-global, so every tracer test restores the
+/// disabled state and uses event-count deltas rather than absolute counts.
+
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/apr/simulation.hpp"
+#include "src/common/log.hpp"
+#include "src/exec/exec.hpp"
+#include "src/lbm/lattice.hpp"
+#include "src/mesh/shapes.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/perf/step_profiler.hpp"
+#include "src/rheology/blood.hpp"
+
+namespace apr::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Re-disables the global tracer and drops its events on scope exit so a
+/// tracer test cannot leak state into the rest of the suite.
+struct TracerGuard {
+  ~TracerGuard() {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+// --- JSON parser ----------------------------------------------------------
+
+TEST(ObsJson, ParsesScalarsArraysObjects) {
+  const JsonValue v = json_parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x\n\"y\"", "o": {}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").number, 1.5);
+  ASSERT_TRUE(v.at("b").is_array());
+  ASSERT_EQ(v.at("b").array.size(), 3u);
+  EXPECT_TRUE(v.at("b").array[0].boolean);
+  EXPECT_EQ(v.at("s").string, "x\n\"y\"");
+  EXPECT_TRUE(v.at("o").is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("{} trailing"), JsonError);
+  EXPECT_THROW(json_parse("{'a': 1}"), JsonError);
+  EXPECT_THROW(json_parse("[1,]"), JsonError);
+}
+
+TEST(ObsJson, NumberFormatRoundTrips) {
+  // %.17g is enough to reproduce any double exactly.
+  const double x = 0.1 + 0.2;
+  const JsonValue v = json_parse(json_number(x));
+  EXPECT_EQ(v.number, x);
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(ObsTrace, SpansBalancedUnderExceptions) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  const std::size_t before = t.event_count();
+  try {
+    OBS_SPAN("test", "throwing_scope");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // The span closed during unwinding: exactly one complete event.
+  EXPECT_EQ(t.event_count(), before + 1);
+}
+
+TEST(ObsTrace, ChromeJsonEnvelopeParses) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  {
+    OBS_SPAN("test", "outer");
+    OBS_SPAN("test", "inner");
+  }
+  t.record_instant("test", "marker", "\"k\":42");
+  t.set_enabled(false);
+
+  const JsonValue doc = json_parse(t.to_chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 3u);
+  double last_ts = -1.0;
+  bool saw_instant = false;
+  for (const JsonValue& e : events.array) {
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("cat").is_string());
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_GE(e.at("ts").number, last_ts);
+    last_ts = e.at("ts").number;
+    const std::string ph = e.at("ph").string;
+    if (ph == "X") {
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else {
+      ASSERT_EQ(ph, "i");
+      EXPECT_EQ(e.at("s").string, "t");
+      EXPECT_EQ(e.at("args").at("k").number, 42.0);
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(ObsTrace, DisabledModeRecordsAndAllocatesNothing) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(false);
+  const std::size_t events_before = t.event_count();
+  const std::size_t buffers_before = t.buffers_registered();
+  for (int i = 0; i < 1000; ++i) {
+    OBS_SPAN("test", "disabled");
+  }
+  t.record_instant("test", "disabled_instant");
+  // Nothing recorded, and no thread buffer was registered (registration
+  // is the only allocation a span can cause).
+  EXPECT_EQ(t.event_count(), events_before);
+  EXPECT_EQ(t.buffers_registered(), buffers_before);
+}
+
+TEST(ObsTrace, DisabledSpanOverheadIsTiny) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(false);
+  constexpr int kIters = 200000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    OBS_SPAN("test", "overhead_probe");
+  }
+  const double ns_per_span =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count() /
+      kIters;
+  // One relaxed atomic load; the bound is two orders of magnitude above
+  // the expected cost to stay robust on loaded CI machines.
+  EXPECT_LT(ns_per_span, 250.0);
+}
+
+TEST(ObsTrace, DisableMidScopeStillClosesSpan) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  const std::size_t before = t.event_count();
+  {
+    OBS_SPAN("test", "straddler");
+    t.set_enabled(false);
+  }
+  EXPECT_EQ(t.event_count(), before + 1);
+
+  // The mirror case: enabling mid-scope must not record a half-open span.
+  {
+    OBS_SPAN("test", "late_enable");
+    t.set_enabled(true);
+  }
+  EXPECT_EQ(t.event_count(), before + 1);
+}
+
+TEST(ObsTrace, WriteThrowsOnUnwritablePath) {
+  TracerGuard guard;
+  try {
+    Tracer::instance().write_chrome_json("/nonexistent-dir/trace.json");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir/trace.json"),
+              std::string::npos);
+  }
+}
+
+// --- Metrics registry -----------------------------------------------------
+
+TEST(ObsMetrics, RegistryBasics) {
+  Metrics m;
+  m.set_gauge("mass", 2.5);
+  m.add_counter("moves");
+  m.add_counter("moves", 2);
+  m.observe("lat_ms", 1.0);
+  m.observe("lat_ms", 3.0);
+  EXPECT_DOUBLE_EQ(m.gauge("mass"), 2.5);
+  EXPECT_EQ(m.counter("moves"), 3u);
+  EXPECT_EQ(m.histogram("lat_ms").count, 2u);
+  EXPECT_DOUBLE_EQ(m.histogram("lat_ms").sum, 4.0);
+  EXPECT_DOUBLE_EQ(m.histogram("lat_ms").min, 1.0);
+  EXPECT_DOUBLE_EQ(m.histogram("lat_ms").max, 3.0);
+  EXPECT_EQ(m.gauge("untouched"), 0.0);
+  EXPECT_EQ(m.size(), 3u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ObsMetrics, ToJsonIsSortedAndStable) {
+  Metrics m;
+  m.set_gauge("zeta", 1.0 / 3.0);
+  m.set_gauge("alpha", 0.1);
+  m.add_counter("mid", 7);
+  const std::string a = m.to_json();
+  const std::string b = m.to_json();
+  EXPECT_EQ(a, b);  // byte-identical on repeat render
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"mid\""));
+  EXPECT_LT(a.find("\"mid\""), a.find("\"zeta\""));
+  // Values survive a parse round-trip exactly.
+  const JsonValue v = json_parse(a);
+  EXPECT_EQ(v.at("zeta").number, 1.0 / 3.0);
+  EXPECT_EQ(v.at("mid").number, 7.0);
+}
+
+TEST(ObsMetrics, WriterAppendsLinesAndFailsFast) {
+  const std::string path = temp_path("obs_metrics.jsonl");
+  {
+    MetricsWriter w(path);
+    Metrics m;
+    m.set_gauge("step", 1.0);
+    w.write_line(m.to_json());
+    m.set_gauge("step", 2.0);
+    w.write_line(m.to_json());
+    EXPECT_EQ(w.lines_written(), 2u);
+  }
+  std::ifstream is(path);
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line)) {
+    const JsonValue v = json_parse(line);
+    EXPECT_DOUBLE_EQ(v.at("step").number, ++n);
+  }
+  EXPECT_EQ(n, 2);
+
+  try {
+    MetricsWriter bad("/nonexistent-dir/metrics.jsonl");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir/metrics.jsonl"),
+              std::string::npos);
+  }
+}
+
+// --- Run manifest ---------------------------------------------------------
+
+TEST(ObsManifest, CaptureAndRoundTrip) {
+  RunManifest m;
+  m.tool = "test_tool";
+  m.command_line = "test_tool --flag";
+  capture_environment(m);
+  EXPECT_GE(m.num_workers, 1);
+  EXPECT_FALSE(m.start_time.empty());
+  EXPECT_FALSE(m.build.empty());
+  m.params_digest = "deadbeef00000000";
+  m.config = {{"apr_n", "4"}};
+  m.extra = {{"seed", "11"}};
+
+  const JsonValue v = json_parse(run_manifest_json(m));
+  EXPECT_EQ(v.at("tool").string, "test_tool");
+  EXPECT_EQ(v.at("params_digest").string, "deadbeef00000000");
+  EXPECT_EQ(v.at("config").at("apr_n").string, "4");
+  EXPECT_EQ(v.at("extra").at("seed").string, "11");
+  // ISO-8601 UTC shape: 2026-01-02T03:04:05Z
+  EXPECT_EQ(m.start_time.size(), 20u);
+  EXPECT_EQ(m.start_time[10], 'T');
+  EXPECT_EQ(m.start_time.back(), 'Z');
+
+  const std::string path = temp_path("run_manifest.json");
+  write_run_manifest(m, path);
+  std::ifstream is(path);
+  std::string body((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json_parse(body).at("tool").string, "test_tool");
+
+  EXPECT_THROW(write_run_manifest(m, "/nonexistent-dir/m.json"),
+               std::runtime_error);
+}
+
+// --- Worker-count-invariant reductions ------------------------------------
+
+/// Restores the ambient worker count on scope exit (same idiom as
+/// test_exec.cpp).
+struct WorkerGuard {
+  int saved = exec::num_workers();
+  ~WorkerGuard() { exec::set_num_workers(saved); }
+};
+
+TEST(ObsDeterminism, LatticeReductionsAreWorkerCountInvariant) {
+  // A lattice with irregular per-node state: any order-dependent sum
+  // would differ in the last bits across worker counts.
+  lbm::Lattice lat(12, 11, 10, Vec3{}, 1.0, 1.0);
+  lat.init_equilibrium(1.0, Vec3{0.02, 0.0, 0.0});
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    auto f = lat.f_node(i);
+    for (std::size_t q = 0; q < f.size(); ++q) {
+      f[q] *= 1.0 + 1e-3 * std::sin(static_cast<double>(i * 19 + q));
+    }
+    lat.set_f_node(i, f);
+    if (i % 7 == 0) lat.set_type(i, lbm::NodeType::Wall);
+  }
+
+  WorkerGuard guard;
+  exec::set_num_workers(1);
+  const double mass1 = core::lattice_total_mass(lat);
+  const double mach1 = core::lattice_max_mach(lat);
+  for (int w : {2, 3, 4}) {
+    exec::set_num_workers(w);
+    // Bit-exact equality, not tolerance: fixed-grain chunking and ordered
+    // combination make the reduction independent of the worker count.
+    EXPECT_EQ(core::lattice_total_mass(lat), mass1) << "workers=" << w;
+    EXPECT_EQ(core::lattice_max_mach(lat), mach1) << "workers=" << w;
+  }
+  EXPECT_GT(mass1, 0.0);
+  EXPECT_GE(mach1, 0.0);
+}
+
+// --- AprSimulation wiring -------------------------------------------------
+
+std::shared_ptr<fem::MembraneModel> tiny_rbc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kRbcShearModulus;
+  p.bending_modulus = rheology::kRbcBendingModulus;
+  p.ka_global = 1e-6;
+  p.kv_global = 1e-6;
+  return std::make_shared<fem::MembraneModel>(mesh::rbc_biconcave(1, 1e-6),
+                                              p);
+}
+
+std::shared_ptr<fem::MembraneModel> tiny_ctc() {
+  fem::MembraneParams p;
+  p.shear_modulus = rheology::kCtcShearModulus;
+  p.bending_modulus = 10.0 * rheology::kRbcBendingModulus;
+  p.ka_global = 1e-5;
+  p.kv_global = 1e-5;
+  return std::make_shared<fem::MembraneModel>(mesh::ctc_sphere(1, 1.6e-6), p);
+}
+
+core::AprParams tiny_params() {
+  core::AprParams p;
+  p.dx_coarse = 2.0e-6;
+  p.n = 2;
+  p.tau_coarse = 1.0;
+  p.nu_bulk = rheology::kWholeBloodKinematicViscosity;
+  p.lambda = rheology::kPlasmaViscosity / rheology::kWholeBloodViscosity;
+  p.window.proper_side = 6.0e-6;
+  p.window.onramp_width = 2.5e-6;
+  p.window.insertion_width = 5.5e-6;  // outer = 22 um = 11 dx_coarse
+  p.window.target_hematocrit = 0.10;
+  p.move.trigger_distance = 1.5e-6;
+  p.fsi.contact_cutoff = 0.4e-6;
+  p.fsi.contact_strength = 2e-12;
+  p.fsi.wall_cutoff = 0.5e-6;
+  p.fsi.wall_strength = 5e-12;
+  p.maintain_interval = 3;
+  p.rbc_capacity = 1500;
+  p.seed = 7;
+  return p;
+}
+
+std::shared_ptr<geometry::TubeDomain> tube_domain() {
+  return std::make_shared<geometry::TubeDomain>(
+      Vec3{0.0, 0.0, -30e-6}, Vec3{0.0, 0.0, 1.0}, 60e-6, 16e-6,
+      /*capped=*/false);
+}
+
+class ObsSimulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::Error); }
+};
+
+TEST_F(ObsSimulationTest, ConstructorFailsFastOnUnwritableMetricsFile) {
+  core::AprParams p = tiny_params();
+  p.obs.metrics_file = "/nonexistent-dir/metrics.jsonl";
+  EXPECT_THROW(
+      core::AprSimulation(tube_domain(), tiny_rbc(), tiny_ctc(), p),
+      std::runtime_error);
+}
+
+TEST_F(ObsSimulationTest, ObsParamsDoNotChangeParamsFingerprint) {
+  core::AprParams a = tiny_params();
+  core::AprParams b = tiny_params();
+  b.obs.trace_file = "somewhere.json";
+  b.obs.metrics_interval = 50;
+  EXPECT_EQ(core::params_fingerprint(a), core::params_fingerprint(b));
+  b.seed = a.seed + 1;
+  EXPECT_NE(core::params_fingerprint(a), core::params_fingerprint(b));
+}
+
+TEST_F(ObsSimulationTest, StepSamplesMetricsIntoJsonlSink) {
+  const std::string path = temp_path("obs_sim_metrics.jsonl");
+  core::AprParams p = tiny_params();
+  p.obs.metrics_file = path;
+  p.obs.metrics_interval = 2;
+  core::AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), p);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.run(6);
+
+  // interval = 2 over 6 steps -> samples at steps 2, 4, 6.
+  std::ifstream is(path);
+  std::string line;
+  std::vector<double> steps;
+  while (std::getline(is, line)) {
+    const JsonValue v = json_parse(line);
+    steps.push_back(v.at("step").number);
+    EXPECT_TRUE(v.at("time").is_number());
+    EXPECT_GT(v.at("coarse.mass").number, 0.0);
+    EXPECT_GT(v.at("fine.mass").number, 0.0);
+    EXPECT_TRUE(v.find("window.hematocrit") != nullptr);
+    EXPECT_TRUE(v.find("rbc.count") != nullptr);
+    EXPECT_TRUE(v.find("fine.max_mach") != nullptr);
+    EXPECT_TRUE(v.find("phase.forces.ms") != nullptr);
+  }
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(steps[0], 2.0);
+  EXPECT_DOUBLE_EQ(steps[2], 6.0);
+
+  // The registry mirrors the last line.
+  EXPECT_DOUBLE_EQ(sim.metrics().gauge("step"), 6.0);
+  EXPECT_EQ(sim.metrics().counter("health.scans"), sim.health_scans());
+}
+
+TEST_F(ObsSimulationTest, TracedRunEmitsAllStepPhaseSpans) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  core::AprParams p = tiny_params();
+  p.health.enabled = true;  // the Health phase only runs when scans do
+  p.health.interval = 1;
+  p.health.policy = core::HealthPolicy::Log;
+  core::AprSimulation sim(tube_domain(), tiny_rbc(), tiny_ctc(), p);
+  sim.initialize_flow(Vec3{});
+  sim.coarse().set_periodic(false, false, true);
+  sim.place_window(Vec3{});
+  sim.place_ctc(Vec3{});
+  sim.run(3);
+  // Drag the CTC to within trigger_distance of the window proper boundary
+  // so the WindowMove phase fires too (an undriven 3-step run never
+  // relocates on its own). Offsets are relative to the actual (snapped)
+  // window center.
+  sim.place_ctc(sim.window().center() +
+                Vec3{0.0, 0.0, p.window.proper_side / 2.0 - 0.5e-6});
+  sim.step();
+  t.set_enabled(false);
+
+  const JsonValue doc = json_parse(t.to_chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  for (int i = 0; i < perf::kNumStepPhases; ++i) {
+    const std::string want =
+        perf::to_string(static_cast<perf::StepPhase>(i));
+    bool found = false;
+    for (const JsonValue& e : events.array) {
+      if (e.at("ph").string == "X" && e.at("cat").string == "step" &&
+          e.at("name").string == want) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing step phase span " << want;
+  }
+}
+
+}  // namespace
+}  // namespace apr::obs

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "src/common/csv.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::perf {
 namespace {
@@ -120,6 +122,62 @@ TEST(StepProfiler, JsonContainsPhaseNamesAndTotal) {
   const std::string json = prof.to_json();
   EXPECT_NE(json.find("\"coupling\""), std::string::npos);
   EXPECT_NE(json.find("\"total_seconds\""), std::string::npos);
+}
+
+TEST(StepProfiler, JsonRoundTripsThroughParser) {
+  StepProfiler prof;
+  prof.add_seconds(StepPhase::Coupling, 0.5);
+  prof.add_seconds(StepPhase::Coupling, 0.25);
+  prof.add_site_updates(StepPhase::Coupling, 123);
+
+  const obs::JsonValue doc = obs::json_parse(prof.to_json());
+  const obs::JsonValue& phases = doc.at("phases");
+  ASSERT_EQ(phases.array.size(), static_cast<std::size_t>(kNumStepPhases));
+  const obs::JsonValue& coupling =
+      phases.array[static_cast<int>(StepPhase::Coupling)];
+  EXPECT_EQ(coupling.at("phase").string, "coupling");
+  EXPECT_DOUBLE_EQ(coupling.at("seconds").number, 0.75);
+  EXPECT_DOUBLE_EQ(coupling.at("calls").number, 2.0);
+  EXPECT_DOUBLE_EQ(coupling.at("site_updates").number, 123.0);
+  // 0.75 s over 2 calls -> 375 ms/call.
+  EXPECT_DOUBLE_EQ(coupling.at("ms_per_call").number, 375.0);
+  EXPECT_DOUBLE_EQ(doc.at("total_seconds").number, 0.75);
+  // A phase that never ran reports zero per-call cost.
+  const obs::JsonValue& advect =
+      phases.array[static_cast<int>(StepPhase::Advect)];
+  EXPECT_DOUBLE_EQ(advect.at("ms_per_call").number, 0.0);
+}
+
+TEST(StepProfiler, MergedProfilesRoundTripThroughJson) {
+  StepProfiler a;
+  StepProfiler b;
+  a.add_seconds(StepPhase::Forces, 1.0);
+  b.add_seconds(StepPhase::Forces, 2.0);
+  b.add_site_updates(StepPhase::Forces, 40);
+  a.merge(b);
+  const obs::JsonValue doc = obs::json_parse(a.to_json());
+  const obs::JsonValue& forces =
+      doc.at("phases").array[static_cast<int>(StepPhase::Forces)];
+  EXPECT_DOUBLE_EQ(forces.at("seconds").number, 3.0);
+  EXPECT_DOUBLE_EQ(forces.at("site_updates").number, 40.0);
+}
+
+TEST(StepProfiler, DisabledScopeStillFeedsEnabledTracer) {
+  // The trace must show all step phases even when the per-phase profiler
+  // is off: Scope arms itself whenever the tracer is enabled.
+  obs::Tracer& t = obs::Tracer::instance();
+  t.set_enabled(true);
+  t.clear();
+  const std::size_t before = t.event_count();
+  StepProfiler prof;
+  prof.set_enabled(false);
+  { auto s = prof.scope(StepPhase::Health); }
+  t.set_enabled(false);
+  EXPECT_EQ(prof.stats(StepPhase::Health).calls, 0u);
+  EXPECT_EQ(t.event_count(), before + 1);
+  const std::string json = t.to_chrome_json();
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  t.clear();
 }
 
 TEST(StepProfiler, CsvRoundTripsThroughReader) {

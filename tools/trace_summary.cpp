@@ -1,0 +1,278 @@
+/// \file trace_summary.cpp
+/// Summarize and validate observability artifacts.
+///
+///   trace_summary [options] TRACE.json
+///
+///   --top K            rows in the self-time table (default 15)
+///   --check            validate schema only (exit 1 on any problem)
+///   --require-phases   additionally require every StepPhase span name to
+///                      appear as a complete event (with --check)
+///   --metrics FILE     also validate a metrics JSONL file (with --check)
+///
+/// Default mode prints a per-(category,name) table of call count, total
+/// time and self time (total minus direct children on the same thread),
+/// sorted by self time, plus an instant-event tally. --check is the CI
+/// gate: it parses the trace with the strict obs JSON parser, checks the
+/// Chrome trace_event envelope and every event's required fields, and
+/// (with --metrics) checks each JSONL line is a flat object with numeric
+/// "step" and "time" keys.
+///
+/// Exit codes: 0 ok, 1 validation/summarization failure, 2 usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/obs/json.hpp"
+#include "src/perf/step_profiler.hpp"
+
+namespace {
+
+using apr::obs::JsonError;
+using apr::obs::JsonValue;
+
+struct Event {
+  std::string cat;
+  std::string name;
+  char ph = '?';
+  int tid = 0;
+  double ts = 0.0;   // us
+  double dur = 0.0;  // us, 'X' only
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Parse + validate the Chrome trace envelope; throws on any schema
+/// violation.
+std::vector<Event> load_trace(const std::string& path) {
+  const JsonValue doc = apr::obs::json_parse(read_file(path));
+  if (!doc.is_object()) throw JsonError("trace: root is not an object");
+  const JsonValue& events = doc.at("traceEvents");
+  if (!events.is_array()) throw JsonError("trace: traceEvents is not an array");
+  std::vector<Event> out;
+  out.reserve(events.array.size());
+  for (std::size_t i = 0; i < events.array.size(); ++i) {
+    const JsonValue& e = events.array[i];
+    const std::string where = "trace: event " + std::to_string(i);
+    if (!e.is_object()) throw JsonError(where + " is not an object");
+    Event ev;
+    const JsonValue& name = e.at("name");
+    const JsonValue& cat = e.at("cat");
+    const JsonValue& ph = e.at("ph");
+    const JsonValue& ts = e.at("ts");
+    const JsonValue& tid = e.at("tid");
+    if (!name.is_string() || !cat.is_string() || !ph.is_string() ||
+        !ts.is_number() || !tid.is_number()) {
+      throw JsonError(where + " has a mistyped required field");
+    }
+    ev.name = name.string;
+    ev.cat = cat.string;
+    ev.ph = ph.string.size() == 1 ? ph.string[0] : '?';
+    ev.ts = ts.number;
+    ev.tid = static_cast<int>(tid.number);
+    if (ev.ph == 'X') {
+      const JsonValue& dur = e.at("dur");
+      if (!dur.is_number()) throw JsonError(where + " has non-numeric dur");
+      ev.dur = dur.number;
+      if (ev.dur < 0.0) throw JsonError(where + " has negative dur");
+    } else if (ev.ph != 'i') {
+      throw JsonError(where + " has unsupported phase '" + ph.string + "'");
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+/// Validate a metrics JSONL file: every non-empty line a flat object with
+/// numeric "step" and "time". Returns the number of samples.
+std::size_t check_metrics(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open '" + path + "'");
+  std::string line;
+  std::size_t n = 0;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where = "metrics: line " + std::to_string(lineno);
+    const JsonValue v = apr::obs::json_parse(line);
+    if (!v.is_object()) throw JsonError(where + " is not an object");
+    for (const char* key : {"step", "time"}) {
+      const JsonValue* f = v.find(key);
+      if (!f || !f->is_number()) {
+        throw JsonError(where + " lacks numeric \"" + key + "\"");
+      }
+    }
+    ++n;
+  }
+  if (n == 0) throw JsonError("metrics: no samples in '" + path + "'");
+  return n;
+}
+
+/// Per-(cat,name) totals with self time: per-thread stack nesting over
+/// complete events sorted by start time (longer span first on ties, so a
+/// parent precedes the children it encloses).
+struct Row {
+  std::uint64_t calls = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+std::map<std::string, Row> summarize(const std::vector<Event>& events) {
+  std::map<std::string, Row> rows;
+  std::map<int, std::vector<const Event*>> by_tid;
+  for (const Event& e : events) {
+    if (e.ph == 'X') by_tid[e.tid].push_back(&e);
+  }
+  struct Open {
+    const Event* ev;
+    double child_us;
+  };
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(), [](const Event* a, const Event* b) {
+      if (a->ts != b->ts) return a->ts < b->ts;
+      return a->dur > b->dur;
+    });
+    std::vector<Open> stack;
+    for (const Event* e : list) {
+      while (!stack.empty() &&
+             stack.back().ev->ts + stack.back().ev->dur <= e->ts) {
+        const Open top = stack.back();
+        stack.pop_back();
+        Row& r = rows[top.ev->cat + "/" + top.ev->name];
+        r.self_us += top.ev->dur - top.child_us;
+        if (!stack.empty()) stack.back().child_us += top.ev->dur;
+      }
+      Row& r = rows[e->cat + "/" + e->name];
+      ++r.calls;
+      r.total_us += e->dur;
+      stack.push_back({e, 0.0});
+    }
+    while (!stack.empty()) {
+      const Open top = stack.back();
+      stack.pop_back();
+      Row& r = rows[top.ev->cat + "/" + top.ev->name];
+      r.self_us += top.ev->dur - top.child_us;
+      if (!stack.empty()) stack.back().child_us += top.ev->dur;
+    }
+  }
+  return rows;
+}
+
+int usage() {
+  std::cerr << "usage: trace_summary [--top K] [--check] [--require-phases] "
+               "[--metrics FILE] TRACE.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int top_k = 15;
+  bool check = false;
+  bool require_phases = false;
+  std::string metrics_path;
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--top" && a + 1 < argc) {
+      top_k = std::atoi(argv[++a]);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--require-phases") {
+      require_phases = true;
+    } else if (arg == "--metrics" && a + 1 < argc) {
+      metrics_path = argv[++a];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty()) return usage();
+
+  try {
+    const std::vector<Event> events = load_trace(trace_path);
+
+    if (require_phases) {
+      // Every StepPhase must appear as a complete span (category "step").
+      for (int i = 0; i < apr::perf::kNumStepPhases; ++i) {
+        const std::string want =
+            apr::perf::to_string(static_cast<apr::perf::StepPhase>(i));
+        const bool found =
+            std::any_of(events.begin(), events.end(), [&](const Event& e) {
+              return e.ph == 'X' && e.cat == "step" && e.name == want;
+            });
+        if (!found) {
+          throw JsonError("trace: missing step phase span '" + want + "'");
+        }
+      }
+    }
+
+    std::size_t metric_samples = 0;
+    if (!metrics_path.empty()) metric_samples = check_metrics(metrics_path);
+
+    if (check) {
+      std::size_t spans = 0;
+      std::size_t instants = 0;
+      for (const Event& e : events) (e.ph == 'X' ? spans : instants)++;
+      std::cout << "trace ok: " << spans << " spans, " << instants
+                << " instant events";
+      if (!metrics_path.empty()) {
+        std::cout << "; metrics ok: " << metric_samples << " samples";
+      }
+      std::cout << "\n";
+      return 0;
+    }
+
+    const std::map<std::string, Row> rows = summarize(events);
+    std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.self_us > b.second.self_us;
+    });
+    if (top_k > 0 && sorted.size() > static_cast<std::size_t>(top_k)) {
+      sorted.resize(static_cast<std::size_t>(top_k));
+    }
+    std::vector<std::vector<std::string>> table;
+    auto fmt_ms = [](double us) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
+      return std::string(buf);
+    };
+    for (const auto& [key, r] : sorted) {
+      table.push_back({key, std::to_string(r.calls), fmt_ms(r.total_us),
+                       fmt_ms(r.self_us)});
+    }
+    std::cout << apr::format_table(
+        {"span (cat/name)", "calls", "total_ms", "self_ms"}, table);
+
+    std::map<std::string, std::uint64_t> instants;
+    for (const Event& e : events) {
+      if (e.ph == 'i') ++instants[e.cat + "/" + e.name];
+    }
+    if (!instants.empty()) {
+      std::cout << "\ninstant events:\n";
+      for (const auto& [key, n] : instants) {
+        std::cout << "  " << key << ": " << n << "\n";
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "trace_summary: " << ex.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
