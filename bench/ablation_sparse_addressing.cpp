@@ -1,72 +1,71 @@
 /// \file ablation_sparse_addressing.cpp
-/// Ablation for HARVEY's indirect-addressing memory layout (Randles et
-/// al.; the reason a 41 mL upper-body bulk fits on the CPUs in Table 2):
-/// for a vascular tree, distributions stored per *active* node with an
-/// explicit neighbour table versus the dense bounding-box layout.
-/// Reports bytes for both layouts and times the two streaming kernels.
+/// Ablation for the tiled sparse lattice storage (HARVEY-style indirect
+/// addressing, Randles et al.; the reason a 41 mL upper-body bulk fits on
+/// the CPUs in Table 2): the same branching vascular tree is stepped once
+/// with every 16^3 tile resident (dense reference mode) and once with
+/// only the tiles that hold flow (tiled mode). Both runs use the same
+/// kernels -- the ablation isolates what residency costs and what it
+/// saves: the bytes counters report each layout's lattice footprint, the
+/// timings bound the addressing overhead of sparsity.
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "src/common/rng.hpp"
 #include "src/geometry/vasculature.hpp"
 #include "src/geometry/voxelizer.hpp"
-#include "src/lbm/sparse.hpp"
+#include "src/lbm/lattice.hpp"
 
 namespace {
 
 using namespace apr;
 
-struct TreeFixture {
-  std::unique_ptr<lbm::Lattice> lat;
-  std::unique_ptr<lbm::SparseIndex> idx;
-
-  TreeFixture() {
-    Rng rng(11);
-    geometry::VasculatureParams p;
-    p.root_radius = 60e-6;
-    p.root_length = 1.2e-3;
-    p.levels = 4;
-    const auto vasc = geometry::Vasculature::branching_tree(p, rng);
-    lat = std::make_unique<lbm::Lattice>(
-        geometry::make_lattice_for(vasc, 30e-6, 1.0));
-    geometry::voxelize(*lat, vasc);
-    lat->init_equilibrium(1.0, Vec3{0.01, 0.0, 0.0});
-    idx = std::make_unique<lbm::SparseIndex>(*lat);
-  }
-};
-
-TreeFixture& fixture() {
-  static TreeFixture f;
-  return f;
+/// The tree from the Fig. 3 convergence study, voxelized at 30 um.
+/// `dense` keeps every tile resident (the flat-array baseline this
+/// refactor replaced); otherwise tiles exist only where the tree flows.
+std::unique_ptr<lbm::Lattice> make_tree_lattice(bool dense) {
+  Rng rng(11);
+  geometry::VasculatureParams p;
+  p.root_radius = 60e-6;
+  p.root_length = 1.2e-3;
+  p.levels = 4;
+  const auto vasc = geometry::Vasculature::branching_tree(p, rng);
+  auto lat = std::make_unique<lbm::Lattice>(
+      geometry::make_lattice_for(vasc, 30e-6, 1.0));
+  if (dense) lat->set_auto_release(false);
+  geometry::voxelize(*lat, vasc);
+  if (dense) lat->materialize_all();
+  lat->init_equilibrium(1.0, Vec3{0.01, 0.0, 0.0});
+  return lat;
 }
 
-void BM_DenseStream_VascularTree(benchmark::State& state) {
-  auto& f = fixture();
-  f.lat->set_fused_kernel(false);
+void report_layout(benchmark::State& state, const lbm::Lattice& lat) {
+  state.counters["tiled_bytes"] = static_cast<double>(lat.tiled_bytes());
+  state.counters["dense_bytes"] = static_cast<double>(lat.dense_bytes());
+  state.counters["tiles"] = static_cast<double>(lat.num_tiles());
+  state.counters["fill_pct"] = 100.0 * lat.fill_fraction();
+}
+
+void BM_DenseStep_VascularTree(benchmark::State& state) {
+  auto lat = make_tree_lattice(/*dense=*/true);
   for (auto _ : state) {
-    lbm::stream(*f.lat);
-    benchmark::DoNotOptimize(f.lat->raw_f().data());
+    lat->step();
+    benchmark::DoNotOptimize(lat->site_updates());
   }
-  state.counters["bytes"] = static_cast<double>(f.idx->dense_bytes());
-  state.counters["nodes"] = static_cast<double>(f.lat->num_nodes());
+  report_layout(state, *lat);
 }
 
-void BM_SparseStream_VascularTree(benchmark::State& state) {
-  auto& f = fixture();
-  const std::size_t n = f.idx->num_active();
-  std::vector<double> fc(n * lbm::kQ, 0.1);
-  std::vector<double> ftmp;
+void BM_TiledStep_VascularTree(benchmark::State& state) {
+  auto lat = make_tree_lattice(/*dense=*/false);
   for (auto _ : state) {
-    f.idx->stream(fc, ftmp);
-    fc.swap(ftmp);
-    benchmark::DoNotOptimize(fc.data());
+    lat->step();
+    benchmark::DoNotOptimize(lat->site_updates());
   }
-  state.counters["bytes"] = static_cast<double>(f.idx->sparse_bytes());
-  state.counters["active"] = static_cast<double>(n);
-  state.counters["fill_pct"] = 100.0 * f.idx->fill_fraction();
+  report_layout(state, *lat);
 }
 
-BENCHMARK(BM_DenseStream_VascularTree);
-BENCHMARK(BM_SparseStream_VascularTree);
+BENCHMARK(BM_DenseStep_VascularTree)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TiledStep_VascularTree)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -9,15 +9,70 @@
 ///   APR bulk   (15 um):   1.58e8 pts, 64.4 GB
 ///   eFSI       (0.75 um): 1.47e13 pts, 6.0 PB; 6.3e10 RBCs, 3.2 PB
 /// => ~5 orders of magnitude: one node vs an impossible machine.
+///
+/// The second half measures what *our* lattice actually spends: three
+/// representative geometries are voxelized and the tiled sparse layout is
+/// compared against its dense bounding-box equivalent, in bytes per fluid
+/// point, next to the paper's 408 B budget. `--check <baseline.json>`
+/// turns the branching-tree bytes-per-fluid-point into a regression gate
+/// (fails beyond +10% of the committed baseline) for the nightly CI run.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/common/csv.hpp"
+#include "src/common/rng.hpp"
+#include "src/geometry/vasculature.hpp"
+#include "src/geometry/voxelizer.hpp"
+#include "src/lbm/lattice.hpp"
 #include "src/mesh/icosphere.hpp"
 #include "src/perf/memory_model.hpp"
 
-int main() {
+namespace {
+
+struct MeasuredRow {
+  std::string name;
+  double fluid_points = 0.0;
+  double dense_bytes = 0.0;
+  double tiled_bytes = 0.0;
+  double dense_bpp = 0.0;  ///< dense bytes per fluid point
+  double tiled_bpp = 0.0;  ///< tiled bytes per fluid point
+  double fill_pct = 0.0;   ///< resident tiles / bounding-box tiles
+};
+
+MeasuredRow measure(const std::string& name, apr::lbm::Lattice& lat,
+                    const apr::geometry::Domain& domain) {
+  const auto stats = apr::geometry::voxelize(lat, domain);
+  MeasuredRow r;
+  r.name = name;
+  r.fluid_points = static_cast<double>(stats.fluid);
+  r.dense_bytes = static_cast<double>(lat.dense_bytes());
+  r.tiled_bytes = static_cast<double>(lat.tiled_bytes());
+  r.dense_bpp = r.dense_bytes / r.fluid_points;
+  r.tiled_bpp = r.tiled_bytes / r.fluid_points;
+  r.fill_pct = 100.0 * lat.fill_fraction();
+  return r;
+}
+
+/// Minimal extraction of `"key": <number>` from a one-object JSON file;
+/// enough for the committed baseline without a JSON dependency.
+double json_number(const std::string& text, const std::string& key) {
+  const auto kpos = text.find("\"" + key + "\"");
+  if (kpos == std::string::npos) {
+    std::fprintf(stderr, "baseline: key '%s' not found\n", key.c_str());
+    std::exit(2);
+  }
+  const auto colon = text.find(':', kpos);
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace apr::perf;
   const MemoryCosts costs;
 
@@ -84,5 +139,95 @@ int main() {
   csv.row({2, 0.75, efsi.fluid_points, efsi.fluid_bytes, efsi_rbcs_paper,
            efsi_rbcs_paper * costs.bytes_per_rbc});
   std::printf("series written to table3_memory.csv\n");
+
+  // ---- measured lattice footprints: tiled sparse vs dense equivalent ----
+  std::vector<MeasuredRow> rows;
+  {
+    // Straight duct: the near-worst case for tiling -- the flow fills its
+    // own bounding box, so tiled ~ dense plus directory overhead.
+    apr::geometry::TubeDomain duct(apr::Vec3{}, apr::Vec3{0.0, 0.0, 1.0}, 1.2e-3,
+                                   100e-6, /*capped=*/true);
+    auto lat = apr::geometry::make_lattice_for(duct, 10e-6, 1.0);
+    rows.push_back(measure("duct", lat, duct));
+  }
+  {
+    // The Fig. 3 branching tree: a vascular domain occupying a few
+    // percent of its bounding box -- tiling's home turf.
+    apr::Rng rng(11);
+    apr::geometry::VasculatureParams p;
+    p.root_radius = 60e-6;
+    p.root_length = 1.2e-3;
+    p.levels = 4;
+    const auto vasc = apr::geometry::Vasculature::branching_tree(p, rng);
+    auto lat = apr::geometry::make_lattice_for(vasc, 15e-6, 1.0);
+    rows.push_back(measure("branching_tree", lat, vasc));
+  }
+  {
+    // Cerebral-like network standing in for the paper's Circle of Willis
+    // geometry (DESIGN.md §3).
+    apr::Rng rng(7);
+    const auto vasc = apr::geometry::Vasculature::cerebral_like(rng);
+    auto lat = apr::geometry::make_lattice_for(vasc, 15e-6, 1.0);
+    rows.push_back(measure("cerebral", lat, vasc));
+  }
+
+  std::printf("\nMeasured lattice memory (paper budget: %.0f B per fluid "
+              "point)\n",
+              costs.bytes_per_fluid_point);
+  std::printf(
+      "%s",
+      apr::format_table(
+          {"Geometry", "Fluid pts", "Dense", "Tiled", "Dense B/pt",
+           "Tiled B/pt", "Fill %"},
+          [&] {
+            std::vector<std::vector<std::string>> t;
+            for (const auto& r : rows) {
+              char fp[32], db[32], tb[32], dbp[32], tbp[32], fl[32];
+              std::snprintf(fp, sizeof(fp), "%.3g", r.fluid_points);
+              std::snprintf(db, sizeof(db), "%.3g MB", r.dense_bytes / 1e6);
+              std::snprintf(tb, sizeof(tb), "%.3g MB", r.tiled_bytes / 1e6);
+              std::snprintf(dbp, sizeof(dbp), "%.0f", r.dense_bpp);
+              std::snprintf(tbp, sizeof(tbp), "%.0f", r.tiled_bpp);
+              std::snprintf(fl, sizeof(fl), "%.1f", r.fill_pct);
+              t.push_back({r.name, fp, db, tb, dbp, tbp, fl});
+            }
+            return t;
+          }())
+          .c_str());
+
+  apr::CsvWriter mcsv("table3_sparse_memory.csv",
+                      {"geometry", "fluid_points", "dense_bytes",
+                       "tiled_bytes", "dense_bytes_per_fluid_point",
+                       "tiled_bytes_per_fluid_point", "fill_pct"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    mcsv.row({static_cast<double>(i), r.fluid_points, r.dense_bytes,
+              r.tiled_bytes, r.dense_bpp, r.tiled_bpp, r.fill_pct});
+  }
+  std::printf("measured series written to table3_sparse_memory.csv\n");
+
+  // ---- optional regression gate against the committed baseline ----
+  if (argc == 3 && std::string(argv[1]) == "--check") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "baseline: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const double base =
+        json_number(ss.str(), "branching_tree_tiled_bytes_per_fluid_point");
+    const double measured = rows[1].tiled_bpp;
+    const double limit = 1.10 * base;
+    std::printf("\nbaseline check: branching tree %.1f B/pt vs baseline "
+                "%.1f B/pt (limit %.1f)\n",
+                measured, base, limit);
+    if (measured > limit) {
+      std::fprintf(stderr,
+                   "FAIL: tiled bytes per fluid point regressed >10%%\n");
+      return 1;
+    }
+    std::printf("baseline check passed\n");
+  }
   return 0;
 }

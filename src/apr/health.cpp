@@ -1,6 +1,7 @@
 #include "src/apr/health.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -26,7 +27,10 @@ bool finite(const Vec3& v) {
 }
 
 /// First violation found by one scan chunk; combined in ascending chunk
-/// order so the lowest offending index wins for any worker count.
+/// order so the first offending index in scan order wins for any worker
+/// count. The lattice scan walks resident tiles in directory (block-id)
+/// order and cells within each tile in storage order, so its winner is
+/// deterministic but keyed by (block, cell), not by raw dense index.
 struct Hit {
   std::size_t index = kNoHit;  ///< node index or cell slot
   HealthCheck check = HealthCheck::None;
@@ -97,36 +101,51 @@ HealthReport HealthMonitor::scan_lattice(const lbm::Lattice& lat,
                                          int step) const {
   OBS_SPAN("health", "scan_lattice");
   const HealthParams& p = params_;
+  // Scan only resident tiles: vacant blocks hold Exterior nodes with
+  // all-zero distributions, which no check here can flag. Cells of a
+  // boundary tile that fall outside the lattice box are Exterior too, so
+  // the type filter handles clipping for free.
+  constexpr std::size_t kTN = lbm::Lattice::kTileNodes;
   const Hit hit = exec::parallel_reduce(
-      lat.num_nodes(), Hit{},
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) {
-          const lbm::NodeType t = lat.type(i);
-          if (t != lbm::NodeType::Fluid && t != lbm::NodeType::Coupling) {
-            continue;
-          }
-          const auto f = lat.f_node(i);
-          const double rho = lbm::density(f);
-          const Vec3 mom = lbm::momentum(f);
-          // NaN/Inf anywhere in f propagates through the moment sums, so
-          // checking the moments covers every distribution slot.
-          if (!std::isfinite(rho) || !finite(mom)) {
-            return Hit{i, HealthCheck::FieldFinite, -1, rho, 0.0};
-          }
-          if (rho < p.rho_min || rho > p.rho_max) {
-            const double limit = rho < p.rho_min ? p.rho_min : p.rho_max;
-            return Hit{i, HealthCheck::DensityBounds, -1, rho, limit};
-          }
-          if (p.check_mach) {
-            const double mach = norm(mom) / rho * kInvCs;
-            if (mach > p.max_mach) {
-              return Hit{i, HealthCheck::MachLimit, -1, mach, p.max_mach};
+      lat.num_tiles(), Hit{},
+      [&](std::size_t tb, std::size_t te) {
+        for (std::size_t t = tb; t < te; ++t) {
+          const lbm::NodeType* types = lat.tile_types(t);
+          const double* tf = lat.tile_f(t);
+          int x0 = 0, y0 = 0, z0 = 0;
+          lat.tile_origin(t, x0, y0, z0);
+          for (std::size_t c = 0; c < kTN; ++c) {
+            const lbm::NodeType ty = types[c];
+            if (ty != lbm::NodeType::Fluid && ty != lbm::NodeType::Coupling) {
+              continue;
+            }
+            std::array<double, lbm::kQ> f;
+            for (int q = 0; q < lbm::kQ; ++q) f[q] = tf[q * kTN + c];
+            const double rho = lbm::density(f);
+            const Vec3 mom = lbm::momentum(f);
+            int lx = 0, ly = 0, lz = 0;
+            lbm::Lattice::cell_coords(c, lx, ly, lz);
+            const std::size_t i = lat.idx(x0 + lx, y0 + ly, z0 + lz);
+            // NaN/Inf anywhere in f propagates through the moment sums, so
+            // checking the moments covers every distribution slot.
+            if (!std::isfinite(rho) || !finite(mom)) {
+              return Hit{i, HealthCheck::FieldFinite, -1, rho, 0.0};
+            }
+            if (rho < p.rho_min || rho > p.rho_max) {
+              const double limit = rho < p.rho_min ? p.rho_min : p.rho_max;
+              return Hit{i, HealthCheck::DensityBounds, -1, rho, limit};
+            }
+            if (p.check_mach) {
+              const double mach = norm(mom) / rho * kInvCs;
+              if (mach > p.max_mach) {
+                return Hit{i, HealthCheck::MachLimit, -1, mach, p.max_mach};
+              }
             }
           }
         }
         return Hit{};
       },
-      combine_first);
+      combine_first, /*grain=*/1);
 
   HealthReport rep;
   rep.subject = subject;

@@ -320,7 +320,9 @@ bool AprSimulation::try_shift_fine_lattice(const Aabb& box, int nn,
   // Shift the surviving state within the existing allocation and rebase
   // the lattice at the new window position -- no allocation churn, no
   // whole-lattice copy.
+  const std::size_t tiles_before = fine_->num_tiles();
   st.preserved_nodes = fine_->shift(s[0], s[1], s[2]);
+  const std::size_t tiles_after_shift = fine_->num_tiles();
   fine_->set_origin(box.lo);
 
   // The exposed region (complement of the shifted overlap) decomposes into
@@ -380,6 +382,18 @@ bool AprSimulation::try_shift_fine_lattice(const Aabb& box, int nn,
     // This pass never creates or destroys fluid.
     geometry::reclassify_solid(*fine_, sl.x0 - 1, sl.x1 + 1, sl.y0 - 1,
                                sl.y1 + 1, sl.z0 - 1, sl.z1 + 1);
+  }
+  if (obs::Tracer::instance().enabled()) {
+    // Tile churn of this relocation: the shift itself drops tiles whose
+    // surviving content is all-default and allocates tiles for carried
+    // state landing in previously absent blocks; re-seeding the exposed
+    // slabs then materializes the rest of the new window footprint.
+    obs::Tracer::instance().record_instant(
+        "window", "tile_remap",
+        "\"tiles_before\":" + std::to_string(tiles_before) +
+            ",\"tiles_after_shift\":" + std::to_string(tiles_after_shift) +
+            ",\"tiles_after_seed\":" + std::to_string(fine_->num_tiles()) +
+            ",\"step\":" + std::to_string(coarse_steps_));
   }
   return true;
 }
@@ -506,25 +520,45 @@ Vec3 AprSimulation::ctc_position() const {
 
 namespace {
 
-/// Fixed reduction grain: chunk boundaries and combine order depend only
-/// on the node count, never the worker count, so the reductions below are
-/// bit-identical across worker counts (see exec::parallel_reduce).
-constexpr std::size_t kMetricGrain = 4096;
+/// Fixed reduction grain of one tile: the index space is
+/// resident-tile-major (tile t covers [t * kTileNodes, (t+1) * kTileNodes)),
+/// so chunk boundaries land on tile seams and both chunking and combine
+/// order depend only on the resident-tile list (ascending block id, i.e.
+/// directory order), never the worker count -- the reductions below are
+/// bit-identical across worker counts (see exec::parallel_reduce). They
+/// are also identical between a tiled lattice and its dense reference
+/// twin: the extra all-Exterior tiles of the dense layout contribute the
+/// reduction identity, which folds in exactly.
+constexpr std::size_t kMetricGrain = lbm::Lattice::kTileNodes;
 
-bool metric_node(const lbm::Lattice& lat, std::size_t i) {
-  const lbm::NodeType t = lat.type(i);
+bool metric_type(lbm::NodeType t) {
   return t == lbm::NodeType::Fluid || t == lbm::NodeType::Coupling;
+}
+
+std::array<double, lbm::kQ> tile_f_node(const double* tf, std::size_t c) {
+  std::array<double, lbm::kQ> f;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    f[q] = tf[static_cast<std::size_t>(q) * lbm::Lattice::kTileNodes + c];
+  }
+  return f;
 }
 
 }  // namespace
 
 double lattice_total_mass(const lbm::Lattice& lat) {
   return exec::parallel_reduce(
-      lat.num_nodes(), 0.0,
+      lat.num_tiles() * lbm::Lattice::kTileNodes, 0.0,
       [&](std::size_t b, std::size_t e) {
         double m = 0.0;
-        for (std::size_t i = b; i < e; ++i) {
-          if (metric_node(lat, i)) m += lbm::density(lat.f_node(i));
+        for (std::size_t t = b / lbm::Lattice::kTileNodes;
+             t < e / lbm::Lattice::kTileNodes; ++t) {
+          const lbm::NodeType* types = lat.tile_types(t);
+          const double* tf = lat.tile_f(t);
+          for (std::size_t c = 0; c < lbm::Lattice::kTileNodes; ++c) {
+            if (metric_type(types[c])) {
+              m += lbm::density(tile_f_node(tf, c));
+            }
+          }
         }
         return m;
       },
@@ -537,15 +571,20 @@ double lattice_max_mach(const lbm::Lattice& lat) {
   // stale mid-step).
   const double inv_cs = std::sqrt(3.0);
   return exec::parallel_reduce(
-      lat.num_nodes(), 0.0,
+      lat.num_tiles() * lbm::Lattice::kTileNodes, 0.0,
       [&](std::size_t b, std::size_t e) {
         double mx = 0.0;
-        for (std::size_t i = b; i < e; ++i) {
-          if (!metric_node(lat, i)) continue;
-          const auto f = lat.f_node(i);
-          const double rho = lbm::density(f);
-          if (rho > 0.0) {
-            mx = std::max(mx, norm(lbm::momentum(f)) / rho * inv_cs);
+        for (std::size_t t = b / lbm::Lattice::kTileNodes;
+             t < e / lbm::Lattice::kTileNodes; ++t) {
+          const lbm::NodeType* types = lat.tile_types(t);
+          const double* tf = lat.tile_f(t);
+          for (std::size_t c = 0; c < lbm::Lattice::kTileNodes; ++c) {
+            if (!metric_type(types[c])) continue;
+            const auto f = tile_f_node(tf, c);
+            const double rho = lbm::density(f);
+            if (rho > 0.0) {
+              mx = std::max(mx, norm(lbm::momentum(f)) / rho * inv_cs);
+            }
           }
         }
         return mx;
@@ -657,6 +696,15 @@ void AprSimulation::sample_metrics() {
                      fine_ ? lattice_max_mach(*fine_) : 0.0);
   metrics_.set_gauge("window.hematocrit",
                      window_ ? window_->hematocrit(*rbcs_) : 0.0);
+
+  // Tiled-storage residency (§3.5 memory budget): how much of the
+  // bounding box is actually allocated.
+  metrics_.set_gauge("coarse.resident_tiles",
+                     static_cast<double>(coarse_->num_tiles()));
+  metrics_.set_gauge("coarse.tile_bytes",
+                     static_cast<double>(coarse_->tiled_bytes()));
+  metrics_.set_gauge("fine.resident_tiles",
+                     fine_ ? static_cast<double>(fine_->num_tiles()) : 0.0);
 
   metrics_.set_gauge("rbc.count", static_cast<double>(rbcs_->size()));
   // Mean relative volume drift of the live RBCs: how far the constrained

@@ -11,6 +11,11 @@ namespace apr::geometry {
 VoxelizeStats voxelize(lbm::Lattice& lat, const Domain& domain) {
   lbm::mark_walls_by_predicate(
       lat, [&](const Vec3& p) { return domain.inside(p); });
+  // Classification released every all-Exterior tile; give the freed pool
+  // capacity back too. A fresh lattice is transiently dense (the
+  // constructor materializes every block), so this is where the sparse
+  // memory footprint is actually established.
+  lat.shrink_to_fit();
   VoxelizeStats stats;
   for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
     switch (lat.type(i)) {

@@ -135,6 +135,13 @@ class BufReader {
     std::memcpy(v.data(), p_, count * sizeof(T));
     p_ += count * sizeof(T);
   }
+  /// Read exactly n raw bytes (block payloads of the tiled lattice
+  /// section, whose lengths are implied by the block geometry).
+  void raw(void* dst, std::size_t n) {
+    need(n);
+    std::memcpy(dst, p_, n);
+    p_ += n;
+  }
   /// All payload bytes must have been consumed.
   void expect_end() const {
     if (p_ != end_) {
@@ -220,6 +227,9 @@ struct LatticeState {
   std::uint8_t ubc_nonzero = 0;
   Vec3 body_force{};
   std::uint64_t site_updates = 0;
+  /// Baseline tau of nodes whose tile is not resident; doubles as the
+  /// fill value of the per-node arrays for blocks the wire format omits.
+  double default_tau = 1.0;
   std::vector<std::uint8_t> type;  ///< n
   std::vector<double> tau;         ///< n
   std::vector<Vec3> ubc;           ///< n
@@ -233,9 +243,20 @@ struct LatticeState {
   void validate_geometry(const lbm::Lattice& lat) const;
   /// Overwrite every per-node field and configuration flag of `lat`
   /// (which must pass validate_geometry). Does not change the origin.
+  /// Applied onto a lattice with resident tiles, blocks whose restored
+  /// state is entirely default are released again, so the target ends up
+  /// exactly as sparse as the saved lattice was.
   void apply(lbm::Lattice& lat) const;
 
+  /// Tiled (revision 2) wire format: header + per-block clipped payloads
+  /// for exactly the 16^3 blocks holding any non-default content. Because
+  /// block selection is content-based, a lattice in dense reference mode
+  /// and its tiled twin serialize byte-identically.
   std::vector<char> serialize() const;
+  /// The revision-1 flat dense encoding (whole-box arrays). Kept as a
+  /// writer so tests can prove old files keep loading; deserialize()
+  /// accepts both revisions.
+  std::vector<char> serialize_legacy_dense() const;
   static LatticeState deserialize(const std::vector<char>& payload,
                                   std::string what);
 };

@@ -4,10 +4,29 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 #include "src/exec/exec.hpp"
 
 namespace apr::lbm {
+
+namespace {
+
+inline bool vec_zero(const Vec3& v) {
+  return v.x == 0.0 && v.y == 0.0 && v.z == 0.0;
+}
+
+/// ceil(2^64 / d) for d >= 2; mulhi(magic, x) == x / d for all x < 2^32.
+inline std::uint64_t div_magic(std::uint32_t d) {
+  return ~std::uint64_t{0} / d + 1;
+}
+
+inline std::uint64_t mulhi(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+}  // namespace
 
 Lattice::Lattice(int nx, int ny, int nz, const Vec3& origin, double dx,
                  double tau)
@@ -16,107 +35,545 @@ Lattice::Lattice(int nx, int ny, int nz, const Vec3& origin, double dx,
       nz_(nz),
       n_(static_cast<std::size_t>(nx) * ny * nz),
       origin_(origin),
-      dx_(dx) {
+      dx_(dx),
+      default_tau_(tau) {
   if (nx < 1 || ny < 1 || nz < 1) {
     throw std::invalid_argument("Lattice: dimensions must be positive");
   }
   if (dx <= 0.0) throw std::invalid_argument("Lattice: dx must be > 0");
   if (tau <= 0.5) throw std::invalid_argument("Lattice: tau must exceed 1/2");
-  f_.assign(kQ * n_, 0.0);
-  ftmp_.assign(kQ * n_, 0.0);
-  type_.assign(n_, NodeType::Fluid);
-  tau_.assign(n_, tau);
-  ubc_.assign(n_, Vec3{});
-  force_.assign(n_, Vec3{});
-  rho_.assign(n_, 1.0);
-  u_.assign(n_, Vec3{});
+
+  tbx_ = (nx + kTileSide - 1) >> kTileShift;
+  tby_ = (ny + kTileSide - 1) >> kTileShift;
+  tbz_ = (nz + kTileSide - 1) >> kTileShift;
+  nblocks_ = static_cast<std::size_t>(tbx_) * tby_ * tbz_;
+
+  const std::size_t plane = static_cast<std::size_t>(nx_) * ny_;
+  fastdiv_ = n_ < (std::uint64_t{1} << 32) && nx_ > 1 && plane > 1;
+  if (fastdiv_) {
+    magic_nx_ = div_magic(static_cast<std::uint32_t>(nx_));
+    magic_plane_ = div_magic(static_cast<std::uint32_t>(plane));
+  }
+
+  // Slot 0 is the shared exterior tile; a fresh lattice is all-Fluid, so
+  // every block starts resident with its own slot.
+  const std::size_t slots = 1 + nblocks_;
+  f_.assign(slots * kQ * kTileNodes, 0.0);
+  ftmp_.assign(slots * kQ * kTileNodes, 0.0);
+  type_.assign(slots * kTileNodes, NodeType::Exterior);
+  tau_.assign(slots * kTileNodes, tau);
+  ubc_.assign(slots * kTileNodes, Vec3{});
+  force_.assign(slots * kTileNodes, Vec3{});
+  rho_.assign(slots * kTileNodes, 1.0);
+  u_.assign(slots * kTileNodes, Vec3{});
+  fast_.assign(slots * kTileNodes, 0);
+
+  dir_.assign(nblocks_, 0);
+  slot_block_.assign(slots, -1);
+  nonext_.assign(slots, 0);
+  resident_.reserve(nblocks_);
+  for (std::size_t b = 0; b < nblocks_; ++b) {
+    const std::int32_t s = static_cast<std::int32_t>(b + 1);
+    dir_[b] = s;
+    slot_block_[s] = static_cast<std::int32_t>(b);
+    resident_.push_back(static_cast<std::int32_t>(b));
+    int bx, by, bz;
+    block_coords(b, bx, by, bz);
+    const int vx = std::min(kTileSide, nx_ - (bx << kTileShift));
+    const int vy = std::min(kTileSide, ny_ - (by << kTileShift));
+    const int vz = std::min(kTileSide, nz_ - (bz << kTileShift));
+    NodeType* t = type_.data() + static_cast<std::size_t>(s) * kTileNodes;
+    for (int lz = 0; lz < vz; ++lz) {
+      for (int ly = 0; ly < vy; ++ly) {
+        for (int lx = 0; lx < vx; ++lx) {
+          t[cell_of(lx, ly, lz)] = NodeType::Fluid;
+        }
+      }
+    }
+    nonext_[s] = vx * vy * vz;
+  }
+}
+
+void Lattice::decompose(std::size_t i, int& x, int& y, int& z) const {
+  if (fastdiv_) {
+    const std::uint64_t zq = mulhi(magic_plane_, i);
+    const std::uint64_t r =
+        i - zq * (static_cast<std::uint64_t>(nx_) * ny_);
+    const std::uint64_t yq = mulhi(magic_nx_, r);
+    x = static_cast<int>(r - yq * static_cast<std::uint64_t>(nx_));
+    y = static_cast<int>(yq);
+    z = static_cast<int>(zq);
+    return;
+  }
+  const std::size_t plane = static_cast<std::size_t>(nx_) * ny_;
+  z = static_cast<int>(i / plane);
+  const std::size_t r = i - static_cast<std::size_t>(z) * plane;
+  y = static_cast<int>(r / static_cast<std::size_t>(nx_));
+  x = static_cast<int>(r - static_cast<std::size_t>(y) * nx_);
 }
 
 Aabb Lattice::bounds() const {
   return {origin_, position(nx_ - 1, ny_ - 1, nz_ - 1)};
 }
 
+// --- tile lifecycle --------------------------------------------------------
+
+void Lattice::reset_slot(std::int32_t s) {
+  const std::size_t o = static_cast<std::size_t>(s) * kTileNodes;
+  const std::size_t fo = static_cast<std::size_t>(s) * kQ * kTileNodes;
+  std::fill(f_.begin() + fo, f_.begin() + fo + kQ * kTileNodes, 0.0);
+  std::fill(ftmp_.begin() + fo, ftmp_.begin() + fo + kQ * kTileNodes, 0.0);
+  std::fill(type_.begin() + o, type_.begin() + o + kTileNodes,
+            NodeType::Exterior);
+  std::fill(tau_.begin() + o, tau_.begin() + o + kTileNodes, default_tau_);
+  std::fill(ubc_.begin() + o, ubc_.begin() + o + kTileNodes, Vec3{});
+  std::fill(force_.begin() + o, force_.begin() + o + kTileNodes, body_force_);
+  std::fill(rho_.begin() + o, rho_.begin() + o + kTileNodes, 1.0);
+  std::fill(u_.begin() + o, u_.begin() + o + kTileNodes, Vec3{});
+  std::fill(fast_.begin() + o, fast_.begin() + o + kTileNodes,
+            std::uint8_t{0});
+}
+
+std::int32_t Lattice::materialize(std::size_t b) {
+  std::int32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+    reset_slot(s);
+  } else {
+    s = static_cast<std::int32_t>(slot_block_.size());
+    const std::size_t slots = static_cast<std::size_t>(s) + 1;
+    f_.resize(slots * kQ * kTileNodes, 0.0);
+    ftmp_.resize(slots * kQ * kTileNodes, 0.0);
+    type_.resize(slots * kTileNodes, NodeType::Exterior);
+    tau_.resize(slots * kTileNodes, default_tau_);
+    ubc_.resize(slots * kTileNodes, Vec3{});
+    force_.resize(slots * kTileNodes, body_force_);
+    rho_.resize(slots * kTileNodes, 1.0);
+    u_.resize(slots * kTileNodes, Vec3{});
+    fast_.resize(slots * kTileNodes, 0);
+    slot_block_.resize(slots, -1);
+    nonext_.resize(slots, 0);
+  }
+  dir_[b] = s;
+  slot_block_[s] = static_cast<std::int32_t>(b);
+  nonext_[s] = 0;
+  const auto it = std::lower_bound(resident_.begin(), resident_.end(),
+                                   static_cast<std::int32_t>(b));
+  resident_.insert(it, static_cast<std::int32_t>(b));
+  tiles_dirty_ = true;
+  return s;
+}
+
+void Lattice::release(std::size_t b) {
+  const std::int32_t s = dir_[b];
+  dir_[b] = 0;
+  slot_block_[s] = -1;
+  nonext_[s] = 0;
+  free_slots_.push_back(s);
+  const auto it = std::lower_bound(resident_.begin(), resident_.end(),
+                                   static_cast<std::int32_t>(b));
+  resident_.erase(it);
+  tiles_dirty_ = true;
+}
+
+bool Lattice::tile_holds_defaults(std::int32_t s) const {
+  const std::size_t o = static_cast<std::size_t>(s) * kTileNodes;
+  for (std::size_t c = 0; c < kTileNodes; ++c) {
+    if (tau_[o + c] != default_tau_) return false;
+    if (!vec_zero(ubc_[o + c])) return false;
+    if (rho_[o + c] != 1.0) return false;
+    if (!vec_zero(u_[o + c])) return false;
+  }
+  return true;
+}
+
+void Lattice::materialize_all() {
+  for (std::size_t b = 0; b < nblocks_; ++b) {
+    if (dir_[b] == 0) materialize(b);
+  }
+}
+
+void Lattice::shrink_to_fit() {
+  const std::size_t slots = 1 + resident_.size();
+  std::vector<double> nf(slots * kQ * kTileNodes, 0.0);
+  std::vector<double> nftmp(slots * kQ * kTileNodes, 0.0);
+  std::vector<NodeType> ntype(slots * kTileNodes, NodeType::Exterior);
+  std::vector<double> ntau(slots * kTileNodes, default_tau_);
+  std::vector<Vec3> nubc(slots * kTileNodes, Vec3{});
+  std::vector<Vec3> nforce(slots * kTileNodes, body_force_);
+  std::vector<double> nrho(slots * kTileNodes, 1.0);
+  std::vector<Vec3> nu(slots * kTileNodes, Vec3{});
+  std::vector<std::uint8_t> nfast(slots * kTileNodes, 0);
+  std::vector<std::int32_t> ndir(nblocks_, 0);
+  std::vector<std::int32_t> nslot_block(slots, -1);
+  std::vector<std::int32_t> nnonext(slots, 0);
+
+  std::int32_t next = 1;
+  for (const std::int32_t b : resident_) {
+    const std::int32_t os = dir_[static_cast<std::size_t>(b)];
+    const std::int32_t s = next++;
+    const std::size_t oo = static_cast<std::size_t>(os) * kTileNodes;
+    const std::size_t no = static_cast<std::size_t>(s) * kTileNodes;
+    const std::size_t ofo = static_cast<std::size_t>(os) * kQ * kTileNodes;
+    const std::size_t nfo = static_cast<std::size_t>(s) * kQ * kTileNodes;
+    std::copy_n(f_.begin() + ofo, kQ * kTileNodes, nf.begin() + nfo);
+    std::copy_n(ftmp_.begin() + ofo, kQ * kTileNodes, nftmp.begin() + nfo);
+    std::copy_n(type_.begin() + oo, kTileNodes, ntype.begin() + no);
+    std::copy_n(tau_.begin() + oo, kTileNodes, ntau.begin() + no);
+    std::copy_n(ubc_.begin() + oo, kTileNodes, nubc.begin() + no);
+    std::copy_n(force_.begin() + oo, kTileNodes, nforce.begin() + no);
+    std::copy_n(rho_.begin() + oo, kTileNodes, nrho.begin() + no);
+    std::copy_n(u_.begin() + oo, kTileNodes, nu.begin() + no);
+    std::copy_n(fast_.begin() + oo, kTileNodes, nfast.begin() + no);
+    ndir[static_cast<std::size_t>(b)] = s;
+    nslot_block[s] = b;
+    nnonext[s] = nonext_[os];
+  }
+  f_ = std::move(nf);
+  ftmp_ = std::move(nftmp);
+  type_ = std::move(ntype);
+  tau_ = std::move(ntau);
+  ubc_ = std::move(nubc);
+  force_ = std::move(nforce);
+  rho_ = std::move(nrho);
+  u_ = std::move(nu);
+  fast_ = std::move(nfast);
+  dir_ = std::move(ndir);
+  slot_block_ = std::move(nslot_block);
+  nonext_ = std::move(nnonext);
+  free_slots_.clear();
+  free_slots_.shrink_to_fit();
+  tiles_dirty_ = true;
+}
+
+std::size_t Lattice::tiled_bytes() const {
+  const std::size_t slots = slot_block_.size();
+  return slots * kTileNodes * kNodeBytes +
+         dir_.size() * sizeof(std::int32_t) +
+         slots * (27 + 2) * sizeof(std::int32_t) +
+         resident_.size() * sizeof(std::int32_t);
+}
+
+std::size_t Lattice::dense_bytes() const { return n_ * kNodeBytes; }
+
+// --- per-node mutators -----------------------------------------------------
+
+void Lattice::set_type(int x, int y, int z, NodeType t) {
+  fast_dirty_ = true;
+  const std::size_t b = block_index(x, y, z);
+  std::int32_t s = dir_[b];
+  if (s == 0) {
+    if (t == NodeType::Exterior) return;
+    s = materialize(b);
+  }
+  const std::size_t a =
+      static_cast<std::size_t>(s) * kTileNodes +
+      cell_of(x & (kTileSide - 1), y & (kTileSide - 1), z & (kTileSide - 1));
+  const NodeType old = type_[a];
+  if (old == t) return;
+  type_[a] = t;
+  if (old == NodeType::Exterior) {
+    ++nonext_[s];
+  } else if (t == NodeType::Exterior) {
+    if (--nonext_[s] == 0 && auto_release_ && tile_holds_defaults(s)) {
+      release(b);
+    }
+  }
+}
+
+void Lattice::set_tau(std::size_t i, double tau) {
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    if (tau == default_tau_) return;
+    tau_[ensure(i)] = tau;
+    return;
+  }
+  tau_[a] = tau;
+}
+
+void Lattice::set_uniform_tau(double tau) {
+  default_tau_ = tau;
+  std::fill(tau_.begin(), tau_.end(), tau);
+}
+
+void Lattice::set_default_tau(double tau) {
+  default_tau_ = tau;
+  // The shared exterior tile must keep serving the new baseline.
+  std::fill(tau_.begin(), tau_.begin() + kTileNodes, tau);
+}
+
+void Lattice::set_boundary_velocity(std::size_t i, const Vec3& u) {
+  const bool nonzero = !vec_zero(u);
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    if (!nonzero) return;
+    ubc_[ensure(i)] = u;
+  } else {
+    ubc_[a] = u;
+  }
+  if (nonzero) ubc_nonzero_ = true;
+}
+
+void Lattice::set_f(int q, std::size_t i, double v) {
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    if (v == 0.0) return;
+    f_[faddr(ensure(i), q)] = v;
+    return;
+  }
+  f_[faddr(a, q)] = v;
+}
+
+void Lattice::set_rho(std::size_t i, double rho) {
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    if (rho == 1.0) return;
+    rho_[ensure(i)] = rho;
+    return;
+  }
+  rho_[a] = rho;
+}
+
+void Lattice::set_velocity(std::size_t i, const Vec3& u) {
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    if (vec_zero(u)) return;
+    u_[ensure(i)] = u;
+    return;
+  }
+  u_[a] = u;
+}
+
 std::array<double, kQ> Lattice::f_node(std::size_t i) const {
+  const std::size_t a = addr(i);
   std::array<double, kQ> out;
-  for (int q = 0; q < kQ; ++q) out[q] = f_[q * n_ + i];
+  for (int q = 0; q < kQ; ++q) out[q] = f_[faddr(a, q)];
   return out;
 }
 
 void Lattice::set_f_node(std::size_t i, const std::array<double, kQ>& f) {
-  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = f[q];
-}
-
-void Lattice::set_uniform_tau(double tau) {
-  std::fill(tau_.begin(), tau_.end(), tau);
+  std::size_t a = addr(i);
+  if (a < kTileNodes) {
+    bool zero = true;
+    for (int q = 0; q < kQ && zero; ++q) zero = f[q] == 0.0;
+    if (zero) return;
+    a = ensure(i);
+  }
+  for (int q = 0; q < kQ; ++q) f_[faddr(a, q)] = f[q];
 }
 
 void Lattice::init_equilibrium(double rho, const Vec3& u) {
   std::array<double, kQ> feq;
   equilibria(rho, u, feq);
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (type_[i] == NodeType::Exterior) continue;
-    for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = feq[q];
-    rho_[i] = rho;
-    u_[i] = u;
+  for (std::size_t t = 0; t < resident_.size(); ++t) {
+    const std::size_t o =
+        static_cast<std::size_t>(tile_slot(t)) * kTileNodes;
+    for (std::size_t c = 0; c < kTileNodes; ++c) {
+      if (type_[o + c] == NodeType::Exterior) continue;
+      const std::size_t a = o + c;
+      for (int q = 0; q < kQ; ++q) f_[faddr(a, q)] = feq[q];
+      rho_[a] = rho;
+      u_[a] = u;
+    }
   }
 }
 
 void Lattice::init_node_equilibrium(std::size_t i, double rho, const Vec3& u) {
+  const std::size_t a = ensure(i);
   std::array<double, kQ> feq;
   equilibria(rho, u, feq);
-  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = feq[q];
-  rho_[i] = rho;
-  u_[i] = u;
+  for (int q = 0; q < kQ; ++q) f_[faddr(a, q)] = feq[q];
+  rho_[a] = rho;
+  u_[a] = u;
 }
 
 void Lattice::reset_node(std::size_t i) {
-  for (int q = 0; q < kQ; ++q) f_[q * n_ + i] = 0.0;
-  ubc_[i] = Vec3{};
-  force_[i] = body_force_;
-  rho_[i] = 1.0;
-  u_[i] = Vec3{};
+  const std::size_t a = addr(i);
+  if (a < kTileNodes) return;  // vacant nodes already hold the reset state
+  for (int q = 0; q < kQ; ++q) f_[faddr(a, q)] = 0.0;
+  ubc_[a] = Vec3{};
+  force_[a] = body_force_;
+  rho_[a] = 1.0;
+  u_[a] = Vec3{};
 }
+
+// --- shift -----------------------------------------------------------------
 
 std::size_t Lattice::shift(int sx, int sy, int sz) {
   if (std::abs(sx) >= nx_ || std::abs(sy) >= ny_ || std::abs(sz) >= nz_) {
     return 0;
   }
   if (sx == 0 && sy == 0 && sz == 0) return n_;
-  // Destination linear index d maps to source d + L with constant
-  // L = sx + sy*nx + sz*nx*ny, so the whole shift is one flat move per
-  // array. The flat range [d0, d0+cnt) is a superset of the true overlap
-  // box: destinations in it whose 3D source wraps out of range receive
-  // neighbouring-row data, but those nodes lie exactly in the exposed
-  // slabs the caller re-initializes (see the header contract).
-  const std::ptrdiff_t L =
-      sx + static_cast<std::ptrdiff_t>(sy) * nx_ +
-      static_cast<std::ptrdiff_t>(sz) * nx_ * ny_;
-  const std::ptrdiff_t abs_l = L < 0 ? -L : L;
-  const std::ptrdiff_t d0 = L < 0 ? -L : 0;
-  const std::ptrdiff_t cnt = static_cast<std::ptrdiff_t>(n_) - abs_l;
-  if (cnt > 0) {
-    for (int q = 0; q < kQ; ++q) {
-      double* base = f_.data() + static_cast<std::size_t>(q) * n_;
-      std::memmove(base + d0, base + d0 + L,
-                   static_cast<std::size_t>(cnt) * sizeof(double));
+
+  // Destination overlap box per axis: [max(0,-s), min(n, n-s)).
+  const int bx0 = std::max(0, -sx), bx1 = std::min(nx_, nx_ - sx);
+  const int by0 = std::max(0, -sy), by1 = std::min(ny_, ny_ - sy);
+  const int bz0 = std::max(0, -sz), bz1 = std::min(nz_, nz_ - sz);
+
+  // Pass 1: a destination block needs a tile if it was resident (its
+  // in-place tau/force/rho survive) or if any source block covering its
+  // portion of the overlap box is resident (moved-in state may be
+  // non-Exterior). Over-allocation is corrected after filling: tiles
+  // whose moved-in content turns out to be all-default are dropped.
+  std::vector<std::uint8_t> need(nblocks_, 0);
+  for (const std::int32_t b : resident_) need[static_cast<std::size_t>(b)] = 1;
+  for (std::size_t b = 0; b < nblocks_; ++b) {
+    if (need[b]) continue;
+    int bx, by, bz;
+    block_coords(b, bx, by, bz);
+    const int x0 = std::max(bx0, bx << kTileShift);
+    const int x1 = std::min({bx1, (bx + 1) << kTileShift, nx_});
+    const int y0 = std::max(by0, by << kTileShift);
+    const int y1 = std::min({by1, (by + 1) << kTileShift, ny_});
+    const int z0 = std::max(bz0, bz << kTileShift);
+    const int z1 = std::min({bz1, (bz + 1) << kTileShift, nz_});
+    if (x0 >= x1 || y0 >= y1 || z0 >= z1) continue;
+    const int sbx0 = (x0 + sx) >> kTileShift, sbx1 = (x1 - 1 + sx) >> kTileShift;
+    const int sby0 = (y0 + sy) >> kTileShift, sby1 = (y1 - 1 + sy) >> kTileShift;
+    const int sbz0 = (z0 + sz) >> kTileShift, sbz1 = (z1 - 1 + sz) >> kTileShift;
+    for (int jz = sbz0; jz <= sbz1 && !need[b]; ++jz) {
+      for (int jy = sby0; jy <= sby1 && !need[b]; ++jy) {
+        for (int jx = sbx0; jx <= sbx1; ++jx) {
+          const std::size_t sb =
+              (static_cast<std::size_t>(jz) * tby_ + jy) * tbx_ + jx;
+          if (dir_[sb] != 0) {
+            need[b] = 1;
+            break;
+          }
+        }
+      }
     }
-    std::memmove(type_.data() + d0, type_.data() + d0 + L,
-                 static_cast<std::size_t>(cnt) * sizeof(NodeType));
-    if (ubc_nonzero_) {
-      std::memmove(ubc_.data() + d0, ubc_.data() + d0 + L,
-                   static_cast<std::size_t>(cnt) * sizeof(Vec3));
-    }
-    // The velocity cache must travel too: IBM interpolation reads u at
-    // every node in a kernel support, including Wall/Exterior nodes that
-    // update_macroscopic() never rewrites.
-    std::memmove(u_.data() + d0, u_.data() + d0 + L,
-                 static_cast<std::size_t>(cnt) * sizeof(Vec3));
   }
+
+  std::size_t nneed = 0;
+  for (std::size_t b = 0; b < nblocks_; ++b) nneed += need[b];
+
+  // Pass 2: build fresh pools in ascending block order. Inside the
+  // overlap box a node takes f/type/u/ubc from its source node and keeps
+  // tau/force/rho from its old self; outside the box everything keeps its
+  // old same-node value (unspecified by the contract -- the caller
+  // re-initializes the exposed slabs).
+  std::size_t slots = 1 + nneed;
+  std::vector<double> nf(slots * kQ * kTileNodes, 0.0);
+  std::vector<double> nftmp(slots * kQ * kTileNodes, 0.0);
+  std::vector<NodeType> ntype(slots * kTileNodes, NodeType::Exterior);
+  std::vector<double> ntau(slots * kTileNodes, default_tau_);
+  std::vector<Vec3> nubc(slots * kTileNodes, Vec3{});
+  std::vector<Vec3> nforce(slots * kTileNodes, body_force_);
+  std::vector<double> nrho(slots * kTileNodes, 1.0);
+  std::vector<Vec3> nu(slots * kTileNodes, Vec3{});
+  std::vector<std::int32_t> ndir(nblocks_, 0);
+  std::vector<std::int32_t> nslot_block(slots, -1);
+  std::vector<std::int32_t> nnonext(slots, 0);
+  std::vector<std::int32_t> nresident;
+  nresident.reserve(nneed);
+
+  std::int32_t next = 1;
+  for (std::size_t b = 0; b < nblocks_; ++b) {
+    if (!need[b]) continue;
+    const std::int32_t s = next;
+    int bx, by, bz;
+    block_coords(b, bx, by, bz);
+    const int X0 = bx << kTileShift;
+    const int Y0 = by << kTileShift;
+    const int Z0 = bz << kTileShift;
+    const int vx = std::min(kTileSide, nx_ - X0);
+    const int vy = std::min(kTileSide, ny_ - Y0);
+    const int vz = std::min(kTileSide, nz_ - Z0);
+    std::int32_t cnt = 0;
+    bool nondefault = false;
+    const std::size_t no = static_cast<std::size_t>(s) * kTileNodes;
+    const std::size_t nfo = static_cast<std::size_t>(s) * kQ * kTileNodes;
+    for (int lz = 0; lz < vz; ++lz) {
+      const int z = Z0 + lz;
+      for (int ly = 0; ly < vy; ++ly) {
+        const int y = Y0 + ly;
+        for (int lx = 0; lx < vx; ++lx) {
+          const int x = X0 + lx;
+          const std::size_t c = cell_of(lx, ly, lz);
+          const std::size_t ha = addr(x, y, z);  // old same-node
+          ntau[no + c] = tau_[ha];
+          nforce[no + c] = force_[ha];
+          nrho[no + c] = rho_[ha];
+          const bool inbox = x >= bx0 && x < bx1 && y >= by0 && y < by1 &&
+                             z >= bz0 && z < bz1;
+          const std::size_t sa =
+              inbox ? addr(x + sx, y + sy, z + sz) : ha;
+          ntype[no + c] = type_[sa];
+          nu[no + c] = u_[sa];
+          nubc[no + c] = ubc_[sa];
+          const std::size_t ofo =
+              (sa >> kTileNodesShift) * kQ * kTileNodes + (sa & kTileMask);
+          for (int q = 0; q < kQ; ++q) {
+            nf[nfo + c + static_cast<std::size_t>(q) * kTileNodes] =
+                f_[ofo + static_cast<std::size_t>(q) * kTileNodes];
+          }
+          if (ntype[no + c] != NodeType::Exterior) ++cnt;
+          if (!nondefault) {
+            nondefault = ntau[no + c] != default_tau_ ||
+                         nrho[no + c] != 1.0 || !vec_zero(nubc[no + c]) ||
+                         !vec_zero(nu[no + c]);
+          }
+        }
+      }
+    }
+    if (cnt == 0 && auto_release_ && !nondefault) {
+      // Tile came out all-default: wipe the slot for reuse by the next
+      // candidate block instead of committing it.
+      std::fill(nf.begin() + nfo, nf.begin() + nfo + kQ * kTileNodes, 0.0);
+      std::fill(ntype.begin() + no, ntype.begin() + no + kTileNodes,
+                NodeType::Exterior);
+      std::fill(ntau.begin() + no, ntau.begin() + no + kTileNodes,
+                default_tau_);
+      std::fill(nubc.begin() + no, nubc.begin() + no + kTileNodes, Vec3{});
+      std::fill(nforce.begin() + no, nforce.begin() + no + kTileNodes,
+                body_force_);
+      std::fill(nrho.begin() + no, nrho.begin() + no + kTileNodes, 1.0);
+      std::fill(nu.begin() + no, nu.begin() + no + kTileNodes, Vec3{});
+      continue;
+    }
+    ndir[b] = s;
+    nslot_block[s] = static_cast<std::int32_t>(b);
+    nnonext[s] = cnt;
+    nresident.push_back(static_cast<std::int32_t>(b));
+    ++next;
+  }
+
+  slots = static_cast<std::size_t>(next);
+  nf.resize(slots * kQ * kTileNodes);
+  nftmp.resize(slots * kQ * kTileNodes);
+  ntype.resize(slots * kTileNodes);
+  ntau.resize(slots * kTileNodes);
+  nubc.resize(slots * kTileNodes);
+  nforce.resize(slots * kTileNodes);
+  nrho.resize(slots * kTileNodes);
+  nu.resize(slots * kTileNodes);
+  nslot_block.resize(slots);
+  nnonext.resize(slots);
+
+  f_ = std::move(nf);
+  ftmp_ = std::move(nftmp);
+  type_ = std::move(ntype);
+  tau_ = std::move(ntau);
+  ubc_ = std::move(nubc);
+  force_ = std::move(nforce);
+  rho_ = std::move(nrho);
+  u_ = std::move(nu);
+  fast_.assign(slots * kTileNodes, 0);
+  dir_ = std::move(ndir);
+  slot_block_ = std::move(nslot_block);
+  nonext_ = std::move(nnonext);
+  resident_ = std::move(nresident);
+  free_slots_.clear();
   fast_dirty_ = true;
+  tiles_dirty_ = true;
   return static_cast<std::size_t>(nx_ - std::abs(sx)) *
          static_cast<std::size_t>(ny_ - std::abs(sy)) *
          static_cast<std::size_t>(nz_ - std::abs(sz));
 }
+
+// --- forces ----------------------------------------------------------------
 
 void Lattice::set_body_force(const Vec3& f) {
   body_force_ = f;
@@ -126,6 +583,8 @@ void Lattice::set_body_force(const Vec3& f) {
 void Lattice::clear_forces() {
   std::fill(force_.begin(), force_.end(), body_force_);
 }
+
+// --- macroscopic -----------------------------------------------------------
 
 void Lattice::update_macroscopic() {
   update_macroscopic_region(0, nx_, 0, ny_, 0, nz_);
@@ -140,28 +599,64 @@ void Lattice::update_macroscopic_region(int x0, int x1, int y0, int y1,
   y1 = std::min(y1, ny_);
   z1 = std::min(z1, nz_);
   if (x0 >= x1 || y0 >= y1 || z0 >= z1) return;
-  const std::size_t ny_rows = static_cast<std::size_t>(y1 - y0);
-  const std::size_t rows = static_cast<std::size_t>(z1 - z0) * ny_rows;
-  exec::parallel_for(rows, [&](std::size_t r) {
-    const int z = z0 + static_cast<int>(r / ny_rows);
-    const int y = y0 + static_cast<int>(r % ny_rows);
-    for (int x = x0; x < x1; ++x) {
-      const std::size_t i = idx(x, y, z);
-      if (type_[i] != NodeType::Fluid && type_[i] != NodeType::Coupling) {
-        continue;
+  // Tile-major traversal: the macroscopic update is pure per node (rho and
+  // u at a node depend only on that node's f and force), so iteration
+  // order cannot change a single bit -- and walking resident tiles keeps
+  // the 19 q-plane read streams advancing sequentially through one tile
+  // at a time, which the hardware prefetcher can follow. The row-major
+  // walk interleaved ~6 tiles x 19 planes of 128 B touches and ran
+  // memory-latency bound. Vacant tiles are skipped by construction.
+  exec::parallel_for(resident_.size(), [&](std::size_t t) {
+    int tx0, ty0, tz0;
+    tile_origin(t, tx0, ty0, tz0);
+    const int ix0 = std::max(x0, tx0);
+    const int ix1 = std::min(x1, tx0 + kTileSide);
+    const int iy0 = std::max(y0, ty0);
+    const int iy1 = std::min(y1, ty0 + kTileSide);
+    const int iz0 = std::max(z0, tz0);
+    const int iz1 = std::min(z1, tz0 + kTileSide);
+    if (ix0 >= ix1 || iy0 >= iy1 || iz0 >= iz1) return;
+    const std::size_t slot = static_cast<std::size_t>(tile_slot(t));
+    const double* fs = f_.data() + slot * kQ * kTileNodes;
+    const int len = ix1 - ix0;
+    for (int z = iz0; z < iz1; ++z) {
+      for (int y = iy0; y < iy1; ++y) {
+        const std::size_t c0 = cell_of(ix0 - tx0, y - ty0, z - tz0);
+        const std::size_t a0 = slot * kTileNodes + c0;
+        // Moment sums with q as the outer loop over the x-run: per-q
+        // reads are contiguous doubles instead of 19 gathers 32 KB apart
+        // (kTileNodes * 8 B, a power-of-two stride that lands every
+        // direction in the same L1 set). Each node still accumulates in
+        // ascending-q order, so the sums are bit-identical to the
+        // per-node loop.
+        double rho[kTileSide], mx[kTileSide], my[kTileSide], mz[kTileSide];
+        for (int k = 0; k < len; ++k) {
+          rho[k] = 0.0;
+          mx[k] = my[k] = mz[k] = 0.0;
+        }
+        for (int q = 0; q < kQ; ++q) {
+          const double* fq = fs + static_cast<std::size_t>(q) * kTileNodes + c0;
+          const double cx = kC[q][0];
+          const double cy = kC[q][1];
+          const double cz = kC[q][2];
+          for (int k = 0; k < len; ++k) {
+            const double v = fq[k];
+            rho[k] += v;
+            mx[k] += cx * v;
+            my[k] += cy * v;
+            mz[k] += cz * v;
+          }
+        }
+        for (int k = 0; k < len; ++k) {
+          const std::size_t a = a0 + k;
+          if (type_[a] != NodeType::Fluid && type_[a] != NodeType::Coupling) {
+            continue;
+          }
+          rho_[a] = rho[k];
+          // Guo: physical velocity includes half the force impulse.
+          u_[a] = (Vec3{mx[k], my[k], mz[k]} + force_[a] * 0.5) / rho[k];
+        }
       }
-      double rho = 0.0;
-      Vec3 mom{};
-      for (int q = 0; q < kQ; ++q) {
-        const double fq = f_[q * n_ + i];
-        rho += fq;
-        mom.x += kC[q][0] * fq;
-        mom.y += kC[q][1] * fq;
-        mom.z += kC[q][2] * fq;
-      }
-      rho_[i] = rho;
-      // Guo: physical velocity includes half the force impulse.
-      u_[i] = (mom + force_[i] * 0.5) / rho;
     }
   });
 }
@@ -187,7 +682,7 @@ Vec3 Lattice::interpolate_velocity(const Vec3& p) const {
       for (int dxn = 0; dxn < 2; ++dxn) {
         const int x = std::min(x0 + dxn, nx_ - 1);
         const double wx = dxn ? fx : 1.0 - fx;
-        out += u_[idx(x, y, z)] * (wx * wy * wz);
+        out += u_[addr(x, y, z)] * (wx * wy * wz);
       }
     }
   }
@@ -215,7 +710,7 @@ double Lattice::interpolate_rho(const Vec3& p) const {
       for (int dxn = 0; dxn < 2; ++dxn) {
         const int x = std::min(x0 + dxn, nx_ - 1);
         const double wx = dxn ? fx : 1.0 - fx;
-        out += rho_[idx(x, y, z)] * (wx * wy * wz);
+        out += rho_[addr(x, y, z)] * (wx * wy * wz);
       }
     }
   }
@@ -243,106 +738,161 @@ void Lattice::step_no_macro() {
   apply_dirichlet(*this);
 }
 
+// --- kernels ---------------------------------------------------------------
+
 void fused_collide_stream(Lattice& lat) {
-  const std::size_t n = lat.n_;
   const int nx = lat.nx_;
   const int ny = lat.ny_;
   const int nz = lat.nz_;
+  constexpr int S = Lattice::kTileSide;
+  constexpr std::size_t TN = Lattice::kTileNodes;
+  lat.ensure_tiles();
   lat.ensure_fast_flags();
 
-  std::ptrdiff_t off[kQ];
-  for (int q = 0; q < kQ; ++q) {
-    off[q] = (static_cast<std::ptrdiff_t>(kC[q][2]) * ny + kC[q][1]) * nx +
-             kC[q][0];
-  }
   const double* f = lat.f_.data();
   double* ft = lat.ftmp_.data();
 
-  // Parallel over z-slices. The scatter is race-free: for a direction q,
-  // slot (q, j) has exactly one push source i = j - c_q; bounce-back and
-  // self-copies write only the owning node's slots; and pushes into
-  // Velocity/Coupling targets are skipped (those nodes self-copy and are
-  // re-imposed by apply_dirichlet / the grid coupler before the next
-  // read), so no slot ever has two writers.
+  // Parallel over resident tiles. The scatter is race-free: for a
+  // direction q, slot (q, j) has exactly one push source i = j - c_q;
+  // bounce-back and self-copies write only the owning node's slots; and
+  // pushes into Velocity/Coupling targets are skipped (those nodes
+  // self-copy and are re-imposed by apply_dirichlet / the grid coupler
+  // before the next read), so no slot ever has two writers. Fast-node
+  // targets are all Fluid, hence resident -- the rim neighbour table
+  // never routes a write into the shared exterior tile.
   const std::uint64_t updates = exec::parallel_reduce<std::uint64_t>(
-      static_cast<std::size_t>(nz), 0,
-      [&](std::size_t zb, std::size_t ze) {
+      lat.resident_.size(), 0,
+      [&](std::size_t tb, std::size_t te) {
         std::uint64_t local = 0;
-        for (int z = static_cast<int>(zb); z < static_cast<int>(ze); ++z) {
-          for (int y = 0; y < ny; ++y) {
-            for (int x = 0; x < nx; ++x) {
-              const std::size_t i = lat.idx(x, y, z);
-              const NodeType t = lat.type_[i];
-              if (t == NodeType::Exterior || t == NodeType::Wall) continue;
+        for (std::size_t t = tb; t < te; ++t) {
+          const std::size_t b = static_cast<std::size_t>(lat.resident_[t]);
+          const std::int32_t s = lat.dir_[b];
+          int bx, by, bz;
+          lat.block_coords(b, bx, by, bz);
+          const int X0 = bx << Lattice::kTileShift;
+          const int Y0 = by << Lattice::kTileShift;
+          const int Z0 = bz << Lattice::kTileShift;
+          const int vx = std::min(S, nx - X0);
+          const int vy = std::min(S, ny - Y0);
+          const int vz = std::min(S, nz - Z0);
+          const std::int32_t* nrow =
+              lat.nbr_.data() + static_cast<std::size_t>(s) * 27;
+          const std::size_t base = static_cast<std::size_t>(s) * TN;
+          // Distribution base of this slot: node (slot, cell) direction q
+          // lives at fslot + cell + q * TN.
+          const std::size_t fslot = static_cast<std::size_t>(s) * kQ * TN;
+          for (int lz = 0; lz < vz; ++lz) {
+            const int z = Z0 + lz;
+            for (int ly = 0; ly < vy; ++ly) {
+              const int y = Y0 + ly;
+              // Per-row scatter bases for the fast path: with lx in
+              // [1, vx-2] the x-component of every push stays inside this
+              // tile, so the q-target tile is fixed along the row (only y
+              // and z can cross a rim) and the target cell advances by +1
+              // with lx. The whole 18-way scatter then collapses to
+              // `ft[fjrow[q] + lx]`; only the two x-rim columns still
+              // route per node through the neighbour table. Rows without
+              // fast nodes may resolve vacant neighbours here -- the
+              // addresses are simply never used.
+              std::size_t fjrow[kQ];
+              for (int q = 0; q < kQ; ++q) {
+                const std::size_t ja = Lattice::nbr_addr(
+                    nrow, 1 + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
+                fjrow[q] = lat.faddr(ja, q) - 1;
+              }
+              for (int lx = 0; lx < vx; ++lx) {
+                const std::size_t c = Lattice::cell_of(lx, ly, lz);
+                const std::size_t a = base + c;
+                const NodeType tt = lat.type_[a];
+                if (tt == NodeType::Exterior || tt == NodeType::Wall) {
+                  continue;
+                }
+                const int x = X0 + lx;
+                const std::size_t fb = fslot + c;
 
-              if (t != NodeType::Fluid) {
-                // Velocity/Coupling: push the stored populations outward
-                // (no collision) and keep a self-copy so the node's state
-                // stays valid after the buffer swap.
+                if (tt != NodeType::Fluid) {
+                  // Velocity/Coupling: push the stored populations outward
+                  // (no collision) and keep a self-copy so the node's
+                  // state stays valid after the buffer swap.
+                  for (int q = 0; q < kQ; ++q) {
+                    ft[fb + static_cast<std::size_t>(q) * TN] =
+                        f[fb + static_cast<std::size_t>(q) * TN];
+                    int tx = x + kC[q][0];
+                    int ty = y + kC[q][1];
+                    int tz = z + kC[q][2];
+                    if (lat.periodic_[0]) tx = (tx + nx) % nx;
+                    if (lat.periodic_[1]) ty = (ty + ny) % ny;
+                    if (lat.periodic_[2]) tz = (tz + nz) % nz;
+                    if (!lat.in_domain(tx, ty, tz)) continue;
+                    const std::size_t ja = lat.addr(tx, ty, tz);
+                    if (lat.type_[ja] == NodeType::Fluid) {
+                      ft[lat.faddr(ja, q)] =
+                          f[fb + static_cast<std::size_t>(q) * TN];
+                    }
+                  }
+                  continue;
+                }
+
+                // Collide locally.
+                std::array<double, kQ> post;
                 for (int q = 0; q < kQ; ++q) {
-                  ft[q * n + i] = f[q * n + i];
+                  post[q] = f[fb + static_cast<std::size_t>(q) * TN];
+                }
+                lat.collide_node(a, post);
+                ++local;
+
+                if (lat.fast_[a]) {
+                  if (lx >= 1 && lx + 1 < vx) {
+                    // Row fast path: precomputed per-row bases.
+                    for (int q = 0; q < kQ; ++q) {
+                      ft[fjrow[q] + static_cast<std::size_t>(lx)] = post[q];
+                    }
+                  } else {
+                    // x-rim column: route through the neighbour-slot table.
+                    for (int q = 0; q < kQ; ++q) {
+                      const std::size_t ja = Lattice::nbr_addr(
+                          nrow, lx + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
+                      ft[lat.faddr(ja, q)] = post[q];
+                    }
+                  }
+                  continue;
+                }
+                // Slow path: walls, domain edges, periodic wrap.
+                for (int q = 0; q < kQ; ++q) {
                   int tx = x + kC[q][0];
                   int ty = y + kC[q][1];
                   int tz = z + kC[q][2];
                   if (lat.periodic_[0]) tx = (tx + nx) % nx;
                   if (lat.periodic_[1]) ty = (ty + ny) % ny;
                   if (lat.periodic_[2]) tz = (tz + nz) % nz;
-                  if (!lat.in_domain(tx, ty, tz)) continue;
-                  const std::size_t j = lat.idx(tx, ty, tz);
-                  if (lat.type_[j] == NodeType::Fluid) {
-                    ft[q * n + j] = f[q * n + i];
-                  }
-                }
-                continue;
-              }
 
-              // Collide locally.
-              std::array<double, kQ> post;
-              for (int q = 0; q < kQ; ++q) post[q] = f[q * n + i];
-              lat.collide_node(i, post);
-              ++local;
-
-              if (lat.fast_[i]) {
-                // All 18 targets are fluid and accept the push directly.
-                for (int q = 0; q < kQ; ++q) {
-                  ft[q * n + i + off[q]] = post[q];
-                }
-                continue;
-              }
-              // Slow path: walls, domain edges, periodic wrap.
-              for (int q = 0; q < kQ; ++q) {
-                int tx = x + kC[q][0];
-                int ty = y + kC[q][1];
-                int tz = z + kC[q][2];
-                if (lat.periodic_[0]) tx = (tx + nx) % nx;
-                if (lat.periodic_[1]) ty = (ty + ny) % ny;
-                if (lat.periodic_[2]) tz = (tz + nz) % nz;
-
-                bool bounce = false;
-                Vec3 uw{};
-                if (!lat.in_domain(tx, ty, tz)) {
-                  bounce = true;
-                } else {
-                  const std::size_t j = lat.idx(tx, ty, tz);
-                  const NodeType tt = lat.type_[j];
-                  if (tt == NodeType::Fluid) {
-                    ft[q * n + j] = post[q];
-                    continue;
+                  bool bounce = false;
+                  Vec3 uw{};
+                  if (!lat.in_domain(tx, ty, tz)) {
+                    bounce = true;
+                  } else {
+                    const std::size_t ja = lat.addr(tx, ty, tz);
+                    const NodeType jt = lat.type_[ja];
+                    if (jt == NodeType::Fluid) {
+                      ft[lat.faddr(ja, q)] = post[q];
+                      continue;
+                    }
+                    if (is_stream_source(jt)) {
+                      // Velocity/Coupling target: it keeps its self-copy
+                      // (the value is overwritten before it is next read).
+                      continue;
+                    }
+                    bounce = true;
+                    if (jt == NodeType::Wall) uw = lat.ubc_[ja];
                   }
-                  if (is_stream_source(tt)) {
-                    // Velocity/Coupling target: it keeps its self-copy
-                    // (the value is overwritten before it is next read).
-                    continue;
+                  if (bounce) {
+                    // Reflection lands back on this node in the opposite
+                    // direction with the moving-wall momentum transfer.
+                    const double cu =
+                        kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+                    ft[fb + static_cast<std::size_t>(kOpp[q]) * TN] =
+                        post[q] - 6.0 * kW[q] * cu;
                   }
-                  bounce = true;
-                  if (tt == NodeType::Wall) uw = lat.ubc_[j];
-                }
-                if (bounce) {
-                  // Reflection lands back on this node in the opposite
-                  // direction with the moving-wall momentum transfer.
-                  const double cu =
-                      kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
-                  ft[kOpp[q] * n + i] = post[q] - 6.0 * kW[q] * cu;
                 }
               }
             }
@@ -355,7 +905,7 @@ void fused_collide_stream(Lattice& lat) {
   lat.swap_buffers();
 }
 
-void Lattice::collide_node(std::size_t i, std::array<double, kQ>& f) const {
+void Lattice::collide_node(std::size_t a, std::array<double, kQ>& f) const {
   double rho = 0.0;
   Vec3 mom{};
   for (int q = 0; q < kQ; ++q) {
@@ -364,12 +914,12 @@ void Lattice::collide_node(std::size_t i, std::array<double, kQ>& f) const {
     mom.y += kC[q][1] * f[q];
     mom.z += kC[q][2] * f[q];
   }
-  const Vec3 force = force_[i];
+  const Vec3 force = force_[a];
   const Vec3 u = (mom + force * 0.5) / rho;
 
   std::array<double, kQ> feq;
   equilibria(rho, u, feq);
-  const double tau = tau_[i];
+  const double tau = tau_[a];
   const bool forced = (force.x != 0.0 || force.y != 0.0 || force.z != 0.0);
 
   if (collision_ == CollisionModel::Bgk) {
@@ -409,18 +959,23 @@ void Lattice::collide_node(std::size_t i, std::array<double, kQ>& f) const {
 }
 
 void collide(Lattice& lat) {
-  const std::size_t n = lat.n_;
+  constexpr std::size_t TN = Lattice::kTileNodes;
   const std::uint64_t updates = exec::parallel_reduce<std::uint64_t>(
-      n, 0,
-      [&](std::size_t b, std::size_t e) {
+      lat.resident_.size(), 0,
+      [&](std::size_t tb, std::size_t te) {
         std::uint64_t local = 0;
-        for (std::size_t i = b; i < e; ++i) {
-          if (lat.type_[i] != NodeType::Fluid) continue;
-          std::array<double, kQ> f;
-          for (int q = 0; q < kQ; ++q) f[q] = lat.f_[q * n + i];
-          lat.collide_node(i, f);
-          for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = f[q];
-          ++local;
+        for (std::size_t t = tb; t < te; ++t) {
+          const std::size_t base =
+              static_cast<std::size_t>(lat.tile_slot(t)) * TN;
+          for (std::size_t c = 0; c < TN; ++c) {
+            const std::size_t a = base + c;
+            if (lat.type_[a] != NodeType::Fluid) continue;
+            std::array<double, kQ> f;
+            for (int q = 0; q < kQ; ++q) f[q] = lat.f_[lat.faddr(a, q)];
+            lat.collide_node(a, f);
+            for (int q = 0; q < kQ; ++q) lat.f_[lat.faddr(a, q)] = f[q];
+            ++local;
+          }
         }
         return local;
       },
@@ -436,27 +991,70 @@ void Lattice::set_collision_model(CollisionModel model, double magic) {
   magic_ = magic;
 }
 
+void Lattice::ensure_tiles() {
+  if (!tiles_dirty_) return;
+  nbr_.assign(slot_block_.size() * 27, 0);
+  for (const std::int32_t b : resident_) {
+    const std::int32_t s = dir_[static_cast<std::size_t>(b)];
+    int bx, by, bz;
+    block_coords(static_cast<std::size_t>(b), bx, by, bz);
+    std::int32_t* row = nbr_.data() + static_cast<std::size_t>(s) * 27;
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int jx = bx + dx, jy = by + dy, jz = bz + dz;
+          std::int32_t js = 0;
+          if (jx >= 0 && jx < tbx_ && jy >= 0 && jy < tby_ && jz >= 0 &&
+              jz < tbz_) {
+            js = dir_[(static_cast<std::size_t>(jz) * tby_ + jy) * tbx_ + jx];
+          }
+          row[((dz + 1) * 3 + (dy + 1)) * 3 + (dx + 1)] = js;
+        }
+      }
+    }
+  }
+  tiles_dirty_ = false;
+}
+
 void Lattice::ensure_fast_flags() {
   if (!fast_dirty_) return;
-  fast_.assign(n_, 0);
-  for (int z = 1; z < nz_ - 1; ++z) {
-    for (int y = 1; y < ny_ - 1; ++y) {
-      for (int x = 1; x < nx_ - 1; ++x) {
-        const std::size_t i = idx(x, y, z);
-        if (type_[i] != NodeType::Fluid) continue;
-        // Fast nodes require an all-Fluid neighbourhood (the D3Q19 stencil
-        // is symmetric, so sources and targets are the same set): the pull
-        // kernel can then skip every bounds/type check, and the push
-        // kernel's direct 18-way scatter stays race-free under the
-        // parallel z-slice decomposition (it never writes into a
-        // Velocity/Coupling node's self-copied slots).
-        bool ok = true;
-        for (int q = 1; q < kQ && ok; ++q) {
-          const std::size_t s =
-              idx(x - kC[q][0], y - kC[q][1], z - kC[q][2]);
-          ok = type_[s] == NodeType::Fluid;
+  std::fill(fast_.begin(), fast_.end(), std::uint8_t{0});
+  for (std::size_t t = 0; t < resident_.size(); ++t) {
+    const std::size_t b = static_cast<std::size_t>(resident_[t]);
+    const std::int32_t s = dir_[b];
+    int bx, by, bz;
+    block_coords(b, bx, by, bz);
+    const int X0 = bx << kTileShift;
+    const int Y0 = by << kTileShift;
+    const int Z0 = bz << kTileShift;
+    const int vx = std::min(kTileSide, nx_ - X0);
+    const int vy = std::min(kTileSide, ny_ - Y0);
+    const int vz = std::min(kTileSide, nz_ - Z0);
+    const std::size_t base = static_cast<std::size_t>(s) * kTileNodes;
+    for (int lz = 0; lz < vz; ++lz) {
+      const int z = Z0 + lz;
+      if (z < 1 || z >= nz_ - 1) continue;
+      for (int ly = 0; ly < vy; ++ly) {
+        const int y = Y0 + ly;
+        if (y < 1 || y >= ny_ - 1) continue;
+        for (int lx = 0; lx < vx; ++lx) {
+          const int x = X0 + lx;
+          if (x < 1 || x >= nx_ - 1) continue;
+          const std::size_t a = base + cell_of(lx, ly, lz);
+          if (type_[a] != NodeType::Fluid) continue;
+          // Fast nodes require an all-Fluid neighbourhood (the D3Q19
+          // stencil is symmetric, so sources and targets are the same
+          // set): the pull kernel can then skip every bounds/type check,
+          // and the push kernel's direct 18-way scatter stays race-free
+          // under the parallel tile decomposition (it never writes into a
+          // Velocity/Coupling node's self-copied slots).
+          bool ok = true;
+          for (int q = 1; q < kQ && ok; ++q) {
+            ok = type_[addr(x - kC[q][0], y - kC[q][1], z - kC[q][2])] ==
+                 NodeType::Fluid;
+          }
+          fast_[a] = ok ? 1 : 0;
         }
-        fast_[i] = ok ? 1 : 0;
       }
     }
   }
@@ -464,74 +1062,105 @@ void Lattice::ensure_fast_flags() {
 }
 
 void stream(Lattice& lat) {
-  const std::size_t n = lat.n_;
   const int nx = lat.nx_;
   const int ny = lat.ny_;
   const int nz = lat.nz_;
+  constexpr int S = Lattice::kTileSide;
+  constexpr std::size_t TN = Lattice::kTileNodes;
+  lat.ensure_tiles();
   lat.ensure_fast_flags();
 
-  // Precomputed pull offsets for the fast path.
-  std::ptrdiff_t off[kQ];
+  // Intra-tile pull offsets for tile-interior fast nodes.
+  std::ptrdiff_t coff[kQ];
   for (int q = 0; q < kQ; ++q) {
-    off[q] = (static_cast<std::ptrdiff_t>(kC[q][2]) * ny + kC[q][1]) * nx +
-             kC[q][0];
+    coff[q] = (static_cast<std::ptrdiff_t>(kC[q][2]) * S + kC[q][1]) * S +
+              kC[q][0];
   }
 
-  // Pull streaming writes only the receiving node's slots, so rows are
-  // fully independent; parallelize over flattened (z, y) rows.
-  exec::parallel_for(static_cast<std::size_t>(nz) * ny, [&](std::size_t row) {
-    const int z = static_cast<int>(row / ny);
-    const int y = static_cast<int>(row % ny);
-    for (int x = 0; x < nx; ++x) {
-      const std::size_t i = lat.idx(x, y, z);
-      if (lat.fast_[i]) {
-        const double* f = lat.f_.data();
-        double* ft = lat.ftmp_.data();
-        for (int q = 0; q < kQ; ++q) {
-          ft[q * n + i] = f[q * n + i - off[q]];
-        }
-        continue;
-      }
-      const NodeType t = lat.type_[i];
-      if (t != NodeType::Fluid) {
-        // Non-fluid nodes keep their distributions (Velocity/Coupling are
-        // re-imposed later; Wall/Exterior are never read as targets).
-        if (t != NodeType::Exterior) {
-          for (int q = 0; q < kQ; ++q) {
-            lat.ftmp_[q * n + i] = lat.f_[q * n + i];
-          }
-        }
-        continue;
-      }
-      for (int q = 0; q < kQ; ++q) {
-        int sx = x - kC[q][0];
-        int sy = y - kC[q][1];
-        int sz = z - kC[q][2];
-        if (lat.periodic_[0]) sx = (sx + nx) % nx;
-        if (lat.periodic_[1]) sy = (sy + ny) % ny;
-        if (lat.periodic_[2]) sz = (sz + nz) % nz;
-
-        bool bounce = false;
-        Vec3 uw{};
-        if (!lat.in_domain(sx, sy, sz)) {
-          bounce = true;  // domain edge treated as resting wall
-        } else {
-          const std::size_t s = lat.idx(sx, sy, sz);
-          const NodeType st = lat.type_[s];
-          if (is_stream_source(st)) {
-            lat.ftmp_[q * n + i] = lat.f_[q * n + s];
+  // Pull streaming writes only the receiving node's slots, so tiles are
+  // fully independent; parallelize over resident tiles.
+  exec::parallel_for(lat.resident_.size(), [&](std::size_t t) {
+    const std::size_t b = static_cast<std::size_t>(lat.resident_[t]);
+    const std::int32_t s = lat.dir_[b];
+    int bx, by, bz;
+    lat.block_coords(b, bx, by, bz);
+    const int X0 = bx << Lattice::kTileShift;
+    const int Y0 = by << Lattice::kTileShift;
+    const int Z0 = bz << Lattice::kTileShift;
+    const int vx = std::min(S, nx - X0);
+    const int vy = std::min(S, ny - Y0);
+    const int vz = std::min(S, nz - Z0);
+    const std::int32_t* nrow =
+        lat.nbr_.data() + static_cast<std::size_t>(s) * 27;
+    const std::size_t base = static_cast<std::size_t>(s) * TN;
+    const double* f = lat.f_.data();
+    double* ft = lat.ftmp_.data();
+    for (int lz = 0; lz < vz; ++lz) {
+      const int z = Z0 + lz;
+      for (int ly = 0; ly < vy; ++ly) {
+        const int y = Y0 + ly;
+        for (int lx = 0; lx < vx; ++lx) {
+          const std::size_t a = base + Lattice::cell_of(lx, ly, lz);
+          if (lat.fast_[a]) {
+            if (lx >= 1 && lx < S - 1 && ly >= 1 && ly < S - 1 && lz >= 1 &&
+                lz < S - 1) {
+              for (int q = 0; q < kQ; ++q) {
+                ft[lat.faddr(a, q)] = f[lat.faddr(a - coff[q], q)];
+              }
+            } else {
+              for (int q = 0; q < kQ; ++q) {
+                const std::size_t sa = Lattice::nbr_addr(
+                    nrow, lx - kC[q][0], ly - kC[q][1], lz - kC[q][2]);
+                ft[lat.faddr(a, q)] = f[lat.faddr(sa, q)];
+              }
+            }
             continue;
           }
-          bounce = true;
-          if (st == NodeType::Wall) uw = lat.ubc_[s];
-        }
-        if (bounce) {
-          // Halfway bounce-back with moving-wall momentum transfer:
-          //   f_q(x, t+1) = f*_opp(q)(x, t) + 6 w_q rho (c_q . u_w)
-          // (rho ~ 1 at low Mach).
-          const double cu =
-              kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
-          lat.ftmp_[q * n + i] = lat.f_[kOpp[q] * n + i] + 6.0 * kW[q] * cu;
+          const NodeType tt = lat.type_[a];
+          if (tt != NodeType::Fluid) {
+            // Non-fluid nodes keep their distributions (Velocity/Coupling
+            // are re-imposed later; Wall/Exterior are never read as
+            // targets).
+            if (tt != NodeType::Exterior) {
+              for (int q = 0; q < kQ; ++q) {
+                ft[lat.faddr(a, q)] = f[lat.faddr(a, q)];
+              }
+            }
+            continue;
+          }
+          const int x = X0 + lx;
+          for (int q = 0; q < kQ; ++q) {
+            int sx = x - kC[q][0];
+            int sy = y - kC[q][1];
+            int sz = z - kC[q][2];
+            if (lat.periodic_[0]) sx = (sx + nx) % nx;
+            if (lat.periodic_[1]) sy = (sy + ny) % ny;
+            if (lat.periodic_[2]) sz = (sz + nz) % nz;
+
+            bool bounce = false;
+            Vec3 uw{};
+            if (!lat.in_domain(sx, sy, sz)) {
+              bounce = true;  // domain edge treated as resting wall
+            } else {
+              const std::size_t sa = lat.addr(sx, sy, sz);
+              const NodeType st = lat.type_[sa];
+              if (is_stream_source(st)) {
+                ft[lat.faddr(a, q)] = f[lat.faddr(sa, q)];
+                continue;
+              }
+              bounce = true;
+              if (st == NodeType::Wall) uw = lat.ubc_[sa];
+            }
+            if (bounce) {
+              // Halfway bounce-back with moving-wall momentum transfer:
+              //   f_q(x, t+1) = f*_opp(q)(x, t) + 6 w_q rho (c_q . u_w)
+              // (rho ~ 1 at low Mach).
+              const double cu =
+                  kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+              ft[lat.faddr(a, q)] =
+                  f[lat.faddr(a, kOpp[q])] + 6.0 * kW[q] * cu;
+            }
+          }
         }
       }
     }
@@ -540,14 +1169,18 @@ void stream(Lattice& lat) {
 }
 
 void apply_dirichlet(Lattice& lat) {
-  const std::size_t n = lat.n_;
-  exec::parallel_for(n, [&lat, n](std::size_t i) {
-    if (lat.type_[i] != NodeType::Velocity) return;
-    std::array<double, kQ> feq;
-    equilibria(1.0, lat.ubc_[i], feq);
-    for (int q = 0; q < kQ; ++q) lat.f_[q * n + i] = feq[q];
-    lat.rho_[i] = 1.0;
-    lat.u_[i] = lat.ubc_[i];
+  constexpr std::size_t TN = Lattice::kTileNodes;
+  exec::parallel_for(lat.resident_.size(), [&](std::size_t t) {
+    const std::size_t base = static_cast<std::size_t>(lat.tile_slot(t)) * TN;
+    for (std::size_t c = 0; c < TN; ++c) {
+      const std::size_t a = base + c;
+      if (lat.type_[a] != NodeType::Velocity) continue;
+      std::array<double, kQ> feq;
+      equilibria(1.0, lat.ubc_[a], feq);
+      for (int q = 0; q < kQ; ++q) lat.f_[lat.faddr(a, q)] = feq[q];
+      lat.rho_[a] = 1.0;
+      lat.u_[a] = lat.ubc_[a];
+    }
   });
 }
 

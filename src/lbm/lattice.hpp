@@ -1,8 +1,8 @@
 #pragma once
 
 /// \file lattice.hpp
-/// A single fixed-resolution D3Q19 lattice block, in structure-of-arrays
-/// layout. The APR simulation (src/apr) composes two of these: a coarse
+/// A single fixed-resolution D3Q19 lattice block with tiled sparse
+/// storage. The APR simulation (src/apr) composes two of these: a coarse
 /// lattice spanning the whole domain (bulk, whole-blood viscosity) and a
 /// fine lattice spanning the moving window (plasma viscosity), following
 /// §2.1 and §2.4.1 of the paper.
@@ -15,8 +15,25 @@
 ///              at the prescribed velocity after each streaming step.
 ///  - Coupling: distributions imposed externally (by the grid coupler) each
 ///              step; participates in streaming as a source only.
+///
+/// Storage layout (tiled, §3.5 Table 3 memory budget): the dense index
+/// space exposed by idx() is unchanged, but per-node state lives in
+/// fixed-size 16^3 *tiles*, allocated only for blocks that hold at least
+/// one non-Exterior node. A flat block directory maps
+/// `dense block id -> tile slot` in O(1). Slot 0 is a shared immutable
+/// "exterior tile" holding the vacant-node defaults (type = Exterior,
+/// f = 0, tau = default_tau(), ubc = 0, force = body_force(), rho = 1,
+/// u = 0); every absent block's directory entry points at it, so reads
+/// never branch on residency. Writers materialize a private tile on the
+/// first non-default store; a tile whose last non-Exterior node is
+/// re-typed Exterior is released again (when its remaining contents equal
+/// the vacant defaults), so voxelization and reclassify_solid sparsify
+/// the lattice with no caller changes. In vessel-network domains the
+/// overwhelming majority of bounding-box nodes are Exterior, so memory
+/// and sweep time scale with the vasculature instead of the box.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,10 +68,28 @@ constexpr bool is_stream_source(NodeType t) {
 
 class Lattice {
  public:
+  // --- tile geometry -------------------------------------------------------
+  static constexpr int kTileShift = 4;
+  static constexpr int kTileSide = 1 << kTileShift;  ///< 16
+  static constexpr int kTileNodesShift = 3 * kTileShift;
+  static constexpr std::size_t kTileNodes = std::size_t{1}
+                                            << kTileNodesShift;  ///< 4096
+  static constexpr std::size_t kTileMask = kTileNodes - 1;
+
+  /// Bytes of per-node state a tile stores (f + ftmp + type + tau + ubc +
+  /// force + rho + u + fast flag); the basis of tiled_bytes()/dense_bytes().
+  static constexpr std::size_t kNodeBytes =
+      2 * kQ * sizeof(double) + sizeof(NodeType) + sizeof(double) +
+      3 * sizeof(Vec3) + sizeof(double) + sizeof(std::uint8_t);
+
   /// \param nx,ny,nz  node counts
   /// \param origin    physical position of node (0,0,0)
   /// \param dx        physical spacing [m]
   /// \param tau       default relaxation time (per-node override available)
+  ///
+  /// A fresh lattice is all-Fluid (every tile resident); voxelization
+  /// marks the exterior and releases emptied tiles. Call shrink_to_fit()
+  /// afterwards to return the freed slots to the allocator.
   Lattice(int nx, int ny, int nz, const Vec3& origin, double dx, double tau);
 
   int nx() const { return nx_; }
@@ -92,26 +127,29 @@ class Lattice {
   Vec3 to_lattice(const Vec3& p) const { return (p - origin_) / dx_; }
 
   // --- node metadata -------------------------------------------------------
-  NodeType type(std::size_t i) const { return type_[i]; }
-  NodeType type(int x, int y, int z) const { return type_[idx(x, y, z)]; }
+  NodeType type(std::size_t i) const { return type_[addr(i)]; }
+  NodeType type(int x, int y, int z) const { return type_[addr(x, y, z)]; }
   void set_type(std::size_t i, NodeType t) {
-    type_[i] = t;
-    fast_dirty_ = true;
+    int x, y, z;
+    decompose(i, x, y, z);
+    set_type(x, y, z, t);
   }
-  void set_type(int x, int y, int z, NodeType t) {
-    set_type(idx(x, y, z), t);
-  }
+  void set_type(int x, int y, int z, NodeType t);
 
-  double tau(std::size_t i) const { return tau_[i]; }
-  void set_tau(std::size_t i, double tau) { tau_[i] = tau; }
+  double tau(std::size_t i) const { return tau_[addr(i)]; }
+  void set_tau(std::size_t i, double tau);
   void set_uniform_tau(double tau);
 
+  /// Tau stored by the shared exterior tile (what tau(i) reads at any
+  /// node whose tile is not resident). Set by the constructor and
+  /// set_uniform_tau(); the explicit setter exists for checkpoint
+  /// restore, which must reproduce the vacant-node baseline exactly.
+  double default_tau() const { return default_tau_; }
+  void set_default_tau(double tau);
+
   /// Prescribed velocity for Wall (moving wall) and Velocity nodes.
-  const Vec3& boundary_velocity(std::size_t i) const { return ubc_[i]; }
-  void set_boundary_velocity(std::size_t i, const Vec3& u) {
-    ubc_[i] = u;
-    if (u.x != 0.0 || u.y != 0.0 || u.z != 0.0) ubc_nonzero_ = true;
-  }
+  const Vec3& boundary_velocity(std::size_t i) const { return ubc_[addr(i)]; }
+  void set_boundary_velocity(std::size_t i, const Vec3& u);
 
   /// Whether any prescribed boundary velocity was ever set nonzero (gates
   /// the moving-wall momentum correction and which arrays shift() moves).
@@ -121,8 +159,8 @@ class Lattice {
   void set_ubc_nonzero(bool nonzero) { ubc_nonzero_ = nonzero; }
 
   // --- distributions -------------------------------------------------------
-  double f(int q, std::size_t i) const { return f_[q * n_ + i]; }
-  void set_f(int q, std::size_t i, double v) { f_[q * n_ + i] = v; }
+  double f(int q, std::size_t i) const { return f_[faddr(addr(i), q)]; }
+  void set_f(int q, std::size_t i, double v);
 
   std::array<double, kQ> f_node(std::size_t i) const;
   void set_f_node(std::size_t i, const std::array<double, kQ>& f);
@@ -135,21 +173,24 @@ class Lattice {
 
   /// Reset one node to the freshly-constructed state: zero distributions,
   /// zero boundary velocity, force = body force, rho = 1, u = 0. Type and
-  /// tau are left untouched. Safe to call concurrently on distinct nodes.
+  /// tau are left untouched. Safe to call concurrently on distinct nodes
+  /// (a vacant node already holds exactly this state, so the call is a
+  /// no-op there and never materializes a tile).
   void reset_node(std::size_t i);
 
   /// Shift the lattice state by a whole-node displacement: node (x, y, z)
-  /// takes the state previously held at (x+sx, y+sy, z+sz). In SoA index
-  /// space that source lies at a constant linear offset, so every array
-  /// moves with a single overlap-safe memmove -- no scratch allocation,
-  /// no per-node addressing. The move is bandwidth-bound, so only state
-  /// that cannot be recomputed travels: distributions, node types, the
-  /// velocity cache (IBM interpolation reads it at Wall/Exterior nodes
-  /// that update_macroscopic() never rewrites), and prescribed boundary
-  /// velocities (only if any were ever set nonzero). Per-node tau and
-  /// forces are NOT shifted (the window pipeline re-imposes a uniform tau
-  /// and resets forces after every move), and the rho cache is left
-  /// unspecified until the next update_macroscopic().
+  /// takes the state previously held at (x+sx, y+sy, z+sz). The remap is
+  /// tile-granular: a fresh directory and slot pools are built, tiles are
+  /// allocated only where the moved-in state (or surviving in-place
+  /// state) is non-Exterior, and tiles left empty by the move are
+  /// released. Only state that cannot be recomputed travels:
+  /// distributions, node types, the velocity cache (IBM interpolation
+  /// reads it at Wall/Exterior nodes that update_macroscopic() never
+  /// rewrites), and prescribed boundary velocities. Per-node tau, forces
+  /// and the rho cache are NOT shifted -- they keep their old same-node
+  /// values (the window pipeline re-imposes a uniform tau and resets
+  /// forces after every move, and rho is unspecified until the next
+  /// update_macroscopic()).
   ///
   /// Nodes outside the surviving overlap box -- and only those -- are left
   /// with unspecified distributions/types afterwards; the caller must
@@ -160,8 +201,17 @@ class Lattice {
   std::size_t shift(int sx, int sy, int sz);
 
   // --- body/IBM force ------------------------------------------------------
-  const Vec3& force(std::size_t i) const { return force_[i]; }
-  void add_force(std::size_t i, const Vec3& f) { force_[i] += f; }
+  const Vec3& force(std::size_t i) const { return force_[addr(i)]; }
+  /// Accumulate an IBM/body force at node i. Forces only accumulate on
+  /// resident tiles: spreading into a vacant (all-Exterior) block is
+  /// dropped, which matches the dense layout observably -- forces at
+  /// Exterior nodes are dead storage (never collided, never serialized)
+  /// -- and keeps concurrent spreading race-free (no tile allocation from
+  /// worker threads).
+  void add_force(std::size_t i, const Vec3& f) {
+    const std::size_t a = addr(i);
+    if (a >= kTileNodes) force_[a] += f;
+  }
   const Vec3& body_force() const { return body_force_; }
   void set_body_force(const Vec3& f);
   /// Reset per-node forces to the constant body force (called by the FSI
@@ -169,12 +219,19 @@ class Lattice {
   void clear_forces();
 
   // --- macroscopic caches (filled by update_macroscopic) --------------------
-  double rho(std::size_t i) const { return rho_[i]; }
+  double rho(std::size_t i) const { return rho_[addr(i)]; }
   /// Overwrite one cache entry directly (checkpoint restore; the caches
   /// are genuine state at nodes update_macroscopic() never rewrites).
-  void set_rho(std::size_t i, double rho) { rho_[i] = rho; }
-  const Vec3& velocity(std::size_t i) const { return u_[i]; }
-  Vec3& mutable_velocity(std::size_t i) { return u_[i]; }
+  void set_rho(std::size_t i, double rho);
+  const Vec3& velocity(std::size_t i) const { return u_[addr(i)]; }
+  const Vec3& velocity(int x, int y, int z) const {
+    return u_[addr(x, y, z)];
+  }
+  /// Mutable access materializes the node's tile (the reference must be
+  /// writable); prefer set_velocity(), which is a no-op for a zero write
+  /// into a vacant tile.
+  Vec3& mutable_velocity(std::size_t i) { return u_[ensure(i)]; }
+  void set_velocity(std::size_t i, const Vec3& u);
 
   /// Recompute rho and u (with Guo half-force correction) on all
   /// Fluid/Coupling nodes.
@@ -232,10 +289,73 @@ class Lattice {
   void set_periodic(bool px, bool py, bool pz);
   bool periodic(int axis) const { return periodic_[axis]; }
 
-  // Raw buffers for the solver.
+  // Raw slot-pool buffers (tile-slot-major; see tile_f() for the layout).
+  // Exposed for the solver and benches only.
   std::vector<double>& raw_f() { return f_; }
   std::vector<double>& raw_ftmp() { return ftmp_; }
   void swap_buffers() { f_.swap(ftmp_); }
+
+  // --- tiled-storage introspection ----------------------------------------
+  /// Number of resident (allocated) tiles.
+  std::size_t num_tiles() const { return resident_.size(); }
+  /// Number of blocks the bounding box decomposes into (resident or not).
+  std::size_t max_tiles() const { return nblocks_; }
+  /// Dense block id of the t-th resident tile; resident tiles are always
+  /// iterated in ascending block id ("directory order"), which is what
+  /// makes fixed-grain tiled reductions worker-count invariant.
+  std::size_t resident_block(std::size_t t) const {
+    return static_cast<std::size_t>(resident_[t]);
+  }
+  /// Node coordinates of cell 0 of the t-th resident tile.
+  void tile_origin(std::size_t t, int& x0, int& y0, int& z0) const {
+    block_coords(static_cast<std::size_t>(resident_[t]), x0, y0, z0);
+    x0 <<= kTileShift;
+    y0 <<= kTileShift;
+    z0 <<= kTileShift;
+  }
+  /// Per-cell node types of the t-th resident tile (kTileNodes entries;
+  /// cells outside the lattice box are padding and always Exterior).
+  const NodeType* tile_types(std::size_t t) const {
+    return type_.data() + static_cast<std::size_t>(tile_slot(t)) * kTileNodes;
+  }
+  /// Distributions of the t-th resident tile: kQ * kTileNodes doubles,
+  /// q-major (value of direction q at cell c is p[q * kTileNodes + c]).
+  const double* tile_f(std::size_t t) const {
+    return f_.data() +
+           static_cast<std::size_t>(tile_slot(t)) * kQ * kTileNodes;
+  }
+  /// Local cell coordinates within a tile.
+  static void cell_coords(std::size_t c, int& lx, int& ly, int& lz) {
+    lx = static_cast<int>(c) & (kTileSide - 1);
+    ly = (static_cast<int>(c) >> kTileShift) & (kTileSide - 1);
+    lz = static_cast<int>(c) >> (2 * kTileShift);
+  }
+  /// Whether node i's tile is resident (vacant nodes read shared defaults).
+  bool node_resident(std::size_t i) const { return addr(i) >= kTileNodes; }
+
+  /// Disable (or re-enable) the release of tiles emptied by set_type();
+  /// with auto-release off and materialize_all() the lattice behaves as a
+  /// dense reference layout (used by the tiled-vs-dense digest tests and
+  /// the ablation bench).
+  void set_auto_release(bool on) { auto_release_ = on; }
+  bool auto_release() const { return auto_release_; }
+  /// Materialize every tile (dense reference mode).
+  void materialize_all();
+  /// Compact the slot pools to the resident tiles, returning freed slots
+  /// to the allocator (call after voxelization has released tiles).
+  void shrink_to_fit();
+
+  /// Allocated bytes of the tiled layout: slot pools (including the
+  /// shared exterior tile and any free slots) plus directory/metadata.
+  std::size_t tiled_bytes() const;
+  /// Bytes the flat dense layout would need for the same bounding box.
+  std::size_t dense_bytes() const;
+  /// Resident fraction of the block grid (resident tiles / max tiles).
+  double fill_fraction() const {
+    return nblocks_ == 0 ? 0.0
+                         : static_cast<double>(resident_.size()) /
+                               static_cast<double>(nblocks_);
+  }
 
  private:
   int nx_;
@@ -246,8 +366,20 @@ class Lattice {
   double dx_;
   bool periodic_[3] = {false, false, false};
 
-  std::vector<double> f_;      // kQ * n_, q-major
-  std::vector<double> ftmp_;   // streaming target
+  // --- tile directory ------------------------------------------------------
+  int tbx_ = 0, tby_ = 0, tbz_ = 0;  ///< block-grid dimensions
+  std::size_t nblocks_ = 0;
+  std::vector<std::int32_t> dir_;       ///< block id -> slot (0 = exterior)
+  std::vector<std::int32_t> resident_;  ///< resident block ids, ascending
+  std::vector<std::int32_t> slot_block_;  ///< slot -> block id (-1 = unused)
+  std::vector<std::int32_t> nonext_;      ///< slot -> non-Exterior node count
+  std::vector<std::int32_t> free_slots_;
+  double default_tau_ = 1.0;
+  bool auto_release_ = true;
+
+  // --- slot pools (slot-major; slot 0 is the shared exterior tile) ---------
+  std::vector<double> f_;     ///< slots * kQ * kTileNodes, q-major per slot
+  std::vector<double> ftmp_;  ///< streaming target
   std::vector<NodeType> type_;
   std::vector<double> tau_;
   std::vector<Vec3> ubc_;
@@ -266,10 +398,100 @@ class Lattice {
   bool fused_ = true;
   CollisionModel collision_ = CollisionModel::Bgk;
   double magic_ = 3.0 / 16.0;
-  void ensure_fast_flags();
 
-  /// Post-collision populations of node i (shared by both kernels).
-  void collide_node(std::size_t i, std::array<double, kQ>& f) const;
+  // Per-slot 27-entry neighbour-slot table (tile rim streaming); rebuilt
+  // lazily whenever tiles are materialized, released or remapped.
+  std::vector<std::int32_t> nbr_;
+  bool tiles_dirty_ = true;
+
+  // Reciprocal magics for decompose() (Lemire-style unsigned division);
+  // exact for dividends < 2^32, which covers any practical lattice.
+  std::uint64_t magic_nx_ = 0;
+  std::uint64_t magic_plane_ = 0;
+  bool fastdiv_ = false;
+
+  // --- addressing ----------------------------------------------------------
+  std::size_t block_index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z >> kTileShift) * tby_ +
+            (y >> kTileShift)) *
+               tbx_ +
+           (x >> kTileShift);
+  }
+  void block_coords(std::size_t b, int& bx, int& by, int& bz) const {
+    bx = static_cast<int>(b % tbx_);
+    by = static_cast<int>((b / tbx_) % tby_);
+    bz = static_cast<int>(b / (static_cast<std::size_t>(tbx_) * tby_));
+  }
+  static std::size_t cell_of(int lx, int ly, int lz) {
+    return (static_cast<std::size_t>(lz) << (2 * kTileShift)) |
+           (static_cast<std::size_t>(ly) << kTileShift) |
+           static_cast<std::size_t>(lx);
+  }
+  void decompose(std::size_t i, int& x, int& y, int& z) const;
+
+  /// Storage address of node (x, y, z): slot * kTileNodes + cell. Vacant
+  /// nodes resolve into the shared exterior tile (slot 0), so reads never
+  /// branch; writers must check `a < kTileNodes` (vacant) first.
+  std::size_t addr(int x, int y, int z) const {
+    return static_cast<std::size_t>(dir_[block_index(x, y, z)]) * kTileNodes +
+           cell_of(x & (kTileSide - 1), y & (kTileSide - 1),
+                   z & (kTileSide - 1));
+  }
+  std::size_t addr(std::size_t i) const {
+    int x, y, z;
+    decompose(i, x, y, z);
+    return addr(x, y, z);
+  }
+  /// Distribution-pool address of direction q at storage address a.
+  std::size_t faddr(std::size_t a, int q) const {
+    return ((a >> kTileNodesShift) * kQ + q) * kTileNodes + (a & kTileMask);
+  }
+  std::int32_t tile_slot(std::size_t t) const {
+    return dir_[static_cast<std::size_t>(resident_[t])];
+  }
+
+  // --- tile lifecycle ------------------------------------------------------
+  std::int32_t materialize(std::size_t b);
+  void release(std::size_t b);
+  void reset_slot(std::int32_t s);
+  /// True when every node of slot s holds the vacant defaults in the
+  /// fields that outlive an all-Exterior tile (tau, ubc, rho, u);
+  /// distributions and forces are dead storage at Exterior nodes.
+  bool tile_holds_defaults(std::int32_t s) const;
+  std::size_t ensure(int x, int y, int z) {
+    const std::size_t b = block_index(x, y, z);
+    std::int32_t s = dir_[b];
+    if (s == 0) s = materialize(b);
+    return static_cast<std::size_t>(s) * kTileNodes +
+           cell_of(x & (kTileSide - 1), y & (kTileSide - 1),
+                   z & (kTileSide - 1));
+  }
+  std::size_t ensure(std::size_t i) {
+    int x, y, z;
+    decompose(i, x, y, z);
+    return ensure(x, y, z);
+  }
+
+  void ensure_fast_flags();
+  void ensure_tiles();
+
+  /// Rim streaming: storage address of the node at local tile coordinates
+  /// (lx, ly, lz) in [-1, kTileSide], resolved through the per-slot
+  /// 27-entry neighbour table `row`.
+  static std::size_t nbr_addr(const std::int32_t* row, int lx, int ly,
+                              int lz) {
+    const int bx = (lx + kTileSide) >> kTileShift;
+    const int by = (ly + kTileSide) >> kTileShift;
+    const int bz = (lz + kTileSide) >> kTileShift;
+    const std::int32_t s = row[(bz * 3 + by) * 3 + bx];
+    return static_cast<std::size_t>(s) * kTileNodes +
+           cell_of(lx & (kTileSide - 1), ly & (kTileSide - 1),
+                   lz & (kTileSide - 1));
+  }
+
+  /// Post-collision populations of the node at storage address a (shared
+  /// by both kernels).
+  void collide_node(std::size_t a, std::array<double, kQ>& f) const;
 
   friend void fused_collide_stream(Lattice&);
 
