@@ -1,0 +1,258 @@
+/// \file ablation_row_kernels.cpp
+/// Ablation of the cached-sweep-plan row-segment LBM kernels (DESIGN.md
+/// §13): scalar per-node sweep vs segmented vectorized sweep, in MLUPS
+/// (million lattice-site updates per second), on three geometries --
+///   fluid96          all-fluid 96^3 periodic box (the kernel's best case
+///                    and the acceptance geometry: target >= 1.5x)
+///   duct             walled square duct, periodic along x
+///   branching_tree   the Fig. 3 vascular tree (sparse, wall-heavy)
+///   cerebral         cerebral-like network (DESIGN.md §3)
+///
+/// Before timing, every geometry self-checks the bitwise contract: ten
+/// steps with Guo forcing must serialize byte-identically under both
+/// kernels (the full BGK/TRT x forced/unforced matrix lives in
+/// tests/test_sweep_plan.cpp).
+///
+/// `--check <baseline.json>` turns the fluid96 segmented/scalar speedup
+/// into a regression gate for nightly CI: the measured ratio must stay
+/// above 75% of the committed baseline ratio. Ratios, not absolute MLUPS,
+/// so the gate is machine-independent.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/common/rng.hpp"
+#include "src/geometry/vasculature.hpp"
+#include "src/geometry/voxelizer.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace {
+
+using apr::Vec3;
+using apr::lbm::kQ;
+using apr::lbm::Lattice;
+using apr::lbm::NodeType;
+
+/// Deterministic index-dependent seed state (same probe as the tests).
+std::array<double, kQ> probe_f(std::size_t i) {
+  std::array<double, kQ> f;
+  for (int q = 0; q < kQ; ++q) {
+    f[q] = 0.05 + 1e-3 * static_cast<double>((i * 7 + q * 13) % 101);
+  }
+  return f;
+}
+
+void seed_fluid(Lattice& lat) {
+  for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+    if (lat.type(i) == NodeType::Fluid) lat.set_f_node(i, probe_f(i));
+  }
+  lat.update_macroscopic();
+}
+
+/// A geometry is a factory producing a freshly seeded lattice, so the
+/// scalar and segmented timings (and the equality check) start from
+/// byte-identical state.
+struct Geometry {
+  std::string name;
+  std::function<Lattice()> make;
+};
+
+Lattice make_fluid96() {
+  Lattice lat(96, 96, 96, Vec3{}, 1e-6, 0.8);
+  // Everything Fluid (the constructor default), fully periodic: the
+  // all-fluid box of the acceptance criterion.
+  lat.set_periodic(true, true, true);
+  lat.set_body_force(Vec3{1e-5, 0.0, 0.0});
+  seed_fluid(lat);
+  return lat;
+}
+
+Lattice make_duct() {
+  Lattice lat(96, 48, 48, Vec3{}, 1e-6, 0.8);
+  const int cy = lat.ny() / 2;
+  const int cz = lat.nz() / 2;
+  for (int z = 0; z < lat.nz(); ++z) {
+    for (int y = 0; y < lat.ny(); ++y) {
+      for (int x = 0; x < lat.nx(); ++x) {
+        const int dy = std::abs(y - cy);
+        const int dz = std::abs(z - cz);
+        NodeType t = NodeType::Exterior;
+        if (dy < 20 && dz < 20) {
+          t = NodeType::Fluid;
+        } else if (dy <= 20 && dz <= 20) {
+          t = NodeType::Wall;
+        }
+        lat.set_type(x, y, z, t);
+      }
+    }
+  }
+  lat.shrink_to_fit();
+  lat.set_periodic(true, false, false);
+  lat.set_body_force(Vec3{1e-5, 0.0, 0.0});
+  seed_fluid(lat);
+  return lat;
+}
+
+Lattice make_tree() {
+  apr::Rng rng(11);
+  apr::geometry::VasculatureParams p;
+  p.root_radius = 60e-6;
+  p.root_length = 1.2e-3;
+  p.levels = 4;
+  const auto vasc = apr::geometry::Vasculature::branching_tree(p, rng);
+  auto lat = apr::geometry::make_lattice_for(vasc, 15e-6, 0.8);
+  apr::geometry::voxelize(lat, vasc);
+  lat.set_body_force(Vec3{0.0, 0.0, 1e-5});
+  seed_fluid(lat);
+  return lat;
+}
+
+Lattice make_cerebral() {
+  apr::Rng rng(7);
+  const auto vasc = apr::geometry::Vasculature::cerebral_like(rng);
+  auto lat = apr::geometry::make_lattice_for(vasc, 15e-6, 0.8);
+  apr::geometry::voxelize(lat, vasc);
+  lat.set_body_force(Vec3{0.0, 0.0, 1e-5});
+  seed_fluid(lat);
+  return lat;
+}
+
+/// Ten forced steps under both kernels must serialize byte-identically.
+bool check_bitwise(const Geometry& g) {
+  Lattice seg = g.make();
+  Lattice sca = g.make();
+  seg.set_segmented_kernel(true);
+  sca.set_segmented_kernel(false);
+  for (int s = 0; s < 10; ++s) {
+    seg.step();
+    sca.step();
+  }
+  const auto bs = apr::io::LatticeState::capture(seg).serialize();
+  const auto bo = apr::io::LatticeState::capture(sca).serialize();
+  return bs.size() == bo.size() &&
+         std::memcmp(bs.data(), bo.data(), bs.size()) == 0;
+}
+
+double time_mlups(Lattice& lat, int steps) {
+  lat.step();  // warm-up: builds the plan, faults in every plane
+  const std::uint64_t u0 = lat.site_updates();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) lat.step();
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::uint64_t updates = lat.site_updates() - u0;
+  return sec > 0.0 ? static_cast<double>(updates) / sec / 1e6 : 0.0;
+}
+
+struct Row {
+  std::string name;
+  std::uint64_t updates_per_step = 0;
+  double scalar_mlups = 0.0;
+  double segmented_mlups = 0.0;
+  double speedup = 0.0;
+};
+
+/// Minimal extraction of `"key": <number>` from a one-object JSON file.
+double json_number(const std::string& text, const std::string& key) {
+  const auto kpos = text.find("\"" + key + "\"");
+  if (kpos == std::string::npos) {
+    std::fprintf(stderr, "baseline: key '%s' not found\n", key.c_str());
+    std::exit(2);
+  }
+  const auto colon = text.find(':', kpos);
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<Geometry> geometries = {
+      {"fluid96", make_fluid96},
+      {"duct", make_duct},
+      {"branching_tree", make_tree},
+      {"cerebral", make_cerebral},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& g : geometries) {
+    if (!check_bitwise(g)) {
+      std::fprintf(stderr,
+                   "FAIL: %s: segmented kernel is not bit-exact vs scalar\n",
+                   g.name.c_str());
+      return 1;
+    }
+    Row r;
+    r.name = g.name;
+    {
+      Lattice lat = g.make();
+      lat.step();
+      r.updates_per_step = lat.site_updates();
+    }
+    // Scale the timed window so small vascular lattices still integrate a
+    // meaningful number of steps.
+    const int steps = std::max<int>(
+        4, static_cast<int>(6'000'000 / std::max<std::uint64_t>(
+                                            1, r.updates_per_step)));
+    {
+      Lattice lat = g.make();
+      lat.set_segmented_kernel(false);
+      r.scalar_mlups = time_mlups(lat, steps);
+    }
+    {
+      Lattice lat = g.make();
+      lat.set_segmented_kernel(true);
+      r.segmented_mlups = time_mlups(lat, steps);
+    }
+    r.speedup = r.scalar_mlups > 0.0 ? r.segmented_mlups / r.scalar_mlups
+                                     : 0.0;
+    std::printf("%-16s %10llu updates/step  scalar %7.2f MLUPS  "
+                "segmented %7.2f MLUPS  speedup %.2fx\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.updates_per_step),
+                r.scalar_mlups, r.segmented_mlups, r.speedup);
+    rows.push_back(r);
+  }
+
+  apr::CsvWriter csv("ablation_row_kernels.csv",
+                     {"geometry", "updates_per_step", "scalar_mlups",
+                      "segmented_mlups", "speedup"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    csv.row({static_cast<double>(i), static_cast<double>(r.updates_per_step),
+             r.scalar_mlups, r.segmented_mlups, r.speedup});
+  }
+  std::printf("series written to ablation_row_kernels.csv\n");
+
+  if (argc == 3 && std::string(argv[1]) == "--check") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "baseline: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const double base = json_number(ss.str(), "fluid96_speedup");
+    const double measured = rows[0].speedup;
+    const double limit = 0.75 * base;
+    std::printf("\nbaseline check: fluid96 speedup %.2fx vs baseline %.2fx "
+                "(limit %.2fx)\n",
+                measured, base, limit);
+    if (measured < limit) {
+      std::fprintf(stderr,
+                   "FAIL: segmented kernel speedup regressed >25%%\n");
+      return 1;
+    }
+    std::printf("baseline check passed\n");
+  }
+  return 0;
+}

@@ -57,6 +57,7 @@ AprParams params_from_config(const Config& config) {
   p.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
   p.incremental_window_move =
       config.get_bool("incremental_window_move", true);
+  p.segmented_kernels = config.get_bool("segmented_kernels", true);
 
   // Numerical-health watchdog (observability only: never shapes the
   // healthy trajectory, see simulation.hpp).

@@ -37,6 +37,8 @@
 ///   # FSI
 ///   contact_cutoff_um (0.4), contact_strength (2e-12)
 ///   wall_cutoff_um (0.5), wall_strength (5e-12)
+///   # kernels (see DESIGN.md §13) -- bit-exact toggle, scalar oracle
+///   segmented_kernels (true)
 ///   # bookkeeping
 ///   rbc_capacity (1500), seed (42)
 ///   # domain (kind = tube only here; other domains are built in code)

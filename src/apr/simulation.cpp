@@ -190,6 +190,7 @@ AprSimulation::AprSimulation(
   }
   coarse_ = std::make_unique<lbm::Lattice>(geometry::make_lattice_for(
       *domain_, params_.dx_coarse, params_.tau_coarse));
+  coarse_->set_segmented_kernel(params_.segmented_kernels);
   geometry::voxelize(*coarse_, *domain_);
 
   rbcs_ = std::make_unique<cells::CellPool>(rbc_model_.get(),
@@ -286,6 +287,7 @@ void AprSimulation::build_fine_lattice(const Aabb& box, int nn,
     fine_.reset();
   }
   fine_ = std::make_unique<lbm::Lattice>(nn, nn, nn, box.lo, dxf, 1.0);
+  fine_->set_segmented_kernel(params_.segmented_kernels);
   geometry::voxelize(*fine_, *domain_);
 
   // Initialize from the coarse solution.
@@ -705,6 +707,19 @@ void AprSimulation::sample_metrics() {
                      static_cast<double>(coarse_->tiled_bytes()));
   metrics_.set_gauge("fine.resident_tiles",
                      fine_ ? static_cast<double>(fine_->num_tiles()) : 0.0);
+
+  // Kernel throughput (MLUPS) and sweep-plan churn: a plan rebuild per
+  // step on the fine lattice would mean the shift/voxelize path is
+  // dirtying residency more than it should.
+  metrics_.set_gauge(
+      "coarse.mlups",
+      perf::phase_mlups(
+          profiler_.stats(perf::StepPhase::CoarseCollideStream)));
+  metrics_.set_gauge("coarse.plan_rebuilds",
+                     static_cast<double>(coarse_->plan_rebuilds()));
+  metrics_.set_gauge(
+      "fine.plan_rebuilds",
+      fine_ ? static_cast<double>(fine_->plan_rebuilds()) : 0.0);
 
   metrics_.set_gauge("rbc.count", static_cast<double>(rbcs_->size()));
   // Mean relative volume drift of the live RBCs: how far the constrained

@@ -96,6 +96,13 @@ struct AprParams {
   /// init-from-coarse -- kept as the equivalence baseline, like the serial
   /// reference paths elsewhere.
   bool incremental_window_move = true;
+  /// Use the cached-sweep-plan row-segment LBM kernels (the default) on
+  /// both lattices. When false the per-node scalar sweep runs instead --
+  /// kept as the in-process oracle. The segmented kernels are bit-exact
+  /// against the scalar path (tests/test_sweep_plan.cpp), so this toggle
+  /// never shapes the trajectory and is excluded from the checkpoint
+  /// params digest.
+  bool segmented_kernels = true;
   /// Numerical-health watchdog (off by default; see src/apr/health.hpp
   /// and DESIGN.md §10). Observability-only: health settings never shape
   /// the healthy trajectory, so they are deliberately excluded from the

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "src/exec/exec.hpp"
+#include "src/obs/trace.hpp"
 
 namespace apr::lbm {
 
@@ -599,6 +600,80 @@ void Lattice::update_macroscopic_region(int x0, int x1, int y0, int y1,
   y1 = std::min(y1, ny_);
   z1 = std::min(z1, nz_);
   if (x0 >= x1 || y0 >= y1 || z0 >= z1) return;
+  if (segmented_) {
+    // Segment fast path: iterate only the plan's live rows and store
+    // without the per-lane type check on segment lanes (fast nodes are
+    // Fluid by construction). Moment sums accumulate in the same
+    // ascending-q order over the same x-run as the dense walk below, so
+    // every stored value is bit-identical; lanes outside segments keep
+    // the type check via the scalar mask.
+    ensure_plan();
+    exec::parallel_for(resident_.size(), [&](std::size_t t) {
+      int tx0, ty0, tz0;
+      tile_origin(t, tx0, ty0, tz0);
+      const int ix0 = std::max(x0, tx0);
+      const int ix1 = std::min(x1, tx0 + kTileSide);
+      if (ix0 >= ix1) return;
+      const std::size_t slot = static_cast<std::size_t>(tile_slot(t));
+      const double* fs = f_.data() + slot * kQ * kTileNodes;
+      const int l0 = ix0 - tx0;
+      const int len = ix1 - ix0;
+      const std::size_t rend = plan_.row_begin(t + 1);
+      for (std::size_t r = plan_.row_begin(t); r < rend; ++r) {
+        const SweepPlan::Row& row = plan_.row(r);
+        const int y = ty0 + row.ly;
+        const int z = tz0 + row.lz;
+        if (y < y0 || y >= y1 || z < z0 || z >= z1) continue;
+        const std::size_t c0 = cell_of(l0, row.ly, row.lz);
+        const std::size_t a0 = slot * kTileNodes + c0;
+        double rho[kTileSide], mx[kTileSide], my[kTileSide], mz[kTileSide];
+        for (int k = 0; k < len; ++k) {
+          rho[k] = 0.0;
+          mx[k] = my[k] = mz[k] = 0.0;
+        }
+        for (int q = 0; q < kQ; ++q) {
+          const double* __restrict fq =
+              fs + static_cast<std::size_t>(q) * kTileNodes + c0;
+          const double cx = kC[q][0];
+          const double cy = kC[q][1];
+          const double cz = kC[q][2];
+#pragma omp simd
+          for (int k = 0; k < len; ++k) {
+            const double v = fq[k];
+            rho[k] += v;
+            mx[k] += cx * v;
+            my[k] += cy * v;
+            mz[k] += cz * v;
+          }
+        }
+        const SweepPlan::Seg* sg = plan_.segs(row.seg_begin);
+        for (int i = 0; i < row.nsegs; ++i) {
+          const int s0 = std::max<int>(sg[i].lx0, l0);
+          const int s1 = std::min<int>(sg[i].lx1, l0 + len);
+          for (int lx = s0; lx < s1; ++lx) {
+            const int k = lx - l0;
+            const std::size_t a = a0 + static_cast<std::size_t>(k);
+            rho_[a] = rho[k];
+            u_[a] = (Vec3{mx[k], my[k], mz[k]} + force_[a] * 0.5) / rho[k];
+          }
+        }
+        std::uint16_t m = row.scalar_mask;
+        while (m) {
+          const int lx = __builtin_ctz(m);
+          m = static_cast<std::uint16_t>(m & (m - 1));
+          if (lx < l0 || lx >= l0 + len) continue;
+          const int k = lx - l0;
+          const std::size_t a = a0 + static_cast<std::size_t>(k);
+          if (type_[a] != NodeType::Fluid && type_[a] != NodeType::Coupling) {
+            continue;
+          }
+          rho_[a] = rho[k];
+          u_[a] = (Vec3{mx[k], my[k], mz[k]} + force_[a] * 0.5) / rho[k];
+        }
+      }
+    });
+    return;
+  }
   // Tile-major traversal: the macroscopic update is pure per node (rho and
   // u at a node depend only on that node's f and force), so iteration
   // order cannot change a single bit -- and walking resident tiles keeps
@@ -741,42 +816,134 @@ void Lattice::step_no_macro() {
 // --- kernels ---------------------------------------------------------------
 
 void fused_collide_stream(Lattice& lat) {
-  const int nx = lat.nx_;
-  const int ny = lat.ny_;
-  const int nz = lat.nz_;
-  constexpr int S = Lattice::kTileSide;
-  constexpr std::size_t TN = Lattice::kTileNodes;
   lat.ensure_tiles();
   lat.ensure_fast_flags();
+  std::uint64_t updates;
+  if (lat.segmented_) {
+    lat.ensure_plan();
+    updates = lat.fused_sweep_segmented();
+  } else {
+    updates = lat.fused_sweep_scalar();
+  }
+  lat.site_updates_ += updates;
+  lat.swap_buffers();
+}
 
-  const double* f = lat.f_.data();
-  double* ft = lat.ftmp_.data();
+// Both fused sweeps are parallel over resident tiles. The scatter is
+// race-free: for a direction q, slot (q, j) has exactly one push source
+// i = j - c_q; bounce-back and self-copies write only the owning node's
+// slots; and pushes into Velocity/Coupling targets are skipped (those
+// nodes self-copy and are re-imposed by apply_dirichlet / the grid
+// coupler before the next read), so no slot ever has two writers.
+// Fast-node targets are all Fluid, hence resident -- the rim neighbour
+// table never routes a write into the shared exterior tile.
 
-  // Parallel over resident tiles. The scatter is race-free: for a
-  // direction q, slot (q, j) has exactly one push source i = j - c_q;
-  // bounce-back and self-copies write only the owning node's slots; and
-  // pushes into Velocity/Coupling targets are skipped (those nodes
-  // self-copy and are re-imposed by apply_dirichlet / the grid coupler
-  // before the next read), so no slot ever has two writers. Fast-node
-  // targets are all Fluid, hence resident -- the rim neighbour table
-  // never routes a write into the shared exterior tile.
-  const std::uint64_t updates = exec::parallel_reduce<std::uint64_t>(
-      lat.resident_.size(), 0,
+std::uint64_t Lattice::fused_scatter_node(const double* f, double* ft,
+                                          const std::int32_t* nrow,
+                                          NodeType tt, std::size_t a,
+                                          std::size_t fb, int x, int y, int z,
+                                          int lx, int ly, int lz) {
+  constexpr std::size_t TN = kTileNodes;
+  if (tt != NodeType::Fluid) {
+    // Velocity/Coupling: push the stored populations outward (no
+    // collision) and keep a self-copy so the node's state stays valid
+    // after the buffer swap.
+    for (int q = 0; q < kQ; ++q) {
+      ft[fb + static_cast<std::size_t>(q) * TN] =
+          f[fb + static_cast<std::size_t>(q) * TN];
+      int tx = x + kC[q][0];
+      int ty = y + kC[q][1];
+      int tz = z + kC[q][2];
+      if (periodic_[0]) tx = (tx + nx_) % nx_;
+      if (periodic_[1]) ty = (ty + ny_) % ny_;
+      if (periodic_[2]) tz = (tz + nz_) % nz_;
+      if (!in_domain(tx, ty, tz)) continue;
+      const std::size_t ja = addr(tx, ty, tz);
+      if (type_[ja] == NodeType::Fluid) {
+        ft[faddr(ja, q)] = f[fb + static_cast<std::size_t>(q) * TN];
+      }
+    }
+    return 0;
+  }
+
+  // Collide locally.
+  std::array<double, kQ> post;
+  for (int q = 0; q < kQ; ++q) {
+    post[q] = f[fb + static_cast<std::size_t>(q) * TN];
+  }
+  collide_node(a, post);
+
+  if (fast_[a]) {
+    // x-rim column of a fast node: route through the neighbour-slot table.
+    for (int q = 0; q < kQ; ++q) {
+      const std::size_t ja =
+          nbr_addr(nrow, lx + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
+      ft[faddr(ja, q)] = post[q];
+    }
+    return 1;
+  }
+
+  // Slow path: walls, domain edges, periodic wrap.
+  for (int q = 0; q < kQ; ++q) {
+    int tx = x + kC[q][0];
+    int ty = y + kC[q][1];
+    int tz = z + kC[q][2];
+    if (periodic_[0]) tx = (tx + nx_) % nx_;
+    if (periodic_[1]) ty = (ty + ny_) % ny_;
+    if (periodic_[2]) tz = (tz + nz_) % nz_;
+
+    bool bounce = false;
+    Vec3 uw{};
+    if (!in_domain(tx, ty, tz)) {
+      bounce = true;
+    } else {
+      const std::size_t ja = addr(tx, ty, tz);
+      const NodeType jt = type_[ja];
+      if (jt == NodeType::Fluid) {
+        ft[faddr(ja, q)] = post[q];
+        continue;
+      }
+      if (is_stream_source(jt)) {
+        // Velocity/Coupling target: it keeps its self-copy (the value is
+        // overwritten before it is next read).
+        continue;
+      }
+      bounce = true;
+      if (jt == NodeType::Wall) uw = ubc_[ja];
+    }
+    if (bounce) {
+      // Reflection lands back on this node in the opposite direction
+      // with the moving-wall momentum transfer.
+      const double cu = kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
+      ft[fb + static_cast<std::size_t>(kOpp[q]) * TN] =
+          post[q] - 6.0 * kW[q] * cu;
+    }
+  }
+  return 1;
+}
+
+std::uint64_t Lattice::fused_sweep_scalar() {
+  constexpr int S = kTileSide;
+  constexpr std::size_t TN = kTileNodes;
+  const double* f = f_.data();
+  double* ft = ftmp_.data();
+  return exec::parallel_reduce<std::uint64_t>(
+      resident_.size(), 0,
       [&](std::size_t tb, std::size_t te) {
         std::uint64_t local = 0;
         for (std::size_t t = tb; t < te; ++t) {
-          const std::size_t b = static_cast<std::size_t>(lat.resident_[t]);
-          const std::int32_t s = lat.dir_[b];
+          const std::size_t b = static_cast<std::size_t>(resident_[t]);
+          const std::int32_t s = dir_[b];
           int bx, by, bz;
-          lat.block_coords(b, bx, by, bz);
-          const int X0 = bx << Lattice::kTileShift;
-          const int Y0 = by << Lattice::kTileShift;
-          const int Z0 = bz << Lattice::kTileShift;
-          const int vx = std::min(S, nx - X0);
-          const int vy = std::min(S, ny - Y0);
-          const int vz = std::min(S, nz - Z0);
+          block_coords(b, bx, by, bz);
+          const int X0 = bx << kTileShift;
+          const int Y0 = by << kTileShift;
+          const int Z0 = bz << kTileShift;
+          const int vx = std::min(S, nx_ - X0);
+          const int vy = std::min(S, ny_ - Y0);
+          const int vz = std::min(S, nz_ - Z0);
           const std::int32_t* nrow =
-              lat.nbr_.data() + static_cast<std::size_t>(s) * 27;
+              nbr_.data() + static_cast<std::size_t>(s) * 27;
           const std::size_t base = static_cast<std::size_t>(s) * TN;
           // Distribution base of this slot: node (slot, cell) direction q
           // lives at fslot + cell + q * TN.
@@ -791,109 +958,44 @@ void fused_collide_stream(Lattice& lat) {
               // and z can cross a rim) and the target cell advances by +1
               // with lx. The whole 18-way scatter then collapses to
               // `ft[fjrow[q] + lx]`; only the two x-rim columns still
-              // route per node through the neighbour table. Rows without
-              // fast nodes may resolve vacant neighbours here -- the
-              // addresses are simply never used.
+              // route per node through the neighbour table. Resolved
+              // lazily on the row's first fast interior node, so rows
+              // without one (the bulk of wall-heavy vessel tiles) skip
+              // the 19 nbr_addr resolutions entirely.
               std::size_t fjrow[kQ];
-              for (int q = 0; q < kQ; ++q) {
-                const std::size_t ja = Lattice::nbr_addr(
-                    nrow, 1 + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
-                fjrow[q] = lat.faddr(ja, q) - 1;
-              }
+              bool fjrow_valid = false;
               for (int lx = 0; lx < vx; ++lx) {
-                const std::size_t c = Lattice::cell_of(lx, ly, lz);
+                const std::size_t c = cell_of(lx, ly, lz);
                 const std::size_t a = base + c;
-                const NodeType tt = lat.type_[a];
+                const NodeType tt = type_[a];
                 if (tt == NodeType::Exterior || tt == NodeType::Wall) {
                   continue;
                 }
-                const int x = X0 + lx;
                 const std::size_t fb = fslot + c;
-
-                if (tt != NodeType::Fluid) {
-                  // Velocity/Coupling: push the stored populations outward
-                  // (no collision) and keep a self-copy so the node's
-                  // state stays valid after the buffer swap.
+                if (tt == NodeType::Fluid && fast_[a] && lx >= 1 &&
+                    lx + 1 < vx) {
+                  // Row fast path: per-row bases, computed at most once.
+                  if (!fjrow_valid) {
+                    for (int q = 0; q < kQ; ++q) {
+                      const std::size_t ja = nbr_addr(
+                          nrow, 1 + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
+                      fjrow[q] = faddr(ja, q) - 1;
+                    }
+                    fjrow_valid = true;
+                  }
+                  std::array<double, kQ> post;
                   for (int q = 0; q < kQ; ++q) {
-                    ft[fb + static_cast<std::size_t>(q) * TN] =
-                        f[fb + static_cast<std::size_t>(q) * TN];
-                    int tx = x + kC[q][0];
-                    int ty = y + kC[q][1];
-                    int tz = z + kC[q][2];
-                    if (lat.periodic_[0]) tx = (tx + nx) % nx;
-                    if (lat.periodic_[1]) ty = (ty + ny) % ny;
-                    if (lat.periodic_[2]) tz = (tz + nz) % nz;
-                    if (!lat.in_domain(tx, ty, tz)) continue;
-                    const std::size_t ja = lat.addr(tx, ty, tz);
-                    if (lat.type_[ja] == NodeType::Fluid) {
-                      ft[lat.faddr(ja, q)] =
-                          f[fb + static_cast<std::size_t>(q) * TN];
-                    }
+                    post[q] = f[fb + static_cast<std::size_t>(q) * TN];
+                  }
+                  collide_node(a, post);
+                  ++local;
+                  for (int q = 0; q < kQ; ++q) {
+                    ft[fjrow[q] + static_cast<std::size_t>(lx)] = post[q];
                   }
                   continue;
                 }
-
-                // Collide locally.
-                std::array<double, kQ> post;
-                for (int q = 0; q < kQ; ++q) {
-                  post[q] = f[fb + static_cast<std::size_t>(q) * TN];
-                }
-                lat.collide_node(a, post);
-                ++local;
-
-                if (lat.fast_[a]) {
-                  if (lx >= 1 && lx + 1 < vx) {
-                    // Row fast path: precomputed per-row bases.
-                    for (int q = 0; q < kQ; ++q) {
-                      ft[fjrow[q] + static_cast<std::size_t>(lx)] = post[q];
-                    }
-                  } else {
-                    // x-rim column: route through the neighbour-slot table.
-                    for (int q = 0; q < kQ; ++q) {
-                      const std::size_t ja = Lattice::nbr_addr(
-                          nrow, lx + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
-                      ft[lat.faddr(ja, q)] = post[q];
-                    }
-                  }
-                  continue;
-                }
-                // Slow path: walls, domain edges, periodic wrap.
-                for (int q = 0; q < kQ; ++q) {
-                  int tx = x + kC[q][0];
-                  int ty = y + kC[q][1];
-                  int tz = z + kC[q][2];
-                  if (lat.periodic_[0]) tx = (tx + nx) % nx;
-                  if (lat.periodic_[1]) ty = (ty + ny) % ny;
-                  if (lat.periodic_[2]) tz = (tz + nz) % nz;
-
-                  bool bounce = false;
-                  Vec3 uw{};
-                  if (!lat.in_domain(tx, ty, tz)) {
-                    bounce = true;
-                  } else {
-                    const std::size_t ja = lat.addr(tx, ty, tz);
-                    const NodeType jt = lat.type_[ja];
-                    if (jt == NodeType::Fluid) {
-                      ft[lat.faddr(ja, q)] = post[q];
-                      continue;
-                    }
-                    if (is_stream_source(jt)) {
-                      // Velocity/Coupling target: it keeps its self-copy
-                      // (the value is overwritten before it is next read).
-                      continue;
-                    }
-                    bounce = true;
-                    if (jt == NodeType::Wall) uw = lat.ubc_[ja];
-                  }
-                  if (bounce) {
-                    // Reflection lands back on this node in the opposite
-                    // direction with the moving-wall momentum transfer.
-                    const double cu =
-                        kC[q][0] * uw.x + kC[q][1] * uw.y + kC[q][2] * uw.z;
-                    ft[fb + static_cast<std::size_t>(kOpp[q]) * TN] =
-                        post[q] - 6.0 * kW[q] * cu;
-                  }
-                }
+                local += fused_scatter_node(f, ft, nrow, tt, a, fb, X0 + lx,
+                                            y, z, lx, ly, lz);
               }
             }
           }
@@ -901,8 +1003,253 @@ void fused_collide_stream(Lattice& lat) {
         return local;
       },
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
-  lat.site_updates_ += updates;
-  lat.swap_buffers();
+}
+
+std::uint64_t Lattice::fused_sweep_segmented() {
+  constexpr std::size_t TN = kTileNodes;
+  const double* f = f_.data();
+  double* ft = ftmp_.data();
+  return exec::parallel_reduce<std::uint64_t>(
+      resident_.size(), 0,
+      [&](std::size_t tb, std::size_t te) {
+        std::uint64_t local = 0;
+        for (std::size_t t = tb; t < te; ++t) {
+          const std::size_t b = static_cast<std::size_t>(resident_[t]);
+          const std::int32_t s = dir_[b];
+          int bx, by, bz;
+          block_coords(b, bx, by, bz);
+          const int X0 = bx << kTileShift;
+          const int Y0 = by << kTileShift;
+          const int Z0 = bz << kTileShift;
+          const std::int32_t* nrow =
+              nbr_.data() + static_cast<std::size_t>(s) * 27;
+          const std::size_t base = static_cast<std::size_t>(s) * TN;
+          const std::size_t fslot = static_cast<std::size_t>(s) * kQ * TN;
+          const std::size_t r1 = plan_.row_begin(t + 1);
+          for (std::size_t r = plan_.row_begin(t); r < r1; ++r) {
+            const SweepPlan::Row& row = plan_.row(r);
+            const std::size_t c0 = cell_of(0, row.ly, row.lz);
+            if (row.nsegs) {
+              const std::size_t* bases = plan_.bases(row.base_index);
+              const SweepPlan::Seg* sg = plan_.segs(row.seg_begin);
+              for (int i = 0; i < row.nsegs; ++i) {
+                local += fused_collide_segment(f, ft, bases, base + c0,
+                                               fslot + c0, sg[i].lx0,
+                                               sg[i].lx1);
+              }
+            }
+            // Remaining active lanes (x rims, boundary-adjacent Fluid,
+            // Velocity/Coupling) take the shared per-node path.
+            std::uint16_t m = row.scalar_mask;
+            while (m) {
+              const int lx = __builtin_ctz(m);
+              m = static_cast<std::uint16_t>(m & (m - 1));
+              const std::size_t a = base + c0 + static_cast<std::size_t>(lx);
+              local += fused_scatter_node(
+                  f, ft, nrow, type_[a], a,
+                  fslot + c0 + static_cast<std::size_t>(lx), X0 + lx,
+                  Y0 + row.ly, Z0 + row.lz, lx, row.ly, row.lz);
+            }
+          }
+        }
+        return local;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::uint64_t Lattice::fused_collide_segment(const double* f, double* ft,
+                                             const std::size_t* bases,
+                                             std::size_t arow,
+                                             std::size_t frow, int lx0,
+                                             int lx1) {
+  // The forced and unforced collisions are different expression trees
+  // (adding a zero Guo term is not bitwise neutral: -0.0 + 0.0 = +0.0),
+  // so split the segment into maximal uniformly-forced lane runs and
+  // give each a branch-free kernel. Uniform segments -- a constant body
+  // force, or none -- stay one run.
+  const Vec3* fr = force_.data() + arow;
+  int k0 = lx0;
+  while (k0 < lx1) {
+    const bool forced =
+        fr[k0].x != 0.0 || fr[k0].y != 0.0 || fr[k0].z != 0.0;
+    int k1 = k0 + 1;
+    while (k1 < lx1 &&
+           (fr[k1].x != 0.0 || fr[k1].y != 0.0 || fr[k1].z != 0.0) ==
+               forced) {
+      ++k1;
+    }
+    fused_collide_run(f, ft, bases, arow, frow, k0, k1, forced);
+    k0 = k1;
+  }
+  return static_cast<std::uint64_t>(lx1 - lx0);
+}
+
+void Lattice::fused_collide_run(const double* f, double* ft,
+                                const std::size_t* bases, std::size_t arow,
+                                std::size_t frow, int lx0, int lx1,
+                                bool forced) {
+  constexpr int S = kTileSide;
+  constexpr std::size_t TN = kTileNodes;
+  const int L = lx1 - lx0;
+  const std::size_t a0 = arow + static_cast<std::size_t>(lx0);
+  const std::size_t f0 = frow + static_cast<std::size_t>(lx0);
+
+  // Moments, q-outer with ascending q per lane -- the exact accumulation
+  // order of collide_node, so the sums are bit-identical.
+  double rho[S], mx[S], my[S], mz[S];
+  for (int k = 0; k < L; ++k) {
+    rho[k] = 0.0;
+    mx[k] = my[k] = mz[k] = 0.0;
+  }
+  for (int q = 0; q < kQ; ++q) {
+    const double* __restrict fq = f + f0 + static_cast<std::size_t>(q) * TN;
+    const double cx = kC[q][0];
+    const double cy = kC[q][1];
+    const double cz = kC[q][2];
+#pragma omp simd
+    for (int k = 0; k < L; ++k) {
+      const double v = fq[k];
+      rho[k] += v;
+      mx[k] += cx * v;
+      my[k] += cy * v;
+      mz[k] += cz * v;
+    }
+  }
+
+  double fx[S], fy[S], fz[S];
+  for (int k = 0; k < L; ++k) {
+    const Vec3& F = force_[a0 + static_cast<std::size_t>(k)];
+    fx[k] = F.x;
+    fy[k] = F.y;
+    fz[k] = F.z;
+  }
+  // Velocity with the Guo half-force impulse, replicating
+  // Vec3::operator/ (one reciprocal, three multiplies) and the
+  // left-associative dot() inside equilibria().
+  double ux[S], uy[S], uz[S], uu[S], om[S];
+#pragma omp simd
+  for (int k = 0; k < L; ++k) {
+    const double inv = 1.0 / rho[k];
+    ux[k] = (mx[k] + fx[k] * 0.5) * inv;
+    uy[k] = (my[k] + fy[k] * 0.5) * inv;
+    uz[k] = (mz[k] + fz[k] * 0.5) * inv;
+    uu[k] = 1.5 * (ux[k] * ux[k] + uy[k] * uy[k] + uz[k] * uz[k]);
+  }
+  for (int k = 0; k < L; ++k) {
+    om[k] = 1.0 / tau_[a0 + static_cast<std::size_t>(k)];
+  }
+
+  if (collision_ == CollisionModel::Bgk) {
+    double pref[S];
+    if (forced) {
+      for (int k = 0; k < L; ++k) {
+        pref[k] = 1.0 - 0.5 / tau_[a0 + static_cast<std::size_t>(k)];
+      }
+    }
+    for (int q = 0; q < kQ; ++q) {
+      const double* __restrict fq =
+          f + f0 + static_cast<std::size_t>(q) * TN;
+      double* __restrict out =
+          ft + bases[q] + static_cast<std::size_t>(lx0);
+      const double cx = kC[q][0];
+      const double cy = kC[q][1];
+      const double cz = kC[q][2];
+      const double wq = kW[q];
+      if (forced) {
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+          const double feq =
+              wq * rho[k] * (1.0 + 3.0 * cu + 4.5 * cu * cu - uu[k]);
+          double v = fq[k];
+          v -= om[k] * (v - feq);
+          const double tx = (cx - ux[k]) * 3.0 + cx * (9.0 * cu);
+          const double ty = (cy - uy[k]) * 3.0 + cy * (9.0 * cu);
+          const double tz = (cz - uz[k]) * 3.0 + cz * (9.0 * cu);
+          v += pref[k] * (wq * (tx * fx[k] + ty * fy[k] + tz * fz[k]));
+          out[k] = v;
+        }
+      } else {
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+          const double feq =
+              wq * rho[k] * (1.0 + 3.0 * cu + 4.5 * cu * cu - uu[k]);
+          out[k] = fq[k] - om[k] * (fq[k] - feq);
+        }
+      }
+    }
+    return;
+  }
+
+  // TRT: same parity split as collide_node, with the full equilibrium and
+  // raw-source planes staged per run so each direction pairs with its
+  // opposite.
+  double omm[S], pp[S], pm[S];
+  for (int k = 0; k < L; ++k) {
+    const double tau = tau_[a0 + static_cast<std::size_t>(k)];
+    omm[k] = 1.0 / (magic_ / (tau - 0.5) + 0.5);
+  }
+  if (forced) {
+#pragma omp simd
+    for (int k = 0; k < L; ++k) {
+      pp[k] = 1.0 - 0.5 * om[k];
+      pm[k] = 1.0 - 0.5 * omm[k];
+    }
+  }
+  double feqb[kQ][S];
+  double srcb[kQ][S];
+  for (int q = 0; q < kQ; ++q) {
+    const double cx = kC[q][0];
+    const double cy = kC[q][1];
+    const double cz = kC[q][2];
+    const double wq = kW[q];
+#pragma omp simd
+    for (int k = 0; k < L; ++k) {
+      const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+      feqb[q][k] = wq * rho[k] * (1.0 + 3.0 * cu + 4.5 * cu * cu - uu[k]);
+    }
+    if (forced) {
+#pragma omp simd
+      for (int k = 0; k < L; ++k) {
+        const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+        const double tx = (cx - ux[k]) * 3.0 + cx * (9.0 * cu);
+        const double ty = (cy - uy[k]) * 3.0 + cy * (9.0 * cu);
+        const double tz = (cz - uz[k]) * 3.0 + cz * (9.0 * cu);
+        srcb[q][k] = wq * (tx * fx[k] + ty * fy[k] + tz * fz[k]);
+      }
+    }
+  }
+  for (int q = 0; q < kQ; ++q) {
+    const int qb = kOpp[q];
+    const double* __restrict fq = f + f0 + static_cast<std::size_t>(q) * TN;
+    const double* __restrict fo =
+        f + f0 + static_cast<std::size_t>(qb) * TN;
+    double* __restrict out = ft + bases[q] + static_cast<std::size_t>(lx0);
+    if (forced) {
+#pragma omp simd
+      for (int k = 0; k < L; ++k) {
+        const double dq = fq[k] - feqb[q][k];
+        const double db = fo[k] - feqb[qb][k];
+        const double neq_p = 0.5 * (dq + db);
+        const double neq_m = 0.5 * (dq - db);
+        double v = fq[k] - om[k] * neq_p - omm[k] * neq_m;
+        const double s_p = 0.5 * (srcb[q][k] + srcb[qb][k]);
+        const double s_m = 0.5 * (srcb[q][k] - srcb[qb][k]);
+        v += pp[k] * s_p + pm[k] * s_m;
+        out[k] = v;
+      }
+    } else {
+#pragma omp simd
+      for (int k = 0; k < L; ++k) {
+        const double dq = fq[k] - feqb[q][k];
+        const double db = fo[k] - feqb[qb][k];
+        const double neq_p = 0.5 * (dq + db);
+        const double neq_m = 0.5 * (dq - db);
+        out[k] = fq[k] - om[k] * neq_p - omm[k] * neq_m;
+      }
+    }
+  }
 }
 
 void Lattice::collide_node(std::size_t a, std::array<double, kQ>& f) const {
@@ -923,10 +1270,18 @@ void Lattice::collide_node(std::size_t a, std::array<double, kQ>& f) const {
   const bool forced = (force.x != 0.0 || force.y != 0.0 || force.z != 0.0);
 
   if (collision_ == CollisionModel::Bgk) {
+    // The forced test is loop-invariant: hoist it so the unforced bulk
+    // runs a branch-free relaxation loop.
     const double omega = 1.0 / tau;
-    for (int q = 0; q < kQ; ++q) {
-      f[q] -= omega * (f[q] - feq[q]);
-      if (forced) f[q] += guo_source(q, tau, u, force);
+    if (forced) {
+      for (int q = 0; q < kQ; ++q) {
+        f[q] -= omega * (f[q] - feq[q]);
+        f[q] += guo_source(q, tau, u, force);
+      }
+    } else {
+      for (int q = 0; q < kQ; ++q) {
+        f[q] -= omega * (f[q] - feq[q]);
+      }
     }
     return;
   }
@@ -1013,6 +1368,7 @@ void Lattice::ensure_tiles() {
       }
     }
   }
+  ++tiles_epoch_;
   tiles_dirty_ = false;
 }
 
@@ -1058,7 +1414,33 @@ void Lattice::ensure_fast_flags() {
       }
     }
   }
+  ++fast_epoch_;
   fast_dirty_ = false;
+}
+
+void Lattice::ensure_plan() {
+  ensure_tiles();
+  ensure_fast_flags();
+  // The plan depends only on residency/neighbour tables (tiles epoch) and
+  // node classification (fast epoch), so it stays valid exactly while
+  // both do. Everything that can move nodes -- reclassify_solid, shift,
+  // materialize/release, checkpoint load -- already dirties one of them.
+  if (plan_tiles_epoch_ == tiles_epoch_ && plan_fast_epoch_ == fast_epoch_) {
+    return;
+  }
+  plan_.rebuild(*this);
+  plan_tiles_epoch_ = tiles_epoch_;
+  plan_fast_epoch_ = fast_epoch_;
+  ++plan_rebuilds_;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.record_instant(
+        "lbm", "plan_rebuild",
+        "\"rows\":" + std::to_string(plan_.num_rows()) +
+            ",\"segments\":" + std::to_string(plan_.num_segments()) +
+            ",\"segment_nodes\":" + std::to_string(plan_.segment_nodes()) +
+            ",\"scalar_nodes\":" + std::to_string(plan_.scalar_nodes()));
+  }
 }
 
 void stream(Lattice& lat) {

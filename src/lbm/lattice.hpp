@@ -41,6 +41,7 @@
 #include "src/common/units.hpp"
 #include "src/common/vec3.hpp"
 #include "src/lbm/d3q19.hpp"
+#include "src/lbm/sweep_plan.hpp"
 
 namespace apr::lbm {
 
@@ -272,6 +273,26 @@ class Lattice {
   void set_fused_kernel(bool fused) { fused_ = fused; }
   bool fused_kernel() const { return fused_; }
 
+  /// Select the segmented row kernels (default): the fused sweep and the
+  /// macroscopic refresh run q-outer/lane-inner over the cached
+  /// SweepPlan's contiguous fast-Fluid segments. Bit-exact against the
+  /// per-node scalar sweep, which is kept as the in-process oracle (see
+  /// tests/test_sweep_plan.cpp); the toggle exists for verification and
+  /// the ablation bench.
+  void set_segmented_kernel(bool on) { segmented_ = on; }
+  bool segmented_kernel() const { return segmented_; }
+
+  /// Sweep-plan rebuilds performed so far (observability counter; a
+  /// rebuild is triggered by any residency or node-type change).
+  std::uint64_t plan_rebuilds() const { return plan_rebuilds_; }
+
+  /// The cached sweep plan, rebuilt first if stale (bench/test
+  /// introspection).
+  const SweepPlan& sweep_plan() {
+    ensure_plan();
+    return plan_;
+  }
+
   /// Collision operator (default BGK). For TRT, `magic` sets the
   /// free antisymmetric relaxation via Lambda; 3/16 places the halfway
   /// bounce-back wall exactly for plane walls, 1/4 optimizes stability.
@@ -404,6 +425,19 @@ class Lattice {
   std::vector<std::int32_t> nbr_;
   bool tiles_dirty_ = true;
 
+  // Cached sweep plan for the segmented kernels. The epochs count actual
+  // rebuilds of the neighbour table / fast flags; ensure_plan() compares
+  // them against the epochs the plan was built at, so every path that
+  // sets a dirty bit (set_type, shift, materialize/release,
+  // shrink_to_fit, checkpoint load) invalidates the plan for free.
+  SweepPlan plan_;
+  bool segmented_ = true;
+  std::uint64_t tiles_epoch_ = 0;
+  std::uint64_t fast_epoch_ = 0;
+  std::uint64_t plan_tiles_epoch_ = ~std::uint64_t{0};
+  std::uint64_t plan_fast_epoch_ = ~std::uint64_t{0};
+  std::uint64_t plan_rebuilds_ = 0;
+
   // Reciprocal magics for decompose() (Lemire-style unsigned division);
   // exact for dividends < 2^32, which covers any practical lattice.
   std::uint64_t magic_nx_ = 0;
@@ -474,6 +508,7 @@ class Lattice {
 
   void ensure_fast_flags();
   void ensure_tiles();
+  void ensure_plan();
 
   /// Rim streaming: storage address of the node at local tile coordinates
   /// (lx, ly, lz) in [-1, kTileSide], resolved through the per-slot
@@ -493,6 +528,33 @@ class Lattice {
   /// by both kernels).
   void collide_node(std::size_t a, std::array<double, kQ>& f) const;
 
+  // Fused push-kernel bodies (lattice.cpp): the per-node scalar sweep
+  // (the oracle) and the plan-driven segmented sweep. Both return the
+  // number of Fluid collisions performed.
+  std::uint64_t fused_sweep_scalar();
+  std::uint64_t fused_sweep_segmented();
+  /// One non-segment node of the fused push sweep: Velocity/Coupling
+  /// self-copy + outward push, or Fluid collide + scatter (x-rim fast
+  /// columns via the neighbour table, otherwise the bounds/periodic/
+  /// bounce-back path). Shared by both sweeps so the two cannot diverge.
+  /// Returns 1 for a Fluid collision, 0 otherwise.
+  std::uint64_t fused_scatter_node(const double* f, double* ft,
+                                   const std::int32_t* nrow, NodeType tt,
+                                   std::size_t a, std::size_t fb, int x,
+                                   int y, int z, int lx, int ly, int lz);
+  /// Vectorized collide + scatter over one row segment, split into
+  /// maximal uniformly-forced lane runs.
+  std::uint64_t fused_collide_segment(const double* f, double* ft,
+                                      const std::size_t* bases,
+                                      std::size_t arow, std::size_t frow,
+                                      int lx0, int lx1);
+  /// Uniformly-forced lane run of a segment: q-outer, lane-inner BGK/TRT
+  /// with the exact per-lane operation order of collide_node.
+  void fused_collide_run(const double* f, double* ft,
+                         const std::size_t* bases, std::size_t arow,
+                         std::size_t frow, int lx0, int lx1, bool forced);
+
+  friend class SweepPlan;
   friend void fused_collide_stream(Lattice&);
 
   friend void collide(Lattice&);

@@ -1,0 +1,97 @@
+#include "src/lbm/sweep_plan.hpp"
+
+#include <algorithm>
+
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm {
+
+void SweepPlan::clear() {
+  row_begin_.clear();
+  rows_.clear();
+  segs_.clear();
+  bases_.clear();
+  segment_nodes_ = 0;
+  scalar_nodes_ = 0;
+}
+
+void SweepPlan::rebuild(const Lattice& lat) {
+  clear();
+  constexpr int S = Lattice::kTileSide;
+  constexpr std::size_t TN = Lattice::kTileNodes;
+  const std::size_t ntiles = lat.resident_.size();
+  row_begin_.assign(ntiles + 1, 0);
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    row_begin_[t] = rows_.size();
+    const std::size_t b = static_cast<std::size_t>(lat.resident_[t]);
+    const std::int32_t s = lat.dir_[b];
+    int bx, by, bz;
+    lat.block_coords(b, bx, by, bz);
+    const int vx = std::min(S, lat.nx_ - (bx << Lattice::kTileShift));
+    const int vy = std::min(S, lat.ny_ - (by << Lattice::kTileShift));
+    const int vz = std::min(S, lat.nz_ - (bz << Lattice::kTileShift));
+    const NodeType* ty = lat.type_.data() + static_cast<std::size_t>(s) * TN;
+    const std::uint8_t* fast =
+        lat.fast_.data() + static_cast<std::size_t>(s) * TN;
+    const std::int32_t* nrow =
+        lat.nbr_.data() + static_cast<std::size_t>(s) * 27;
+    for (int lz = 0; lz < vz; ++lz) {
+      for (int ly = 0; ly < vy; ++ly) {
+        const std::size_t c0 = Lattice::cell_of(0, ly, lz);
+        std::uint16_t mask = 0;
+        const std::uint32_t seg_begin = static_cast<std::uint32_t>(segs_.size());
+        int run = -1;  // open segment start, -1 when closed
+        for (int lx = 0; lx < vx; ++lx) {
+          // A lane joins a segment when the fused kernel's row fast path
+          // applies: fast flag set and x away from the tile rim (the
+          // scatter base walk `base[q] + lx` only stays in-tile there).
+          if (fast[c0 + lx] && lx >= 1 && lx + 1 < vx) {
+            if (run < 0) run = lx;
+            continue;
+          }
+          if (run >= 0) {
+            segs_.push_back({static_cast<std::uint8_t>(run),
+                             static_cast<std::uint8_t>(lx)});
+            segment_nodes_ += static_cast<std::uint64_t>(lx - run);
+            run = -1;
+          }
+          const NodeType tt = ty[c0 + lx];
+          if (tt == NodeType::Exterior || tt == NodeType::Wall) continue;
+          mask = static_cast<std::uint16_t>(mask | (1u << lx));
+          ++scalar_nodes_;
+        }
+        if (run >= 0) {
+          segs_.push_back({static_cast<std::uint8_t>(run),
+                           static_cast<std::uint8_t>(vx)});
+          segment_nodes_ += static_cast<std::uint64_t>(vx - run);
+        }
+        const std::uint32_t nsegs =
+            static_cast<std::uint32_t>(segs_.size()) - seg_begin;
+        if (nsegs == 0 && mask == 0) continue;  // dead row: no work at all
+        Row row;
+        row.seg_begin = seg_begin;
+        row.scalar_mask = mask;
+        row.nsegs = static_cast<std::uint8_t>(nsegs);
+        row.ly = static_cast<std::uint8_t>(ly);
+        row.lz = static_cast<std::uint8_t>(lz);
+        row.base_index = kNoBases;
+        if (nsegs > 0) {
+          // The fused kernel's per-row scatter bases, hoisted out of the
+          // step loop: lane lx of direction q writes ftmp[base[q] + lx].
+          row.base_index = static_cast<std::uint32_t>(bases_.size());
+          std::array<std::size_t, kQ> base;
+          for (int q = 0; q < kQ; ++q) {
+            const std::size_t ja = Lattice::nbr_addr(
+                nrow, 1 + kC[q][0], ly + kC[q][1], lz + kC[q][2]);
+            base[q] = lat.faddr(ja, q) - 1;
+          }
+          bases_.push_back(base);
+        }
+        rows_.push_back(row);
+      }
+    }
+  }
+  row_begin_[ntiles] = rows_.size();
+}
+
+}  // namespace apr::lbm

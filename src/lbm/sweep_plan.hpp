@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file sweep_plan.hpp
+/// Cached per-tile sweep plan for the hot lattice kernels. For every
+/// resident tile the plan records, per (lz, ly) row, the run-length
+/// segments of consecutive *interior fast-Fluid* cells (the `fast_` flag:
+/// Fluid with an all-Fluid 19-neighbourhood, away from the tile's x rim)
+/// plus a bitmask of the remaining collide/stream-active lanes. Rows with
+/// neither are omitted entirely, so wall-heavy vessel tiles stop paying
+/// per-row setup for rows that do no work.
+///
+/// For each row that owns at least one segment the 19 scatter bases of
+/// the fused push kernel (target distribution index of lane lx = base[q]
+/// + lx) are precomputed once per *plan* instead of once per row per
+/// step. Bases are pool indices resolved through the tile neighbour
+/// table, so they stay valid exactly as long as the tile directory and
+/// the fast flags do; the owning Lattice rebuilds the plan lazily off the
+/// same dirty epochs (see Lattice::ensure_plan), which makes
+/// reclassify_solid, shift(), materialize/release and checkpoint load
+/// invalidate it for free.
+///
+/// The plan is a pure acceleration structure: the segmented kernels that
+/// consume it are bit-exact against the per-node scalar sweep
+/// (tests/test_sweep_plan.cpp), and it is never serialized.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/lbm/d3q19.hpp"
+
+namespace apr::lbm {
+
+class Lattice;
+
+class SweepPlan {
+ public:
+  /// Half-open lane run [lx0, lx1) of consecutive interior fast-Fluid
+  /// cells within one row.
+  struct Seg {
+    std::uint8_t lx0 = 0;
+    std::uint8_t lx1 = 0;
+  };
+
+  /// One (ly, lz) row of a resident tile holding at least one
+  /// collide/stream-active node (Fluid, Velocity or Coupling).
+  struct Row {
+    std::uint32_t seg_begin = 0;   ///< first entry in segs()
+    std::uint32_t base_index = 0;  ///< entry in bases(); kNoBases if no segs
+    std::uint16_t scalar_mask = 0; ///< active lanes outside every segment
+    std::uint8_t nsegs = 0;
+    std::uint8_t ly = 0;
+    std::uint8_t lz = 0;
+  };
+
+  static constexpr std::uint32_t kNoBases = 0xFFFFFFFFu;
+
+  /// Rebuild from the lattice's current residency, types and fast flags.
+  /// The caller (Lattice::ensure_plan) guarantees the neighbour table and
+  /// fast flags are up to date.
+  void rebuild(const Lattice& lat);
+
+  void clear();
+
+  /// Rows of resident tile t occupy [row_begin(t), row_begin(t + 1)).
+  std::size_t row_begin(std::size_t t) const { return row_begin_[t]; }
+  const Row& row(std::size_t r) const { return rows_[r]; }
+  const Seg* segs(std::uint32_t seg_begin) const {
+    return segs_.data() + seg_begin;
+  }
+  /// 19 scatter bases of a row: lane lx of direction q streams to
+  /// ftmp[bases[q] + lx].
+  const std::size_t* bases(std::uint32_t base_index) const {
+    return bases_[base_index].data();
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_segments() const { return segs_.size(); }
+  /// Cells covered by segments (the vectorized share of the sweep).
+  std::uint64_t segment_nodes() const { return segment_nodes_; }
+  /// Active cells left to the per-node path (rims, walls, boundaries).
+  std::uint64_t scalar_nodes() const { return scalar_nodes_; }
+
+ private:
+  std::vector<std::size_t> row_begin_;  ///< resident-tile count + 1 entries
+  std::vector<Row> rows_;
+  std::vector<Seg> segs_;
+  std::vector<std::array<std::size_t, kQ>> bases_;
+  std::uint64_t segment_nodes_ = 0;
+  std::uint64_t scalar_nodes_ = 0;
+};
+
+}  // namespace apr::lbm

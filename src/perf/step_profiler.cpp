@@ -27,6 +27,11 @@ int index_of(StepPhase phase) {
 
 }  // namespace
 
+double phase_mlups(const PhaseStats& stats) {
+  if (stats.seconds <= 0.0) return 0.0;
+  return static_cast<double>(stats.site_updates) / stats.seconds / 1e6;
+}
+
 const char* to_string(StepPhase phase) {
   switch (phase) {
     case StepPhase::CoarseCollideStream:
@@ -135,11 +140,14 @@ std::string StepProfiler::format_report() const {
     share.precision(1);
     share << std::fixed << (total > 0.0 ? 100.0 * s.seconds / total : 0.0)
           << "%";
+    std::ostringstream mlups;
+    mlups.precision(1);
+    mlups << std::fixed << phase_mlups(s);
     rows.push_back({name, sec.str(), share.str(), std::to_string(s.calls),
-                    std::to_string(s.site_updates)});
+                    std::to_string(s.site_updates), mlups.str()});
   }
-  return format_table({"phase", "seconds", "share", "calls", "site_updates"},
-                      rows);
+  return format_table(
+      {"phase", "seconds", "share", "calls", "site_updates", "mlups"}, rows);
 }
 
 std::string StepProfiler::to_json() const {
@@ -153,22 +161,24 @@ std::string StepProfiler::to_json() const {
     os << "{\"phase\":\"" << to_string(static_cast<StepPhase>(i))
        << "\",\"seconds\":" << s.seconds << ",\"calls\":" << s.calls
        << ",\"site_updates\":" << s.site_updates
-       << ",\"ms_per_call\":" << ms_per_call << "}";
+       << ",\"ms_per_call\":" << ms_per_call
+       << ",\"mlups\":" << phase_mlups(s) << "}";
   }
   os << "],\"total_seconds\":" << total_seconds() << "}";
   return os.str();
 }
 
 void StepProfiler::write_csv(const std::string& path) const {
-  CsvWriter csv(path,
-                {"phase", "seconds", "calls", "site_updates", "ms_per_call"});
+  CsvWriter csv(path, {"phase", "seconds", "calls", "site_updates",
+                       "ms_per_call", "mlups"});
   for (int i = 0; i < kNumStepPhases; ++i) {
     const PhaseStats& s = stats_[i];
     // Per-invocation cost: makes one-shot phases (e.g. a single window
     // relocation) comparable across runs whose call counts differ.
     const double ms_per_call = s.calls ? 1e3 * s.seconds / s.calls : 0.0;
     csv.row({static_cast<double>(i), s.seconds, static_cast<double>(s.calls),
-             static_cast<double>(s.site_updates), ms_per_call});
+             static_cast<double>(s.site_updates), ms_per_call,
+             phase_mlups(s)});
   }
   csv.flush();
 }

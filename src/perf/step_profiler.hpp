@@ -51,6 +51,10 @@ struct PhaseStats {
   std::uint64_t site_updates = 0;
 };
 
+/// Throughput of a phase in million lattice-site updates per second
+/// (the paper's MLUPS figure of merit); 0 when no time was recorded.
+double phase_mlups(const PhaseStats& stats);
+
 class StepProfiler {
  public:
   /// RAII wall-clock bracket for one phase occurrence.
@@ -90,16 +94,19 @@ class StepProfiler {
   /// Ordered (phase name, stats) rows covering every phase.
   std::vector<std::pair<std::string, PhaseStats>> report() const;
 
-  /// Fixed-width text table (phase, seconds, share, calls, site updates).
+  /// Fixed-width text table (phase, seconds, share, calls, site updates,
+  /// MLUPS).
   std::string format_report() const;
 
   /// JSON object {"phases": [{"phase": ..., "seconds": ..., "calls": ...,
-  /// "site_updates": ..., "ms_per_call": ...}], "total_seconds": ...}.
+  /// "site_updates": ..., "ms_per_call": ..., "mlups": ...}],
+  /// "total_seconds": ...}.
   std::string to_json() const;
 
-  /// CSV with columns phase,seconds,calls,site_updates where `phase` is
-  /// the StepPhase enum index (names via to_string). Written through
-  /// common/csv so the plotting tooling can ingest it directly.
+  /// CSV with columns phase,seconds,calls,site_updates,ms_per_call,mlups
+  /// where `phase` is the StepPhase enum index (names via to_string).
+  /// Written through common/csv so the plotting tooling can ingest it
+  /// directly.
   void write_csv(const std::string& path) const;
 
  private:

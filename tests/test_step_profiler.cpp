@@ -191,12 +191,13 @@ TEST(StepProfiler, CsvRoundTripsThroughReader) {
   prof.write_csv(path);
 
   const CsvData data = read_csv(path);
-  ASSERT_EQ(data.header.size(), 5u);
+  ASSERT_EQ(data.header.size(), 6u);
   EXPECT_EQ(data.header[0], "phase");
   EXPECT_EQ(data.header[1], "seconds");
   EXPECT_EQ(data.header[2], "calls");
   EXPECT_EQ(data.header[3], "site_updates");
   EXPECT_EQ(data.header[4], "ms_per_call");
+  EXPECT_EQ(data.header[5], "mlups");
   ASSERT_EQ(data.rows.size(), static_cast<std::size_t>(kNumStepPhases));
 
   const auto& coarse = data.rows[0];
@@ -204,10 +205,12 @@ TEST(StepProfiler, CsvRoundTripsThroughReader) {
   EXPECT_DOUBLE_EQ(coarse[1], 1.5);
   EXPECT_DOUBLE_EQ(coarse[3], 1000.0);
   EXPECT_DOUBLE_EQ(coarse[4], 1500.0);  // 1.5 s over 1 call, in ms
+  EXPECT_NEAR(coarse[5], 1000.0 / 1.5 / 1e6, 1e-12);
   // Phases that never ran report zero per-call cost, not a division blowup.
   const auto& advect = data.rows[static_cast<int>(StepPhase::Advect)];
   EXPECT_DOUBLE_EQ(advect[2], 0.0);
   EXPECT_DOUBLE_EQ(advect[4], 0.0);
+  EXPECT_DOUBLE_EQ(advect[5], 0.0);
   const auto& fine =
       data.rows[static_cast<int>(StepPhase::FineCollideStream)];
   EXPECT_DOUBLE_EQ(fine[1], 2.5);
