@@ -10,8 +10,8 @@
 ///
 /// Before timing, every geometry self-checks the bitwise contract: ten
 /// steps with Guo forcing must serialize byte-identically under both
-/// kernels (the full BGK/TRT x forced/unforced matrix lives in
-/// tests/test_sweep_plan.cpp).
+/// kernels, for all three collision operators (the full BGK/TRT/MRT x
+/// forced/unforced matrix lives in tests/test_sweep_plan.cpp).
 ///
 /// `--check <baseline.json>` turns the fluid96 segmented/scalar speedup
 /// into a regression gate for nightly CI: the measured ratio must stay
@@ -126,20 +126,32 @@ Lattice make_cerebral() {
   return lat;
 }
 
-/// Ten forced steps under both kernels must serialize byte-identically.
+/// Ten forced steps under both kernels must serialize byte-identically,
+/// for every collision operator.
 bool check_bitwise(const Geometry& g) {
-  Lattice seg = g.make();
-  Lattice sca = g.make();
-  seg.set_segmented_kernel(true);
-  sca.set_segmented_kernel(false);
-  for (int s = 0; s < 10; ++s) {
-    seg.step();
-    sca.step();
+  using apr::lbm::CollisionModel;
+  for (const CollisionModel model :
+       {CollisionModel::Bgk, CollisionModel::Trt, CollisionModel::Mrt}) {
+    Lattice seg = g.make();
+    Lattice sca = g.make();
+    seg.set_collision_model(model);
+    sca.set_collision_model(model);
+    seg.set_segmented_kernel(true);
+    sca.set_segmented_kernel(false);
+    for (int s = 0; s < 10; ++s) {
+      seg.step();
+      sca.step();
+    }
+    const auto bs = apr::io::LatticeState::capture(seg).serialize();
+    const auto bo = apr::io::LatticeState::capture(sca).serialize();
+    if (bs.size() != bo.size() ||
+        std::memcmp(bs.data(), bo.data(), bs.size()) != 0) {
+      std::fprintf(stderr, "bitwise mismatch on collision model %d\n",
+                   static_cast<int>(model));
+      return false;
+    }
   }
-  const auto bs = apr::io::LatticeState::capture(seg).serialize();
-  const auto bo = apr::io::LatticeState::capture(sca).serialize();
-  return bs.size() == bo.size() &&
-         std::memcmp(bs.data(), bo.data(), bs.size()) == 0;
+  return true;
 }
 
 double time_mlups(Lattice& lat, int steps) {
@@ -223,7 +235,46 @@ int main(int argc, char** argv) {
     rows.push_back(r);
   }
 
-  apr::CsvWriter csv("ablation_row_kernels.csv",
+  // The MRT moment-space operator on the acceptance geometry, appended
+  // after the BGK rows so the rows[0] baseline gate below is unaffected.
+  {
+    Row r;
+    r.name = "fluid96_mrt";
+    auto make_mrt = [] {
+      Lattice lat = make_fluid96();
+      lat.set_collision_model(apr::lbm::CollisionModel::Mrt);
+      return lat;
+    };
+    {
+      Lattice lat = make_mrt();
+      lat.step();
+      r.updates_per_step = lat.site_updates();
+    }
+    const int steps = std::max<int>(
+        4, static_cast<int>(6'000'000 / std::max<std::uint64_t>(
+                                            1, r.updates_per_step)));
+    {
+      Lattice lat = make_mrt();
+      lat.set_segmented_kernel(false);
+      r.scalar_mlups = time_mlups(lat, steps);
+    }
+    {
+      Lattice lat = make_mrt();
+      lat.set_segmented_kernel(true);
+      r.segmented_mlups = time_mlups(lat, steps);
+    }
+    r.speedup = r.scalar_mlups > 0.0 ? r.segmented_mlups / r.scalar_mlups
+                                     : 0.0;
+    std::printf("%-16s %10llu updates/step  scalar %7.2f MLUPS  "
+                "segmented %7.2f MLUPS  speedup %.2fx\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.updates_per_step),
+                r.scalar_mlups, r.segmented_mlups, r.speedup);
+    rows.push_back(r);
+  }
+
+  const std::string csv_path = apr::out_path("ablation_row_kernels.csv");
+  apr::CsvWriter csv(csv_path,
                      {"geometry", "updates_per_step", "scalar_mlups",
                       "segmented_mlups", "speedup"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -231,7 +282,7 @@ int main(int argc, char** argv) {
     csv.row({static_cast<double>(i), static_cast<double>(r.updates_per_step),
              r.scalar_mlups, r.segmented_mlups, r.speedup});
   }
-  std::printf("series written to ablation_row_kernels.csv\n");
+  std::printf("series written to %s\n", csv_path.c_str());
 
   if (argc == 3 && std::string(argv[1]) == "--check") {
     std::ifstream in(argv[2]);

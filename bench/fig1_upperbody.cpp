@@ -56,7 +56,7 @@ int main() {
   sim.place_ctc(tree.start);
   sim.fill_window();
 
-  CsvWriter csv("fig1_upperbody_trajectory.csv",
+  CsvWriter csv(apr::out_path("fig1_upperbody_trajectory.csv"),
                 {"step", "x_um", "y_um", "z_um", "window_ht", "moves"});
   std::printf("\nminiature traversal (window follows the CTC through the "
               "trunk):\n%8s %10s %8s %8s\n", "step", "dist[um]", "Ht",
@@ -80,6 +80,6 @@ int main() {
               "hematocrit held at %.3f\n",
               norm(sim.ctc_position() - tree.start) * 1e6,
               sim.window_move_count(), sim.window_hematocrit());
-  std::printf("trajectory written to fig1_upperbody_trajectory.csv\n");
+  std::printf("trajectory written to out/fig1_upperbody_trajectory.csv\n");
   return 0;
 }

@@ -18,7 +18,7 @@
 int main() {
   const int n = 10;
   const std::vector<double> lambdas = {0.5, 1.0 / 3.0, 0.25};
-  apr::CsvWriter csv("fig4_shear_profile.csv",
+  apr::CsvWriter csv(apr::out_path("fig4_shear_profile.csv"),
                      {"lambda", "y", "u_sim", "u_analytic"});
 
   for (double lambda : lambdas) {
@@ -54,7 +54,7 @@ int main() {
                   "**************************************************");
     }
   }
-  std::printf("\nseries written to fig4_shear_profile.csv\n");
+  std::printf("\nseries written to out/fig4_shear_profile.csv\n");
   std::printf("paper Fig. 4C: simulation profiles overlay Eq. (8); slope "
               "inside the window is 1/lambda times the bulk slope\n");
   return 0;

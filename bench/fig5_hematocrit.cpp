@@ -107,9 +107,9 @@ int main() {
   const int warmup = 400;
   const int steps = 160;
 
-  CsvWriter ht_csv("fig5b_hematocrit_vs_time.csv",
+  CsvWriter ht_csv(apr::out_path("fig5b_hematocrit_vs_time.csv"),
                    {"target_ht", "time_s", "window_ht"});
-  CsvWriter visc_csv("fig5c_effective_viscosity.csv",
+  CsvWriter visc_csv(apr::out_path("fig5c_effective_viscosity.csv"),
                      {"tube_ht", "mu_rel_sim", "mu_rel_pries"});
 
   std::printf("Fig. 5: window hematocrit maintenance + effective viscosity\n");
@@ -195,7 +195,7 @@ int main() {
   std::printf("paper Fig. 5: window Ht holds the 10/20/30%% targets with "
               "small repopulation fluctuations; effective viscosity tracks "
               "the Pries correlation\n");
-  std::printf("series: fig5b_hematocrit_vs_time.csv, "
-              "fig5c_effective_viscosity.csv\n");
+  std::printf("series: out/fig5b_hematocrit_vs_time.csv, "
+              "out/fig5c_effective_viscosity.csv\n");
   return 0;
 }

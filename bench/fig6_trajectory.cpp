@@ -306,7 +306,7 @@ int main(int argc, char** argv) try {
     std::printf("run manifest written to run_manifest.json\n");
   }
 
-  CsvWriter csv("fig6_trajectory.csv",
+  CsvWriter csv(apr::out_path("fig6_trajectory.csv"),
                 {"method", "seed", "time_index", "z_um", "r_um"});
 
   std::vector<RunResult> apr_runs;
@@ -381,8 +381,8 @@ int main(int argc, char** argv) try {
   for (const auto& r : apr_runs) apr_profile.merge(r.profile);
   std::printf("\nAPR step-phase profile (ensemble total):\n%s",
               apr_profile.format_report().c_str());
-  apr_profile.write_csv("fig6_phase_profile.csv");
-  std::printf("phase profile written to fig6_phase_profile.csv\n");
+  apr_profile.write_csv(apr::out_path("fig6_phase_profile.csv"));
+  std::printf("phase profile written to out/fig6_phase_profile.csv\n");
   const perf::PhaseStats& mv = apr_profile.stats(perf::StepPhase::WindowMove);
   if (mv.calls > 0) {
     std::printf("window relocation: %llu moves, %.3f ms per move\n",
@@ -396,7 +396,7 @@ int main(int argc, char** argv) try {
               "two models agree upstream of the expansion and diverge past "
               "it, where the deformability lift is resolution-limited; the "
               "paper runs 10-20 nodes per cell radius\n");
-  std::printf("series written to fig6_trajectory.csv\n");
+  std::printf("series written to out/fig6_trajectory.csv\n");
   if (!trace_file.empty()) {
     obs::Tracer::instance().write_chrome_json(trace_file);
     std::printf("trace written to %s (open in chrome://tracing or "

@@ -51,7 +51,7 @@ int main(int argc, char** argv) try {
   const std::vector<int> nodes = {32, 64, 128, 256, 512};
   const auto points = strong_scaling(model, problem, nodes);
 
-  apr::CsvWriter csv("fig7_strong_scaling.csv",
+  apr::CsvWriter csv(apr::out_path("fig7_strong_scaling.csv"),
                      {"nodes", "time_per_step_s", "speedup", "ideal",
                       "comm_fraction"});
   std::printf("\n%8s %16s %10s %8s %14s\n", "nodes", "time/step [s]",
@@ -69,13 +69,13 @@ int main(int argc, char** argv) try {
               points.back().speedup);
   std::printf("rolloff driver: halo volume per task shrinks slower than "
               "task volume (paper §3.4)\n");
-  std::printf("series written to fig7_strong_scaling.csv\n");
+  std::printf("series written to out/fig7_strong_scaling.csv\n");
 
   // Measured per-phase decomposition of an actual (miniature) APR step on
   // this machine -- the empirical counterpart to the model's split between
   // window compute, bulk compute, and coupling.
   apr::bench::report_step_profile(apr::bench::measure_step_profile(),
-                                  "fig7_phase_profile.csv");
+                                  apr::out_path("fig7_phase_profile.csv"));
   if (!trace_file.empty()) {
     apr::obs::Tracer::instance().write_chrome_json(trace_file);
     std::printf("trace written to %s\n", trace_file.c_str());

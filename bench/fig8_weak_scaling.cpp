@@ -53,7 +53,7 @@ int main(int argc, char** argv) try {
   const std::vector<int> nodes = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   const auto points = weak_scaling(model, per_node, nodes, /*reference=*/8);
 
-  apr::CsvWriter csv("fig8_weak_scaling.csv",
+  apr::CsvWriter csv(apr::out_path("fig8_weak_scaling.csv"),
                      {"nodes", "time_per_step_s", "efficiency_vs_8"});
   std::printf("\n%8s %16s %18s\n", "nodes", "time/step [s]",
               "efficiency (vs 8)");
@@ -66,11 +66,11 @@ int main(int argc, char** argv) try {
   }
 
   std::printf("\npaper: >1 efficiency below 8 nodes, ~0.90 from 8 to 256\n");
-  std::printf("series written to fig8_weak_scaling.csv\n");
+  std::printf("series written to out/fig8_weak_scaling.csv\n");
 
   // Measured per-phase step decomposition (see profile_common.hpp).
   apr::bench::report_step_profile(apr::bench::measure_step_profile(),
-                                  "fig8_phase_profile.csv");
+                                  apr::out_path("fig8_phase_profile.csv"));
   if (!trace_file.empty()) {
     apr::obs::Tracer::instance().write_chrome_json(trace_file);
     std::printf("trace written to %s\n", trace_file.c_str());

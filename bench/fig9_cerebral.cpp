@@ -139,7 +139,7 @@ int main(int argc, char** argv) try {
               "(paper: ~30k RBCs at 35%%)\n",
               sim.rbcs().size(), sim.window_hematocrit());
 
-  CsvWriter csv("fig9_cerebral_trajectory.csv",
+  CsvWriter csv(apr::out_path("fig9_cerebral_trajectory.csv"),
                 {"step", "x_um", "y_um", "z_um", "ht", "moves"});
   const auto wall0 = std::chrono::steady_clock::now();
   const int steps = 80;
@@ -177,7 +177,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(sim.health_scans()),
                 static_cast<unsigned long long>(sim.health_violations()));
   }
-  std::printf("trajectory written to fig9_cerebral_trajectory.csv\n");
+  std::printf("trajectory written to out/fig9_cerebral_trajectory.csv\n");
   if (!trace_file.empty()) {
     obs::Tracer::instance().write_chrome_json(trace_file);
     std::printf("trace written to %s\n", trace_file.c_str());

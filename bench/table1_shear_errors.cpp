@@ -20,7 +20,7 @@ int main() {
   const std::vector<int> ratios = {2, 5, 10};
   const std::vector<double> lambdas = {0.5, 1.0 / 3.0, 0.25};
 
-  apr::CsvWriter csv("table1_shear_errors.csv",
+  apr::CsvWriter csv(apr::out_path("table1_shear_errors.csv"),
                      {"n", "lambda", "bulk_l2", "window_l2"});
 
   std::vector<std::vector<std::string>> rows;
@@ -49,6 +49,6 @@ int main() {
                         .c_str());
   std::printf("paper: bulk ~0.0095-0.0101; window 0.0178 (1/2), "
               "~0.0306 (1/3), ~0.0385 (1/4)\n");
-  std::printf("series written to table1_shear_errors.csv\n");
+  std::printf("series written to out/table1_shear_errors.csv\n");
   return 0;
 }

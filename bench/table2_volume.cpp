@@ -49,7 +49,7 @@ int main() {
       rbc_volume, costs);
   (void)node;
 
-  apr::CsvWriter csv("table2_volume.csv",
+  apr::CsvWriter csv(apr::out_path("table2_volume.csv"),
                      {"row", "dx_um", "volume_mL", "paper_mL"});
   csv.row({0, 0.5, v_window * 1e6, 4.91e-3});
   csv.row({1, 15.0, v_bulk * 1e6, 41.0});
@@ -75,6 +75,6 @@ int main() {
   std::printf("\nAPR bulk / eFSI volume ratio: %.0fx (paper: ~4 orders of "
               "magnitude via the moving window)\n",
               v_bulk / v_efsi);
-  std::printf("series written to table2_volume.csv\n");
+  std::printf("series written to out/table2_volume.csv\n");
   return 0;
 }

@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
   std::printf("eFSI/APR memory ratio: %.1e (paper: 5 orders of magnitude)\n",
               efsi_total / apr_total);
 
-  apr::CsvWriter csv("table3_memory.csv",
+  apr::CsvWriter csv(apr::out_path("table3_memory.csv"),
                      {"row", "dx_um", "fluid_points", "fluid_bytes",
                       "rbc_count", "rbc_bytes"});
   csv.row({0, 0.75, window.fluid_points, window.fluid_bytes,
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
            bulk.rbc_bytes});
   csv.row({2, 0.75, efsi.fluid_points, efsi.fluid_bytes, efsi_rbcs_paper,
            efsi_rbcs_paper * costs.bytes_per_rbc});
-  std::printf("series written to table3_memory.csv\n");
+  std::printf("series written to out/table3_memory.csv\n");
 
   // ---- measured lattice footprints: tiled sparse vs dense equivalent ----
   std::vector<MeasuredRow> rows;
@@ -195,7 +195,7 @@ int main(int argc, char** argv) {
           }())
           .c_str());
 
-  apr::CsvWriter mcsv("table3_sparse_memory.csv",
+  apr::CsvWriter mcsv(apr::out_path("table3_sparse_memory.csv"),
                       {"geometry", "fluid_points", "dense_bytes",
                        "tiled_bytes", "dense_bytes_per_fluid_point",
                        "tiled_bytes_per_fluid_point", "fill_pct"});
@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
     mcsv.row({static_cast<double>(i), r.fluid_points, r.dense_bytes,
               r.tiled_bytes, r.dense_bpp, r.tiled_bpp, r.fill_pct});
   }
-  std::printf("measured series written to table3_sparse_memory.csv\n");
+  std::printf("measured series written to out/table3_sparse_memory.csv\n");
 
   // ---- optional regression gate against the committed baseline ----
   if (argc == 3 && std::string(argv[1]) == "--check") {

@@ -59,6 +59,24 @@ AprParams params_from_config(const Config& config) {
       config.get_bool("incremental_window_move", true);
   p.segmented_kernels = config.get_bool("segmented_kernels", true);
 
+  // Collision operator (see lbm/lattice.hpp). BGK is the paper's choice;
+  // trt_magic is read even for bgk/mrt so a bad deck fails loudly.
+  const std::string collision = config.get_string("collision_model", "bgk");
+  if (collision == "bgk") {
+    p.collision = lbm::CollisionModel::Bgk;
+  } else if (collision == "trt") {
+    p.collision = lbm::CollisionModel::Trt;
+  } else if (collision == "mrt") {
+    p.collision = lbm::CollisionModel::Mrt;
+  } else {
+    throw std::runtime_error("setup: unknown collision_model '" + collision +
+                             "' (expected bgk, trt or mrt)");
+  }
+  p.trt_magic = config.get_double("trt_magic", 3.0 / 16.0);
+  if (p.trt_magic <= 0.0) {
+    throw std::runtime_error("setup: trt_magic must be > 0");
+  }
+
   // Numerical-health watchdog (observability only: never shapes the
   // healthy trajectory, see simulation.hpp).
   const std::string health = config.get_string("health", "off");

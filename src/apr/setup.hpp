@@ -39,6 +39,8 @@
 ///   wall_cutoff_um (0.5), wall_strength (5e-12)
 ///   # kernels (see DESIGN.md §13) -- bit-exact toggle, scalar oracle
 ///   segmented_kernels (true)
+///   # collision operator (see lbm/lattice.hpp): bgk | trt | mrt
+///   collision_model (bgk), trt_magic (3/16, TRT only)
 ///   # bookkeeping
 ///   rbc_capacity (1500), seed (42)
 ///   # domain (kind = tube only here; other domains are built in code)

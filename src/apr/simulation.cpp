@@ -191,6 +191,7 @@ AprSimulation::AprSimulation(
   coarse_ = std::make_unique<lbm::Lattice>(geometry::make_lattice_for(
       *domain_, params_.dx_coarse, params_.tau_coarse));
   coarse_->set_segmented_kernel(params_.segmented_kernels);
+  coarse_->set_collision_model(params_.collision, params_.trt_magic);
   geometry::voxelize(*coarse_, *domain_);
 
   rbcs_ = std::make_unique<cells::CellPool>(rbc_model_.get(),
@@ -288,6 +289,7 @@ void AprSimulation::build_fine_lattice(const Aabb& box, int nn,
   }
   fine_ = std::make_unique<lbm::Lattice>(nn, nn, nn, box.lo, dxf, 1.0);
   fine_->set_segmented_kernel(params_.segmented_kernels);
+  fine_->set_collision_model(params_.collision, params_.trt_magic);
   geometry::voxelize(*fine_, *domain_);
 
   // Initialize from the coarse solution.
@@ -720,6 +722,12 @@ void AprSimulation::sample_metrics() {
   metrics_.set_gauge(
       "fine.plan_rebuilds",
       fine_ ? static_cast<double>(fine_->plan_rebuilds()) : 0.0);
+  // Which collision operator is stepping both lattices (0 = BGK, 1 = TRT,
+  // 2 = MRT) -- constant per run, but recorded so a metrics stream is
+  // self-describing when operator studies are compared side by side.
+  metrics_.set_gauge(
+      "lbm.collision_model",
+      static_cast<double>(static_cast<int>(coarse_->collision_model())));
 
   metrics_.set_gauge("rbc.count", static_cast<double>(rbcs_->size()));
   // Mean relative volume drift of the live RBCs: how far the constrained

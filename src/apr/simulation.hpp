@@ -103,6 +103,14 @@ struct AprParams {
   /// never shapes the trajectory and is excluded from the checkpoint
   /// params digest.
   bool segmented_kernels = true;
+  /// Collision operator for both lattices (paper §2.1 uses BGK; TRT and
+  /// MRT are the stability/accuracy extensions, see lbm/lattice.hpp).
+  /// Shapes the trajectory, so it IS digested -- but only when it
+  /// deviates from the BGK default, which keeps every existing BGK
+  /// checkpoint digest (and the committed goldens) unchanged.
+  lbm::CollisionModel collision = lbm::CollisionModel::Bgk;
+  /// TRT magic parameter Lambda (ignored by BGK and MRT).
+  double trt_magic = 3.0 / 16.0;
   /// Numerical-health watchdog (off by default; see src/apr/health.hpp
   /// and DESIGN.md §10). Observability-only: health settings never shape
   /// the healthy trajectory, so they are deliberately excluded from the

@@ -71,6 +71,14 @@ std::uint64_t params_digest(const AprParams& p) {
   h.update_pod(p.seed);
   h.update_pod(p.tile_hematocrit_boost);
   h.update_pod(static_cast<std::uint8_t>(p.incremental_window_move));
+  // The collision operator shapes the trajectory, but it is hashed only
+  // when it deviates from the BGK default: appending it unconditionally
+  // would change the digest of every existing BGK checkpoint (and the
+  // committed golden files pin those digests).
+  if (p.collision != lbm::CollisionModel::Bgk) {
+    h.update_pod(static_cast<std::uint8_t>(p.collision));
+    h.update_pod(p.trt_magic);
+  }
   return h.value();
 }
 

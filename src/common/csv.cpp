@@ -1,5 +1,6 @@
 #include "src/common/csv.hpp"
 
+#include <filesystem>
 #include <iomanip>
 #include <stdexcept>
 
@@ -118,6 +119,15 @@ std::string format_table(const std::vector<std::string>& header,
   os << "|\n";
   for (const auto& r : rows) emit(r);
   return os.str();
+}
+
+std::string out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);
+  if (ec) {
+    throw std::runtime_error("out_path: cannot create out/: " + ec.message());
+  }
+  return "out/" + name;
 }
 
 }  // namespace apr

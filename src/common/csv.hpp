@@ -57,4 +57,10 @@ struct CsvData {
 /// on a malformed cell or a row/header arity mismatch.
 CsvData read_csv(const std::string& path);
 
+/// Create the gitignored `out/` artifact directory (in the current
+/// working directory) if needed and return "out/<name>". Benches and
+/// tools route their generated series through this so artifacts never
+/// land in the repo root.
+std::string out_path(const std::string& name);
+
 }  // namespace apr

@@ -273,7 +273,7 @@ void LatticeState::validate_geometry(const lbm::Lattice& lat) const {
     throw CheckpointError("checkpoint: lattice section has inconsistent "
                           "array sizes");
   }
-  if (collision > static_cast<std::uint8_t>(lbm::CollisionModel::Trt)) {
+  if (collision > static_cast<std::uint8_t>(lbm::CollisionModel::Mrt)) {
     throw CheckpointError("checkpoint: unknown collision model id " +
                           std::to_string(collision));
   }

@@ -1,5 +1,6 @@
 #include "src/lbm/analytic.hpp"
 
+#include <cmath>
 #include <numbers>
 #include <stdexcept>
 
@@ -58,6 +59,15 @@ double tube_poiseuille_flow_rate(double radius, double pressure_gradient,
                                  double mu) {
   return std::numbers::pi * pressure_gradient * radius * radius * radius *
          radius / (8.0 * mu);
+}
+
+double shear_wave_decay(double y, double t, double wavelength, double u0,
+                        double nu) {
+  if (wavelength <= 0.0) {
+    throw std::invalid_argument("shear_wave_decay: wavelength must be > 0");
+  }
+  const double k = 2.0 * std::numbers::pi / wavelength;
+  return u0 * std::cos(k * y) * std::exp(-nu * k * k * t);
 }
 
 }  // namespace apr::lbm

@@ -54,4 +54,14 @@ double tube_poiseuille(double r, double radius, double pressure_gradient,
 double tube_poiseuille_flow_rate(double radius, double pressure_gradient,
                                  double mu);
 
+/// Decaying shear wave (Stokes' viscous-diffusion mode): a transverse
+/// velocity perturbation u_x(y, 0) = u0 cos(2 pi y / wavelength) in an
+/// unbounded (periodic) fluid decays without changing shape,
+///   u_x(y, t) = u0 cos(k y) exp(-nu k^2 t),   k = 2 pi / wavelength.
+/// The time-dependent reference for the convergence-order harness
+/// (tests/convergence): no walls, so the measured order isolates the
+/// collision operator from boundary effects.
+double shear_wave_decay(double y, double t, double wavelength, double u0,
+                        double nu);
+
 }  // namespace apr::lbm

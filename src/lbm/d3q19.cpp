@@ -64,4 +64,42 @@ double guo_source(int q, double tau, const Vec3& u, const Vec3& force) {
   return (1.0 - 0.5 / tau) * guo_source_raw(q, u, force);
 }
 
+const MrtBasis& mrt_basis() {
+  static const MrtBasis basis = [] {
+    MrtBasis b{};
+    for (int q = 0; q < kQ; ++q) {
+      const double cx = kC[q][0];
+      const double cy = kC[q][1];
+      const double cz = kC[q][2];
+      const double c2 = cx * cx + cy * cy + cz * cz;
+      b.m[0][q] = 1.0;                                       // rho
+      b.m[1][q] = 19.0 * c2 - 30.0;                          // e
+      b.m[2][q] = 0.5 * (21.0 * c2 * c2 - 53.0 * c2 + 24.0); // eps
+      b.m[3][q] = cx;                                        // jx
+      b.m[4][q] = (5.0 * c2 - 9.0) * cx;                     // qx
+      b.m[5][q] = cy;                                        // jy
+      b.m[6][q] = (5.0 * c2 - 9.0) * cy;                     // qy
+      b.m[7][q] = cz;                                        // jz
+      b.m[8][q] = (5.0 * c2 - 9.0) * cz;                     // qz
+      b.m[9][q] = 3.0 * cx * cx - c2;                        // 3pxx
+      b.m[10][q] = (3.0 * c2 - 5.0) * (3.0 * cx * cx - c2);  // 3pixx
+      b.m[11][q] = cy * cy - cz * cz;                        // pww
+      b.m[12][q] = (3.0 * c2 - 5.0) * (cy * cy - cz * cz);   // piww
+      b.m[13][q] = cx * cy;                                  // pxy
+      b.m[14][q] = cy * cz;                                  // pyz
+      b.m[15][q] = cx * cz;                                  // pxz
+      b.m[16][q] = cx * (cy * cy - cz * cz);                 // mx
+      b.m[17][q] = cy * (cz * cz - cx * cx);                 // my
+      b.m[18][q] = cz * (cx * cx - cy * cy);                 // mz
+    }
+    for (int i = 0; i < kQ; ++i) {
+      double norm = 0.0;
+      for (int q = 0; q < kQ; ++q) norm += b.m[i][q] * b.m[i][q];
+      for (int q = 0; q < kQ; ++q) b.minv[q][i] = b.m[i][q] / norm;
+    }
+    return b;
+  }();
+  return basis;
+}
+
 }  // namespace apr::lbm

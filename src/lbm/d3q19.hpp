@@ -81,4 +81,37 @@ double guo_source(int q, double tau, const Vec3& u, const Vec3& force);
 /// (1 - omega-/2) to the even/odd parts instead.
 double guo_source_raw(int q, const Vec3& u, const Vec3& force);
 
+// --- MRT (multiple-relaxation-time) moment basis ---------------------------
+//
+// The Gram-Schmidt D3Q19 basis of d'Humieres et al. (2002), built for
+// *this* file's velocity ordering. Row i of `m` maps populations to the
+// i-th moment; the rows are mutually orthogonal under uniform weights, so
+// the inverse is the transpose with each column scaled by 1/|row|^2
+// (stored pre-divided in `minv`). Moment order:
+//   0 rho | 1 e | 2 eps | 3 jx | 4 qx | 5 jy | 6 qy | 7 jz | 8 qz |
+//   9 3pxx | 10 3pixx | 11 pww | 12 piww | 13 pxy | 14 pyz | 15 pxz |
+//   16 mx | 17 my | 18 mz
+struct MrtBasis {
+  std::array<std::array<double, kQ>, kQ> m;     ///< row i, column q
+  std::array<std::array<double, kQ>, kQ> minv;  ///< row q, column i
+};
+
+/// The shared immutable basis (built once, thread-safe).
+const MrtBasis& mrt_basis();
+
+/// Fixed relaxation rates for the non-hydrodynamic MRT moments
+/// (d'Humieres et al. 2002). Entries for the conserved moments (rho, j)
+/// are 0; the five viscous stress moments (rows where kMrtViscous is
+/// true) are relaxed at the *per-node* rate s_nu = 1/tau instead, so the
+/// per-cell tau map of Eq. (7) applies to MRT unchanged.
+inline constexpr std::array<double, kQ> kMrtRates = {
+    0.0, 1.19, 1.4, 0.0, 1.2,  0.0, 1.2,  0.0, 1.2, 0.0,
+    1.4, 0.0,  1.4, 0.0, 0.0,  0.0, 1.98, 1.98, 1.98};
+
+/// True for the stress moments relaxed at s_nu = 1/tau (they carry the
+/// shear viscosity nu = cs^2 (tau - 1/2), exactly as in BGK/TRT).
+inline constexpr std::array<bool, kQ> kMrtViscous = {
+    false, false, false, false, false, false, false, false, false, true,
+    false, true,  false, true,  true,  true,  false, false, false};
+
 }  // namespace apr::lbm

@@ -1182,6 +1182,97 @@ void Lattice::fused_collide_run(const double* f, double* ft,
     return;
   }
 
+  if (collision_ == CollisionModel::Mrt) {
+    // MRT: stage the equilibrium and raw-source planes (the exact
+    // expressions of equilibria()/guo_source_raw()), then run the moment
+    // projection q-outer with per-lane ascending-q accumulation -- the
+    // accumulation order of collide_node, so the sums are bit-identical.
+    const MrtBasis& basis = mrt_basis();
+    double feqb[kQ][S];
+    double srcb[kQ][S];
+    for (int q = 0; q < kQ; ++q) {
+      const double cx = kC[q][0];
+      const double cy = kC[q][1];
+      const double cz = kC[q][2];
+      const double wq = kW[q];
+#pragma omp simd
+      for (int k = 0; k < L; ++k) {
+        const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+        feqb[q][k] = wq * rho[k] * (1.0 + 3.0 * cu + 4.5 * cu * cu - uu[k]);
+      }
+      if (forced) {
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          const double cu = cx * ux[k] + cy * uy[k] + cz * uz[k];
+          const double tx = (cx - ux[k]) * 3.0 + cx * (9.0 * cu);
+          const double ty = (cy - uy[k]) * 3.0 + cy * (9.0 * cu);
+          const double tz = (cz - uz[k]) * 3.0 + cz * (9.0 * cu);
+          srcb[q][k] = wq * (tx * fx[k] + ty * fy[k] + tz * fz[k]);
+        }
+      }
+    }
+    double dmb[kQ][S];
+    for (int i = 0; i < kQ; ++i) {
+      const std::array<double, kQ>& mi = basis.m[i];
+      double mm[S], meq[S], ms[S];
+      for (int k = 0; k < L; ++k) {
+        mm[k] = 0.0;
+        meq[k] = 0.0;
+        ms[k] = 0.0;
+      }
+      for (int q = 0; q < kQ; ++q) {
+        const double* __restrict fq =
+            f + f0 + static_cast<std::size_t>(q) * TN;
+        const double w = mi[q];
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          mm[k] += w * fq[k];
+          meq[k] += w * feqb[q][k];
+        }
+      }
+      if (forced) {
+        for (int q = 0; q < kQ; ++q) {
+          const double w = mi[q];
+#pragma omp simd
+          for (int k = 0; k < L; ++k) ms[k] += w * srcb[q][k];
+        }
+      }
+      const double fixed = kMrtRates[i];
+      const bool viscous = kMrtViscous[i];
+      if (forced) {
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          const double s = viscous ? om[k] : fixed;
+          double d = s * (mm[k] - meq[k]);
+          d -= (1.0 - 0.5 * s) * ms[k];
+          dmb[i][k] = d;
+        }
+      } else {
+#pragma omp simd
+        for (int k = 0; k < L; ++k) {
+          const double s = viscous ? om[k] : fixed;
+          dmb[i][k] = s * (mm[k] - meq[k]);
+        }
+      }
+    }
+    for (int q = 0; q < kQ; ++q) {
+      const double* __restrict fq =
+          f + f0 + static_cast<std::size_t>(q) * TN;
+      double* __restrict out =
+          ft + bases[q] + static_cast<std::size_t>(lx0);
+      double acc[S];
+      for (int k = 0; k < L; ++k) acc[k] = 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const double w = basis.minv[q][i];
+#pragma omp simd
+        for (int k = 0; k < L; ++k) acc[k] += w * dmb[i][k];
+      }
+#pragma omp simd
+      for (int k = 0; k < L; ++k) out[k] = fq[k] - acc[k];
+    }
+    return;
+  }
+
   // TRT: same parity split as collide_node, with the full equilibrium and
   // raw-source planes staged per run so each direction pairs with its
   // opposite.
@@ -1282,6 +1373,47 @@ void Lattice::collide_node(std::size_t a, std::array<double, kQ>& f) const {
       for (int q = 0; q < kQ; ++q) {
         f[q] -= omega * (f[q] - feq[q]);
       }
+    }
+    return;
+  }
+
+  if (collision_ == CollisionModel::Mrt) {
+    // MRT (d'Humieres Gram-Schmidt basis): project onto moments, relax
+    // each moment at its own rate -- the five viscous stress moments at
+    // the per-node s_nu = 1/tau (so the Eq. (7) tau map applies
+    // unchanged), the ghost moments at the fixed kMrtRates -- and
+    // project back. Equilibrium moments are M feq with the same
+    // second-order feq as BGK, so equal rates degenerate to BGK; Guo
+    // forcing is transformed to moment space with the (1 - s/2)
+    // prefactor applied per moment.
+    const MrtBasis& basis = mrt_basis();
+    const double omega = 1.0 / tau;
+    std::array<double, kQ> src{};
+    if (forced) {
+      for (int q = 0; q < kQ; ++q) src[q] = guo_source_raw(q, u, force);
+    }
+    std::array<double, kQ> dm;
+    for (int i = 0; i < kQ; ++i) {
+      const std::array<double, kQ>& mi = basis.m[i];
+      double m = 0.0;
+      double meq = 0.0;
+      for (int q = 0; q < kQ; ++q) {
+        m += mi[q] * f[q];
+        meq += mi[q] * feq[q];
+      }
+      const double s = kMrtViscous[i] ? omega : kMrtRates[i];
+      double d = s * (m - meq);
+      if (forced) {
+        double ms = 0.0;
+        for (int q = 0; q < kQ; ++q) ms += mi[q] * src[q];
+        d -= (1.0 - 0.5 * s) * ms;
+      }
+      dm[i] = d;
+    }
+    for (int q = 0; q < kQ; ++q) {
+      double acc = 0.0;
+      for (int i = 0; i < kQ; ++i) acc += basis.minv[q][i] * dm[i];
+      f[q] -= acc;
     }
     return;
   }

@@ -57,8 +57,13 @@ enum class NodeType : std::uint8_t {
 /// relaxation times) additionally fixes the bounce-back wall location
 /// independent of tau via the "magic" parameter
 /// Lambda = (1/omega+ - 1/2)(1/omega- - 1/2) (Ginzburg et al.), provided
-/// as an accuracy/stability extension.
-enum class CollisionModel : std::uint8_t { Bgk = 0, Trt = 1 };
+/// as an accuracy/stability extension. MRT (multiple relaxation times,
+/// d'Humieres Gram-Schmidt basis with Guo forcing transformed to moment
+/// space) keeps the per-node s_nu = 1/tau on the viscous stress moments
+/// and over-relaxes the ghost moments at fixed rates, which damps the
+/// spurious modes that destabilize BGK as tau -> 1/2 (the HemoCell
+/// ForcedMRT rationale; see tools/tau_sweep_stability).
+enum class CollisionModel : std::uint8_t { Bgk = 0, Trt = 1, Mrt = 2 };
 
 /// Returns true for node types whose distributions may be pulled from
 /// during streaming.
@@ -296,6 +301,8 @@ class Lattice {
   /// Collision operator (default BGK). For TRT, `magic` sets the
   /// free antisymmetric relaxation via Lambda; 3/16 places the halfway
   /// bounce-back wall exactly for plane walls, 1/4 optimizes stability.
+  /// MRT ignores `magic` (its ghost-moment rates are the fixed
+  /// d3q19.hpp kMrtRates; the viscous rate is the per-node 1/tau).
   void set_collision_model(CollisionModel model, double magic = 3.0 / 16.0);
   CollisionModel collision_model() const { return collision_; }
   double trt_magic() const { return magic_; }

@@ -66,6 +66,12 @@ class Parser {
     return true;
   }
 
+  /// Containers may nest at most this deep. The parser is recursive
+  /// descent, so without a cap a few kilobytes of '[' overflow the call
+  /// stack -- and this parser eats *untrusted* bytes (checkpoint
+  /// manifests, baseline files, metric dumps).
+  static constexpr int kMaxDepth = 256;
+
   JsonValue parse_value() {
     skip_ws();
     switch (peek()) {
@@ -104,16 +110,31 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) {
+      throw JsonError("json: nesting deeper than " +
+                      std::to_string(kMaxDepth) + " at byte " +
+                      std::to_string(pos_));
+    }
     JsonValue v;
     v.kind = JsonValue::Kind::Object;
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      // find() returns the first match, so a duplicate would silently
+      // shadow everything after it; reject instead of letting a
+      // hand-edited baseline half-apply.
+      for (const auto& [k, unused] : v.object) {
+        if (k == key) {
+          throw JsonError("json: duplicate key '" + key + "' at byte " +
+                          std::to_string(pos_));
+        }
+      }
       skip_ws();
       expect(':');
       v.object.emplace_back(std::move(key), parse_value());
@@ -124,17 +145,24 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return v;
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) {
+      throw JsonError("json: nesting deeper than " +
+                      std::to_string(kMaxDepth) + " at byte " +
+                      std::to_string(pos_));
+    }
     JsonValue v;
     v.kind = JsonValue::Kind::Array;
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -146,6 +174,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return v;
     }
   }
@@ -241,6 +270,13 @@ class Parser {
       throw JsonError("json: bad number '" + token + "' at byte " +
                       std::to_string(start));
     }
+    // strtod turns 1e999 into +inf without setting an error we check;
+    // every consumer of these numbers (gates, manifests) expects finite
+    // values, so reject overflow at the boundary.
+    if (!std::isfinite(v)) {
+      throw JsonError("json: number '" + token + "' out of range at byte " +
+                      std::to_string(start));
+    }
     JsonValue out;
     out.kind = JsonValue::Kind::Number;
     out.number = v;
@@ -249,6 +285,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

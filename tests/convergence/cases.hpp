@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cases.hpp
+/// Shared convergence-order study cases, used by both the CTest suite
+/// (test_convergence.cpp, label `convergence`) and the standalone driver
+/// (tools/convergence_study). Each case integrates a flow with a known
+/// closed-form solution (src/lbm/analytic.hpp) at several resolutions
+/// under diffusive scaling (fixed tau, hence fixed lattice viscosity), so
+/// the relative L1 error of a second-order-accurate operator must fall
+/// like 1/N^2. The fitted log-log slope is the empirical order of
+/// accuracy; the tests gate it per case and per collision model.
+///
+/// Cases:
+///   plane_poiseuille  body-force-driven channel between bounce-back
+///                     walls; steady state vs the exact parabola.
+///                     Second order for BGK/TRT/MRT. TRT runs with
+///                     magic = 1/4 here: at the "magic" value 3/16 the
+///                     halfway wall is *exact* for this flow and the
+///                     error sits at round-off, leaving no slope to fit.
+///   shear_wave_decay  fully periodic transverse wave decaying through
+///                     one e-fold; time-dependent, wall-free, so the
+///                     measured order isolates the collision operator.
+///                     Second order for all models.
+///   tube_poiseuille   force-driven flow in a staircase-voxelized tube;
+///                     the O(dx) wall-position ambiguity caps the
+///                     observable order near one (documented lower gate).
+
+#include <string>
+#include <vector>
+
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm::convergence {
+
+struct CasePoint {
+  int n = 0;           ///< nominal resolution (nodes across the feature)
+  double n_eff = 0.0;  ///< effective length scale used for the slope fit
+  double l1_error = 0.0;  ///< relative L1 error vs the analytic solution
+};
+
+struct CaseResult {
+  std::string case_name;
+  std::string model_name;
+  std::vector<CasePoint> points;
+  /// Least-squares slope of log(error) vs log(1/n_eff): the empirical
+  /// order of accuracy. Set to kExactOrder when every error is at
+  /// round-off level (nothing left to fit -- the scheme is exact).
+  double order = 0.0;
+};
+
+/// Sentinel order reported when the discrete solution is exact.
+inline constexpr double kExactOrder = 99.0;
+
+/// Case names accepted by run_case, in canonical order.
+const std::vector<std::string>& case_names();
+
+std::string model_name(CollisionModel model);
+
+/// Resolutions used by the CTest gate for `case_name` (3-4 points,
+/// chosen so the whole study stays within the slow-tier budget).
+std::vector<int> default_resolutions(const std::string& case_name);
+
+/// Run one case for one collision model over the given resolutions and
+/// fit the empirical order. Throws std::invalid_argument on an unknown
+/// case name or fewer than two resolutions.
+CaseResult run_case(const std::string& case_name, CollisionModel model,
+                    const std::vector<int>& resolutions);
+
+/// Least-squares slope of log(l1_error) vs log(1/n_eff). Returns
+/// kExactOrder if all errors are below 1e-12 (exact scheme).
+double fit_order(const std::vector<CasePoint>& points);
+
+}  // namespace apr::lbm::convergence

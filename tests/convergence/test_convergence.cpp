@@ -1,0 +1,70 @@
+/// \file test_convergence.cpp
+/// Convergence-order regression gates (label: convergence). Each test
+/// runs one analytic case over the default resolution ladder for one
+/// collision operator and asserts the fitted empirical order of accuracy
+/// stays above the documented floor:
+///   plane_poiseuille, shear_wave_decay: >= 1.8 (second-order fields;
+///     the floor is below 2.0 to absorb fit noise, but any genuine loss
+///     of an order -- a botched forcing term, a wrong relaxation rate --
+///     lands far below it)
+///   tube_poiseuille: >= 0.75 (the staircase wall's O(dx) position
+///     ambiguity caps the observable order near one)
+/// Errors must also decrease monotonically along the ladder, which
+/// catches a diverging run even when a degenerate fit would pass.
+
+#include <gtest/gtest.h>
+
+#include "tests/convergence/cases.hpp"
+
+namespace {
+
+using apr::lbm::CollisionModel;
+namespace conv = apr::lbm::convergence;
+
+void expect_order(const std::string& case_name, CollisionModel model,
+                  double min_order) {
+  const auto r =
+      conv::run_case(case_name, model, conv::default_resolutions(case_name));
+  ASSERT_EQ(r.points.size(), conv::default_resolutions(case_name).size());
+  for (std::size_t i = 0; i + 1 < r.points.size(); ++i) {
+    EXPECT_LT(r.points[i + 1].l1_error, r.points[i].l1_error)
+        << case_name << "/" << r.model_name
+        << ": error did not decrease from N=" << r.points[i].n
+        << " to N=" << r.points[i + 1].n;
+  }
+  EXPECT_GE(r.order, min_order)
+      << case_name << "/" << r.model_name
+      << ": empirical order of accuracy regressed";
+}
+
+TEST(ConvergenceOrder, PlanePoiseuilleBgk) {
+  expect_order("plane_poiseuille", CollisionModel::Bgk, 1.8);
+}
+TEST(ConvergenceOrder, PlanePoiseuilleTrt) {
+  expect_order("plane_poiseuille", CollisionModel::Trt, 1.8);
+}
+TEST(ConvergenceOrder, PlanePoiseuilleMrt) {
+  expect_order("plane_poiseuille", CollisionModel::Mrt, 1.8);
+}
+
+TEST(ConvergenceOrder, ShearWaveDecayBgk) {
+  expect_order("shear_wave_decay", CollisionModel::Bgk, 1.8);
+}
+TEST(ConvergenceOrder, ShearWaveDecayTrt) {
+  expect_order("shear_wave_decay", CollisionModel::Trt, 1.8);
+}
+TEST(ConvergenceOrder, ShearWaveDecayMrt) {
+  expect_order("shear_wave_decay", CollisionModel::Mrt, 1.8);
+}
+
+TEST(ConvergenceOrder, TubePoiseuilleBgk) {
+  expect_order("tube_poiseuille", CollisionModel::Bgk, 0.75);
+}
+TEST(ConvergenceOrder, TubePoiseuilleTrt) {
+  expect_order("tube_poiseuille", CollisionModel::Trt, 0.75);
+}
+TEST(ConvergenceOrder, TubePoiseuilleMrt) {
+  expect_order("tube_poiseuille", CollisionModel::Mrt, 0.75);
+}
+
+}  // namespace

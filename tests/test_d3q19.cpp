@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace apr::lbm {
@@ -139,6 +141,71 @@ TEST(GuoSource, MomentsAreCorrect) {
   EXPECT_NEAR(m1.x, pref * force.x, 1e-15);
   EXPECT_NEAR(m1.y, pref * force.y, 1e-15);
   EXPECT_NEAR(m1.z, pref * force.z, 1e-15);
+}
+
+TEST(MrtBasis, RowsAreOrthogonal) {
+  // The Gram-Schmidt moment rows are mutually orthogonal under the
+  // uniform inner product <a,b> = sum_q a_q b_q, which is what makes
+  // minv = m^T / |row|^2 an exact inverse.
+  const auto& basis = mrt_basis();
+  for (int i = 0; i < kQ; ++i) {
+    double norm2 = 0.0;
+    for (int q = 0; q < kQ; ++q) norm2 += basis.m[i][q] * basis.m[i][q];
+    EXPECT_GT(norm2, 0.0) << "row " << i << " is null";
+    for (int j = i + 1; j < kQ; ++j) {
+      double dot = 0.0;
+      for (int q = 0; q < kQ; ++q) dot += basis.m[i][q] * basis.m[j][q];
+      EXPECT_NEAR(dot, 0.0, 1e-12) << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(MrtBasis, InverseReconstructsIdentity) {
+  const auto& basis = mrt_basis();
+  for (int q = 0; q < kQ; ++q) {
+    for (int p = 0; p < kQ; ++p) {
+      double sum = 0.0;
+      for (int i = 0; i < kQ; ++i) sum += basis.minv[q][i] * basis.m[i][p];
+      EXPECT_NEAR(sum, p == q ? 1.0 : 0.0, 1e-12) << "(" << q << "," << p
+                                                  << ")";
+    }
+  }
+}
+
+TEST(MrtBasis, HydrodynamicRowsMatchConservedMoments) {
+  // Row 0 is density (all ones); rows 3, 5, 7 are the momentum moments
+  // cx, cy, cz. These are the rows whose relaxation rates must be zero:
+  // collision may never touch the conserved moments.
+  const auto& basis = mrt_basis();
+  for (int q = 0; q < kQ; ++q) {
+    EXPECT_EQ(basis.m[0][q], 1.0);
+    EXPECT_EQ(basis.m[3][q], static_cast<double>(kC[q][0]));
+    EXPECT_EQ(basis.m[5][q], static_cast<double>(kC[q][1]));
+    EXPECT_EQ(basis.m[7][q], static_cast<double>(kC[q][2]));
+  }
+  EXPECT_EQ(kMrtRates[0], 0.0);
+  EXPECT_EQ(kMrtRates[3], 0.0);
+  EXPECT_EQ(kMrtRates[5], 0.0);
+  EXPECT_EQ(kMrtRates[7], 0.0);
+}
+
+TEST(MrtBasis, ViscousRowsCarryThePerNodeRate) {
+  // The five second-order stress rows relax at the per-node 1/tau (so the
+  // Eq. (7) viscosity map applies unchanged); every other non-conserved
+  // row has a fixed non-zero ghost rate.
+  const std::array<int, 5> viscous_rows = {9, 11, 13, 14, 15};
+  for (int i = 0; i < kQ; ++i) {
+    const bool is_viscous =
+        std::find(viscous_rows.begin(), viscous_rows.end(), i) !=
+        viscous_rows.end();
+    EXPECT_EQ(kMrtViscous[i], is_viscous) << "row " << i;
+    if (is_viscous) {
+      EXPECT_EQ(kMrtRates[i], 0.0) << "row " << i;
+    } else if (i != 0 && i != 3 && i != 5 && i != 7) {
+      EXPECT_GT(kMrtRates[i], 0.0) << "row " << i;
+      EXPECT_LT(kMrtRates[i], 2.0) << "row " << i;
+    }
+  }
 }
 
 }  // namespace

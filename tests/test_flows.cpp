@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "src/lbm/analytic.hpp"
 #include "src/lbm/boundary.hpp"
@@ -261,6 +262,127 @@ TEST(Trt, RejectsNonPositiveMagic) {
   lat.set_collision_model(CollisionModel::Trt);
   EXPECT_EQ(lat.collision_model(), CollisionModel::Trt);
   EXPECT_NEAR(lat.trt_magic(), 3.0 / 16.0, 1e-15);
+}
+
+TEST(Mrt, ConservesMassAndMomentum) {
+  // Collision must leave the conserved moments untouched: on a periodic
+  // unforced box with a non-trivial initial field, total mass and
+  // momentum survive many steps to round-off.
+  const int n = 12;
+  Lattice lat(n, n, n, Vec3{}, 1.0, 0.7);
+  lat.set_periodic(true, true, true);
+  lat.set_collision_model(CollisionModel::Mrt);
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double rho = 1.0 + 0.02 * std::sin(2.0 * std::numbers::pi *
+                                                 x / n);
+        const Vec3 u{0.02 * std::cos(2.0 * std::numbers::pi * y / n),
+                     0.01 * std::sin(2.0 * std::numbers::pi * z / n), 0.0};
+        lat.init_node_equilibrium(lat.idx(x, y, z), rho, u);
+      }
+    }
+  }
+  lat.update_macroscopic();
+  auto totals = [&](double& mass, Vec3& mom) {
+    mass = 0.0;
+    mom = Vec3{};
+    for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+      for (int q = 0; q < kQ; ++q) {
+        const double f = lat.f(q, i);
+        mass += f;
+        mom.x += f * kC[q][0];
+        mom.y += f * kC[q][1];
+        mom.z += f * kC[q][2];
+      }
+    }
+  };
+  double mass0 = 0.0;
+  Vec3 mom0{};
+  totals(mass0, mom0);
+  for (int s = 0; s < 50; ++s) lat.step();
+  double mass1 = 0.0;
+  Vec3 mom1{};
+  totals(mass1, mom1);
+  EXPECT_NEAR(mass1 / mass0, 1.0, 1e-12);
+  const double scale = mass0;  // momentum is O(u) * mass
+  EXPECT_NEAR((mom1.x - mom0.x) / scale, 0.0, 1e-13);
+  EXPECT_NEAR((mom1.y - mom0.y) / scale, 0.0, 1e-13);
+  EXPECT_NEAR((mom1.z - mom0.z) / scale, 0.0, 1e-13);
+}
+
+TEST(Mrt, PoiseuilleChannelMatchesParabola) {
+  // The per-node viscous rate must reproduce the same nu = cs^2 (tau-1/2)
+  // as BGK: the force-driven channel converges to the same parabola.
+  const int n = 18;
+  const double tau = 0.8;
+  Lattice lat(4, n, 4, Vec3{}, 1.0, tau);
+  lat.set_periodic(true, false, true);
+  mark_face_wall(lat, Face::YMin);
+  mark_face_wall(lat, Face::YMax);
+  const double g = 1e-6;
+  lat.set_body_force(Vec3{g, 0.0, 0.0});
+  lat.set_collision_model(CollisionModel::Mrt);
+  lat.init_equilibrium(1.0, Vec3{});
+  const auto rep = run_to_steady_state(lat, 60000, 1e-12);
+  EXPECT_TRUE(rep.converged);
+  const double nu = kCs2 * (tau - 0.5);
+  const double height = n - 2.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (int y = 1; y < n - 1; ++y) {
+    const double expected = plane_poiseuille(y - 0.5, height, g, nu);
+    const double got = lat.velocity(lat.idx(2, y, 2)).x;
+    num += (got - expected) * (got - expected);
+    den += expected * expected;
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.02);
+}
+
+TEST(Mrt, StableWhereBgkBlowsUp) {
+  // Fast-tier pin of the stability envelope the nightly tau sweep
+  // measures in full (tools/tau_sweep_stability): the under-resolved
+  // doubly periodic shear layer at tau = 0.502. BGK relaxes the
+  // non-hydrodynamic moments at the same runaway rate as the stress and
+  // blows up; MRT's fixed ghost rates keep them damped.
+  auto run_max_speed = [](CollisionModel model) {
+    const int n = 32;
+    const double u0 = 0.15;
+    Lattice lat(n, n, 4, Vec3{}, 1.0, 0.502);
+    lat.set_periodic(true, true, true);
+    lat.set_collision_model(model);
+    for (int z = 0; z < lat.nz(); ++z) {
+      for (int y = 0; y < n; ++y) {
+        const double yr = static_cast<double>(y) / n;
+        const double ux = yr <= 0.5 ? u0 * std::tanh(80.0 * (yr - 0.25))
+                                    : u0 * std::tanh(80.0 * (0.75 - yr));
+        for (int x = 0; x < n; ++x) {
+          const double xr = static_cast<double>(x) / n;
+          const double uy = 0.05 * u0 *
+                            std::sin(2.0 * std::numbers::pi * (xr + 0.25));
+          lat.init_node_equilibrium(lat.idx(x, y, z), 1.0,
+                                    Vec3{ux, uy, 0.0});
+        }
+      }
+    }
+    lat.update_macroscopic();
+    for (int s = 0; s < 400; ++s) lat.step();
+    double max_speed = 0.0;
+    for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+      const Vec3& u = lat.velocity(i);
+      const double mag = std::sqrt(u.x * u.x + u.y * u.y + u.z * u.z);
+      if (!std::isfinite(mag)) return mag;  // NaN/inf dominates
+      max_speed = std::max(max_speed, mag);
+    }
+    return max_speed;
+  };
+  const double bgk = run_max_speed(CollisionModel::Bgk);
+  const double mrt = run_max_speed(CollisionModel::Mrt);
+  const double limit = 5.0 * 0.15;
+  EXPECT_TRUE(!std::isfinite(bgk) || bgk > limit)
+      << "BGK unexpectedly stable: max speed " << bgk;
+  ASSERT_TRUE(std::isfinite(mrt));
+  EXPECT_LT(mrt, limit) << "MRT lost its stability edge";
 }
 
 }  // namespace

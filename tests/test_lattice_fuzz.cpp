@@ -1,0 +1,228 @@
+/// \file test_lattice_fuzz.cpp
+/// Randomized stress test of the tiled sparse lattice's structural
+/// invariants. A seeded op sequence -- step bursts, random region
+/// reclassification, tile materialize/release churn, sub- and super-tile
+/// window shifts, checkpoint round-trips -- is applied in lockstep to
+/// three views of the same logical lattice:
+///   seg    tiled storage, segmented row kernels (production config)
+///   sca    tiled storage, scalar per-node kernel
+///   dense  every tile resident, auto-release off (dense reference)
+/// After every op all three must agree bitwise on every observable node
+/// field. Runs once per collision model, so the MRT moment kernel sees
+/// the same structural churn BGK and TRT do. The sequences are fixed by
+/// seed: failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace apr::lbm {
+namespace {
+
+constexpr int kT = Lattice::kTileSide;
+constexpr int kN = 3 * kT;  // 48^3: several tiles per axis
+
+/// Deterministic index-dependent distributions (same probe as the sweep
+/// and tiled-lattice suites).
+std::array<double, kQ> probe_f(std::size_t i) {
+  std::array<double, kQ> f;
+  for (int q = 0; q < kQ; ++q) {
+    f[q] = 0.05 + 1e-3 * static_cast<double>((i * 7 + q * 13) % 101);
+  }
+  return f;
+}
+
+void expect_nodes_bitwise_equal(const Lattice& a, const Lattice& b,
+                                const char* what) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    ASSERT_EQ(a.type(i), b.type(i)) << what << " node " << i;
+    ASSERT_EQ(a.tau(i), b.tau(i)) << what << " node " << i;
+    ASSERT_EQ(a.rho(i), b.rho(i)) << what << " node " << i;
+    const Vec3 ua = a.velocity(i);
+    const Vec3 ub = b.velocity(i);
+    ASSERT_TRUE(ua.x == ub.x && ua.y == ub.y && ua.z == ub.z)
+        << what << " node " << i;
+    // f at Wall/Exterior nodes is dead storage (streaming never writes
+    // it; checkpoint capture canonicalizes it to zero), so only live
+    // populations take part in the bitwise contract.
+    if (!is_stream_source(a.type(i))) continue;
+    const auto fa = a.f_node(i);
+    const auto fb = b.f_node(i);
+    for (int q = 0; q < kQ; ++q) {
+      ASSERT_EQ(fa[q], fb[q]) << what << " node " << i << " q " << q;
+    }
+  }
+}
+
+/// The op sequence is generated once and applied identically to every
+/// lattice, so the rng draw order can never diverge between them.
+struct Harness {
+  Lattice seg;
+  Lattice sca;
+  Lattice dense;
+  Rng rng;
+
+  Harness(CollisionModel model, std::uint64_t seed)
+      : seg(kN, kN, kN, Vec3{}, 1.0, 0.8),
+        sca(kN, kN, kN, Vec3{}, 1.0, 0.8),
+        dense(kN, kN, kN, Vec3{}, 1.0, 0.8),
+        rng(seed) {
+    dense.set_auto_release(false);
+    for_each([&](Lattice& lat) {
+      // Walled duct along x with vacant corner tiles, so shifts and
+      // reclassifies cross residency boundaries from the start.
+      const int c = kN / 2;
+      for (int z = 0; z < kN; ++z) {
+        for (int y = 0; y < kN; ++y) {
+          for (int x = 0; x < kN; ++x) {
+            const int dy = std::abs(y - c);
+            const int dz = std::abs(z - c);
+            NodeType t = NodeType::Exterior;
+            if (dy < 12 && dz < 12) {
+              t = NodeType::Fluid;
+            } else if (dy <= 12 && dz <= 12) {
+              t = NodeType::Wall;
+            }
+            lat.set_type(x, y, z, t);
+          }
+        }
+      }
+      lat.shrink_to_fit();
+      for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+        if (lat.type(i) == NodeType::Fluid) lat.set_f_node(i, probe_f(i));
+      }
+      lat.update_macroscopic();
+      lat.set_periodic(true, false, false);
+      lat.set_body_force(Vec3{1e-5, 0.0, 0.0});
+      lat.set_collision_model(model);
+    });
+    seg.set_segmented_kernel(true);
+    sca.set_segmented_kernel(false);
+    dense.set_segmented_kernel(true);
+  }
+
+  template <typename F>
+  void for_each(F&& f) {
+    f(seg);
+    f(sca);
+    f(dense);
+  }
+
+  void check(const char* what) {
+    expect_nodes_bitwise_equal(seg, sca, what);
+    expect_nodes_bitwise_equal(seg, dense, what);
+  }
+
+  void op_steps() {
+    const int n = 1 + static_cast<int>(rng.uniform_index(3));
+    for_each([&](Lattice& lat) {
+      for (int s = 0; s < n; ++s) lat.step();
+    });
+  }
+
+  /// Re-type a random box: Fluid newly carved into vacant space
+  /// materializes tiles; Exterior over populated space releases the ones
+  /// it empties. Fresh Fluid is seeded with the probe state so it holds
+  /// non-default content on every lattice identically.
+  void op_reclassify() {
+    const int side = 4 + static_cast<int>(rng.uniform_index(21));
+    const int x0 = static_cast<int>(rng.uniform_index(kN - side));
+    const int y0 = static_cast<int>(rng.uniform_index(kN - side));
+    const int z0 = static_cast<int>(rng.uniform_index(kN - side));
+    const std::uint64_t pick = rng.uniform_index(3);
+    const NodeType t = pick == 0   ? NodeType::Fluid
+                       : pick == 1 ? NodeType::Wall
+                                   : NodeType::Exterior;
+    for_each([&](Lattice& lat) {
+      for (int z = z0; z < z0 + side; ++z) {
+        for (int y = y0; y < y0 + side; ++y) {
+          for (int x = x0; x < x0 + side; ++x) {
+            lat.set_type(x, y, z, t);
+            if (t == NodeType::Fluid) {
+              const std::size_t i = lat.idx(x, y, z);
+              lat.set_f_node(i, probe_f(i));
+            }
+          }
+        }
+      }
+      lat.update_macroscopic();
+    });
+  }
+
+  /// Window shift; sub-tile and super-tile displacements both occur.
+  void op_shift() {
+    auto draw = [&]() {
+      const int mag = rng.uniform() < 0.5
+                          ? static_cast<int>(rng.uniform_index(4))
+                          : kT + static_cast<int>(rng.uniform_index(5));
+      return rng.uniform() < 0.5 ? -mag : mag;
+    };
+    const int sx = draw(), sy = draw(), sz = draw();
+    std::size_t kept[3];
+    int k = 0;
+    for_each([&](Lattice& lat) { kept[k++] = lat.shift(sx, sy, sz); });
+    EXPECT_EQ(kept[0], kept[1]);
+    EXPECT_EQ(kept[0], kept[2]);
+  }
+
+  /// Serialize the production lattice, restore into a fresh sparse
+  /// lattice, and let the restored copy REPLACE `seg`: later ops then
+  /// prove the round-trip loses nothing a future step would notice.
+  void op_checkpoint_roundtrip() {
+    const auto state = io::LatticeState::capture(seg);
+    const auto bytes = state.serialize();
+    const auto back = io::LatticeState::deserialize(bytes, "fuzz");
+    Lattice fresh(kN, kN, kN, Vec3{}, 1.0, 0.8);
+    back.apply(fresh);
+    expect_nodes_bitwise_equal(seg, fresh, "checkpoint");
+    EXPECT_EQ(fresh.num_tiles(), seg.num_tiles());
+    seg = std::move(fresh);
+  }
+
+  void run(int ops) {
+    check("initial");
+    for (int o = 0; o < ops && !::testing::Test::HasFatalFailure(); ++o) {
+      const std::uint64_t pick = rng.uniform_index(8);
+      if (pick < 3) {
+        op_steps();
+      } else if (pick < 5) {
+        op_reclassify();
+      } else if (pick < 7) {
+        op_shift();
+      } else {
+        op_checkpoint_roundtrip();
+      }
+      check("after op");
+    }
+  }
+};
+
+class LatticeFuzz : public ::testing::TestWithParam<CollisionModel> {};
+
+TEST_P(LatticeFuzz, SeededOpSequenceKeepsAllViewsBitwiseEqual) {
+  Harness h(GetParam(), 0xF00D + static_cast<std::uint64_t>(GetParam()));
+  h.run(14);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, LatticeFuzz,
+                         ::testing::Values(CollisionModel::Bgk,
+                                           CollisionModel::Trt,
+                                           CollisionModel::Mrt),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CollisionModel::Bgk: return "Bgk";
+                             case CollisionModel::Trt: return "Trt";
+                             case CollisionModel::Mrt: return "Mrt";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace apr::lbm

@@ -70,6 +70,49 @@ TEST(ObsJson, RejectsMalformedInput) {
   EXPECT_THROW(json_parse("[1,]"), JsonError);
 }
 
+TEST(ObsJson, RejectsTruncatedEscapes) {
+  // A backslash or \u sequence cut off by end-of-input must throw, not
+  // read past the buffer (this suite runs under ASan/UBSan in CI).
+  EXPECT_THROW(json_parse(R"("abc\)"), JsonError);
+  EXPECT_THROW(json_parse("\"abc\\u12"), JsonError);
+  EXPECT_THROW(json_parse("\"abc\\u12G4\""), JsonError);
+  EXPECT_THROW(json_parse(R"("abc\q")"), JsonError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+}
+
+TEST(ObsJson, RejectsDeepNesting) {
+  // The parser is recursive descent; unbounded depth would overflow the
+  // call stack. 256 levels is far beyond any document we write.
+  std::string deep_ok(200, '[');
+  deep_ok += std::string(200, ']');
+  EXPECT_NO_THROW(json_parse(deep_ok));
+  std::string deep_bad(10000, '[');
+  deep_bad += std::string(10000, ']');
+  EXPECT_THROW(json_parse(deep_bad), JsonError);
+  std::string objs;
+  for (int i = 0; i < 10000; ++i) objs += "{\"k\":";
+  objs += "1";
+  for (int i = 0; i < 10000; ++i) objs += "}";
+  EXPECT_THROW(json_parse(objs), JsonError);
+}
+
+TEST(ObsJson, RejectsDuplicateKeys) {
+  // find() returns the first match, so a duplicate would shadow the rest
+  // of the object; a hand-edited baseline must fail loudly instead.
+  EXPECT_THROW(json_parse(R"({"a": 1, "a": 2})"), JsonError);
+  EXPECT_NO_THROW(json_parse(R"({"a": {"b": 1}, "c": {"b": 1}})"));
+}
+
+TEST(ObsJson, RejectsOversizedNumbers) {
+  // strtod maps 1e999 to +inf silently; gates and manifests expect
+  // finite values, so overflow is a parse error.
+  EXPECT_THROW(json_parse("1e999"), JsonError);
+  EXPECT_THROW(json_parse("-1e999"), JsonError);
+  EXPECT_THROW(json_parse(R"({"v": 1e999})"), JsonError);
+  EXPECT_NO_THROW(json_parse("1e308"));
+  EXPECT_NO_THROW(json_parse("1e-999"));  // underflow to 0 is fine
+}
+
 TEST(ObsJson, NumberFormatRoundTrips) {
   // %.17g is enough to reproduce any double exactly.
   const double x = 0.1 + 0.2;

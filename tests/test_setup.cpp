@@ -114,6 +114,33 @@ TEST_F(SetupTest, RejectsNonPositiveViscosity) {
   EXPECT_THROW(params_from_config(cfg), std::runtime_error);
 }
 
+TEST_F(SetupTest, CollisionModelKeyParses) {
+  {
+    const Config cfg;  // absent key: BGK, the paper's operator
+    const AprParams p = params_from_config(cfg);
+    EXPECT_EQ(p.collision, lbm::CollisionModel::Bgk);
+    EXPECT_DOUBLE_EQ(p.trt_magic, 3.0 / 16.0);
+  }
+  for (const auto& [name, model] :
+       {std::pair<std::string, lbm::CollisionModel>{
+            "bgk", lbm::CollisionModel::Bgk},
+        {"trt", lbm::CollisionModel::Trt},
+        {"mrt", lbm::CollisionModel::Mrt}}) {
+    Config cfg;
+    cfg.set("collision_model", name);
+    cfg.set("trt_magic", "0.25");
+    const AprParams p = params_from_config(cfg);
+    EXPECT_EQ(p.collision, model) << name;
+    EXPECT_DOUBLE_EQ(p.trt_magic, 0.25);
+  }
+  Config bad;
+  bad.set("collision_model", "mrt19");
+  EXPECT_THROW(params_from_config(bad), std::runtime_error);
+  Config bad_magic;
+  bad_magic.set("trt_magic", "0");
+  EXPECT_THROW(params_from_config(bad_magic), std::runtime_error);
+}
+
 TEST_F(SetupTest, CellModelsFollowDeck) {
   Config cfg;
   cfg.set("rbc_radius_um", "1.5");

@@ -148,12 +148,49 @@ TEST(SweepPlan, TrtGuoForcedBitwiseEqualsScalar) {
   p.expect_equal();
 }
 
+TEST(SweepPlan, MrtUnforcedBitwiseEqualsScalar) {
+  Pair p;
+  p.seg.set_collision_model(CollisionModel::Mrt);
+  p.sca.set_collision_model(CollisionModel::Mrt);
+  p.step(10);
+  p.expect_equal();
+}
+
+TEST(SweepPlan, MrtGuoForcedBitwiseEqualsScalar) {
+  Pair p;
+  p.seg.set_collision_model(CollisionModel::Mrt);
+  p.sca.set_collision_model(CollisionModel::Mrt);
+  p.seg.set_body_force(Vec3{1e-5, 0.0, 2e-6});
+  p.sca.set_body_force(Vec3{1e-5, 0.0, 2e-6});
+  p.step(10);
+  p.expect_equal();
+}
+
+TEST(SweepPlan, MrtPerNodeTauBitwiseEqualsScalar) {
+  // A non-uniform tau map (the Eq. (7) per-cell viscosity adjustment)
+  // must ride through the MRT moment relaxation identically on both
+  // paths: s_nu is per-lane, the ghost rates are constants.
+  Pair p;
+  p.seg.set_collision_model(CollisionModel::Mrt);
+  p.sca.set_collision_model(CollisionModel::Mrt);
+  for (Lattice* lat : {&p.seg, &p.sca}) {
+    for (std::size_t i = 0; i < lat->num_nodes(); ++i) {
+      if (lat->type(i) == NodeType::Fluid) {
+        lat->set_tau(i, 0.6 + 0.4 * static_cast<double>(i % 7) / 7.0);
+      }
+    }
+    lat->set_body_force(Vec3{1e-5, 0.0, 0.0});
+  }
+  p.step(10);
+  p.expect_equal();
+}
+
 TEST(SweepPlan, MixedPerNodeForcesSplitSegmentsBitwise) {
   // Forces on a scattered subset of nodes, the fine-lattice IBM pattern:
   // segments span forced and unforced lanes, so the kernel must split
   // them (adding a zero Guo term is not bitwise neutral).
   for (const CollisionModel model :
-       {CollisionModel::Bgk, CollisionModel::Trt}) {
+       {CollisionModel::Bgk, CollisionModel::Trt, CollisionModel::Mrt}) {
     Pair p;
     p.seg.set_collision_model(model);
     p.sca.set_collision_model(model);

@@ -1,0 +1,130 @@
+/// \file convergence_study.cpp
+/// Standalone driver for the convergence-order harness
+/// (tests/convergence/cases.hpp): runs the analytic-solution cases over a
+/// resolution ladder for each collision operator, prints the per-point L1
+/// errors and the fitted empirical order, and writes the series to
+/// out/convergence_study.csv for plotting.
+///
+/// Usage:
+///   convergence_study [--case NAME] [--model bgk|trt|mrt]
+///                     [--resolutions N1,N2,...]
+///
+/// With no arguments it runs every case x model combination at the same
+/// default resolutions the CTest gate uses, so a local run reproduces
+/// exactly what CI measures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "tests/convergence/cases.hpp"
+
+namespace {
+
+using apr::lbm::CollisionModel;
+namespace conv = apr::lbm::convergence;
+
+std::vector<int> parse_resolutions(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    char* end = nullptr;
+    const long v = std::strtol(spec.c_str() + pos, &end, 10);
+    if (end == spec.c_str() + pos || v < 4) {
+      std::fprintf(stderr, "bad --resolutions spec '%s'\n", spec.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(v));
+    pos = static_cast<std::size_t>(end - spec.c_str());
+    if (pos < spec.size() && spec[pos] == ',') ++pos;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> cases = conv::case_names();
+  std::vector<CollisionModel> models = {
+      CollisionModel::Bgk, CollisionModel::Trt, CollisionModel::Mrt};
+  std::vector<int> resolutions;  // empty = per-case defaults
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--case") {
+      cases = {next()};
+    } else if (arg == "--model") {
+      const std::string m = next();
+      if (m == "bgk") {
+        models = {CollisionModel::Bgk};
+      } else if (m == "trt") {
+        models = {CollisionModel::Trt};
+      } else if (m == "mrt") {
+        models = {CollisionModel::Mrt};
+      } else {
+        std::fprintf(stderr, "unknown model '%s'\n", m.c_str());
+        return 2;
+      }
+    } else if (arg == "--resolutions") {
+      resolutions = parse_resolutions(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: convergence_study [--case NAME] "
+                   "[--model bgk|trt|mrt] [--resolutions N1,N2,...]\n");
+      return 2;
+    }
+  }
+
+  const std::string csv_path = apr::out_path("convergence_study.csv");
+  apr::CsvWriter csv(csv_path, {"case", "model", "n", "n_eff", "l1_error",
+                                "order"});
+  auto case_id = [](const std::string& name) {
+    const auto& names = conv::case_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<double>(i);
+    }
+    return -1.0;
+  };
+
+  int rc = 0;
+  for (const auto& c : cases) {
+    for (const auto m : models) {
+      std::vector<int> res =
+          resolutions.empty() ? conv::default_resolutions(c) : resolutions;
+      conv::CaseResult r;
+      try {
+        r = conv::run_case(c, m, res);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", c.c_str(),
+                     conv::model_name(m).c_str(), e.what());
+        rc = 1;
+        continue;
+      }
+      std::printf("%-18s %-4s order %5.2f  ", r.case_name.c_str(),
+                  r.model_name.c_str(), r.order);
+      for (const auto& p : r.points) {
+        std::printf(" N=%-3d e=%.3e", p.n, p.l1_error);
+      }
+      std::printf("\n");
+      for (const auto& p : r.points) {
+        csv.row({case_id(c), static_cast<double>(m == CollisionModel::Bgk ? 0
+                                                 : m == CollisionModel::Trt
+                                                     ? 1
+                                                     : 2),
+                 static_cast<double>(p.n), p.n_eff, p.l1_error, r.order});
+      }
+    }
+  }
+  std::printf("series written to %s\n", csv_path.c_str());
+  return rc;
+}

@@ -1,0 +1,218 @@
+/// \file tau_sweep_stability.cpp
+/// Stability envelope of the collision operators at low relaxation time.
+///
+/// The case is the doubly periodic thin shear layer (Minion & Brown
+/// 1997): two tanh layers plus a small sinusoidal transverse
+/// perturbation, deliberately under-resolved so the roll-up feeds energy
+/// into non-hydrodynamic ("ghost") modes. BGK relaxes those modes at the
+/// same rate 1/tau as the stress, so as tau -> 1/2 they go undamped and
+/// the run blows up. MRT pins them at fixed rates (kMrtRates), which is
+/// the standard argument for its wider stability envelope -- this driver
+/// measures that envelope instead of asserting it.
+///
+/// For each collision model the tau ladder is swept from safe to
+/// aggressive; a run is *stable* when every velocity stays finite and
+/// below 5x the initial speed for the whole horizon. The smallest stable
+/// tau per model goes to stdout and out/tau_sweep_stability.csv.
+///
+/// `--check <baseline.json>` is the nightly CI gate
+/// (tests/golden/tau_sweep_baseline.json): it fails unless
+///   (a) MRT's minimum stable tau is strictly below BGK's (the paper's
+///       motivation for shipping an MRT operator at all), and
+///   (b) each model's minimum stable tau matches the committed baseline
+///       to within one ladder rung (the sweep is deterministic, so a
+///       bigger drift means the operator's stability changed).
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/lbm/lattice.hpp"
+
+namespace {
+
+using apr::Vec3;
+using apr::lbm::CollisionModel;
+using apr::lbm::Lattice;
+
+/// Under-resolved doubly periodic shear layer in lattice units.
+struct ShearLayerCase {
+  int n = 64;           ///< nodes per side of the periodic square
+  double u0 = 0.15;     ///< layer speed (Ma ~ 0.26: stresses the operator)
+  double width = 80.0;  ///< tanh sharpness; >> n means under-resolved
+  double delta = 0.05;  ///< transverse perturbation amplitude
+  int steps = 1000;     ///< integration horizon
+};
+
+Lattice make_shear_layer(const ShearLayerCase& c, CollisionModel model,
+                         double tau) {
+  Lattice lat(c.n, c.n, 4, Vec3{}, 1.0, tau);
+  lat.set_periodic(true, true, true);
+  lat.set_collision_model(model);
+  for (int z = 0; z < lat.nz(); ++z) {
+    for (int y = 0; y < c.n; ++y) {
+      const double yr = static_cast<double>(y) / c.n;
+      const double ux = yr <= 0.5
+                            ? c.u0 * std::tanh(c.width * (yr - 0.25))
+                            : c.u0 * std::tanh(c.width * (0.75 - yr));
+      for (int x = 0; x < c.n; ++x) {
+        const double xr = static_cast<double>(x) / c.n;
+        const double uy =
+            c.delta * c.u0 * std::sin(2.0 * std::numbers::pi * (xr + 0.25));
+        lat.init_node_equilibrium(lat.idx(x, y, z), 1.0,
+                                  Vec3{ux, uy, 0.0});
+      }
+    }
+  }
+  lat.update_macroscopic();
+  return lat;
+}
+
+/// True if the run stays finite and bounded over the whole horizon.
+bool run_stable(const ShearLayerCase& c, CollisionModel model, double tau) {
+  Lattice lat = make_shear_layer(c, model, tau);
+  const double limit = 5.0 * c.u0;
+  const int check_every = 50;
+  for (int s = 0; s < c.steps; ++s) {
+    lat.step();
+    if ((s + 1) % check_every != 0 && s + 1 != c.steps) continue;
+    for (std::size_t i = 0; i < lat.num_nodes(); ++i) {
+      const Vec3& u = lat.velocity(i);
+      const double mag = std::sqrt(u.x * u.x + u.y * u.y + u.z * u.z);
+      if (!std::isfinite(mag) || mag > limit) return false;
+    }
+  }
+  return true;
+}
+
+std::string model_name(CollisionModel m) {
+  switch (m) {
+    case CollisionModel::Bgk: return "bgk";
+    case CollisionModel::Trt: return "trt";
+    case CollisionModel::Mrt: return "mrt";
+  }
+  return "unknown";
+}
+
+/// Minimal extraction of `"key": <number>` from a one-object JSON file
+/// (same shape as the kernel_baseline.json gate).
+double json_number(const std::string& text, const std::string& key) {
+  const auto kpos = text.find("\"" + key + "\"");
+  if (kpos == std::string::npos) {
+    std::fprintf(stderr, "baseline: key '%s' not found\n", key.c_str());
+    std::exit(2);
+  }
+  const auto colon = text.find(':', kpos);
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShearLayerCase c;
+  // Safe-to-aggressive ladder approaching tau = 1/2. Rung spacing near
+  // the bottom is the resolution of the measured envelope (and of the
+  // baseline gate's one-rung slack).
+  std::vector<double> ladder = {0.56,  0.53,  0.52,  0.515, 0.51,
+                                0.507, 0.505, 0.503, 0.502, 0.501};
+  const char* baseline = nullptr;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--check") {
+      baseline = next();
+    } else if (arg == "--u0") {
+      c.u0 = std::strtod(next(), nullptr);
+    } else if (arg == "--width") {
+      c.width = std::strtod(next(), nullptr);
+    } else if (arg == "--delta") {
+      c.delta = std::strtod(next(), nullptr);
+    } else if (arg == "--n") {
+      c.n = std::atoi(next());
+    } else if (arg == "--steps") {
+      c.steps = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: tau_sweep_stability [--check baseline.json] "
+                   "[--n N] [--u0 U] [--width W] [--delta D] [--steps S]\n");
+      return 2;
+    }
+  }
+  const std::array<CollisionModel, 3> models = {
+      CollisionModel::Bgk, CollisionModel::Trt, CollisionModel::Mrt};
+
+  const std::string csv_path = apr::out_path("tau_sweep_stability.csv");
+  apr::CsvWriter csv(csv_path, {"model", "tau", "stable"});
+
+  std::array<double, 3> min_stable = {0.0, 0.0, 0.0};
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const CollisionModel model = models[mi];
+    double best = -1.0;
+    bool blown = false;
+    for (const double tau : ladder) {
+      const bool stable = !blown && run_stable(c, model, tau);
+      // Once a rung blows up, lower rungs are assumed unstable too (the
+      // envelope is monotone in tau); skipping them keeps the sweep fast.
+      if (!stable) blown = true;
+      std::printf("%-4s tau=%.3f  %s\n", model_name(model).c_str(), tau,
+                  stable ? "stable" : "UNSTABLE");
+      csv.row({static_cast<double>(mi), tau, stable ? 1.0 : 0.0});
+      if (stable) best = tau;
+    }
+    min_stable[mi] = best;
+  }
+
+  std::printf("\nminimum stable tau:  bgk %.3f  trt %.3f  mrt %.3f\n",
+              min_stable[0], min_stable[1], min_stable[2]);
+  std::printf("series written to %s\n", csv_path.c_str());
+
+  if (baseline != nullptr) {
+    std::ifstream in(baseline);
+    if (!in) {
+      std::fprintf(stderr, "baseline: cannot open %s\n", baseline);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const double base_bgk = json_number(ss.str(), "bgk_min_stable_tau");
+    const double base_mrt = json_number(ss.str(), "mrt_min_stable_tau");
+    // One-rung slack: the smallest spacing in the ladder above.
+    const double slack = 0.0015;
+    bool ok = true;
+    if (!(min_stable[2] < min_stable[0])) {
+      std::fprintf(stderr,
+                   "FAIL: MRT min stable tau %.3f is not below BGK %.3f\n",
+                   min_stable[2], min_stable[0]);
+      ok = false;
+    }
+    if (std::abs(min_stable[0] - base_bgk) > slack) {
+      std::fprintf(stderr,
+                   "FAIL: BGK min stable tau %.3f drifted from baseline "
+                   "%.3f\n",
+                   min_stable[0], base_bgk);
+      ok = false;
+    }
+    if (std::abs(min_stable[2] - base_mrt) > slack) {
+      std::fprintf(stderr,
+                   "FAIL: MRT min stable tau %.3f drifted from baseline "
+                   "%.3f\n",
+                   min_stable[2], base_mrt);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("baseline check passed\n");
+  }
+  return 0;
+}
