@@ -76,6 +76,13 @@ const std::vector<char>& Checkpoint::section(std::uint32_t tag) const {
   throw CheckpointError("checkpoint: missing section " + tag_name(tag));
 }
 
+std::vector<std::uint32_t> Checkpoint::tags() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(sections_.size());
+  for (const auto& [t, p] : sections_) out.push_back(t);
+  return out;
+}
+
 std::vector<char> Checkpoint::to_bytes() const {
   BufWriter w;
   w.pod(kMagic);

@@ -183,6 +183,11 @@ class Checkpoint {
   bool has(std::uint32_t tag) const;
   const std::vector<char>& section(std::uint32_t tag) const;
 
+  /// Section tags in file order. Lets message-shaped containers (the
+  /// parallel transport's halo/migration payloads) assert they hold
+  /// exactly the expected sections before touching any payload.
+  std::vector<std::uint32_t> tags() const;
+
   void write(const std::string& path) const;
   static Checkpoint read(const std::string& path);
 

@@ -1,11 +1,14 @@
 #include "src/parallel/decomposition.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <set>
 #include <stdexcept>
 
 namespace apr::parallel {
 
-BoxDecomposition::BoxDecomposition(Int3 dims, int num_tasks) : dims_(dims) {
+BoxDecomposition::BoxDecomposition(Int3 dims, int num_tasks, Periodic3 periodic)
+    : dims_(dims), periodic_(periodic) {
   if (dims.x < 1 || dims.y < 1 || dims.z < 1) {
     throw std::invalid_argument("BoxDecomposition: bad dims");
   }
@@ -73,58 +76,84 @@ int BoxDecomposition::block_of(int c, int n, int total) {
   return i;
 }
 
+Int3 BoxDecomposition::wrap(Int3 n) const {
+  for (int a = 0; a < 3; ++a) {
+    if (!periodic_[a]) continue;
+    const int d = dims_[a];
+    n[a] = ((n[a] % d) + d) % d;
+  }
+  return n;
+}
+
 int BoxDecomposition::rank_of_node(const Int3& node) const {
-  if (node.x < 0 || node.x >= dims_.x || node.y < 0 || node.y >= dims_.y ||
-      node.z < 0 || node.z >= dims_.z) {
+  const Int3 n = wrap(node);
+  if (n.x < 0 || n.x >= dims_.x || n.y < 0 || n.y >= dims_.y || n.z < 0 ||
+      n.z >= dims_.z) {
     throw std::out_of_range("BoxDecomposition: node outside lattice");
   }
-  return rank_index(block_of(node.x, px_, dims_.x),
-                    block_of(node.y, py_, dims_.y),
-                    block_of(node.z, pz_, dims_.z));
+  return rank_index(block_of(n.x, px_, dims_.x), block_of(n.y, py_, dims_.y),
+                    block_of(n.z, pz_, dims_.z));
+}
+
+TaskBox BoxDecomposition::stored_box(int rank, int halo_width) const {
+  if (halo_width < 0) {
+    throw std::invalid_argument("BoxDecomposition: halo_width < 0");
+  }
+  TaskBox box = task_box(rank);
+  for (int a = 0; a < 3; ++a) {
+    int lo = box.lo[a] - halo_width;
+    int hi = box.hi[a] + halo_width;
+    if (!periodic_[a]) {
+      lo = std::max(lo, 0);
+      hi = std::min(hi, dims_[a]);
+    }
+    box.lo[a] = lo;
+    box.hi[a] = hi;
+  }
+  return box;
 }
 
 std::vector<int> BoxDecomposition::neighbors(int rank, int halo_width) const {
+  if (halo_width < 0) {
+    throw std::invalid_argument("BoxDecomposition: halo_width < 0");
+  }
   const TaskBox own = task_box(rank);
-  std::vector<int> out;
-  const int ix = rank % px_;
-  const int iy = (rank / px_) % py_;
-  const int iz = rank / (px_ * py_);
-  (void)own;
-  for (int dz = -1; dz <= 1; ++dz) {
-    for (int dy = -1; dy <= 1; ++dy) {
-      for (int dx = -1; dx <= 1; ++dx) {
-        if (!dx && !dy && !dz) continue;
-        const int jx = ix + dx;
-        const int jy = iy + dy;
-        const int jz = iz + dz;
-        if (jx < 0 || jx >= px_ || jy < 0 || jy >= py_ || jz < 0 ||
-            jz >= pz_) {
+  const int own_block[3] = {rank % px_, (rank / px_) % py_,
+                            rank / (px_ * py_)};
+  const int nblocks[3] = {px_, py_, pz_};
+  // Per axis: every block owning a coordinate within halo_width outside the
+  // owned range. Stepping coordinate-by-coordinate (not block-by-block)
+  // widens the ring correctly when blocks are thinner than the halo.
+  std::vector<int> axis_blocks[3];
+  for (int a = 0; a < 3; ++a) {
+    std::set<int> blocks{own_block[a]};
+    for (int d = 1; d <= halo_width; ++d) {
+      for (int c : {own.lo[a] - d, own.hi[a] - 1 + d}) {
+        if (periodic_[a]) {
+          c = ((c % dims_[a]) + dims_[a]) % dims_[a];
+        } else if (c < 0 || c >= dims_[a]) {
           continue;
         }
-        out.push_back(rank_index(jx, jy, jz));
+        blocks.insert(block_of(c, nblocks[a], dims_[a]));
+      }
+    }
+    axis_blocks[a].assign(blocks.begin(), blocks.end());
+  }
+  std::set<int> out;
+  for (int bz : axis_blocks[2]) {
+    for (int by : axis_blocks[1]) {
+      for (int bx : axis_blocks[0]) {
+        const int r = rank_index(bx, by, bz);
+        if (r != rank) out.insert(r);
       }
     }
   }
-  (void)halo_width;
-  return out;
+  return {out.begin(), out.end()};
 }
 
 long long BoxDecomposition::halo_volume(int rank, int halo_width) const {
-  const TaskBox box = task_box(rank);
-  const Int3 e = box.extent();
-  // Halo shell volume: (e+2w)^3 - e^3 clipped to the global lattice.
-  long long inflated = 1;
-  long long own = 1;
-  const int w = halo_width;
-  const int lox = std::max(box.lo.x - w, 0);
-  const int hix = std::min(box.hi.x + w, dims_.x);
-  const int loy = std::max(box.lo.y - w, 0);
-  const int hiy = std::min(box.hi.y + w, dims_.y);
-  const int loz = std::max(box.lo.z - w, 0);
-  const int hiz = std::min(box.hi.z + w, dims_.z);
-  inflated = static_cast<long long>(hix - lox) * (hiy - loy) * (hiz - loz);
-  own = static_cast<long long>(e.x) * e.y * e.z;
-  return inflated - own;
+  return stored_box(rank, halo_width).num_nodes() -
+         task_box(rank).num_nodes();
 }
 
 }  // namespace apr::parallel

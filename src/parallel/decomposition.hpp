@@ -2,11 +2,13 @@
 
 /// \file decomposition.hpp
 /// Box domain decomposition, the task layout of paper §2.4.4 (42 tasks per
-/// Summit node, 36 bulk + 6 window). This reproduction executes tasks
-/// in-process (see DESIGN.md §3 on the simulated-MPI substitution), but the
-/// decomposition semantics -- ownership, halos, neighbour sets -- match
-/// what an MPI backend would use, and all cell algorithms are written
-/// against this interface so they stay rank-count-agnostic.
+/// Summit node, 36 bulk + 6 window). Decomposition semantics -- ownership,
+/// halos, neighbour sets, periodic wrap -- match what an MPI backend uses,
+/// and all cell algorithms are written against this interface so they stay
+/// rank-count-agnostic. Data movement between the resulting tasks goes
+/// through parallel::Transport (transport.hpp): the same decomposition
+/// drives both the in-process loopback backend and the multi-process
+/// fork/socketpair backend (see DESIGN.md §3).
 
 #include <vector>
 
@@ -14,6 +16,21 @@
 #include "src/common/vec3.hpp"
 
 namespace apr::parallel {
+
+/// Per-axis periodicity flags of the global lattice. A periodic axis wraps
+/// halo lookups (and neighbour sets) around the domain the way
+/// lbm::Lattice's periodic streaming does.
+struct Periodic3 {
+  bool x = false;
+  bool y = false;
+  bool z = false;
+
+  constexpr bool operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr bool any() const { return x || y || z; }
+  friend constexpr bool operator==(const Periodic3& a, const Periodic3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
 
 /// Half-open index box [lo, hi) in lattice node coordinates.
 struct TaskBox {
@@ -34,20 +51,37 @@ struct TaskBox {
 class BoxDecomposition {
  public:
   /// Split a global lattice of `dims` nodes into `num_tasks` boxes using
-  /// the surface-minimizing factorization of num_tasks.
-  BoxDecomposition(Int3 dims, int num_tasks);
+  /// the surface-minimizing factorization of num_tasks. Periodic axes wrap
+  /// ownership queries and widen halo shells across the domain seam.
+  BoxDecomposition(Int3 dims, int num_tasks, Periodic3 periodic = {});
 
   int num_tasks() const { return px_ * py_ * pz_; }
   Int3 task_grid() const { return {px_, py_, pz_}; }
   Int3 dims() const { return dims_; }
+  Periodic3 periodic() const { return periodic_; }
 
   TaskBox task_box(int rank) const;
 
-  /// Rank owning a global node (nodes are never shared).
+  /// Map a (possibly out-of-range) coordinate onto the lattice along every
+  /// periodic axis; non-periodic coordinates pass through unchanged.
+  Int3 wrap(Int3 n) const;
+
+  /// Rank owning a global node (nodes are never shared). Coordinates
+  /// outside [0, dims) are wrapped on periodic axes and rejected otherwise.
   int rank_of_node(const Int3& node) const;
 
+  /// The box a task stores for the given halo width: its owned box grown
+  /// by `halo_width` on every face, clipped to the lattice on non-periodic
+  /// axes and left *unwrapped* on periodic ones (stored coordinates beyond
+  /// the seam alias wrapped global nodes). Shared by DistributedField and
+  /// the halo packing plans so both always agree on slot layout.
+  TaskBox stored_box(int rank, int halo_width) const;
+
   /// Ranks whose owned box lies within `halo_width` nodes of `rank`'s box
-  /// (the up-to-26 neighbours that exchange halo data).
+  /// (the neighbours that exchange halo data). Honors the requested width:
+  /// when blocks are thinner than the halo the ring widens past the
+  /// immediate ±1 neighbours, and on periodic axes it wraps around the
+  /// seam. A width of 0 means no halo and therefore no neighbours.
   std::vector<int> neighbors(int rank, int halo_width = 1) const;
 
   /// Number of halo nodes rank must receive per exchange for the given
@@ -60,6 +94,7 @@ class BoxDecomposition {
 
  private:
   Int3 dims_;
+  Periodic3 periodic_;
   int px_, py_, pz_;
 
   int rank_index(int ix, int iy, int iz) const {

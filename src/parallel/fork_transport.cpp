@@ -1,0 +1,356 @@
+#include "src/parallel/fork_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/io/checkpoint.hpp"  // crc32 + fourcc (shared integrity layer)
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HEMOAPR_HAS_FORK 1
+#include <cerrno>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace apr::parallel {
+
+#ifdef HEMOAPR_HAS_FORK
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = io::fourcc('A', 'P', 'R', 'T');
+constexpr std::uint64_t kMaxMessageBytes = 1ull << 30;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4 + 8;  // magic,tag,src,dest,size
+constexpr double kBackoffCapMs = 50.0;
+// Socket-level timeout slice; the op-level deadline is enforced on top, so
+// a blocking call wakes up at least this often to check it.
+constexpr double kSocketSliceSeconds = 0.1;
+
+using Clock = std::chrono::steady_clock;
+
+void put_u32(char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// Shared retry/backoff/deadline loop for partial socket I/O. `step`
+/// attempts one transfer and returns bytes moved (>0), 0 on orderly peer
+/// shutdown (recv only), or -1 with errno set.
+template <typename Step>
+void io_loop(std::size_t total, const ForkOptions& opts, TransportStats& stats,
+             const char* what, int peer, const Step& step) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(opts.timeout_seconds);
+  double backoff_ms = opts.backoff_initial_ms;
+  int retries_left = opts.max_retries;
+  std::size_t done = 0;
+  while (done < total) {
+    const ssize_t n = step(done, total - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      throw TransportError(std::string(what) + ": peer rank " +
+                           std::to_string(peer) + " closed the connection");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Clock::now() >= deadline) {
+        throw TransportError(std::string(what) + ": deadline (" +
+                             std::to_string(opts.timeout_seconds) +
+                             " s) expired waiting on rank " +
+                             std::to_string(peer));
+      }
+      if (retries_left-- <= 0) {
+        throw TransportError(std::string(what) +
+                             ": retry budget exhausted waiting on rank " +
+                             std::to_string(peer));
+      }
+      ++stats.retries;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, kBackoffCapMs);
+      continue;
+    }
+    throw_errno(std::string(what) + " to/from rank " + std::to_string(peer));
+  }
+}
+
+class SocketTransport final : public Transport {
+ public:
+  /// `fds[p]` is the stream socket to rank p (-1 for self / absent).
+  SocketTransport(int rank, int size, std::vector<int> fds, ForkOptions opts)
+      : rank_(rank), size_(size), fds_(std::move(fds)), opts_(opts) {
+    const timeval slice{0, static_cast<suseconds_t>(kSocketSliceSeconds * 1e6)};
+    for (int fd : fds_) {
+      if (fd < 0) continue;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &slice, sizeof(slice));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &slice, sizeof(slice));
+    }
+  }
+
+  ~SocketTransport() override {
+    for (int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+  const char* backend() const override { return "fork"; }
+
+  void send(int dest, int tag, const std::vector<char>& payload) override {
+    const auto t0 = Clock::now();
+    const int fd = fd_for("fork send", dest);
+    if (payload.size() > kMaxMessageBytes) {
+      throw TransportError("fork send: message exceeds 1 GiB frame cap");
+    }
+    char header[kHeaderBytes];
+    put_u32(header + 0, kFrameMagic);
+    put_u32(header + 4, static_cast<std::uint32_t>(tag));
+    put_u32(header + 8, static_cast<std::uint32_t>(rank_));
+    put_u32(header + 12, static_cast<std::uint32_t>(dest));
+    put_u64(header + 16, payload.size());
+    write_all(fd, dest, header, kHeaderBytes);
+    write_all(fd, dest, payload.data(), payload.size());
+    const std::uint32_t crc = io::crc32(payload.data(), payload.size());
+    char trailer[4];
+    put_u32(trailer, crc);
+    write_all(fd, dest, trailer, 4);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    stats_.send_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  std::vector<char> recv(int src, int tag) override {
+    const auto t0 = Clock::now();
+    const int fd = fd_for("fork recv", src);
+    char header[kHeaderBytes];
+    read_all(fd, src, header, kHeaderBytes);
+    if (get_u32(header) != kFrameMagic) {
+      throw TransportError("fork recv: bad frame magic from rank " +
+                           std::to_string(src));
+    }
+    const auto got_tag = static_cast<int>(get_u32(header + 4));
+    const auto got_src = static_cast<int>(get_u32(header + 8));
+    const auto got_dest = static_cast<int>(get_u32(header + 12));
+    const std::uint64_t size = get_u64(header + 16);
+    if (got_src != src || got_dest != rank_) {
+      throw TransportError(
+          "fork recv: misrouted frame (src " + std::to_string(got_src) +
+          " dest " + std::to_string(got_dest) + " on the rank " +
+          std::to_string(src) + " channel of rank " + std::to_string(rank_) +
+          ")");
+    }
+    if (got_tag != tag) {
+      throw TransportError("fork recv: expected tag " + std::to_string(tag) +
+                           " from rank " + std::to_string(src) + ", got " +
+                           std::to_string(got_tag));
+    }
+    if (size > kMaxMessageBytes) {
+      throw TransportError("fork recv: frame exceeds 1 GiB cap");
+    }
+    std::vector<char> payload(static_cast<std::size_t>(size));
+    read_all(fd, src, payload.data(), payload.size());
+    char trailer[4];
+    read_all(fd, src, trailer, 4);
+    if (get_u32(trailer) != io::crc32(payload.data(), payload.size())) {
+      throw TransportError("fork recv: payload CRC mismatch from rank " +
+                           std::to_string(src));
+    }
+    ++stats_.messages_received;
+    stats_.bytes_received += payload.size();
+    stats_.recv_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return payload;
+  }
+
+ private:
+  int fd_for(const char* what, int peer) const {
+    if (peer < 0 || peer >= size_ || peer == rank_ ||
+        fds_[static_cast<std::size_t>(peer)] < 0) {
+      throw TransportError(std::string(what) + ": no channel from rank " +
+                           std::to_string(rank_) + " to rank " +
+                           std::to_string(peer));
+    }
+    return fds_[static_cast<std::size_t>(peer)];
+  }
+
+  void write_all(int fd, int peer, const void* data, std::size_t size) {
+    const char* p = static_cast<const char*>(data);
+    io_loop(size, opts_, stats_, "fork send", peer,
+            [&](std::size_t off, std::size_t left) {
+              const ssize_t n = ::send(fd, p + off, left, MSG_NOSIGNAL);
+              // A 0 return from send() is not a shutdown signal; retry it
+              // as transient.
+              if (n == 0) {
+                errno = EAGAIN;
+                return static_cast<ssize_t>(-1);
+              }
+              return n;
+            });
+  }
+
+  void read_all(int fd, int peer, void* data, std::size_t size) {
+    char* p = static_cast<char*>(data);
+    io_loop(size, opts_, stats_, "fork recv", peer,
+            [&](std::size_t off, std::size_t left) {
+              return ::recv(fd, p + off, left, 0);
+            });
+  }
+
+  int rank_;
+  int size_;
+  std::vector<int> fds_;
+  ForkOptions opts_;
+};
+
+}  // namespace
+
+bool fork_backend_available() { return true; }
+
+int run_forked(const ForkOptions& opts,
+               const std::function<int(Transport&)>& fn) {
+  if (!fn) throw TransportError("run_forked: null function");
+  if (opts.ranks < 1) throw TransportError("run_forked: ranks < 1");
+  const int n = opts.ranks;
+
+  // Full mesh of socketpairs; fd[i][j] is rank i's end of the i<->j
+  // channel. Built before forking so every process inherits the mesh and
+  // closes the ends that are not its own.
+  std::vector<std::vector<int>> fd(static_cast<std::size_t>(n),
+                                   std::vector<int>(static_cast<std::size_t>(n),
+                                                    -1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        for (auto& row : fd) {
+          for (int f : row) {
+            if (f >= 0) ::close(f);
+          }
+        }
+        throw_errno("run_forked: socketpair");
+      }
+      fd[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sv[0];
+      fd[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
+    }
+  }
+
+  // Children inherit stdio buffers; flush so output is not duplicated.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  int my_rank = 0;
+  std::vector<pid_t> children;
+  for (int r = 1; r < n; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      for (pid_t c : children) ::kill(c, SIGKILL);
+      for (pid_t c : children) ::waitpid(c, nullptr, 0);
+      for (auto& row : fd) {
+        for (int f : row) {
+          if (f >= 0) ::close(f);
+        }
+      }
+      errno = err;
+      throw_errno("run_forked: fork");
+    }
+    if (pid == 0) {
+      my_rank = r;
+      children.clear();
+      break;
+    }
+    children.push_back(pid);
+  }
+
+  // Keep only this rank's row; the transport takes ownership of it.
+  for (int i = 0; i < n; ++i) {
+    if (i == my_rank) continue;
+    for (int f : fd[static_cast<std::size_t>(i)]) {
+      if (f >= 0) ::close(f);
+    }
+  }
+
+  if (my_rank != 0) {
+    int rc = 120;  // distinguishable "fn threw" default
+    try {
+      SocketTransport t(my_rank, n, std::move(fd[static_cast<std::size_t>(
+                                        my_rank)]),
+                        opts);
+      rc = fn(t);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "run_forked: rank %d: %s\n", my_rank, ex.what());
+      rc = 121;
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    // _exit: never unwind into the parent's test harness / atexit hooks.
+    ::_exit(rc & 0xff);
+  }
+
+  int rc = 0;
+  std::exception_ptr failure;
+  try {
+    SocketTransport t(0, n, std::move(fd[0]), opts);
+    rc = fn(t);
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  std::string child_failures;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    if (::waitpid(children[i], &status, 0) < 0) {
+      child_failures += " rank " + std::to_string(i + 1) + ": waitpid failed;";
+      continue;
+    }
+    if (WIFSIGNALED(status)) {
+      child_failures += " rank " + std::to_string(i + 1) + ": signal " +
+                        std::to_string(WTERMSIG(status)) + ";";
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      child_failures += " rank " + std::to_string(i + 1) + ": exit " +
+                        std::to_string(WEXITSTATUS(status)) + ";";
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+  if (!child_failures.empty()) {
+    throw TransportError("run_forked: child rank(s) failed:" + child_failures);
+  }
+  return rc;
+}
+
+#else  // !HEMOAPR_HAS_FORK
+
+bool fork_backend_available() { return false; }
+
+int run_forked(const ForkOptions&, const std::function<int(Transport&)>&) {
+  throw TransportError(
+      "run_forked: fork/socketpair backend unavailable on this platform");
+}
+
+#endif
+
+}  // namespace apr::parallel

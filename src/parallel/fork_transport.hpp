@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file fork_transport.hpp
+/// The real multi-process transport backend: `run_forked` forks one OS
+/// process per rank (the calling process becomes rank 0), wires every pair
+/// of ranks with an AF_UNIX stream socketpair, and runs the supplied
+/// function in each process against a Transport speaking a framed wire
+/// protocol:
+///
+///   [magic u32 'APRT'][tag u32][src u32][dest u32][payload size u64]
+///   [payload bytes][payload crc32 u32]
+///
+/// The receiver validates magic, addressing, size bound and CRC before
+/// returning a payload, so a torn or corrupted frame surfaces as a typed
+/// TransportError instead of silently corrupting halo state. Sends and
+/// receives carry a deadline; transient failures (EINTR, EAGAIN /
+/// socket-timeout slices) are retried with capped exponential backoff
+/// until the deadline expires. No MPI dependency is required -- this is
+/// the distributed backend the paper's §3.4-§3.6 Summit results assume,
+/// scaled to one machine.
+///
+/// On platforms without fork/socketpair the backend reports itself
+/// unavailable and `run_forked` throws; callers (tests, the smoke tool)
+/// gate on `fork_backend_available()`.
+
+#include <functional>
+
+#include "src/parallel/transport.hpp"
+
+namespace apr::parallel {
+
+/// Tuning for the fork backend's framing and robustness behaviour.
+struct ForkOptions {
+  int ranks = 2;                    ///< total processes, parent included
+  double timeout_seconds = 30.0;    ///< per send/recv deadline
+  int max_retries = 64;             ///< transient-error retries per op
+  double backoff_initial_ms = 0.5;  ///< doubles per retry, capped at 50 ms
+};
+
+/// False on builds without POSIX fork/socketpair.
+bool fork_backend_available();
+
+/// Fork `opts.ranks - 1` children and run `fn(transport)` in every process
+/// (the caller is rank 0). Children terminate via _exit with fn's return
+/// value (or a nonzero code if fn threw). Returns rank 0's fn value after
+/// every child has been reaped; throws TransportError naming the first
+/// rank that exited nonzero or died on a signal. The callable must treat
+/// the child processes as independent address spaces: captured state is
+/// copied at fork time and writes in children are invisible to the parent
+/// except through the transport.
+int run_forked(const ForkOptions& opts,
+               const std::function<int(Transport&)>& fn);
+
+}  // namespace apr::parallel

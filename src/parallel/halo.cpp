@@ -1,24 +1,35 @@
 #include "src/parallel/halo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "src/io/checkpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/parallel/packing.hpp"
+
 namespace apr::parallel {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 DistributedField::DistributedField(const BoxDecomposition& decomp,
                                    int halo_width)
     : decomp_(&decomp), halo_(halo_width) {
   if (halo_width < 0) throw std::invalid_argument("DistributedField: halo<0");
-  const Int3 dims = decomp.dims();
   stores_.resize(decomp.num_tasks());
   for (int r = 0; r < decomp.num_tasks(); ++r) {
-    const TaskBox box = decomp.task_box(r);
+    const TaskBox box = decomp.stored_box(r, halo_);
     TaskStore& s = stores_[r];
-    s.lo = {std::max(box.lo.x - halo_, 0), std::max(box.lo.y - halo_, 0),
-            std::max(box.lo.z - halo_, 0)};
-    s.hi = {std::min(box.hi.x + halo_, dims.x),
-            std::min(box.hi.y + halo_, dims.y),
-            std::min(box.hi.z + halo_, dims.z)};
+    s.lo = box.lo;
+    s.hi = box.hi;
     const long long n = static_cast<long long>(s.hi.x - s.lo.x) *
                         (s.hi.y - s.lo.y) * (s.hi.z - s.lo.z);
     s.data.assign(static_cast<std::size_t>(n), 0.0);
@@ -33,10 +44,41 @@ std::size_t DistributedField::local_index(const TaskStore& s,
          (n.x - s.lo.x);
 }
 
+bool DistributedField::locate(const TaskStore& s, const Int3& n,
+                              std::size_t* index) const {
+  const Periodic3 per = decomp_->periodic();
+  const Int3 dims = decomp_->dims();
+  // The direct coordinate plus, on periodic axes, its +-dims images:
+  // stored halo slots keep unwrapped coordinates, so a global node may
+  // alias a slot across the seam. The direct candidate is tried first.
+  int cand[3][3];
+  int ncand[3];
+  const int nv[3] = {n.x, n.y, n.z};
+  for (int a = 0; a < 3; ++a) {
+    ncand[a] = 0;
+    cand[a][ncand[a]++] = nv[a];
+    if (per[a]) {
+      cand[a][ncand[a]++] = nv[a] - dims[a];
+      cand[a][ncand[a]++] = nv[a] + dims[a];
+    }
+  }
+  for (int k = 0; k < ncand[2]; ++k) {
+    for (int j = 0; j < ncand[1]; ++j) {
+      for (int i = 0; i < ncand[0]; ++i) {
+        const Int3 c{cand[0][i], cand[1][j], cand[2][k]};
+        if (c.x >= s.lo.x && c.x < s.hi.x && c.y >= s.lo.y && c.y < s.hi.y &&
+            c.z >= s.lo.z && c.z < s.hi.z) {
+          if (index != nullptr) *index = local_index(s, c);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
 bool DistributedField::stores(int rank, const Int3& n) const {
-  const TaskStore& s = stores_.at(rank);
-  return n.x >= s.lo.x && n.x < s.hi.x && n.y >= s.lo.y && n.y < s.hi.y &&
-         n.z >= s.lo.z && n.z < s.hi.z;
+  return locate(stores_.at(rank), n, nullptr);
 }
 
 bool DistributedField::owns(int rank, const Int3& n) const {
@@ -45,42 +87,248 @@ bool DistributedField::owns(int rank, const Int3& n) const {
 
 double& DistributedField::at(int rank, const Int3& n) {
   TaskStore& s = stores_.at(rank);
-  if (!stores(rank, n)) {
+  std::size_t idx = 0;
+  if (!locate(s, n, &idx)) {
     throw std::out_of_range("DistributedField: node not stored by rank");
   }
-  return s.data[local_index(s, n)];
+  return s.data[idx];
 }
 
 double DistributedField::at(int rank, const Int3& n) const {
   const TaskStore& s = stores_.at(rank);
-  if (!stores(rank, n)) {
+  std::size_t idx = 0;
+  if (!locate(s, n, &idx)) {
     throw std::out_of_range("DistributedField: node not stored by rank");
   }
-  return s.data[local_index(s, n)];
+  return s.data[idx];
+}
+
+void DistributedField::ensure_plans() {
+  if (plans_built_) return;
+  const int tasks = decomp_->num_tasks();
+  plans_.assign(static_cast<std::size_t>(tasks), {});
+  for (int r = 0; r < tasks; ++r) {
+    const HaloPlan plan = build_halo_plan(*decomp_, halo_, r);
+    RankPlan& rp = plans_[r];
+    rp.recv.reserve(plan.by_owner.size());
+    for (const auto& peer : plan.by_owner) {
+      PeerPlan pp;
+      pp.peer = peer.peer;
+      pp.src_slots.reserve(peer.nodes.size());
+      pp.dst_slots.reserve(peer.nodes.size());
+      const TaskStore& src = stores_.at(peer.peer);
+      const TaskStore& dst = stores_.at(r);
+      for (const Int3& node : peer.nodes) {
+        pp.src_slots.push_back(local_index(src, decomp_->wrap(node)));
+        pp.dst_slots.push_back(local_index(dst, node));
+      }
+      rp.recv.push_back(std::move(pp));
+    }
+  }
+  for (int r = 0; r < tasks; ++r) {
+    for (const PeerPlan& pp : plans_[r].recv) {
+      if (pp.peer != r) plans_[pp.peer].send_to.push_back(r);
+    }
+  }
+  for (int r = 0; r < tasks; ++r) {
+    auto& st = plans_[r].send_to;
+    std::sort(st.begin(), st.end());
+    // The halo relation must be symmetric (equal halo widths both ways);
+    // the pairwise wire protocol relies on it.
+    std::vector<int> recv_peers;
+    for (const PeerPlan& pp : plans_[r].recv) {
+      if (pp.peer != r) recv_peers.push_back(pp.peer);
+    }
+    if (st != recv_peers) {
+      throw std::logic_error(
+          "DistributedField: asymmetric halo relation (internal error)");
+    }
+  }
+  plans_built_ = true;
+}
+
+std::vector<char> DistributedField::pack_halo(int owner, int receiver) const {
+  const_cast<DistributedField*>(this)->ensure_plans();
+  const RankPlan& rp = plans_.at(receiver);
+  const PeerPlan* pp = nullptr;
+  for (const PeerPlan& cand : rp.recv) {
+    if (cand.peer == owner) {
+      pp = &cand;
+      break;
+    }
+  }
+  io::BufWriter w;
+  w.pod(static_cast<std::uint32_t>(owner));
+  w.pod(static_cast<std::uint32_t>(receiver));
+  w.pod(static_cast<std::uint32_t>(halo_));
+  const std::size_t count = pp == nullptr ? 0 : pp->src_slots.size();
+  w.pod(static_cast<std::uint64_t>(count));
+  if (pp != nullptr) {
+    const TaskStore& src = stores_.at(owner);
+    for (std::size_t slot : pp->src_slots) {
+      w.pod(src.data[slot]);
+    }
+  }
+  io::Checkpoint msg;
+  msg.add(kHaloSectionTag, w.take());
+  return msg.to_bytes();
+}
+
+std::size_t DistributedField::unpack_halo(int receiver,
+                                          const std::vector<char>& message) {
+  ensure_plans();
+  const io::Checkpoint msg =
+      io::Checkpoint::from_bytes(message, "halo message");
+  if (msg.tags() != std::vector<std::uint32_t>{kHaloSectionTag}) {
+    throw TransportError("halo message: unexpected section layout");
+  }
+  io::BufReader r(msg.section(kHaloSectionTag), "halo slab");
+  const auto owner = static_cast<int>(r.pod<std::uint32_t>());
+  const auto to = static_cast<int>(r.pod<std::uint32_t>());
+  const auto width = static_cast<int>(r.pod<std::uint32_t>());
+  if (owner < 0 || owner >= decomp_->num_tasks()) {
+    throw TransportError("halo message: owner rank out of range");
+  }
+  if (to != receiver) {
+    throw TransportError("halo message: addressed to rank " +
+                         std::to_string(to) + ", expected " +
+                         std::to_string(receiver));
+  }
+  if (width != halo_) {
+    throw TransportError("halo message: halo width mismatch");
+  }
+  const auto count = r.pod<std::uint64_t>();
+  const RankPlan& rp = plans_.at(receiver);
+  const PeerPlan* pp = nullptr;
+  for (const PeerPlan& cand : rp.recv) {
+    if (cand.peer == owner) {
+      pp = &cand;
+      break;
+    }
+  }
+  const std::size_t expected = pp == nullptr ? 0 : pp->dst_slots.size();
+  if (count != expected) {
+    throw TransportError("halo message: slot count " + std::to_string(count) +
+                         " does not match the receiver plan (" +
+                         std::to_string(expected) + ")");
+  }
+  TaskStore& dst = stores_.at(receiver);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dst.data[pp->dst_slots[static_cast<std::size_t>(i)]] = r.pod<double>();
+  }
+  r.expect_end();
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t DistributedField::copy_self_wrap(int rank) {
+  std::size_t moved = 0;
+  TaskStore& s = stores_.at(rank);
+  for (const PeerPlan& pp : plans_.at(rank).recv) {
+    if (pp.peer != rank) continue;
+    for (std::size_t i = 0; i < pp.src_slots.size(); ++i) {
+      s.data[pp.dst_slots[i]] = s.data[pp.src_slots[i]];
+      ++moved;
+    }
+  }
+  return moved;
 }
 
 std::size_t DistributedField::exchange() {
+  OBS_SPAN("parallel", "halo_exchange");
+  ensure_plans();
+  const int tasks = decomp_->num_tasks();
+  if (!hub_ || hub_->size() != tasks) {
+    hub_ = std::make_unique<LoopbackHub>(tasks);
+  }
+  const auto t_all = std::chrono::steady_clock::now();
+  rank_seconds_.assign(static_cast<std::size_t>(tasks), 0.0);
   std::size_t moved = 0;
-  // For every rank, pull halo values from the owner -- semantically the
-  // same data movement as paired MPI sends/receives.
-  for (int r = 0; r < decomp_->num_tasks(); ++r) {
-    const TaskBox own = decomp_->task_box(r);
-    TaskStore& s = stores_[r];
-    for (int z = s.lo.z; z < s.hi.z; ++z) {
-      for (int y = s.lo.y; y < s.hi.y; ++y) {
-        for (int x = s.lo.x; x < s.hi.x; ++x) {
-          const Int3 n{x, y, z};
-          if (own.contains(n)) continue;  // owned, not halo
-          const int owner = decomp_->rank_of_node(n);
-          s.data[local_index(s, n)] =
-              stores_[owner].data[local_index(stores_[owner], n)];
-          ++moved;
-        }
-      }
+  std::uint64_t msgs = 0;
+  // Phase A: every rank resolves its periodic self-wrap slots locally and
+  // ships one packed slab per remote receiver.
+  for (int r = 0; r < tasks; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    moved += copy_self_wrap(r);
+    for (int rcv : plans_[r].send_to) {
+      hub_->endpoint(r).send(rcv, kHaloMessageTag, pack_halo(r, rcv));
+      ++msgs;
+    }
+    rank_seconds_[static_cast<std::size_t>(r)] += seconds_since(t0);
+  }
+  // Phase B: every rank drains its inbound slabs into its halo shell.
+  for (int r = 0; r < tasks; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const PeerPlan& pp : plans_[r].recv) {
+      if (pp.peer == r) continue;
+      moved += unpack_halo(
+          r, hub_->endpoint(r).recv(pp.peer, kHaloMessageTag));
+    }
+    rank_seconds_[static_cast<std::size_t>(r)] += seconds_since(t0);
+  }
+  record_exchange(moved, msgs, seconds_since(t_all));
+  return moved;
+}
+
+std::size_t DistributedField::exchange(Transport& t) {
+  OBS_SPAN("parallel", "halo_exchange_transport");
+  ensure_plans();
+  if (t.size() != decomp_->num_tasks()) {
+    throw TransportError(
+        "DistributedField::exchange: transport world size " +
+        std::to_string(t.size()) + " != task count " +
+        std::to_string(decomp_->num_tasks()));
+  }
+  const int rank = t.rank();
+  const auto t0 = std::chrono::steady_clock::now();
+  rank_seconds_.assign(static_cast<std::size_t>(decomp_->num_tasks()), 0.0);
+  std::size_t moved = copy_self_wrap(rank);
+  std::uint64_t msgs = 0;
+  // Symmetric pairwise sweep: ascending peers, lower rank sends first.
+  for (int p : plans_.at(rank).send_to) {
+    if (rank < p) {
+      t.send(p, kHaloMessageTag, pack_halo(rank, p));
+      ++msgs;
+      moved += unpack_halo(rank, t.recv(p, kHaloMessageTag));
+    } else {
+      moved += unpack_halo(rank, t.recv(p, kHaloMessageTag));
+      t.send(p, kHaloMessageTag, pack_halo(rank, p));
+      ++msgs;
     }
   }
-  bytes_ += moved * sizeof(double);
+  const double dt = seconds_since(t0);
+  rank_seconds_[static_cast<std::size_t>(rank)] = dt;
+  record_exchange(moved, msgs, dt);
   return moved;
+}
+
+void DistributedField::record_exchange(std::size_t moved,
+                                       std::uint64_t sent_messages,
+                                       double seconds) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(moved) * sizeof(double);
+  bytes_ += bytes;
+  messages_ += sent_messages;
+  ++exchanges_;
+  last_seconds_ = seconds;
+  if (metrics_ != nullptr) {
+    metrics_->add_counter("parallel.exchange.bytes", bytes);
+    metrics_->add_counter("parallel.exchange.messages", sent_messages);
+    metrics_->add_counter("parallel.exchange.count");
+    metrics_->observe("parallel.exchange.seconds", seconds);
+  }
+}
+
+std::uint64_t DistributedField::store_digest(int rank) const {
+  const TaskStore& s = stores_.at(rank);
+  io::Fnv1a h;
+  h.update_pod(s.lo.x);
+  h.update_pod(s.lo.y);
+  h.update_pod(s.lo.z);
+  h.update_pod(s.hi.x);
+  h.update_pod(s.hi.y);
+  h.update_pod(s.hi.z);
+  h.update(s.data.data(), s.data.size() * sizeof(double));
+  return h.value();
 }
 
 }  // namespace apr::parallel

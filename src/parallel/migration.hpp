@@ -77,4 +77,19 @@ ForcePolicyCost force_policy_cost(
 std::size_t count_migrations(const std::vector<CellAssignment>& before,
                              const std::vector<CellAssignment>& after);
 
+/// One cell changing owner between two assignment snapshots.
+struct MigrationStep {
+  std::size_t cell = 0;  ///< index into the snapshot vectors
+  int from = -1;
+  int to = -1;
+};
+
+/// The explicit migration list behind count_migrations: which cell moves
+/// where, in ascending cell order. Feeds the pack -> transport -> unpack
+/// cell-migration path (parallel::migrate_cells), which ships each
+/// migrating cell's serialized state between the two ranks.
+std::vector<MigrationStep> migration_plan(
+    const std::vector<CellAssignment>& before,
+    const std::vector<CellAssignment>& after);
+
 }  // namespace apr::parallel

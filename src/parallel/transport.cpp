@@ -1,0 +1,109 @@
+#include "src/parallel/transport.hpp"
+
+#include <chrono>
+#include <deque>
+#include <string>
+
+namespace apr::parallel {
+
+namespace {
+
+struct Mail {
+  int src = -1;
+  int tag = 0;
+  std::vector<char> payload;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+struct LoopbackHub::Impl {
+  class Endpoint;
+  int size = 0;
+  std::vector<std::deque<Mail>> mailboxes;  // indexed by destination
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+
+  class Endpoint final : public Transport {
+   public:
+    Endpoint(Impl* hub, int rank) : hub_(hub), rank_(rank) {}
+
+    int rank() const override { return rank_; }
+    int size() const override { return hub_->size; }
+    const char* backend() const override { return "loopback"; }
+
+    void send(int dest, int tag, const std::vector<char>& payload) override {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (dest < 0 || dest >= hub_->size) {
+        throw TransportError("loopback send: bad destination rank " +
+                             std::to_string(dest));
+      }
+      hub_->mailboxes[dest].push_back(Mail{rank_, tag, payload});
+      ++stats_.messages_sent;
+      stats_.bytes_sent += payload.size();
+      stats_.send_seconds += seconds_since(t0);
+    }
+
+    std::vector<char> recv(int src, int tag) override {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (src < 0 || src >= hub_->size) {
+        throw TransportError("loopback recv: bad source rank " +
+                             std::to_string(src));
+      }
+      auto& box = hub_->mailboxes[rank_];
+      for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->src != src || it->tag != tag) continue;
+        std::vector<char> payload = std::move(it->payload);
+        box.erase(it);
+        ++stats_.messages_received;
+        stats_.bytes_received += payload.size();
+        stats_.recv_seconds += seconds_since(t0);
+        return payload;
+      }
+      // Single-threaded: nothing else can enqueue, so blocking would hang
+      // forever. Surface the ordering bug instead.
+      throw TransportError(
+          "loopback recv: no message from rank " + std::to_string(src) +
+          " tag " + std::to_string(tag) + " for rank " +
+          std::to_string(rank_) +
+          " (in-process protocol requires sends before receives)");
+    }
+
+   private:
+    Impl* hub_;
+    int rank_;
+  };
+};
+
+LoopbackHub::LoopbackHub(int size) : impl_(new Impl) {
+  if (size < 1) throw TransportError("LoopbackHub: size < 1");
+  impl_->size = size;
+  impl_->mailboxes.resize(static_cast<std::size_t>(size));
+  impl_->endpoints.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    impl_->endpoints.push_back(
+        std::make_unique<Impl::Endpoint>(impl_.get(), r));
+  }
+}
+
+LoopbackHub::~LoopbackHub() = default;
+
+int LoopbackHub::size() const { return impl_->size; }
+
+Transport& LoopbackHub::endpoint(int rank) {
+  if (rank < 0 || rank >= impl_->size) {
+    throw TransportError("LoopbackHub: bad rank " + std::to_string(rank));
+  }
+  return *impl_->endpoints[static_cast<std::size_t>(rank)];
+}
+
+std::size_t LoopbackHub::pending() const {
+  std::size_t n = 0;
+  for (const auto& box : impl_->mailboxes) n += box.size();
+  return n;
+}
+
+}  // namespace apr::parallel

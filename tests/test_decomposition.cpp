@@ -144,5 +144,78 @@ TEST(BoxDecomposition, RankOfNodeRejectsOutOfRange) {
   EXPECT_THROW(d.task_box(5), std::out_of_range);
 }
 
+TEST(BoxDecomposition, NeighborsHonorHaloWidthOnThinBlocks) {
+  // Regression: neighbors() used to ignore halo_width entirely. With
+  // 1-node-thick blocks a width-2 halo reaches two blocks away.
+  const BoxDecomposition d({4, 1, 1}, 4);
+  ASSERT_EQ(d.task_grid(), (Int3{4, 1, 1}));
+  EXPECT_EQ(d.neighbors(0, 1), (std::vector<int>{1}));
+  EXPECT_EQ(d.neighbors(0, 2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.neighbors(1, 2), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(d.neighbors(3, 2), (std::vector<int>{1, 2}));
+}
+
+TEST(BoxDecomposition, ZeroHaloWidthMeansNoNeighbors) {
+  const BoxDecomposition d({16, 16, 16}, 8);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_TRUE(d.neighbors(r, 0).empty());
+  }
+  EXPECT_THROW(d.neighbors(0, -1), std::invalid_argument);
+}
+
+TEST(BoxDecomposition, PeriodicNeighborsWrapAroundSeam) {
+  const BoxDecomposition d({4, 1, 1}, 4, Periodic3{true, false, false});
+  EXPECT_EQ(d.neighbors(0, 1), (std::vector<int>{1, 3}));
+  EXPECT_EQ(d.neighbors(0, 2), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(d.neighbors(3, 1), (std::vector<int>{0, 2}));
+}
+
+TEST(BoxDecomposition, PeriodicNeighborsStaySymmetric) {
+  const BoxDecomposition d({12, 10, 8}, 8, Periodic3{true, true, true});
+  for (int r = 0; r < d.num_tasks(); ++r) {
+    for (int w : {1, 2}) {
+      for (int n : d.neighbors(r, w)) {
+        const auto back = d.neighbors(n, w);
+        EXPECT_NE(std::find(back.begin(), back.end(), r), back.end())
+            << "rank " << r << " width " << w << " peer " << n;
+      }
+    }
+  }
+}
+
+TEST(BoxDecomposition, WrapNormalizesPeriodicAxesOnly) {
+  const BoxDecomposition d({10, 10, 10}, 2, Periodic3{true, false, true});
+  EXPECT_EQ(d.wrap({-1, 3, 12}), (Int3{9, 3, 2}));
+  EXPECT_EQ(d.wrap({23, -4, 5}), (Int3{3, -4, 5}));
+  EXPECT_EQ(d.wrap({4, 5, 6}), (Int3{4, 5, 6}));
+}
+
+TEST(BoxDecomposition, PeriodicRankOfNodeWrapsAcrossSeam) {
+  const BoxDecomposition periodic({4, 1, 1}, 4, Periodic3{true, false, false});
+  EXPECT_EQ(periodic.rank_of_node({-1, 0, 0}), 3);
+  EXPECT_EQ(periodic.rank_of_node({4, 0, 0}), 0);
+  const BoxDecomposition open({4, 1, 1}, 4);
+  EXPECT_THROW(open.rank_of_node({-1, 0, 0}), std::out_of_range);
+  EXPECT_THROW(open.rank_of_node({4, 0, 0}), std::out_of_range);
+}
+
+TEST(BoxDecomposition, StoredBoxClipsOnlyNonPeriodicAxes) {
+  const BoxDecomposition d({10, 10, 10}, 1, Periodic3{true, false, false});
+  const TaskBox s = d.stored_box(0, 2);
+  EXPECT_EQ(s.lo, (Int3{-2, 0, 0}));
+  EXPECT_EQ(s.hi, (Int3{12, 10, 10}));
+  EXPECT_THROW(d.stored_box(0, -1), std::invalid_argument);
+}
+
+TEST(BoxDecomposition, PeriodicSingleTaskHasSelfHalo) {
+  // Fully periodic single task still needs seam copies: its stored shell
+  // wraps onto its own interior.
+  const BoxDecomposition d({10, 10, 10}, 1, Periodic3{true, true, true});
+  EXPECT_EQ(d.halo_volume(0, 2), 14LL * 14 * 14 - 10LL * 10 * 10);
+  // Non-periodic twin keeps the historical zero.
+  const BoxDecomposition open({10, 10, 10}, 1);
+  EXPECT_EQ(open.halo_volume(0, 2), 0);
+}
+
 }  // namespace
 }  // namespace apr::parallel

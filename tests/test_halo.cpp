@@ -195,5 +195,66 @@ TEST(DistributedField, IterativeStencilMatchesSerial) {
   }
 }
 
+TEST(DistributedField, PeriodicExchangeWrapsAcrossSeam) {
+  // Mirror of ExchangeFillsHalosWithOwnerValues on a fully periodic
+  // lattice: every stored slot -- including unwrapped halo coordinates
+  // beyond the seam -- must carry the owner's value for the wrapped node.
+  const Int3 dims{10, 10, 10};
+  const BoxDecomposition d(dims, 8, Periodic3{true, true, true});
+  DistributedField f(d, 2);
+  f.fill_owned(field_fn);
+  f.exchange();
+  for (int r = 0; r < d.num_tasks(); ++r) {
+    const TaskBox store = d.stored_box(r, 2);
+    for (int z = store.lo.z; z < store.hi.z; ++z) {
+      for (int y = store.lo.y; y < store.hi.y; ++y) {
+        for (int x = store.lo.x; x < store.hi.x; ++x) {
+          const Int3 n{x, y, z};
+          EXPECT_EQ(f.at(r, n), field_fn(d.wrap(n)))
+              << "rank " << r << " node " << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedField, PeriodicHaloIsStaleBeforeExchange) {
+  const BoxDecomposition d({8, 8, 8}, 2, Periodic3{true, true, true});
+  DistributedField f(d, 1);
+  f.fill_owned([](const Int3&) { return 5.0; });
+  // One node below rank 0's owned box on the split axis lies beyond the
+  // seam (unwrapped coordinate is negative on some axis).
+  const TaskBox b0 = d.task_box(0);
+  const Int3 below{b0.lo.x - 1, b0.lo.y - 1, b0.lo.z - 1};
+  ASSERT_TRUE(f.stores(0, below));
+  ASSERT_FALSE(f.owns(0, below));
+  EXPECT_EQ(f.at(0, below), 0.0);
+  f.exchange();
+  EXPECT_EQ(f.at(0, below), 5.0);
+}
+
+TEST(DistributedField, PeriodicSingleTaskSelfExchange) {
+  // A fully periodic single task exchanges with itself across the seam.
+  const BoxDecomposition d({6, 6, 6}, 1, Periodic3{true, true, true});
+  DistributedField f(d, 1);
+  f.fill_owned(field_fn);
+  const std::size_t moved = f.exchange();
+  EXPECT_EQ(static_cast<long long>(moved), d.halo_volume(0, 1));
+  // The slot one node past the upper x face aliases column x = 0.
+  EXPECT_EQ(f.at(0, {6, 3, 3}), field_fn({0, 3, 3}));
+  EXPECT_EQ(f.at(0, {-1, 3, 3}), field_fn({5, 3, 3}));
+}
+
+TEST(DistributedField, PeriodicByteCountMatchesHaloVolume) {
+  const BoxDecomposition d({12, 12, 12}, 8, Periodic3{true, true, true});
+  DistributedField f(d, 1);
+  f.fill_owned(field_fn);
+  const std::size_t moved = f.exchange();
+  long long expected = 0;
+  for (int r = 0; r < d.num_tasks(); ++r) expected += d.halo_volume(r, 1);
+  EXPECT_EQ(static_cast<long long>(moved), expected);
+  EXPECT_EQ(f.bytes_exchanged(), moved * sizeof(double));
+}
+
 }  // namespace
 }  // namespace apr::parallel

@@ -109,5 +109,88 @@ TEST(Migration, AdvectedCellEventuallyMigrates) {
   EXPECT_LE(migrations, 3);
 }
 
+TEST(CellAssignment, FaceBoundaryPointHasExactlyOneOwner) {
+  // A centroid exactly on the plane between two blocks must resolve to
+  // exactly one owner, the same one rank_of_node picks for the rounded
+  // node. Power-of-two spacing keeps the face coordinates exact in FP.
+  const Int3 dims{16, 16, 16};
+  const BoxDecomposition d(dims, 8);
+  const double dx = 0.5;
+  const SpatialDecomposition sd(d, Vec3{}, dx);
+  const Int3 grid = d.task_grid();
+  ASSERT_EQ(grid, (Int3{2, 2, 2}));
+  // Block 0 owns nodes x in [0, 8); the plane between node 7 and node 8
+  // is at x = 7.5 * dx. floor(7.5 + 0.5) = 8, so the face point rounds
+  // deterministically to the upper block.
+  const Vec3 face{7.5 * dx, 2.0 * dx, 2.0 * dx};
+  const int owner = sd.owner_of(face);
+  EXPECT_EQ(owner, d.rank_of_node({8, 2, 2}));
+  // Nudging off the face by half a node spacing flips/keeps the owner
+  // consistently with the rounding rule.
+  EXPECT_EQ(sd.owner_of({7.4 * dx, 2.0 * dx, 2.0 * dx}),
+            d.rank_of_node({7, 2, 2}));
+  EXPECT_EQ(sd.owner_of({7.6 * dx, 2.0 * dx, 2.0 * dx}),
+            d.rank_of_node({8, 2, 2}));
+
+  // A small cell sitting on the face: exactly one owner, the lower block
+  // holds it as a halo cell, and the owner never appears in halo_tasks.
+  const auto a = sd.assign(face, Aabb::cube(face, dx), dx / 2.0);
+  EXPECT_EQ(a.owner, owner);
+  EXPECT_EQ(std::count(a.halo_tasks.begin(), a.halo_tasks.end(), a.owner), 0);
+  EXPECT_NE(std::find(a.halo_tasks.begin(), a.halo_tasks.end(),
+                      d.rank_of_node({7, 2, 2})),
+            a.halo_tasks.end());
+  // Deterministic halo membership: re-running the assignment is identical.
+  const auto b = sd.assign(face, Aabb::cube(face, dx), dx / 2.0);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.halo_tasks, b.halo_tasks);
+}
+
+TEST(ForcePolicy, EmptySnapshotsCostNothing) {
+  const auto cost = force_policy_cost({}, 642, 1000);
+  EXPECT_EQ(cost.communicate_bytes, 0u);
+  EXPECT_EQ(cost.recompute_flops, 0u);
+  EXPECT_EQ(cost.halo_copies, 0u);
+}
+
+TEST(ForcePolicy, ZeroVertexCellsSendNoBytes) {
+  std::vector<CellAssignment> assigns(1);
+  assigns[0].owner = 0;
+  assigns[0].halo_tasks = {1, 2};
+  const auto cost = force_policy_cost(assigns, 0, 0);
+  EXPECT_EQ(cost.communicate_bytes, 0u);
+  EXPECT_EQ(cost.recompute_flops, 0u);
+  EXPECT_EQ(cost.halo_copies, 2u);
+}
+
+TEST(Migration, EmptySnapshotsHaveNoMigrations) {
+  EXPECT_EQ(count_migrations({}, {}), 0u);
+  EXPECT_TRUE(migration_plan({}, {}).empty());
+}
+
+TEST(Migration, PlanListsEveryOwnerChange) {
+  std::vector<CellAssignment> before(4);
+  std::vector<CellAssignment> after(4);
+  before[0].owner = 0;
+  after[0].owner = 0;
+  before[1].owner = 0;
+  after[1].owner = 1;
+  before[2].owner = 2;
+  after[2].owner = 3;
+  before[3].owner = 1;
+  after[3].owner = 1;
+  const auto plan = migration_plan(before, after);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].cell, 1u);
+  EXPECT_EQ(plan[0].from, 0);
+  EXPECT_EQ(plan[0].to, 1);
+  EXPECT_EQ(plan[1].cell, 2u);
+  EXPECT_EQ(plan[1].from, 2);
+  EXPECT_EQ(plan[1].to, 3);
+  EXPECT_EQ(plan.size(), count_migrations(before, after));
+  EXPECT_THROW(migration_plan(before, std::vector<CellAssignment>(2)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace apr::parallel

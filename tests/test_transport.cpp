@@ -1,0 +1,381 @@
+/// Transport-layer tests: loopback semantics, message packing integrity,
+/// the fork/socketpair backend, and the cross-backend bit-equality
+/// contract (the same decomposition driven over loopback and over real
+/// processes must produce byte-identical distributed state).
+
+#include "src/parallel/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/io/checkpoint.hpp"
+#include "src/parallel/fork_transport.hpp"
+#include "src/parallel/halo.hpp"
+#include "src/parallel/packing.hpp"
+
+namespace apr::parallel {
+namespace {
+
+std::vector<char> bytes_of(const std::string& s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+TEST(LoopbackTransport, RoundTripPreservesPayload) {
+  LoopbackHub hub(2);
+  const auto payload = bytes_of("halo slab");
+  hub.endpoint(0).send(1, 7, payload);
+  EXPECT_EQ(hub.pending(), 1u);
+  const auto got = hub.endpoint(1).recv(0, 7);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(hub.pending(), 0u);
+  EXPECT_STREQ(hub.endpoint(0).backend(), "loopback");
+}
+
+TEST(LoopbackTransport, PerSourceStreamsAreFifo) {
+  LoopbackHub hub(3);
+  hub.endpoint(0).send(2, 1, bytes_of("a"));
+  hub.endpoint(1).send(2, 1, bytes_of("x"));
+  hub.endpoint(0).send(2, 1, bytes_of("b"));
+  // Streams are FIFO per (src, tag); different sources are independent.
+  EXPECT_EQ(hub.endpoint(2).recv(1, 1), bytes_of("x"));
+  EXPECT_EQ(hub.endpoint(2).recv(0, 1), bytes_of("a"));
+  EXPECT_EQ(hub.endpoint(2).recv(0, 1), bytes_of("b"));
+}
+
+TEST(LoopbackTransport, TagsSelectMessageStreams) {
+  LoopbackHub hub(2);
+  hub.endpoint(0).send(1, kHaloMessageTag, bytes_of("halo"));
+  hub.endpoint(0).send(1, kMigrationMessageTag, bytes_of("cells"));
+  EXPECT_EQ(hub.endpoint(1).recv(0, kMigrationMessageTag), bytes_of("cells"));
+  EXPECT_EQ(hub.endpoint(1).recv(0, kHaloMessageTag), bytes_of("halo"));
+}
+
+TEST(LoopbackTransport, MissingMessageThrowsInsteadOfDeadlocking) {
+  LoopbackHub hub(2);
+  EXPECT_THROW(hub.endpoint(1).recv(0, 7), TransportError);
+  hub.endpoint(0).send(1, 7, bytes_of("late"));
+  EXPECT_THROW(hub.endpoint(1).recv(0, 8), TransportError);  // wrong tag
+  EXPECT_THROW(hub.endpoint(1).recv(1, 7), TransportError);  // wrong src
+  EXPECT_EQ(hub.endpoint(1).recv(0, 7), bytes_of("late"));
+}
+
+TEST(LoopbackTransport, RejectsUnknownPeers) {
+  LoopbackHub hub(2);
+  EXPECT_THROW(hub.endpoint(0).send(2, 0, {}), TransportError);
+  EXPECT_THROW(hub.endpoint(0).send(-1, 0, {}), TransportError);
+  EXPECT_THROW(hub.endpoint(2), TransportError);
+}
+
+TEST(LoopbackTransport, StatsCountPayloadTraffic) {
+  LoopbackHub hub(2);
+  hub.endpoint(0).send(1, 3, bytes_of("12345"));
+  hub.endpoint(1).recv(0, 3);
+  EXPECT_EQ(hub.endpoint(0).stats().messages_sent, 1u);
+  EXPECT_EQ(hub.endpoint(0).stats().bytes_sent, 5u);
+  EXPECT_EQ(hub.endpoint(1).stats().messages_received, 1u);
+  EXPECT_EQ(hub.endpoint(1).stats().bytes_received, 5u);
+  hub.endpoint(0).reset_stats();
+  EXPECT_EQ(hub.endpoint(0).stats().messages_sent, 0u);
+}
+
+TEST(Packing, CellMessagesRoundTrip) {
+  std::vector<CellMessage> cells(2);
+  cells[0].id = 42;
+  cells[0].bytes = bytes_of("vertex state A");
+  cells[1].id = 7;
+  cells[1].bytes = bytes_of("B");
+  const auto packed = pack_cells(3, 5, cells);
+  const auto got = unpack_cells(3, 5, packed);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 42u);
+  EXPECT_EQ(got[0].bytes, cells[0].bytes);
+  EXPECT_EQ(got[1].id, 7u);
+  EXPECT_EQ(got[1].bytes, cells[1].bytes);
+  // Empty shipments are legal (frame-alignment padding between peers).
+  EXPECT_TRUE(unpack_cells(0, 1, pack_cells(0, 1, {})).empty());
+}
+
+TEST(Packing, CorruptedCellMessageIsRejected) {
+  auto packed = pack_cells(0, 1, {{9, bytes_of("payload")}});
+  // Addressing mismatch: typed TransportError.
+  EXPECT_THROW(unpack_cells(1, 0, packed), TransportError);
+  // Bit flip inside the container payload: the section CRC catches it.
+  packed[packed.size() / 2] ^= 0x20;
+  EXPECT_THROW(unpack_cells(0, 1, packed), io::CheckpointError);
+  // Truncation: framing validation catches it.
+  auto truncated = pack_cells(0, 1, {{9, bytes_of("payload")}});
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(unpack_cells(0, 1, truncated), io::CheckpointError);
+}
+
+TEST(Packing, HaloPlanCoversExactlyTheHaloShell) {
+  const BoxDecomposition d({12, 10, 8}, 4, Periodic3{true, true, true});
+  for (int r = 0; r < d.num_tasks(); ++r) {
+    const HaloPlan plan = build_halo_plan(d, 2, r);
+    EXPECT_EQ(static_cast<long long>(plan.total_slots()), d.halo_volume(r, 2));
+    int prev = -1;
+    for (const auto& peer : plan.by_owner) {
+      EXPECT_GT(peer.peer, prev);  // ascending, no duplicates
+      prev = peer.peer;
+      for (const Int3& n : peer.nodes) {
+        EXPECT_EQ(d.rank_of_node(n), peer.peer);
+        EXPECT_FALSE(d.task_box(r).contains(n));
+      }
+    }
+  }
+}
+
+TEST(Packing, HaloMessagesValidateAddressing) {
+  const BoxDecomposition d({8, 8, 8}, 2);
+  DistributedField f(d, 1);
+  f.fill_owned([](const Int3& n) { return n.x + 0.5; });
+  const auto msg = f.pack_halo(0, 1);
+  // Delivered to the wrong rank: rejected before any state is touched.
+  EXPECT_THROW(f.unpack_halo(0, msg), TransportError);
+  auto corrupted = msg;
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  EXPECT_THROW(f.unpack_halo(1, corrupted), io::CheckpointError);
+  EXPECT_GT(f.unpack_halo(1, msg), 0u);
+}
+
+TEST(Packing, LoopbackCellMigrationRoundTrip) {
+  LoopbackHub hub(2);
+  std::map<int, std::vector<CellMessage>> out0;
+  out0[1] = {{100, bytes_of("cell-100")}, {101, bytes_of("cell-101")}};
+  std::map<int, std::vector<CellMessage>> out1;
+  out1[0] = {{200, bytes_of("cell-200")}};
+  // Two-phase drive: both ranks send, then both collect.
+  send_cells(hub.endpoint(0), {1}, out0);
+  send_cells(hub.endpoint(1), {0}, out1);
+  const auto in0 = recv_cells(hub.endpoint(0), {1});
+  const auto in1 = recv_cells(hub.endpoint(1), {0});
+  ASSERT_EQ(in0.size(), 1u);
+  EXPECT_EQ(in0[0].from, 1);
+  EXPECT_EQ(in0[0].cell.id, 200u);
+  ASSERT_EQ(in1.size(), 2u);
+  EXPECT_EQ(in1[0].cell.id, 100u);
+  EXPECT_EQ(in1[1].cell.id, 101u);
+  EXPECT_EQ(hub.pending(), 0u);
+  // Shipping to a rank outside the peer list is a caller bug.
+  std::map<int, std::vector<CellMessage>> bad;
+  bad[1] = {{1, {}}};
+  EXPECT_THROW(send_cells(hub.endpoint(0), {}, bad), TransportError);
+}
+
+TEST(ForkTransport, PingPongAcrossProcesses) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 2;
+  const int rc = run_forked(opts, [](Transport& t) {
+    if (std::string(t.backend()) != "fork") return 10;
+    if (t.rank() == 0) {
+      t.send(1, 5, bytes_of("ping"));
+      if (t.recv(1, 5) != bytes_of("pong")) return 11;
+      if (t.stats().messages_sent != 1 || t.stats().bytes_received != 4)
+        return 12;
+    } else {
+      if (t.recv(0, 5) != bytes_of("ping")) return 13;
+      t.send(0, 5, bytes_of("pong"));
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(ForkTransport, FullMeshPairwiseExchange) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 4;
+  const int rc = run_forked(opts, [](Transport& t) {
+    std::vector<int> peers;
+    std::map<int, std::vector<char>> out;
+    for (int p = 0; p < t.size(); ++p) {
+      if (p == t.rank()) continue;
+      peers.push_back(p);
+      out[p] = bytes_of(std::to_string(t.rank()) + "->" + std::to_string(p));
+    }
+    const auto in = pairwise_exchange(t, peers, 9, out);
+    for (int p : peers) {
+      const auto expect =
+          bytes_of(std::to_string(p) + "->" + std::to_string(t.rank()));
+      if (in.at(p) != expect) return 20 + p;
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(ForkTransport, ChildFailurePropagates) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 2;
+  try {
+    run_forked(opts, [](Transport& t) { return t.rank() == 1 ? 3 : 0; });
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+  }
+}
+
+TEST(ForkTransport, RecvFromSilentPeerTimesOut) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 2;
+  opts.timeout_seconds = 0.3;
+  // Rank 1 waits for a message rank 0 never sends; the deadline converts
+  // the would-be deadlock into a typed failure that propagates.
+  EXPECT_THROW(run_forked(opts,
+                          [](Transport& t) {
+                            if (t.rank() == 1) {
+                              t.recv(0, 1);
+                              return 1;
+                            }
+                            return 0;
+                          }),
+               TransportError);
+}
+
+TEST(ForkTransport, ValidatesOptions) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 0;
+  EXPECT_THROW(run_forked(opts, [](Transport&) { return 0; }),
+               TransportError);
+}
+
+TEST(ForkTransport, CellMigrationAcrossProcesses) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 2;
+  const int rc = run_forked(opts, [](Transport& t) {
+    std::map<int, std::vector<CellMessage>> out;
+    const int peer = 1 - t.rank();
+    out[peer] = {{static_cast<std::uint64_t>(100 + t.rank()),
+                  bytes_of("state-" + std::to_string(t.rank()))}};
+    const auto arrivals = migrate_cells(t, {peer}, out);
+    if (arrivals.size() != 1) return 30;
+    if (arrivals[0].from != peer) return 31;
+    if (arrivals[0].cell.id != static_cast<std::uint64_t>(100 + peer))
+      return 32;
+    if (arrivals[0].cell.bytes != bytes_of("state-" + std::to_string(peer)))
+      return 33;
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+void relax_owned(DistributedField& f, int r);
+
+/// Run `iters` halo-exchange + Jacobi-relax rounds on the loopback
+/// backend and return every rank's store digest.
+std::vector<std::uint64_t> loopback_digests(const BoxDecomposition& d,
+                                            int halo, int iters) {
+  DistributedField f(d, halo);
+  f.fill_owned([](const Int3& n) {
+    return 1.0 * n.x + 100.0 * n.y + 10000.0 * n.z;
+  });
+  for (int it = 0; it < iters; ++it) {
+    f.exchange();
+    for (int r = 0; r < d.num_tasks(); ++r) {
+      relax_owned(f, r);
+    }
+  }
+  std::vector<std::uint64_t> digests;
+  for (int r = 0; r < d.num_tasks(); ++r) digests.push_back(f.store_digest(r));
+  return digests;
+}
+
+/// One Jacobi-style sweep over rank `r`'s owned nodes using only values
+/// rank `r` stores -- the same code runs inside forked processes, so the
+/// arithmetic (and therefore every bit of the result) is identical.
+void relax_owned(DistributedField& f, int r) {
+  const BoxDecomposition& d = f.decomposition();
+  const TaskBox box = d.task_box(r);
+  std::vector<double> next;
+  next.reserve(static_cast<std::size_t>(box.num_nodes()));
+  for (int z = box.lo.z; z < box.hi.z; ++z) {
+    for (int y = box.lo.y; y < box.hi.y; ++y) {
+      for (int x = box.lo.x; x < box.hi.x; ++x) {
+        double sum = f.at(r, {x, y, z});
+        int count = 1;
+        for (const Int3 dn : {Int3{1, 0, 0}, Int3{-1, 0, 0}, Int3{0, 1, 0},
+                              Int3{0, -1, 0}, Int3{0, 0, 1}, Int3{0, 0, -1}}) {
+          const Int3 nb = Int3{x, y, z} + dn;
+          if (!f.stores(r, nb)) continue;
+          sum += f.at(r, nb);
+          ++count;
+        }
+        next.push_back(sum / count);
+      }
+    }
+  }
+  std::size_t k = 0;
+  for (int z = box.lo.z; z < box.hi.z; ++z) {
+    for (int y = box.lo.y; y < box.hi.y; ++y) {
+      for (int x = box.lo.x; x < box.hi.x; ++x) {
+        f.at(r, {x, y, z}) = next[k++];
+      }
+    }
+  }
+}
+
+class CrossBackend : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(CrossBackend, BitEqualGoldenState) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  const int tasks = std::get<0>(GetParam());
+  const bool periodic = std::get<1>(GetParam());
+  const Int3 dims{12, 10, 8};
+  const int halo = 2;
+  const int iters = 3;
+  const BoxDecomposition d(dims, tasks,
+                           Periodic3{periodic, periodic, periodic});
+  const std::vector<std::uint64_t> golden = loopback_digests(d, halo, iters);
+
+  constexpr int kDigestTag = 77;
+  ForkOptions opts;
+  opts.ranks = tasks;
+  const int rc = run_forked(opts, [&](Transport& t) {
+    DistributedField f(d, halo);
+    f.fill_owned([](const Int3& n) {
+      return 1.0 * n.x + 100.0 * n.y + 10000.0 * n.z;
+    });
+    for (int it = 0; it < iters; ++it) {
+      f.exchange(t);
+      relax_owned(f, t.rank());
+    }
+    const std::uint64_t digest = f.store_digest(t.rank());
+    if (t.rank() != 0) {
+      std::vector<char> msg(sizeof(digest));
+      std::memcpy(msg.data(), &digest, sizeof(digest));
+      t.send(0, kDigestTag, msg);
+      return 0;
+    }
+    // Rank 0 audits the whole fleet against the loopback golden state.
+    if (digest != golden[0]) return 40;
+    for (int r = 1; r < t.size(); ++r) {
+      const auto msg = t.recv(r, kDigestTag);
+      std::uint64_t got = 0;
+      if (msg.size() != sizeof(got)) return 41;
+      std::memcpy(&got, msg.data(), sizeof(got));
+      if (got != golden[static_cast<std::size_t>(r)]) return 42;
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0) << "fork-backend state diverged from loopback";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndWrap, CrossBackend,
+    ::testing::Combine(::testing::Values(2, 4), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return "ranks" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_periodic" : "_open");
+    });
+
+}  // namespace
+}  // namespace apr::parallel

@@ -1,0 +1,182 @@
+/// \file transport_smoke.cpp
+/// Multi-process transport smoke harness: drives the same golden scenario
+/// (halo exchange + Jacobi relax over a fixed decomposition) through the
+/// in-process loopback backend and the fork/socketpair backend, and fails
+/// unless every rank's distributed state is bit-identical between the two.
+/// This is the cross-backend equality contract of DESIGN.md §3, runnable
+/// from CI:
+///
+///   transport_smoke --ranks 4 [--periodic] [--iters 3]
+///
+/// Exit codes: 0 = digests match (or fork unavailable: skipped with a
+/// notice), 1 = mismatch or transport failure, 2 = bad usage.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/parallel/fork_transport.hpp"
+#include "src/parallel/halo.hpp"
+
+namespace {
+
+using namespace apr::parallel;
+using apr::Int3;
+
+double fill_fn(const Int3& n) {
+  return 1.0 * n.x + 100.0 * n.y + 10000.0 * n.z;
+}
+
+/// One Jacobi sweep over rank r's owned nodes using only its own store --
+/// identical arithmetic in the loopback and forked drivers.
+void relax_owned(DistributedField& f, int r) {
+  const BoxDecomposition& d = f.decomposition();
+  const TaskBox box = d.task_box(r);
+  std::vector<double> next;
+  next.reserve(static_cast<std::size_t>(box.num_nodes()));
+  for (int z = box.lo.z; z < box.hi.z; ++z) {
+    for (int y = box.lo.y; y < box.hi.y; ++y) {
+      for (int x = box.lo.x; x < box.hi.x; ++x) {
+        double sum = f.at(r, {x, y, z});
+        int count = 1;
+        for (const Int3 dn : {Int3{1, 0, 0}, Int3{-1, 0, 0}, Int3{0, 1, 0},
+                              Int3{0, -1, 0}, Int3{0, 0, 1}, Int3{0, 0, -1}}) {
+          const Int3 nb = Int3{x, y, z} + dn;
+          if (!f.stores(r, nb)) continue;
+          sum += f.at(r, nb);
+          ++count;
+        }
+        next.push_back(sum / count);
+      }
+    }
+  }
+  std::size_t k = 0;
+  for (int z = box.lo.z; z < box.hi.z; ++z) {
+    for (int y = box.lo.y; y < box.hi.y; ++y) {
+      for (int x = box.lo.x; x < box.hi.x; ++x) {
+        f.at(r, {x, y, z}) = next[k++];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  int ranks = 2;
+  int iters = 3;
+  bool periodic = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--ranks") == 0 && a + 1 < argc) {
+      ranks = std::stoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--iters") == 0 && a + 1 < argc) {
+      iters = std::stoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--periodic") == 0) {
+      periodic = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--ranks N] [--iters N] [--periodic]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (ranks < 1 || iters < 1) {
+    std::fprintf(stderr, "transport_smoke: ranks and iters must be >= 1\n");
+    return 2;
+  }
+  if (!fork_backend_available()) {
+    std::printf("transport_smoke: fork backend unavailable on this "
+                "platform; skipping\n");
+    return 0;
+  }
+
+  const Int3 dims{16, 12, 10};
+  const int halo = 2;
+  const BoxDecomposition decomp(dims, ranks,
+                                Periodic3{periodic, periodic, periodic});
+  std::printf("transport_smoke: %dx%dx%d lattice, %d ranks (grid %dx%dx%d), "
+              "halo %d, %s, %d iterations\n",
+              dims.x, dims.y, dims.z, decomp.num_tasks(),
+              decomp.task_grid().x, decomp.task_grid().y,
+              decomp.task_grid().z, halo, periodic ? "periodic" : "open",
+              iters);
+
+  // Golden state: the loopback backend (the historical in-process
+  // rank-simulator behaviour, preserved bit-for-bit).
+  DistributedField loopback(decomp, halo);
+  loopback.fill_owned(fill_fn);
+  for (int it = 0; it < iters; ++it) {
+    loopback.exchange();
+    for (int r = 0; r < decomp.num_tasks(); ++r) relax_owned(loopback, r);
+  }
+  std::vector<std::uint64_t> golden;
+  for (int r = 0; r < decomp.num_tasks(); ++r) {
+    golden.push_back(loopback.store_digest(r));
+  }
+  std::printf("loopback: %llu exchanges, %llu messages, %llu payload "
+              "bytes\n",
+              static_cast<unsigned long long>(loopback.exchange_count()),
+              static_cast<unsigned long long>(loopback.messages_exchanged()),
+              static_cast<unsigned long long>(loopback.bytes_exchanged()));
+
+  // The same scenario over real processes; every rank ships its digest to
+  // rank 0, which audits against the golden state.
+  constexpr int kDigestTag = 404;
+  ForkOptions opts;
+  opts.ranks = decomp.num_tasks();
+  std::uint64_t fork_bytes = 0;
+  std::uint64_t fork_messages = 0;
+  const int rc = run_forked(opts, [&](Transport& t) {
+    DistributedField f(decomp, halo);
+    f.fill_owned(fill_fn);
+    for (int it = 0; it < iters; ++it) {
+      f.exchange(t);
+      relax_owned(f, t.rank());
+    }
+    const std::uint64_t digest = f.store_digest(t.rank());
+    if (t.rank() != 0) {
+      std::vector<char> msg(sizeof(digest));
+      std::memcpy(msg.data(), &digest, sizeof(digest));
+      t.send(0, kDigestTag, msg);
+      return 0;
+    }
+    fork_bytes = f.bytes_exchanged();
+    fork_messages = f.messages_exchanged();
+    int mismatches = digest == golden[0] ? 0 : 1;
+    if (mismatches != 0) {
+      std::fprintf(stderr, "transport_smoke: rank 0 digest mismatch\n");
+    }
+    for (int r = 1; r < t.size(); ++r) {
+      const auto msg = t.recv(r, kDigestTag);
+      std::uint64_t got = 0;
+      if (msg.size() != sizeof(got)) return 64;
+      std::memcpy(&got, msg.data(), sizeof(got));
+      if (got != golden[static_cast<std::size_t>(r)]) {
+        std::fprintf(stderr, "transport_smoke: rank %d digest mismatch\n", r);
+        ++mismatches;
+      }
+    }
+    return mismatches == 0 ? 0 : 65;
+  });
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "transport_smoke: FAIL (fork backend diverged, code %d)\n",
+                 rc);
+    return 1;
+  }
+  std::printf("fork:     rank 0 moved %llu payload bytes in %llu messages "
+              "(backend \"fork\")\n",
+              static_cast<unsigned long long>(fork_bytes),
+              static_cast<unsigned long long>(fork_messages));
+  std::printf("transport_smoke: PASS -- %d ranks bit-identical across "
+              "backends\n",
+              decomp.num_tasks());
+  return 0;
+} catch (const std::exception& ex) {
+  std::fprintf(stderr, "transport_smoke: %s\n", ex.what());
+  return 1;
+}
