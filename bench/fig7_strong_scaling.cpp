@@ -18,13 +18,28 @@
 /// backend for every rank count, and with --fork the multi-process
 /// fork/socketpair backend as well. Per-rank wall times plus exchange
 /// bytes/messages/latency are written to out/fig7_measured_scaling.csv
-/// and out/fig7_exchange_metrics.jsonl.
+/// and out/fig7_exchange_metrics.jsonl. In fork mode each rank's full
+/// metrics snapshot travels back to rank 0 over the transport
+/// (parallel::gather_metrics), so the JSONL carries one line per rank
+/// plus a derived load-imbalance line; every record is tagged with its
+/// rank and the run's monotonic epoch so nightly artifacts correlate
+/// across runs and ranks. --fork-trace BASE additionally arms per-rank
+/// Chrome traces (BASE.rank<N>.json) sharing one pre-fork epoch, ready
+/// for tools/trace_merge.
+///
+///   --trace FILE       trace the measured step-profile section
+///   --fork             add the fork backend to the measured sweep
+///   --fork-ranks N     fork sweep at N ranks only (default 2, 4, 8)
+///   --fork-trace BASE  write per-rank traces of the fork runs
+///   --measured-only    skip the model curves and the step profile (CI)
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +49,7 @@
 #include "src/obs/trace.hpp"
 #include "src/parallel/fork_transport.hpp"
 #include "src/parallel/halo.hpp"
+#include "src/parallel/metrics_gather.hpp"
 #include "src/perf/scaling.hpp"
 
 namespace {
@@ -45,6 +61,11 @@ using apr::parallel::DistributedField;
 constexpr int kHalo = 2;
 constexpr int kIters = 20;
 const Int3 kMeasuredDims{48, 48, 48};
+
+/// Histogram keys every rank observes per exchange; the derived
+/// imbalance line keys off the same names.
+constexpr const char* kStepKey = "step_ms";
+constexpr const char* kCommKey = "comm_wait_ms";
 
 double fill_fn(const Int3& n) {
   return 1.0 * n.x + 100.0 * n.y + 10000.0 * n.z;
@@ -74,6 +95,7 @@ MeasuredRun measure_loopback(int ranks, apr::obs::Metrics& metrics) {
     for (int r = 0; r < ranks; ++r) {
       rank_total[static_cast<std::size_t>(r)] += f.last_rank_seconds()[r];
     }
+    metrics.observe(kStepKey, f.last_exchange_seconds() * 1e3);
   }
   MeasuredRun run;
   run.backend = 0;
@@ -89,53 +111,71 @@ MeasuredRun measure_loopback(int ranks, apr::obs::Metrics& metrics) {
   return run;
 }
 
-/// The same measurement over real processes: every rank times its own
-/// kIters transport exchanges and ships (seconds, bytes, messages) back
-/// to rank 0, which aggregates into the returned row.
-MeasuredRun measure_fork(int ranks) {
+/// The same measurement over real processes. Every rank runs kIters
+/// transport exchanges with its own metrics registry attached to both
+/// the field and the transport, then ships the full snapshot to rank 0
+/// via gather_metrics; rank 0 aggregates the run row and renders the
+/// per-rank + derived-imbalance JSONL lines into `merged_lines`.
+MeasuredRun measure_fork(int ranks, const std::string& trace_base,
+                         std::int64_t epoch_ns,
+                         std::vector<std::string>* merged_lines) {
   using apr::parallel::ForkOptions;
   using apr::parallel::Transport;
-  constexpr int kTimingTag = 99;
   MeasuredRun run;
   run.backend = 1;
   run.ranks = ranks;
   ForkOptions opts;
   opts.ranks = ranks;
+  opts.trace_path = trace_base;
   const auto t0 = std::chrono::steady_clock::now();
   const int rc = apr::parallel::run_forked(opts, [&](Transport& t) {
     const BoxDecomposition d(kMeasuredDims, ranks);
     DistributedField f(d, kHalo);
+    apr::obs::Metrics metrics;
+    f.attach_metrics(&metrics);
+    t.attach_metrics(&metrics);
     f.fill_owned(fill_fn);
     f.exchange(t);  // warm plans + sockets before timing
+    metrics.clear();  // drop the warm-up's counters and samples
     const auto r0 = std::chrono::steady_clock::now();
-    for (int it = 0; it < kIters; ++it) f.exchange(t);
+    for (int it = 0; it < kIters; ++it) {
+      f.exchange(t);
+      metrics.observe(kStepKey, f.last_exchange_seconds() * 1e3);
+      metrics.observe(kCommKey,
+                      f.last_exchange_phases().wire_seconds * 1e3);
+    }
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
             .count();
-    const double stats[3] = {
-        secs, static_cast<double>(f.bytes_exchanged()),
-        static_cast<double>(f.messages_exchanged())};
-    if (t.rank() != 0) {
-      std::vector<char> msg(sizeof(stats));
-      std::memcpy(msg.data(), stats, sizeof(stats));
-      t.send(0, kTimingTag, msg);
-      return 0;
+    metrics.set_rank(t.rank(), t.size());
+    metrics.set_gauge("exchange.backend", 1.0);
+    metrics.set_gauge("exchange.ranks", static_cast<double>(ranks));
+    metrics.set_gauge("epoch_ns", static_cast<double>(epoch_ns));
+    metrics.set_gauge("step", static_cast<double>(kIters));
+    metrics.set_gauge("time", secs);
+    t.attach_metrics(nullptr);  // registry dies before the transport
+    const std::vector<apr::obs::Metrics> world =
+        apr::parallel::gather_metrics(t, metrics);
+    if (t.rank() != 0) return 0;
+
+    for (const apr::obs::Metrics& m : world) {
+      run.max_rank_s = std::max(run.max_rank_s, m.gauge("time"));
+      run.bytes_per_exchange +=
+          static_cast<double>(m.counter("parallel.exchange.bytes"));
+      run.messages_per_exchange +=
+          static_cast<double>(m.counter("parallel.exchange.messages"));
+      merged_lines->push_back(m.to_json());
     }
-    run.max_rank_s = stats[0];
-    run.bytes_per_exchange = stats[1];
-    run.messages_per_exchange = stats[2];
-    for (int r = 1; r < t.size(); ++r) {
-      const auto msg = t.recv(r, kTimingTag);
-      double peer[3] = {0, 0, 0};
-      if (msg.size() != sizeof(peer)) return 50;
-      std::memcpy(peer, msg.data(), sizeof(peer));
-      run.max_rank_s = std::max(run.max_rank_s, peer[0]);
-      run.bytes_per_exchange += peer[1];
-      run.messages_per_exchange += peer[2];
-    }
-    // Every rank saw kIters + 1 exchanges; normalize to per-exchange.
-    run.bytes_per_exchange /= kIters + 1;
-    run.messages_per_exchange /= kIters + 1;
+    run.bytes_per_exchange /= kIters;
+    run.messages_per_exchange /= kIters;
+    apr::obs::Metrics derived =
+        apr::parallel::derive_imbalance(world, kStepKey, kCommKey);
+    derived.set_gauge("exchange.backend", 1.0);
+    derived.set_gauge("exchange.ranks", static_cast<double>(ranks));
+    derived.set_gauge("epoch_ns", static_cast<double>(epoch_ns));
+    derived.set_gauge("step", static_cast<double>(kIters));
+    derived.set_gauge("time", run.max_rank_s);
+    merged_lines->push_back(derived.to_json());
     return 0;
   });
   if (rc != 0) {
@@ -153,52 +193,68 @@ MeasuredRun measure_fork(int ranks) {
 int main(int argc, char** argv) try {
   using namespace apr::perf;
   apr::set_log_level(apr::LogLevel::Warn);
-  // --trace FILE records the measured-profile section; --fork adds the
-  // multi-process backend to the measured-exchange sweep.
   std::string trace_file;
+  std::string fork_trace;
   bool with_fork = false;
+  bool measured_only = false;
+  int fork_ranks = 0;  // 0 = default sweep
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
       trace_file = argv[++a];
     } else if (std::strcmp(argv[a], "--fork") == 0) {
       with_fork = true;
+    } else if (std::strcmp(argv[a], "--fork-ranks") == 0 && a + 1 < argc) {
+      fork_ranks = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--fork-trace") == 0 && a + 1 < argc) {
+      fork_trace = argv[++a];
+    } else if (std::strcmp(argv[a], "--measured-only") == 0) {
+      measured_only = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace FILE] [--fork]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace FILE] [--fork] [--fork-ranks N] "
+                   "[--fork-trace BASE] [--measured-only]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (!trace_file.empty()) apr::obs::Tracer::instance().set_enabled(true);
-  const SummitNodeModel model;
-  ScalingProblem problem;  // defaults = the paper's strong-scaling setup
+  // One monotonic epoch per invocation, stamped into every metrics record
+  // (forked children inherit the value, so all ranks agree on it).
+  const std::int64_t epoch_ns = apr::obs::trace_now_ns();
 
-  std::printf("Fig. 7 strong scaling: cube %.1f mm, window %.2f mm, n = %d, "
-              "%.2e RBCs\n",
-              problem.cube_side * 1e3, problem.window_side * 1e3,
-              problem.resolution_ratio,
-              static_cast<double>(problem.rbc_count()));
+  if (!measured_only) {
+    const SummitNodeModel model;
+    ScalingProblem problem;  // defaults = the paper's strong-scaling setup
 
-  const std::vector<int> nodes = {32, 64, 128, 256, 512};
-  const auto points = strong_scaling(model, problem, nodes);
+    std::printf("Fig. 7 strong scaling: cube %.1f mm, window %.2f mm, "
+                "n = %d, %.2e RBCs\n",
+                problem.cube_side * 1e3, problem.window_side * 1e3,
+                problem.resolution_ratio,
+                static_cast<double>(problem.rbc_count()));
 
-  apr::CsvWriter csv(apr::out_path("fig7_strong_scaling.csv"),
-                     {"nodes", "time_per_step_s", "speedup", "ideal",
-                      "comm_fraction"});
-  std::printf("\n%8s %16s %10s %8s %14s\n", "nodes", "time/step [s]",
-              "speedup", "ideal", "comm fraction");
-  for (const auto& pt : points) {
-    const double ideal = static_cast<double>(pt.nodes) / nodes.front();
-    const double comm_frac = pt.comm_time / pt.time_per_step;
-    csv.row({static_cast<double>(pt.nodes), pt.time_per_step, pt.speedup,
-             ideal, comm_frac});
-    std::printf("%8d %16.4f %10.2f %8.0f %14.3f\n", pt.nodes,
-                pt.time_per_step, pt.speedup, ideal, comm_frac);
+    const std::vector<int> nodes = {32, 64, 128, 256, 512};
+    const auto points = strong_scaling(model, problem, nodes);
+
+    apr::CsvWriter csv(apr::out_path("fig7_strong_scaling.csv"),
+                       {"nodes", "time_per_step_s", "speedup", "ideal",
+                        "comm_fraction"});
+    std::printf("\n%8s %16s %10s %8s %14s\n", "nodes", "time/step [s]",
+                "speedup", "ideal", "comm fraction");
+    for (const auto& pt : points) {
+      const double ideal = static_cast<double>(pt.nodes) / nodes.front();
+      const double comm_frac = pt.comm_time / pt.time_per_step;
+      csv.row({static_cast<double>(pt.nodes), pt.time_per_step, pt.speedup,
+               ideal, comm_frac});
+      std::printf("%8d %16.4f %10.2f %8.0f %14.3f\n", pt.nodes,
+                  pt.time_per_step, pt.speedup, ideal, comm_frac);
+    }
+
+    std::printf("\n32 -> 512 nodes speedup: %.2fx (paper: >6x; ideal 16x)\n",
+                points.back().speedup);
+    std::printf("rolloff driver: halo volume per task shrinks slower than "
+                "task volume (paper §3.4)\n");
+    std::printf("series written to out/fig7_strong_scaling.csv\n");
   }
-
-  std::printf("\n32 -> 512 nodes speedup: %.2fx (paper: >6x; ideal 16x)\n",
-              points.back().speedup);
-  std::printf("rolloff driver: halo volume per task shrinks slower than "
-              "task volume (paper §3.4)\n");
-  std::printf("series written to out/fig7_strong_scaling.csv\n");
 
   // ---- measured exchange scaling over the real transport stack ----------
   std::printf("\nmeasured halo exchange, %dx%dx%d lattice, halo %d, "
@@ -217,27 +273,30 @@ int main(int argc, char** argv) try {
   for (int ranks : {1, 2, 4, 8}) {
     apr::obs::Metrics metrics;
     runs.push_back(measure_loopback(ranks, metrics));
+    metrics.set_rank(0, 1);  // all simulated ranks live in this process
     metrics.set_gauge("exchange.backend", 0.0);
     metrics.set_gauge("exchange.ranks", static_cast<double>(ranks));
+    metrics.set_gauge("epoch_ns", static_cast<double>(epoch_ns));
+    metrics.set_gauge("step", static_cast<double>(kIters));
+    metrics.set_gauge("time", runs.back().wall_s);
     metrics_out.write_line(metrics.to_json());
   }
   if (with_fork && apr::parallel::fork_backend_available()) {
-    for (int ranks : {2, 4, 8}) {
-      runs.push_back(measure_fork(ranks));
-      // The forked children cannot share the parent's registry; mirror the
-      // aggregated counters rank 0 collected instead.
-      apr::obs::Metrics metrics;
-      const MeasuredRun& run = runs.back();
-      metrics.set_gauge("exchange.backend", 1.0);
-      metrics.set_gauge("exchange.ranks", static_cast<double>(run.ranks));
-      metrics.add_counter(
-          "parallel.exchange.bytes",
-          static_cast<std::uint64_t>(run.bytes_per_exchange * kIters));
-      metrics.add_counter(
-          "parallel.exchange.messages",
-          static_cast<std::uint64_t>(run.messages_per_exchange * kIters));
-      metrics.observe("parallel.exchange.seconds", run.max_rank_s / kIters);
-      metrics_out.write_line(metrics.to_json());
+    const std::vector<int> sweep =
+        fork_ranks > 0 ? std::vector<int>{fork_ranks}
+                       : std::vector<int>{2, 4, 8};
+    for (int ranks : sweep) {
+      std::vector<std::string> merged_lines;
+      runs.push_back(
+          measure_fork(ranks, fork_trace, epoch_ns, &merged_lines));
+      for (const std::string& line : merged_lines) {
+        metrics_out.write_line(line);
+      }
+      if (!fork_trace.empty()) {
+        std::printf("per-rank traces written to %s (ranks 0..%d)\n",
+                    apr::obs::rank_trace_path(fork_trace, 0).c_str(),
+                    ranks - 1);
+      }
     }
   } else if (with_fork) {
     std::printf("(fork backend unavailable on this platform; skipped)\n");
@@ -257,8 +316,10 @@ int main(int argc, char** argv) try {
   // Measured per-phase decomposition of an actual (miniature) APR step on
   // this machine -- the empirical counterpart to the model's split between
   // window compute, bulk compute, and coupling.
-  apr::bench::report_step_profile(apr::bench::measure_step_profile(),
-                                  apr::out_path("fig7_phase_profile.csv"));
+  if (!measured_only) {
+    apr::bench::report_step_profile(apr::bench::measure_step_profile(),
+                                    apr::out_path("fig7_phase_profile.csv"));
+  }
   if (!trace_file.empty()) {
     apr::obs::Tracer::instance().write_chrome_json(trace_file);
     std::printf("trace written to %s\n", trace_file.c_str());

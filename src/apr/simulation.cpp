@@ -11,6 +11,7 @@
 #include "src/exec/exec.hpp"
 #include "src/geometry/voxelizer.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/proc_stats.hpp"
 #include "src/obs/trace.hpp"
 
 namespace apr::core {
@@ -748,6 +749,14 @@ void AprSimulation::sample_metrics() {
   metrics_.set_gauge("ctc.x", ctc.x);
   metrics_.set_gauge("ctc.y", ctc.y);
   metrics_.set_gauge("ctc.z", ctc.z);
+
+  // Live resident-memory footprint next to the simulation's own byte
+  // accounting: the Table-3 408 B/fluid-point budget, checked against the
+  // OS instead of trusted arithmetic. Zeros on platforms with no source.
+  const obs::ProcessMemory mem = obs::sample_process_memory();
+  metrics_.set_gauge("proc.rss_bytes", static_cast<double>(mem.rss_bytes));
+  metrics_.set_gauge("proc.peak_rss_bytes",
+                     static_cast<double>(mem.peak_rss_bytes));
 
   metrics_.set_gauge("checkpoint.bytes",
                      static_cast<double>(last_checkpoint_bytes_));

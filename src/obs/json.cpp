@@ -335,4 +335,58 @@ std::string json_number(double v) {
   return buf;
 }
 
+namespace {
+
+void render_value(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::Null:
+      out += "null";
+      break;
+    case JsonValue::Kind::Bool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::Number:
+      out += json_number(v.number);
+      break;
+    case JsonValue::Kind::String:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      break;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        render_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        render_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_render(const JsonValue& v) {
+  std::string out;
+  render_value(v, out);
+  return out;
+}
+
 }  // namespace apr::obs

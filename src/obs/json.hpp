@@ -66,4 +66,10 @@ std::string json_escape(std::string_view s);
 /// marker being invalid JSON anyway).
 std::string json_number(double v);
 
+/// Serialize a parsed value back to compact JSON (no whitespace). Object
+/// members keep their stored order and numbers render via json_number, so
+/// parse -> render -> parse is value-identical -- the trace_merge tool
+/// uses this to re-emit per-rank events without touching their args.
+std::string json_render(const JsonValue& v);
+
 }  // namespace apr::obs

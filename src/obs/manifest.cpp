@@ -76,7 +76,8 @@ std::string run_manifest_json(const RunManifest& m) {
   os << "{\"tool\":\"" << json_escape(m.tool) << "\""
      << ",\"command_line\":\"" << json_escape(m.command_line) << "\""
      << ",\"start_time\":\"" << json_escape(m.start_time) << "\""
-     << ",\"num_workers\":" << m.num_workers
+     << ",\"num_workers\":" << m.num_workers << ",\"rank\":" << m.rank
+     << ",\"world_size\":" << m.world_size
      << ",\"openmp\":" << (m.openmp ? "true" : "false") << ",\"build\":\""
      << json_escape(m.build) << "\""
      << ",\"compiler\":\"" << json_escape(m.compiler) << "\""

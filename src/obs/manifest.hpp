@@ -20,6 +20,10 @@ struct RunManifest {
   std::string command_line;  ///< argv joined with spaces
   std::string start_time;    ///< ISO-8601 UTC, filled by capture_environment
   int num_workers = 0;
+  /// Rank identity for distributed runs; the defaults render exactly
+  /// like a single-process manifest with the fields spelled out.
+  int rank = 0;
+  int world_size = 1;
   bool openmp = false;
   std::string build;     ///< NDEBUG => "release", else "debug"
   std::string compiler;  ///< compiler id + version from predefined macros

@@ -1,0 +1,62 @@
+#include "src/obs/proc_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HEMOAPR_HAS_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace apr::obs {
+
+namespace {
+
+#if defined(__linux__)
+/// Parse a "Vm...:   <kB> kB" line value from /proc/self/status.
+bool status_field_kb(const char* line, const char* key,
+                     std::uint64_t* out_kb) {
+  const std::size_t klen = std::strlen(key);
+  if (std::strncmp(line, key, klen) != 0) return false;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + klen, " %llu", &kb) != 1) return false;
+  *out_kb = kb;
+  return true;
+}
+#endif
+
+}  // namespace
+
+ProcessMemory sample_process_memory() {
+  ProcessMemory mem;
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (status_field_kb(line, "VmRSS:", &kb)) {
+        mem.rss_bytes = kb * 1024;
+      } else if (status_field_kb(line, "VmHWM:", &kb)) {
+        mem.peak_rss_bytes = kb * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(HEMOAPR_HAS_RUSAGE)
+  if (mem.peak_rss_bytes == 0) {
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+      // Linux reports ru_maxrss in kilobytes, macOS in bytes.
+#if defined(__APPLE__)
+      mem.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+      mem.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+  }
+#endif
+  return mem;
+}
+
+}  // namespace apr::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file proc_stats.hpp
+/// Live process-memory sampling for the metrics layer. The paper's
+/// Table 3 prices APR at 408 B per coarse fluid point; sampling resident
+/// set size alongside the simulation's own byte accounting lets a run
+/// check that budget against reality while it executes.
+
+#include <cstdint>
+
+namespace apr::obs {
+
+/// One resident-memory sample. Zeros when the platform offers no source
+/// (sampling never fails a run).
+struct ProcessMemory {
+  std::uint64_t rss_bytes = 0;       ///< current resident set size
+  std::uint64_t peak_rss_bytes = 0;  ///< high-water resident set size
+};
+
+/// Sample this process's memory: /proc/self/status (VmRSS / VmHWM) on
+/// Linux, getrusage peak-RSS as the portable POSIX fallback (rss_bytes
+/// stays 0 there -- only the high-water mark is available), all-zeros
+/// elsewhere.
+ProcessMemory sample_process_memory();
+
+}  // namespace apr::obs

@@ -82,6 +82,16 @@ void Tracer::set_enabled(bool on) {
   enabled_.store(on, std::memory_order_relaxed);
 }
 
+void Tracer::set_rank(int rank, int world_size) {
+  if (rank < 0 || world_size < 1 || rank >= world_size) {
+    throw std::invalid_argument("obs: set_rank(" + std::to_string(rank) +
+                                ", " + std::to_string(world_size) +
+                                ") is not a valid rank identity");
+  }
+  rank_ = rank;
+  world_ = world_size;
+}
+
 void Tracer::record_complete(const char* cat, const char* name,
                              std::int64_t start_ns, std::int64_t dur_ns,
                              std::string args) {
@@ -145,6 +155,20 @@ std::string Tracer::to_chrome_json() const {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Multi-rank worlds label their process lane so a merged multi-pid
+  // timeline names every rank; single-process output stays metadata-free
+  // (the historical shape the obs test suite pins).
+  if (world_ > 1) {
+    os << "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+          "\"pid\":"
+       << rank_ << ",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"rank " << rank_
+       << "/" << world_ << "\"}},"
+       << "{\"name\":\"process_sort_index\",\"cat\":\"__metadata\","
+          "\"ph\":\"M\",\"pid\":"
+       << rank_ << ",\"tid\":0,\"ts\":0,\"args\":{\"sort_index\":" << rank_
+       << "}}";
+    first = false;
+  }
   for (const Tagged& t : merged) {
     const TraceEvent& ev = *t.ev;
     if (!first) os << ",";
@@ -153,7 +177,7 @@ std::string Tracer::to_chrome_json() const {
     // fractional part.
     os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
        << json_escape(ev.cat) << "\",\"ph\":\"" << ev.ph
-       << "\",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":"
+       << "\",\"pid\":" << rank_ << ",\"tid\":" << t.tid << ",\"ts\":"
        << json_number(static_cast<double>(ev.ts_ns - epoch_ns_) * 1e-3);
     if (ev.ph == 'X') {
       os << ",\"dur\":" << json_number(static_cast<double>(ev.dur_ns) * 1e-3);
@@ -165,6 +189,28 @@ std::string Tracer::to_chrome_json() const {
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
+}
+
+std::string rank_trace_path(const std::string& base, int rank) {
+  const std::string suffix = ".rank" + std::to_string(rank);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+int rank_from_trace_path(const std::string& path) {
+  const std::size_t pos = path.rfind(".rank");
+  if (pos == std::string::npos) return -1;
+  std::size_t i = pos + 5;
+  std::size_t end = i;
+  while (end < path.size() && path[end] >= '0' && path[end] <= '9') ++end;
+  if (end == i) return -1;
+  // The digits must end the path or be followed by an extension dot.
+  if (end != path.size() && path[end] != '.') return -1;
+  return std::stoi(path.substr(i, end - i));
 }
 
 void Tracer::write_chrome_json(const std::string& path) const {

@@ -43,6 +43,22 @@ class Tracer {
   void set_enabled(bool on);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Rank identity for distributed runs (serial context only). Events are
+  /// emitted with pid = rank so per-rank traces merge into distinct
+  /// process lanes, and multi-rank traces (world_size > 1) carry Chrome
+  /// metadata events naming each lane "rank R/W". Defaults: rank 0 of a
+  /// 1-process world, which renders exactly like the historical
+  /// single-process output apart from the pid value.
+  void set_rank(int rank, int world_size);
+  int rank() const { return rank_; }
+  int world_size() const { return world_; }
+
+  /// Override the timestamp base (serial context only). run_forked uses
+  /// this to give every forked rank the pre-fork steady-clock epoch, so
+  /// per-rank traces share one aligned timeline when merged.
+  void set_epoch_ns(std::int64_t epoch_ns) { epoch_ns_ = epoch_ns; }
+  std::int64_t epoch_ns() const { return epoch_ns_; }
+
   /// Record a completed span (Chrome phase 'X'). `args` is a pre-rendered
   /// JSON object body ("key":value pairs without braces) or empty.
   void record_complete(const char* cat, const char* name,
@@ -81,7 +97,19 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::int64_t epoch_ns_ = 0;  ///< set on enable; JSON ts are relative
+  int rank_ = 0;               ///< distributed rank identity (pid lane)
+  int world_ = 1;              ///< world size; >1 emits lane metadata
 };
+
+/// Per-rank artifact path: inserts ".rank<N>" before the final extension
+/// ("out/trace.json", 3 -> "out/trace.rank3.json"; extensionless paths get
+/// the suffix appended). Shared by run_forked's per-child trace sinks and
+/// the trace_merge tool's rank inference.
+std::string rank_trace_path(const std::string& base, int rank);
+
+/// Inverse of rank_trace_path: the rank encoded in a per-rank artifact
+/// path, or -1 when the path carries no ".rank<N>" component.
+int rank_from_trace_path(const std::string& path);
 
 /// RAII span: opens on construction when tracing is enabled, closes on
 /// destruction. If the tracer is enabled mid-scope the span is skipped

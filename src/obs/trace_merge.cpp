@@ -1,0 +1,131 @@
+#include "src/obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/obs/json.hpp"
+
+namespace apr::obs {
+
+namespace {
+
+bool is_metadata(const JsonValue& ev) {
+  const JsonValue* ph = ev.find("ph");
+  if (ph != nullptr && ph->is_string() && ph->string == "M") return true;
+  const JsonValue* cat = ev.find("cat");
+  return cat != nullptr && cat->is_string() && cat->string == "__metadata";
+}
+
+struct MergedEvent {
+  double ts = 0.0;
+  int rank = 0;
+  std::size_t index = 0;  ///< position within the rank's input document
+  std::string rendered;
+};
+
+}  // namespace
+
+std::string merge_chrome_traces(std::vector<RankTrace> traces) {
+  if (traces.empty()) {
+    throw std::runtime_error("trace merge: no input traces");
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const RankTrace& a, const RankTrace& b) {
+              return a.rank < b.rank;
+            });
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (traces[i].rank < 0) {
+      throw std::runtime_error("trace merge: negative rank " +
+                               std::to_string(traces[i].rank));
+    }
+    if (i > 0 && traces[i].rank == traces[i - 1].rank) {
+      throw std::runtime_error("trace merge: duplicate rank " +
+                               std::to_string(traces[i].rank));
+    }
+  }
+  const int world = traces.back().rank + 1;
+
+  std::vector<MergedEvent> events;
+  for (const RankTrace& rt : traces) {
+    JsonValue doc;
+    try {
+      doc = json_parse(rt.json);
+    } catch (const JsonError& ex) {
+      throw std::runtime_error("trace merge: rank " +
+                               std::to_string(rt.rank) +
+                               " trace is malformed: " + ex.what());
+    }
+    const JsonValue* list = doc.find("traceEvents");
+    if (list == nullptr || !list->is_array()) {
+      throw std::runtime_error("trace merge: rank " +
+                               std::to_string(rt.rank) +
+                               " trace has no traceEvents array");
+    }
+    for (std::size_t i = 0; i < list->array.size(); ++i) {
+      JsonValue ev = list->array[i];
+      if (!ev.is_object()) {
+        throw std::runtime_error("trace merge: rank " +
+                                 std::to_string(rt.rank) +
+                                 " trace has a non-object event");
+      }
+      // Input lane metadata is re-emitted fresh below, with the merged
+      // world size instead of whatever each rank believed.
+      if (is_metadata(ev)) continue;
+      MergedEvent out;
+      const JsonValue* ts = ev.find("ts");
+      out.ts = (ts != nullptr && ts->is_number()) ? ts->number : 0.0;
+      out.rank = rt.rank;
+      out.index = i;
+      // Force the process lane to the rank the file was written for.
+      bool had_pid = false;
+      for (auto& [key, value] : ev.object) {
+        if (key == "pid") {
+          value = JsonValue{};
+          value.kind = JsonValue::Kind::Number;
+          value.number = static_cast<double>(rt.rank);
+          had_pid = true;
+          break;
+        }
+      }
+      if (!had_pid) {
+        JsonValue pid;
+        pid.kind = JsonValue::Kind::Number;
+        pid.number = static_cast<double>(rt.rank);
+        ev.object.emplace_back("pid", std::move(pid));
+      }
+      out.rendered = json_render(ev);
+      events.push_back(std::move(out));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.index < b.index;
+            });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const RankTrace& rt : traces) {
+    if (!first) out += ",";
+    first = false;
+    const std::string rank = std::to_string(rt.rank);
+    out += "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+           "\"pid\":" +
+           rank + ",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"rank " + rank +
+           "/" + std::to_string(world) + "\"}}";
+    out += ",{\"name\":\"process_sort_index\",\"cat\":\"__metadata\","
+           "\"ph\":\"M\",\"pid\":" +
+           rank + ",\"tid\":0,\"ts\":0,\"args\":{\"sort_index\":" + rank +
+           "}}";
+  }
+  for (const MergedEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += ev.rendered;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace apr::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file trace_merge.hpp
+/// Merge per-rank Chrome traces (one file per forked rank, written by
+/// run_forked with ForkOptions::trace_path) into a single multi-pid
+/// timeline: every rank becomes a process lane (pid = rank) with a
+/// "rank R/W" name, and all events share the pre-fork epoch the fork
+/// backend stamped, so lanes align. The merge is a pure function of its
+/// inputs -- ranks are sorted, events ordered by (ts, rank, input index)
+/// and numbers re-rendered at %.17g -- so the output is byte-identical
+/// for identical inputs regardless of input file order.
+
+#include <string>
+#include <vector>
+
+namespace apr::obs {
+
+/// One rank's trace document, as read from disk.
+struct RankTrace {
+  int rank = 0;
+  std::string json;  ///< full Chrome trace_event document
+};
+
+/// Merge the given rank traces into one Chrome trace document. Input
+/// metadata events (cat "__metadata" / ph "M") are dropped and re-emitted
+/// fresh per rank; every other event keeps its fields with pid forced to
+/// the rank. Throws std::runtime_error on duplicate/negative ranks,
+/// malformed JSON, or a document without a traceEvents array.
+std::string merge_chrome_traces(std::vector<RankTrace> traces);
+
+}  // namespace apr::obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/io/checkpoint.hpp"  // crc32 + fourcc (shared integrity layer)
+#include "src/obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define HEMOAPR_HAS_FORK 1
@@ -119,8 +120,8 @@ class SocketTransport final : public Transport {
   int size() const override { return size_; }
   const char* backend() const override { return "fork"; }
 
-  void send(int dest, int tag, const std::vector<char>& payload) override {
-    const auto t0 = Clock::now();
+ protected:
+  void do_send(int dest, int tag, const std::vector<char>& payload) override {
     const int fd = fd_for("fork send", dest);
     if (payload.size() > kMaxMessageBytes) {
       throw TransportError("fork send: message exceeds 1 GiB frame cap");
@@ -137,14 +138,9 @@ class SocketTransport final : public Transport {
     char trailer[4];
     put_u32(trailer, crc);
     write_all(fd, dest, trailer, 4);
-    ++stats_.messages_sent;
-    stats_.bytes_sent += payload.size();
-    stats_.send_seconds +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
   }
 
-  std::vector<char> recv(int src, int tag) override {
-    const auto t0 = Clock::now();
+  std::vector<char> do_recv(int src, int tag) override {
     const int fd = fd_for("fork recv", src);
     char header[kHeaderBytes];
     read_all(fd, src, header, kHeaderBytes);
@@ -179,10 +175,6 @@ class SocketTransport final : public Transport {
       throw TransportError("fork recv: payload CRC mismatch from rank " +
                            std::to_string(src));
     }
-    ++stats_.messages_received;
-    stats_.bytes_received += payload.size();
-    stats_.recv_seconds +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
     return payload;
   }
 
@@ -262,6 +254,11 @@ int run_forked(const ForkOptions& opts,
   std::fflush(stdout);
   std::fflush(stderr);
 
+  // One epoch captured before forking: every rank's trace timestamps are
+  // relative to the same steady-clock instant, so merged timelines align.
+  const bool trace_armed = !opts.trace_path.empty();
+  const std::int64_t trace_epoch = obs::trace_now_ns();
+
   int my_rank = 0;
   std::vector<pid_t> children;
   for (int r = 1; r < n; ++r) {
@@ -295,12 +292,26 @@ int run_forked(const ForkOptions& opts,
   }
 
   if (my_rank != 0) {
+    // Fork-inheritance quiesce: the child's copy of the tracer buffers
+    // holds every span the parent recorded before forking. Drop them so
+    // parent-side spans appear exactly once (in the parent's output).
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.clear();
+    if (trace_armed) {
+      tracer.set_enabled(true);
+      tracer.set_epoch_ns(trace_epoch);
+      tracer.set_rank(my_rank, n);
+    }
     int rc = 120;  // distinguishable "fn threw" default
     try {
       SocketTransport t(my_rank, n, std::move(fd[static_cast<std::size_t>(
                                         my_rank)]),
                         opts);
       rc = fn(t);
+      if (trace_armed) {
+        tracer.write_chrome_json(
+            obs::rank_trace_path(opts.trace_path, my_rank));
+      }
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "run_forked: rank %d: %s\n", my_rank, ex.what());
       rc = 121;
@@ -311,13 +322,36 @@ int run_forked(const ForkOptions& opts,
     ::_exit(rc & 0xff);
   }
 
+  // The parent keeps its buffered events (they belong to rank 0's
+  // timeline) but adopts rank-0 identity and the shared epoch while the
+  // run is traced; its previous tracer state is restored afterwards.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool prev_enabled = tracer.enabled();
+  const std::int64_t prev_epoch = tracer.epoch_ns();
+  const int prev_rank = tracer.rank();
+  const int prev_world = tracer.world_size();
+  if (trace_armed) {
+    tracer.set_enabled(true);
+    tracer.set_epoch_ns(trace_epoch);
+    tracer.set_rank(0, n);
+  }
+
   int rc = 0;
   std::exception_ptr failure;
   try {
     SocketTransport t(0, n, std::move(fd[0]), opts);
     rc = fn(t);
+    if (trace_armed) {
+      tracer.write_chrome_json(obs::rank_trace_path(opts.trace_path, 0));
+    }
   } catch (...) {
     failure = std::current_exception();
+  }
+  if (trace_armed) {
+    tracer.clear();
+    tracer.set_enabled(prev_enabled);
+    tracer.set_epoch_ns(prev_epoch);
+    tracer.set_rank(prev_rank, prev_world);
   }
 
   std::string child_failures;

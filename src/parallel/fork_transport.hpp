@@ -24,6 +24,7 @@
 /// gate on `fork_backend_available()`.
 
 #include <functional>
+#include <string>
 
 #include "src/parallel/transport.hpp"
 
@@ -35,6 +36,14 @@ struct ForkOptions {
   double timeout_seconds = 30.0;    ///< per send/recv deadline
   int max_retries = 64;             ///< transient-error retries per op
   double backoff_initial_ms = 0.5;  ///< doubles per retry, capped at 50 ms
+  /// When non-empty, arm per-rank tracing: every process enables the
+  /// global tracer with its rank identity and the shared pre-fork epoch
+  /// (so all rank timelines align), and writes its trace to
+  /// obs::rank_trace_path(trace_path, rank) when fn returns successfully.
+  /// The parent's tracer state (enabled/epoch/rank) is restored -- and
+  /// its event buffers cleared -- after the run, so run_forked leaves the
+  /// process-global tracer as it found it.
+  std::string trace_path;
 };
 
 /// False on builds without POSIX fork/socketpair.
@@ -48,6 +57,10 @@ bool fork_backend_available();
 /// the child processes as independent address spaces: captured state is
 /// copied at fork time and writes in children are invisible to the parent
 /// except through the transport.
+///
+/// Children always clear the tracer's event buffers right after fork:
+/// spans the parent buffered before run_forked must appear once (in the
+/// parent's output), not replayed into every child's.
 int run_forked(const ForkOptions& opts,
                const std::function<int(Transport&)>& fn);
 

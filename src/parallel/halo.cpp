@@ -281,23 +281,73 @@ std::size_t DistributedField::exchange(Transport& t) {
   const int rank = t.rank();
   const auto t0 = std::chrono::steady_clock::now();
   rank_seconds_.assign(static_cast<std::size_t>(decomp_->num_tasks()), 0.0);
-  std::size_t moved = copy_self_wrap(rank);
-  std::uint64_t msgs = 0;
-  // Symmetric pairwise sweep: ascending peers, lower rank sends first.
-  for (int p : plans_.at(rank).send_to) {
-    if (rank < p) {
-      t.send(p, kHaloMessageTag, pack_halo(rank, p));
-      ++msgs;
-      moved += unpack_halo(rank, t.recv(p, kHaloMessageTag));
-    } else {
-      moved += unpack_halo(rank, t.recv(p, kHaloMessageTag));
-      t.send(p, kHaloMessageTag, pack_halo(rank, p));
-      ++msgs;
-    }
+  const std::vector<int>& send_to = plans_.at(rank).send_to;
+  ExchangePhases ph;
+
+  // Pack phase: self-wrap copies plus every outgoing slab, serialized
+  // before any wire traffic. Packing reads only owned slots and
+  // unpacking writes only halo slots, so hoisting it out of the pairwise
+  // sweep is bit-identical to the interleaved protocol -- and it keeps
+  // wire time from absorbing local serialization cost.
+  std::size_t moved = 0;
+  std::vector<std::vector<char>> outgoing;
+  {
+    OBS_SPAN("parallel", "halo_pack");
+    const auto tp = std::chrono::steady_clock::now();
+    moved = copy_self_wrap(rank);
+    outgoing.reserve(send_to.size());
+    for (int p : send_to) outgoing.push_back(pack_halo(rank, p));
+    ph.pack_seconds = seconds_since(tp);
   }
+
+  // Wire phase: symmetric pairwise sweep, ascending peers, lower rank
+  // sends first. Inbound slabs are buffered so the unpack scatter is
+  // timed apart from transfer/blocking time.
+  std::uint64_t msgs = 0;
+  std::vector<std::vector<char>> inbound;
+  {
+    OBS_SPAN("parallel", "halo_wire");
+    const auto tw = std::chrono::steady_clock::now();
+    inbound.reserve(send_to.size());
+    for (std::size_t i = 0; i < send_to.size(); ++i) {
+      const int p = send_to[i];
+      if (rank < p) {
+        t.send(p, kHaloMessageTag, outgoing[i]);
+        ++msgs;
+        inbound.push_back(t.recv(p, kHaloMessageTag));
+      } else {
+        inbound.push_back(t.recv(p, kHaloMessageTag));
+        t.send(p, kHaloMessageTag, outgoing[i]);
+        ++msgs;
+      }
+    }
+    ph.wire_seconds = seconds_since(tw);
+  }
+
+  // Unpack phase: every peer's slab scatters into disjoint halo slots
+  // (each halo node has exactly one owner), so the ascending-peer order
+  // matches the historical interleaved result bit-for-bit.
+  {
+    OBS_SPAN("parallel", "halo_unpack");
+    const auto tu = std::chrono::steady_clock::now();
+    for (const std::vector<char>& msg : inbound) {
+      moved += unpack_halo(rank, msg);
+    }
+    ph.unpack_seconds = seconds_since(tu);
+  }
+
   const double dt = seconds_since(t0);
   rank_seconds_[static_cast<std::size_t>(rank)] = dt;
+  last_phases_ = ph;
+  total_phases_.pack_seconds += ph.pack_seconds;
+  total_phases_.wire_seconds += ph.wire_seconds;
+  total_phases_.unpack_seconds += ph.unpack_seconds;
   record_exchange(moved, msgs, dt);
+  if (metrics_ != nullptr) {
+    metrics_->observe("parallel.exchange.pack.seconds", ph.pack_seconds);
+    metrics_->observe("parallel.exchange.wire.seconds", ph.wire_seconds);
+    metrics_->observe("parallel.exchange.unpack.seconds", ph.unpack_seconds);
+  }
   return moved;
 }
 

@@ -26,6 +26,17 @@ class Metrics;
 
 namespace apr::parallel {
 
+/// Wall time one exchange(Transport&) spent in each protocol phase.
+/// pack: self-wrap copies + serializing every outgoing slab (pure local
+/// compute); wire: the send/recv sweep (transfer plus blocking wait --
+/// the comm-wait signal straggler analysis keys on); unpack: scattering
+/// buffered inbound slabs into the halo shell (pure local compute).
+struct ExchangePhases {
+  double pack_seconds = 0.0;
+  double wire_seconds = 0.0;
+  double unpack_seconds = 0.0;
+};
+
 /// A scalar field distributed over the tasks of a BoxDecomposition with a
 /// fixed-width halo shell.
 class DistributedField {
@@ -100,6 +111,13 @@ class DistributedField {
   const std::vector<double>& last_rank_seconds() const {
     return rank_seconds_;
   }
+  /// Phase split of the calling rank's last / accumulated
+  /// exchange(Transport&) calls (zeros for the loopback exchange(),
+  /// which interleaves all ranks in one process).
+  const ExchangePhases& last_exchange_phases() const { return last_phases_; }
+  const ExchangePhases& total_exchange_phases() const {
+    return total_phases_;
+  }
 
  private:
   const BoxDecomposition* decomp_;
@@ -133,6 +151,8 @@ class DistributedField {
   std::uint64_t exchanges_ = 0;
   double last_seconds_ = 0.0;
   std::vector<double> rank_seconds_;
+  ExchangePhases last_phases_;
+  ExchangePhases total_phases_;
 
   std::size_t local_index(const TaskStore& s, const Int3& n) const;
   bool locate(const TaskStore& s, const Int3& n, std::size_t* index) const;

@@ -1,0 +1,92 @@
+#include "src/parallel/metrics_gather.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/io/checkpoint.hpp"
+
+namespace apr::parallel {
+
+namespace {
+
+/// Checkpoint-section tag inside a framed metrics snapshot.
+constexpr std::uint32_t kMetricsSectionTag = io::fourcc('M', 'T', 'R', 'C');
+
+std::vector<char> wrap_snapshot(const obs::Metrics& m) {
+  io::Checkpoint msg;
+  msg.add(kMetricsSectionTag, m.serialize());
+  return msg.to_bytes();
+}
+
+obs::Metrics unwrap_snapshot(const std::vector<char>& message, int src) {
+  const io::Checkpoint msg =
+      io::Checkpoint::from_bytes(message, "metrics message");
+  if (msg.tags() != std::vector<std::uint32_t>{kMetricsSectionTag}) {
+    throw TransportError("metrics message: unexpected section layout");
+  }
+  return obs::Metrics::deserialize(msg.section(kMetricsSectionTag),
+                                   "rank " + std::to_string(src));
+}
+
+}  // namespace
+
+std::vector<obs::Metrics> gather_metrics(Transport& t,
+                                         const obs::Metrics& local) {
+  if (t.rank() != 0) {
+    t.send(0, kMetricsMessageTag, wrap_snapshot(local));
+    return {};
+  }
+  std::vector<obs::Metrics> world;
+  world.reserve(static_cast<std::size_t>(t.size()));
+  world.push_back(local);
+  for (int src = 1; src < t.size(); ++src) {
+    world.push_back(unwrap_snapshot(t.recv(src, kMetricsMessageTag), src));
+  }
+  return world;
+}
+
+obs::Metrics derive_imbalance(const std::vector<obs::Metrics>& per_rank,
+                              const std::string& step_key,
+                              const std::string& comm_key) {
+  obs::Metrics out;
+  const std::size_t n = per_rank.size();
+  out.set_gauge("world.size", static_cast<double>(n));
+  if (n == 0) return out;
+
+  double step_sum_total = 0.0;
+  double step_max = 0.0;
+  double frac_sum = 0.0;
+  double frac_max = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double step = per_rank[r].histogram(step_key).sum;
+    const double comm = per_rank[r].histogram(comm_key).sum;
+    step_sum_total += step;
+    step_max = std::max(step_max, step);
+    const double frac = step > 0.0 ? comm / step : 0.0;
+    out.set_gauge("rank" + std::to_string(r) + ".comm.wait_fraction", frac);
+    frac_sum += frac;
+    frac_max = std::max(frac_max, frac);
+  }
+  const double step_mean = step_sum_total / static_cast<double>(n);
+  out.set_gauge("imbalance." + step_key + ".max_over_mean",
+                step_mean > 0.0 ? step_max / step_mean : 0.0);
+  out.set_gauge("comm.wait_fraction.max", frac_max);
+  out.set_gauge("comm.wait_fraction.mean",
+                frac_sum / static_cast<double>(n));
+  return out;
+}
+
+std::string merged_metrics_jsonl(const std::vector<obs::Metrics>& per_rank,
+                                 const std::string& step_key,
+                                 const std::string& comm_key) {
+  std::string out;
+  for (const obs::Metrics& m : per_rank) {
+    out += m.to_json();
+    out += "\n";
+  }
+  out += derive_imbalance(per_rank, step_key, comm_key).to_json();
+  out += "\n";
+  return out;
+}
+
+}  // namespace apr::parallel

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file metrics_gather.hpp
+/// Cross-rank metric aggregation at run end: every rank serializes its
+/// obs::Metrics snapshot (wrapped in io::Checkpoint framing, CRC-checked
+/// like every other wire payload) and ships it to rank 0 over the run's
+/// Transport; rank 0 merges the snapshots in rank-ascending order and
+/// derives the load-imbalance gauges the scaling analysis keys on. The
+/// merge is a pure function of the gathered snapshots, so rank 0's output
+/// is byte-identical for identical inputs regardless of arrival timing.
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/parallel/transport.hpp"
+
+namespace apr::parallel {
+
+/// Transport-frame tag for shipped metrics snapshots.
+inline constexpr int kMetricsMessageTag = 0x4D545253;  // "MTRS"
+
+/// Ship `local` to rank 0 (symmetric call on every rank; blocking-capable
+/// transports only). On rank 0 returns the snapshots of the whole world
+/// in rank-ascending order (index == rank, index 0 being `local` itself);
+/// on every other rank returns an empty vector.
+std::vector<obs::Metrics> gather_metrics(Transport& t,
+                                         const obs::Metrics& local);
+
+/// Derived cross-rank gauges from a rank-ascending gather:
+///   - "world.size"
+///   - "imbalance.<step_key>.max_over_mean": max over mean of each rank's
+///     `<step_key>` histogram sum (1.0 = perfectly balanced; 0 when no
+///     rank carries the histogram)
+///   - "rank<N>.comm.wait_fraction": rank N's `<comm_key>` histogram sum
+///     divided by its `<step_key>` sum
+///   - "comm.wait_fraction.max" / "comm.wait_fraction.mean"
+/// `step_key` names a per-rank histogram of step (or exchange) wall time,
+/// `comm_key` one of time blocked in communication.
+obs::Metrics derive_imbalance(const std::vector<obs::Metrics>& per_rank,
+                              const std::string& step_key,
+                              const std::string& comm_key);
+
+/// Render a gathered world as merged JSONL: one line per rank in rank
+/// order, then one derived-imbalance line (derive_imbalance output). The
+/// returned string is byte-identical for identical inputs.
+std::string merged_metrics_jsonl(const std::vector<obs::Metrics>& per_rank,
+                                 const std::string& step_key,
+                                 const std::string& comm_key);
+
+}  // namespace apr::parallel

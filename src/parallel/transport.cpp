@@ -4,6 +4,9 @@
 #include <deque>
 #include <string>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace apr::parallel {
 
 namespace {
@@ -14,12 +17,73 @@ struct Mail {
   std::vector<char> payload;
 };
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+std::string span_args(int peer, int tag, std::size_t bytes) {
+  return "\"peer\":" + std::to_string(peer) + ",\"tag\":" +
+         std::to_string(tag) + ",\"bytes\":" + std::to_string(bytes);
 }
 
 }  // namespace
+
+void Transport::send(int dest, int tag, const std::vector<char>& payload) {
+  const bool traced = obs::Tracer::instance().enabled();
+  const std::int64_t t0_ns = obs::trace_now_ns();
+  do_send(dest, tag, payload);
+  const std::int64_t dur_ns = obs::trace_now_ns() - t0_ns;
+  const double seconds = static_cast<double>(dur_ns) * 1e-9;
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  stats_.send_seconds += seconds;
+  PeerTraffic& peer = stats_.peers[dest];
+  ++peer.messages_sent;
+  peer.bytes_sent += payload.size();
+  peer.send_seconds += seconds;
+
+  if (traced) {
+    obs::Tracer::instance().record_complete(
+        "transport", "send", t0_ns, dur_ns, span_args(dest, tag,
+                                                      payload.size()));
+  }
+  if (metrics_) {
+    metrics_->add_counter("transport.send.messages");
+    metrics_->add_counter("transport.send.bytes", payload.size());
+    const std::string peer_key = "transport.to.rank" + std::to_string(dest);
+    metrics_->add_counter(peer_key + ".messages");
+    metrics_->add_counter(peer_key + ".bytes", payload.size());
+    metrics_->observe("transport.send.seconds", seconds);
+  }
+}
+
+std::vector<char> Transport::recv(int src, int tag) {
+  const bool traced = obs::Tracer::instance().enabled();
+  const std::int64_t t0_ns = obs::trace_now_ns();
+  std::vector<char> payload = do_recv(src, tag);
+  const std::int64_t dur_ns = obs::trace_now_ns() - t0_ns;
+  const double seconds = static_cast<double>(dur_ns) * 1e-9;
+
+  ++stats_.messages_received;
+  stats_.bytes_received += payload.size();
+  stats_.recv_seconds += seconds;
+  PeerTraffic& peer = stats_.peers[src];
+  ++peer.messages_received;
+  peer.bytes_received += payload.size();
+  peer.recv_seconds += seconds;
+
+  if (traced) {
+    obs::Tracer::instance().record_complete(
+        "transport", "recv", t0_ns, dur_ns, span_args(src, tag,
+                                                      payload.size()));
+  }
+  if (metrics_) {
+    metrics_->add_counter("transport.recv.messages");
+    metrics_->add_counter("transport.recv.bytes", payload.size());
+    const std::string peer_key = "transport.from.rank" + std::to_string(src);
+    metrics_->add_counter(peer_key + ".messages");
+    metrics_->add_counter(peer_key + ".bytes", payload.size());
+    metrics_->observe("transport.recv.seconds", seconds);
+  }
+  return payload;
+}
 
 struct LoopbackHub::Impl {
   class Endpoint;
@@ -35,20 +99,17 @@ struct LoopbackHub::Impl {
     int size() const override { return hub_->size; }
     const char* backend() const override { return "loopback"; }
 
-    void send(int dest, int tag, const std::vector<char>& payload) override {
-      const auto t0 = std::chrono::steady_clock::now();
+   protected:
+    void do_send(int dest, int tag,
+                 const std::vector<char>& payload) override {
       if (dest < 0 || dest >= hub_->size) {
         throw TransportError("loopback send: bad destination rank " +
                              std::to_string(dest));
       }
       hub_->mailboxes[dest].push_back(Mail{rank_, tag, payload});
-      ++stats_.messages_sent;
-      stats_.bytes_sent += payload.size();
-      stats_.send_seconds += seconds_since(t0);
     }
 
-    std::vector<char> recv(int src, int tag) override {
-      const auto t0 = std::chrono::steady_clock::now();
+    std::vector<char> do_recv(int src, int tag) override {
       if (src < 0 || src >= hub_->size) {
         throw TransportError("loopback recv: bad source rank " +
                              std::to_string(src));
@@ -58,9 +119,6 @@ struct LoopbackHub::Impl {
         if (it->src != src || it->tag != tag) continue;
         std::vector<char> payload = std::move(it->payload);
         box.erase(it);
-        ++stats_.messages_received;
-        stats_.bytes_received += payload.size();
-        stats_.recv_seconds += seconds_since(t0);
         return payload;
       }
       // Single-threaded: nothing else can enqueue, so blocking would hang

@@ -37,11 +37,13 @@ std::string temp_path(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
-/// Re-disables the global tracer and drops its events on scope exit so a
-/// tracer test cannot leak state into the rest of the suite.
+/// Re-disables the global tracer, resets its rank identity, and drops its
+/// events on scope exit so a tracer test cannot leak state into the rest
+/// of the suite.
 struct TracerGuard {
   ~TracerGuard() {
     Tracer::instance().set_enabled(false);
+    Tracer::instance().set_rank(0, 1);
     Tracer::instance().clear();
   }
 };
@@ -241,6 +243,68 @@ TEST(ObsTrace, WriteThrowsOnUnwritablePath) {
   }
 }
 
+TEST(ObsJson, RenderRoundTripsValuesInSourceOrder) {
+  const std::string src =
+      R"({"b":[1,2.5,"x",true,null],"a":{"nested":{"k":-0.5}}})";
+  const std::string rendered = json_render(json_parse(src));
+  EXPECT_EQ(rendered, src);  // compact, member order preserved
+  EXPECT_EQ(json_render(json_parse(rendered)), rendered);
+}
+
+// --- Rank identity --------------------------------------------------------
+
+TEST(ObsTrace, RankTracePathRoundTrips) {
+  EXPECT_EQ(rank_trace_path("out/trace.json", 3), "out/trace.rank3.json");
+  EXPECT_EQ(rank_trace_path("trace", 0), "trace.rank0");
+  EXPECT_EQ(rank_trace_path("a.dir/plain", 1), "a.dir/plain.rank1");
+  EXPECT_EQ(rank_from_trace_path("out/trace.rank3.json"), 3);
+  EXPECT_EQ(rank_from_trace_path("trace.rank12"), 12);
+  EXPECT_EQ(rank_from_trace_path("out/trace.json"), -1);
+  EXPECT_EQ(rank_from_trace_path("trace.rankX.json"), -1);
+}
+
+TEST(ObsTrace, SetRankValidatesIdentity) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  EXPECT_THROW(tracer.set_rank(-1, 2), std::invalid_argument);
+  EXPECT_THROW(tracer.set_rank(2, 2), std::invalid_argument);
+  EXPECT_THROW(tracer.set_rank(0, 0), std::invalid_argument);
+  tracer.set_rank(1, 4);
+  EXPECT_EQ(tracer.rank(), 1);
+  EXPECT_EQ(tracer.world_size(), 4);
+}
+
+TEST(ObsTrace, RankLanesRenderInChromeJson) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.set_rank(1, 2);
+  tracer.set_enabled(true);
+  { OBS_SPAN("test", "ranked_span"); }
+  tracer.set_enabled(false);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("rank 1/2"), std::string::npos);  // lane metadata
+  EXPECT_NE(json.find("process_sort_index"), std::string::npos);
+  const JsonValue v = json_parse(json);
+  ASSERT_TRUE(v.at("traceEvents").is_array());
+  // Every event (metadata and span alike) sits in this rank's pid lane.
+  for (const JsonValue& ev : v.at("traceEvents").array) {
+    EXPECT_DOUBLE_EQ(ev.at("pid").number, 1.0);
+  }
+}
+
+TEST(ObsTrace, DisabledModeWithRankPlumbingAllocatesNothing) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.set_rank(3, 8);  // identity alone must not arm recording
+  const std::size_t buffers = tracer.buffers_registered();
+  const std::size_t events = tracer.event_count();
+  { OBS_SPAN("test", "never_recorded"); }
+  tracer.record_instant("test", "never_either");
+  EXPECT_EQ(tracer.buffers_registered(), buffers);
+  EXPECT_EQ(tracer.event_count(), events);
+}
+
 // --- Metrics registry -----------------------------------------------------
 
 TEST(ObsMetrics, RegistryBasics) {
@@ -307,7 +371,78 @@ TEST(ObsMetrics, WriterAppendsLinesAndFailsFast) {
   }
 }
 
+TEST(ObsMetrics, HistogramPercentilesAreNearestRank) {
+  Metrics m;
+  for (int i = 100; i >= 1; --i) m.observe("lat", static_cast<double>(i));
+  const HistogramStats s = m.histogram("lat");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  // A single sample collapses every quantile onto it.
+  Metrics one;
+  one.observe("x", 7.5);
+  EXPECT_DOUBLE_EQ(one.histogram("x").p50, 7.5);
+  EXPECT_DOUBLE_EQ(one.histogram("x").p99, 7.5);
+}
+
+TEST(ObsMetrics, HistogramJsonGoldenFormat) {
+  // Byte-exact rendering contract: sorted keys, fixed sub-object key
+  // order, %.17g numbers. Downstream golden comparisons depend on it.
+  Metrics m;
+  m.observe("h", 2.0);
+  m.observe("h", 1.0);
+  m.observe("h", 4.0);
+  EXPECT_EQ(m.to_json(),
+            "{\"h\":{\"count\":3,\"sum\":7,\"min\":1,\"max\":4,"
+            "\"p50\":2,\"p95\":4,\"p99\":4}}");
+}
+
+TEST(ObsMetrics, SetRankRendersAndValidates) {
+  Metrics m;
+  m.set_rank(1, 4);
+  EXPECT_DOUBLE_EQ(m.gauge("rank"), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("world.size"), 4.0);
+  EXPECT_THROW(m.set_rank(-1, 4), std::invalid_argument);
+  EXPECT_THROW(m.set_rank(4, 4), std::invalid_argument);
+  EXPECT_THROW(m.set_rank(0, 0), std::invalid_argument);
+}
+
+TEST(ObsMetrics, SerializeRoundTripsByteIdentically) {
+  Metrics m;
+  m.set_rank(2, 8);
+  m.set_gauge("zeta", 1.0 / 3.0);
+  m.add_counter("msgs", 42);
+  for (int i = 0; i < 10; ++i) m.observe("lat", 0.1 * i);
+  const std::vector<char> bytes = m.serialize();
+  const Metrics back = Metrics::deserialize(bytes, "rank 2");
+  EXPECT_EQ(back.to_json(), m.to_json());
+  EXPECT_DOUBLE_EQ(back.gauge("rank"), 2.0);
+  EXPECT_EQ(back.counter("msgs"), 42u);
+
+  const std::vector<char> truncated(bytes.begin(), bytes.end() - 3);
+  try {
+    Metrics::deserialize(truncated, "rank 2");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos);
+  }
+}
+
 // --- Run manifest ---------------------------------------------------------
+
+TEST(ObsManifest, RendersRankIdentity) {
+  RunManifest m;
+  m.tool = "t";
+  m.rank = 2;
+  m.world_size = 4;
+  const std::string json = run_manifest_json(m);
+  EXPECT_NE(json.find("\"rank\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"world_size\":4"), std::string::npos);
+  const JsonValue v = json_parse(json);
+  EXPECT_DOUBLE_EQ(v.at("rank").number, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("world_size").number, 4.0);
+}
 
 TEST(ObsManifest, CaptureAndRoundTrip) {
   RunManifest m;

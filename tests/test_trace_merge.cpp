@@ -1,0 +1,114 @@
+/// Trace-merge tests: per-rank Chrome traces combine into one multi-pid
+/// timeline deterministically (byte-identical output regardless of input
+/// file order), input metadata is stripped and re-emitted fresh, event
+/// args survive untouched, and malformed inputs fail with typed errors.
+
+#include "src/obs/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace apr::obs {
+namespace {
+
+/// Assemble a Chrome trace document from pre-rendered event objects.
+std::string trace_doc(const std::vector<std::string>& events) {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) out += ",";
+    out += events[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string span(const char* name, double ts, double dur, int tid,
+                 const char* extra = "") {
+  std::string e = "{\"name\":\"" + std::string(name) +
+                  "\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":" +
+                  json_number(ts) + ",\"dur\":" + json_number(dur) +
+                  ",\"pid\":99,\"tid\":" + std::to_string(tid);
+  if (*extra) e += std::string(",") + extra;
+  e += "}";
+  return e;
+}
+
+TEST(TraceMerge, MergesLanesAndForcesPidToRank) {
+  const std::string r0 = trace_doc({span("a", 10, 5, 1), span("b", 30, 2, 1)});
+  const std::string r1 = trace_doc({span("c", 20, 4, 1)});
+  const std::string merged = merge_chrome_traces({{0, r0}, {1, r1}});
+  const JsonValue v = json_parse(merged);
+  const auto& events = v.at("traceEvents").array;
+  // 2 metadata events per rank (name + sort index), then 3 spans.
+  ASSERT_EQ(events.size(), 7u);
+  EXPECT_EQ(events[0].at("name").string, "process_name");
+  EXPECT_EQ(events[0].at("args").at("name").string, "rank 0/2");
+  EXPECT_DOUBLE_EQ(events[0].at("pid").number, 0.0);
+  EXPECT_EQ(events[2].at("args").at("name").string, "rank 1/2");
+  // Spans ordered by (ts, rank): a@10 rank0, c@20 rank1, b@30 rank0 --
+  // with every pid rewritten from the bogus input value to the rank.
+  EXPECT_EQ(events[4].at("name").string, "a");
+  EXPECT_DOUBLE_EQ(events[4].at("pid").number, 0.0);
+  EXPECT_EQ(events[5].at("name").string, "c");
+  EXPECT_DOUBLE_EQ(events[5].at("pid").number, 1.0);
+  EXPECT_EQ(events[6].at("name").string, "b");
+  EXPECT_DOUBLE_EQ(events[6].at("pid").number, 0.0);
+}
+
+TEST(TraceMerge, OutputIsByteIdenticalAcrossInputOrder) {
+  const std::string r0 = trace_doc({span("a", 10, 5, 1), span("b", 10, 2, 2)});
+  const std::string r1 = trace_doc({span("c", 10, 4, 1)});
+  const std::string r2 = trace_doc({span("d", 5, 1, 1)});
+  const std::string fwd =
+      merge_chrome_traces({{0, r0}, {1, r1}, {2, r2}});
+  const std::string rev =
+      merge_chrome_traces({{2, r2}, {0, r0}, {1, r1}});
+  EXPECT_EQ(fwd, rev);
+  // Repeat merge of the merge inputs is stable too.
+  EXPECT_EQ(fwd, merge_chrome_traces({{1, r1}, {2, r2}, {0, r0}}));
+}
+
+TEST(TraceMerge, StripsInputMetadataAndKeepsArgs) {
+  const std::string meta =
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"stale\"}}";
+  const std::string with_args =
+      span("a", 1, 1, 1, "\"args\":{\"peer\":3,\"bytes\":128}");
+  const std::string merged =
+      merge_chrome_traces({{0, trace_doc({meta, with_args})}});
+  EXPECT_EQ(merged.find("stale"), std::string::npos);
+  const JsonValue v = json_parse(merged);
+  const auto& events = v.at("traceEvents").array;
+  // Fresh metadata pair for the single rank, then the span.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("args").at("name").string, "rank 0/1");
+  EXPECT_DOUBLE_EQ(events[2].at("args").at("peer").number, 3.0);
+  EXPECT_DOUBLE_EQ(events[2].at("args").at("bytes").number, 128.0);
+}
+
+TEST(TraceMerge, WorldSizeComesFromHighestRank) {
+  // Merging a subset (say ranks 0 and 3 of 4) still names lanes /4.
+  const std::string merged = merge_chrome_traces(
+      {{3, trace_doc({span("x", 1, 1, 1)})}, {0, trace_doc({})}});
+  EXPECT_NE(merged.find("rank 0/4"), std::string::npos);
+  EXPECT_NE(merged.find("rank 3/4"), std::string::npos);
+}
+
+TEST(TraceMerge, RejectsBadInputs) {
+  const std::string ok = trace_doc({span("a", 1, 1, 1)});
+  EXPECT_THROW(merge_chrome_traces({}), std::runtime_error);
+  EXPECT_THROW(merge_chrome_traces({{-1, ok}}), std::runtime_error);
+  EXPECT_THROW(merge_chrome_traces({{0, ok}, {0, ok}}), std::runtime_error);
+  EXPECT_THROW(merge_chrome_traces({{0, "not json"}}), std::runtime_error);
+  EXPECT_THROW(merge_chrome_traces({{0, "{\"traceEvents\":7}"}}),
+               std::runtime_error);
+  EXPECT_THROW(merge_chrome_traces({{0, "{\"events\":[]}"}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apr::obs

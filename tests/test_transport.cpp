@@ -9,12 +9,18 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/io/checkpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parallel/fork_transport.hpp"
 #include "src/parallel/halo.hpp"
+#include "src/parallel/metrics_gather.hpp"
 #include "src/parallel/packing.hpp"
 
 namespace apr::parallel {
@@ -266,6 +272,143 @@ TEST(ForkTransport, CellMigrationAcrossProcesses) {
     return 0;
   });
   EXPECT_EQ(rc, 0);
+}
+
+TEST(LoopbackTransport, PerPeerStatsAndMetricsMirroring) {
+  LoopbackHub hub(3);
+  obs::Metrics m;
+  hub.endpoint(0).attach_metrics(&m);
+  hub.endpoint(0).send(1, 3, bytes_of("12345"));
+  hub.endpoint(0).send(2, 3, bytes_of("ab"));
+  hub.endpoint(1).send(0, 3, bytes_of("xyz"));
+  hub.endpoint(0).recv(1, 3);
+  const TransportStats& s = hub.endpoint(0).stats();
+  ASSERT_EQ(s.peers.count(1), 1u);
+  EXPECT_EQ(s.peers.at(1).messages_sent, 1u);
+  EXPECT_EQ(s.peers.at(1).bytes_sent, 5u);
+  EXPECT_EQ(s.peers.at(2).bytes_sent, 2u);
+  EXPECT_EQ(s.peers.at(1).messages_received, 1u);
+  EXPECT_EQ(s.peers.at(1).bytes_received, 3u);
+  // The same traffic mirrored into the attached registry.
+  EXPECT_EQ(m.counter("transport.send.messages"), 2u);
+  EXPECT_EQ(m.counter("transport.send.bytes"), 7u);
+  EXPECT_EQ(m.counter("transport.to.rank1.messages"), 1u);
+  EXPECT_EQ(m.counter("transport.to.rank2.bytes"), 2u);
+  EXPECT_EQ(m.counter("transport.from.rank1.bytes"), 3u);
+  EXPECT_EQ(m.histogram("transport.send.seconds").count, 2u);
+  EXPECT_EQ(m.histogram("transport.recv.seconds").count, 1u);
+  hub.endpoint(0).reset_stats();
+  EXPECT_TRUE(hub.endpoint(0).stats().peers.empty());
+}
+
+TEST(MetricsGather, DeriveImbalanceComputesGauges) {
+  std::vector<obs::Metrics> world(2);
+  world[0].observe("step_ms", 10.0);
+  world[0].observe("comm_wait_ms", 2.0);
+  world[1].observe("step_ms", 30.0);
+  world[1].observe("comm_wait_ms", 24.0);
+  const obs::Metrics d = derive_imbalance(world, "step_ms", "comm_wait_ms");
+  EXPECT_DOUBLE_EQ(d.gauge("world.size"), 2.0);
+  EXPECT_DOUBLE_EQ(d.gauge("imbalance.step_ms.max_over_mean"), 1.5);
+  EXPECT_DOUBLE_EQ(d.gauge("rank0.comm.wait_fraction"), 0.2);
+  EXPECT_DOUBLE_EQ(d.gauge("rank1.comm.wait_fraction"), 0.8);
+  EXPECT_DOUBLE_EQ(d.gauge("comm.wait_fraction.max"), 0.8);
+  EXPECT_DOUBLE_EQ(d.gauge("comm.wait_fraction.mean"), 0.5);
+  // Merged rendering: one line per rank, one derived line, byte-stable.
+  const std::string a = merged_metrics_jsonl(world, "step_ms", "comm_wait_ms");
+  EXPECT_EQ(a, merged_metrics_jsonl(world, "step_ms", "comm_wait_ms"));
+  EXPECT_EQ(std::count(a.begin(), a.end(), '\n'), 3);
+}
+
+TEST(ForkTransport, GatherMetricsAndExchangePhases) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  ForkOptions opts;
+  opts.ranks = 3;
+  const int rc = run_forked(opts, [](Transport& t) {
+    const BoxDecomposition d({24, 12, 12}, t.size());
+    DistributedField f(d, 1);
+    obs::Metrics m;
+    f.attach_metrics(&m);
+    f.fill_owned([](const Int3& n) { return n.x + 2.0 * n.y; });
+    f.exchange(t);
+    const ExchangePhases& ph = f.last_exchange_phases();
+    if (!(ph.pack_seconds > 0.0)) return 50;
+    if (!(ph.wire_seconds > 0.0)) return 51;
+    if (!(ph.unpack_seconds > 0.0)) return 52;
+    if (m.histogram("parallel.exchange.wire.seconds").count != 1) return 53;
+    m.set_rank(t.rank(), t.size());
+    m.set_gauge("answer", 10.0 * t.rank());
+    m.observe("step_ms", 1.0 + t.rank());
+    const std::vector<obs::Metrics> world = gather_metrics(t, m);
+    if (t.rank() != 0) return world.empty() ? 0 : 54;
+    if (world.size() != 3u) return 55;
+    for (int r = 0; r < 3; ++r) {
+      const obs::Metrics& mr = world[static_cast<std::size_t>(r)];
+      if (mr.gauge("rank") != r) return 56;
+      if (mr.gauge("answer") != 10.0 * r) return 57;
+      if (mr.histogram("step_ms").count != 1) return 58;
+      if (mr.histogram("step_ms").sum != 1.0 + r) return 59;
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(ForkTransport, TraceArmedRunEmitsParentSpansExactlyOnce) {
+  if (!fork_backend_available()) GTEST_SKIP() << "no fork on this platform";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+  { OBS_SPAN("test", "parent_side_span"); }
+  const std::string base =
+      std::string(::testing::TempDir()) + "/fork_trace.json";
+  ForkOptions opts;
+  opts.ranks = 2;
+  opts.trace_path = base;
+  const int rc = run_forked(opts, [](Transport& t) {
+    // run_forked arms each process with its own rank identity.
+    if (!obs::Tracer::instance().enabled()) return 40;
+    if (obs::Tracer::instance().rank() != t.rank()) return 41;
+    if (obs::Tracer::instance().world_size() != t.size()) return 42;
+    OBS_SPAN("test", "child_side_span");
+    return 0;
+  });
+  const bool still_enabled = tracer.enabled();
+  const std::size_t leftover = tracer.event_count();
+  tracer.set_enabled(false);
+  tracer.clear();
+  EXPECT_EQ(rc, 0);
+  // Parent-side state restored: the pre-run enabled flag survives and the
+  // parent's buffered spans were flushed into rank 0's file, not kept.
+  EXPECT_TRUE(still_enabled);
+  EXPECT_EQ(leftover, 0u);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+  };
+  const auto count = [](const std::string& hay, const std::string& needle) {
+    int n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  const std::string r0 = read_file(obs::rank_trace_path(base, 0));
+  const std::string r1 = read_file(obs::rank_trace_path(base, 1));
+  // The span recorded before the fork belongs to rank 0 (the parent)
+  // alone; the fork-inheritance quiesce keeps it out of every child.
+  EXPECT_EQ(count(r0, "parent_side_span"), 1);
+  EXPECT_EQ(count(r1, "parent_side_span"), 0);
+  EXPECT_EQ(count(r0, "child_side_span"), 1);
+  EXPECT_EQ(count(r1, "child_side_span"), 1);
+  // Both files carry multi-rank lane metadata.
+  EXPECT_EQ(count(r0, "rank 0/2"), 1);
+  EXPECT_EQ(count(r1, "rank 1/2"), 1);
 }
 
 void relax_owned(DistributedField& f, int r);

@@ -1,0 +1,89 @@
+/// \file trace_merge.cpp
+/// Merge per-rank Chrome traces into one multi-pid timeline.
+///
+///   trace_merge -o MERGED.json TRACE.rank0.json TRACE.rank1.json ...
+///
+/// Each input's rank is taken from its ".rank<N>" path component (the
+/// files run_forked writes); --rank N before an input overrides it for
+/// files named differently. Inputs may be listed in any order -- the
+/// merge sorts by rank and orders events deterministically, so the same
+/// inputs always produce byte-identical output.
+///
+/// Exit codes: 0 ok, 1 merge failure, 2 usage error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hpp"
+#include "src/obs/trace_merge.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+int usage() {
+  std::cerr << "usage: trace_merge -o MERGED.json [--rank N] TRACE.rank0.json "
+               "[[--rank N] TRACE.rank1.json ...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<apr::obs::RankTrace> traces;
+  int forced_rank = -1;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "-o" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (arg == "--rank" && a + 1 < argc) {
+      forced_rank = std::atoi(argv[++a]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      const int rank =
+          forced_rank >= 0 ? forced_rank : apr::obs::rank_from_trace_path(arg);
+      forced_rank = -1;
+      if (rank < 0) {
+        std::cerr << "trace_merge: cannot infer a rank from '" << arg
+                  << "' (no .rank<N> component; use --rank N)\n";
+        return 2;
+      }
+      try {
+        traces.push_back({rank, read_file(arg)});
+      } catch (const std::exception& ex) {
+        std::cerr << "trace_merge: " << ex.what() << "\n";
+        return 1;
+      }
+    }
+  }
+  if (out_path.empty() || traces.empty()) return usage();
+
+  try {
+    const std::size_t n = traces.size();
+    const std::string merged =
+        apr::obs::merge_chrome_traces(std::move(traces));
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os) {
+      throw std::runtime_error("cannot open '" + out_path + "' for writing");
+    }
+    os << merged << "\n";
+    os.flush();
+    if (!os) throw std::runtime_error("write failed for '" + out_path + "'");
+    std::cout << "merged " << n << " rank trace(s) into " << out_path << "\n";
+  } catch (const std::exception& ex) {
+    std::cerr << "trace_merge: " << ex.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -7,14 +7,21 @@
 ///   --check            validate schema only (exit 1 on any problem)
 ///   --require-phases   additionally require every StepPhase span name to
 ///                      appear as a complete event (with --check)
+///   --require-ranks N  require >= N distinct process lanes (ranks) to
+///                      carry complete spans (with --check)
+///   --max-imbalance X  fail when max/mean of per-rank busy time exceeds
+///                      X (with --check; needs >= 2 ranks to be meaningful)
 ///   --metrics FILE     also validate a metrics JSONL file (with --check)
 ///
 /// Default mode prints a per-(category,name) table of call count, total
-/// time and self time (total minus direct children on the same thread),
-/// sorted by self time, plus an instant-event tally. --check is the CI
-/// gate: it parses the trace with the strict obs JSON parser, checks the
-/// Chrome trace_event envelope and every event's required fields, and
-/// (with --metrics) checks each JSONL line is a flat object with numeric
+/// time and self time (total minus direct children on the same lane),
+/// sorted by self time, plus an instant-event tally. For multi-rank
+/// (merged) traces it adds a per-rank load table -- busy time, comm-wait
+/// time and fraction -- and per-span straggler attribution: which rank
+/// dominates each span's critical path. --check is the CI gate: it parses
+/// the trace with the strict obs JSON parser, checks the Chrome
+/// trace_event envelope and every event's required fields, and (with
+/// --metrics) checks each JSONL line is a flat object with numeric
 /// "step" and "time" keys.
 ///
 /// Exit codes: 0 ok, 1 validation/summarization failure, 2 usage error.
@@ -24,6 +31,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,6 +49,7 @@ struct Event {
   std::string cat;
   std::string name;
   char ph = '?';
+  int pid = 0;  // process lane == rank in merged traces
   int tid = 0;
   double ts = 0.0;   // us
   double dur = 0.0;  // us, 'X' only
@@ -55,7 +64,8 @@ std::string read_file(const std::string& path) {
 }
 
 /// Parse + validate the Chrome trace envelope; throws on any schema
-/// violation.
+/// violation. Metadata events (ph 'M') are validated lightly and dropped
+/// -- they name lanes, they are not workload.
 std::vector<Event> load_trace(const std::string& path) {
   const JsonValue doc = apr::obs::json_parse(read_file(path));
   if (!doc.is_object()) throw JsonError("trace: root is not an object");
@@ -67,14 +77,17 @@ std::vector<Event> load_trace(const std::string& path) {
     const JsonValue& e = events.array[i];
     const std::string where = "trace: event " + std::to_string(i);
     if (!e.is_object()) throw JsonError(where + " is not an object");
-    Event ev;
     const JsonValue& name = e.at("name");
-    const JsonValue& cat = e.at("cat");
     const JsonValue& ph = e.at("ph");
+    if (!name.is_string() || !ph.is_string()) {
+      throw JsonError(where + " has a mistyped required field");
+    }
+    if (ph.string == "M") continue;
+    Event ev;
+    const JsonValue& cat = e.at("cat");
     const JsonValue& ts = e.at("ts");
     const JsonValue& tid = e.at("tid");
-    if (!name.is_string() || !cat.is_string() || !ph.is_string() ||
-        !ts.is_number() || !tid.is_number()) {
+    if (!cat.is_string() || !ts.is_number() || !tid.is_number()) {
       throw JsonError(where + " has a mistyped required field");
     }
     ev.name = name.string;
@@ -82,6 +95,10 @@ std::vector<Event> load_trace(const std::string& path) {
     ev.ph = ph.string.size() == 1 ? ph.string[0] : '?';
     ev.ts = ts.number;
     ev.tid = static_cast<int>(tid.number);
+    if (const JsonValue* pid = e.find("pid")) {
+      if (!pid->is_number()) throw JsonError(where + " has non-numeric pid");
+      ev.pid = static_cast<int>(pid->number);
+    }
     if (ev.ph == 'X') {
       const JsonValue& dur = e.at("dur");
       if (!dur.is_number()) throw JsonError(where + " has non-numeric dur");
@@ -121,59 +138,113 @@ std::size_t check_metrics(const std::string& path) {
   return n;
 }
 
-/// Per-(cat,name) totals with self time: per-thread stack nesting over
+/// Per-(cat,name) totals with self time: per-lane stack nesting over
 /// complete events sorted by start time (longer span first on ties, so a
-/// parent precedes the children it encloses).
+/// parent precedes the children it encloses). Lanes are (pid,tid) pairs:
+/// in a merged trace the same tid value recurs in every rank's process.
 struct Row {
   std::uint64_t calls = 0;
   double total_us = 0.0;
   double self_us = 0.0;
 };
 
-std::map<std::string, Row> summarize(const std::vector<Event>& events) {
+/// Per-rank (pid) load, derived from the same nesting sweep: busy time is
+/// the sum of top-level span durations across the rank's lanes, comm-wait
+/// time the total duration of "transport" category spans.
+struct RankLoad {
+  std::uint64_t spans = 0;
+  double busy_us = 0.0;
+  double comm_us = 0.0;
+};
+
+/// Per-span straggler attribution: total time by rank.
+struct SpanByRank {
+  std::map<int, double> rank_us;
+};
+
+struct Summary {
   std::map<std::string, Row> rows;
-  std::map<int, std::vector<const Event*>> by_tid;
+  std::map<int, RankLoad> ranks;
+  std::map<std::string, SpanByRank> spans;
+};
+
+Summary summarize(const std::vector<Event>& events) {
+  Summary out;
+  std::map<std::pair<int, int>, std::vector<const Event*>> by_lane;
   for (const Event& e : events) {
-    if (e.ph == 'X') by_tid[e.tid].push_back(&e);
+    if (e.ph != 'X') continue;
+    by_lane[{e.pid, e.tid}].push_back(&e);
+    RankLoad& load = out.ranks[e.pid];
+    ++load.spans;
+    if (e.cat == "transport") load.comm_us += e.dur;
+    out.spans[e.cat + "/" + e.name].rank_us[e.pid] += e.dur;
   }
   struct Open {
     const Event* ev;
     double child_us;
   };
-  for (auto& [tid, list] : by_tid) {
+  for (auto& [lane, list] : by_lane) {
+    RankLoad& load = out.ranks[lane.first];
     std::sort(list.begin(), list.end(), [](const Event* a, const Event* b) {
       if (a->ts != b->ts) return a->ts < b->ts;
       return a->dur > b->dur;
     });
     std::vector<Open> stack;
+    auto close_top = [&] {
+      const Open top = stack.back();
+      stack.pop_back();
+      Row& r = out.rows[top.ev->cat + "/" + top.ev->name];
+      r.self_us += top.ev->dur - top.child_us;
+      if (!stack.empty()) {
+        stack.back().child_us += top.ev->dur;
+      } else {
+        load.busy_us += top.ev->dur;
+      }
+    };
     for (const Event* e : list) {
       while (!stack.empty() &&
              stack.back().ev->ts + stack.back().ev->dur <= e->ts) {
-        const Open top = stack.back();
-        stack.pop_back();
-        Row& r = rows[top.ev->cat + "/" + top.ev->name];
-        r.self_us += top.ev->dur - top.child_us;
-        if (!stack.empty()) stack.back().child_us += top.ev->dur;
+        close_top();
       }
-      Row& r = rows[e->cat + "/" + e->name];
+      Row& r = out.rows[e->cat + "/" + e->name];
       ++r.calls;
       r.total_us += e->dur;
       stack.push_back({e, 0.0});
     }
-    while (!stack.empty()) {
-      const Open top = stack.back();
-      stack.pop_back();
-      Row& r = rows[top.ev->cat + "/" + top.ev->name];
-      r.self_us += top.ev->dur - top.child_us;
-      if (!stack.empty()) stack.back().child_us += top.ev->dur;
-    }
+    while (!stack.empty()) close_top();
   }
-  return rows;
+  return out;
+}
+
+/// max/mean of per-rank busy time (1.0 = balanced; 0 for an empty world).
+double busy_imbalance(const std::map<int, RankLoad>& ranks) {
+  if (ranks.empty()) return 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  for (const auto& [pid, load] : ranks) {
+    max = std::max(max, load.busy_us);
+    sum += load.busy_us;
+  }
+  const double mean = sum / static_cast<double>(ranks.size());
+  return mean > 0.0 ? max / mean : 0.0;
+}
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
+  return buf;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
 }
 
 int usage() {
   std::cerr << "usage: trace_summary [--top K] [--check] [--require-phases] "
-               "[--metrics FILE] TRACE.json\n";
+               "[--require-ranks N] [--max-imbalance X] [--metrics FILE] "
+               "TRACE.json\n";
   return 2;
 }
 
@@ -183,6 +254,8 @@ int main(int argc, char** argv) {
   int top_k = 15;
   bool check = false;
   bool require_phases = false;
+  int require_ranks = 0;
+  double max_imbalance = 0.0;  // 0 = gate off
   std::string metrics_path;
   std::string trace_path;
   for (int a = 1; a < argc; ++a) {
@@ -193,6 +266,10 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--require-phases") {
       require_phases = true;
+    } else if (arg == "--require-ranks" && a + 1 < argc) {
+      require_ranks = std::atoi(argv[++a]);
+    } else if (arg == "--max-imbalance" && a + 1 < argc) {
+      max_imbalance = std::atof(argv[++a]);
     } else if (arg == "--metrics" && a + 1 < argc) {
       metrics_path = argv[++a];
     } else if (!arg.empty() && arg[0] == '-') {
@@ -223,6 +300,23 @@ int main(int argc, char** argv) {
       }
     }
 
+    const Summary summary = summarize(events);
+
+    if (require_ranks > 0) {
+      const std::size_t have = summary.ranks.size();
+      if (have < static_cast<std::size_t>(require_ranks)) {
+        throw JsonError("trace: " + std::to_string(have) +
+                        " rank lane(s) carry spans, " +
+                        std::to_string(require_ranks) + " required");
+      }
+    }
+    const double imbalance = busy_imbalance(summary.ranks);
+    if (max_imbalance > 0.0 && imbalance > max_imbalance) {
+      throw JsonError("trace: busy-time imbalance " + fmt_ratio(imbalance) +
+                      " exceeds the --max-imbalance gate " +
+                      fmt_ratio(max_imbalance));
+    }
+
     std::size_t metric_samples = 0;
     if (!metrics_path.empty()) metric_samples = check_metrics(metrics_path);
 
@@ -231,7 +325,8 @@ int main(int argc, char** argv) {
       std::size_t instants = 0;
       for (const Event& e : events) (e.ph == 'X' ? spans : instants)++;
       std::cout << "trace ok: " << spans << " spans, " << instants
-                << " instant events";
+                << " instant events, " << summary.ranks.size()
+                << " rank lane(s), imbalance " << fmt_ratio(imbalance);
       if (!metrics_path.empty()) {
         std::cout << "; metrics ok: " << metric_samples << " samples";
       }
@@ -239,8 +334,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const std::map<std::string, Row> rows = summarize(events);
-    std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+    std::vector<std::pair<std::string, Row>> sorted(summary.rows.begin(),
+                                                    summary.rows.end());
     std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
       return a.second.self_us > b.second.self_us;
     });
@@ -248,17 +343,79 @@ int main(int argc, char** argv) {
       sorted.resize(static_cast<std::size_t>(top_k));
     }
     std::vector<std::vector<std::string>> table;
-    auto fmt_ms = [](double us) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
-      return std::string(buf);
-    };
     for (const auto& [key, r] : sorted) {
       table.push_back({key, std::to_string(r.calls), fmt_ms(r.total_us),
                        fmt_ms(r.self_us)});
     }
     std::cout << apr::format_table(
         {"span (cat/name)", "calls", "total_ms", "self_ms"}, table);
+
+    if (summary.ranks.size() > 1) {
+      // Per-rank load: where the straggler is and how much of its wall
+      // time is communication wait.
+      std::vector<std::vector<std::string>> rank_table;
+      int straggler = -1;
+      double straggler_us = -1.0;
+      for (const auto& [pid, load] : summary.ranks) {
+        if (load.busy_us > straggler_us) {
+          straggler_us = load.busy_us;
+          straggler = pid;
+        }
+        const double frac =
+            load.busy_us > 0.0 ? load.comm_us / load.busy_us : 0.0;
+        rank_table.push_back({std::to_string(pid),
+                              std::to_string(load.spans),
+                              fmt_ms(load.busy_us), fmt_ms(load.comm_us),
+                              fmt_ratio(frac)});
+      }
+      std::cout << "\nper-rank load (imbalance " << fmt_ratio(imbalance)
+                << ", straggler rank " << straggler << "):\n";
+      std::cout << apr::format_table(
+          {"rank", "spans", "busy_ms", "comm_wait_ms", "comm_frac"},
+          rank_table);
+
+      // Critical-path attribution: for each span name, the rank paying
+      // the most for it -- the per-phase critical path of the merged
+      // timeline. Sorted by that maximum cost.
+      std::vector<std::pair<std::string, const SpanByRank*>> by_max;
+      for (const auto& [key, span] : summary.spans) {
+        by_max.emplace_back(key, &span);
+      }
+      auto max_of = [](const SpanByRank& s) {
+        double m = 0.0;
+        for (const auto& [pid, us] : s.rank_us) m = std::max(m, us);
+        return m;
+      };
+      std::sort(by_max.begin(), by_max.end(),
+                [&](const auto& a, const auto& b) {
+                  return max_of(*a.second) > max_of(*b.second);
+                });
+      if (top_k > 0 && by_max.size() > static_cast<std::size_t>(top_k)) {
+        by_max.resize(static_cast<std::size_t>(top_k));
+      }
+      std::vector<std::vector<std::string>> span_table;
+      for (const auto& [key, span] : by_max) {
+        double max = 0.0;
+        double sum = 0.0;
+        int who = -1;
+        for (const auto& [pid, us] : span->rank_us) {
+          sum += us;
+          if (us > max) {
+            max = us;
+            who = pid;
+          }
+        }
+        const double mean =
+            sum / static_cast<double>(summary.ranks.size());
+        span_table.push_back({key, fmt_ms(max), fmt_ms(mean),
+                              fmt_ratio(mean > 0.0 ? max / mean : 0.0),
+                              std::to_string(who)});
+      }
+      std::cout << "\nper-span critical path:\n";
+      std::cout << apr::format_table(
+          {"span (cat/name)", "max_ms", "mean_ms", "max/mean", "rank"},
+          span_table);
+    }
 
     std::map<std::string, std::uint64_t> instants;
     for (const Event& e : events) {
